@@ -1,0 +1,55 @@
+"""F1 — Fig. 1: the example program and its stopping points.
+
+The paper's fib.c has 14 stopping points, superscripted 0-13: entry at
+the opening brace, one before every top-level expression (the for loops
+contribute init, condition, body, increment in that order), and exit at
+the closing brace.  This bench compiles fib.c, recovers the stopping
+points from the interpreted symbol table, and checks the figure's
+structure; the timing anchor is the compile itself.
+"""
+
+import io
+
+import pytest
+
+from repro.cc.driver import compile_and_link, loader_table_ps
+from repro.ldb import Ldb
+
+from .conftest import report
+from .workloads import FIB_C
+
+#: line of each stopping point in FIB_C, in index order, from Fig. 1
+FIG1_LINES = [1,   # 0: the opening brace (the declaration line)
+              4, 4, 5,        # 1: n>20   2: n=20   3: a[0]=a[1]=1
+              7, 7, 8, 7,     # 4: i=2    5: i<n    6: body   7: i++
+              11, 11, 12, 11,  # 8: j=0   9: j<n   10: body  11: j++
+              14,             # 12: printf("\n")
+              15]             # 13: the closing brace
+
+
+def test_fig1_stop_points(benchmark):
+    exe = benchmark.pedantic(
+        lambda: compile_and_link({"fib.c": FIB_C}, "rmips", debug=True),
+        rounds=3, iterations=1)
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(exe)
+    fib = target.symtab.extern_entry("fib")
+    loci = target.symtab.loci(fib)
+
+    report("", "F1. Stopping points of fib.c (paper Fig. 1)")
+    lines = [stop["sourcey"] for stop in loci]
+    report("  stop index : " + " ".join("%3d" % i for i in range(len(loci))),
+           "  source line: " + " ".join("%3d" % line for line in lines))
+
+    assert len(loci) == 14
+    assert lines == FIG1_LINES
+    # every stopping point has a distinct object-code address
+    addresses = [target.symtab.stop_address(stop) for stop in loci]
+    assert len(set(addresses)) == 14
+    assert addresses == sorted(addresses)
+    # and each holds the no-op the breakpoint scheme requires (Sec. 3)
+    for address in addresses:
+        assert target.breakpoints.fetch_insn(address) == \
+            target.breakpoints.nop_pattern
+    target.kill()
+    report("  all 14 points carry no-ops and map to distinct addresses")

@@ -1,0 +1,80 @@
+"""F2 — Fig. 2: the tree structure of fib's symbol table.
+
+The uplink values link symbol-table entries in a tree: i and j (locals
+of sibling blocks) both link up to a (the static), a links to n (the
+parameter), n is the root.  Name resolution walks up the tree from the
+stopping point, then the statics, then the externs (paper Sec. 2).
+"""
+
+import io
+
+import pytest
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+
+from .conftest import report
+from .workloads import FIB_C
+
+
+@pytest.fixture(scope="module")
+def stopped_session():
+    exe = compile_and_link({"fib.c": FIB_C}, "rmips", debug=True)
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(exe)
+    return ldb, target
+
+
+def chain_names(stop):
+    names = []
+    entry = stop.get("syms")
+    while entry is not None:
+        names.append(entry["name"].text)
+        entry = entry.get("uplink")
+    return names
+
+
+def test_fig2_uplink_tree(benchmark, stopped_session):
+    ldb, target = stopped_session
+    fib = target.symtab.extern_entry("fib")
+    loci = target.symtab.loci(fib)
+
+    def resolve_everything():
+        out = []
+        for stop in loci:
+            out.append(chain_names(stop))
+        return out
+
+    chains = benchmark(resolve_everything)
+
+    report("", "F2. The uplink tree of fib's symbol table (paper Fig. 2)")
+    tree_lines = set()
+    for chain in chains:
+        for child, parent in zip(chain, chain[1:]):
+            tree_lines.add("  %s -> %s" % (child, parent))
+    report(*sorted(tree_lines))
+
+    # -- the exact tree of Fig. 2 ----------------------------------------
+    assert "  i -> a" in tree_lines
+    assert "  j -> a" in tree_lines
+    assert "  a -> n" in tree_lines
+    # n is the root: no entry links out of it
+    assert not any(line.startswith("  n ->") for line in tree_lines)
+    # the 9th stopping point sees j, a, n (the paper's example)
+    assert chains[9] == ["j", "a", "n"]
+    # i is never visible from the j loop and vice versa
+    assert "i" not in chains[9]
+    assert "j" not in chains[5]
+
+
+def test_fig2_name_resolution_order(stopped_session):
+    """Past the chain root, resolution reaches statics then externs."""
+    ldb, target = stopped_session
+    fib = target.symtab.extern_entry("fib")
+    loci = target.symtab.loci(fib)
+    stop9 = loci[9]
+    resolve = target.symtab.resolve
+    assert resolve("j", stop9, fib)["kind"].text == "variable"
+    assert resolve("a", stop9, fib) is fib["statics"]["a"]
+    assert resolve("fib", stop9, fib)["kind"].text == "procedure"
+    assert resolve("nonesuch", stop9, fib) is None

@@ -1,0 +1,126 @@
+"""F4 — Fig. 4: the abstract-memory DAG for a frame.
+
+The paper's walk-through (Sec. 4.1): printing `i` at stopping point 7
+routes joined -> register -> alias -> wire -> nub (register 30 aliases a
+context slot in the data space); printing `a` routes the element fetches
+from the joined memory directly to the wire.  This bench reproduces the
+routing and counts traffic at each node.
+"""
+
+import io
+
+import pytest
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+
+from .conftest import report
+from .workloads import FIB_C
+
+
+@pytest.fixture(scope="module")
+def stopped_at_7():
+    exe = compile_and_link({"fib.c": FIB_C}, "rmips", debug=True)
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(exe)
+    ldb.break_at_stop("fib", 7)   # i++ in the first loop (paper Sec. 4.1)
+    ldb.run_to_stop()
+    return ldb, target
+
+
+def counts(frame, target, what="fetch"):
+    """Per-node counters: the wire counts on the target-wide stats."""
+    stats = frame.memory.stats
+    out = {node: stats.of(node, what)
+           for node in ("joined", "register", "alias")}
+    out["wire"] = target.stats.of("wire", what)
+    return out
+
+
+def test_fig4_register_fetch_routing(benchmark, stopped_at_7):
+    """Fetching i: the request travels the whole DAG."""
+    ldb, target = stopped_at_7
+    frame = target.top_frame()
+    entry = frame.resolve("i")
+    location = target.location_of(entry, frame)
+
+    before = counts(frame, target)
+    value = frame.memory.fetch(location, "i32")
+    after = counts(frame, target)
+    deltas = {node: after[node] - before[node] for node in after}
+
+    benchmark(frame.memory.fetch, location, "i32")
+
+    report("", "F4. Abstract-memory DAG routing (paper Fig. 4, Sec. 4.1)",
+           "  i lives at %r (a register alias into the context)" % location,
+           "  one fetch of i: joined+%d register+%d alias+%d wire+%d"
+           % (deltas["joined"], deltas["register"], deltas["alias"],
+              deltas["wire"]),
+           "  i = %d" % value)
+
+    assert location.space == "r"
+    assert value == 2            # first time at stop 7: i == 2
+    # the register fetch passed through every node exactly once
+    assert deltas["joined"] == 1
+    assert deltas["register"] == 1
+    assert deltas["alias"] == 1
+    assert deltas["wire"] == 1
+
+
+def test_fig4_data_fetch_skips_register_nodes(benchmark, stopped_at_7):
+    """Fetching a's elements routes joined -> wire directly."""
+    ldb, target = stopped_at_7
+    frame = target.top_frame()
+    entry = frame.resolve("a")
+    location = target.location_of(entry, frame)
+
+    before = counts(frame, target)
+    element0 = frame.memory.fetch(location, "i32")
+    after = counts(frame, target)
+    deltas = {node: after[node] - before[node] for node in after}
+
+    report("  one fetch of a[0]: joined+%d register+%d alias+%d wire+%d "
+           "(a[0] = %d)" % (deltas["joined"], deltas["register"],
+                            deltas["alias"], deltas["wire"], element0))
+
+    assert location.space == "d"
+    assert element0 == 1
+    assert deltas["joined"] == 1
+    assert deltas["register"] == 0   # data requests skip the register path
+    assert deltas["alias"] == 0
+    assert deltas["wire"] == 1
+    benchmark(frame.memory.fetch, location, "i32")
+
+
+def test_fig4_subword_register_access(stopped_at_7):
+    """A sub-word register fetch becomes a full-word operation, making
+    byte order irrelevant (the register memory's job)."""
+    from repro.postscript import Location
+
+    ldb, target = stopped_at_7
+    frame = target.top_frame()
+    entry = frame.resolve("i")
+    location = target.location_of(entry, frame)
+    low_byte = frame.memory.fetch(location, "i8")
+    full = frame.memory.fetch(location, "i32")
+    assert low_byte == full & 0xFF
+    report("  fetch8 of i returns the low-order byte (%d) via a "
+           "full-word fetch" % low_byte)
+
+
+def test_fig4_store_routes_to_context(stopped_at_7):
+    """Stores traverse the same DAG and land in the saved context."""
+    ldb, target = stopped_at_7
+    frame = target.top_frame()
+    entry = frame.resolve("i")
+    location = target.location_of(entry, frame)
+    old = frame.memory.fetch(location, "i32")
+    try:
+        frame.memory.store(location, "i32", 9)
+        assert frame.memory.fetch(location, "i32") == 9
+        # and it really reached target memory (the context area)
+        ctx_value = target.process.mem.read_u32(
+            target.context_addr + 4 + 4 * location.offset)
+        assert ctx_value == 9
+    finally:
+        frame.memory.store(location, "i32", old)

@@ -1,0 +1,61 @@
+"""E1 — no-ops at stopping points grow code 16-19% (paper Sec. 3).
+
+"The no-ops increase the number of instructions by 16-19%, depending on
+the target."  We compile the same corpus with and without -g for every
+target and compare instruction counts.  (The rmips numbers also include
+the delay-slot padding difference; bench_mips_sched isolates that.)
+"""
+
+import pytest
+
+from repro.cc.driver import compile_unit
+from repro.machines.isa import Insn
+
+from .conftest import report
+from .workloads import FIB_C, large_program
+
+ARCHES = ("rmips", "rsparc", "rm68k", "rvax")
+
+
+def insn_count(source, arch, debug):
+    unit = compile_unit(source, "bench.c", arch, debug=debug).unit
+    return sum(1 for item in unit.text if isinstance(item, Insn))
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return large_program(functions=60, seed=7)
+
+
+def test_noop_overhead(benchmark, corpus):
+    rows = []
+    overheads = {}
+    for arch in ARCHES:
+        plain = insn_count(corpus, arch, debug=False)
+        debug = insn_count(corpus, arch, debug=True)
+        overhead = 100.0 * (debug - plain) / plain
+        overheads[arch] = overhead
+        rows.append("%-8s %8d %8d   +%.1f%%" % (arch, plain, debug, overhead))
+    benchmark.pedantic(insn_count, args=(corpus, "rmips", True),
+                       rounds=3, iterations=1)
+
+    report("", "E1. Stopping-point no-op overhead (paper Sec. 3: 16-19%)",
+           "%-8s %8s %8s %s" % ("target", "insns", "insns -g", "overhead"))
+    report(*rows)
+
+    # -- shape: overhead lands in a band around the paper's 16-19% -----
+    for arch, overhead in overheads.items():
+        assert 8.0 <= overhead <= 35.0, (arch, overhead)
+    # and the overhead exists on every target
+    assert min(overheads.values()) > 0
+
+
+def test_noop_overhead_on_fib(benchmark):
+    """The overhead is visible even on the paper's own example."""
+    plain = insn_count(FIB_C, "rsparc", debug=False)
+    debug = insn_count(FIB_C, "rsparc", debug=True)
+    benchmark.pedantic(insn_count, args=(FIB_C, "rsparc", False),
+                       rounds=3, iterations=1)
+    assert debug > plain
+    report("fib.c on rsparc: %d -> %d instructions (+%.1f%%)"
+           % (plain, debug, 100.0 * (debug - plain) / plain))

@@ -1,0 +1,68 @@
+"""E3 — symbol-table sizes (paper Sec. 7).
+
+"PostScript symbol-table information is about 9 times larger than dbx
+stabs for the same program.  The dbx information is in a binary format,
+so it may be fairer to compare the PostScript after compression by the
+UNIX program compress, in which case the ratio is about 2."
+
+zlib stands in for 1992's compress(1).
+"""
+
+import zlib
+
+import pytest
+
+from repro.cc.driver import compile_unit
+
+from .conftest import report
+from .workloads import FIB_C, large_program
+
+
+@pytest.fixture(scope="module")
+def compiled_large():
+    return compile_unit(large_program(functions=120), "big.c", "rmips",
+                        debug=True)
+
+
+def test_postscript_vs_stabs_sizes(benchmark, compiled_large):
+    unit = compiled_large.unit
+    ps_size = len(unit.pssym.encode())
+    stabs_size = len(unit.stabs)
+    ratio = ps_size / stabs_size
+    compressed = len(zlib.compress(unit.pssym.encode(), 6))
+    compressed_ratio = compressed / stabs_size
+
+    benchmark.pedantic(zlib.compress, args=(unit.pssym.encode(), 6),
+                       rounds=3, iterations=1)
+
+    report("", "E3. Symbol-table sizes (paper Sec. 7: PS ~9x stabs, "
+               "~2x after compression)",
+           "  stabs (binary)        : %7d bytes" % stabs_size,
+           "  PostScript            : %7d bytes   (%.1fx)" % (ps_size, ratio),
+           "  PostScript compressed : %7d bytes   (%.1fx)"
+           % (compressed, compressed_ratio))
+
+    # -- shape: large uncompressed ratio collapsing under compression ----
+    assert 4.0 <= ratio <= 20.0, ratio
+    assert compressed_ratio < ratio / 2
+    assert 0.5 <= compressed_ratio <= 5.0, compressed_ratio
+
+
+def test_ratio_holds_for_small_programs(benchmark):
+    compiled = compile_unit(FIB_C, "fib.c", "rmips", debug=True)
+    benchmark.pedantic(compile_unit, args=(FIB_C, "fib.c", "rmips", True),
+                       rounds=3, iterations=1)
+    ratio = len(compiled.unit.pssym.encode()) / len(compiled.unit.stabs)
+    report("  fib.c alone           : PS/stabs ratio %.1fx" % ratio)
+    assert ratio > 3.0
+
+
+def test_postscript_carries_more_information(compiled_large):
+    """The paper's justification: the PostScript must carry enough for
+    the expression server to reconstruct compiler symbol tables."""
+    pssym = compiled_large.unit.pssym
+    # information that stabs lack: printer procedures, anchors, loci
+    assert "LazyData" in pssym
+    assert "/loci" in pssym
+    assert "/printer" in pssym
+    assert "AddProc" in pssym

@@ -1,0 +1,39 @@
+"""Benchmark plumbing: a terminal report that survives output capture.
+
+Benchmarks reproduce the paper's tables and figures; each appends its
+rows via :func:`report`, and a pytest terminal-summary hook prints the
+collected reproduction report after the run — alongside pytest-
+benchmark's own timing table.
+"""
+
+import sys
+
+_REPORT_LINES = []
+
+
+def report(*lines):
+    """Queue lines for the end-of-run reproduction report."""
+    _REPORT_LINES.extend(lines)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT_LINES:
+        return
+    terminalreporter.section("paper reproduction report")
+    for line in _REPORT_LINES:
+        terminalreporter.write_line(line)
+
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def large_source():
+    from .workloads import large_program
+    return large_program(functions=120)
+
+
+@pytest.fixture(scope="session")
+def hello_source():
+    from .workloads import hello_program
+    return hello_program()

@@ -1,0 +1,161 @@
+"""Workload generators for the benchmark suite.
+
+``hello_program()`` is the paper's one-line hello world;
+``large_program(n)`` synthesizes a program of roughly the scale of the
+paper's 13,000-line lcc build: many functions with parameters, block
+locals, loops, statics, structs, and calls — the mix that exercises
+symbol tables, stopping points, and the scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+FIB_C = """void fib(int n)
+{
+    static int a[20];
+    if (n > 20) n = 20;
+    a[0] = a[1] = 1;
+    {   int i;
+        for (i=2; i<n; i++)
+            a[i] = a[i-1] + a[i-2];
+    }
+    {   int j;
+        for (j=0; j<n; j++)
+            printf("%d ", a[j]);
+    }
+    printf("\\n");
+}
+int main(void) { fib(10); return 0; }
+"""
+
+
+def hello_program() -> str:
+    return 'int main(void) { printf("hello, world\\n"); return 0; }\n'
+
+
+def large_program(functions: int = 120, seed: int = 1992) -> str:
+    """A synthetic program with ``functions`` medium-sized functions.
+
+    Deterministic for a given seed; roughly 30 lines per function, so
+    functions=400 approximates the paper's 13,000-line lcc.
+    """
+    rng = random.Random(seed)
+    parts: List[str] = [
+        "struct record { int key; int value; int weight; };",
+        "static int pool[64];",
+        "int visits = 0;",
+        "",
+    ]
+    names = []
+    for index in range(functions):
+        name = "work%03d" % index
+        names.append(name)
+        callee = names[rng.randrange(len(names) - 1)] if index > 0 else None
+        parts.append(_one_function(name, callee, rng))
+    calls = "\n".join("    total += %s(%d, %d);" % (n, i % 7, (i * 3) % 11)
+                      for i, n in enumerate(names[: min(40, functions)]))
+    parts.append("""
+int main(void) {
+    int total = 0;
+%s
+    printf("%%d\\n", total);
+    return 0;
+}
+""" % calls)
+    return "\n".join(parts)
+
+
+def _one_function(name: str, callee, rng: random.Random) -> str:
+    limit = rng.randrange(3, 9)
+    bias = rng.randrange(1, 5)
+    call_line = ""
+    if callee is not None and rng.random() < 0.5:
+        call_line = "        acc += %s(i, %d) & 15;" % (callee, bias)
+    return """
+int %(name)s(int a, int b) {
+    static int memo;
+    struct record r;
+    int acc = 0;
+    int i;
+    r.key = a; r.value = b; r.weight = a + b;
+    for (i = 0; i < %(limit)d; i++) {
+        int step = i * %(bias)d + r.weight;
+        if (step > 100) step = step %% 100;
+        acc += step;
+%(call)s
+    }
+    {
+        int scaled = acc * 2;
+        if (scaled > memo) memo = scaled;
+        pool[(a + b) & 63] = memo;
+    }
+    visits++;
+    return acc + memo;
+}
+""" % {"name": name, "limit": limit, "bias": bias, "call": call_line}
+
+
+def memory_heavy_program(functions: int = 40, seed: int = 3) -> str:
+    """Functions whose statements each perform one load and a little
+    arithmetic — the classic reduction shape where the MIPS assembler
+    fills each delay slot with the *next* statement's address
+    computation.  Under -g the stopping point between statements blocks
+    exactly that motion (paper Sec. 3)."""
+    rng = random.Random(seed)
+    parts: List[str] = [
+        "int table[256];",
+        "",
+    ]
+    names = []
+    for index in range(functions):
+        name = "scan%03d" % index
+        names.append(name)
+        lanes = rng.randrange(3, 6)
+        # alternate plain loads with arithmetic on the previous value:
+        # the load statements have no independent instruction of their
+        # own, so their delay slots can only be filled from the *next*
+        # statement — across a stopping point
+        body_lines = []
+        for lane in range(lanes):
+            body_lines.append("        t%d = a%d[i];" % (lane, lane))
+            body_lines.append("        s%d = s%d * %d + t%d;"
+                              % (lane, lane, 3 + 2 * lane, lane))
+        body = "\n".join(body_lines)
+        params = ", ".join("int *a%d" % lane for lane in range(lanes))
+        decls = " ".join("int s%d = 0; int t%d;" % (lane, lane)
+                         for lane in range(lanes))
+        total = " + ".join("s%d" % lane for lane in range(lanes))
+        parts.append("""
+int %(name)s(%(params)s, int n) {
+    %(decls)s
+    int i;
+    for (i = 0; i < n; i++) {
+%(body)s
+    }
+    return %(total)s;
+}
+""" % {"name": name, "params": params, "decls": decls,
+           "body": body, "total": total})
+    calls = []
+    rng2 = random.Random(seed)  # replay the same lane counts
+    for name in names:
+        lanes = rng2.randrange(3, 6)
+        args = ", ".join("table + %d" % (lane * 8) for lane in range(lanes))
+        calls.append("    total += %s(%s, 32);" % (name, args))
+    parts.append("""
+int main(void) {
+    int total = 0;
+    int i;
+    for (i = 0; i < 256; i++) table[i] = i * 3;
+%s
+    printf("%%d\\n", total);
+    return 0;
+}
+""" % "\n".join(calls))
+    return "\n".join(parts)
+
+
+def count_lines(source: str) -> int:
+    return sum(1 for line in source.splitlines() if line.strip())

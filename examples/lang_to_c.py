@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""A language that compiles to C, debugged at source level (Sec. 7.1).
+
+The paper: "ldb may well suit language implementations that compile to
+C, because the first compiler can emit PostScript code that manipulates
+the symbols emitted by the C compiler, producing one set of symbols that
+combines the results of two compilations."
+
+This example implements CALC, a toy language with *money* values
+(fixed-point cents) that translates to C.  The CALC compiler emits:
+
+  1. C code (money becomes int cents, names are mangled), and
+  2. a PostScript overlay that rebuilds CALC-level symbols on top of the
+     C symbol table: original names, a `money` type whose printer renders
+     dollars, and the same locations the C compiler assigned.
+
+ldb itself is untouched; `print price` shows `$2.50`.
+
+Run:  python examples/lang_to_c.py
+"""
+
+import io
+
+from repro.cc.driver import compile_and_link, loader_table_ps
+from repro.ldb import Ldb
+
+CALC_PROGRAM = """
+money price = 2.50
+money shipping = 4.99
+count items = 3
+money total = price * items + shipping
+show total
+"""
+
+
+def compile_calc(source):
+    """The 'first compiler': CALC -> C + a PostScript overlay."""
+    c_lines = []
+    overlay = ["% CALC overlay: rebuild source-level symbols"]
+    body = []
+    variables = []
+    for raw in source.strip().splitlines():
+        words = raw.split()
+        if not words:
+            continue
+        if words[0] in ("money", "count"):
+            kind, name, _eq, *expr = words
+            c_name = "calc_" + name
+            variables.append((name, kind, c_name))
+            if kind == "money" and len(expr) == 1 and "." in expr[0]:
+                dollars, cents = expr[0].split(".")
+                value = "%d" % (int(dollars) * 100 + int(cents))
+                c_lines.append("int %s = %s;" % (c_name, value))
+            elif len(expr) == 1:
+                c_lines.append("int %s = %s;" % (c_name, expr[0]))
+            else:
+                # an expression over earlier variables
+                c_expr = " ".join("calc_" + w if w.isidentifier() else w
+                                  for w in expr)
+                c_lines.append("int %s;" % c_name)
+                body.append("%s = %s;" % (c_name, c_expr))
+        elif words[0] == "show":
+            c_name = "calc_" + words[1]
+            body.append('printf("%%d\\n", %s);' % c_name)
+    c_source = "%s\nint main(void) {\n    %s\n    return 0;\n}\n" % (
+        "\n".join(c_lines), "\n    ".join(body))
+
+    # the overlay: a money printer plus re-rooted symbol entries
+    overlay.append("""
+/MONEY {
+  pop fetch32
+  /&cents exch def
+  ($) Put &cents 100 idiv Put (.) Put
+  /&frac &cents 100 mod def
+  &frac 10 lt { (0) Put } if
+  &frac Put
+} def
+/MoneyType << /decl (money %s) /printer { MONEY } /size 4 >> def
+/CountType << /decl (count %s) /printer { INT } /size 4 >> def
+""")
+    for name, kind, c_name in variables:
+        type_name = "MoneyType" if kind == "money" else "CountType"
+        overlay.append("""
+CalcTable /symtab get /externs get /%(c)s get /&centry exch def
+/%(n)s <<
+  /name (%(n)s) /kind (variable) /type %(t)s
+  /sourcefile (program.calc) /sourcey 0 /sourcex 0
+  /where &centry /where get
+  /uplink null
+>> def
+CalcTable /symtab get /externs get /%(n)s %(n)s put
+""" % {"c": c_name, "n": name, "t": type_name})
+    return c_source, "\n".join(overlay)
+
+
+def main():
+    print("=== the CALC program ===")
+    print(CALC_PROGRAM)
+    c_source, overlay_ps = compile_calc(CALC_PROGRAM)
+    print("=== generated C ===")
+    print(c_source)
+
+    exe = compile_and_link({"program.calc.c": c_source}, "rmips", debug=True)
+    ldb = Ldb()
+    target = ldb.load_program(exe)
+
+    print("=== applying the PostScript overlay (ldb unchanged) ===")
+    ldb.interp.define("CalcTable", target.table)
+    ldb.interp.run(overlay_ps)
+
+    # run to the end of main and print CALC-level values
+    ldb.break_at_line("program.calc.c", len(c_source.splitlines()) - 2)
+    ldb.run_to_stop()
+    import sys
+    for name in ("price", "shipping", "items", "total"):
+        sys.stdout.write("(ldb) print %-9s => " % name)
+        sys.stdout.flush()
+        ldb.print_variable(name)
+    target.kill()
+
+
+if __name__ == "__main__":
+    main()

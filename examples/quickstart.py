@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: compile the paper's fib program and debug it.
+
+Recreates the workflow of the paper's Figs. 1 and 2: compile fib.c with
+debugging support (-g), start it under ldb, stop at a stopping point
+inside the first for loop, print `i` (a register variable), `n` (a
+parameter), and `a` (a static array, printed by the PostScript ARRAY
+procedure), evaluate expressions, and continue to completion.
+
+Run:  python examples/quickstart.py [arch]
+      arch in {rmips, rmipsel, rsparc, rm68k, rvax}; default rmips
+"""
+
+import sys
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+
+FIB_C = """void fib(int n)
+{
+    static int a[20];
+    if (n > 20) n = 20;
+    a[0] = a[1] = 1;
+    {   int i;
+        for (i=2; i<n; i++)
+            a[i] = a[i-1] + a[i-2];
+    }
+    {   int j;
+        for (j=0; j<n; j++)
+            printf("%d ", a[j]);
+    }
+    printf("\\n");
+}
+int main(void) { fib(10); return 0; }
+"""
+
+
+def main():
+    arch = sys.argv[1] if len(sys.argv) > 1 else "rmips"
+    print("=== compiling fib.c for %s with -g ===" % arch)
+    exe = compile_and_link({"fib.c": FIB_C}, arch, debug=True)
+    print("text: %d bytes, data: %d bytes, entry: 0x%x"
+          % (len(exe.text), len(exe.data), exe.entry))
+
+    print("\n=== starting the target under ldb ===")
+    ldb = Ldb()
+    target = ldb.load_program(exe)
+    print("target %s (%s): %s before main" % (target.name, target.arch_name,
+                                              target.state))
+
+    print("\n=== breakpoint at stopping point 7 of fib (i++) ===")
+    address = ldb.break_at_stop("fib", 7)
+    print("planted at 0x%x (overwrote the compiler's no-op)" % address)
+    ldb.run_to_stop()
+    proc, filename, line = ldb.where_am_i()
+    print("stopped in %s () at %s:%d" % (proc, filename, line))
+
+    print("\n=== printing variables through the abstract-memory DAG ===")
+    entry = target.top_frame().resolve("i")
+    where = target.location_of(entry, target.top_frame())
+    print("i lives at %r (space %r = %s)"
+          % (where, where.space,
+             "a register" if where.space == "r" else "memory"))
+    for name in ("i", "n", "a"):
+        sys.stdout.write("%s = " % name)
+        sys.stdout.flush()
+        ldb.print_variable(name)  # the printer writes to stdout
+
+    print("\n=== expressions via the expression server ===")
+    for text in ("n * 2 + 1", "a[i-1] + a[i-2]", "i < n && a[0] == 1"):
+        print("(ldb) print %s\n%s" % (text, ldb.evaluate(text)))
+
+    print("\n=== assignment, then continue to completion ===")
+    ldb.evaluate("n = 6")
+    print("set n = 6; the program now prints only 6 numbers:")
+    target.breakpoints.remove_all()
+    while ldb.run_to_stop() == "stopped":
+        pass
+    print("exit status:", target.exit_status)
+    print("program output:", target.process.output().strip())
+
+
+if __name__ == "__main__":
+    main()

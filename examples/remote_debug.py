@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Remote debugging and crash recovery (paper Sec. 4.2).
+
+The nub is loaded with every program, so a process that faults can wait
+for a debugger to connect over the network — "the target program need
+not be a child of the debugger."  And because the nub preserves target
+state when a connection breaks, a *new* debugger instance can adopt a
+target after the first debugger crashes.
+
+This example:
+  1. starts a program that divides by zero, with its nub listening on a
+     TCP port and nobody attached;
+  2. attaches an ldb over the network after the fault, inspects the
+     crashed frame, and walks its stack;
+  3. kills that debugger abruptly (simulating a debugger crash);
+  4. attaches a *second* ldb instance, which finds the target exactly
+     where it was, fixes the bad divisor, and resumes it to a clean exit.
+
+Run:  python examples/remote_debug.py
+"""
+
+from repro.cc.driver import compile_and_link, loader_table_ps
+from repro.ldb import Ldb
+from repro.machines import Process, SIGFPE
+from repro.nub import Listener, Nub, NubRunner
+
+FAULTY = """
+int divisor = 0;
+int samples[5] = {10, 20, 30, 40, 50};
+
+int average(int *data, int n) {
+    int i, total = 0;
+    for (i = 0; i < n; i++) total += data[i];
+    return total / divisor;                    /* boom */
+}
+
+int main(void) {
+    printf("average = %d\\n", average(samples, 5));
+    return 0;
+}
+"""
+
+
+def main():
+    print("=== a faulty process starts, nub listening, nobody attached ===")
+    exe = compile_and_link({"faulty.c": FAULTY}, "rmips", debug=True)
+    table_ps = loader_table_ps(exe)
+    listener = Listener()
+    process = Process(exe)
+    # stop_at_entry=False: the program runs freely until it faults
+    nub = Nub(process, listener=listener, stop_at_entry=False,
+              accept_timeout=30.0)
+    runner = NubRunner(nub).start()
+    print("nub listening on 127.0.0.1:%d; the program is about to fault..."
+          % listener.port)
+
+    print("\n=== first debugger attaches over TCP ===")
+    first = Ldb()
+    target = first.attach("127.0.0.1", listener.port, table_ps)
+    print("signal %d (%s) — context saved by the nub at 0x%x"
+          % (target.signo,
+             "SIGFPE" if target.signo == SIGFPE else "?",
+             target.context_addr))
+    proc, filename, line = first.where_am_i()
+    print("faulted in %s () at %s:%d" % (proc, filename, line))
+    print(first.backtrace_text().rstrip())
+    print("total =", first.evaluate("total"))
+    print("divisor =", first.evaluate("divisor"))
+
+    print("\n=== the first debugger crashes (socket dies) ===")
+    target.channel.sock.close()
+
+    print("=== a second debugger adopts the preserved target ===")
+    second = Ldb()
+    adopted = second.attach("127.0.0.1", listener.port, table_ps)
+    print("state: %s, same signal: %d" % (adopted.state, adopted.signo))
+    print("total is still", second.evaluate("total"))
+
+    print("\n=== fix the divisor and re-run the division ===")
+    second.evaluate("divisor = 5")
+    # back the pc up to the return statement's stopping point and resume
+    frame = adopted.top_frame()
+    entry = frame.proc_entry()
+    hit = adopted.symtab.stop_for_pc(entry, adopted.stop_pc())
+    stop_addr = adopted.symtab.stop_address(hit[1])
+    adopted.cont(at_pc=stop_addr)
+    while second.run_to_stop(target=adopted) == "stopped":
+        pass
+    print("exit status:", adopted.exit_status)
+    print("program output:", process.output().strip())
+    runner.join()
+    listener.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,280 @@
+"""The rmips assembler pass: load-delay-slot scheduling.
+
+The rmips simulator enforces R3000 load-delay semantics (an instruction
+in a load's delay slot reads the *old* register value), so this pass is
+a correctness requirement, exactly like the real MIPS assembler.
+
+For every integer load whose next instruction consumes (or clobbers) the
+loaded register, the pass either
+
+* **fills** the slot by moving the immediately preceding independent ALU
+  instruction after the load, or
+* **pads** with a nop.
+
+Scheduling regions are what the paper describes (Sec. 3): when compiled
+for debugging, the program may stop before any top-level expression, so
+instructions may be rearranged only *between stopping points*; without
+debugging, only basic-block leaders bound the regions.  The restricted
+regions leave delay slots the scheduler cannot fill — the paper measures
+this at 13% extra MIPS code, independent of the explicit no-ops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple, Union
+
+from ..machines.isa import Insn, Label
+
+_INT_LOADS = frozenset(["lw", "lh", "lhu", "lb", "lbu"])
+_CONTROL = frozenset(["beq", "bne", "blez", "bgtz", "bltz", "bgez",
+                      "j", "jal", "jr", "jalr", "syscall", "break"])
+_STORES = frozenset(["sw", "sh", "sb", "swc1", "sdc1"])
+_FP_ONLY = frozenset(["fadd", "fsub", "fmul", "fdiv", "negd", "movd",
+                      "lwc1", "ldc1"])
+#: instructions the scheduler may move: pure integer ALU only — they
+#: carry no floating-point or memory dependences
+_INT_ALU = frozenset(["add", "sub", "mul", "div", "rem", "divu", "remu",
+                      "and", "or", "xor", "nor", "sll", "srl", "sra",
+                      "slli", "srli", "srai", "slt", "sltu", "seq", "sne",
+                      "addi", "ori", "lui"])
+
+
+class SchedStats:
+    """What the pass did — consumed by bench_mips_sched."""
+
+    def __init__(self):
+        self.loads = 0
+        self.hazards = 0
+        self.filled = 0
+        self.nops_inserted = 0
+
+    def __repr__(self) -> str:
+        return ("<sched loads=%d hazards=%d filled=%d nops=%d>"
+                % (self.loads, self.hazards, self.filled, self.nops_inserted))
+
+
+def reg_uses(insn: Insn) -> Set[int]:
+    """Integer registers an rmips instruction reads."""
+    op = insn.op
+    uses: Set[int] = set()
+    if op in ("nop", "break", "j", "jal", "lui"):
+        return uses
+    if op == "syscall":
+        return set(range(32))  # the OS may read anything
+    if op in ("jr", "jalr"):
+        return {insn.rs}
+    if op in _INT_LOADS or op in ("lwc1", "ldc1"):
+        return {insn.rs}
+    if op in ("sw", "sh", "sb"):
+        return {insn.rd, insn.rs}
+    if op in ("swc1", "sdc1"):
+        return {insn.rs}
+    if op in ("beq", "bne"):
+        return {insn.rd, insn.rs}
+    if op in ("blez", "bgtz", "bltz", "bgez"):
+        return {insn.rd}
+    if op in ("addi", "ori", "slli", "srli", "srai"):
+        return {insn.rs}
+    if op in ("cvtdw",):
+        return {insn.rs}
+    if op in ("cvtwd", "fslt", "fsle", "fseq"):
+        return set()
+    if op in _FP_ONLY:
+        return set()
+    # three-register ALU
+    return {insn.rs, insn.rt}
+
+
+def reg_defs(insn: Insn) -> Set[int]:
+    """Integer registers an rmips instruction writes."""
+    op = insn.op
+    if op in ("nop", "break", "j", "jr"):
+        return set()
+    if op == "syscall":
+        return {2}  # return value convention
+    if op in ("jal", "jalr"):
+        return {31}
+    if op in _STORES or op in ("beq", "bne", "blez", "bgtz", "bltz", "bgez"):
+        return set()
+    if op in ("lwc1", "ldc1", "cvtdw") or op in ("fadd", "fsub", "fmul",
+                                                 "fdiv", "negd", "movd"):
+        return set()
+    return {insn.rd} if insn.rd is not None else set()
+
+
+def _is_boundary(item: Union[Insn, Label], debug: bool) -> bool:
+    """Is this item a scheduling-region boundary?"""
+    if isinstance(item, Label):
+        if item.stop_index is not None:
+            return debug  # stopping points bound regions only under -g
+        return True
+    return item.op in _CONTROL
+
+
+def _can_fill_slot(prev: Insn, load: Insn) -> bool:
+    """May ``prev`` move after ``load`` into its delay slot?"""
+    if prev.op not in _INT_ALU:
+        return False
+    defs = reg_defs(prev)
+    if load.rs in defs or load.rd in defs:
+        return False
+    # prev reading load.rd is fine: in the slot it still sees the old value
+    return True
+
+
+def schedule(text: List[Union[Insn, Label]], debug: bool) -> Tuple[List[Union[Insn, Label]], SchedStats]:
+    """Run the delay-slot pass; returns (new text, statistics)."""
+    stats = SchedStats()
+    out: List[Union[Insn, Label]] = []
+    items = list(text)
+    i = 0
+    while i < len(items):
+        item = items[i]
+        out.append(item)
+        i += 1
+        if not isinstance(item, Insn) or item.op not in _INT_LOADS:
+            continue
+        stats.loads += 1
+        load = item
+        hazard = _next_consumes(items, i, load, debug)
+        if not hazard:
+            continue
+        stats.hazards += 1
+        # Try to fill the slot with an independent ALU instruction from
+        # the surrounding region: first one from before the load, then
+        # one from after it (typically the next statement's setup code —
+        # exactly the motion that stopping points forbid under -g).
+        # Transparent labels may be crossed, region boundaries may not.
+        filled = _fill_from_region(out, load, debug) \
+            or _fill_from_ahead(out, items, i, load, debug)
+        if filled:
+            stats.filled += 1
+        else:
+            out.append(Insn("nop"))
+            stats.nops_inserted += 1
+    return out, stats
+
+
+def _fill_from_ahead(out, items, start: int, load: Insn, debug: bool,
+                     window: int = 10) -> bool:
+    """Hoist a later independent ALU instruction into the load's slot."""
+    forbidden = reg_uses(load) | reg_defs(load)
+    crossed_defs = set()
+    crossed_touch = set()
+    j = start
+    steps = 0
+    while j < len(items) and steps < window:
+        item = items[j]
+        if _is_boundary(item, debug):
+            return False
+        if isinstance(item, Label):
+            j += 1
+            continue
+        steps += 1
+        candidate_ok = (
+            item.op in _INT_ALU
+            and not ((reg_uses(item) | reg_defs(item)) & forbidden)
+            and not (reg_uses(item) & crossed_defs)
+            and not (reg_defs(item) & crossed_touch)
+            and not _hoist_breaks_slot(items, j))
+        if candidate_ok:
+            out.append(items.pop(j))
+            return True
+        crossed_defs |= reg_defs(item)
+        crossed_touch |= reg_uses(item) | reg_defs(item)
+        j += 1
+    return False
+
+
+def _hoist_breaks_slot(items, j: int) -> bool:
+    """Would removing items[j] put a conflicting insn into the delay
+    slot of a load immediately before it?"""
+    prev = j - 1
+    while prev >= 0 and isinstance(items[prev], Label):
+        prev -= 1
+    if prev < 0 or not isinstance(items[prev], Insn) \
+            or items[prev].op not in _INT_LOADS:
+        return False
+    loaded = items[prev].rd
+    succ = j + 1
+    while succ < len(items) and isinstance(items[succ], Label):
+        succ += 1
+    if succ >= len(items):
+        return True
+    nxt = items[succ]
+    return loaded in reg_uses(nxt) or loaded in reg_defs(nxt) \
+        or nxt.op == "syscall"
+
+
+def _fill_from_region(out, load: Insn, debug: bool, window: int = 16) -> bool:
+    """Move an independent earlier ALU instruction into the load's slot.
+
+    Only register-to-register instructions move (never loads, stores, or
+    control), so crossing memory operations is safe; register
+    independence with everything crossed is tracked in the blocked sets.
+    Removing a candidate that sits in *another* load's delay slot could
+    reintroduce a hazard there, so such candidates are checked against
+    their new successor.
+    """
+    blocked_defs = reg_uses(load) | reg_defs(load)
+    blocked_uses = reg_defs(load)
+    index = len(out) - 2  # the item just before the load
+    steps = 0
+    while index >= 0 and steps < window:
+        item = out[index]
+        if _is_boundary(item, debug):
+            return False
+        if isinstance(item, Label):
+            index -= 1
+            continue
+        steps += 1
+        if _can_fill_slot(item, load) \
+                and not (reg_defs(item) & blocked_defs) \
+                and not (reg_uses(item) & blocked_uses) \
+                and not _removal_breaks_earlier_slot(out, index):
+            out.append(out.pop(index))
+            return True
+        # crossing this instruction adds register constraints
+        blocked_defs |= reg_uses(item) | reg_defs(item)
+        blocked_uses |= reg_defs(item)
+        index -= 1
+    return False
+
+
+def _removal_breaks_earlier_slot(out, index: int) -> bool:
+    """Would removing out[index] put a conflicting insn into the delay
+    slot of the load just before it?"""
+    prev = index - 1
+    while prev >= 0 and isinstance(out[prev], Label):
+        prev -= 1
+    if prev < 0 or not isinstance(out[prev], Insn) \
+            or out[prev].op not in _INT_LOADS:
+        return False
+    loaded = out[prev].rd
+    succ = index + 1
+    while succ < len(out) and isinstance(out[succ], Label):
+        succ += 1
+    if succ >= len(out):
+        return True  # the pending hazard load becomes the successor
+    nxt = out[succ]
+    return loaded in reg_uses(nxt) or loaded in reg_defs(nxt) \
+        or nxt.op == "syscall"
+
+
+def _next_consumes(items, i: int, load: Insn, debug: bool) -> bool:
+    """Does the instruction in the load's delay slot interact with it?"""
+    j = i
+    while j < len(items) and isinstance(items[j], Label):
+        j += 1
+    if j >= len(items):
+        return True  # conservatively pad at end of text
+    nxt = items[j]
+    if nxt.op == "syscall":
+        return True
+    uses = reg_uses(nxt)
+    defs = reg_defs(nxt)
+    return load.rd in uses or load.rd in defs
+
+
+def count_insns(text) -> int:
+    return sum(1 for item in text if isinstance(item, Insn))

@@ -1,0 +1,276 @@
+"""A small C preprocessor for rcc.
+
+Supports the directives the paper's scenario needs — ``#define`` (object-
+and function-like), ``#undef``, ``#include "file"``, ``#ifdef`` /
+``#ifndef`` / ``#else`` / ``#endif`` — while preserving line structure so
+source coordinates in symbol tables stay true.  Macro expansion happens
+in place on the line, which is how "a single source location may
+correspond to more than one stopping point" (paper Sec. 2): a macro that
+expands to several statements puts several stopping points on one line.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .lexer import CError
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_]*"
+_DEFINE_RE = re.compile(r"#\s*define\s+(%s)(\(([^)]*)\))?\s*(.*)" % _NAME)
+_UNDEF_RE = re.compile(r"#\s*undef\s+(%s)" % _NAME)
+_INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
+_IFDEF_RE = re.compile(r"#\s*ifdef\s+(%s)" % _NAME)
+_IFNDEF_RE = re.compile(r"#\s*ifndef\s+(%s)" % _NAME)
+_ELSE_RE = re.compile(r"#\s*else\b")
+_ENDIF_RE = re.compile(r"#\s*endif\b")
+_WORD_RE = re.compile(_NAME)
+
+
+class Macro:
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name: str, params: Optional[List[str]], body: str):
+        self.name = name
+        self.params = params  # None for object-like macros
+        self.body = body
+
+
+class Preprocessor:
+    """One preprocessing run; macros persist across included files."""
+
+    def __init__(self, include_dirs: Optional[List[str]] = None,
+                 files: Optional[Dict[str, str]] = None,
+                 defines: Optional[Dict[str, str]] = None):
+        self.include_dirs = include_dirs if include_dirs is not None else ["."]
+        #: in-memory include resolution (tests and the driver use this)
+        self.files = files if files is not None else {}
+        self.macros: Dict[str, Macro] = {}
+        for name, body in (defines or {}).items():
+            self.macros[name] = Macro(name, None, body)
+        self._include_depth = 0
+
+    # -- driving --------------------------------------------------------------
+
+    def process(self, source: str, filename: str = "<input>") -> str:
+        out_lines: List[str] = []
+        # condition stack: (parent_active, this_branch_taken, in_else)
+        conditions: List[Tuple[bool, bool, bool]] = []
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            stripped = line.lstrip()
+            active = all(taken for _p, taken, _e in conditions)
+            if stripped.startswith("#"):
+                out_lines.append("")  # keep line numbering intact
+                self._directive(stripped, conditions, active,
+                                filename, lineno, out_lines)
+                continue
+            if not active:
+                out_lines.append("")
+                continue
+            out_lines.append(self.expand(line, filename, lineno))
+        if conditions:
+            raise CError("unterminated #ifdef", filename, len(out_lines), 1)
+        return "\n".join(out_lines) + "\n"
+
+    def _directive(self, text: str, conditions, active: bool,
+                   filename: str, lineno: int, out_lines: List[str]) -> None:
+        match = _IFDEF_RE.match(text)
+        if match:
+            taken = active and match.group(1) in self.macros
+            conditions.append((active, taken, False))
+            return
+        match = _IFNDEF_RE.match(text)
+        if match:
+            taken = active and match.group(1) not in self.macros
+            conditions.append((active, taken, False))
+            return
+        if _ELSE_RE.match(text):
+            if not conditions:
+                raise CError("#else without #ifdef", filename, lineno, 1)
+            parent, taken, in_else = conditions[-1]
+            if in_else:
+                raise CError("duplicate #else", filename, lineno, 1)
+            conditions[-1] = (parent, parent and not taken, True)
+            return
+        if _ENDIF_RE.match(text):
+            if not conditions:
+                raise CError("#endif without #ifdef", filename, lineno, 1)
+            conditions.pop()
+            return
+        if not active:
+            return
+        match = _DEFINE_RE.match(text)
+        if match:
+            name, has_params, params_text, body = match.groups()
+            params = None
+            if has_params is not None:
+                params = [p.strip() for p in params_text.split(",") if p.strip()]
+            self.macros[name] = Macro(name, params, body.strip())
+            return
+        match = _UNDEF_RE.match(text)
+        if match:
+            self.macros.pop(match.group(1), None)
+            return
+        match = _INCLUDE_RE.match(text)
+        if match:
+            included = self._read_include(match.group(1), filename, lineno)
+            # include bodies join the output; their own line numbers are
+            # lost (the paper-era compromise), but macros persist
+            out_lines[-1] = self.process_include(included, match.group(1))
+            return
+        raise CError("unknown directive %r" % text.split()[0],
+                     filename, lineno, 1)
+
+    def process_include(self, source: str, filename: str) -> str:
+        self._include_depth += 1
+        if self._include_depth > 16:
+            raise CError("#include nesting too deep", filename, 1, 1)
+        try:
+            return self.process(source, filename).rstrip("\n")
+        finally:
+            self._include_depth -= 1
+
+    def _read_include(self, name: str, filename: str, lineno: int) -> str:
+        if name in self.files:
+            return self.files[name]
+        for directory in self.include_dirs:
+            path = os.path.join(directory, name)
+            if os.path.exists(path):
+                with open(path) as f:
+                    return f.read()
+        raise CError("cannot find include %r" % name, filename, lineno, 1)
+
+    # -- expansion --------------------------------------------------------------
+
+    def expand(self, line: str, filename: str, lineno: int,
+               hide: Optional[frozenset] = None) -> str:
+        """Expand macros in one line, respecting strings and comments."""
+        hide = hide or frozenset()
+        out: List[str] = []
+        pos = 0
+        n = len(line)
+        while pos < n:
+            ch = line[pos]
+            if ch == '"' or ch == "'":
+                end = self._skip_literal(line, pos, ch)
+                out.append(line[pos:end])
+                pos = end
+                continue
+            if line.startswith("//", pos):
+                out.append(line[pos:])
+                break
+            if line.startswith("/*", pos):
+                end = line.find("*/", pos + 2)
+                if end < 0:
+                    out.append(line[pos:])
+                    break
+                out.append(line[pos : end + 2])
+                pos = end + 2
+                continue
+            match = _WORD_RE.match(line, pos)
+            if not match:
+                out.append(ch)
+                pos += 1
+                continue
+            word = match.group(0)
+            pos = match.end()
+            macro = self.macros.get(word)
+            if macro is None or word in hide:
+                out.append(word)
+                continue
+            if macro.params is None:
+                out.append(self.expand(macro.body, filename, lineno,
+                                       hide | {word}))
+                continue
+            args, pos = self._collect_args(line, pos, word, filename, lineno)
+            if args is None:  # no parenthesis: not a macro call
+                out.append(word)
+                continue
+            if len(args) != len(macro.params):
+                raise CError("macro %s expects %d arguments, got %d"
+                             % (word, len(macro.params), len(args)),
+                             filename, lineno, pos)
+            body = macro.body
+            substituted = self._substitute(body, macro.params, args)
+            out.append(self.expand(substituted, filename, lineno,
+                                   hide | {word}))
+        return "".join(out)
+
+    def _skip_literal(self, line: str, pos: int, quote: str) -> int:
+        end = pos + 1
+        while end < len(line):
+            if line[end] == "\\":
+                end += 2
+                continue
+            if line[end] == quote:
+                return end + 1
+            end += 1
+        return end
+
+    def _collect_args(self, line: str, pos: int, name: str,
+                      filename: str, lineno: int):
+        probe = pos
+        while probe < len(line) and line[probe] in " \t":
+            probe += 1
+        if probe >= len(line) or line[probe] != "(":
+            return None, pos
+        depth = 1
+        probe += 1
+        args: List[str] = []
+        current: List[str] = []
+        while probe < len(line):
+            ch = line[probe]
+            if ch in "\"'":
+                end = self._skip_literal(line, probe, ch)
+                current.append(line[probe:end])
+                probe = end
+                continue
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    text = "".join(current).strip()
+                    if text or args:
+                        args.append(text)
+                    return args, probe + 1
+            elif ch == "," and depth == 1:
+                args.append("".join(current).strip())
+                current = []
+                probe += 1
+                continue
+            current.append(ch)
+            probe += 1
+        raise CError("unterminated macro call %s(" % name,
+                     filename, lineno, pos)
+
+    def _substitute(self, body: str, params: List[str], args: List[str]) -> str:
+        out: List[str] = []
+        pos = 0
+        while pos < len(body):
+            ch = body[pos]
+            if ch in "\"'":
+                end = self._skip_literal(body, pos, ch)
+                out.append(body[pos:end])
+                pos = end
+                continue
+            match = _WORD_RE.match(body, pos)
+            if not match:
+                out.append(ch)
+                pos += 1
+                continue
+            word = match.group(0)
+            pos = match.end()
+            if word in params:
+                out.append(args[params.index(word)])
+            else:
+                out.append(word)
+        return "".join(out)
+
+
+def preprocess(source: str, filename: str = "<input>",
+               files: Optional[Dict[str, str]] = None,
+               defines: Optional[Dict[str, str]] = None) -> str:
+    """One-shot convenience wrapper."""
+    return Preprocessor(files=files, defines=defines).process(source, filename)

@@ -1,0 +1,279 @@
+"""C type representations for the rcc compiler.
+
+Sizes follow the four targets: char 1, short 2, int/long/pointer 4,
+float 4, double 8.  ``long double`` is 10 bytes on rm68k (the 80-bit
+extended format the paper's abstract memory supports) and 8 elsewhere —
+the per-target difference travels through :class:`TypeSystem`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class CType:
+    size = 0
+    align = 1
+
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    def is_arith(self) -> bool:
+        return self.is_integer() or self.is_float()
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_scalar(self) -> bool:
+        return self.is_arith() or self.is_pointer()
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def ir_kind(self) -> str:
+        """The IR kind (lcc type suffix analog) carrying this type."""
+        raise NotImplementedError(type(self).__name__)
+
+
+class VoidType(CType):
+    size = 0
+
+    def ir_kind(self) -> str:
+        return "v"
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(CType):
+    def __init__(self, size: int, signed: bool, name: str):
+        self.size = size
+        self.align = size
+        self.signed = signed
+        self.name = name
+
+    def ir_kind(self) -> str:
+        return ("i" if self.signed else "u") + str(self.size)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class FloatType(CType):
+    def __init__(self, size: int, name: str):
+        self.size = size
+        self.align = 2 if size == 10 else size
+        self.name = name
+
+    def ir_kind(self) -> str:
+        return "f" + str(self.size)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class PointerType(CType):
+    size = 4
+    align = 4
+
+    def __init__(self, ref: CType):
+        self.ref = ref
+
+    def ir_kind(self) -> str:
+        return "p"
+
+    def __str__(self) -> str:
+        return "%s *" % self.ref
+
+
+class ArrayType(CType):
+    def __init__(self, elem: CType, count: Optional[int]):
+        self.elem = elem
+        self.count = count
+        self.size = elem.size * count if count is not None else 0
+        self.align = elem.align
+
+    def ir_kind(self) -> str:
+        return "p"  # arrays decay
+
+    def __str__(self) -> str:
+        return "%s[%s]" % (self.elem, self.count if self.count is not None else "")
+
+
+class Field:
+    def __init__(self, name: str, ctype: CType, offset: int):
+        self.name = name
+        self.ctype = ctype
+        self.offset = offset
+
+
+class StructType(CType):
+    kind_word = "struct"
+
+    def __init__(self, tag: Optional[str]):
+        self.tag = tag
+        self.fields: List[Field] = []
+        self.complete = False
+        self.size = 0
+        self.align = 1
+
+    def define(self, members: Sequence[Tuple[str, CType]]) -> None:
+        offset = 0
+        align = 1
+        for name, ctype in members:
+            offset = _round_up(offset, ctype.align)
+            self.fields.append(Field(name, ctype, offset))
+            offset += ctype.size
+            align = max(align, ctype.align)
+        self.size = _round_up(offset, align)
+        self.align = align
+        self.complete = True
+
+    def field(self, name: str) -> Optional[Field]:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+    def ir_kind(self) -> str:
+        return "b"  # block
+
+    def __str__(self) -> str:
+        return "%s %s" % (self.kind_word, self.tag or "<anon>")
+
+
+class UnionType(StructType):
+    kind_word = "union"
+
+    def define(self, members: Sequence[Tuple[str, CType]]) -> None:
+        size = 0
+        align = 1
+        for name, ctype in members:
+            self.fields.append(Field(name, ctype, 0))
+            size = max(size, ctype.size)
+            align = max(align, ctype.align)
+        self.size = _round_up(size, align)
+        self.align = align
+        self.complete = True
+
+
+class EnumType(CType):
+    size = 4
+    align = 4
+
+    def __init__(self, tag: Optional[str]):
+        self.tag = tag
+        self.enumerators: List[Tuple[str, int]] = []
+        self.complete = False
+
+    def ir_kind(self) -> str:
+        return "i4"
+
+    def __str__(self) -> str:
+        return "enum %s" % (self.tag or "<anon>")
+
+
+class FunctionType(CType):
+    size = 0
+
+    def __init__(self, ret: CType, params: Sequence[Tuple[str, CType]],
+                 varargs: bool = False, oldstyle: bool = False):
+        self.ret = ret
+        self.params = list(params)
+        self.varargs = varargs
+        self.oldstyle = oldstyle
+
+    def ir_kind(self) -> str:
+        return "p"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for _, t in self.params) or "void"
+        if self.varargs:
+            inner += ", ..."
+        return "%s (%s)" % (self.ret, inner)
+
+
+class TypeSystem:
+    """Per-target primitive types (long double differs on rm68k)."""
+
+    def __init__(self, arch_name: str = "rmips"):
+        self.arch_name = arch_name
+        self.char = IntType(1, True, "char")
+        self.uchar = IntType(1, False, "unsigned char")
+        self.short = IntType(2, True, "short")
+        self.ushort = IntType(2, False, "unsigned short")
+        self.int = IntType(4, True, "int")
+        self.uint = IntType(4, False, "unsigned int")
+        self.long = IntType(4, True, "long")
+        self.ulong = IntType(4, False, "unsigned long")
+        self.float = FloatType(4, "float")
+        self.double = FloatType(8, "double")
+        ld_size = 10 if arch_name == "rm68k" else 8
+        self.ldouble = FloatType(ld_size, "long double")
+        self.void = VoidType()
+
+    def pointer(self, ref: CType) -> PointerType:
+        return PointerType(ref)
+
+    def usual_arith(self, a: CType, b: CType) -> CType:
+        """The usual arithmetic conversions (simplified C89 rules)."""
+        if a.is_float() or b.is_float():
+            best = max((t for t in (a, b) if t.is_float()),
+                       key=lambda t: t.size, default=self.double)
+            if best.size >= 10:
+                return self.ldouble
+            return self.double if best.size == 8 else self.float
+        a = self.promote(a)
+        b = self.promote(b)
+        if not a.signed or not b.signed:
+            return self.uint
+        return self.int
+
+    def promote(self, t: CType) -> IntType:
+        """Integral promotion: sub-int types widen to int."""
+        if isinstance(t, EnumType):
+            return self.int
+        if isinstance(t, IntType) and t.size < 4:
+            return self.int
+        return t if isinstance(t, IntType) else self.int
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+def compatible(a: CType, b: CType) -> bool:
+    """Loose type compatibility for assignment checking."""
+    if a is b:
+        return True
+    if a.is_arith() and b.is_arith():
+        return True
+    if a.is_pointer() and b.is_pointer():
+        ra, rb = a.ref, b.ref
+        return ra is rb or ra.is_void() or rb.is_void() or _same(ra, rb)
+    if isinstance(a, (StructType, UnionType)) and a is b:
+        return True
+    return False
+
+
+def _same(a: CType, b: CType) -> bool:
+    if a is b:
+        return True
+    if isinstance(a, IntType) and isinstance(b, IntType):
+        return a.size == b.size and a.signed == b.signed
+    if isinstance(a, FloatType) and isinstance(b, FloatType):
+        return a.size == b.size
+    if isinstance(a, PointerType) and isinstance(b, PointerType):
+        return _same(a.ref, b.ref)
+    if isinstance(a, ArrayType) and isinstance(b, ArrayType):
+        return a.count == b.count and _same(a.elem, b.elem)
+    if isinstance(a, FunctionType) and isinstance(b, FunctionType):
+        if len(a.params) != len(b.params) or a.varargs != b.varargs:
+            return False
+        if not _same(a.ret, b.ret):
+            return False
+        return all(_same(pa, pb) for (_, pa), (_, pb) in zip(a.params, b.params))
+    return False

@@ -1,0 +1,168 @@
+"""The rcc compiler driver (the lcc driver analog).
+
+Compiles C sources to object units, links them with the runtime and
+startup code, and — after linking — plays the role the paper gives the
+driver in Sec. 3: it runs the ``nm`` analog over the linked program and
+generates the PostScript that builds the **loader table**.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..machines import Executable, ObjectUnit, get_arch, link, nm
+from .asmsched import SchedStats, schedule
+from .ctypes_ import TypeSystem
+from .gen import get_backend
+from .gen.runtime import runtime_unit, startup
+from .irgen import IRGen
+from .lexer import CError
+from .parser import parse
+from .sema import Sema
+
+
+class CompiledUnit:
+    """An object unit plus the front-end artifacts the debugger needs."""
+
+    def __init__(self, unit: ObjectUnit, unit_ir, unit_info, sched: Optional[SchedStats]):
+        self.unit = unit
+        self.unit_ir = unit_ir
+        self.unit_info = unit_info
+        self.sched = sched
+
+
+def compile_unit(source: str, filename: str, arch_name: str,
+                 debug: bool = True, includes=None, defines=None) -> CompiledUnit:
+    """Compile one C translation unit for ``arch_name``.
+
+    With ``debug`` the unit carries no-ops at stopping points, the anchor
+    block, and the PostScript symbol table; stabs (the baseline format)
+    are emitted either way.  ``includes`` maps include names to source
+    text for the preprocessor; ``defines`` predefines object macros.
+    """
+    if "#" in source:
+        from .cpp import preprocess
+        source = preprocess(source, filename, files=includes, defines=defines)
+    types = TypeSystem(arch_name)
+    ast = parse(source, filename, types)
+    sema = Sema(types, filename)
+    info = sema.analyze(ast)
+    irgen = IRGen(types, info)
+    unit_ir = irgen.generate(ast)
+    backend = get_backend(arch_name)
+    unit = backend.compile_unit(unit_ir, debug=debug)
+    sched_stats = None
+    if arch_name in ("rmips", "rmipsel"):
+        unit.text, sched_stats = schedule(unit.text, debug)
+    from . import pssym, stabs
+    if debug:
+        unit.pssym = pssym.emit_unit(unit, unit_ir, info, backend, types)
+    unit.stabs = stabs.emit_unit(unit_ir, info, types)
+    return CompiledUnit(unit, unit_ir, info, sched_stats)
+
+
+def link_program(compiled: Sequence[CompiledUnit], arch_name: str,
+                 memsize: int = 1 << 20) -> Executable:
+    """Link compiled units with the runtime library and startup code."""
+    arch = get_arch(arch_name)
+    units = [c.unit for c in compiled] + [runtime_unit(arch)]
+    exe = link(arch, units, startup, memsize=memsize)
+    exe.compiled_units = list(compiled)
+    return exe
+
+
+def compile_and_link(sources: Dict[str, str], arch_name: str,
+                     debug: bool = True, memsize: int = 1 << 20,
+                     includes=None, defines=None) -> Executable:
+    """Compile ``{filename: source}`` and link into an executable."""
+    compiled = [compile_unit(src, name, arch_name, debug,
+                             includes=includes, defines=defines)
+                for name, src in sources.items()]
+    return link_program(compiled, arch_name, memsize=memsize)
+
+
+def loader_table_ps(exe: Executable) -> str:
+    """Generate the loader-table PostScript from ``nm`` output (Sec. 3).
+
+    The loader table contains the program's top-level dictionary, the
+    anchormap (anchor symbol -> address), and the proctable of
+    (address, name) pairs for every procedure.
+    """
+    lines: List[str] = ["% loader table generated from nm output"]
+    lines.append("BeginLoaderTable")
+    lines.append("(%s) UseArchitecture" % exe.arch.name)
+    for c in getattr(exe, "compiled_units", []):
+        if c.unit.pssym:
+            lines.append("%% --- unit %s" % c.unit.name)
+            lines.append(c.unit.pssym)
+    # anchormap, proctable, externmap from nm output
+    anchors: List[Tuple[str, int]] = []
+    procs: List[Tuple[int, str]] = []
+    externs: List[Tuple[str, int]] = []
+    for line in nm(exe).splitlines():
+        text = line.strip()
+        if not text:
+            continue
+        addr_text, kind, name = text.split()
+        address = int(addr_text, 16)
+        if name.startswith("_stanchor__"):
+            anchors.append((name, address))
+        elif kind in ("T", "t"):
+            procs.append((address, name))
+        elif kind in ("D", "d"):
+            externs.append((name, address))
+    lines.append("(%s)" % exe.arch.name)
+    lines.append("<<")
+    for name, address in anchors:
+        lines.append("  /%s 16#%08x" % (name, address))
+    lines.append(">>")
+    lines.append("[")
+    for address, name in procs:
+        lines.append("  16#%08x (%s)" % (address, name))
+    lines.append("]")
+    lines.append("<<")
+    for name, address in externs:
+        lines.append("  /%s 16#%08x" % (name, address))
+    lines.append(">>")
+    lines.append("EndLoaderTable")
+    lines.append("EndArchitecture")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: rcc -target <arch> [-g] file.c ... [-o out.img]"""
+    import argparse
+    import pickle
+
+    ap = argparse.ArgumentParser(prog="rcc", description="the rcc compiler")
+    ap.add_argument("sources", nargs="+")
+    ap.add_argument("-target", default="rmips",
+                    choices=["rmips", "rmipsel", "rsparc", "rm68k", "rvax"])
+    ap.add_argument("-g", action="store_true", help="emit debugging support")
+    ap.add_argument("-o", default="a.img")
+    ap.add_argument("--emit-ps", action="store_true",
+                    help="print the loader-table PostScript")
+    args = ap.parse_args(argv)
+    sources = {}
+    for path in args.sources:
+        with open(path) as f:
+            sources[path] = f.read()
+    try:
+        exe = compile_and_link(sources, args.target, debug=args.g)
+    except CError as err:
+        print("rcc: %s" % err, file=sys.stderr)
+        return 1
+    if args.emit_ps:
+        print(loader_table_ps(exe))
+    with open(args.o, "wb") as f:
+        compiled = exe.compiled_units
+        exe.loader_ps = loader_table_ps(exe)
+        exe.compiled_units = None  # pickled images carry no front-end state
+        pickle.dump(exe, f)
+        exe.compiled_units = compiled
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

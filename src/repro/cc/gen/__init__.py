@@ -1,0 +1,26 @@
+"""Code generators: one shared driver, four machine-dependent backends.
+
+The division mirrors lcc's code-generation interface (and the paper's
+LoC table, Sec. 4.3): the tree-walking driver, register allocation, and
+spilling live in :mod:`repro.cc.gen.common`; each backend supplies only
+instruction selection, frame layout, and the calling convention.
+"""
+
+from .common import CodeGen, GenError
+
+
+def get_backend(arch_name: str):
+    """The CodeGen subclass for a target name."""
+    if arch_name in ("rmips", "rmipsel"):
+        from .mips import MipsGen
+        return MipsGen(arch_name)
+    if arch_name == "rsparc":
+        from .sparc import SparcGen
+        return SparcGen()
+    if arch_name == "rm68k":
+        from .m68k import M68kGen
+        return M68kGen()
+    if arch_name == "rvax":
+        from .vax import VaxGen
+        return VaxGen()
+    raise KeyError("no backend for %r" % arch_name)

@@ -1,0 +1,747 @@
+"""The shared (machine-independent) code-generation driver.
+
+Walks rcc IR trees with a simple on-the-fly register allocator over each
+target's temporary registers, spilling to reserved frame slots when the
+pool runs dry or a call intervenes.  Everything machine-dependent is
+behind the ``emit_*`` / frame-layout hooks that the four backends
+implement — keeping the backends small is the point of the exercise
+(paper Sec. 4.3).
+
+Frame model (canonical offsets):
+
+* every local, parameter, temp, and spill slot has a *frame offset* in
+  the target's canonical terms — vfp-relative on rmips (no frame
+  pointer), fp-relative elsewhere;
+* the layout is computed **before** body emission, so offsets are plain
+  integers (the rmips backend folds ``vfp+off`` into ``sp+framesize+off``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...machines.isa import Insn, Label
+from ...machines.loader import FuncInfo, ObjectUnit, Relocation, Symbol
+from ..ir import FuncIR, IRNode, UnitIR
+from ..ctypes_ import ArrayType, CType, StructType, UnionType
+from ..symtab import CSymbol
+
+#: number of reserved spill slots (8 bytes each, doubles fit)
+SPILL_SLOTS = 12
+
+_INT_KINDS = ("i1", "i2", "i4", "u1", "u2", "u4", "p")
+_FLOAT_KINDS = ("f4", "f8", "f10")
+
+_KIND_SIZE = {"i1": 1, "i2": 2, "i4": 4, "u1": 1, "u2": 2, "u4": 4,
+              "p": 4, "f4": 4, "f8": 8, "f10": 10, "v": 0, "b": 0}
+
+
+class GenError(Exception):
+    """An internal code-generation failure (e.g. expression too complex)."""
+
+
+class Value:
+    """An evaluated IR value: in a register or in a spill slot."""
+
+    __slots__ = ("where", "index", "kind")
+
+    def __init__(self, where: str, index: int, kind: str):
+        self.where = where  # 'r', 'f', 'spill', 'fspill'
+        self.index = index
+        self.kind = kind
+
+    def is_float(self) -> bool:
+        return self.kind in _FLOAT_KINDS
+
+    def __repr__(self) -> str:
+        return "<val %s%d %s>" % (self.where, self.index, self.kind)
+
+
+class CodeGen:
+    """Base class for the four backends."""
+
+    # subclasses set these
+    arch = None
+    temp_regs: Sequence[int] = ()
+    ftemp_regs: Sequence[int] = ()
+    #: callee-saved registers available for register variables
+    var_regs: Sequence[int] = ()
+
+    def __init__(self):
+        self.unit: Optional[ObjectUnit] = None
+        self.debug = False
+        self.text: List[object] = []
+        # per-function state
+        self.fn: Optional[FuncIR] = None
+        self.framesize = 0
+        self.free_iregs: List[int] = []
+        self.free_fregs: List[int] = []
+        self.live: List[Value] = []
+        self.spill_used: List[bool] = []
+        self.spill_base = 0  # canonical frame offset of spill slot 0
+        self.reg_vars: Dict[int, int] = {}  # sym.uid -> register
+        self.used_var_regs: List[int] = []
+        self.epilogue_label = ""
+        self.max_outgoing = 0
+
+    # ==================================================================
+    # unit driver
+
+    def compile_unit(self, unit_ir: UnitIR, debug: bool = False) -> ObjectUnit:
+        """Generate an ObjectUnit from a unit's IR.
+
+        ``debug`` controls the no-ops at stopping points and the anchor
+        block (paper Sec. 3); labels are placed either way.
+        """
+        self.debug = debug
+        unit = ObjectUnit(unit_ir.name, self.arch.name)
+        self.unit = unit
+        self._anchor_entries: List[str] = []  # symbol/label per anchor slot
+        self.anchor_index: Dict[str, int] = {}
+        self.text = unit.text
+
+        for fn_ir in unit_ir.functions:
+            self.gen_function(fn_ir)
+
+        self._emit_data(unit, unit_ir)
+        if debug:
+            self._emit_anchor_block(unit, unit_ir)
+        return unit
+
+    def anchor_slot(self, name: str) -> int:
+        """Index of ``name``'s address slot in the unit's anchor block."""
+        if name not in self.anchor_index:
+            self.anchor_index[name] = len(self._anchor_entries)
+            self._anchor_entries.append(name)
+        return self.anchor_index[name]
+
+    def anchor_symbol_name(self, unit: ObjectUnit) -> str:
+        import hashlib
+        digest = hashlib.md5(unit.name.encode()).hexdigest()[:12]
+        return "_stanchor__%s" % digest
+
+    def _emit_anchor_block(self, unit: ObjectUnit, unit_ir: UnitIR) -> None:
+        """The anchor block: one address word per static / stopping point.
+
+        The compiler inserts relocatable addresses at locations known
+        relative to the anchor symbol, so the debugger never needs the
+        value of a private or static symbol from the linker (Sec. 7).
+        """
+        base = len(unit.data)
+        base = (base + 3) & ~3
+        unit.data.extend(b"\0" * (base - len(unit.data)))
+        unit.symbols.append(Symbol(self.anchor_symbol_name(unit), "data", base, "D"))
+        for i, name in enumerate(self._anchor_entries):
+            unit.data.extend(b"\0\0\0\0")
+            unit.data_relocs.append(Relocation(base + 4 * i, name))
+
+    def _emit_data(self, unit: ObjectUnit, unit_ir: UnitIR) -> None:
+        byteorder = self.arch.byteorder
+        self._pending_strings: List[Tuple[str, str]] = []
+        for label, textstr in unit_ir.strings:
+            offset = len(unit.data)
+            unit.data.extend(textstr.encode("latin-1") + b"\0")
+            unit.symbols.append(Symbol(label, "data", offset, "d"))
+        for sym, init in unit_ir.data:
+            offset = (len(unit.data) + sym.ctype.align - 1) & ~(sym.ctype.align - 1)
+            unit.data.extend(b"\0" * (offset - len(unit.data)))
+            kind = "d" if sym.sclass == "static" else "D"
+            unit.symbols.append(Symbol(sym.label, "data", offset, kind))
+            sym.loc = ("global", sym.label)
+            if sym.sclass == "static":
+                sym.anchor_index = self.anchor_slot(sym.label)
+            blob = bytearray(sym.ctype.size)
+            relocs: List[Tuple[int, str]] = []
+            if init is not None:
+                self._fill_init(blob, 0, sym.ctype, init, relocs, unit_ir)
+            unit.data.extend(blob)
+            for roff, rsym in relocs:
+                unit.data_relocs.append(Relocation(offset + roff, rsym))
+        # string literals discovered while filling initializers (char *
+        # globals pointing at strings) are emitted after all data symbols
+        for label, textstr in self._pending_strings:
+            offset = len(unit.data)
+            unit.data.extend(textstr.encode("latin-1") + b"\0")
+            unit.symbols.append(Symbol(label, "data", offset, "d"))
+        self._pending_strings = []
+
+    def _fill_init(self, blob: bytearray, offset: int, ctype: CType, init,
+                   relocs: List[Tuple[int, str]], unit_ir: UnitIR) -> None:
+        byteorder = self.arch.byteorder
+        if isinstance(init, list):
+            if isinstance(ctype, ArrayType):
+                for i, item in enumerate(init):
+                    self._fill_init(blob, offset + i * ctype.elem.size,
+                                    ctype.elem, item, relocs, unit_ir)
+            elif isinstance(ctype, (StructType, UnionType)):
+                for item, field in zip(init, ctype.fields):
+                    self._fill_init(blob, offset + field.offset, field.ctype,
+                                    item, relocs, unit_ir)
+            return
+        if isinstance(init, str):  # char array from a string literal
+            data = init.encode("latin-1") + b"\0"
+            blob[offset : offset + len(data)] = data
+            return
+        from ..symtab import CSymbol as _CSymbol
+        if isinstance(init, _CSymbol):  # an address constant
+            relocs.append((offset, init.label))
+            return
+        from .. import tree as ast
+        if isinstance(init, ast.StringLit):  # char * pointing at a literal
+            label = None
+            for lbl, text in unit_ir.strings:
+                if text == init.value:
+                    label = lbl
+            for lbl, text in self._pending_strings:
+                if text == init.value:
+                    label = lbl
+            if label is None:
+                label = "_stri%d_%s" % (len(self._pending_strings),
+                                        self.unit.name_suffix())
+                self._pending_strings.append((label, init.value))
+            relocs.append((offset, label))
+            return
+        if ctype.is_float():
+            import struct
+            fmt_map = {4: "f", 8: "d"}
+            if ctype.size in fmt_map:
+                fmt = (">" if byteorder == "big" else "<") + fmt_map[ctype.size]
+                blob[offset : offset + ctype.size] = struct.pack(fmt, float(init))
+            else:  # f10
+                from ...machines import float80
+                raw = (float80.encode_be(float(init)) if byteorder == "big"
+                       else float80.encode(float(init)))
+                blob[offset : offset + 10] = raw
+            return
+        size = max(ctype.size, 1)
+        blob[offset : offset + size] = (int(init) & ((1 << (size * 8)) - 1)) \
+            .to_bytes(size, byteorder)
+
+    # ==================================================================
+    # function driver
+
+    def gen_function(self, fn: FuncIR) -> None:
+        self.fn = fn
+        self.free_iregs = list(self.temp_regs)
+        self.free_fregs = list(self.ftemp_regs)
+        self.live = []
+        self.spill_used = [False] * SPILL_SLOTS
+        self.reg_vars = {}
+        self.used_var_regs = []
+        self.epilogue_label = fn.symbol.label + ".exit"
+        self.max_outgoing = self._scan_outgoing(fn)
+
+        self._assign_register_variables(fn)
+        self.layout_frame(fn)
+
+        self.text.append(Label(fn.symbol.label))
+        self.prologue(fn)
+        for node in fn.body:
+            self.gen_stmt(node)
+        self.text.append(Label(self.epilogue_label, is_block_leader=True))
+        self.epilogue(fn)
+
+        info = FuncInfo(fn.symbol.name, fn.symbol.label, self.framesize,
+                        self.reg_save_mask(), self.reg_save_offset())
+        self.unit.funcs.append(info)
+        self.unit.symbols.append(
+            Symbol(fn.symbol.label, "text", fn.symbol.label, "T"))
+        fn.symbol.loc = ("global", fn.symbol.label)
+        fn.symbol.frame_info = info
+        if self.debug:
+            for stop in fn.stops:
+                self.anchor_slot(stop.label)
+        self.fn = None
+
+    def _scan_outgoing(self, fn: FuncIR) -> int:
+        """Max outgoing-argument bytes over all calls in the body."""
+        worst = 0
+
+        def visit(node: IRNode) -> None:
+            nonlocal worst
+            if node.op == "CALL":
+                arg_kinds, _varargs = node.value
+                total = sum(8 if k.startswith("f") else 4 for k in arg_kinds)
+                worst = max(worst, total, 16)
+            for kid in node.kids:
+                visit(kid)
+            if isinstance(node.symbol, IRNode):
+                visit(node.symbol)
+
+        for node in fn.body:
+            visit(node)
+        return worst
+
+    #: backends that register-allocate eligible parameters too
+    promote_params = False
+
+    def _assign_register_variables(self, fn: FuncIR) -> None:
+        """Put eligible scalar locals (and, on targets that do it,
+        parameters) in callee-saved registers.
+
+        This is what makes `i` live in a register at a stopping point
+        (the paper's S10 entry: ``/where 30 Regset0 Absolute``).
+        """
+        available = list(self.var_regs)
+        candidates = list(fn.params) if self.promote_params else []
+        candidates += list(fn.locals)
+        for sym in candidates:
+            if not available:
+                break
+            if sym.name.startswith("."):
+                continue  # compiler temp
+            if getattr(sym, "addr_taken", False):
+                continue
+            if isinstance(sym.ctype, (ArrayType, StructType, UnionType)):
+                continue  # aggregates always live in memory
+            kind = _sym_kind(sym)
+            if kind not in ("i4", "u4", "p"):
+                continue
+            reg = available.pop(0)
+            self.reg_vars[sym.uid] = reg
+            self.used_var_regs.append(reg)
+            sym.loc = ("reg", reg)
+
+    # ==================================================================
+    # statements
+
+    def gen_stmt(self, node: IRNode) -> None:
+        op = node.op
+        if op == "STOP":
+            stop = self.fn.stops[node.value]
+            self.text.append(Label(stop.label, stop_index=node.value))
+            if self.debug:
+                self.text.append(Insn("nop"))
+        elif op == "LABEL":
+            self.text.append(Label(node.target, is_block_leader=True))
+        elif op == "JUMP":
+            self.emit_jump(node.target)
+        elif op == "CJUMP":
+            self.gen_cjump(node)
+        elif op == "ASGN":
+            self.gen_asgn(node)
+        elif op == "RET":
+            if node.kids:
+                value = self.eval(node.kids[0])
+                self.emit_ret_move(value, node.kind)
+                self.release(value)
+            self.emit_jump(self.epilogue_label)
+        elif op == "CALL":
+            result = self.gen_call(node)
+            if result is not None:
+                self.release(result)
+        else:
+            raise GenError("statement op %r" % op)
+        if self.live:
+            raise GenError("value leak after %r: %r" % (op, self.live))
+
+    def gen_cjump(self, node: IRNode) -> None:
+        cond = node.kids[0]
+        if cond.op in ("EQ", "NE", "LT", "LE", "GT", "GE") \
+                and cond.kind in _INT_KINDS:
+            a = self.eval(cond.kids[0])
+            b = self.eval(cond.kids[1])
+            ra = self.in_ireg(a)
+            rb = self.in_ireg(b)
+            op = _negate_cmp(cond.op) if node.negate else cond.op
+            self.emit_branch_cmp(op, cond.kind, ra, rb, node.target)
+            self.release(a)
+            self.release(b)
+            return
+        value = self.eval(cond)
+        reg = self.in_ireg(value)
+        if node.negate:
+            self.emit_branch_false(reg, node.target)
+        else:
+            self.emit_branch_true(reg, node.target)
+        self.release(value)
+
+    def gen_asgn(self, node: IRNode) -> None:
+        addr, value_node = node.kids
+        kind = node.kind
+        # register-variable fast path
+        sym = addr.symbol if addr.op in ("ADDRL", "ADDRF") else None
+        if sym is not None and sym.uid in self.reg_vars:
+            value = self.eval(value_node)
+            reg = self.reg_vars[sym.uid]
+            if value.is_float():
+                raise GenError("float value into integer register variable")
+            src = self.in_ireg(value)
+            self.emit_move(reg, src)
+            if kind in ("i1", "i2", "u1", "u2"):
+                self.emit_truncate(reg, kind)
+            self.release(value)
+            return
+        value = self.eval(value_node)
+        frame_off = self.frame_offset_of(addr)
+        if frame_off is not None:
+            if value.is_float():
+                freg = self.in_freg(value)
+                self.emit_fstore_frame(freg, frame_off, kind)
+            else:
+                reg = self.in_ireg(value)
+                self.emit_store_frame(reg, frame_off, kind)
+            self.release(value)
+            return
+        addr_value = self.eval(addr)
+        addr_reg = self.in_ireg(addr_value)
+        if value.is_float():
+            freg = self.in_freg(value)
+            self.emit_fstore_ind(addr_reg, freg, kind)
+        else:
+            reg = self.in_ireg(value)
+            self.emit_store_ind(addr_reg, reg, kind)
+        self.release(value)
+        self.release(addr_value)
+
+    # ==================================================================
+    # expressions
+
+    def eval(self, node: IRNode) -> Value:
+        op = node.op
+        if op == "CNST":
+            if node.kind in _FLOAT_KINDS:
+                value = self.alloc_fval(node.kind)
+                self.emit_fconst(value.index, float(node.value))
+                return value
+            value = self.alloc_ival(node.kind)
+            self.emit_load_const(value.index, int(node.value))
+            return value
+        if op in ("ADDRG", "ADDRL", "ADDRF"):
+            return self.gen_addr(node)
+        if op == "INDIR":
+            return self.gen_indir(node)
+        if op == "CVT":
+            return self.gen_cvt(node)
+        if op in ("NEG", "BCOM"):
+            return self.gen_unary(node)
+        if op in ("ADD", "SUB", "MUL", "DIV", "MOD", "BAND", "BOR", "BXOR",
+                  "LSH", "RSH"):
+            return self.gen_binop(node)
+        if op in ("EQ", "NE", "LT", "LE", "GT", "GE"):
+            return self.gen_compare(node)
+        if op == "CALL":
+            result = self.gen_call(node)
+            if result is None:
+                raise GenError("void call used as value")
+            return result
+        raise GenError("expression op %r" % op)
+
+    def gen_addr(self, node: IRNode) -> Value:
+        sym = node.symbol
+        if node.op == "ADDRG" or (sym.loc is not None and sym.loc[0] == "global"):
+            value = self.alloc_ival("p")
+            self.emit_load_sym_addr(value.index, sym.label)
+            return value
+        if sym.uid in self.reg_vars:
+            raise GenError("address of register variable %s" % sym.name)
+        offset = self.local_frame_offset(sym)
+        value = self.alloc_ival("p")
+        self.emit_frame_addr(value.index, offset)
+        return value
+
+    def gen_indir(self, node: IRNode) -> Value:
+        addr = node.kids[0]
+        kind = node.kind
+        sym = addr.symbol if addr.op in ("ADDRL", "ADDRF") else None
+        if sym is not None and sym.uid in self.reg_vars:
+            value = self.alloc_ival(kind)
+            self.emit_move(value.index, self.reg_vars[sym.uid])
+            return value
+        frame_off = self.frame_offset_of(addr)
+        if frame_off is not None:
+            if kind in _FLOAT_KINDS:
+                value = self.alloc_fval(kind)
+                self.emit_fload_frame(value.index, frame_off, kind)
+            else:
+                value = self.alloc_ival(kind)
+                self.emit_load_frame(value.index, frame_off, kind)
+            return value
+        addr_value = self.eval(addr)
+        addr_reg = self.in_ireg(addr_value)
+        self.release(addr_value)
+        if kind in _FLOAT_KINDS:
+            value = self.alloc_fval(kind)
+            self.emit_fload_ind(value.index, addr_reg, kind)
+        else:
+            value = self.alloc_ival(kind)
+            self.emit_load_ind(value.index, addr_reg, kind)
+        return value
+
+    def frame_offset_of(self, addr: IRNode) -> Optional[int]:
+        """Canonical frame offset when addr is a direct local/param ref."""
+        if addr.op in ("ADDRL", "ADDRF"):
+            sym = addr.symbol
+            if sym.loc is not None and sym.loc[0] == "global":
+                return None
+            if sym.uid in self.reg_vars:
+                return None
+            return self.local_frame_offset(sym)
+        return None
+
+    def gen_cvt(self, node: IRNode) -> Value:
+        src = self.eval(node.kids[0])
+        to_kind = node.kind
+        from_kind = node.from_kind
+        if to_kind in _FLOAT_KINDS and from_kind in _FLOAT_KINDS:
+            src.kind = to_kind  # registers hold doubles; width applies at memory
+            return src
+        if to_kind in _FLOAT_KINDS:  # int -> float
+            reg = self.in_ireg(src)
+            value = self.alloc_fval(to_kind)
+            self.emit_cvt_int_float(value.index, reg)
+            self.release(src)
+            return value
+        if from_kind in _FLOAT_KINDS:  # float -> int
+            freg = self.in_freg(src)
+            value = self.alloc_ival(to_kind)
+            self.emit_cvt_float_int(value.index, freg)
+            self.release(src)
+            if to_kind in ("i1", "i2", "u1", "u2"):
+                self.emit_truncate(value.index, to_kind)
+            return value
+        # int -> int
+        reg = self.in_ireg(src)
+        if to_kind in ("i1", "i2", "u1", "u2") and \
+                _KIND_SIZE[to_kind] < _KIND_SIZE.get(from_kind, 4):
+            self.emit_truncate(reg, to_kind)
+        src.kind = to_kind
+        return src
+
+    def gen_unary(self, node: IRNode) -> Value:
+        src = self.eval(node.kids[0])
+        if node.kind in _FLOAT_KINDS:
+            freg = self.in_freg(src)
+            self.emit_fneg(freg)
+            return src
+        reg = self.in_ireg(src)
+        if node.op == "NEG":
+            self.emit_neg(reg)
+        else:
+            self.emit_bcom(reg)
+        return src
+
+    def gen_binop(self, node: IRNode) -> Value:
+        kind = node.kind
+        left = self.eval(node.kids[0])
+        right = self.eval(node.kids[1])
+        if kind in _FLOAT_KINDS:
+            fa = self.in_freg(left)
+            fb = self.in_freg(right)
+            self.emit_fbinop(node.op, fa, fb)
+            self.release(right)
+            return left
+        ra = self.in_ireg(left)
+        rb = self.in_ireg(right)
+        self.emit_binop(node.op, kind, ra, ra, rb)
+        self.release(right)
+        return left
+
+    def gen_compare(self, node: IRNode) -> Value:
+        kind = node.kids[0].kind if node.kids[0].kind != "v" else node.kind
+        kind = node.kind
+        left = self.eval(node.kids[0])
+        right = self.eval(node.kids[1])
+        if kind in _FLOAT_KINDS:
+            fa = self.in_freg(left)
+            fb = self.in_freg(right)
+            out = self.alloc_ival("i4")
+            self.emit_fcompare(node.op, out.index, fa, fb)
+            self.release(left)
+            self.release(right)
+            return out
+        ra = self.in_ireg(left)
+        rb = self.in_ireg(right)
+        self.emit_compare(node.op, kind, ra, ra, rb)
+        self.release(right)
+        left.kind = "i4"
+        return left
+
+    # ==================================================================
+    # calls
+
+    def gen_call(self, node: IRNode) -> Optional[Value]:
+        arg_kinds, varargs = node.value
+        args = [self.eval(kid) for kid in node.kids]
+        func = node.symbol
+        func_value = None
+        if isinstance(func, IRNode):
+            func_value = self.eval(func)
+        # force every other live value into spill slots: temp registers do
+        # not survive calls
+        self.spill_live(keep=args + ([func_value] if func_value else []))
+        cleanup = self.place_args(args, arg_kinds, varargs)
+        for arg in args:
+            self.release(arg)
+        if func_value is not None:
+            reg = self.in_ireg(func_value)
+            self.release(func_value)
+            self.spill_live(keep=[])
+            self.emit_call_reg(reg)
+        else:
+            self.spill_live(keep=[])
+            self.emit_call_sym(func.label)
+        self.after_call(cleanup)
+        if node.kind == "v":
+            return None
+        if node.kind in _FLOAT_KINDS:
+            value = self.alloc_fval(node.kind)
+            self.emit_fmove(value.index, self.fret_reg)
+            return value
+        value = self.alloc_ival(node.kind)
+        self.emit_move(value.index, self.arch.ret_reg)
+        return value
+
+    # ==================================================================
+    # value/register management
+
+    def alloc_ival(self, kind: str) -> Value:
+        reg = self._take_ireg()
+        value = Value("r", reg, kind)
+        self.live.append(value)
+        return value
+
+    def alloc_fval(self, kind: str) -> Value:
+        reg = self._take_freg()
+        value = Value("f", reg, kind)
+        self.live.append(value)
+        return value
+
+    def _take_ireg(self) -> int:
+        if self.free_iregs:
+            return self.free_iregs.pop(0)
+        # spill the oldest live register-resident int value
+        for value in self.live:
+            if value.where == "r":
+                self._spill_value(value)
+                return self.free_iregs.pop(0)
+        raise GenError("out of integer registers")
+
+    def _take_freg(self) -> int:
+        if self.free_fregs:
+            return self.free_fregs.pop(0)
+        for value in self.live:
+            if value.where == "f":
+                self._spill_value(value)
+                return self.free_fregs.pop(0)
+        raise GenError("out of float registers")
+
+    def _spill_value(self, value: Value) -> None:
+        slot = self._take_spill_slot()
+        offset = self.spill_base + 8 * slot
+        if value.where == "r":
+            self.emit_store_frame(value.index, offset, "i4")
+            self.free_iregs.append(value.index)
+            value.where = "spill"
+        else:
+            self.emit_fstore_frame(value.index, offset, "f8")
+            self.free_fregs.append(value.index)
+            value.where = "fspill"
+        value.index = slot
+
+    def _take_spill_slot(self) -> int:
+        for i, used in enumerate(self.spill_used):
+            if not used:
+                self.spill_used[i] = True
+                return i
+        raise GenError("expression too complex: out of spill slots")
+
+    def in_ireg(self, value: Value) -> int:
+        if value.where == "r":
+            return value.index
+        if value.where != "spill":
+            raise GenError("float value where integer expected")
+        slot = value.index
+        reg = self._take_ireg()
+        self.emit_load_frame(reg, self.spill_base + 8 * slot, "i4")
+        self.spill_used[slot] = False
+        value.where = "r"
+        value.index = reg
+        return reg
+
+    def in_freg(self, value: Value) -> int:
+        if value.where == "f":
+            return value.index
+        if value.where == "spill":
+            # an integer value used as float operand is a bug upstream
+            raise GenError("integer value where float expected")
+        slot = value.index
+        reg = self._take_freg()
+        self.emit_fload_frame(reg, self.spill_base + 8 * slot, "f8")
+        self.spill_used[slot] = False
+        value.where = "f"
+        value.index = reg
+        return reg
+
+    def release(self, value: Value) -> None:
+        self.live.remove(value)
+        if value.where == "r":
+            self.free_iregs.append(value.index)
+        elif value.where == "f":
+            self.free_fregs.append(value.index)
+        else:
+            self.spill_used[value.index] = False
+
+    def spill_live(self, keep: List[Value]) -> None:
+        for value in list(self.live):
+            if value in keep:
+                continue
+            if value.where in ("r", "f"):
+                self._spill_value(value)
+
+    # ==================================================================
+    # emit plumbing
+
+    def emit(self, op: str, **fields) -> Insn:
+        insn = Insn(op, **fields)
+        self.text.append(insn)
+        return insn
+
+    def emit_jump(self, label: str) -> None:
+        raise NotImplementedError
+
+    # every emit_* hook below is machine-dependent
+    def layout_frame(self, fn: FuncIR) -> None:
+        raise NotImplementedError
+
+    def local_frame_offset(self, sym: CSymbol) -> int:
+        raise NotImplementedError
+
+    def param_slot_adjust(self, ctype: CType) -> int:
+        """Sub-word parameters live in the low-order bytes of their
+        4-byte argument slot; on a big-endian target those are at the
+        slot's high addresses."""
+        if self.arch.byteorder == "big" and 0 < ctype.size < 4 \
+                and not ctype.is_float():
+            return 4 - ctype.size
+        return 0
+
+    def prologue(self, fn: FuncIR) -> None:
+        raise NotImplementedError
+
+    def epilogue(self, fn: FuncIR) -> None:
+        raise NotImplementedError
+
+    def reg_save_mask(self) -> int:
+        return 0
+
+    def reg_save_offset(self) -> int:
+        return 0
+
+    fret_reg = 0
+
+    # (the remaining hooks are documented in the backends)
+
+
+def _sym_kind(sym: CSymbol) -> str:
+    from ..irgen import kind_of
+    return kind_of(sym.ctype)
+
+
+def _negate_cmp(op: str) -> str:
+    return {"EQ": "NE", "NE": "EQ", "LT": "GE", "GE": "LT",
+            "LE": "GT", "GT": "LE"}[op]
+
+
+def kind_size(kind: str) -> int:
+    return _KIND_SIZE[kind]

@@ -1,0 +1,266 @@
+"""rm68k backend.
+
+Two-address CISC with LINK/UNLK frames: arguments are pushed
+right-to-left and popped by the caller; canonical frame offsets are
+fp-relative (saved fp at fp+0, return address at fp+4, parameters from
+fp+8).  Register variables live in the callee-saved data registers
+d4-d7; the save mask and save-area offset are recorded for the symbol
+table — the 68020 register-save masks the paper mentions (Sec. 5).
+Floats use the 80-bit registers; ``long double`` locals are 10 bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...machines import m68k as m
+from ..ir import FuncIR
+from ..irgen import kind_of
+from .common import SPILL_SLOTS, CodeGen, Value, kind_size
+
+
+class M68kGen(CodeGen):
+    temp_regs = list(m.TEMP_REGS)    # d1-d3
+    var_regs = list(m.SAVED_REGS)    # d4-d7
+    promote_params = True
+    ftemp_regs = list(m.FTEMP_REGS)  # fp1-fp3
+    fret_reg = m.FRET_REG            # fp0
+
+    def __init__(self):
+        from ...machines import get_arch
+        self.arch = get_arch("rm68k")
+        super().__init__()
+        self._local_offsets = {}
+        self._save_list: List[int] = []
+        self._save_base = 0
+
+    # -- frame layout --------------------------------------------------------
+    #
+    #   fp + 8 + 4*i : arguments      fp + 4 : return address
+    #   fp + 0       : saved fp       fp - k : locals, saves, spills
+
+    def layout_frame(self, fn: FuncIR) -> None:
+        self._local_offsets = {}
+        slot = 0
+        for sym in fn.params:
+            offset = 8 + 4 * slot + self.param_slot_adjust(sym.ctype)
+            self._local_offsets[sym.uid] = offset
+            if sym.uid not in self.reg_vars:
+                sym.loc = ("frame", offset)
+            slot += max(1, kind_size(kind_of(sym.ctype)) // 4)
+        cur = 0
+        for sym in fn.locals:
+            if sym.uid in self.reg_vars:
+                continue
+            size = max(4, sym.ctype.size)
+            align = max(2, sym.ctype.align)
+            cur = -((-cur + size + align - 1) & ~(align - 1))
+            self._local_offsets[sym.uid] = cur
+            sym.loc = ("frame", cur)
+        self._save_list = sorted(self.used_var_regs)
+        cur -= 4 * len(self._save_list)
+        self._save_base = cur
+        cur -= 8 * SPILL_SLOTS
+        self.spill_base = cur
+        self.framesize = (-cur + 3) & ~3
+
+    def local_frame_offset(self, sym) -> int:
+        return self._local_offsets[sym.uid]
+
+    def prologue(self, fn: FuncIR) -> None:
+        self.emit("link", imm=self.framesize)
+        for k, reg in enumerate(self._save_list):
+            self.emit("store32", rd=m.REG_FP, rs=reg,
+                      imm=self._save_base + 4 * k)
+        for sym in fn.params:
+            home = self.reg_vars.get(sym.uid)
+            if home is not None:
+                self.emit("load32", rd=home, rs=m.REG_FP,
+                          imm=self._local_offsets[sym.uid])
+
+    def epilogue(self, fn: FuncIR) -> None:
+        for k, reg in enumerate(self._save_list):
+            self.emit("load32", rd=reg, rs=m.REG_FP,
+                      imm=self._save_base + 4 * k)
+        self.emit("unlk")
+        self.emit("rts")
+
+    def reg_save_mask(self) -> int:
+        mask = 0
+        for reg in self._save_list:
+            mask |= 1 << reg
+        return mask
+
+    def reg_save_offset(self) -> int:
+        return self._save_base
+
+    # -- basic emission ----------------------------------------------------------
+
+    def emit_jump(self, label: str) -> None:
+        self.emit("bra", imm=("br", label))
+
+    def emit_load_const(self, reg: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if value >= 1 << 31:
+            value -= 1 << 32
+        self.emit("movei", rd=reg, imm=value)
+
+    def emit_fconst(self, freg: int, value: float) -> None:
+        self.emit("fmovei", rd=freg, imm=value)
+
+    def emit_load_sym_addr(self, reg: int, label: str) -> None:
+        self.emit("movei", rd=reg, imm=label)
+
+    def emit_frame_addr(self, reg: int, frame_offset: int) -> None:
+        self.emit("lea", rd=reg, rs=m.REG_FP, imm=frame_offset)
+
+    _LOAD_OPS = {"i1": "load8s", "u1": "load8u", "i2": "load16s",
+                 "u2": "load16u", "i4": "load32", "u4": "load32", "p": "load32"}
+    _STORE_OPS = {"i1": "store8", "u1": "store8", "i2": "store16",
+                  "u2": "store16", "i4": "store32", "u4": "store32", "p": "store32"}
+    _FLOAD = {"f4": "fload32", "f8": "fload64", "f10": "fload80"}
+    _FSTORE = {"f4": "fstore32", "f8": "fstore64", "f10": "fstore80"}
+
+    def emit_load_frame(self, reg: int, frame_offset: int, kind: str) -> None:
+        self.emit(self._LOAD_OPS[kind], rd=reg, rs=m.REG_FP, imm=frame_offset)
+
+    def emit_store_frame(self, reg: int, frame_offset: int, kind: str) -> None:
+        self.emit(self._STORE_OPS[kind], rd=m.REG_FP, rs=reg, imm=frame_offset)
+
+    def emit_fload_frame(self, freg: int, frame_offset: int, kind: str) -> None:
+        self.emit(self._FLOAD[kind], rd=freg, rs=m.REG_FP, imm=frame_offset)
+
+    def emit_fstore_frame(self, freg: int, frame_offset: int, kind: str) -> None:
+        self.emit(self._FSTORE[kind], rd=freg, rs=m.REG_FP, imm=frame_offset)
+
+    def emit_load_ind(self, reg: int, addr_reg: int, kind: str) -> None:
+        self.emit(self._LOAD_OPS[kind], rd=reg, rs=addr_reg, imm=0)
+
+    def emit_store_ind(self, addr_reg: int, reg: int, kind: str) -> None:
+        self.emit(self._STORE_OPS[kind], rd=addr_reg, rs=reg, imm=0)
+
+    def emit_fload_ind(self, freg: int, addr_reg: int, kind: str) -> None:
+        self.emit(self._FLOAD[kind], rd=freg, rs=addr_reg, imm=0)
+
+    def emit_fstore_ind(self, addr_reg: int, freg: int, kind: str) -> None:
+        # the freg travels in rd, the base register in rs
+        self.emit(self._FSTORE[kind], rd=freg, rs=addr_reg, imm=0)
+
+    def emit_move(self, rd: int, rs: int) -> None:
+        if rd != rs:
+            self.emit("move", rd=rd, rs=rs)
+
+    def emit_fmove(self, fd: int, fs: int) -> None:
+        if fd != fs:
+            self.emit("fmove", rd=fd, rs=fs)
+
+    def emit_truncate(self, reg: int, kind: str) -> None:
+        bits = 24 if kind in ("i1", "u1") else 16
+        self.emit("lsli", rd=reg, imm=bits)
+        self.emit("asri" if kind[0] == "i" else "lsri", rd=reg, imm=bits)
+
+    def emit_neg(self, reg: int) -> None:
+        self.emit("neg", rd=reg)
+
+    def emit_bcom(self, reg: int) -> None:
+        self.emit("not", rd=reg)
+
+    _BINOPS = {"ADD": "add", "SUB": "sub", "MUL": "muls", "BAND": "and",
+               "BOR": "or", "BXOR": "eor", "LSH": "lsl"}
+
+    def emit_binop(self, op: str, kind: str, rd: int, ra: int, rb: int) -> None:
+        unsigned = kind.startswith("u") or kind == "p"
+        if op == "DIV":
+            self.emit("divu" if unsigned else "divs", rd=rd, rs=rb)
+        elif op == "MOD":
+            self.emit("remu" if unsigned else "rems", rd=rd, rs=rb)
+        elif op == "RSH":
+            self.emit("lsr" if unsigned else "asr", rd=rd, rs=rb)
+        else:
+            self.emit(self._BINOPS[op], rd=rd, rs=rb)
+
+    def emit_fbinop(self, op: str, fa: int, fb: int) -> None:
+        names = {"ADD": "fadd", "SUB": "fsub", "MUL": "fmul", "DIV": "fdiv"}
+        self.emit(names[op], rd=fa, rs=fb)
+
+    _SCC = {("EQ", False): "seq", ("NE", False): "sne",
+            ("LT", False): "slt", ("LE", False): "sle",
+            ("GT", False): "sgt", ("GE", False): "sge",
+            ("EQ", True): "seq", ("NE", True): "sne",
+            ("LT", True): "sltu", ("LE", True): "sleu",
+            ("GT", True): "sgtu", ("GE", True): "sgeu"}
+
+    def emit_compare(self, op: str, kind: str, rd: int, ra: int, rb: int) -> None:
+        unsigned = kind.startswith("u") or kind == "p"
+        self.emit("cmp", rd=ra, rs=rb)
+        self.emit(self._SCC[(op, unsigned)], rd=rd)
+
+    def emit_fcompare(self, op: str, rd: int, fa: int, fb: int) -> None:
+        self.emit("fcmp", rd=fa, rs=fb)
+        self.emit(self._SCC[(op, False)], rd=rd)
+
+    _BCC = {("EQ", False): "beq", ("NE", False): "bne",
+            ("LT", False): "blt", ("LE", False): "ble",
+            ("GT", False): "bgt", ("GE", False): "bge",
+            ("EQ", True): "beq", ("NE", True): "bne",
+            ("LT", True): "bltu", ("LE", True): "bleu",
+            ("GT", True): "bgtu", ("GE", True): "bgeu"}
+
+    def emit_branch_cmp(self, op: str, kind: str, ra: int, rb: int, label: str) -> None:
+        unsigned = kind.startswith("u") or kind == "p"
+        self.emit("cmp", rd=ra, rs=rb)
+        self.emit(self._BCC[(op, unsigned)], imm=("br", label))
+
+    def emit_branch_true(self, reg: int, label: str) -> None:
+        self.emit("tst", rd=reg)
+        self.emit("bne", imm=("br", label))
+
+    def emit_branch_false(self, reg: int, label: str) -> None:
+        self.emit("tst", rd=reg)
+        self.emit("beq", imm=("br", label))
+
+    def emit_cvt_int_float(self, fd: int, rs: int) -> None:
+        self.emit("fitod", rd=fd, rs=rs)
+
+    def emit_cvt_float_int(self, rd: int, fs: int) -> None:
+        self.emit("fdtoi", rd=rd, rs=fs)
+
+    def emit_fneg(self, freg: int) -> None:
+        self.emit("fneg", rd=freg)
+
+    # -- calls ------------------------------------------------------------------
+
+    def place_args(self, args: List[Value], kinds: List[str], varargs: bool):
+        total = 0
+        for value, kind in zip(reversed(args), reversed(kinds)):
+            if kind == "f4":
+                freg = self.in_freg(value)
+                self.emit("lea", rd=m.REG_SP, rs=m.REG_SP, imm=-4)
+                self.emit("fstore32", rd=freg, rs=m.REG_SP, imm=0)
+                total += 4
+            elif kind.startswith("f"):
+                freg = self.in_freg(value)
+                self.emit("lea", rd=m.REG_SP, rs=m.REG_SP, imm=-8)
+                self.emit("fstore64", rd=freg, rs=m.REG_SP, imm=0)
+                total += 8
+            else:
+                reg = self.in_ireg(value)
+                self.emit("push", rs=reg)
+                total += 4
+        return total
+
+    def after_call(self, cleanup) -> None:
+        if cleanup:
+            self.emit("lea", rd=m.REG_SP, rs=m.REG_SP, imm=cleanup)
+
+    def emit_call_sym(self, label: str) -> None:
+        self.emit("jsr", target=label)
+
+    def emit_call_reg(self, reg: int) -> None:
+        self.emit("jsrr", rs=reg)
+
+    def emit_ret_move(self, value: Value, kind: str) -> None:
+        if value.is_float():
+            self.emit_fmove(self.fret_reg, self.in_freg(value))
+        else:
+            self.emit_move(m.REG_RETVAL, self.in_ireg(value))

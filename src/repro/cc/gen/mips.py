@@ -1,0 +1,332 @@
+"""rmips backend: the MIPS code generator.
+
+Machine-dependent facts (paper Sec. 4.1, 4.3): the machine has no frame
+pointer, so locals are addressed off the *virtual frame pointer*
+``vfp = sp + framesize``; frame sizes and register-save information go
+into the runtime procedure table via :class:`FuncInfo`.  Canonical frame
+offsets in this backend are vfp-relative and become ``sp + framesize +
+offset`` in the emitted code.  Integer loads have a delay slot; the
+assembler pass (:mod:`repro.cc.asmsched`) schedules or pads them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...machines import mips as m
+from ...machines.loader import Symbol
+from ..ir import FuncIR
+from ..irgen import kind_of
+from .common import SPILL_SLOTS, CodeGen, Value, kind_size
+
+
+class MipsGen(CodeGen):
+    temp_regs = list(m.TEMP_REGS)       # r8-r15
+    var_regs = list(m.SAVED_REGS)       # r16-r23: register variables
+    promote_params = True
+    ftemp_regs = list(range(2, 10))
+    fret_reg = m.FRET_REG               # f0
+
+    def __init__(self, arch_name: str = "rmips"):
+        from ...machines import get_arch
+        self.arch = get_arch(arch_name)
+        super().__init__()
+        self._local_offsets = {}
+        self._save_list: List[int] = []
+        self._save_base = 0
+        self._has_calls = False
+
+    # -- frame layout --------------------------------------------------------
+    #
+    #   vfp = sp + framesize = caller's sp
+    #   vfp + 4*i   : argument slots (caller's outgoing area)
+    #   vfp - k     : locals, temps
+    #   below locals: saved registers (register variables + ra)
+    #   below saves : spill slots
+    #   sp + 4*i    : our outgoing argument area
+
+    def layout_frame(self, fn: FuncIR) -> None:
+        self._local_offsets = {}
+        cur = 0
+        slot = 0
+        for sym in fn.params:
+            offset = 4 * slot + self.param_slot_adjust(sym.ctype)
+            self._local_offsets[sym.uid] = offset
+            if sym.uid not in self.reg_vars:
+                sym.loc = ("frame", offset)
+            slot += max(1, kind_size(kind_of(sym.ctype)) // 4)
+        for sym in fn.locals:
+            if sym.uid in self.reg_vars:
+                continue
+            size = max(4, sym.ctype.size)
+            align = max(4, sym.ctype.align)
+            cur = -((-cur + size + align - 1) & ~(align - 1))
+            self._local_offsets[sym.uid] = cur
+            sym.loc = ("frame", cur)
+        self._has_calls = self.max_outgoing > 0
+        self._save_list = sorted(self.used_var_regs)
+        if self._has_calls:
+            self._save_list.append(m.REG_RA)
+        cur -= 4 * len(self._save_list)
+        self._save_base = cur
+        cur -= 8 * SPILL_SLOTS
+        self.spill_base = cur
+        frame = -cur + self.max_outgoing
+        self.framesize = (frame + 7) & ~7
+
+    def local_frame_offset(self, sym) -> int:
+        return self._local_offsets[sym.uid]
+
+    def _sp_off(self, frame_offset: int) -> int:
+        return self.framesize + frame_offset
+
+    def prologue(self, fn: FuncIR) -> None:
+        self.emit("addi", rd=m.REG_SP, rs=m.REG_SP, imm=-self.framesize)
+        for k, reg in enumerate(self._save_list):
+            self.emit("sw", rd=reg, rs=m.REG_SP,
+                      imm=self._sp_off(self._save_base + 4 * k))
+        slot = 0
+        for sym in fn.params:
+            kind = kind_of(sym.ctype)
+            if not kind.startswith("f") and slot < 4:
+                home = self.reg_vars.get(sym.uid)
+                if home is not None:
+                    self.emit_move(home, m.REG_ARG0 + slot)
+                else:
+                    self.emit("sw", rd=m.REG_ARG0 + slot, rs=m.REG_SP,
+                              imm=self._sp_off(4 * slot))
+            elif not kind.startswith("f") and sym.uid in self.reg_vars:
+                self.emit("lw", rd=self.reg_vars[sym.uid], rs=m.REG_SP,
+                          imm=self._sp_off(4 * slot))
+            slot += max(1, kind_size(kind) // 4)
+
+    def epilogue(self, fn: FuncIR) -> None:
+        for k, reg in enumerate(self._save_list):
+            self.emit("lw", rd=reg, rs=m.REG_SP,
+                      imm=self._sp_off(self._save_base + 4 * k))
+        self.emit("addi", rd=m.REG_SP, rs=m.REG_SP, imm=self.framesize)
+        self.emit("jr", rs=m.REG_RA)
+
+    def reg_save_mask(self) -> int:
+        mask = 0
+        for reg in self._save_list:
+            mask |= 1 << reg
+        return mask
+
+    def reg_save_offset(self) -> int:
+        return self._save_base
+
+    # -- basic emission ----------------------------------------------------------
+
+    def emit_jump(self, label: str) -> None:
+        self.emit("j", target=label)
+
+    def emit_load_const(self, reg: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        signed = value - (1 << 32) if value >= 1 << 31 else value
+        if -32768 <= signed < 32768:
+            self.emit("addi", rd=reg, rs=0, imm=signed)
+        else:
+            self.emit("lui", rd=reg, imm=(value >> 16) & 0xFFFF)
+            if value & 0xFFFF:
+                self.emit("ori", rd=reg, rs=reg, imm=value & 0xFFFF)
+
+    def emit_fconst(self, freg: int, value: float) -> None:
+        # no float-immediate instruction: route through a pool in data
+        label = self._float_literal(value)
+        self.emit("lui", rd=m.REG_AT, imm=("hi", label))
+        self.emit("ori", rd=m.REG_AT, rs=m.REG_AT, imm=("lo", label))
+        self.emit("ldc1", rd=freg, rs=m.REG_AT, imm=0)
+
+    def _float_literal(self, value: float) -> str:
+        import struct
+        key = struct.pack(">d", value)
+        pool = getattr(self.unit, "_float_pool", None)
+        if pool is None:
+            pool = {}
+            self.unit._float_pool = pool
+        if key not in pool:
+            label = "_fp%d_%s" % (len(pool), self.unit.name_suffix())
+            offset = (len(self.unit.data) + 7) & ~7
+            self.unit.data.extend(b"\0" * (offset - len(self.unit.data)))
+            fmt = ">d" if self.arch.byteorder == "big" else "<d"
+            self.unit.data.extend(struct.pack(fmt, value))
+            self.unit.symbols.append(Symbol(label, "data", offset, "d"))
+            pool[key] = label
+        return pool[key]
+
+    def emit_load_sym_addr(self, reg: int, label: str) -> None:
+        self.emit("lui", rd=reg, imm=("hi", label))
+        self.emit("ori", rd=reg, rs=reg, imm=("lo", label))
+
+    def emit_frame_addr(self, reg: int, frame_offset: int) -> None:
+        self.emit("addi", rd=reg, rs=m.REG_SP, imm=self._sp_off(frame_offset))
+
+    _LOAD_OPS = {"i1": "lb", "u1": "lbu", "i2": "lh", "u2": "lhu",
+                 "i4": "lw", "u4": "lw", "p": "lw"}
+    _STORE_OPS = {"i1": "sb", "u1": "sb", "i2": "sh", "u2": "sh",
+                  "i4": "sw", "u4": "sw", "p": "sw"}
+
+    def emit_load_frame(self, reg: int, frame_offset: int, kind: str) -> None:
+        self.emit(self._LOAD_OPS[kind], rd=reg, rs=m.REG_SP,
+                  imm=self._sp_off(frame_offset))
+
+    def emit_store_frame(self, reg: int, frame_offset: int, kind: str) -> None:
+        self.emit(self._STORE_OPS[kind], rd=reg, rs=m.REG_SP,
+                  imm=self._sp_off(frame_offset))
+
+    def emit_fload_frame(self, freg: int, frame_offset: int, kind: str) -> None:
+        op = "lwc1" if kind == "f4" else "ldc1"
+        self.emit(op, rd=freg, rs=m.REG_SP, imm=self._sp_off(frame_offset))
+
+    def emit_fstore_frame(self, freg: int, frame_offset: int, kind: str) -> None:
+        op = "swc1" if kind == "f4" else "sdc1"
+        self.emit(op, rd=freg, rs=m.REG_SP, imm=self._sp_off(frame_offset))
+
+    def emit_load_ind(self, reg: int, addr_reg: int, kind: str) -> None:
+        self.emit(self._LOAD_OPS[kind], rd=reg, rs=addr_reg, imm=0)
+
+    def emit_store_ind(self, addr_reg: int, reg: int, kind: str) -> None:
+        self.emit(self._STORE_OPS[kind], rd=reg, rs=addr_reg, imm=0)
+
+    def emit_fload_ind(self, freg: int, addr_reg: int, kind: str) -> None:
+        self.emit("lwc1" if kind == "f4" else "ldc1", rd=freg, rs=addr_reg, imm=0)
+
+    def emit_fstore_ind(self, addr_reg: int, freg: int, kind: str) -> None:
+        self.emit("swc1" if kind == "f4" else "sdc1", rd=freg, rs=addr_reg, imm=0)
+
+    def emit_move(self, rd: int, rs: int) -> None:
+        if rd != rs:
+            self.emit("or", rd=rd, rs=rs, rt=0)
+
+    def emit_fmove(self, fd: int, fs: int) -> None:
+        if fd != fs:
+            self.emit("movd", rd=fd, rs=fs)
+
+    def emit_truncate(self, reg: int, kind: str) -> None:
+        bits = 24 if kind in ("i1", "u1") else 16
+        self.emit("slli", rd=reg, rs=reg, imm=bits)
+        self.emit("srai" if kind[0] == "i" else "srli", rd=reg, rs=reg, imm=bits)
+
+    def emit_neg(self, reg: int) -> None:
+        self.emit("sub", rd=reg, rs=0, rt=reg)
+
+    def emit_bcom(self, reg: int) -> None:
+        self.emit("nor", rd=reg, rs=reg, rt=0)
+
+    _BINOPS = {"ADD": "add", "SUB": "sub", "MUL": "mul", "BAND": "and",
+               "BOR": "or", "BXOR": "xor", "LSH": "sll"}
+
+    def emit_binop(self, op: str, kind: str, rd: int, ra: int, rb: int) -> None:
+        unsigned = kind.startswith("u") or kind == "p"
+        if op == "DIV":
+            self.emit("divu" if unsigned else "div", rd=rd, rs=ra, rt=rb)
+        elif op == "MOD":
+            self.emit("remu" if unsigned else "rem", rd=rd, rs=ra, rt=rb)
+        elif op == "RSH":
+            self.emit("srl" if unsigned else "sra", rd=rd, rs=ra, rt=rb)
+        else:
+            self.emit(self._BINOPS[op], rd=rd, rs=ra, rt=rb)
+
+    def emit_fbinop(self, op: str, fa: int, fb: int) -> None:
+        names = {"ADD": "fadd", "SUB": "fsub", "MUL": "fmul", "DIV": "fdiv"}
+        self.emit(names[op], rd=fa, rs=fa, rt=fb)
+
+    def emit_compare(self, op: str, kind: str, rd: int, ra: int, rb: int) -> None:
+        unsigned = kind.startswith("u") or kind == "p"
+        slt = "sltu" if unsigned else "slt"
+        if op == "EQ":
+            self.emit("seq", rd=rd, rs=ra, rt=rb)
+        elif op == "NE":
+            self.emit("sne", rd=rd, rs=ra, rt=rb)
+        elif op == "LT":
+            self.emit(slt, rd=rd, rs=ra, rt=rb)
+        elif op == "GT":
+            self.emit(slt, rd=rd, rs=rb, rt=ra)
+        elif op == "GE":
+            self.emit(slt, rd=rd, rs=ra, rt=rb)
+            self.emit("seq", rd=rd, rs=rd, rt=0)
+        else:  # LE
+            self.emit(slt, rd=rd, rs=rb, rt=ra)
+            self.emit("seq", rd=rd, rs=rd, rt=0)
+
+    def emit_fcompare(self, op: str, rd: int, fa: int, fb: int) -> None:
+        if op == "EQ":
+            self.emit("fseq", rd=rd, rs=fa, rt=fb)
+        elif op == "NE":
+            self.emit("fseq", rd=rd, rs=fa, rt=fb)
+            self.emit("seq", rd=rd, rs=rd, rt=0)
+        elif op == "LT":
+            self.emit("fslt", rd=rd, rs=fa, rt=fb)
+        elif op == "LE":
+            self.emit("fsle", rd=rd, rs=fa, rt=fb)
+        elif op == "GT":
+            self.emit("fslt", rd=rd, rs=fb, rt=fa)
+        else:  # GE
+            self.emit("fsle", rd=rd, rs=fb, rt=fa)
+
+    def emit_branch_cmp(self, op: str, kind: str, ra: int, rb: int, label: str) -> None:
+        if op == "EQ":
+            self.emit("beq", rd=ra, rs=rb, imm=("br", label))
+            return
+        if op == "NE":
+            self.emit("bne", rd=ra, rs=rb, imm=("br", label))
+            return
+        self.emit_compare(op, kind, m.REG_AT, ra, rb)
+        self.emit("bne", rd=m.REG_AT, rs=0, imm=("br", label))
+
+    def emit_branch_true(self, reg: int, label: str) -> None:
+        self.emit("bne", rd=reg, rs=0, imm=("br", label))
+
+    def emit_branch_false(self, reg: int, label: str) -> None:
+        self.emit("beq", rd=reg, rs=0, imm=("br", label))
+
+    def emit_cvt_int_float(self, fd: int, rs: int) -> None:
+        self.emit("cvtdw", rd=fd, rs=rs)
+
+    def emit_cvt_float_int(self, rd: int, fs: int) -> None:
+        self.emit("cvtwd", rd=rd, rs=fs)
+
+    def emit_fneg(self, freg: int) -> None:
+        self.emit("negd", rd=freg, rs=freg)
+
+    # -- calls ------------------------------------------------------------------
+
+    def place_args(self, args: List[Value], kinds: List[str], varargs: bool):
+        offset = 0
+        slot = 0
+        for value, kind in zip(args, kinds):
+            if kind == "f4":
+                freg = self.in_freg(value)
+                self.emit("swc1", rd=freg, rs=m.REG_SP, imm=offset)
+                offset += 4
+                slot += 1
+            elif kind.startswith("f"):
+                freg = self.in_freg(value)
+                self.emit("sdc1", rd=freg, rs=m.REG_SP, imm=offset)
+                offset += 8
+                slot += 2
+            else:
+                reg = self.in_ireg(value)
+                if not varargs and slot < 4:
+                    self.emit_move(m.REG_ARG0 + slot, reg)
+                else:
+                    self.emit("sw", rd=reg, rs=m.REG_SP, imm=offset)
+                offset += 4
+                slot += 1
+        return None
+
+    def after_call(self, cleanup) -> None:
+        pass
+
+    def emit_call_sym(self, label: str) -> None:
+        self.emit("jal", target=label)
+
+    def emit_call_reg(self, reg: int) -> None:
+        self.emit("jalr", rs=reg)
+
+    def emit_ret_move(self, value: Value, kind: str) -> None:
+        if value.is_float():
+            self.emit_fmove(self.fret_reg, self.in_freg(value))
+        else:
+            self.emit_move(m.REG_RETVAL, self.in_ireg(value))

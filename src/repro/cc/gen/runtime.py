@@ -1,0 +1,124 @@
+"""Startup code and the runtime library stubs.
+
+The startup stub is the "system-dependent startup code ... modified to
+call the nub instead of main" (paper Sec. 4.3): before calling ``_main``
+it executes one breakpoint instruction at the label ``__nub_pause`` —
+the per-machine one-line "pause" procedure that stops the target before
+main.  The nub (or the plain process runner, when nobody is debugging)
+decides whether to wait for a debugger there or to continue.
+
+The runtime library supplies ``_exit``, ``_putchar``, and ``_printf`` as
+tiny stubs around the simulator's syscalls; printf's arguments arrive in
+a packed block on the stack (varargs convention) on every target.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...machines.isa import Insn, Label, SYS_EXIT, SYS_PRINTF, SYS_PUTCHAR
+from ...machines.loader import FuncInfo, ObjectUnit, Symbol
+from ...machines.vax import Operand
+
+
+def startup(arch, stack_top: int):
+    """Build the startup text for the linker: (text, symbols, funcs)."""
+    name = arch.name
+    text: List[object] = [Label("__start")]
+    if name in ("rmips", "rmipsel"):
+        text += [
+            Insn("lui", rd=29, imm=(stack_top >> 16) & 0xFFFF),
+            Insn("ori", rd=29, rs=29, imm=stack_top & 0xFFFF),
+            Label("__nub_pause"),
+            Insn("break"),
+            Insn("jal", target="_main"),
+            Insn("or", rd=4, rs=2, rt=0),
+            Insn("syscall", imm=SYS_EXIT),
+        ]
+    elif name == "rsparc":
+        low = stack_top & 0x1FFF
+        if low >= 0x1000:
+            low -= 0x2000
+        text += [
+            Insn("sethi", rd=14, imm=((stack_top - low) >> 13) & 0x7FFFF),
+            Insn("add", rd=14, rs=14, imm=low),
+            Label("__nub_pause"),
+            Insn("break"),
+            Insn("call", target="_main"),
+            Insn("syscall", imm=SYS_EXIT),  # status already in o0
+        ]
+    elif name == "rm68k":
+        text += [
+            Insn("movei", rd=15, imm=stack_top),
+            Label("__nub_pause"),
+            Insn("break"),
+            Insn("jsr", target="_main"),
+            Insn("push", rs=0),       # status argument
+            Insn("push", rs=0),       # dummy return-address slot
+            Insn("syscall", imm=SYS_EXIT),
+        ]
+    elif name == "rvax":
+        text += [
+            Insn("movl", imm=[Operand.imm(stack_top), Operand.reg_(14)]),
+            Label("__nub_pause"),
+            Insn("bpt"),
+            Insn("call", target="_main"),
+            Insn("pushl", imm=[Operand.reg_(0)]),
+            Insn("pushl", imm=[Operand.reg_(0)]),
+            Insn("syscall", imm=SYS_EXIT),
+        ]
+    else:
+        raise KeyError("no startup for %r" % name)
+    symbols = [Symbol("__start", "text", "__start", "T"),
+               Symbol("__nub_pause", "text", "__nub_pause", "t")]
+    funcs = [FuncInfo("__start", "__start", 0)]
+    return text, symbols, funcs
+
+
+def runtime_unit(arch) -> ObjectUnit:
+    """The runtime library: _exit, _putchar, _printf stubs."""
+    name = arch.name
+    unit = ObjectUnit("<runtime>", name)
+    text: List[object] = []
+
+    def stub(label: str, body: List[object]) -> None:
+        text.append(Label(label))
+        text.extend(body)
+        unit.symbols.append(Symbol(label, "text", label, "T"))
+        unit.funcs.append(FuncInfo(label.lstrip("_"), label, 0))
+
+    if name in ("rmips", "rmipsel"):
+        stub("_exit", [Insn("syscall", imm=SYS_EXIT)])
+        stub("_putchar", [Insn("syscall", imm=SYS_PUTCHAR),
+                          Insn("or", rd=2, rs=4, rt=0),
+                          Insn("jr", rs=31)])
+        stub("_printf", [Insn("syscall", imm=SYS_PRINTF),
+                         Insn("addi", rd=2, rs=0, imm=0),
+                         Insn("jr", rs=31)])
+    elif name == "rsparc":
+        stub("_exit", [Insn("syscall", imm=SYS_EXIT)])
+        stub("_putchar", [Insn("syscall", imm=SYS_PUTCHAR),
+                          Insn("jmpl", rs=15)])
+        stub("_printf", [Insn("syscall", imm=SYS_PRINTF),
+                         Insn("add", rd=8, rs=0, imm=0),
+                         Insn("jmpl", rs=15)])
+    elif name == "rm68k":
+        stub("_exit", [Insn("syscall", imm=SYS_EXIT)])
+        stub("_putchar", [Insn("syscall", imm=SYS_PUTCHAR),
+                          Insn("load32", rd=0, rs=15, imm=4),
+                          Insn("rts")])
+        stub("_printf", [Insn("syscall", imm=SYS_PRINTF),
+                         Insn("movei", rd=0, imm=0),
+                         Insn("rts")])
+    elif name == "rvax":
+        stub("_exit", [Insn("syscall", imm=SYS_EXIT)])
+        stub("_putchar", [Insn("syscall", imm=SYS_PUTCHAR),
+                          Insn("movl", imm=[Operand.disp(14, 4), Operand.reg_(0)]),
+                          Insn("ret")])
+        stub("_printf", [Insn("syscall", imm=SYS_PRINTF),
+                         Insn("movl", imm=[Operand.imm(0), Operand.reg_(0)]),
+                         Insn("ret")])
+    else:
+        raise KeyError("no runtime for %r" % name)
+    unit.text = text
+    return unit

@@ -1,0 +1,303 @@
+"""rsparc backend.
+
+Frame-pointer based: canonical frame offsets are fp-relative, with the
+caller's sp becoming the callee's fp.  The saved fp and return address
+live at fixed offsets (fp-4, fp-8), which is what lets this target share
+the machine-independent linker interface and generic stack walk (paper
+Sec. 4.3).  No register variables: locals always live in the frame.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from ...machines import sparc as s
+from ...machines.loader import Symbol
+from ..ir import FuncIR
+from ..irgen import kind_of
+from .common import SPILL_SLOTS, CodeGen, Value, kind_size
+
+_SCRATCH = 1  # g1: the assembler scratch register
+
+
+class SparcGen(CodeGen):
+    temp_regs = list(s.TEMP_REGS)   # l0-l7
+    var_regs = ()                   # no register variables on this target
+    ftemp_regs = list(range(2, 8))
+    fret_reg = s.FRET_REG
+
+    def __init__(self):
+        from ...machines import get_arch
+        self.arch = get_arch("rsparc")
+        super().__init__()
+        self._local_offsets = {}
+
+    # -- frame layout --------------------------------------------------------
+    #
+    #   fp = caller's sp = sp + framesize
+    #   fp + 4*i : argument slots (caller's outgoing area)
+    #   fp - 4   : saved fp            fp - 8 : saved return address
+    #   fp - 12..: locals, temps, spills
+    #   sp + 4*i : our outgoing area
+
+    def layout_frame(self, fn: FuncIR) -> None:
+        self._local_offsets = {}
+        slot = 0
+        for sym in fn.params:
+            offset = 4 * slot + self.param_slot_adjust(sym.ctype)
+            self._local_offsets[sym.uid] = offset
+            sym.loc = ("frame", offset)
+            slot += max(1, kind_size(kind_of(sym.ctype)) // 4)
+        cur = -8
+        for sym in fn.locals:
+            size = max(4, sym.ctype.size)
+            align = max(4, sym.ctype.align)
+            cur = -((-cur + size + align - 1) & ~(align - 1))
+            self._local_offsets[sym.uid] = cur
+            sym.loc = ("frame", cur)
+        cur -= 8 * SPILL_SLOTS
+        self.spill_base = cur
+        self.framesize = ((-cur + self.max_outgoing) + 7) & ~7
+
+    def local_frame_offset(self, sym) -> int:
+        return self._local_offsets[sym.uid]
+
+    def prologue(self, fn: FuncIR) -> None:
+        self._add_imm(s.REG_SP, s.REG_SP, -self.framesize)
+        self.emit("st", rd=s.REG_FP, rs=s.REG_SP, imm=self.framesize - 4)
+        self.emit("st", rd=s.REG_RA, rs=s.REG_SP, imm=self.framesize - 8)
+        self._add_imm(s.REG_FP, s.REG_SP, self.framesize)
+        slot = 0
+        for sym in fn.params:
+            kind = kind_of(sym.ctype)
+            if not kind.startswith("f") and slot < len(s.ARG_REGS):
+                self.emit("st", rd=s.ARG_REGS[slot], rs=s.REG_FP, imm=4 * slot)
+            slot += max(1, kind_size(kind) // 4)
+
+    def epilogue(self, fn: FuncIR) -> None:
+        self.emit("ld", rd=s.REG_RA, rs=s.REG_FP, imm=-8)
+        self._add_imm(s.REG_SP, s.REG_FP, 0)
+        self.emit("ld", rd=s.REG_FP, rs=s.REG_SP, imm=-4)
+        self.emit("jmpl", rs=s.REG_RA)
+
+    def _add_imm(self, rd: int, rs: int, imm: int) -> None:
+        if -4096 <= imm < 4096:
+            self.emit("add", rd=rd, rs=rs, imm=imm)
+        else:
+            self.emit_load_const(_SCRATCH, imm)
+            self.emit("add", rd=rd, rs=rs, rt=_SCRATCH)
+
+    # -- basic emission ----------------------------------------------------------
+
+    def emit_jump(self, label: str) -> None:
+        # an always-taken conditional branch: g0 == g0
+        self.emit("beq", rd=0, rs=0, imm=("br", label))
+
+    def emit_load_const(self, reg: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        signed = value - (1 << 32) if value >= 1 << 31 else value
+        if -4096 <= signed < 4096:
+            self.emit("add", rd=reg, rs=0, imm=signed)
+        else:
+            low = value & 0x1FFF
+            if low >= 0x1000:
+                low -= 0x2000
+            self.emit("sethi", rd=reg, imm=((value - low) >> 13) & 0x7FFFF)
+            if low:
+                self.emit("add", rd=reg, rs=reg, imm=low)
+
+    def emit_fconst(self, freg: int, value: float) -> None:
+        label = self._float_literal(value)
+        self.emit_load_sym_addr(_SCRATCH, label)
+        self.emit("lddf", rd=freg, rs=_SCRATCH, imm=0)
+
+    def _float_literal(self, value: float) -> str:
+        key = struct.pack(">d", value)
+        pool = getattr(self.unit, "_float_pool", None)
+        if pool is None:
+            pool = {}
+            self.unit._float_pool = pool
+        if key not in pool:
+            label = "_fp%d_%s" % (len(pool), self.unit.name_suffix())
+            offset = (len(self.unit.data) + 7) & ~7
+            self.unit.data.extend(b"\0" * (offset - len(self.unit.data)))
+            fmt = ">d" if self.arch.byteorder == "big" else "<d"
+            self.unit.data.extend(struct.pack(fmt, value))
+            self.unit.symbols.append(Symbol(label, "data", offset, "d"))
+            pool[key] = label
+        return pool[key]
+
+    def emit_load_sym_addr(self, reg: int, label: str) -> None:
+        self.emit("sethi", rd=reg, imm=("hi19", label))
+        self.emit("add", rd=reg, rs=reg, imm=("lo13", label))
+
+    def emit_frame_addr(self, reg: int, frame_offset: int) -> None:
+        self._add_imm(reg, s.REG_FP, frame_offset)
+
+    _LOAD_OPS = {"i1": "ldsb", "u1": "ldub", "i2": "ldsh", "u2": "lduh",
+                 "i4": "ld", "u4": "ld", "p": "ld"}
+    _STORE_OPS = {"i1": "stb", "u1": "stb", "i2": "sth", "u2": "sth",
+                  "i4": "st", "u4": "st", "p": "st"}
+
+    def emit_load_frame(self, reg: int, frame_offset: int, kind: str) -> None:
+        self.emit(self._LOAD_OPS[kind], rd=reg, rs=s.REG_FP, imm=frame_offset)
+
+    def emit_store_frame(self, reg: int, frame_offset: int, kind: str) -> None:
+        self.emit(self._STORE_OPS[kind], rd=reg, rs=s.REG_FP, imm=frame_offset)
+
+    def emit_fload_frame(self, freg: int, frame_offset: int, kind: str) -> None:
+        self.emit("ldf" if kind == "f4" else "lddf", rd=freg, rs=s.REG_FP,
+                  imm=frame_offset)
+
+    def emit_fstore_frame(self, freg: int, frame_offset: int, kind: str) -> None:
+        self.emit("stf" if kind == "f4" else "stdf", rd=freg, rs=s.REG_FP,
+                  imm=frame_offset)
+
+    def emit_load_ind(self, reg: int, addr_reg: int, kind: str) -> None:
+        self.emit(self._LOAD_OPS[kind], rd=reg, rs=addr_reg, imm=0)
+
+    def emit_store_ind(self, addr_reg: int, reg: int, kind: str) -> None:
+        self.emit(self._STORE_OPS[kind], rd=reg, rs=addr_reg, imm=0)
+
+    def emit_fload_ind(self, freg: int, addr_reg: int, kind: str) -> None:
+        self.emit("ldf" if kind == "f4" else "lddf", rd=freg, rs=addr_reg, imm=0)
+
+    def emit_fstore_ind(self, addr_reg: int, freg: int, kind: str) -> None:
+        self.emit("stf" if kind == "f4" else "stdf", rd=freg, rs=addr_reg, imm=0)
+
+    def emit_move(self, rd: int, rs: int) -> None:
+        if rd != rs:
+            self.emit("or", rd=rd, rs=rs, rt=0)
+
+    def emit_fmove(self, fd: int, fs: int) -> None:
+        if fd != fs:
+            self.emit("fmov", rd=fd, rs=fs)
+
+    def emit_truncate(self, reg: int, kind: str) -> None:
+        bits = 24 if kind in ("i1", "u1") else 16
+        self.emit("sll", rd=reg, rs=reg, imm=bits)
+        self.emit("sra" if kind[0] == "i" else "srl", rd=reg, rs=reg, imm=bits)
+
+    def emit_neg(self, reg: int) -> None:
+        self.emit("sub", rd=reg, rs=0, rt=reg)
+
+    def emit_bcom(self, reg: int) -> None:
+        self.emit("xor", rd=reg, rs=reg, imm=-1)
+
+    _BINOPS = {"ADD": "add", "SUB": "sub", "MUL": "smul", "BAND": "and",
+               "BOR": "or", "BXOR": "xor", "LSH": "sll"}
+
+    def emit_binop(self, op: str, kind: str, rd: int, ra: int, rb: int) -> None:
+        unsigned = kind.startswith("u") or kind == "p"
+        if op == "DIV":
+            self.emit("udiv" if unsigned else "sdiv", rd=rd, rs=ra, rt=rb)
+        elif op == "MOD":
+            self.emit("urem" if unsigned else "srem", rd=rd, rs=ra, rt=rb)
+        elif op == "RSH":
+            self.emit("srl" if unsigned else "sra", rd=rd, rs=ra, rt=rb)
+        else:
+            self.emit(self._BINOPS[op], rd=rd, rs=ra, rt=rb)
+
+    def emit_fbinop(self, op: str, fa: int, fb: int) -> None:
+        names = {"ADD": "fadd", "SUB": "fsub", "MUL": "fmul", "DIV": "fdiv"}
+        self.emit(names[op], rd=fa, rs=fa, rt=fb)
+
+    def emit_compare(self, op: str, kind: str, rd: int, ra: int, rb: int) -> None:
+        unsigned = kind.startswith("u") or kind == "p"
+        slt = "sltu" if unsigned else "slt"
+        if op == "EQ":
+            self.emit("seq", rd=rd, rs=ra, rt=rb)
+        elif op == "NE":
+            self.emit("sne", rd=rd, rs=ra, rt=rb)
+        elif op == "LT":
+            self.emit(slt, rd=rd, rs=ra, rt=rb)
+        elif op == "GT":
+            self.emit(slt, rd=rd, rs=rb, rt=ra)
+        elif op == "GE":
+            self.emit(slt, rd=rd, rs=ra, rt=rb)
+            self.emit("seq", rd=rd, rs=rd, rt=0)
+        else:  # LE
+            self.emit(slt, rd=rd, rs=rb, rt=ra)
+            self.emit("seq", rd=rd, rs=rd, rt=0)
+
+    def emit_fcompare(self, op: str, rd: int, fa: int, fb: int) -> None:
+        if op == "EQ":
+            self.emit("fseq", rd=rd, rs=fa, rt=fb)
+        elif op == "NE":
+            self.emit("fseq", rd=rd, rs=fa, rt=fb)
+            self.emit("seq", rd=rd, rs=rd, rt=0)
+        elif op == "LT":
+            self.emit("fslt", rd=rd, rs=fa, rt=fb)
+        elif op == "LE":
+            self.emit("fsle", rd=rd, rs=fa, rt=fb)
+        elif op == "GT":
+            self.emit("fslt", rd=rd, rs=fb, rt=fa)
+        else:  # GE
+            self.emit("fsle", rd=rd, rs=fb, rt=fa)
+
+    def emit_branch_cmp(self, op: str, kind: str, ra: int, rb: int, label: str) -> None:
+        if op == "EQ":
+            self.emit("beq", rd=ra, rs=rb, imm=("br", label))
+            return
+        if op == "NE":
+            self.emit("bne", rd=ra, rs=rb, imm=("br", label))
+            return
+        self.emit_compare(op, kind, _SCRATCH, ra, rb)
+        self.emit("bne", rd=_SCRATCH, rs=0, imm=("br", label))
+
+    def emit_branch_true(self, reg: int, label: str) -> None:
+        self.emit("bne", rd=reg, rs=0, imm=("br", label))
+
+    def emit_branch_false(self, reg: int, label: str) -> None:
+        self.emit("beq", rd=reg, rs=0, imm=("br", label))
+
+    def emit_cvt_int_float(self, fd: int, rs: int) -> None:
+        self.emit("fitod", rd=fd, rs=rs)
+
+    def emit_cvt_float_int(self, rd: int, fs: int) -> None:
+        self.emit("fdtoi", rd=rd, rs=fs)
+
+    def emit_fneg(self, freg: int) -> None:
+        self.emit("fneg", rd=freg, rs=freg)
+
+    # -- calls ------------------------------------------------------------------
+
+    def place_args(self, args: List[Value], kinds: List[str], varargs: bool):
+        offset = 0
+        slot = 0
+        for value, kind in zip(args, kinds):
+            if kind == "f4":
+                freg = self.in_freg(value)
+                self.emit("stf", rd=freg, rs=s.REG_SP, imm=offset)
+                offset += 4
+                slot += 1
+            elif kind.startswith("f"):
+                freg = self.in_freg(value)
+                self.emit("stdf", rd=freg, rs=s.REG_SP, imm=offset)
+                offset += 8
+                slot += 2
+            else:
+                reg = self.in_ireg(value)
+                if not varargs and slot < len(s.ARG_REGS):
+                    self.emit_move(s.ARG_REGS[slot], reg)
+                else:
+                    self.emit("st", rd=reg, rs=s.REG_SP, imm=offset)
+                offset += 4
+                slot += 1
+        return None
+
+    def after_call(self, cleanup) -> None:
+        pass
+
+    def emit_call_sym(self, label: str) -> None:
+        self.emit("call", target=label)
+
+    def emit_call_reg(self, reg: int) -> None:
+        self.emit("callr", rs=reg)
+
+    def emit_ret_move(self, value: Value, kind: str) -> None:
+        if value.is_float():
+            self.emit_fmove(self.fret_reg, self.in_freg(value))
+        else:
+            self.emit_move(s.REG_RETVAL, self.in_ireg(value))

@@ -1,0 +1,274 @@
+"""rvax backend.
+
+Three-operand CISC with operand specifiers.  Arguments are pushed
+right-to-left (the caller pops); frames hang off the frame pointer with
+the saved fp at fp+0 and the return address at fp+4, so the generic
+stack walk works unchanged.  No register variables; r0 doubles as the
+return register and an emit-local scratch.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...machines import vax as v
+from ...machines.vax import Operand
+from ..ir import FuncIR
+from ..irgen import kind_of
+from .common import SPILL_SLOTS, CodeGen, GenError, Value, kind_size
+
+_SCRATCH = 0  # r0: return register, safe as intra-emit scratch
+
+
+def R(reg: int) -> Operand:
+    return Operand.reg_(reg)
+
+
+def FP(off: int) -> Operand:
+    return Operand.disp(v.REG_FP, off)
+
+
+def IMM(value) -> Operand:
+    return Operand.imm(value)
+
+
+class VaxGen(CodeGen):
+    temp_regs = list(v.TEMP_REGS)    # r1-r5
+    var_regs = ()
+    ftemp_regs = list(v.FTEMP_REGS)  # f1-f3
+    fret_reg = v.FRET_REG
+
+    def __init__(self):
+        from ...machines import get_arch
+        self.arch = get_arch("rvax")
+        super().__init__()
+        self._local_offsets = {}
+
+    # -- frame layout --------------------------------------------------------
+
+    def layout_frame(self, fn: FuncIR) -> None:
+        self._local_offsets = {}
+        slot = 0
+        for sym in fn.params:
+            self._local_offsets[sym.uid] = 8 + 4 * slot
+            sym.loc = ("frame", 8 + 4 * slot)
+            slot += max(1, kind_size(kind_of(sym.ctype)) // 4)
+        cur = 0
+        for sym in fn.locals:
+            size = max(4, sym.ctype.size)
+            align = max(4, sym.ctype.align)
+            cur = -((-cur + size + align - 1) & ~(align - 1))
+            self._local_offsets[sym.uid] = cur
+            sym.loc = ("frame", cur)
+        cur -= 8 * SPILL_SLOTS
+        self.spill_base = cur
+        self.framesize = (-cur + 3) & ~3
+
+    def local_frame_offset(self, sym) -> int:
+        return self._local_offsets[sym.uid]
+
+    def prologue(self, fn: FuncIR) -> None:
+        self.emit("pushl", imm=[R(v.REG_FP)])
+        self.emit("movl", imm=[R(v.REG_SP), R(v.REG_FP)])
+        self.emit("addl3", imm=[IMM(-self.framesize), R(v.REG_SP), R(v.REG_SP)])
+
+    def epilogue(self, fn: FuncIR) -> None:
+        self.emit("movl", imm=[R(v.REG_FP), R(v.REG_SP)])
+        self.emit("popl", imm=[R(v.REG_FP)])
+        self.emit("ret")
+
+    # -- basic emission ----------------------------------------------------------
+
+    def emit_jump(self, label: str) -> None:
+        self.emit("brb", imm=("br", label))
+
+    def emit_load_const(self, reg: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        self.emit("movl", imm=[IMM(value), R(reg)])
+
+    def emit_fconst(self, freg: int, value: float) -> None:
+        self.emit("movd", imm=[Operand.fimm(value), R(freg)])
+
+    def emit_load_sym_addr(self, reg: int, label: str) -> None:
+        self.emit("movl", imm=[IMM(label), R(reg)])
+
+    def emit_frame_addr(self, reg: int, frame_offset: int) -> None:
+        self.emit("moval", imm=[FP(frame_offset), R(reg)])
+
+    _LOAD_OPS = {"i1": "movb", "u1": "movzbl", "i2": "movw", "u2": "movzwl",
+                 "i4": "movl", "u4": "movl", "p": "movl"}
+    _STORE_OPS = {"i1": "movb", "u1": "movb", "i2": "movw", "u2": "movw",
+                  "i4": "movl", "u4": "movl", "p": "movl"}
+
+    def emit_load_frame(self, reg: int, frame_offset: int, kind: str) -> None:
+        self.emit(self._LOAD_OPS[kind], imm=[FP(frame_offset), R(reg)])
+
+    def emit_store_frame(self, reg: int, frame_offset: int, kind: str) -> None:
+        self.emit(self._STORE_OPS[kind], imm=[R(reg), FP(frame_offset)])
+
+    def emit_fload_frame(self, freg: int, frame_offset: int, kind: str) -> None:
+        op = "movf" if kind == "f4" else "movd"
+        self.emit(op, imm=[FP(frame_offset), R(freg)])
+
+    def emit_fstore_frame(self, freg: int, frame_offset: int, kind: str) -> None:
+        op = "movf" if kind == "f4" else "movd"
+        self.emit(op, imm=[R(freg), FP(frame_offset)])
+
+    def emit_load_ind(self, reg: int, addr_reg: int, kind: str) -> None:
+        self.emit(self._LOAD_OPS[kind], imm=[Operand.defer(addr_reg), R(reg)])
+
+    def emit_store_ind(self, addr_reg: int, reg: int, kind: str) -> None:
+        self.emit(self._STORE_OPS[kind], imm=[R(reg), Operand.defer(addr_reg)])
+
+    def emit_fload_ind(self, freg: int, addr_reg: int, kind: str) -> None:
+        op = "movf" if kind == "f4" else "movd"
+        self.emit(op, imm=[Operand.defer(addr_reg), R(freg)])
+
+    def emit_fstore_ind(self, addr_reg: int, freg: int, kind: str) -> None:
+        op = "movf" if kind == "f4" else "movd"
+        self.emit(op, imm=[R(freg), Operand.defer(addr_reg)])
+
+    def emit_move(self, rd: int, rs: int) -> None:
+        if rd != rs:
+            self.emit("movl", imm=[R(rs), R(rd)])
+
+    def emit_fmove(self, fd: int, fs: int) -> None:
+        if fd != fs:
+            self.emit("movd", imm=[R(fs), R(fd)])
+
+    def emit_truncate(self, reg: int, kind: str) -> None:
+        op = {"i1": "movb", "u1": "movzbl", "i2": "movw", "u2": "movzwl"}[kind]
+        if op in ("movb", "movw"):
+            # register-to-register byte/word moves sign-extend
+            self.emit(op, imm=[R(reg), R(reg)])
+        else:
+            self.emit(op, imm=[R(reg), R(reg)])
+
+    def emit_neg(self, reg: int) -> None:
+        self.emit("subl3", imm=[R(reg), IMM(0), R(reg)])
+
+    def emit_bcom(self, reg: int) -> None:
+        self.emit("xorl3", imm=[IMM(0xFFFFFFFF), R(reg), R(reg)])
+
+    def emit_binop(self, op: str, kind: str, rd: int, ra: int, rb: int) -> None:
+        unsigned = kind.startswith("u") or kind == "p"
+        if op == "ADD":
+            self.emit("addl3", imm=[R(ra), R(rb), R(rd)])
+        elif op == "SUB":
+            self.emit("subl3", imm=[R(rb), R(ra), R(rd)])
+        elif op == "MUL":
+            self.emit("mull3", imm=[R(ra), R(rb), R(rd)])
+        elif op == "DIV":
+            name = "divul3" if unsigned else "divl3"
+            self.emit(name, imm=[R(rb), R(ra), R(rd)])
+        elif op == "MOD":
+            name = "remul3" if unsigned else "reml3"
+            self.emit(name, imm=[R(rb), R(ra), R(rd)])
+        elif op == "BAND":
+            self.emit("andl3", imm=[R(ra), R(rb), R(rd)])
+        elif op == "BOR":
+            self.emit("orl3", imm=[R(ra), R(rb), R(rd)])
+        elif op == "BXOR":
+            self.emit("xorl3", imm=[R(ra), R(rb), R(rd)])
+        elif op == "LSH":
+            self.emit("ashl", imm=[R(rb), R(ra), R(rd)])
+        elif op == "RSH":
+            if unsigned:
+                self.emit("lshr", imm=[R(rb), R(ra), R(rd)])
+            else:
+                self.emit("subl3", imm=[R(rb), IMM(0), R(_SCRATCH)])
+                self.emit("ashl", imm=[R(_SCRATCH), R(ra), R(rd)])
+        else:
+            raise GenError("binop %r" % op)
+
+    def emit_fbinop(self, op: str, fa: int, fb: int) -> None:
+        if op == "ADD":
+            self.emit("addd3", imm=[R(fa), R(fb), R(fa)])
+        elif op == "SUB":
+            self.emit("subd3", imm=[R(fb), R(fa), R(fa)])
+        elif op == "MUL":
+            self.emit("muld3", imm=[R(fa), R(fb), R(fa)])
+        else:  # DIV
+            self.emit("divd3", imm=[R(fb), R(fa), R(fa)])
+
+    _SCC = {("EQ", False): "seql", ("NE", False): "sneq",
+            ("LT", False): "slss", ("LE", False): "sleq",
+            ("GT", False): "sgtr", ("GE", False): "sgeq",
+            ("EQ", True): "seql", ("NE", True): "sneq",
+            ("LT", True): "slssu", ("LE", True): "slequ",
+            ("GT", True): "sgtru", ("GE", True): "sgequ"}
+
+    def emit_compare(self, op: str, kind: str, rd: int, ra: int, rb: int) -> None:
+        unsigned = kind.startswith("u") or kind == "p"
+        self.emit("cmpl", imm=[R(ra), R(rb)])
+        self.emit(self._SCC[(op, unsigned)], imm=[R(rd)])
+
+    def emit_fcompare(self, op: str, rd: int, fa: int, fb: int) -> None:
+        self.emit("cmpd", imm=[R(fa), R(fb)])
+        self.emit(self._SCC[(op, False)], imm=[R(rd)])
+
+    _BCC = {("EQ", False): "beql", ("NE", False): "bneq",
+            ("LT", False): "blss", ("LE", False): "bleq",
+            ("GT", False): "bgtr", ("GE", False): "bgeq",
+            ("EQ", True): "beql", ("NE", True): "bneq",
+            ("LT", True): "blssu", ("LE", True): "blequ",
+            ("GT", True): "bgtru", ("GE", True): "bgequ"}
+
+    def emit_branch_cmp(self, op: str, kind: str, ra: int, rb: int, label: str) -> None:
+        unsigned = kind.startswith("u") or kind == "p"
+        self.emit("cmpl", imm=[R(ra), R(rb)])
+        self.emit(self._BCC[(op, unsigned)], imm=("br", label))
+
+    def emit_branch_true(self, reg: int, label: str) -> None:
+        self.emit("cmpl", imm=[R(reg), IMM(0)])
+        self.emit("bneq", imm=("br", label))
+
+    def emit_branch_false(self, reg: int, label: str) -> None:
+        self.emit("cmpl", imm=[R(reg), IMM(0)])
+        self.emit("beql", imm=("br", label))
+
+    def emit_cvt_int_float(self, fd: int, rs: int) -> None:
+        self.emit("cvtld", imm=[R(rs), R(fd)])
+
+    def emit_cvt_float_int(self, rd: int, fs: int) -> None:
+        self.emit("cvtdl", imm=[R(fs), R(rd)])
+
+    def emit_fneg(self, freg: int) -> None:
+        self.emit("negd", imm=[R(freg), R(freg)])
+
+    # -- calls ------------------------------------------------------------------
+
+    def place_args(self, args: List[Value], kinds: List[str], varargs: bool):
+        total = 0
+        for value, kind in zip(reversed(args), reversed(kinds)):
+            if kind == "f4":
+                freg = self.in_freg(value)
+                self.emit("addl3", imm=[IMM(-4), R(v.REG_SP), R(v.REG_SP)])
+                self.emit("movf", imm=[R(freg), Operand.defer(v.REG_SP)])
+                total += 4
+            elif kind.startswith("f"):
+                freg = self.in_freg(value)
+                self.emit("addl3", imm=[IMM(-8), R(v.REG_SP), R(v.REG_SP)])
+                self.emit("movd", imm=[R(freg), Operand.defer(v.REG_SP)])
+                total += 8
+            else:
+                reg = self.in_ireg(value)
+                self.emit("pushl", imm=[R(reg)])
+                total += 4
+        return total
+
+    def after_call(self, cleanup) -> None:
+        if cleanup:
+            self.emit("addl3", imm=[IMM(cleanup), R(v.REG_SP), R(v.REG_SP)])
+
+    def emit_call_sym(self, label: str) -> None:
+        self.emit("call", target=label)
+
+    def emit_call_reg(self, reg: int) -> None:
+        self.emit("callr", imm=[R(reg)])
+
+    def emit_ret_move(self, value: Value, kind: str) -> None:
+        if value.is_float():
+            self.emit_fmove(self.fret_reg, self.in_freg(value))
+        else:
+            self.emit_move(v.REG_RETVAL, self.in_ireg(value))

@@ -1,0 +1,214 @@
+"""The rcc intermediate representation — the lcc IR analog.
+
+Trees of operators with type-kind suffixes, in the spirit of lcc's
+code-generation interface [Fraser & Hanson 1991].  The same IR serves
+two consumers, exactly as in the paper:
+
+* the four machine code generators (:mod:`repro.cc.gen`);
+* the expression server, whose IR trees are *rewritten into PostScript*
+  rather than passed to a back end (paper Sec. 3; the rewriter lives in
+  :mod:`repro.ldb.exprserver`).
+
+Kinds: ``i1 i2 i4`` signed, ``u1 u2 u4`` unsigned, ``f4 f8 f10`` floats,
+``p`` pointer, ``v`` void, ``b`` block.  The operator vocabulary — each
+(op, kind) pair is an operator in lcc's counting — is enumerated by
+:func:`all_operators`; the paper puts lcc's count at 112.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+#: value-producing expression operators and the kinds they come in
+_EXPR_OPS = {
+    "CNST": ("i1", "i2", "i4", "u1", "u2", "u4", "f4", "f8", "f10", "p"),
+    "ADDRG": ("p",),
+    "ADDRL": ("p",),
+    "ADDRF": ("p",),
+    "INDIR": ("i1", "i2", "i4", "u1", "u2", "u4", "f4", "f8", "f10", "p"),
+    "CVT": ("i1", "i2", "i4", "u1", "u2", "u4", "f4", "f8", "f10", "p"),
+    "NEG": ("i4", "u4", "f4", "f8", "f10"),
+    "BCOM": ("i4", "u4"),
+    "ADD": ("i4", "u4", "f4", "f8", "f10", "p"),
+    "SUB": ("i4", "u4", "f4", "f8", "f10", "p"),
+    "MUL": ("i4", "u4", "f4", "f8", "f10"),
+    "DIV": ("i4", "u4", "f4", "f8", "f10"),
+    "MOD": ("i4", "u4"),
+    "BAND": ("i4", "u4"),
+    "BOR": ("i4", "u4"),
+    "BXOR": ("i4", "u4"),
+    "LSH": ("i4", "u4"),
+    "RSH": ("i4", "u4"),
+    "EQ": ("i4", "u4", "f4", "f8", "f10", "p"),
+    "NE": ("i4", "u4", "f4", "f8", "f10", "p"),
+    "LT": ("i4", "u4", "f4", "f8", "f10", "p"),
+    "LE": ("i4", "u4", "f4", "f8", "f10", "p"),
+    "GT": ("i4", "u4", "f4", "f8", "f10", "p"),
+    "GE": ("i4", "u4", "f4", "f8", "f10", "p"),
+    "CALL": ("i4", "u4", "f4", "f8", "f10", "p", "v"),
+    "COND": ("i4", "u4", "f4", "f8", "f10", "p"),
+    "ANDAND": ("i4",),
+    "OROR": ("i4",),
+    "NOT": ("i4",),
+}
+
+#: statement-level operators
+_STMT_OPS = {
+    "ASGN": ("i1", "i2", "i4", "u1", "u2", "u4", "f4", "f8", "f10", "p"),
+    "JUMP": ("v",),
+    "CJUMP": ("v",),
+    "LABEL": ("v",),
+    "RET": ("i4", "u4", "f4", "f8", "f10", "p", "v"),
+    "STOP": ("v",),
+}
+
+
+def all_operators() -> List[Tuple[str, str]]:
+    """Every (op, kind) operator pair — the vocabulary the IR-to-
+    PostScript rewriter must cover (paper Sec. 5: lcc's IR has 112)."""
+    out = []
+    for table in (_EXPR_OPS, _STMT_OPS):
+        for op, kinds in table.items():
+            out.extend((op, kind) for kind in kinds)
+    return out
+
+
+class IRNode:
+    """One IR tree node."""
+
+    __slots__ = ("op", "kind", "kids", "value", "symbol", "target",
+                 "from_kind", "negate", "pos", "size")
+
+    def __init__(self, op: str, kind: str = "v", kids: Optional[List["IRNode"]] = None,
+                 value=None, symbol=None, target: Optional[str] = None,
+                 from_kind: Optional[str] = None, pos=None):
+        self.op = op
+        self.kind = kind
+        self.kids = kids if kids is not None else []
+        self.value = value
+        self.symbol = symbol
+        self.target = target
+        self.from_kind = from_kind
+        self.negate = False
+        self.pos = pos
+        self.size = 0  # block-copy size for ASGN b
+
+    def __repr__(self) -> str:
+        bits = ["%s.%s" % (self.op, self.kind)]
+        if self.value is not None:
+            bits.append(repr(self.value))
+        if self.symbol is not None:
+            bits.append(getattr(self.symbol, "name", str(self.symbol)))
+        if self.target is not None:
+            bits.append("->%s" % self.target)
+        if self.kids:
+            bits.append("(%s)" % ", ".join(repr(k) for k in self.kids))
+        return "<%s>" % " ".join(bits)
+
+
+# ------------------------------------------------------------- constructors
+
+def CNST(kind: str, value) -> IRNode:
+    return IRNode("CNST", kind, value=value)
+
+
+def ADDRG(symbol) -> IRNode:
+    return IRNode("ADDRG", "p", symbol=symbol)
+
+
+def ADDRL(symbol) -> IRNode:
+    return IRNode("ADDRL", "p", symbol=symbol)
+
+
+def ADDRF(symbol) -> IRNode:
+    return IRNode("ADDRF", "p", symbol=symbol)
+
+
+def INDIR(kind: str, addr: IRNode) -> IRNode:
+    return IRNode("INDIR", kind, [addr])
+
+
+def ASGN(kind: str, addr: IRNode, value: IRNode) -> IRNode:
+    return IRNode("ASGN", kind, [addr, value])
+
+
+def CVT(kind: str, from_kind: str, kid: IRNode) -> IRNode:
+    return IRNode("CVT", kind, [kid], from_kind=from_kind)
+
+
+def BINOP(op: str, kind: str, left: IRNode, right: IRNode) -> IRNode:
+    return IRNode(op, kind, [left, right])
+
+
+def CALL(kind: str, func, args: List[IRNode]) -> IRNode:
+    node = IRNode("CALL", kind, list(args))
+    node.symbol = func  # a CSymbol, or an IRNode for indirect calls
+    return node
+
+
+def JUMP(target: str) -> IRNode:
+    return IRNode("JUMP", "v", target=target)
+
+
+def CJUMP(cond: IRNode, target: str, negate: bool = False) -> IRNode:
+    node = IRNode("CJUMP", "v", [cond], target=target)
+    node.negate = negate
+    return node
+
+
+def LABEL(name: str) -> IRNode:
+    return IRNode("LABEL", "v", target=name)
+
+
+def RET(kind: str, value: Optional[IRNode] = None) -> IRNode:
+    return IRNode("RET", kind, [value] if value is not None else [])
+
+
+def STOP(index: int, pos=None) -> IRNode:
+    node = IRNode("STOP", "v", value=index, pos=pos)
+    return node
+
+
+class StopPoint:
+    """One stopping point of a function (paper Sec. 2: the loci array)."""
+
+    __slots__ = ("index", "pos", "chain", "label")
+
+    def __init__(self, index: int, pos, chain, label: str):
+        self.index = index
+        self.pos = pos
+        self.chain = chain  # innermost visible CSymbol, or None
+        self.label = label  # the code label lcc places at the point
+
+    def __repr__(self) -> str:
+        return "<stop %d at %s>" % (self.index, self.pos)
+
+
+class FuncIR:
+    """The IR for one function."""
+
+    def __init__(self, symbol, params, body: List[IRNode],
+                 stops: List[StopPoint], locals_, statics):
+        self.symbol = symbol
+        self.params = params
+        self.body = body
+        self.stops = stops
+        self.locals = locals_
+        self.statics = statics
+
+    @property
+    def name(self) -> str:
+        return self.symbol.name
+
+
+class UnitIR:
+    """The IR for one translation unit."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.functions: List[FuncIR] = []
+        #: (label, text) string literals
+        self.strings: List[Tuple[str, str]] = []
+        #: data symbols defined in this unit, with folded initializers
+        self.data: List[Tuple[object, object]] = []  # (CSymbol, init or None)
+        self.externs: List[object] = []

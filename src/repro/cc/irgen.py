@@ -1,0 +1,735 @@
+"""Lowering: typed AST -> IR trees.
+
+Statement lowering places the stopping points (paper Sec. 3): one at
+function entry, one before every top-level expression (each statement
+expression, each of a for-loop's three parts, every condition), and one
+at the function's closing brace — matching the numbering of Fig. 1.
+
+The same expression lowering is reused by the expression server
+(:mod:`repro.ldb.exprserver`), which is the paper's architecture: the
+server is "a variant of the compiler" whose IR output is rewritten into
+PostScript instead of being passed to a back end.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from . import tree
+from .ctypes_ import (
+    ArrayType,
+    CType,
+    EnumType,
+    FunctionType,
+    PointerType,
+    StructType,
+    TypeSystem,
+    UnionType,
+)
+from .ir import (
+    ADDRF,
+    ADDRG,
+    ADDRL,
+    ASGN,
+    BINOP,
+    CALL,
+    CJUMP,
+    CNST,
+    CVT,
+    FuncIR,
+    INDIR,
+    IRNode,
+    JUMP,
+    LABEL,
+    RET,
+    STOP,
+    StopPoint,
+    UnitIR,
+)
+from .lexer import CError
+from .symtab import CSymbol, FunctionInfo, UnitInfo
+
+_BINOP_NAMES = {"+": "ADD", "-": "SUB", "*": "MUL", "/": "DIV", "%": "MOD",
+                "&": "BAND", "|": "BOR", "^": "BXOR", "<<": "LSH", ">>": "RSH"}
+_CMP_NAMES = {"==": "EQ", "!=": "NE", "<": "LT", "<=": "LE", ">": "GT", ">=": "GE"}
+
+
+def kind_of(ctype: CType) -> str:
+    if isinstance(ctype, (ArrayType, FunctionType)):
+        return "p"
+    if isinstance(ctype, EnumType):
+        return "i4"
+    if isinstance(ctype, (StructType, UnionType)):
+        return "b"
+    return ctype.ir_kind()
+
+
+class IRGen:
+    """Per-unit IR generator."""
+
+    def __init__(self, types: TypeSystem, unit_info: UnitInfo,
+                 unit_suffix: Optional[str] = None):
+        self.types = types
+        self.info = unit_info
+        suffix = unit_suffix or re.sub(r"\W", "_", unit_info.name)
+        self.unit_suffix = suffix
+        self.unit = UnitIR(unit_info.name)
+        self._string_labels: Dict[str, str] = {}
+        self._label_counter = 0
+        self._temp_counter = 0
+        # per-function state
+        self.fn: Optional[FunctionInfo] = None
+        self.body: List[IRNode] = []
+        self.stops: List[StopPoint] = []
+        self.break_stack: List[str] = []
+        self.continue_stack: List[str] = []
+        self.extra_locals: List[CSymbol] = []
+
+    # -- unit driver ----------------------------------------------------------
+
+    def generate(self, unit_ast: tree.TranslationUnit) -> UnitIR:
+        fn_iter = iter(self.info.functions)
+        for decl in unit_ast.decls:
+            if isinstance(decl, tree.FuncDef):
+                self.function(decl, next(fn_iter))
+        for sym in self.info.globals + self.info.statics:
+            self.unit.data.append((sym, self.info.global_inits.get(sym.uid)))
+        for fn_info in self.info.functions:
+            for sym in fn_info.statics:
+                self.unit.data.append((sym, self.info.global_inits.get(sym.uid)))
+        self.unit.externs = list(self.info.externs)
+        return self.unit
+
+    # -- labels and temps --------------------------------------------------------
+
+    def new_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return ".%s%d.%s" % (hint, self._label_counter, self.unit_suffix)
+
+    def new_temp(self, ctype: CType) -> CSymbol:
+        self._temp_counter += 1
+        sym = CSymbol(".t%d" % self._temp_counter, ctype, "local")
+        self.extra_locals.append(sym)
+        return sym
+
+    def string_label(self, text: str) -> str:
+        if text not in self._string_labels:
+            label = "_str%d_%s" % (len(self._string_labels), self.unit_suffix)
+            self._string_labels[text] = label
+            self.unit.strings.append((label, text))
+        return self._string_labels[text]
+
+    def error(self, message: str, node=None) -> CError:
+        pos = getattr(node, "pos", None)
+        if pos is not None:
+            return CError(message, pos.filename, pos.line, pos.col)
+        return CError(message)
+
+    # -- functions ----------------------------------------------------------------
+
+    def function(self, fn: tree.FuncDef, info: FunctionInfo) -> None:
+        self.fn = info
+        self.body = []
+        self.stops = []
+        self.extra_locals = []
+        self.break_stack = []
+        self.continue_stack = []
+
+        self.stop_point(fn.pos, info.param_chain)  # entry: the { brace
+        # parameter and local initializers run after the entry stop
+        self.block_items(fn.body, toplevel=True)
+        exit_chain = info.param_chain
+        self.stop_point(fn.end_pos, exit_chain)    # exit: the } brace
+        if not self.body or self.body[-1].op != "RET":
+            self.body.append(RET("v"))
+
+        func_ir = FuncIR(info.symbol, info.params, self.body, self.stops,
+                         info.locals + self.extra_locals, info.statics)
+        self.unit.functions.append(func_ir)
+        self.fn = None
+
+    def stop_point(self, pos, chain) -> StopPoint:
+        index = len(self.stops)
+        label = "%s.S%d" % (self.fn.symbol.label, index)
+        stop = StopPoint(index, pos, chain, label)
+        self.stops.append(stop)
+        self.body.append(STOP(index, pos))
+        return stop
+
+    def stop_for(self, node: tree.Node) -> StopPoint:
+        chain = self.fn.chain_at.get(id(node))
+        return self.stop_point(node.pos, chain)
+
+    # -- statements ------------------------------------------------------------------
+
+    def block_items(self, blk: tree.Block, toplevel: bool = False) -> None:
+        for item in blk.items:
+            if isinstance(item, tree.VarDecl):
+                if item.symbol is not None and item.symbol.sclass in \
+                        ("local", "register") and item.init is not None:
+                    # an initializer is a top-level expression, so it gets
+                    # a stopping point; the declared symbol heads the chain
+                    self.stop_point(item.pos, item.symbol)
+                    self.assign_to(item.symbol, item.init)
+            else:
+                self.statement(item)
+
+    def assign_to(self, sym: CSymbol, value_expr: tree.Expr) -> None:
+        value = self.expr_value(value_expr)
+        self.body.append(ASGN(kind_of(sym.ctype), ADDRL(sym), value))
+
+    def statement(self, stmt: tree.Stmt) -> None:
+        if isinstance(stmt, tree.Block):
+            self.block_items(stmt)
+        elif isinstance(stmt, tree.Empty):
+            pass
+        elif isinstance(stmt, tree.ExprStmt):
+            self.stop_for(stmt)
+            self.expr_effect(stmt.expr)
+        elif isinstance(stmt, tree.If):
+            self.if_stmt(stmt)
+        elif isinstance(stmt, tree.While):
+            self.while_stmt(stmt)
+        elif isinstance(stmt, tree.DoWhile):
+            self.do_while_stmt(stmt)
+        elif isinstance(stmt, tree.For):
+            self.for_stmt(stmt)
+        elif isinstance(stmt, tree.Return):
+            self.stop_for(stmt)
+            if stmt.value is not None:
+                value = self.expr_value(stmt.value)
+                self.body.append(RET(kind_of(stmt.value.ctype), value))
+            else:
+                self.body.append(RET("v"))
+        elif isinstance(stmt, tree.Break):
+            if not self.break_stack:
+                raise self.error("break outside loop or switch", stmt)
+            self.body.append(JUMP(self.break_stack[-1]))
+        elif isinstance(stmt, tree.Continue):
+            if not self.continue_stack:
+                raise self.error("continue outside loop", stmt)
+            self.body.append(JUMP(self.continue_stack[-1]))
+        elif isinstance(stmt, tree.Switch):
+            self.switch_stmt(stmt)
+        elif isinstance(stmt, (tree.Case, tree.Default)):
+            raise self.error("case label outside switch", stmt)
+        else:
+            raise self.error("cannot lower %r" % stmt, stmt)
+
+    def if_stmt(self, stmt: tree.If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif") if stmt.els is not None else else_label
+        self.stop_for(stmt)
+        self.branch_unless(stmt.cond, else_label)
+        self.statement(stmt.then)
+        if stmt.els is not None:
+            self.body.append(JUMP(end_label))
+            self.body.append(LABEL(else_label))
+            self.statement(stmt.els)
+        self.body.append(LABEL(end_label))
+
+    def while_stmt(self, stmt: tree.While) -> None:
+        test = self.new_label("while")
+        end = self.new_label("wend")
+        self.body.append(LABEL(test))
+        self.stop_for(stmt)
+        self.branch_unless(stmt.cond, end)
+        self.break_stack.append(end)
+        self.continue_stack.append(test)
+        self.statement(stmt.body)
+        self.break_stack.pop()
+        self.continue_stack.pop()
+        self.body.append(JUMP(test))
+        self.body.append(LABEL(end))
+
+    def do_while_stmt(self, stmt: tree.DoWhile) -> None:
+        top = self.new_label("do")
+        test = self.new_label("dotest")
+        end = self.new_label("doend")
+        self.body.append(LABEL(top))
+        self.break_stack.append(end)
+        self.continue_stack.append(test)
+        self.statement(stmt.body)
+        self.break_stack.pop()
+        self.continue_stack.pop()
+        self.body.append(LABEL(test))
+        self.stop_for(stmt)
+        self.branch_if(stmt.cond, top)
+        self.body.append(LABEL(end))
+
+    def for_stmt(self, stmt: tree.For) -> None:
+        """Stops in the paper's order (Fig. 1): init, cond, body, incr."""
+        test = self.new_label("for")
+        cont = self.new_label("fcont")
+        end = self.new_label("fend")
+        if stmt.init is not None:
+            self.stop_for(stmt)
+            self.expr_effect(stmt.init)
+        self.body.append(LABEL(test))
+        if stmt.cond is not None:
+            self.stop_for(stmt)
+            self.branch_unless(stmt.cond, end)
+        self.break_stack.append(end)
+        self.continue_stack.append(cont)
+        self.statement(stmt.body)
+        self.break_stack.pop()
+        self.continue_stack.pop()
+        self.body.append(LABEL(cont))
+        if stmt.step is not None:
+            self.stop_for(stmt)
+            self.expr_effect(stmt.step)
+        self.body.append(JUMP(test))
+        self.body.append(LABEL(end))
+
+    def switch_stmt(self, stmt: tree.Switch) -> None:
+        self.stop_for(stmt)
+        temp = self.new_temp(self.types.int)
+        self.body.append(ASGN("i4", ADDRL(temp), self.expr_value(stmt.expr)))
+        end = self.new_label("swend")
+        body = stmt.body
+        if not isinstance(body, tree.Block):
+            raise self.error("switch body must be a block", stmt)
+        # collect case labels among the block's immediate items
+        cases: List[Tuple[int, str]] = []
+        default_label: Optional[str] = None
+        labels: Dict[int, str] = {}
+        for item in body.items:
+            if isinstance(item, tree.Case):
+                label = self.new_label("case")
+                labels[id(item)] = label
+                cases.append((item.resolved, label))
+            elif isinstance(item, tree.Default):
+                label = self.new_label("default")
+                labels[id(item)] = label
+                default_label = label
+        for value, label in cases:
+            load = INDIR("i4", ADDRL(temp))
+            self.body.append(CJUMP(BINOP("EQ", "i4", load, CNST("i4", value)), label))
+        self.body.append(JUMP(default_label if default_label else end))
+        self.break_stack.append(end)
+        for item in body.items:
+            if isinstance(item, (tree.Case, tree.Default)):
+                self.body.append(LABEL(labels[id(item)]))
+            elif isinstance(item, tree.VarDecl):
+                if item.symbol is not None and item.symbol.sclass in \
+                        ("local", "register") and item.init is not None:
+                    self.assign_to(item.symbol, item.init)
+            else:
+                self.statement(item)
+        self.break_stack.pop()
+        self.body.append(LABEL(end))
+
+    # -- conditions ---------------------------------------------------------------------
+
+    def branch_if(self, cond: tree.Expr, label: str) -> None:
+        self._branch(cond, label, True)
+
+    def branch_unless(self, cond: tree.Expr, label: str) -> None:
+        self._branch(cond, label, False)
+
+    def _branch(self, cond: tree.Expr, label: str, sense: bool) -> None:
+        if isinstance(cond, tree.Unary) and cond.op == "!":
+            self._branch(cond.operand, label, not sense)
+            return
+        if isinstance(cond, tree.Binary) and cond.op in ("&&", "||"):
+            is_and = cond.op == "&&"
+            if is_and != sense:
+                # branch taken if either/short-circuit aligns with sense
+                self._branch(cond.left, label, sense)
+                self._branch(cond.right, label, sense)
+            else:
+                skip = self.new_label("sc")
+                self._branch(cond.left, skip, not sense)
+                self._branch(cond.right, label, sense)
+                self.body.append(LABEL(skip))
+            return
+        if isinstance(cond, tree.Binary) and cond.op in _CMP_NAMES:
+            node = self.compare_value(cond)
+            self.body.append(CJUMP(node, label, negate=not sense))
+            return
+        value = self.expr_value(cond)
+        kind = kind_of(cond.ctype)
+        if kind.startswith("f"):
+            zero = CNST(kind, 0.0)
+            node = BINOP("NE", kind, value, zero)
+            self.body.append(CJUMP(node, label, negate=not sense))
+        else:
+            self.body.append(CJUMP(value, label, negate=not sense))
+
+    def compare_value(self, e: tree.Binary) -> IRNode:
+        op = _CMP_NAMES[e.op]
+        operand_kind = kind_of(e.left.ctype)
+        if operand_kind in ("i1", "i2"):
+            operand_kind = "i4"
+        elif operand_kind in ("u1", "u2"):
+            operand_kind = "u4"
+        return BINOP(op, operand_kind, self.expr_value(e.left),
+                     self.expr_value(e.right))
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def expr_effect(self, e: tree.Expr) -> None:
+        """Evaluate for side effects only."""
+        if isinstance(e, tree.Comma):
+            self.expr_effect(e.left)
+            self.expr_effect(e.right)
+            return
+        if isinstance(e, tree.Assign):
+            self.assign(e, want_value=False)
+            return
+        if isinstance(e, tree.Unary) and e.op in ("pre++", "pre--", "post++", "post--"):
+            self.incdec(e, want_value=False)
+            return
+        if isinstance(e, tree.Call):
+            self.body.append(self.call_node(e))
+            return
+        if isinstance(e, tree.Cast) and e.target_type.is_void():
+            self.expr_effect(e.operand)
+            return
+        # evaluate and discard (may still have effects inside)
+        value = self.expr_value(e)
+        if _has_effects(value):
+            temp = self.new_temp(self.types.int if e.ctype.is_void() else e.ctype)
+            kind = kind_of(e.ctype) if not e.ctype.is_void() else "i4"
+            if e.ctype.is_void():
+                self.body.append(value)
+            else:
+                self.body.append(ASGN(kind, ADDRL(temp), value))
+
+    def expr_value(self, e: tree.Expr) -> IRNode:
+        method = getattr(self, "_val_" + type(e).__name__, None)
+        if method is None:
+            raise self.error("cannot lower %r" % e, e)
+        return method(e)
+
+    def _val_IntLit(self, e: tree.IntLit) -> IRNode:
+        return CNST(kind_of(e.ctype), e.value)
+
+    def _val_FloatLit(self, e: tree.FloatLit) -> IRNode:
+        return CNST(kind_of(e.ctype), e.value)
+
+    def _val_StringLit(self, e: tree.StringLit) -> IRNode:
+        label = self.string_label(e.value)
+        sym = CSymbol(label, PointerType(self.types.char), "string")
+        sym.label = label
+        return ADDRG(sym)
+
+    def _val_Ident(self, e: tree.Ident) -> IRNode:
+        sym = e.symbol
+        if isinstance(sym.ctype, FunctionType):
+            return ADDRG(sym)
+        if isinstance(sym.ctype, ArrayType):
+            return self.symbol_addr(sym)
+        addr = self.symbol_addr(sym)
+        return INDIR(kind_of(sym.ctype), addr)
+
+    def symbol_addr(self, sym: CSymbol) -> IRNode:
+        if sym.sclass in ("global", "extern", "static", "func", "string"):
+            return ADDRG(sym)
+        if sym.sclass == "param":
+            return ADDRF(sym)
+        return ADDRL(sym)
+
+    def _val_Unary(self, e: tree.Unary) -> IRNode:
+        op = e.op
+        if op in ("pre++", "pre--", "post++", "post--"):
+            return self.incdec(e, want_value=True)
+        if op == "&":
+            return self.expr_addr(e.operand)
+        if op == "*":
+            addr = self.expr_value(e.operand)
+            if isinstance(e.ctype, (ArrayType, FunctionType)):
+                return addr
+            return INDIR(kind_of(e.ctype), addr)
+        if op == "+":
+            return self.expr_value(e.operand)
+        if op == "-":
+            return IRNode("NEG", _widen(kind_of(e.ctype)),
+                          [self.expr_value(e.operand)])
+        if op == "~":
+            return IRNode("BCOM", _widen(kind_of(e.ctype)),
+                          [self.expr_value(e.operand)])
+        if op == "!":
+            inner = self.expr_value(e.operand)
+            kind = _widen(kind_of(e.operand.ctype))
+            zero = CNST(kind, 0.0 if kind.startswith("f") else 0)
+            return BINOP("EQ", kind, inner, zero)
+        raise self.error("cannot lower unary %r" % op, e)
+
+    def _val_Binary(self, e: tree.Binary) -> IRNode:
+        op = e.op
+        if op in _CMP_NAMES:
+            return self.compare_value(e)
+        if op in ("&&", "||"):
+            name = "ANDAND" if op == "&&" else "OROR"
+            # value context: evaluate via branches into a temp
+            temp = self.new_temp(self.types.int)
+            done = self.new_label("bool")
+            self.body.append(ASGN("i4", ADDRL(temp), CNST("i4", 0)))
+            skip = self.new_label("bfalse")
+            self._branch(e, skip, False)
+            self.body.append(ASGN("i4", ADDRL(temp), CNST("i4", 1)))
+            self.body.append(LABEL(skip))
+            return INDIR("i4", ADDRL(temp))
+        if op == "+" and e.ctype.is_pointer():
+            return self.pointer_add(e.left, e.right, negate=False, node=e)
+        if op == "-" and e.ctype.is_pointer():
+            return self.pointer_add(e.left, e.right, negate=True, node=e)
+        if op == "-" and self.decayed(e.left.ctype).is_pointer() \
+                and self.decayed(e.right.ctype).is_pointer():
+            elem = self.decayed(e.left.ctype).ref
+            diff = BINOP("SUB", "i4", self.expr_value(e.left), self.expr_value(e.right))
+            return BINOP("DIV", "i4", diff, CNST("i4", max(elem.size, 1)))
+        name = _BINOP_NAMES[op]
+        kind = kind_of(e.ctype)
+        return BINOP(name, kind, self.expr_value(e.left), self.expr_value(e.right))
+
+    def decayed(self, t: CType) -> CType:
+        if isinstance(t, ArrayType):
+            return PointerType(t.elem)
+        return t
+
+    def pointer_add(self, ptr: tree.Expr, index: tree.Expr, negate: bool, node) -> IRNode:
+        pt = self.decayed(ptr.ctype)
+        it = self.decayed(index.ctype)
+        if it.is_pointer():  # int + ptr
+            ptr, index = index, ptr
+            pt, it = it, pt
+        elem_size = max(pt.ref.size, 1)
+        scaled = self.expr_value(index)
+        if elem_size != 1:
+            scaled = BINOP("MUL", "i4", scaled, CNST("i4", elem_size))
+        op = "SUB" if negate else "ADD"
+        return BINOP(op, "p", self.expr_value(ptr), scaled)
+
+    def _val_Assign(self, e: tree.Assign) -> IRNode:
+        return self.assign(e, want_value=True)
+
+    def assign(self, e: tree.Assign, want_value: bool) -> Optional[IRNode]:
+        target_type = e.target.ctype
+        kind = kind_of(target_type)
+        if kind == "b":
+            return self.block_assign(e, want_value)
+        if e.op == "=":
+            addr = self.expr_addr(e.target, mark=False)
+            value = self.expr_value(e.value)
+        else:
+            addr = self.expr_addr(e.target, mark=False)
+            addr, reuse = self.reuse_addr(addr)
+            binop = e.op[:-1]
+            old = INDIR(kind, reuse)
+            if target_type.is_pointer():
+                elem = max(target_type.ref.size, 1)
+                delta = self.expr_value(e.value)
+                if elem != 1:
+                    delta = BINOP("MUL", "i4", delta, CNST("i4", elem))
+                value = BINOP("ADD" if binop == "+" else "SUB", "p", old, delta)
+            else:
+                op_kind = _widen(kind)
+                left = old if op_kind == kind else CVT(op_kind, kind, old)
+                value = BINOP(_BINOP_NAMES[binop], op_kind, left,
+                              self.expr_value(e.value))
+                if op_kind != kind:
+                    value = CVT(kind, op_kind, value)
+        if want_value:
+            temp = self.new_temp(target_type)
+            self.body.append(ASGN(kind, ADDRL(temp), value))
+            addr2, reuse2 = (addr, addr) if addr.op in ("ADDRL", "ADDRF", "ADDRG") \
+                else (addr, addr)
+            self.body.append(ASGN(kind, addr, INDIR(kind, ADDRL(temp))))
+            return INDIR(kind, ADDRL(temp))
+        self.body.append(ASGN(kind, addr, value))
+        return None
+
+    def block_assign(self, e: tree.Assign, want_value: bool) -> Optional[IRNode]:
+        """Struct assignment: expanded into word copies (no backend help)."""
+        stype = e.target.ctype
+        dst = self.materialize_addr(self.expr_addr(e.target, mark=False))
+        src = self.materialize_addr(self.expr_addr(e.value, mark=False))
+        offset = 0
+        while offset + 4 <= stype.size:
+            self.copy_unit(dst, src, offset, "i4")
+            offset += 4
+        while offset < stype.size:
+            self.copy_unit(dst, src, offset, "i1")
+            offset += 1
+        if want_value:
+            raise self.error("struct assignment has no value here", e)
+        return None
+
+    def copy_unit(self, dst: CSymbol, src: CSymbol, offset: int, kind: str) -> None:
+        load = INDIR(kind, BINOP("ADD", "p", INDIR("p", ADDRL(src)),
+                                 CNST("i4", offset)))
+        store_addr = BINOP("ADD", "p", INDIR("p", ADDRL(dst)), CNST("i4", offset))
+        self.body.append(ASGN(kind, store_addr, load))
+
+    def materialize_addr(self, addr: IRNode) -> CSymbol:
+        temp = self.new_temp(PointerType(self.types.void))
+        self.body.append(ASGN("p", ADDRL(temp), addr))
+        return temp
+
+    def reuse_addr(self, addr: IRNode) -> Tuple[IRNode, IRNode]:
+        """An address used twice (compound assignment): keep simple
+        addresses, spill complex ones to a temp."""
+        if addr.op in ("ADDRL", "ADDRF", "ADDRG"):
+            return addr, IRNode(addr.op, "p", symbol=addr.symbol)
+        temp = self.materialize_addr(addr)
+        return INDIR("p", ADDRL(temp)), INDIR("p", ADDRL(temp))
+
+    def incdec(self, e: tree.Unary, want_value: bool) -> Optional[IRNode]:
+        target = e.operand
+        kind = kind_of(target.ctype)
+        addr, reuse = self.reuse_addr(self.expr_addr(target, mark=False))
+        old = INDIR(kind, reuse)
+        if target.ctype.is_pointer():
+            delta = max(target.ctype.ref.size, 1)
+        else:
+            delta = 1
+        op = "ADD" if "++" in e.op else "SUB"
+        op_kind = "p" if target.ctype.is_pointer() else _widen(kind)
+        if op_kind != kind and not target.ctype.is_pointer():
+            grown = CVT(op_kind, kind, old)
+        else:
+            grown = old
+        delta_kind = "i4" if op_kind != "p" else "i4"
+        if op_kind.startswith("f"):
+            new = BINOP(op, op_kind, grown, CNST(op_kind, 1.0))
+        else:
+            new = BINOP(op, op_kind, grown, CNST("i4", delta))
+        if op_kind != kind and not target.ctype.is_pointer():
+            new = CVT(kind, op_kind, new)
+        if not want_value:
+            self.body.append(ASGN(kind, addr, new))
+            return None
+        temp = self.new_temp(target.ctype)
+        if e.op.startswith("post"):
+            self.body.append(ASGN(kind, ADDRL(temp), INDIR(kind, reuse)))
+            self.body.append(ASGN(kind, addr, new))
+        else:
+            self.body.append(ASGN(kind, addr, new))
+            self.body.append(ASGN(kind, ADDRL(temp), INDIR(kind, reuse)))
+        return INDIR(kind, ADDRL(temp))
+
+    def _val_Cond(self, e: tree.Cond) -> IRNode:
+        kind = kind_of(e.ctype)
+        temp = self.new_temp(e.ctype)
+        els = self.new_label("celse")
+        end = self.new_label("cend")
+        self.branch_unless(e.cond, els)
+        self.body.append(ASGN(kind, ADDRL(temp), self.expr_value(e.then)))
+        self.body.append(JUMP(end))
+        self.body.append(LABEL(els))
+        self.body.append(ASGN(kind, ADDRL(temp), self.expr_value(e.els)))
+        self.body.append(LABEL(end))
+        return INDIR(kind, ADDRL(temp))
+
+    def _val_Call(self, e: tree.Call) -> IRNode:
+        node = self.call_node(e)
+        if node.kind == "v":
+            raise self.error("void value used", e)
+        # materialize the result so later calls in the same expression
+        # cannot clobber it
+        temp = self.new_temp(e.ctype)
+        self.body.append(ASGN(node.kind, ADDRL(temp), node))
+        return INDIR(node.kind, ADDRL(temp))
+
+    def call_node(self, e: tree.Call) -> IRNode:
+        args = [self.expr_value(arg) for arg in e.args]
+        arg_kinds = [kind_of(arg.ctype) for arg in e.args]
+        fn = e.fn
+        ftype = fn.ctype
+        if isinstance(ftype, PointerType):
+            ftype = ftype.ref
+        if isinstance(fn, tree.Ident) and isinstance(fn.ctype, FunctionType):
+            func = fn.symbol
+        else:
+            func = self.expr_value(fn)
+        node = CALL(kind_of(e.ctype) if not e.ctype.is_void() else "v", func, args)
+        node.value = (arg_kinds, ftype.varargs)
+        return node
+
+    def _val_Index(self, e: tree.Index) -> IRNode:
+        addr = self.index_addr(e)
+        if isinstance(e.ctype, ArrayType):
+            return addr
+        return INDIR(kind_of(e.ctype), addr)
+
+    def index_addr(self, e: tree.Index) -> IRNode:
+        base = self.expr_value(e.base)
+        elem_size = max(e.ctype.size, 1) if not isinstance(e.ctype, ArrayType) \
+            else e.ctype.size
+        index = self.expr_value(e.index)
+        if elem_size != 1:
+            index = BINOP("MUL", "i4", index, CNST("i4", elem_size))
+        return BINOP("ADD", "p", base, index)
+
+    def _val_Member(self, e: tree.Member) -> IRNode:
+        addr = self.member_addr(e)
+        if isinstance(e.ctype, ArrayType):
+            return addr
+        if isinstance(e.ctype, (StructType, UnionType)):
+            return addr
+        return INDIR(kind_of(e.ctype), addr)
+
+    def member_addr(self, e: tree.Member) -> IRNode:
+        if e.arrow:
+            base = self.expr_value(e.base)
+        else:
+            base = self.expr_addr(e.base)
+        if e.field.offset == 0:
+            return base
+        return BINOP("ADD", "p", base, CNST("i4", e.field.offset))
+
+    def _val_Cast(self, e: tree.Cast) -> IRNode:
+        inner = self.expr_value(e.operand)
+        from_kind = kind_of(e.operand.ctype)
+        to_kind = kind_of(e.target_type)
+        if e.target_type.is_void():
+            return inner
+        if from_kind == to_kind:
+            return inner
+        return CVT(to_kind, from_kind, inner)
+
+    def _val_Comma(self, e: tree.Comma) -> IRNode:
+        self.expr_effect(e.left)
+        return self.expr_value(e.right)
+
+    # -- addresses --------------------------------------------------------------------------
+
+    def expr_addr(self, e: tree.Expr, mark: bool = True) -> IRNode:
+        """The address of an lvalue.
+
+        ``mark`` records address-taken-ness; internal consumers (compound
+        assignment, ++/--) pass False because the backends resolve plain
+        ADDRL references to register variables without a memory home.
+        """
+        if isinstance(e, tree.Ident):
+            if mark:
+                e.symbol.addr_taken = True
+            return self.symbol_addr(e.symbol)
+        if isinstance(e, tree.Unary) and e.op == "*":
+            return self.expr_value(e.operand)
+        if isinstance(e, tree.Index):
+            return self.index_addr(e)
+        if isinstance(e, tree.Member):
+            return self.member_addr(e)
+        if isinstance(e, tree.StringLit):
+            return self._val_StringLit(e)
+        if isinstance(e, tree.Cast) and e.implicit:
+            return self.expr_addr(e.operand, mark)
+        raise self.error("expression has no address", e)
+
+
+def _widen(kind: str) -> str:
+    if kind in ("i1", "i2"):
+        return "i4"
+    if kind in ("u1", "u2"):
+        return "u4"
+    return kind
+
+
+def _has_effects(node: IRNode) -> bool:
+    if node.op in ("CALL", "ASGN"):
+        return True
+    return any(_has_effects(kid) for kid in node.kids if isinstance(kid, IRNode))

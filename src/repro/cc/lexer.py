@@ -1,0 +1,257 @@
+"""C lexer for the rcc compiler (the lcc analog).
+
+Tokens carry source coordinates (file, line, column) because the
+debugger's symbol tables record them: every symbol-table entry has
+``sourcefile``/``sourcey``/``sourcex`` (paper Sec. 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Union
+
+
+class CError(Exception):
+    """A compile-time error with a source position."""
+
+    def __init__(self, message: str, filename: str = "", line: int = 0, col: int = 0):
+        self.message = message
+        self.filename = filename
+        self.line = line
+        self.col = col
+        where = "%s:%d:%d: " % (filename, line, col) if filename else ""
+        super().__init__(where + message)
+
+
+class Token(NamedTuple):
+    kind: str        # 'id', 'keyword', 'int', 'float', 'char', 'string', 'punct', 'eof'
+    text: str
+    value: Union[int, float, str, None]
+    filename: str
+    line: int
+    col: int
+
+
+KEYWORDS = frozenset("""
+    auto break case char const continue default do double else enum extern
+    float for goto if int long register return short signed sizeof static
+    struct switch typedef union unsigned void volatile while
+""".split())
+
+_PUNCTS3 = ("<<=", ">>=", "...")
+_PUNCTS2 = ("<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+            "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->")
+_PUNCTS1 = "+-*/%<>=!&|^~?:;,.(){}[]#"
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+            "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v"}
+
+
+def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+    """Tokenize C source into a list ending with an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    pos = 0
+    n = len(source)
+
+    def error(msg: str) -> CError:
+        return CError(msg, filename, line, col)
+
+    while pos < n:
+        ch = source[pos]
+        # whitespace
+        if ch == "\n":
+            line += 1
+            col = 1
+            pos += 1
+            continue
+        if ch in " \t\r\f\v":
+            pos += 1
+            col += 1
+            continue
+        # comments
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise error("unterminated comment")
+            skipped = source[pos : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            pos = end + 2
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = n if end < 0 else end
+            continue
+        start_line, start_col = line, col
+        # identifiers and keywords
+        if ch.isalpha() or ch == "_":
+            end = pos + 1
+            while end < n and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[pos:end]
+            kind = "keyword" if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, text, filename, start_line, start_col))
+            col += end - pos
+            pos = end
+            continue
+        # numbers
+        if ch.isdigit() or (ch == "." and pos + 1 < n and source[pos + 1].isdigit()):
+            token, end = _scan_number(source, pos, filename, start_line, start_col)
+            tokens.append(token)
+            col += end - pos
+            pos = end
+            continue
+        # character constants
+        if ch == "'":
+            value, end = _scan_char(source, pos, error)
+            tokens.append(Token("int", source[pos:end], value, filename,
+                                start_line, start_col))
+            col += end - pos
+            pos = end
+            continue
+        # string literals
+        if ch == '"':
+            text, end = _scan_string(source, pos, error)
+            tokens.append(Token("string", source[pos:end], text, filename,
+                                start_line, start_col))
+            col += end - pos
+            pos = end
+            continue
+        # punctuation (longest match)
+        matched = None
+        for group in (_PUNCTS3, _PUNCTS2):
+            for punct in group:
+                if source.startswith(punct, pos):
+                    matched = punct
+                    break
+            if matched:
+                break
+        if matched is None and ch in _PUNCTS1:
+            matched = ch
+        if matched is None:
+            raise error("stray character %r" % ch)
+        tokens.append(Token("punct", matched, matched, filename, start_line, start_col))
+        col += len(matched)
+        pos += len(matched)
+    tokens.append(Token("eof", "", None, filename, line, col))
+    return tokens
+
+
+def _scan_number(source, pos, filename, line, col):
+    n = len(source)
+    end = pos
+    is_float = False
+    if source.startswith(("0x", "0X"), pos):
+        end = pos + 2
+        while end < n and source[end] in "0123456789abcdefABCDEF":
+            end += 1
+        value = int(source[pos:end], 16)
+    else:
+        while end < n and source[end].isdigit():
+            end += 1
+        if end < n and source[end] == ".":
+            is_float = True
+            end += 1
+            while end < n and source[end].isdigit():
+                end += 1
+        if end < n and source[end] in "eE":
+            probe = end + 1
+            if probe < n and source[probe] in "+-":
+                probe += 1
+            if probe < n and source[probe].isdigit():
+                is_float = True
+                end = probe
+                while end < n and source[end].isdigit():
+                    end += 1
+        text = source[pos:end]
+        if is_float:
+            value = float(text)
+        elif text.startswith("0") and len(text) > 1:
+            value = int(text, 8)
+        else:
+            value = int(text)
+    # suffixes (uUlLfF) are accepted and ignored, except f on floats
+    while end < n and source[end] in "uUlLfF":
+        if source[end] in "fF" and not is_float:
+            break
+        end += 1
+    kind = "float" if is_float else "int"
+    return Token(kind, source[pos:end], value, filename, line, col), end
+
+
+def _scan_char(source, pos, error):
+    n = len(source)
+    end = pos + 1
+    if end >= n:
+        raise error("unterminated character constant")
+    if source[end] == "\\":
+        end += 1
+        if end >= n:
+            raise error("unterminated character constant")
+        esc = source[end]
+        if esc == "x":
+            end += 1
+            start = end
+            while end < n and source[end] in "0123456789abcdefABCDEF":
+                end += 1
+            value = int(source[start:end], 16)
+        elif esc.isdigit():
+            start = end
+            while end < n and source[end].isdigit() and end - start < 3:
+                end += 1
+            value = int(source[start:end], 8)
+        else:
+            if esc not in _ESCAPES:
+                raise error("unknown escape \\%s" % esc)
+            value = ord(_ESCAPES[esc])
+            end += 1
+    else:
+        value = ord(source[end])
+        end += 1
+    if end >= n or source[end] != "'":
+        raise error("unterminated character constant")
+    return value, end + 1
+
+
+def _scan_string(source, pos, error):
+    n = len(source)
+    end = pos + 1
+    chars = []
+    while True:
+        if end >= n:
+            raise error("unterminated string literal")
+        ch = source[end]
+        if ch == '"':
+            return "".join(chars), end + 1
+        if ch == "\n":
+            raise error("newline in string literal")
+        if ch == "\\":
+            end += 1
+            if end >= n:
+                raise error("unterminated string literal")
+            esc = source[end]
+            if esc == "x":
+                end += 1
+                start = end
+                while end < n and source[end] in "0123456789abcdefABCDEF":
+                    end += 1
+                chars.append(chr(int(source[start:end], 16)))
+                continue
+            if esc.isdigit():
+                start = end
+                while end < n and source[end].isdigit() and end - start < 3:
+                    end += 1
+                chars.append(chr(int(source[start:end], 8)))
+                continue
+            if esc not in _ESCAPES:
+                raise error("unknown escape \\%s" % esc)
+            chars.append(_ESCAPES[esc])
+            end += 1
+            continue
+        chars.append(ch)
+        end += 1

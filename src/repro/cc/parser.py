@@ -1,0 +1,791 @@
+"""Recursive-descent C parser for the rcc compiler.
+
+Parses the C subset documented in README.md: all of the paper's example
+programs plus structs, unions, enums, typedefs, pointers, arrays,
+function pointers, switch, and the full expression grammar.  Types are
+constructed during parsing (the lcc approach): the parser owns the
+typedef/tag scopes it needs to resolve the declaration grammar.
+
+Not supported (documented substitutions): bitfields, struct
+passing/return by value, varargs definitions (printf is a runtime
+builtin), goto, K&R-style definitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import tree
+from .ctypes_ import (
+    ArrayType,
+    CType,
+    EnumType,
+    FunctionType,
+    PointerType,
+    StructType,
+    TypeSystem,
+    UnionType,
+)
+from .lexer import CError, Token, tokenize
+from .tree import Pos
+
+_TYPE_KEYWORDS = frozenset(
+    "void char short int long float double signed unsigned struct union enum const volatile".split())
+_STORAGE_KEYWORDS = frozenset("static extern register auto typedef".split())
+
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^="])
+
+# binary precedence levels, loosest first
+_BINARY_LEVELS = [
+    ["||"], ["&&"], ["|"], ["^"], ["&"],
+    ["==", "!="], ["<", ">", "<=", ">="],
+    ["<<", ">>"], ["+", "-"], ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, source: str, filename: str = "<input>",
+                 types: Optional[TypeSystem] = None):
+        self.tokens = tokenize(source, filename)
+        self.pos = 0
+        self.filename = filename
+        self.types = types if types is not None else TypeSystem()
+        # scope stacks for the declaration grammar
+        self.typedef_scopes: List[dict] = [{}]
+        self.tag_scopes: List[dict] = [{}]
+        self.enum_const_scopes: List[dict] = [{}]
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def at(self, text: str) -> bool:
+        token = self.peek()
+        return token.text == text and token.kind in ("punct", "keyword")
+
+    def accept(self, text: str) -> Optional[Token]:
+        if self.at(text):
+            return self.next()
+        return None
+
+    def expect(self, text: str) -> Token:
+        token = self.peek()
+        if not self.at(text):
+            raise self.error("expected %r, found %r" % (text, token.text or "<eof>"))
+        return self.next()
+
+    def error(self, message: str) -> CError:
+        token = self.peek()
+        return CError(message, token.filename, token.line, token.col)
+
+    # -- scope plumbing -----------------------------------------------------
+
+    def enter_scope(self) -> None:
+        self.typedef_scopes.append({})
+        self.tag_scopes.append({})
+        self.enum_const_scopes.append({})
+
+    def leave_scope(self) -> None:
+        self.typedef_scopes.pop()
+        self.tag_scopes.pop()
+        self.enum_const_scopes.pop()
+
+    def lookup_typedef(self, name: str) -> Optional[CType]:
+        for scope in reversed(self.typedef_scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def lookup_tag(self, tag: str) -> Optional[CType]:
+        for scope in reversed(self.tag_scopes):
+            if tag in scope:
+                return scope[tag]
+        return None
+
+    def lookup_enum_const(self, name: str) -> Optional[int]:
+        for scope in reversed(self.enum_const_scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def shadow_typedef(self, name: str) -> None:
+        """A variable declaration hides a typedef of the same name."""
+        self.typedef_scopes[-1][name] = None
+
+    # -- entry points ---------------------------------------------------------
+
+    def parse_translation_unit(self) -> tree.TranslationUnit:
+        decls: List[tree.Node] = []
+        while self.peek().kind != "eof":
+            decls.extend(self.external_declaration())
+        return tree.TranslationUnit(self.filename, decls)
+
+    # -- declarations ---------------------------------------------------------
+
+    def starts_type(self, token: Token) -> bool:
+        if token.kind == "keyword" and token.text in _TYPE_KEYWORDS | _STORAGE_KEYWORDS:
+            return True
+        if token.kind == "id" and self.lookup_typedef(token.text) is not None:
+            return True
+        return False
+
+    def external_declaration(self) -> List[tree.Node]:
+        if self.accept(";"):
+            return []
+        base, storage, decls_out = self.declaration_specifiers()
+        if self.at(";"):  # bare struct/union/enum declaration
+            self.next()
+            return decls_out
+        name, ctype, name_token = self.declarator(base)
+        # function definition?
+        if isinstance(ctype, FunctionType) and self.at("{"):
+            return decls_out + [self.function_definition(name, ctype, storage, name_token)]
+        out = decls_out
+        out.append(self.init_declarator(name, ctype, storage, name_token))
+        while self.accept(","):
+            name, ctype, name_token = self.declarator(base)
+            out.append(self.init_declarator(name, ctype, storage, name_token))
+        self.expect(";")
+        return out
+
+    def init_declarator(self, name, ctype, storage, name_token) -> tree.VarDecl:
+        if name is None:
+            raise self.error("declarator requires a name")
+        init = None
+        if self.accept("="):
+            init = self.initializer()
+        if storage == "typedef":
+            self.typedef_scopes[-1][name] = ctype
+        else:
+            self.shadow_typedef(name)
+        decl = tree.VarDecl(name, ctype, storage, init, Pos.of(name_token))
+        return decl
+
+    def initializer(self):
+        if self.at("{"):
+            self.next()
+            items = []
+            if not self.at("}"):
+                items.append(self.initializer())
+                while self.accept(","):
+                    if self.at("}"):
+                        break
+                    items.append(self.initializer())
+            self.expect("}")
+            return items
+        return self.assignment_expr()
+
+    def function_definition(self, name, ftype, storage, name_token) -> tree.FuncDef:
+        self.enter_scope()
+        for pname, _ptype in ftype.params:
+            if pname:
+                self.shadow_typedef(pname)
+        body = self.block(enter=False)
+        self.leave_scope()
+        end = self.tokens[self.pos - 1]  # the closing brace just consumed
+        return tree.FuncDef(name, ftype, [p for p, _ in ftype.params], body,
+                            storage, Pos.of(name_token), Pos.of(end))
+
+    def declaration_specifiers(self) -> Tuple[CType, str, List[tree.Node]]:
+        """Parse type specifiers + storage class.
+
+        Returns (base type, storage class, implicit declarations) — the
+        implicit declarations are enum constants surfaced as VarDecls.
+        """
+        storage = ""
+        out: List[tree.Node] = []
+        seen: List[str] = []
+        base: Optional[CType] = None
+        while True:
+            token = self.peek()
+            text = token.text
+            if token.kind == "keyword" and text in _STORAGE_KEYWORDS:
+                self.next()
+                if text != "auto":
+                    if storage and storage != text:
+                        raise self.error("conflicting storage classes")
+                    storage = text
+                continue
+            if token.kind == "keyword" and text in ("const", "volatile"):
+                self.next()  # qualifiers are accepted and ignored
+                continue
+            if token.kind == "keyword" and text in ("struct", "union"):
+                base = self.struct_or_union()
+                continue
+            if token.kind == "keyword" and text == "enum":
+                base, consts = self.enum_specifier()
+                out.extend(consts)
+                continue
+            if token.kind == "keyword" and text in _TYPE_KEYWORDS:
+                self.next()
+                seen.append(text)
+                continue
+            if (token.kind == "id" and base is None and not seen
+                    and self.lookup_typedef(text) is not None):
+                # a typedef name, but only if no type seen yet and the next
+                # token cannot start a declarator name conflict
+                self.next()
+                base = self.lookup_typedef(text)
+                continue
+            break
+        if base is None:
+            base = self._base_from_keywords(seen)
+        elif seen:
+            raise self.error("invalid type specifier combination")
+        return base, storage, out
+
+    def _base_from_keywords(self, seen: List[str]) -> CType:
+        t = self.types
+        key = " ".join(sorted(seen))
+        table = {
+            "": t.int,
+            "void": t.void,
+            "char": t.char,
+            "char signed": t.char,
+            "char unsigned": t.uchar,
+            "short": t.short,
+            "int short": t.short,
+            "short unsigned": t.ushort,
+            "int short unsigned": t.ushort,
+            "int": t.int,
+            "signed": t.int,
+            "int signed": t.int,
+            "unsigned": t.uint,
+            "int unsigned": t.uint,
+            "long": t.long,
+            "int long": t.long,
+            "long unsigned": t.ulong,
+            "int long unsigned": t.ulong,
+            "float": t.float,
+            "double": t.double,
+            "double long": t.ldouble,
+        }
+        if key not in table:
+            raise self.error("unsupported type %r" % " ".join(seen))
+        return table[key]
+
+    def struct_or_union(self) -> CType:
+        keyword = self.next().text
+        cls = StructType if keyword == "struct" else UnionType
+        tag = None
+        if self.peek().kind == "id":
+            tag = self.next().text
+        if self.at("{"):
+            if tag is not None:
+                existing = self.tag_scopes[-1].get(tag)
+                if existing is not None and not existing.complete:
+                    stype = existing
+                else:
+                    stype = cls(tag)
+                    self.tag_scopes[-1][tag] = stype
+            else:
+                stype = cls(tag)
+            self.next()
+            members: List[Tuple[str, CType]] = []
+            while not self.at("}"):
+                base, storage, _ = self.declaration_specifiers()
+                if storage:
+                    raise self.error("storage class in struct member")
+                name, ctype, _tok = self.declarator(base)
+                members.append((name, ctype))
+                while self.accept(","):
+                    name, ctype, _tok = self.declarator(base)
+                    members.append((name, ctype))
+                self.expect(";")
+            self.expect("}")
+            stype.define(members)
+            return stype
+        if tag is None:
+            raise self.error("%s requires a tag or a body" % keyword)
+        existing = self.lookup_tag(tag)
+        if existing is not None:
+            return existing
+        stype = cls(tag)
+        self.tag_scopes[-1][tag] = stype
+        return stype
+
+    def enum_specifier(self) -> Tuple[CType, List[tree.Node]]:
+        self.next()  # 'enum'
+        tag = None
+        if self.peek().kind == "id":
+            tag = self.next().text
+        consts: List[tree.Node] = []
+        if self.at("{"):
+            etype = EnumType(tag)
+            if tag is not None:
+                self.tag_scopes[-1][tag] = etype
+            self.next()
+            value = 0
+            while not self.at("}"):
+                name_token = self.next()
+                if name_token.kind != "id":
+                    raise self.error("expected enumerator name")
+                if self.accept("="):
+                    value = self.const_expr()
+                etype.enumerators.append((name_token.text, value))
+                self.enum_const_scopes[-1][name_token.text] = value
+                decl = tree.VarDecl(name_token.text, self.types.int, "enumconst",
+                                    tree.IntLit(value, Pos.of(name_token)),
+                                    Pos.of(name_token))
+                consts.append(decl)
+                value += 1
+                if not self.accept(","):
+                    break
+            self.expect("}")
+            etype.complete = True
+            return etype, consts
+        if tag is None:
+            raise self.error("enum requires a tag or a body")
+        existing = self.lookup_tag(tag)
+        if existing is not None:
+            return existing, consts
+        etype = EnumType(tag)
+        self.tag_scopes[-1][tag] = etype
+        return etype, consts
+
+    # -- declarators ------------------------------------------------------------
+
+    def declarator(self, base: CType):
+        """Parse a declarator; returns (name or None, type, name token)."""
+        ctype = base
+        while self.accept("*"):
+            while self.peek().text in ("const", "volatile"):
+                self.next()
+            ctype = PointerType(ctype)
+        return self._direct_declarator(ctype)
+
+    def _direct_declarator(self, ctype: CType):
+        name = None
+        name_token = self.peek()
+        inner_marker = None
+        if self.at("("):
+            # distinguish grouping parens from parameter lists: a grouping
+            # paren is followed by * or an identifier that is not a type
+            probe = self.peek(1)
+            if probe.text == "*" or (probe.kind == "id"
+                                     and self.lookup_typedef(probe.text) is None):
+                self.next()
+                inner_start = self.pos
+                depth = 1
+                while depth:
+                    token = self.next()
+                    if token.kind == "eof":
+                        raise self.error("unbalanced parentheses in declarator")
+                    if token.text == "(":
+                        depth += 1
+                    elif token.text == ")":
+                        depth -= 1
+                inner_marker = (inner_start, self.pos - 1)
+        elif self.peek().kind == "id":
+            name_token = self.next()
+            name = name_token.text
+        # suffixes apply to the outer type
+        ctype = self._declarator_suffixes(ctype)
+        if inner_marker is not None:
+            # re-parse the inner declarator against the suffixed type
+            saved = self.pos
+            self.pos = inner_marker[0]
+            name, ctype, name_token = self.declarator(ctype)
+            if self.pos != inner_marker[1]:
+                raise self.error("malformed parenthesized declarator")
+            self.pos = saved
+        return name, ctype, name_token
+
+    def _declarator_suffixes(self, ctype: CType) -> CType:
+        suffixes = []
+        while True:
+            if self.at("["):
+                self.next()
+                count = None
+                if not self.at("]"):
+                    count = self.const_expr()
+                self.expect("]")
+                suffixes.append(("array", count))
+            elif self.at("("):
+                self.next()
+                params, varargs = self.parameter_list()
+                suffixes.append(("func", (params, varargs)))
+            else:
+                break
+        for kind, payload in reversed(suffixes):
+            if kind == "array":
+                ctype = ArrayType(ctype, payload)
+            else:
+                params, varargs = payload
+                ctype = FunctionType(ctype, params, varargs)
+        return ctype
+
+    def parameter_list(self):
+        params: List[Tuple[Optional[str], CType]] = []
+        varargs = False
+        if self.at(")"):
+            self.next()
+            return params, varargs
+        if self.at("void") and self.peek(1).text == ")":
+            self.next()
+            self.next()
+            return params, varargs
+        while True:
+            if self.at("..."):
+                self.next()
+                varargs = True
+                break
+            base, storage, _ = self.declaration_specifiers()
+            if storage not in ("", "register"):
+                raise self.error("bad storage class in parameter")
+            name, ctype, _tok = self.declarator(base)
+            if isinstance(ctype, ArrayType):
+                ctype = PointerType(ctype.elem)  # parameters decay
+            if isinstance(ctype, FunctionType):
+                ctype = PointerType(ctype)
+            params.append((name, ctype))
+            if not self.accept(","):
+                break
+        self.expect(")")
+        return params, varargs
+
+    def type_name(self) -> CType:
+        """An abstract declarator, for casts and sizeof."""
+        base, storage, _ = self.declaration_specifiers()
+        if storage:
+            raise self.error("storage class in type name")
+        ctype = base
+        while self.accept("*"):
+            ctype = PointerType(ctype)
+        ctype = self._declarator_suffixes(ctype)
+        return ctype
+
+    # -- statements -------------------------------------------------------------
+
+    def block(self, enter: bool = True) -> tree.Block:
+        open_token = self.expect("{")
+        if enter:
+            self.enter_scope()
+        items: List[tree.Node] = []
+        while not self.at("}"):
+            if self.peek().kind == "eof":
+                raise self.error("unterminated block")
+            if self.starts_type(self.peek()):
+                items.extend(self.local_declaration())
+            else:
+                items.append(self.statement())
+        self.expect("}")
+        if enter:
+            self.leave_scope()
+        return tree.Block(items, Pos.of(open_token))
+
+    def local_declaration(self) -> List[tree.Node]:
+        base, storage, out = self.declaration_specifiers()
+        if self.accept(";"):
+            return out
+        name, ctype, name_token = self.declarator(base)
+        out.append(self.init_declarator(name, ctype, storage, name_token))
+        while self.accept(","):
+            name, ctype, name_token = self.declarator(base)
+            out.append(self.init_declarator(name, ctype, storage, name_token))
+        self.expect(";")
+        return out
+
+    def statement(self) -> tree.Stmt:
+        token = self.peek()
+        text = token.text
+        if self.at("{"):
+            return self.block()
+        if self.accept(";"):
+            return tree.Empty(Pos.of(token))
+        if token.kind == "keyword":
+            if text == "if":
+                self.next()
+                self.expect("(")
+                cond = self.expression()
+                self.expect(")")
+                then = self.statement()
+                els = self.statement() if self.accept("else") else None
+                return tree.If(cond, then, els, Pos.of(token))
+            if text == "while":
+                self.next()
+                self.expect("(")
+                cond = self.expression()
+                self.expect(")")
+                return tree.While(cond, self.statement(), Pos.of(token))
+            if text == "do":
+                self.next()
+                body = self.statement()
+                self.expect("while")
+                self.expect("(")
+                cond = self.expression()
+                self.expect(")")
+                self.expect(";")
+                return tree.DoWhile(body, cond, Pos.of(token))
+            if text == "for":
+                self.next()
+                self.expect("(")
+                init = None if self.at(";") else self.expression()
+                self.expect(";")
+                cond = None if self.at(";") else self.expression()
+                self.expect(";")
+                step = None if self.at(")") else self.expression()
+                self.expect(")")
+                return tree.For(init, cond, step, self.statement(), Pos.of(token))
+            if text == "return":
+                self.next()
+                value = None if self.at(";") else self.expression()
+                self.expect(";")
+                return tree.Return(value, Pos.of(token))
+            if text == "break":
+                self.next()
+                self.expect(";")
+                stmt = tree.Break(Pos.of(token))
+                return stmt
+            if text == "continue":
+                self.next()
+                self.expect(";")
+                return tree.Continue(Pos.of(token))
+            if text == "switch":
+                self.next()
+                self.expect("(")
+                expr = self.expression()
+                self.expect(")")
+                return tree.Switch(expr, self.statement(), Pos.of(token))
+            if text == "case":
+                self.next()
+                value = self.conditional_expr()
+                self.expect(":")
+                case = tree.Case(value, Pos.of(token))
+                return case
+            if text == "default":
+                self.next()
+                self.expect(":")
+                return tree.Default(Pos.of(token))
+        expr = self.expression()
+        self.expect(";")
+        return tree.ExprStmt(expr, expr.pos or Pos.of(token))
+
+    # -- expressions -------------------------------------------------------------
+
+    def expression(self) -> tree.Expr:
+        expr = self.assignment_expr()
+        while self.at(","):
+            token = self.next()
+            right = self.assignment_expr()
+            expr = tree.Comma(expr, right, Pos.of(token))
+        return expr
+
+    def assignment_expr(self) -> tree.Expr:
+        left = self.conditional_expr()
+        token = self.peek()
+        if token.kind == "punct" and token.text in _ASSIGN_OPS:
+            self.next()
+            right = self.assignment_expr()
+            return tree.Assign(token.text, left, right, Pos.of(token))
+        return left
+
+    def conditional_expr(self) -> tree.Expr:
+        cond = self.binary_expr(0)
+        if self.at("?"):
+            token = self.next()
+            then = self.expression()
+            self.expect(":")
+            els = self.conditional_expr()
+            return tree.Cond(cond, then, els, Pos.of(token))
+        return cond
+
+    def binary_expr(self, level: int) -> tree.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self.cast_expr()
+        left = self.binary_expr(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.peek().kind == "punct" and self.peek().text in ops:
+            token = self.next()
+            right = self.binary_expr(level + 1)
+            left = tree.Binary(token.text, left, right, Pos.of(token))
+        return left
+
+    def cast_expr(self) -> tree.Expr:
+        if self.at("(") and self.starts_type(self.peek(1)) \
+                and self.peek(1).text not in _STORAGE_KEYWORDS:
+            token = self.next()
+            ctype = self.type_name()
+            self.expect(")")
+            return tree.Cast(ctype, self.cast_expr(), Pos.of(token))
+        return self.unary_expr()
+
+    def unary_expr(self) -> tree.Expr:
+        token = self.peek()
+        text = token.text
+        if text in ("-", "+", "!", "~", "*", "&"):
+            self.next()
+            return tree.Unary(text, self.cast_expr(), Pos.of(token))
+        if text == "++" or text == "--":
+            self.next()
+            return tree.Unary("pre" + text, self.unary_expr(), Pos.of(token))
+        if token.kind == "keyword" and text == "sizeof":
+            self.next()
+            if self.at("(") and self.starts_type(self.peek(1)):
+                self.next()
+                ctype = self.type_name()
+                self.expect(")")
+                return tree.SizeofType(ctype, Pos.of(token))
+            return tree.Unary("sizeof", self.unary_expr(), Pos.of(token))
+        return self.postfix_expr()
+
+    def postfix_expr(self) -> tree.Expr:
+        expr = self.primary_expr()
+        while True:
+            token = self.peek()
+            if self.at("["):
+                self.next()
+                index = self.expression()
+                self.expect("]")
+                expr = tree.Index(expr, index, Pos.of(token))
+            elif self.at("("):
+                self.next()
+                args = []
+                if not self.at(")"):
+                    args.append(self.assignment_expr())
+                    while self.accept(","):
+                        args.append(self.assignment_expr())
+                self.expect(")")
+                expr = tree.Call(expr, args, Pos.of(token))
+            elif self.at("."):
+                self.next()
+                name = self.next()
+                expr = tree.Member(expr, name.text, False, Pos.of(token))
+            elif self.at("->"):
+                self.next()
+                name = self.next()
+                expr = tree.Member(expr, name.text, True, Pos.of(token))
+            elif self.at("++"):
+                self.next()
+                expr = tree.Unary("post++", expr, Pos.of(token))
+            elif self.at("--"):
+                self.next()
+                expr = tree.Unary("post--", expr, Pos.of(token))
+            else:
+                return expr
+
+    def primary_expr(self) -> tree.Expr:
+        token = self.peek()
+        if token.kind == "int":
+            self.next()
+            return tree.IntLit(token.value, Pos.of(token))
+        if token.kind == "float":
+            self.next()
+            return tree.FloatLit(token.value, Pos.of(token))
+        if token.kind == "string":
+            self.next()
+            value = token.value
+            while self.peek().kind == "string":  # adjacent literals concatenate
+                value += self.next().value
+            return tree.StringLit(value, Pos.of(token))
+        if token.kind == "id":
+            self.next()
+            return tree.Ident(token.text, Pos.of(token))
+        if self.at("("):
+            self.next()
+            expr = self.expression()
+            self.expect(")")
+            return expr
+        raise self.error("unexpected token %r" % (token.text or "<eof>"))
+
+    # -- constant expressions -------------------------------------------------------
+
+    def const_expr(self) -> int:
+        expr = self.conditional_expr()
+        return self.eval_const(expr)
+
+    def eval_const(self, expr: tree.Expr) -> int:
+        """Parse-time constant folding for array sizes and enum values."""
+        if isinstance(expr, tree.IntLit):
+            return expr.value
+        if isinstance(expr, tree.Ident):
+            value = self.lookup_enum_const(expr.name)
+            if value is None:
+                raise CError("not a constant: %s" % expr.name,
+                             expr.pos.filename if expr.pos else "",
+                             expr.pos.line if expr.pos else 0,
+                             expr.pos.col if expr.pos else 0)
+            return value
+        if isinstance(expr, tree.SizeofType):
+            return expr.target_type.size
+        if isinstance(expr, tree.Unary):
+            value = self.eval_const(expr.operand)
+            if expr.op == "-":
+                return -value
+            if expr.op == "+":
+                return value
+            if expr.op == "~":
+                return ~value
+            if expr.op == "!":
+                return int(not value)
+            if expr.op == "sizeof":
+                raise CError("sizeof expression not constant here")
+        if isinstance(expr, tree.Binary):
+            a = self.eval_const(expr.left)
+            b = self.eval_const(expr.right)
+            return _fold_binary(expr.op, a, b)
+        if isinstance(expr, tree.Cond):
+            return (self.eval_const(expr.then) if self.eval_const(expr.cond)
+                    else self.eval_const(expr.els))
+        if isinstance(expr, tree.Cast):
+            return self.eval_const(expr.operand)
+        raise CError("expression is not constant")
+
+
+def _fold_binary(op: str, a: int, b: int) -> int:
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if b == 0:
+            raise CError("division by zero in constant expression")
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+    if op == "%":
+        if b == 0:
+            raise CError("division by zero in constant expression")
+        r = abs(a) % abs(b)
+        return -r if a < 0 else r
+    if op == "<<":
+        return a << b
+    if op == ">>":
+        return a >> b
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "<":
+        return int(a < b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">":
+        return int(a > b)
+    if op == ">=":
+        return int(a >= b)
+    if op == "&&":
+        return int(bool(a) and bool(b))
+    if op == "||":
+        return int(bool(a) or bool(b))
+    raise CError("bad constant operator %r" % op)
+
+
+def parse(source: str, filename: str = "<input>",
+          types: Optional[TypeSystem] = None) -> tree.TranslationUnit:
+    return Parser(source, filename, types).parse_translation_unit()

@@ -1,0 +1,320 @@
+"""PostScript symbol-table emission (paper Sec. 2).
+
+The compiler emits *machine-independent* symbol tables represented by
+PostScript programs that build PostScript objects.  Each symbol-table
+entry is a dictionary (``/S10 << /name (i) ... >> def``); entries for
+locals link into the uplink tree of Fig. 2; procedure entries carry the
+``loci`` array of stopping points; statics and stopping points are
+located through anchor symbols and ``LazyData``.
+
+Two emission modes support the paper's deferral measurement (Sec. 5):
+
+* ``defer=True`` (production): procedures that are interpreted at most
+  once — ``where`` computations, ``loci`` locations, printers — are
+  quoted as strings (``(...) cvx``), so the scanner reads them quickly
+  and lexical analysis happens only on demand;
+* ``defer=False``: the same procedures inline as ``{...}`` bodies, fully
+  scanned at load time.  ``bench_deferral.py`` measures the difference.
+
+Machine-dependent data rides along where the paper says it does: the
+compiler adds register-save masks to procedure entries for the rm68k
+target (Sec. 5), and element sizes/offsets in type dictionaries are
+target-specific by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .ctypes_ import (
+    ArrayType,
+    CType,
+    EnumType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    TypeSystem,
+    UnionType,
+    VoidType,
+)
+from .ir import FuncIR, StopPoint, UnitIR
+from .symtab import CSymbol, FunctionInfo, UnitInfo
+
+
+def ps_string(text: str) -> str:
+    """Quote text as a PostScript string."""
+    out = []
+    for ch in text:
+        if ch in "()\\":
+            out.append("\\" + ch)
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\t":
+            out.append("\\t")
+        else:
+            out.append(ch)
+    return "(%s)" % "".join(out)
+
+
+def decl_pattern(t: CType, inner: str = "%s") -> str:
+    """Build the C declarator pattern for a type (``int %s[20]``)."""
+    if isinstance(t, PointerType):
+        ref = t.ref
+        star = "*" + inner
+        if isinstance(ref, (ArrayType, FunctionType)):
+            star = "(%s)" % star
+        return decl_pattern(ref, star)
+    if isinstance(t, ArrayType):
+        count = "" if t.count is None else str(t.count)
+        return decl_pattern(t.elem, "%s[%s]" % (inner, count))
+    if isinstance(t, FunctionType):
+        params = ", ".join(decl_pattern(pt, "") for _, pt in t.params) or "void"
+        if t.varargs:
+            params += ", ..."
+        return decl_pattern(t.ret, "%s(%s)" % (inner, params))
+    if isinstance(t, (StructType, UnionType)):
+        return ("%s %s %s" % (t.kind_word, t.tag or "", inner)).strip()
+    if isinstance(t, EnumType):
+        return ("enum %s %s" % (t.tag or "", inner)).strip()
+    return ("%s %s" % (t, inner)).rstrip()
+
+
+def struct_cdef(t: StructType) -> str:
+    """The C definition of a struct/union, for the expression server."""
+    members = " ".join("%s;" % decl_pattern(f.ctype, f.name) for f in t.fields)
+    return "%s %s { %s }" % (t.kind_word, t.tag or "", members)
+
+
+_INT_PRINTERS = {(1, True): "CHAR", (1, False): "UCHAR",
+                 (2, True): "SHORT", (2, False): "USHORT",
+                 (4, True): "INT", (4, False): "UINT"}
+_FLOAT_PRINTERS = {4: "FLOAT", 8: "DOUBLE", 10: "LDOUBLE"}
+
+
+class _Emitter:
+    def __init__(self, unit, unit_ir: UnitIR, info: UnitInfo, backend,
+                 types: TypeSystem, defer: bool):
+        self.unit = unit
+        self.unit_ir = unit_ir
+        self.info = info
+        self.backend = backend
+        self.types = types
+        self.defer = defer
+        self.lines: List[str] = []
+        self.type_names: Dict[int, str] = {}
+        self.type_fill: List[Tuple[str, CType]] = []
+        self.anchor_name = backend.anchor_symbol_name(unit)
+        self._type_counter = [0]
+        self._held: List[CType] = []  # keep ids stable
+
+    # -- procedures-as-code: the deferral seam -----------------------------
+
+    def proc(self, body: str) -> str:
+        """Emit a procedure body, deferred or eager (Sec. 5)."""
+        if self.defer:
+            return "%s cvx" % ps_string(body)
+        return "{ %s }" % body
+
+    # -- types --------------------------------------------------------------
+
+    def type_ref(self, t: CType) -> str:
+        key = id(t)
+        if key not in self.type_names:
+            self._type_counter[0] += 1
+            name = "T%d_%s" % (self._type_counter[0], self.unit.name_suffix())
+            self.type_names[key] = name
+            self._held.append(t)
+            # declare now, fill later: handles recursive structs
+            self.lines.append("/%s 12 dict def" % name)
+            self.type_fill.append((name, t))
+        return self.type_names[key]
+
+    def fill_types(self) -> None:
+        while self.type_fill:
+            name, t = self.type_fill.pop(0)
+            for key, value in self.type_body(t):
+                self.lines.append("%s /%s %s put" % (name, key, value))
+
+    def type_body(self, t: CType) -> List[Tuple[str, str]]:
+        body: List[Tuple[str, str]] = [
+            ("decl", ps_string(decl_pattern(t))),
+            ("size", str(max(t.size, 0))),
+        ]
+        if isinstance(t, IntType):
+            body.append(("printer", self.proc(_INT_PRINTERS[(t.size, t.signed)])))
+        elif isinstance(t, FloatType):
+            body.append(("printer", self.proc(_FLOAT_PRINTERS[t.size])))
+        elif isinstance(t, PointerType):
+            ref = t.ref
+            if isinstance(ref, IntType) and ref.size == 1:
+                body.append(("printer", self.proc("CSTRING")))
+            elif isinstance(ref, FunctionType):
+                body.append(("printer", self.proc("FUNC")))
+            else:
+                body.append(("printer", self.proc("PTR")))
+            if not ref.is_void() and not isinstance(ref, FunctionType):
+                body.append(("pointee", self.type_ref(ref)))
+        elif isinstance(t, ArrayType):
+            body.append(("printer", self.proc("ARRAY")))
+            body.append(("elemsize", str(t.elem.size)))
+            body.append(("arraysize", str(t.size)))
+            body.append(("elemtype", self.type_ref(t.elem)))
+        elif isinstance(t, UnionType):
+            body.append(("printer", self.proc("UNION")))
+            body.append(("fields", self._fields(t)))
+            body.append(("cdef", ps_string(struct_cdef(t))))
+        elif isinstance(t, StructType):
+            body.append(("printer", self.proc("STRUCT")))
+            body.append(("fields", self._fields(t)))
+            body.append(("cdef", ps_string(struct_cdef(t))))
+        elif isinstance(t, EnumType):
+            body.append(("printer", self.proc("ENUM")))
+            tags = " ".join("%d %s" % (value, ps_string(name))
+                            for name, value in t.enumerators)
+            body.append(("enumtags", "<< %s >>" % tags))
+        elif isinstance(t, FunctionType):
+            body.append(("printer", self.proc("FUNC")))
+        elif isinstance(t, VoidType):
+            body.append(("printer", self.proc("PTR")))
+        return body
+
+    def _fields(self, t: StructType) -> str:
+        parts = []
+        for field in t.fields:
+            parts.append("<< /name %s /offset %d /ftype %s >>"
+                         % (ps_string(field.name), field.offset,
+                            self.type_ref(field.ctype)))
+        return "[ %s ]" % " ".join(parts)
+
+    # -- locations -------------------------------------------------------------
+
+    def where(self, sym: CSymbol) -> Optional[str]:
+        loc = sym.loc
+        if loc is None:
+            if sym.sclass == "extern":
+                return self.proc("%s GlobalData"
+                                 % ps_string(sym.label or "_" + sym.name))
+            return None
+        if loc[0] == "reg":
+            return "%d Regset0 Absolute" % loc[1]
+        if loc[0] == "frame":
+            op = "Param" if sym.sclass == "param" else "Local"
+            return self.proc("%d %s" % (loc[1], op))
+        if loc[0] == "global":
+            if sym.anchor_index is not None:
+                return self.proc("%s %d LazyData"
+                                 % (ps_string(self.anchor_name), sym.anchor_index))
+            return self.proc("%s GlobalData" % ps_string(loc[1]))
+        return None
+
+    # -- symbol entries -----------------------------------------------------------
+
+    def sym_name(self, sym: CSymbol) -> str:
+        return "S%d" % sym.uid
+
+    def entry(self, sym: CSymbol, kind: str,
+              extra: Optional[List[Tuple[str, str]]] = None) -> None:
+        pos = sym.pos
+        fields = [
+            ("name", ps_string(sym.name)),
+            ("type", self.type_ref(sym.ctype)),
+            ("sourcefile", ps_string(pos.filename if pos else self.unit_ir.name)),
+            ("sourcey", str(pos.line if pos else 0)),
+            ("sourcex", str(pos.col if pos else 0)),
+            ("kind", ps_string(kind)),
+        ]
+        where = self.where(sym)
+        if where is not None:
+            fields.append(("where", where))
+        uplink = self.sym_name(sym.uplink) if sym.uplink is not None else "null"
+        fields.append(("uplink", uplink))
+        if extra:
+            fields.extend(extra)
+        body = " ".join("/%s %s" % (key, value) for key, value in fields)
+        self.lines.append("/%s << %s >> def" % (self.sym_name(sym), body))
+
+    def stop_where(self, stop: StopPoint) -> str:
+        index = self.backend.anchor_index.get(stop.label)
+        if index is None:
+            return "null"
+        return self.proc("%s %d LazyData" % (ps_string(self.anchor_name), index))
+
+    def function(self, fn_ir: FuncIR, fn_info: FunctionInfo) -> None:
+        # declaration order (uid order) so uplink references resolve:
+        # the chain may interleave params, locals, and function statics
+        everything = list(fn_info.params) + list(fn_ir.locals) + list(fn_info.statics)
+        for sym in sorted(everything, key=lambda s: s.uid):
+            if sym.name.startswith("."):
+                continue  # compiler temporaries stay out of the table
+            self.entry(sym, "variable")
+        loci_parts = []
+        for stop in fn_ir.stops:
+            syms = self.sym_name(stop.chain) if stop.chain is not None else "null"
+            pos = stop.pos
+            loci_parts.append(
+                "<< /sourcey %d /sourcex %d /where %s /syms %s >>"
+                % (pos.line if pos else 0, pos.col if pos else 0,
+                   self.stop_where(stop), syms))
+        statics_body = " ".join(
+            "/%s %s" % (sym.name, self.sym_name(sym)) for sym in fn_info.statics)
+        formals = (self.sym_name(fn_info.params[-1])
+                   if fn_info.params else "null")
+        # the loci array is the bulk of a procedure's entry and is
+        # interpreted at most once, so in deferred mode its *lexical
+        # analysis* is deferred too: the whole array arrives as a quoted
+        # string the scanner reads quickly (paper Sec. 5)
+        loci_value = self.proc("[ %s ]" % " ".join(loci_parts))
+        extra: List[Tuple[str, str]] = [
+            ("formals", formals),
+            ("statics", "<< %s >>" % statics_body),
+            ("loci", loci_value),
+        ]
+        if self.backend.arch.name == "rm68k":
+            # the register-save mask the paper's 68020 compiler adds
+            frame_info = getattr(fn_ir.symbol, "frame_info", None)
+            if frame_info is not None:
+                extra.append(("savemask", str(frame_info.regmask)))
+                extra.append(("saveoffset", str(frame_info.regsave_offset)))
+                extra.append(("framesize", str(frame_info.framesize)))
+        self.entry(fn_ir.symbol, "procedure", extra)
+
+    # -- unit ------------------------------------------------------------------------
+
+    def emit(self) -> str:
+        self.lines.append("%% PostScript symbol table for %s (%s)"
+                          % (self.unit_ir.name, self.backend.arch.name))
+        func_statics = set()
+        for fi in self.info.functions:
+            func_statics.update(id(sym) for sym in fi.statics)
+        for sym, _init in self.unit_ir.data:
+            if id(sym) in func_statics or sym.sclass == "string":
+                continue  # function statics are emitted with their function
+            self.entry(sym, "variable")
+        for sym in self.unit_ir.externs:
+            self.entry(sym, "variable")
+        fn_iter = iter(self.info.functions)
+        for fn_ir in self.unit_ir.functions:
+            self.function(fn_ir, next(fn_iter))
+        self.fill_types()
+        # top-level contributions (accumulated by the symload harness)
+        for fn_ir in self.unit_ir.functions:
+            self.lines.append("%s AddProc" % self.sym_name(fn_ir.symbol))
+            self.lines.append("/%s %s AddExtern"
+                              % (fn_ir.symbol.name, self.sym_name(fn_ir.symbol)))
+        for sym in self.info.globals:
+            self.lines.append("/%s %s AddExtern" % (sym.name, self.sym_name(sym)))
+        source_procs = " ".join(self.sym_name(fn.symbol)
+                                for fn in self.unit_ir.functions)
+        self.lines.append("%s [ %s ] AddSource"
+                          % (ps_string(self.unit_ir.name), source_procs))
+        if self.backend.anchor_index:
+            self.lines.append("/%s AddAnchor" % self.anchor_name)
+        return "\n".join(self.lines) + "\n"
+
+
+def emit_unit(unit, unit_ir: UnitIR, info: UnitInfo, backend,
+              types: TypeSystem, defer: bool = True) -> str:
+    """Emit the PostScript symbol table for one compiled unit."""
+    return _Emitter(unit, unit_ir, info, backend, types, defer).emit()

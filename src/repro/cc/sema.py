@@ -1,0 +1,663 @@
+"""Semantic analysis: name resolution, typing, implicit conversions.
+
+Output is the same AST annotated with ``ctype`` on every expression and
+``symbol`` on identifiers, plus a :class:`~repro.cc.symtab.UnitInfo`
+recording the per-function scope chains the symbol-table emitters need.
+
+The scope chain construction mirrors the paper (Sec. 2): each local or
+parameter's ``uplink`` is the previously declared symbol visible at its
+declaration; block exit restores the chain, so symbols in sibling blocks
+share an uplink — the tree of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import tree
+from .ctypes_ import (
+    ArrayType,
+    CType,
+    EnumType,
+    FunctionType,
+    PointerType,
+    StructType,
+    TypeSystem,
+    UnionType,
+    compatible,
+)
+from .lexer import CError
+from .symtab import CSymbol, FunctionInfo, Scope, UnitInfo
+
+
+class Sema:
+    def __init__(self, types: TypeSystem, unit_name: str = "<unit>"):
+        self.types = types
+        self.globals = Scope()
+        self.scope = self.globals
+        self.unit = UnitInfo(unit_name)
+        self.current_fn: Optional[FunctionInfo] = None
+        self.chain: Optional[CSymbol] = None
+        self._static_counter = 0
+        self._declare_builtins()
+
+    def _declare_builtins(self) -> None:
+        t = self.types
+        charp = PointerType(t.char)
+        for name, ftype in (
+            ("printf", FunctionType(t.int, [("fmt", charp)], varargs=True)),
+            ("putchar", FunctionType(t.int, [("c", t.int)])),
+            ("exit", FunctionType(t.void, [("status", t.int)])),
+        ):
+            sym = CSymbol(name, ftype, "func")
+            sym.label = "_" + name
+            self.globals.declare(sym)
+
+    # -- driver -------------------------------------------------------------
+
+    def analyze(self, unit: tree.TranslationUnit) -> UnitInfo:
+        self.unit.name = unit.name
+        for decl in unit.decls:
+            if isinstance(decl, tree.FuncDef):
+                self.function_def(decl)
+            elif isinstance(decl, tree.VarDecl):
+                self.global_decl(decl)
+        return self.unit
+
+    def error(self, message: str, node=None) -> CError:
+        pos = getattr(node, "pos", None)
+        if pos is not None:
+            return CError(message, pos.filename, pos.line, pos.col)
+        return CError(message)
+
+    # -- declarations ----------------------------------------------------------
+
+    def global_decl(self, decl: tree.VarDecl) -> None:
+        if decl.storage == "typedef":
+            return
+        if decl.storage == "enumconst":
+            sym = CSymbol(decl.name, self.types.int, "enumconst", decl.pos)
+            sym.value = decl.init.value
+            self.globals.declare(sym)
+            decl.symbol = sym
+            return
+        existing = self.globals.lookup_here(decl.name)
+        if isinstance(decl.ctype, FunctionType):
+            if existing is None:
+                sym = CSymbol(decl.name, decl.ctype, "func", decl.pos)
+                sym.label = "_" + decl.name
+                self.globals.declare(sym)
+            decl.symbol = existing or self.globals.lookup_here(decl.name)
+            return
+        if existing is not None and decl.init is None:
+            decl.symbol = existing
+            return
+        sclass = {"static": "static", "extern": "extern"}.get(decl.storage, "global")
+        if existing is not None:
+            sym = existing
+            if sym.sclass == "extern" and sclass != "extern":
+                sym.sclass = sclass
+        else:
+            sym = CSymbol(decl.name, decl.ctype, sclass, decl.pos)
+            sym.label = "_" + decl.name
+            self.globals.declare(sym)
+        decl.symbol = sym
+        if decl.init is not None:
+            sym.defined = True
+            self.unit.global_inits[sym.uid] = self.check_initializer(decl, sym)
+        if sclass == "extern":
+            self.unit.externs.append(sym)
+        elif sclass == "static":
+            if sym not in self.unit.statics:
+                self.unit.statics.append(sym)
+        else:
+            if sym not in self.unit.globals:
+                self.unit.globals.append(sym)
+
+    def check_initializer(self, decl: tree.VarDecl, sym: CSymbol):
+        """Type-check a static initializer; return a folded form.
+
+        Scalars fold to int/float; char arrays accept string literals;
+        arrays/structs accept brace lists of constants.
+        """
+        return self._fold_init(decl.init, sym.ctype, decl)
+
+    def _fold_init(self, init, ctype: CType, node):
+        if isinstance(init, list):
+            if isinstance(ctype, ArrayType):
+                folded = [self._fold_init(item, ctype.elem, node) for item in init]
+                if ctype.count is None:
+                    ctype.count = len(folded)
+                    ctype.size = ctype.elem.size * len(folded)
+                if len(folded) > (ctype.count or 0):
+                    raise self.error("too many initializers", node)
+                return folded
+            if isinstance(ctype, StructType):
+                if len(init) > len(ctype.fields):
+                    raise self.error("too many initializers", node)
+                return [self._fold_init(item, f.ctype, node)
+                        for item, f in zip(init, ctype.fields)]
+            raise self.error("brace initializer for scalar", node)
+        if isinstance(init, tree.StringLit):
+            if isinstance(ctype, ArrayType):
+                if ctype.count is None:
+                    ctype.count = len(init.value) + 1
+                    ctype.size = ctype.count
+                return init.value
+            if ctype.is_pointer():
+                return init  # pointer to string data; emitter handles
+            raise self.error("string initializer for non-array", node)
+        value = self._const_value(init)
+        if isinstance(value, CSymbol):
+            if ctype.is_pointer():
+                return value  # emitted as a relocation to the symbol
+            raise self.error("address constant initializes a non-pointer", node)
+        if ctype.is_float():
+            return float(value)
+        if ctype.is_integer() or ctype.is_pointer() or isinstance(ctype, EnumType):
+            return int(value)
+        raise self.error("bad initializer", node)
+
+    def _const_value(self, expr: tree.Expr):
+        if isinstance(expr, tree.IntLit):
+            return expr.value
+        if isinstance(expr, tree.FloatLit):
+            return expr.value
+        if isinstance(expr, tree.Unary) and expr.op == "-":
+            return -self._const_value(expr.operand)
+        if isinstance(expr, tree.Ident):
+            sym = self.globals.lookup(expr.name)
+            if sym is not None and sym.sclass == "enumconst":
+                return sym.value
+            if sym is not None and sym.sclass in ("func", "global", "static",
+                                                  "extern"):
+                return sym  # an address constant; becomes a relocation
+        if isinstance(expr, tree.Unary) and expr.op == "&" \
+                and isinstance(expr.operand, tree.Ident):
+            sym = self.globals.lookup(expr.operand.name)
+            if sym is not None and sym.label:
+                return sym
+        if isinstance(expr, tree.SizeofType):
+            return expr.target_type.size
+        if isinstance(expr, tree.Binary):
+            from .parser import _fold_binary
+            return _fold_binary(expr.op, self._const_value(expr.left),
+                                self._const_value(expr.right))
+        if isinstance(expr, tree.Cast):
+            return self._const_value(expr.operand)
+        raise self.error("initializer is not constant", expr)
+
+    # -- functions ---------------------------------------------------------------
+
+    def function_def(self, fn: tree.FuncDef) -> None:
+        existing = self.globals.lookup_here(fn.name)
+        if existing is not None and existing.sclass == "func":
+            sym = existing
+            sym.ctype = fn.ftype
+        else:
+            sym = CSymbol(fn.name, fn.ftype, "func", fn.pos)
+            sym.label = "_" + fn.name
+            self.globals.declare(sym)
+        sym.defined = True
+        if fn.storage == "static":
+            sym.sclass = "func"  # static functions still get labels
+        fn.symbol = sym
+
+        info = FunctionInfo(sym)
+        self.current_fn = info
+        self.unit.functions.append(info)
+        self.chain = None
+
+        self.scope = Scope(self.globals)
+        for pname, ptype in fn.ftype.params:
+            if pname is None:
+                raise self.error("unnamed parameter in definition", fn)
+            psym = CSymbol(pname, ptype, "param", fn.pos)
+            psym.uplink = self.chain
+            self.chain = psym
+            self.scope.declare(psym)
+            info.params.append(psym)
+        info.param_chain = self.chain
+
+        self.block(fn.body, new_scope=False)
+
+        self.scope = self.globals
+        self.current_fn = None
+        self.chain = None
+
+    # -- statements -----------------------------------------------------------------
+
+    def block(self, blk: tree.Block, new_scope: bool = True) -> None:
+        saved_chain = self.chain
+        if new_scope:
+            self.scope = Scope(self.scope)
+        for item in blk.items:
+            if isinstance(item, tree.VarDecl):
+                self.local_decl(item)
+            else:
+                self.statement(item)
+        if new_scope:
+            self.scope = self.scope.parent
+        self.chain = saved_chain
+
+    def local_decl(self, decl: tree.VarDecl) -> None:
+        info = self.current_fn
+        if decl.storage == "typedef":
+            return
+        if decl.storage == "enumconst":
+            sym = CSymbol(decl.name, self.types.int, "enumconst", decl.pos)
+            sym.value = decl.init.value
+            self.scope.declare(sym)
+            decl.symbol = sym
+            return
+        if decl.storage == "extern":
+            sym = CSymbol(decl.name, decl.ctype, "extern", decl.pos)
+            sym.label = "_" + decl.name
+            self.scope.declare(sym)
+            decl.symbol = sym
+            return
+        if decl.storage == "static":
+            self._static_counter += 1
+            sym = CSymbol(decl.name, decl.ctype, "static", decl.pos)
+            sym.label = "_%s_%d" % (decl.name, self._static_counter)
+            self.scope.declare(sym)
+            sym.uplink = self.chain
+            self.chain = sym
+            info.statics.append(sym)
+            decl.symbol = sym
+            if decl.init is not None:
+                self.unit.global_inits[sym.uid] = self.check_initializer(decl, sym)
+            return
+        sclass = "register" if decl.storage == "register" else "local"
+        sym = CSymbol(decl.name, decl.ctype, sclass, decl.pos)
+        sym.uplink = self.chain
+        self.chain = sym
+        self.scope.declare(sym)
+        info.locals.append(sym)
+        decl.symbol = sym
+        if decl.init is not None:
+            if isinstance(decl.init, (list, tree.StringLit)) and not decl.ctype.is_scalar():
+                raise self.error("aggregate initializers on locals are not supported",
+                                 decl)
+            decl.init = self.coerce(self.expr(decl.init), sym.ctype, decl)
+
+    def statement(self, stmt: tree.Stmt) -> None:
+        info = self.current_fn
+        info.chain_at[id(stmt)] = self.chain
+        if isinstance(stmt, tree.Block):
+            self.block(stmt)
+        elif isinstance(stmt, tree.ExprStmt):
+            stmt.expr = self.expr(stmt.expr)
+        elif isinstance(stmt, tree.If):
+            stmt.cond = self.scalar(self.expr(stmt.cond))
+            self.statement(stmt.then)
+            if stmt.els is not None:
+                self.statement(stmt.els)
+        elif isinstance(stmt, tree.While):
+            stmt.cond = self.scalar(self.expr(stmt.cond))
+            self.statement(stmt.body)
+        elif isinstance(stmt, tree.DoWhile):
+            self.statement(stmt.body)
+            stmt.cond = self.scalar(self.expr(stmt.cond))
+        elif isinstance(stmt, tree.For):
+            if stmt.init is not None:
+                stmt.init = self.expr(stmt.init)
+            if stmt.cond is not None:
+                stmt.cond = self.scalar(self.expr(stmt.cond))
+            if stmt.step is not None:
+                stmt.step = self.expr(stmt.step)
+            self.statement(stmt.body)
+        elif isinstance(stmt, tree.Return):
+            ret = self.current_fn.symbol.ctype.ret
+            if stmt.value is not None:
+                if ret.is_void():
+                    raise self.error("return with a value in void function", stmt)
+                stmt.value = self.coerce(self.expr(stmt.value), ret, stmt)
+            elif not ret.is_void():
+                raise self.error("return without a value", stmt)
+        elif isinstance(stmt, tree.Switch):
+            stmt.expr = self.coerce(self.expr(stmt.expr), self.types.int, stmt)
+            self.statement(stmt.body)
+        elif isinstance(stmt, tree.Case):
+            stmt.resolved = self._const_value(stmt.value)
+        elif isinstance(stmt, (tree.Break, tree.Continue, tree.Default, tree.Empty)):
+            pass
+        else:
+            raise self.error("unknown statement %r" % stmt, stmt)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def expr(self, e: tree.Expr) -> tree.Expr:
+        method = getattr(self, "_expr_" + type(e).__name__, None)
+        if method is None:
+            raise self.error("unknown expression %r" % e, e)
+        return method(e)
+
+    def _expr_IntLit(self, e: tree.IntLit) -> tree.Expr:
+        e.ctype = self.types.uint if e.value >= 1 << 31 else self.types.int
+        return e
+
+    def _expr_FloatLit(self, e: tree.FloatLit) -> tree.Expr:
+        e.ctype = self.types.double
+        return e
+
+    def _expr_StringLit(self, e: tree.StringLit) -> tree.Expr:
+        e.ctype = PointerType(self.types.char)
+        return e
+
+    def _expr_Ident(self, e: tree.Ident) -> tree.Expr:
+        sym = self.scope.lookup(e.name)
+        if sym is None:
+            raise self.error("undeclared identifier %r" % e.name, e)
+        e.symbol = sym
+        if sym.sclass == "enumconst":
+            lit = tree.IntLit(sym.value, e.pos)
+            lit.ctype = self.types.int
+            return lit
+        e.ctype = sym.ctype
+        return e
+
+    def _expr_Unary(self, e: tree.Unary) -> tree.Expr:
+        op = e.op
+        if op == "sizeof":
+            operand = self.expr(e.operand)
+            lit = tree.IntLit(self._sizeof_operand(operand), e.pos)
+            lit.ctype = self.types.uint
+            return lit
+        e.operand = self.expr(e.operand)
+        t = e.operand.ctype
+        if op in ("-", "+"):
+            if not t.is_arith():
+                raise self.error("unary %s on non-arithmetic" % op, e)
+            e.operand = self.promote_expr(e.operand)
+            e.ctype = e.operand.ctype
+        elif op == "~":
+            if not t.is_integer() and not isinstance(t, EnumType):
+                raise self.error("~ on non-integer", e)
+            e.operand = self.promote_expr(e.operand)
+            e.ctype = e.operand.ctype
+        elif op == "!":
+            self.scalar(e.operand)
+            e.ctype = self.types.int
+        elif op == "*":
+            t = self.decay_type(t)
+            if not t.is_pointer():
+                raise self.error("dereference of non-pointer", e)
+            if t.ref.is_void():
+                raise self.error("dereference of void *", e)
+            e.ctype = t.ref
+        elif op == "&":
+            if not self.is_lvalue(e.operand) and not isinstance(
+                    e.operand.ctype, (ArrayType, FunctionType)):
+                raise self.error("& of non-lvalue", e)
+            inner = e.operand.ctype
+            if isinstance(inner, ArrayType):
+                e.ctype = PointerType(inner.elem)
+            elif isinstance(inner, FunctionType):
+                e.ctype = PointerType(inner)
+            else:
+                e.ctype = PointerType(inner)
+        elif op in ("pre++", "pre--", "post++", "post--"):
+            if not self.is_lvalue(e.operand):
+                raise self.error("%s of non-lvalue" % op, e)
+            t = e.operand.ctype
+            if not (t.is_arith() or t.is_pointer() or isinstance(t, EnumType)):
+                raise self.error("%s on bad type" % op, e)
+            e.ctype = t
+        else:
+            raise self.error("unknown unary %r" % op, e)
+        return e
+
+    def _sizeof_operand(self, operand: tree.Expr) -> int:
+        return operand.ctype.size
+
+    def _expr_SizeofType(self, e: tree.SizeofType) -> tree.Expr:
+        lit = tree.IntLit(e.target_type.size, e.pos)
+        lit.ctype = self.types.uint
+        return lit
+
+    def _expr_Binary(self, e: tree.Binary) -> tree.Expr:
+        op = e.op
+        e.left = self.expr(e.left)
+        e.right = self.expr(e.right)
+        lt = self.decay_type(e.left.ctype)
+        rt = self.decay_type(e.right.ctype)
+        if op in ("&&", "||"):
+            self.scalar(e.left)
+            self.scalar(e.right)
+            e.ctype = self.types.int
+            return e
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lt.is_pointer() or rt.is_pointer():
+                e.ctype = self.types.int
+                return e
+            common = self.types.usual_arith(self._arith(lt, e), self._arith(rt, e))
+            e.left = self.coerce(e.left, common, e)
+            e.right = self.coerce(e.right, common, e)
+            e.ctype = self.types.int
+            return e
+        if op == "+":
+            if lt.is_pointer() and rt.is_integer():
+                e.ctype = lt
+                return e
+            if rt.is_pointer() and lt.is_integer():
+                e.ctype = rt
+                return e
+        if op == "-":
+            if lt.is_pointer() and rt.is_integer():
+                e.ctype = lt
+                return e
+            if lt.is_pointer() and rt.is_pointer():
+                e.ctype = self.types.int
+                return e
+        if op in ("<<", ">>"):
+            e.left = self.promote_expr(e.left)
+            e.right = self.coerce(e.right, self.types.int, e)
+            e.ctype = e.left.ctype
+            return e
+        if op in ("%", "&", "|", "^"):
+            if not (lt.is_integer() or isinstance(lt, EnumType)) or \
+               not (rt.is_integer() or isinstance(rt, EnumType)):
+                raise self.error("integer operands required for %r" % op, e)
+        common = self.types.usual_arith(self._arith(lt, e), self._arith(rt, e))
+        e.left = self.coerce(e.left, common, e)
+        e.right = self.coerce(e.right, common, e)
+        e.ctype = common
+        return e
+
+    def _arith(self, t: CType, node) -> CType:
+        if isinstance(t, EnumType):
+            return self.types.int
+        if not t.is_arith():
+            raise self.error("arithmetic operand required", node)
+        return t
+
+    def _expr_Assign(self, e: tree.Assign) -> tree.Expr:
+        e.target = self.expr(e.target)
+        if not self.is_lvalue(e.target):
+            raise self.error("assignment to non-lvalue", e)
+        if isinstance(e.target.ctype, ArrayType):
+            raise self.error("assignment to array", e)
+        e.value = self.expr(e.value)
+        target_type = e.target.ctype
+        if e.op == "=":
+            if isinstance(target_type, (StructType, UnionType)):
+                if e.value.ctype is not target_type:
+                    raise self.error("struct assignment type mismatch", e)
+            else:
+                e.value = self.coerce(e.value, target_type, e)
+        else:
+            # compound assignment: target op= value
+            vt = self.decay_type(e.value.ctype)
+            if target_type.is_pointer() and e.op in ("+=", "-="):
+                if not vt.is_integer():
+                    raise self.error("pointer %s needs integer" % e.op, e)
+            else:
+                if not target_type.is_scalar() and not isinstance(target_type, EnumType):
+                    raise self.error("bad compound assignment", e)
+                e.value = self.coerce(e.value, self._compound_type(target_type), e)
+        e.ctype = target_type
+        return e
+
+    def _compound_type(self, target_type: CType) -> CType:
+        if isinstance(target_type, EnumType):
+            return self.types.int
+        return target_type
+
+    def _expr_Cond(self, e: tree.Cond) -> tree.Expr:
+        e.cond = self.scalar(self.expr(e.cond))
+        e.then = self.expr(e.then)
+        e.els = self.expr(e.els)
+        tt = self.decay_type(e.then.ctype)
+        et = self.decay_type(e.els.ctype)
+        if tt.is_arith() and et.is_arith():
+            common = self.types.usual_arith(tt, et)
+            e.then = self.coerce(e.then, common, e)
+            e.els = self.coerce(e.els, common, e)
+            e.ctype = common
+        elif tt.is_pointer():
+            e.ctype = tt
+        elif et.is_pointer():
+            e.ctype = et
+        elif tt.is_void() and et.is_void():
+            e.ctype = tt
+        else:
+            raise self.error("incompatible conditional arms", e)
+        return e
+
+    def _expr_Call(self, e: tree.Call) -> tree.Expr:
+        # implicit declaration: calling an unknown name declares int f()
+        if isinstance(e.fn, tree.Ident) and self.scope.lookup(e.fn.name) is None:
+            ftype = FunctionType(self.types.int, [], varargs=True, oldstyle=True)
+            sym = CSymbol(e.fn.name, ftype, "func", e.fn.pos)
+            sym.label = "_" + e.fn.name
+            self.globals.declare(sym)
+        e.fn = self.expr(e.fn)
+        ftype = e.fn.ctype
+        if isinstance(ftype, PointerType) and isinstance(ftype.ref, FunctionType):
+            ftype = ftype.ref
+        if not isinstance(ftype, FunctionType):
+            raise self.error("call of non-function", e)
+        e.args = [self.expr(arg) for arg in e.args]
+        params = ftype.params
+        if not ftype.oldstyle:
+            if len(e.args) < len(params) or \
+               (len(e.args) > len(params) and not ftype.varargs):
+                raise self.error("wrong number of arguments", e)
+        for i, arg in enumerate(e.args):
+            if i < len(params) and not ftype.oldstyle:
+                e.args[i] = self.coerce(arg, params[i][1], e)
+            else:
+                e.args[i] = self.default_promote(arg)
+        e.ctype = ftype.ret
+        return e
+
+    def _expr_Index(self, e: tree.Index) -> tree.Expr:
+        e.base = self.expr(e.base)
+        e.index = self.coerce(self.expr(e.index), self.types.int, e)
+        bt = self.decay_type(e.base.ctype)
+        if not bt.is_pointer():
+            raise self.error("subscript of non-array", e)
+        e.ctype = bt.ref
+        return e
+
+    def _expr_Member(self, e: tree.Member) -> tree.Expr:
+        e.base = self.expr(e.base)
+        bt = e.base.ctype
+        if e.arrow:
+            bt = self.decay_type(bt)
+            if not bt.is_pointer() or not isinstance(bt.ref, StructType):
+                raise self.error("-> on non-struct-pointer", e)
+            stype = bt.ref
+        else:
+            if not isinstance(bt, StructType):
+                raise self.error(". on non-struct", e)
+            stype = bt
+        field = stype.field(e.name)
+        if field is None:
+            raise self.error("no member %r in %s" % (e.name, stype), e)
+        e.field = field
+        e.ctype = field.ctype
+        return e
+
+    def _expr_Cast(self, e: tree.Cast) -> tree.Expr:
+        e.operand = self.expr(e.operand)
+        target = e.target_type
+        source = self.decay_type(e.operand.ctype)
+        if not (target.is_scalar() or target.is_void()
+                or isinstance(target, EnumType)):
+            raise self.error("bad cast target", e)
+        if not (source.is_scalar() or isinstance(source, EnumType)):
+            raise self.error("bad cast operand", e)
+        e.ctype = target
+        return e
+
+    def _expr_Comma(self, e: tree.Comma) -> tree.Expr:
+        e.left = self.expr(e.left)
+        e.right = self.expr(e.right)
+        e.ctype = e.right.ctype
+        return e
+
+    # -- helpers -----------------------------------------------------------------
+
+    def decay_type(self, t: CType) -> CType:
+        if isinstance(t, ArrayType):
+            return PointerType(t.elem)
+        if isinstance(t, FunctionType):
+            return PointerType(t)
+        return t
+
+    def is_lvalue(self, e: tree.Expr) -> bool:
+        if isinstance(e, tree.Ident):
+            return e.symbol is not None and e.symbol.sclass != "func" \
+                and not isinstance(e.symbol.ctype, FunctionType)
+        if isinstance(e, tree.Unary) and e.op == "*":
+            return True
+        if isinstance(e, tree.Index):
+            return True
+        if isinstance(e, tree.Member):
+            return True
+        return False
+
+    def scalar(self, e: tree.Expr) -> tree.Expr:
+        t = self.decay_type(e.ctype)
+        if not (t.is_scalar() or isinstance(t, EnumType)):
+            raise self.error("scalar required", e)
+        return e
+
+    def promote_expr(self, e: tree.Expr) -> tree.Expr:
+        promoted = self.types.promote(e.ctype)
+        return self.coerce(e, promoted, e)
+
+    def default_promote(self, e: tree.Expr) -> tree.Expr:
+        """Default argument promotions for varargs calls."""
+        t = self.decay_type(e.ctype)
+        if t.is_float() and t.size == 4:
+            return self.coerce(e, self.types.double, e)
+        if t.is_integer() and t.size < 4:
+            return self.coerce(e, self.types.int, e)
+        if isinstance(t, EnumType):
+            return self.coerce(e, self.types.int, e)
+        return e
+
+    def coerce(self, e: tree.Expr, target: CType, node) -> tree.Expr:
+        source = self.decay_type(e.ctype)
+        if source is target:
+            return e
+        if isinstance(target, EnumType):
+            target = self.types.int
+        if isinstance(source, EnumType):
+            source = self.types.int
+        if target.is_pointer() and isinstance(e, tree.IntLit) and e.value == 0:
+            e.ctype = target  # the null pointer constant
+            return e
+        from .ctypes_ import _same
+        if _same(source, target):
+            if e.ctype is not target:
+                e.ctype = target if not isinstance(e.ctype, (ArrayType, FunctionType)) else e.ctype
+            return e
+        if not compatible(target, source):
+            raise self.error("cannot convert %s to %s" % (source, target), node)
+        cast = tree.Cast(target, e, getattr(e, "pos", None), implicit=True)
+        cast.ctype = target
+        return cast

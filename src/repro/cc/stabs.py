@@ -1,0 +1,171 @@
+"""dbx-style "stabs" emission: the machine-dependent baseline format.
+
+Production lcc emits symbol-table stabs for dbx and gdb (paper Sec. 2);
+this module is the analog, used as the baseline in the symbol-table size
+comparison (Sec. 7: PostScript is ~9x larger than binary stabs, ~2x
+after compression).
+
+Format: the classic a.out ``nlist`` layout — a 12-byte record per stab
+(string-table offset, type code, other, desc, value) followed by the
+string table.  Strings use dbx's type grammar: ``int:t1=r1;...``,
+``i:1`` for a local of type 1, ``a:S3`` for a static, ``fib:F1`` for a
+function, plus N_SLINE records for the stopping points.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from .ctypes_ import (
+    ArrayType,
+    CType,
+    EnumType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    TypeSystem,
+    UnionType,
+    VoidType,
+)
+from .ir import UnitIR
+from .symtab import UnitInfo
+
+# a.out stab type codes
+N_GSYM = 0x20
+N_FUN = 0x24
+N_STSYM = 0x26
+N_LCSYM = 0x28
+N_RSYM = 0x40
+N_SLINE = 0x44
+N_SO = 0x64
+N_LSYM = 0x80
+N_PSYM = 0xA0
+
+
+class _StabWriter:
+    def __init__(self):
+        self.records: List[Tuple[int, int, int, int]] = []  # strx, type, desc, value
+        self.strtab = bytearray(b"\0")
+        self._interned: Dict[str, int] = {}
+
+    def intern(self, text: str) -> int:
+        if text not in self._interned:
+            self._interned[text] = len(self.strtab)
+            self.strtab.extend(text.encode("latin-1") + b"\0")
+        return self._interned[text]
+
+    def stab(self, text: str, ntype: int, desc: int = 0, value: int = 0) -> None:
+        self.records.append((self.intern(text), ntype, desc, value & 0xFFFFFFFF))
+
+    def tobytes(self) -> bytes:
+        header = struct.pack("<II", len(self.records), len(self.strtab))
+        body = b"".join(struct.pack("<IBBhI", strx, ntype, 0, desc, value)
+                        for strx, ntype, desc, value in self.records)
+        return header + body + bytes(self.strtab)
+
+
+class _Typist:
+    """Assigns dbx type numbers and builds type definition strings."""
+
+    def __init__(self, writer: _StabWriter):
+        self.writer = writer
+        self.numbers: Dict[int, int] = {}
+        self.next_number = 1
+        self._held: List[CType] = []
+
+    def ref(self, t: CType) -> int:
+        key = id(t)
+        if key in self.numbers:
+            return self.numbers[key]
+        number = self.next_number
+        self.next_number += 1
+        self.numbers[key] = number
+        self._held.append(t)
+        definition = self.define(t, number)
+        name = getattr(t, "name", None) or ""
+        self.writer.stab("%s:t%d=%s" % (name, number, definition), N_LSYM)
+        return number
+
+    def define(self, t: CType, number: int) -> str:
+        if isinstance(t, IntType):
+            if t.signed:
+                low = -(1 << (8 * t.size - 1))
+                high = (1 << (8 * t.size - 1)) - 1
+            else:
+                low = 0
+                high = (1 << (8 * t.size)) - 1
+            return "r%d;%d;%d;" % (number, low, high)
+        if isinstance(t, FloatType):
+            return "r%d;%d;0;" % (number, t.size)
+        if isinstance(t, VoidType):
+            return "%d" % number  # void is self-referential in dbx
+        if isinstance(t, PointerType):
+            return "*%d" % self.ref(t.ref)
+        if isinstance(t, ArrayType):
+            count = (t.count or 1) - 1
+            return "ar1;0;%d;%d" % (count, self.ref(t.elem))
+        if isinstance(t, UnionType):
+            fields = "".join("%s:%d,%d,%d;" % (f.name, self.ref(f.ctype),
+                                               f.offset * 8, f.ctype.size * 8)
+                             for f in t.fields)
+            return "u%d%s;" % (t.size, fields)
+        if isinstance(t, StructType):
+            fields = "".join("%s:%d,%d,%d;" % (f.name, self.ref(f.ctype),
+                                               f.offset * 8, f.ctype.size * 8)
+                             for f in t.fields)
+            return "s%d%s;" % (t.size, fields)
+        if isinstance(t, EnumType):
+            tags = "".join("%s:%d," % (name, value) for name, value in t.enumerators)
+            return "e%s;" % tags
+        if isinstance(t, FunctionType):
+            return "f%d" % self.ref(t.ret)
+        return "%d" % number
+
+
+def emit_unit(unit_ir: UnitIR, info: UnitInfo, types: TypeSystem) -> bytes:
+    """Emit binary stabs for one unit (the dbx/gdb baseline)."""
+    writer = _StabWriter()
+    typist = _Typist(writer)
+    writer.stab(unit_ir.name, N_SO)
+
+    func_statics = set()
+    for fi in info.functions:
+        func_statics.update(id(sym) for sym in fi.statics)
+
+    for sym, _init in unit_ir.data:
+        if id(sym) in func_statics or sym.sclass == "string":
+            continue
+        number = typist.ref(sym.ctype)
+        code = N_LCSYM if sym.sclass == "static" else N_GSYM
+        letter = "S" if sym.sclass == "static" else "G"
+        writer.stab("%s:%s%d" % (sym.name, letter, number), code)
+
+    fn_iter = iter(info.functions)
+    for fn_ir in unit_ir.functions:
+        fn_info = next(fn_iter)
+        ret_num = typist.ref(fn_ir.symbol.ctype.ret)
+        line = fn_ir.symbol.pos.line if fn_ir.symbol.pos else 0
+        writer.stab("%s:F%d" % (fn_ir.name, ret_num), N_FUN, desc=line)
+        for sym in fn_info.params:
+            offset = sym.loc[1] if sym.loc and sym.loc[0] == "frame" else 0
+            writer.stab("%s:p%d" % (sym.name, typist.ref(sym.ctype)),
+                        N_PSYM, value=offset)
+        for sym in fn_ir.locals:
+            if sym.name.startswith("."):
+                continue
+            number = typist.ref(sym.ctype)
+            if sym.loc and sym.loc[0] == "reg":
+                writer.stab("%s:r%d" % (sym.name, number), N_RSYM,
+                            value=sym.loc[1])
+            else:
+                offset = sym.loc[1] if sym.loc and sym.loc[0] == "frame" else 0
+                writer.stab("%s:%d" % (sym.name, number), N_LSYM, value=offset)
+        for sym in fn_info.statics:
+            writer.stab("%s:V%d" % (sym.name, typist.ref(sym.ctype)),
+                        N_LCSYM)
+        for stop in fn_ir.stops:
+            writer.stab("", N_SLINE, desc=stop.pos.line if stop.pos else 0)
+    return writer.tobytes()

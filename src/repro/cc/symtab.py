@@ -1,0 +1,97 @@
+"""Compiler symbol tables.
+
+Symbols carry everything the debugger's PostScript symbol tables need
+(paper Sec. 2): source coordinates, the uplink chain that forms the
+scope *tree* (Fig. 2), and — after code generation — locations: a
+register number, a frame offset, or an anchor-relative data slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .ctypes_ import CType
+from .tree import Pos
+
+
+class CSymbol:
+    """One declared identifier."""
+
+    _next_uid = [1]
+
+    def __init__(self, name: str, ctype: CType, sclass: str,
+                 pos: Optional[Pos] = None):
+        self.name = name
+        self.ctype = ctype
+        #: 'global', 'static', 'extern', 'func', 'param', 'local',
+        #: 'register', 'typedef', 'enumconst'
+        self.sclass = sclass
+        self.pos = pos
+        self.uid = CSymbol._next_uid[0]
+        CSymbol._next_uid[0] += 1
+        #: previous symbol in the scope chain (the uplink tree, Fig. 2)
+        self.uplink: Optional["CSymbol"] = None
+        #: assembly-level name for globals/statics/functions
+        self.label: Optional[str] = None
+        #: enum constant value
+        self.value: Optional[int] = None
+        #: location, filled by the code generator:
+        #: ('reg', n) | ('freg', n) | ('frame', offset) | ('global', label)
+        self.loc = None
+        #: index of this symbol's address slot in the unit's anchor block
+        #: (statics and stopping points are found via anchors, Sec. 2)
+        self.anchor_index: Optional[int] = None
+        self.defined = False
+
+    def is_local_kind(self) -> bool:
+        return self.sclass in ("param", "local", "register")
+
+    def __repr__(self) -> str:
+        return "<csym %s %s %s>" % (self.name, self.sclass, self.ctype)
+
+
+class Scope:
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.names: Dict[str, CSymbol] = {}
+        self.level = 0 if parent is None else parent.level + 1
+
+    def declare(self, sym: CSymbol) -> None:
+        self.names[sym.name] = sym
+
+    def lookup_here(self, name: str) -> Optional[CSymbol]:
+        return self.names.get(name)
+
+    def lookup(self, name: str) -> Optional[CSymbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class FunctionInfo:
+    """Everything sema learned about one function definition."""
+
+    def __init__(self, symbol: CSymbol):
+        self.symbol = symbol
+        self.params: List[CSymbol] = []
+        self.locals: List[CSymbol] = []   # block-scoped autos, flattened
+        self.statics: List[CSymbol] = []  # function-scoped statics
+        #: visible-chain head per statement node: id(node) -> CSymbol
+        self.chain_at: Dict[int, Optional[CSymbol]] = {}
+        #: chain head at function exit (all params)
+        self.param_chain: Optional[CSymbol] = None
+
+
+class UnitInfo:
+    """Everything sema learned about one translation unit."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.functions: List[FunctionInfo] = []
+        self.globals: List[CSymbol] = []   # defined globals (with storage)
+        self.statics: List[CSymbol] = []   # file-scope statics
+        self.externs: List[CSymbol] = []   # declared but not defined here
+        self.global_inits: Dict[int, object] = {}  # sym.uid -> initializer

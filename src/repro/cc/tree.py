@@ -1,0 +1,321 @@
+"""AST node classes for the rcc compiler.
+
+Nodes carry source positions; statement nodes additionally mark the
+stopping points the compiler places before every top-level expression
+(paper Sec. 3) — the marking itself happens during IR generation.
+Expression nodes gain a ``ctype`` annotation during semantic analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class Pos:
+    __slots__ = ("filename", "line", "col")
+
+    def __init__(self, filename: str, line: int, col: int):
+        self.filename = filename
+        self.line = line
+        self.col = col
+
+    @classmethod
+    def of(cls, token) -> "Pos":
+        return cls(token.filename, token.line, token.col)
+
+    def __repr__(self) -> str:
+        return "%s:%d:%d" % (self.filename, self.line, self.col)
+
+
+class Node:
+    __slots__ = ("pos",)
+
+    def __init__(self, pos: Optional[Pos] = None):
+        self.pos = pos
+
+
+# ---------------------------------------------------------------- expressions
+
+class Expr(Node):
+    __slots__ = ("ctype",)
+
+    def __init__(self, pos=None):
+        super().__init__(pos)
+        self.ctype = None
+
+
+class Ident(Expr):
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, pos=None):
+        super().__init__(pos)
+        self.name = name
+        self.symbol = None
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, pos=None):
+        super().__init__(pos)
+        self.value = value
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, pos=None):
+        super().__init__(pos)
+        self.value = value
+
+
+class StringLit(Expr):
+    __slots__ = ("value", "label")
+
+    def __init__(self, value: str, pos=None):
+        super().__init__(pos)
+        self.value = value
+        self.label = None  # data label assigned during IR generation
+
+
+class Unary(Expr):
+    """op in: - + ! ~ * & pre++ pre-- post++ post-- sizeof"""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, pos=None):
+        super().__init__(pos)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    """op in: + - * / % << >> < <= > >= == != & | ^ && ||"""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, pos=None):
+        super().__init__(pos)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Assign(Expr):
+    """op in: = += -= *= /= %= <<= >>= &= |= ^="""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op: str, target: Expr, value: Expr, pos=None):
+        super().__init__(pos)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Cond(Expr):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond: Expr, then: Expr, els: Expr, pos=None):
+        super().__init__(pos)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class Call(Expr):
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Expr, args: List[Expr], pos=None):
+        super().__init__(pos)
+        self.fn = fn
+        self.args = args
+
+
+class Index(Expr):
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, pos=None):
+        super().__init__(pos)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    __slots__ = ("base", "name", "arrow", "field")
+
+    def __init__(self, base: Expr, name: str, arrow: bool, pos=None):
+        super().__init__(pos)
+        self.base = base
+        self.name = name
+        self.arrow = arrow
+        self.field = None
+
+
+class Cast(Expr):
+    __slots__ = ("target_type", "operand", "implicit")
+
+    def __init__(self, target_type, operand: Expr, pos=None, implicit=False):
+        super().__init__(pos)
+        self.target_type = target_type
+        self.operand = operand
+        self.implicit = implicit
+
+
+class Comma(Expr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr, pos=None):
+        super().__init__(pos)
+        self.left = left
+        self.right = right
+
+
+class SizeofType(Expr):
+    __slots__ = ("target_type",)
+
+    def __init__(self, target_type, pos=None):
+        super().__init__(pos)
+        self.target_type = target_type
+
+
+# ----------------------------------------------------------------- statements
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("items",)
+
+    def __init__(self, items: List[Node], pos=None):
+        super().__init__(pos)
+        self.items = items
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, pos=None):
+        super().__init__(pos)
+        self.expr = expr
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond: Expr, then: Stmt, els: Optional[Stmt], pos=None):
+        super().__init__(pos)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Stmt, pos=None):
+        super().__init__(pos)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body: Stmt, cond: Expr, pos=None):
+        super().__init__(pos)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body: Stmt, pos=None):
+        super().__init__(pos)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], pos=None):
+        super().__init__(pos)
+        self.value = value
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class Switch(Stmt):
+    __slots__ = ("expr", "body")
+
+    def __init__(self, expr: Expr, body: Stmt, pos=None):
+        super().__init__(pos)
+        self.expr = expr
+        self.body = body
+
+
+class Case(Stmt):
+    __slots__ = ("value", "resolved")
+
+    def __init__(self, value: Expr, pos=None):
+        super().__init__(pos)
+        self.value = value
+        self.resolved = None  # constant value, filled by sema
+
+
+class Default(Stmt):
+    __slots__ = ()
+
+
+class Empty(Stmt):
+    __slots__ = ()
+
+
+# --------------------------------------------------------------- declarations
+
+class VarDecl(Node):
+    __slots__ = ("name", "ctype", "storage", "init", "symbol")
+
+    def __init__(self, name: str, ctype, storage: str, init, pos=None):
+        super().__init__(pos)
+        self.name = name
+        self.ctype = ctype
+        self.storage = storage  # '', 'static', 'extern', 'register', 'typedef'
+        self.init = init
+        self.symbol = None
+
+
+class FuncDef(Node):
+    __slots__ = ("name", "ftype", "param_names", "body", "storage", "symbol",
+                 "end_pos")
+
+    def __init__(self, name: str, ftype, param_names: List[str], body: Block,
+                 storage: str, pos=None, end_pos=None):
+        super().__init__(pos)
+        self.name = name
+        self.ftype = ftype
+        self.param_names = param_names
+        self.body = body
+        self.storage = storage
+        self.symbol = None
+        self.end_pos = end_pos  # the closing brace: the exit stopping point
+
+
+class TranslationUnit(Node):
+    __slots__ = ("name", "decls")
+
+    def __init__(self, name: str, decls: List[Node]):
+        super().__init__(None)
+        self.name = name
+        self.decls = decls

@@ -1,0 +1,144 @@
+"""Breakpoints (paper Sec. 3, 6).
+
+Implemented entirely in the debugger with fetches and stores — the nub
+protocol never mentions breakpoints or single-stepping.  ldb plants a
+breakpoint at an instruction by overwriting it with the trap pattern;
+to resume, it "interprets" the instruction out of line.  In the interim
+scheme breakpoints go only at the no-op instructions the compiler
+placed at stopping points, so interpreting one means skipping it.
+
+The implementation is machine-independent but manipulates four items of
+machine-dependent data: the break and no-op bit patterns, the type used
+to fetch and store instructions, and the pc advance after interpreting
+the no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..nub import protocol
+from ..postscript import Location
+
+_KIND_BY_SIZE = {1: "i8", 2: "i16", 4: "i32"}
+
+
+class BreakpointError(Exception):
+    pass
+
+
+class Breakpoint:
+    __slots__ = ("address", "saved", "enabled", "note")
+
+    def __init__(self, address: int, saved: int, note: str = ""):
+        self.address = address
+        self.saved = saved
+        self.enabled = True
+        self.note = note
+
+    def __repr__(self) -> str:
+        return "<bp 0x%x %s>" % (self.address, self.note)
+
+
+class BreakpointTable:
+    """All breakpoints planted in one target."""
+
+    def __init__(self, target):
+        self.target = target
+        md = target.machdep
+        self.kind = _KIND_BY_SIZE[md.insn_fetch_size]
+        self.nop_pattern = int.from_bytes(md.nop_bytes_le, "little")
+        self.break_pattern = int.from_bytes(md.break_bytes_le, "little")
+        self.noop_advance = md.noop_advance
+        self.planted: Dict[int, Breakpoint] = {}
+        #: does this nub speak the Sec. 7.1 breakpoint extension?
+        #: None = not yet probed; probing happens lazily because the
+        #: baseline debugger must work against a minimal nub
+        self._extension: Dict[str, bool] = {}
+
+    # -- the Sec. 7.1 protocol extension --------------------------------------
+
+    def extension_available(self) -> bool:
+        """Probe the nub (once) for the breakpoint-aware protocol."""
+        if "ok" not in self._extension:
+            self.target.channel.send(protocol.breaks())
+            reply = self.target.channel.recv(10.0)
+            self._extension["ok"] = reply.mtype == protocol.MSG_BREAKLIST
+            if self._extension["ok"]:
+                self._adopt(protocol.parse_breaklist(reply))
+        return self._extension["ok"]
+
+    def _adopt(self, entries) -> None:
+        """Recover breakpoints a previous (crashed) debugger planted."""
+        for address, original_le in entries:
+            if address not in self.planted:
+                saved = int.from_bytes(original_le, "little")
+                self.planted[address] = Breakpoint(address, saved,
+                                                   note="adopted")
+
+    def _plant_via_extension(self, address: int) -> bool:
+        if not self.extension_available():
+            return False
+        trap = self.break_pattern.to_bytes(len(self.target.machdep.nop_bytes_le),
+                                           "little")
+        self.target.channel.send(protocol.plant(address, trap))
+        reply = self.target.channel.recv(10.0)
+        if reply.mtype == protocol.MSG_ERROR:
+            raise BreakpointError("nub rejected plant at 0x%x" % address)
+        return True
+
+    def _remove_via_extension(self, address: int) -> bool:
+        if not self.extension_available():
+            return False
+        self.target.channel.send(protocol.unplant(address))
+        reply = self.target.channel.recv(10.0)
+        if reply.mtype == protocol.MSG_ERROR:
+            raise BreakpointError("nub rejected unplant at 0x%x" % address)
+        return True
+
+    def _code_loc(self, address: int) -> Location:
+        return Location.absolute("c", address)
+
+    def fetch_insn(self, address: int) -> int:
+        value = self.target.wire.fetch(self._code_loc(address), self.kind)
+        bits = 8 * len(self.target.machdep.nop_bytes_le)
+        return value & ((1 << bits) - 1)
+
+    def store_insn(self, address: int, pattern: int) -> None:
+        self.target.wire.store(self._code_loc(address), self.kind, pattern)
+
+    def plant(self, address: int, note: str = "") -> Breakpoint:
+        """Overwrite the no-op at ``address`` with the trap pattern."""
+        if address in self.planted:
+            return self.planted[address]
+        original = self.fetch_insn(address)
+        if original != self.nop_pattern:
+            raise BreakpointError(
+                "0x%x does not hold a no-op (found 0x%x): the interim "
+                "scheme plants breakpoints only at stopping points"
+                % (address, original))
+        if not self._plant_via_extension(address):
+            self.store_insn(address, self.break_pattern)  # plain stores
+        bp = Breakpoint(address, original, note)
+        self.planted[address] = bp
+        return bp
+
+    def remove(self, address: int) -> None:
+        bp = self.planted.pop(address, None)
+        if bp is None:
+            raise BreakpointError("no breakpoint at 0x%x" % address)
+        if not self._remove_via_extension(address):
+            self.store_insn(address, bp.saved)
+
+    def remove_all(self) -> None:
+        for address in list(self.planted):
+            self.remove(address)
+
+    def at(self, address: int) -> Optional[Breakpoint]:
+        return self.planted.get(address)
+
+    def resume_pc(self, trap_pc: int) -> int:
+        """Where execution resumes after a breakpoint trap: the no-op is
+        interpreted out of line by skipping it (machine-dependent
+        advance)."""
+        return trap_pc + self.noop_advance

@@ -1,0 +1,210 @@
+"""The ldb command-line user interface.
+
+A small client of the :class:`~repro.ldb.debugger.Ldb` interface —
+like the paper's ldb, the debugger proper exposes a client interface so
+other front ends (GUIs, event-action debuggers) could be built on it.
+
+Usage::
+
+    ldb program.img              # image produced by `rcc -g ... -o program.img`
+    ldb --source fib.c --target rmips
+
+Commands::
+
+    break <function> | break <file>:<line>
+    run / continue / c
+    print <expression> | p <expression>
+    set <var> = <expression>
+    backtrace / bt
+    where
+    registers / regs
+    info breaks
+    targets / target <name>
+    kill / quit
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from typing import List, Optional
+
+from ..cc.driver import compile_and_link
+from ..cc.lexer import CError
+from .breakpoints import BreakpointError
+from .debugger import Ldb
+from .exprserver import EvalError
+from .target import TargetError
+
+
+class Cli:
+    def __init__(self, stdin=None, stdout=None):
+        self.stdin = stdin if stdin is not None else sys.stdin
+        self.out = stdout if stdout is not None else sys.stdout
+        self.ldb = Ldb(stdout=self.out)
+        self.done = False
+
+    def say(self, text: str) -> None:
+        self.out.write(text + "\n")
+
+    def load_image(self, path: str) -> None:
+        with open(path, "rb") as f:
+            exe = pickle.load(f)
+        self.start_program(exe)
+
+    def compile_source(self, path: str, target_arch: str) -> None:
+        with open(path) as f:
+            source = f.read()
+        exe = compile_and_link({path: source}, target_arch, debug=True)
+        self.start_program(exe)
+
+    def start_program(self, exe) -> None:
+        target = self.ldb.load_program(exe)
+        self.say("target %s (%s) stopped before main"
+                 % (target.name, target.arch_name))
+
+    # -- the command loop ---------------------------------------------------
+
+    def repl(self) -> None:
+        while not self.done:
+            self.out.write("(ldb) ")
+            self.out.flush()
+            line = self.stdin.readline()
+            if not line:
+                break
+            self.command(line.strip())
+
+    def command(self, line: str) -> None:
+        if not line:
+            return
+        verb, _, rest = line.partition(" ")
+        rest = rest.strip()
+        try:
+            self.dispatch(verb, rest)
+        except (TargetError, BreakpointError, EvalError, CError) as err:
+            self.say("ldb: %s" % err)
+
+    def dispatch(self, verb: str, rest: str) -> None:
+        if verb in ("quit", "q", "exit"):
+            self.done = True
+        elif verb == "break" or verb == "b":
+            self.cmd_break(rest)
+        elif verb in ("run", "continue", "c", "r"):
+            self.cmd_continue()
+        elif verb in ("step", "s"):
+            self.cmd_step(over=False)
+        elif verb in ("next", "n"):
+            self.cmd_step(over=True)
+        elif verb == "condition":
+            spec, _, expr = rest.partition(" ")
+            self.ldb.break_if(spec, expr.strip())
+            self.say("conditional breakpoint at %s when %s" % (spec, expr))
+        elif verb in ("print", "p"):
+            self.cmd_print(rest)
+        elif verb == "set":
+            self.ldb.assign(rest)
+        elif verb in ("backtrace", "bt"):
+            self.out.write(self.ldb.backtrace_text())
+        elif verb == "where":
+            proc, filename, line = self.ldb.where_am_i()
+            self.say("%s () at %s:%d" % (proc, filename, line))
+        elif verb in ("registers", "regs"):
+            self.out.write(self.ldb.registers_text())
+        elif verb == "info":
+            self.cmd_info(rest)
+        elif verb == "targets":
+            for name, target in self.ldb.targets.items():
+                marker = "*" if target is self.ldb.current else " "
+                self.say("%s %s (%s) %s" % (marker, name, target.arch_name,
+                                            target.state))
+        elif verb == "target":
+            target = self.ldb.switch_target(rest)
+            self.say("now debugging %s (%s)" % (target.name, target.arch_name))
+        elif verb == "kill":
+            self.ldb.current.kill()
+            self.say("killed")
+        else:
+            self.say("ldb: unknown command %r (try: break condition run step next "
+                     "print set backtrace where registers targets quit)" % verb)
+
+    def cmd_break(self, spec: str) -> None:
+        if ":" in spec:
+            filename, _, line_text = spec.rpartition(":")
+            addresses = self.ldb.break_at_line(filename, int(line_text))
+            for address in addresses:
+                self.say("breakpoint at 0x%x (%s)" % (address, spec))
+        else:
+            address = self.ldb.break_at_function(spec)
+            self.say("breakpoint at 0x%x (%s)" % (address, spec))
+
+    def cmd_step(self, over: bool) -> None:
+        event = self.ldb.step_over() if over else self.ldb.step()
+        if event.kind in ("step", "breakpoint"):
+            proc, filename, line = self.ldb.where_am_i()
+            self.say("%s () at %s:%d" % (proc, filename, line))
+        elif event.kind == "exit":
+            self.say("program exited with status %s" % event.status)
+        else:
+            self.say("stopped: %s" % event.kind)
+
+    def cmd_continue(self) -> None:
+        # the event engine applies breakpoint conditions (Sec. 7.1)
+        event = self.ldb.events.wait()
+        target = self.ldb.current
+        if event.kind in ("breakpoint", "step"):
+            proc, filename, line = self.ldb.where_am_i()
+            self.say("stopped in %s () at %s:%d" % (proc, filename, line))
+        elif event.kind == "signal":
+            proc, filename, line = self.ldb.where_am_i()
+            self.say("signal %d in %s () at %s:%d"
+                     % (event.signo, proc, filename, line))
+        elif event.kind == "exit":
+            self.say("program exited with status %s" % event.status)
+            if hasattr(target, "process"):
+                self.out.write(target.process.output())
+        else:
+            self.say("target is %s" % event.kind)
+
+    def cmd_print(self, expr: str) -> None:
+        # a bare variable name prints via its type's printer procedure;
+        # anything else goes through the expression server
+        if expr.isidentifier():
+            try:
+                self.ldb.print_variable(expr)
+                return
+            except TargetError:
+                pass
+        value = self.ldb.evaluate(expr)
+        self.say(str(value))
+
+    def cmd_info(self, what: str) -> None:
+        if what.startswith("break"):
+            target = self.ldb.current
+            for address, bp in sorted(target.breakpoints.planted.items()):
+                self.say("0x%x %s" % (address, bp.note))
+        else:
+            self.say("info: breaks")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(prog="ldb", description="a retargetable debugger")
+    ap.add_argument("image", nargs="?", help="program image from rcc -o")
+    ap.add_argument("--source", help="compile and debug a C source file")
+    ap.add_argument("--target", default="rmips",
+                    choices=["rmips", "rmipsel", "rsparc", "rm68k", "rvax"])
+    args = ap.parse_args(argv)
+    cli = Cli()
+    if args.source:
+        cli.compile_source(args.source, args.target)
+    elif args.image:
+        cli.load_image(args.image)
+    else:
+        ap.error("give an image or --source")
+    cli.repl()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,292 @@
+"""The ldb debugger: the client interface (paper Sec. 6).
+
+Like the paper's ldb, this class is usable by other programs — the
+command-line UI (:mod:`repro.ldb.cli`) is just one client.  Users can
+set and remove breakpoints, start and stop programs, evaluate
+expressions, and make assignments to variables; the debugger can hold
+connections to several targets at once, on different architectures.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from ..cc.driver import loader_table_ps
+from ..machines import Executable, Process
+from ..nub.channel import Channel, connect, pair
+from ..nub.nub import Nub, NubRunner
+from ..postscript import Interp, PSDict, new_interp
+from .breakpoints import BreakpointError
+from .frames import Frame
+from .target import Target, TargetError
+
+
+class Ldb:
+    """A retargetable debugger instance."""
+
+    def __init__(self, stdout=None):
+        # "Modula-3 initialization" + "read initial PostScript": one
+        # embedded interpreter serves symbol tables and expressions
+        self.stdout = stdout if stdout is not None else sys.stdout
+        self.interp = new_interp(stdout=self.stdout)
+        self.targets: Dict[str, Target] = {}
+        self.current: Optional[Target] = None
+        self._expr_client = None
+        self._events = None
+        self._next_target = 0
+
+    # -- connecting to targets ---------------------------------------------
+
+    def read_loader_table(self, ps_source: str) -> PSDict:
+        """Interpret loader-table PostScript; returns the table."""
+        self.interp.run(ps_source, "loader-table")
+        table = self.interp.pop()
+        if not isinstance(table, PSDict):
+            raise TargetError("loader table did not build a dictionary")
+        return table
+
+    def _new_target_name(self) -> str:
+        name = "t%d" % self._next_target
+        self._next_target += 1
+        return name
+
+    def adopt_channel(self, channel: Channel, table_ps: str,
+                      wait: bool = True) -> Target:
+        """Debug over an existing connection (any transport)."""
+        table = self.read_loader_table(table_ps)
+        target = Target(self.interp, channel, table, self._new_target_name())
+        self.targets[target.name] = target
+        self.current = target
+        if wait:
+            target.wait_for_stop()
+        return target
+
+    def load_program(self, exe: Executable, stop_at_entry: bool = True,
+                     table_ps: Optional[str] = None) -> Target:
+        """Start a target process as a "child": the fork analog."""
+        debugger_end, nub_end = pair()
+        process = Process(exe)
+        nub = Nub(process, channel=nub_end, stop_at_entry=stop_at_entry)
+        runner = NubRunner(nub).start()
+        if table_ps is None:
+            table_ps = getattr(exe, "loader_ps", None) or loader_table_ps(exe)
+        target = self.adopt_channel(debugger_end, table_ps, wait=stop_at_entry)
+        target.process = process
+        target.nub = nub
+        target.runner = runner
+        return target
+
+    def attach(self, host: str, port: int, table_ps: str,
+               wait: bool = True) -> Target:
+        """Connect to a faulty process waiting on the network."""
+        channel = connect(host, port)
+        return self.adopt_channel(channel, table_ps, wait=wait)
+
+    def switch_target(self, name: str) -> Target:
+        """Switch targets — possibly to a different architecture; the
+        per-architecture dictionary rebinds the machine-dependent names
+        (paper Sec. 5)."""
+        self.current = self.targets[name]
+        return self.current
+
+    # -- breakpoints -------------------------------------------------------------
+
+    def break_at_function(self, name: str,
+                          target: Optional[Target] = None) -> int:
+        """Plant a breakpoint at a procedure's entry stopping point."""
+        target = target or self._need_target()
+        entry = target.symtab.extern_entry(name)
+        if entry is None or entry["kind"].text != "procedure":
+            raise BreakpointError("no procedure named %s" % name)
+        stop = target.symtab.first_stop_of(entry)
+        if stop is None:
+            raise BreakpointError("%s has no stopping points" % name)
+        address = target.symtab.stop_address(stop)
+        target.breakpoints.plant(address, note=name)
+        return address
+
+    def break_at_line(self, filename: str, line: int,
+                      target: Optional[Target] = None) -> List[int]:
+        """Plant breakpoints at every stopping point on a source line
+        (one line may hold several — Sec. 2)."""
+        target = target or self._need_target()
+        hits = target.symtab.stops_for_line(filename, line)
+        if not hits:
+            raise BreakpointError("no stopping point at %s:%d" % (filename, line))
+        addresses = []
+        for _proc, stop in hits:
+            address = target.symtab.stop_address(stop)
+            target.breakpoints.plant(address, note="%s:%d" % (filename, line))
+            addresses.append(address)
+        return addresses
+
+    def break_at_stop(self, proc_name: str, stop_index: int,
+                      target: Optional[Target] = None) -> int:
+        target = target or self._need_target()
+        entry = target.symtab.extern_entry(proc_name)
+        stop = target.symtab.loci(entry)[stop_index]
+        address = target.symtab.stop_address(stop)
+        target.breakpoints.plant(address, note="%s:%d" % (proc_name, stop_index))
+        return address
+
+    def clear_breakpoints(self, target: Optional[Target] = None) -> None:
+        (target or self._need_target()).breakpoints.remove_all()
+
+    # -- execution ------------------------------------------------------------------
+
+    def run_to_stop(self, target: Optional[Target] = None,
+                    timeout: float = 30.0) -> str:
+        """Continue and wait for the next stop or exit."""
+        target = target or self._need_target()
+        if target.state == "stopped":
+            if target.at_breakpoint() or self._at_entry_pause(target):
+                target.resume_from_breakpoint()
+            else:
+                target.cont()
+        return target.wait_for_stop(timeout)
+
+    def _at_entry_pause(self, target: Target) -> bool:
+        from ..machines.isa import SIGTRAP
+        if target.state != "stopped" or target.signo != SIGTRAP:
+            return False
+        pause = target.linker.global_address("__nub_pause")
+        return pause is not None and target.stop_pc() == pause
+
+    def _need_target(self) -> Target:
+        if self.current is None:
+            raise TargetError("no current target")
+        return self.current
+
+    # -- inspection --------------------------------------------------------------------
+
+    def where_am_i(self, target: Optional[Target] = None) -> Tuple[str, str, int]:
+        """(procedure, file, line) at the current stop."""
+        target = target or self._need_target()
+        frame = target.top_frame()
+        filename, line = frame.location_line()
+        return frame.proc_name(), filename, line
+
+    def print_variable(self, name: str, frame: Optional[Frame] = None,
+                       target: Optional[Target] = None) -> str:
+        """Print a variable's value; returns the printed text."""
+        target = target or self._need_target()
+        frame = frame or target.top_frame()
+        entry = frame.resolve(name)
+        if entry is None:
+            raise TargetError("no symbol %r visible here" % name)
+        before = _tell(self.stdout)
+        target.print_value(entry, frame)
+        return _read_back(self.stdout, before)
+
+    def backtrace_text(self, target: Optional[Target] = None,
+                       limit: int = 64) -> str:
+        target = target or self._need_target()
+        lines = []
+        for frame in target.frames(limit):
+            filename, line = frame.location_line()
+            lines.append("#%-2d %s () at %s:%d"
+                         % (frame.level, frame.proc_name(), filename, line))
+        return "\n".join(lines) + "\n"
+
+    def registers_text(self, target: Optional[Target] = None) -> str:
+        """Enumerate the target's registers.
+
+        The register names come from the machine-dependent PostScript
+        (the RegNames array in data/<arch>.ps) — "ldb uses machine-
+        dependent PostScript to ... enumerate a target's registers"
+        (paper Sec. 4.3)."""
+        target = target or self._need_target()
+        frame = target.top_frame()
+        reg_names = target.arch_dict.get("RegNames")
+        if reg_names is None:
+            names = target.machdep.reg_names()
+        else:
+            names = [item.text for item in reg_names]
+        parts = []
+        for index, name in enumerate(names):
+            parts.append("%-4s 0x%08x" % (name, frame.read_reg(index) & 0xFFFFFFFF))
+        freg_names = target.arch_dict.get("FRegNames")
+        if freg_names is not None:
+            from ..postscript import Location
+            for index, item in enumerate(freg_names):
+                value = frame.memory.fetch(Location.absolute("f", index), "f64")
+                parts.append("%-4s %g" % (item.text, value))
+        return "\n".join(parts) + "\n"
+
+    # -- events and stepping (paper Sec. 7.1) -----------------------------------------
+
+    @property
+    def events(self):
+        """The event engine: typed stop events, conditional breakpoints,
+        and source-level stepping built on breakpoints."""
+        if self._events is None:
+            from .events import EventEngine
+            self._events = EventEngine(self)
+        return self._events
+
+    def step(self, target: Optional[Target] = None):
+        """Source-level step (into): run to the next stopping point."""
+        return self.events.step(target or self._need_target())
+
+    def step_over(self, target: Optional[Target] = None):
+        """Source-level next: skip stops in deeper frames."""
+        return self.events.next(target or self._need_target())
+
+    def break_if(self, name_or_line: str, condition: str,
+                 target: Optional[Target] = None) -> int:
+        """A conditional breakpoint: stop only when the expression is
+        true (event-driven debugging subsumes these, Sec. 7.1)."""
+        target = target or self._need_target()
+        if ":" in name_or_line:
+            filename, _, line = name_or_line.rpartition(":")
+            addresses = self.break_at_line(filename, int(line), target)
+            for address in addresses:
+                self.events.add_condition(address, condition)
+            return addresses[0]
+        address = self.break_at_function(name_or_line, target)
+        self.events.add_condition(address, condition)
+        return address
+
+    # -- expressions (via the expression server) ------------------------------------------
+
+    def expression_client(self):
+        if self._expr_client is None:
+            from .exprserver import ExpressionClient
+            self._expr_client = ExpressionClient(self)
+        return self._expr_client
+
+    def evaluate(self, expression: str, frame: Optional[Frame] = None,
+                 target: Optional[Target] = None):
+        """Evaluate a C expression in the current frame's context."""
+        target = target or self._need_target()
+        frame = frame or target.top_frame()
+        return self.expression_client().evaluate(expression, target, frame)
+
+    def assign(self, expression: str, frame: Optional[Frame] = None,
+               target: Optional[Target] = None):
+        """Assignments are expressions (``a = 5``)."""
+        return self.evaluate(expression, frame, target)
+
+
+def _tell(stream) -> Optional[int]:
+    try:
+        return stream.tell()
+    except (AttributeError, OSError, io.UnsupportedOperation):
+        return None
+
+
+def _read_back(stream, before: Optional[int]) -> str:
+    """Recover what was just printed, when the stream allows it; on a
+    write-only stream (a terminal) the text is already visible."""
+    if before is None:
+        return ""
+    try:
+        end = stream.tell()
+        stream.seek(before)
+        text = stream.read(end - before)
+        stream.seek(end)
+        return text
+    except (OSError, io.UnsupportedOperation):
+        return ""

@@ -1,0 +1,211 @@
+"""Event-driven debugging facilities (paper Sec. 7.1).
+
+The paper's future work: "One solution is to make the debugger
+internals event-driven ...  Exporting the mechanisms used to make the
+debugger event-driven would simplify the implementation of event-driven
+clients.  Event-driven debugging subsumes conditional breakpoints as a
+special case."
+
+This module supplies exactly that layer:
+
+* every stop becomes a typed :class:`Event` (breakpoint hit, signal,
+  step complete, exit, disconnect);
+* clients register handlers; a handler may *resume* the target, which
+  is how conditional breakpoints work — a condition that evaluates
+  false simply continues;
+* source-level single stepping is implemented **on top of
+  breakpoints**, as the paper prescribes, and copes with "the event
+  that is expected may not be the one that occurs": a fault or an
+  unrelated breakpoint during a step is delivered as itself, and the
+  step's temporary breakpoints are cleaned up either way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..machines.isa import SIGTRAP
+
+
+class Event:
+    """Base class: something happened to a target."""
+
+    kind = "event"
+
+    def __init__(self, target):
+        self.target = target
+        #: a handler sets this to resume the target silently
+        self.resume = False
+
+    def __repr__(self) -> str:
+        return "<%s %s>" % (self.kind, self.target.name)
+
+
+class BreakpointHit(Event):
+    kind = "breakpoint"
+
+    def __init__(self, target, breakpoint, frame):
+        super().__init__(target)
+        self.breakpoint = breakpoint
+        self.frame = frame
+
+
+class StepDone(Event):
+    """A source-level step reached its next stopping point."""
+
+    kind = "step"
+
+    def __init__(self, target, frame):
+        super().__init__(target)
+        self.frame = frame
+
+
+class SignalStop(Event):
+    kind = "signal"
+
+    def __init__(self, target, signo, code):
+        super().__init__(target)
+        self.signo = signo
+        self.code = code
+
+
+class TargetExited(Event):
+    kind = "exit"
+
+    def __init__(self, target, status):
+        super().__init__(target)
+        self.status = status
+
+
+class TargetDisconnected(Event):
+    kind = "disconnect"
+
+
+class EventEngine:
+    """Dispatches events for one debugger; drives stepping.
+
+    A thin, synchronous engine: ``wait()`` runs/continues the target,
+    classifies what happened, offers it to handlers, and — if some
+    handler asked to resume — keeps going.
+    """
+
+    def __init__(self, debugger):
+        self.debugger = debugger
+        self.handlers: List[Callable[[Event], None]] = []
+        #: conditional breakpoints: address -> condition source
+        self.conditions: Dict[int, str] = {}
+        self._step_temps: Dict[int, List[int]] = {}  # per-target temp bps
+
+    # -- handler registration ------------------------------------------------
+
+    def on_event(self, handler: Callable[[Event], None]) -> None:
+        self.handlers.append(handler)
+
+    def add_condition(self, address: int, condition: str) -> None:
+        """Make the breakpoint at ``address`` conditional: the target
+        resumes silently when the expression evaluates false."""
+        self.conditions[address] = condition
+
+    # -- the dispatch loop ------------------------------------------------------
+
+    def wait(self, target=None, timeout: float = 30.0,
+             max_resumes: int = 10_000) -> Event:
+        """Continue the target until an event a client should see."""
+        target = target or self.debugger.current
+        for _ in range(max_resumes):
+            state = self.debugger.run_to_stop(target=target, timeout=timeout)
+            event = self._classify(target, state)
+            self._cleanup_step_temps_if_done(target, event)
+            for handler in self.handlers:
+                handler(event)
+            if event.resume and isinstance(event, (BreakpointHit, StepDone,
+                                                   SignalStop)):
+                continue
+            return event
+        raise RuntimeError("event loop resumed %d times without "
+                           "surfacing an event" % max_resumes)
+
+    def _classify(self, target, state: str) -> Event:
+        if state == "exited":
+            return TargetExited(target, target.exit_status)
+        if state == "disconnected":
+            return TargetDisconnected(target)
+        if target.signo != SIGTRAP:
+            return SignalStop(target, target.signo, target.sigcode)
+        pc = target.stop_pc()
+        bp = target.breakpoints.at(pc)
+        frame = target.top_frame()
+        temps = self._step_temps.get(id(target), [])
+        if bp is not None and pc in temps:
+            return StepDone(target, frame)
+        if bp is not None:
+            event = BreakpointHit(target, bp, frame)
+            condition = self.conditions.get(pc)
+            if condition is not None:
+                try:
+                    value = self.debugger.evaluate(condition, frame=frame,
+                                                   target=target)
+                except Exception:
+                    value = 1  # a broken condition stops, loudly visible
+                if not value:
+                    event.resume = True
+            return event
+        return SignalStop(target, target.signo, target.sigcode)
+
+    # -- source-level stepping (on top of breakpoints, Sec. 7.1) ---------------
+
+    def step(self, target=None, timeout: float = 30.0) -> Event:
+        """Run to the next stopping point anywhere (step into)."""
+        target = target or self.debugger.current
+        self._plant_step_temps(target)
+        return self.wait(target, timeout=timeout)
+
+    def next(self, target=None, timeout: float = 30.0,
+             max_inner: int = 10_000) -> Event:
+        """Run to the next stopping point at the same or a shallower
+        frame (step over): stops inside callees resume silently."""
+        target = target or self.debugger.current
+        origin_sp = target.top_frame().sp
+        origin_depth_guard = 0
+        for _ in range(max_inner):
+            self._plant_step_temps(target)
+            event = self.wait(target, timeout=timeout)
+            if not isinstance(event, StepDone):
+                return event
+            # stacks grow downward: a smaller sp means a deeper frame
+            if event.frame.sp >= origin_sp:
+                return event
+            origin_depth_guard += 1
+        raise RuntimeError("step-over never surfaced")
+
+    def _plant_step_temps(self, target) -> None:
+        """Plant temporary breakpoints at every stopping point of every
+        procedure (skipping ones the user already owns)."""
+        temps = self._step_temps.setdefault(id(target), [])
+        if temps:
+            return  # already armed
+        current_pc = target.stop_pc()
+        for proc_entry in target.symtab.procs():
+            for stop in target.symtab.loci(proc_entry):
+                address = target.symtab.stop_address(stop)
+                if address is None or address == current_pc:
+                    continue
+                if target.breakpoints.at(address) is not None:
+                    continue  # a user breakpoint; leave it alone
+                target.breakpoints.plant(address, note="step")
+                temps.append(address)
+
+    def _cleanup_step_temps_if_done(self, target, event: Event) -> None:
+        """Whatever arrived — the step, a user breakpoint, a fault, an
+        exit — the step's temporaries come out (the paper's warning that
+        the expected event may not be the one that occurs)."""
+        temps = self._step_temps.get(id(target), [])
+        if not temps:
+            return
+        if target.state == "stopped":
+            for address in temps:
+                try:
+                    target.breakpoints.remove(address)
+                except Exception:
+                    pass  # a dying target cannot be patched; give up
+        self._step_temps[id(target)] = []

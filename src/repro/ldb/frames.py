@@ -1,0 +1,126 @@
+"""The stack-frame abstraction (paper Sec. 4).
+
+The machine-independent class holds the program counter, the
+symbol-table entry of the corresponding procedure, and methods that
+compute scopes for name resolution.  Machine-dependent subtypes (in
+:mod:`repro.ldb.machdep`) supply only two methods: one that walks down
+the stack and one that restores registers from the stack — together
+they build the caller's abstract memory, reusing aliases from the called
+frame for callee-saved registers it did not modify (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..postscript import Location, PSDict
+from .memories import AliasMemory, JoinedMemory, MemoryStats, RegisterMemory
+
+
+class Frame:
+    """One procedure activation.
+
+    ``memory`` is the joined abstract memory of Fig. 4; ``frame_base``
+    is the value the per-architecture PostScript binds as ``FrameBase``
+    to address locals (the vfp on rmips, the fp elsewhere).
+    """
+
+    def __init__(self, target, pc: int, memory: JoinedMemory,
+                 frame_base: int, sp: int, level: int = 0):
+        self.target = target
+        self.pc = pc
+        self.memory = memory
+        self.frame_base = frame_base
+        self.sp = sp
+        self.level = level
+
+    # -- machine-independent methods ------------------------------------
+
+    def proc_entry(self) -> Optional[PSDict]:
+        """The symbol-table entry of this frame's procedure."""
+        return self.target.symtab.proc_entry_for_pc(self.pc)
+
+    def proc_name(self) -> str:
+        entry = self.proc_entry()
+        if entry is not None:
+            return entry["name"].text
+        hit = self.target.linker.proc_containing(self.pc)
+        return hit[1] if hit else "0x%x" % self.pc
+
+    def stop(self) -> Optional[Tuple[int, PSDict]]:
+        """The stopping point at or before the pc, with its index."""
+        entry = self.proc_entry()
+        if entry is None:
+            return None
+        return self.target.symtab.stop_for_pc(entry, self.pc)
+
+    def scope_stop(self) -> Optional[PSDict]:
+        hit = self.stop()
+        return hit[1] if hit else None
+
+    def resolve(self, name: str) -> Optional[PSDict]:
+        """Resolve a name in this frame's scope (the paper's context:
+        a particular stopping point in a particular procedure)."""
+        return self.target.symtab.resolve(name, self.scope_stop(),
+                                          self.proc_entry())
+
+    def visible_names(self) -> List[str]:
+        names: List[str] = []
+        stop = self.scope_stop()
+        entry = stop.get("syms") if stop is not None else None
+        while entry is not None:
+            names.append(entry["name"].text)
+            entry = entry.get("uplink")
+        proc = self.proc_entry()
+        if proc is not None:
+            for key in proc["statics"].keys():
+                names.append(key if isinstance(key, str) else str(key))
+        return names
+
+    def read_reg(self, index: int) -> int:
+        return self.memory.fetch(Location.absolute("r", index), "i32")
+
+    def write_reg(self, index: int, value: int) -> None:
+        self.memory.store(Location.absolute("r", index), "i32", value)
+
+    def location_line(self) -> Tuple[str, int]:
+        entry = self.proc_entry()
+        if entry is None:
+            return ("?", 0)
+        stop = self.scope_stop()
+        if stop is not None:
+            return (entry["sourcefile"].text, stop["sourcey"])
+        return (entry["sourcefile"].text, entry["sourcey"])
+
+    # -- machine-dependent methods (supplied by subtypes) ------------------
+
+    def caller(self) -> Optional["Frame"]:
+        """Walk down the stack: build the caller's frame, or None."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "<frame #%d %s pc=0x%x>" % (self.level, self.proc_name(), self.pc)
+
+
+def backtrace(frame: Optional[Frame], limit: int = 64) -> List[Frame]:
+    """The frames from ``frame`` outward."""
+    frames: List[Frame] = []
+    while frame is not None and len(frames) < limit:
+        frames.append(frame)
+        frame = frame.caller()
+    return frames
+
+
+def make_register_dag(target, aliases: Dict[Tuple[str, int], Location],
+                      widths: Dict[str, str],
+                      stats: Optional[MemoryStats] = None) -> JoinedMemory:
+    """Assemble the Fig. 4 DAG: wire <- alias <- register <- joined."""
+    stats = stats if stats is not None else MemoryStats()
+    wire = target.wire
+    alias = AliasMemory(wire, aliases, stats=stats)
+    register = RegisterMemory(alias, widths, stats=stats)
+    routes: Dict[str, object] = {"c": wire, "d": wire}
+    for space in widths:
+        routes[space] = register
+    routes["x"] = register
+    return JoinedMemory(routes, stats=stats)

@@ -1,0 +1,37 @@
+"""ldb's machine-dependent modules: one per target architecture.
+
+Each module supplies the debugger's own machine-dependent data and the
+stack-frame subtype (paper Sec. 4.3):
+
+* the four items of breakpoint data — the break and no-op bit patterns,
+  the instruction fetch size, and the pc advance that "interprets" a
+  skipped no-op;
+* the context-field description parameterizing the machine-independent
+  context access code;
+* the frame subtype's two methods (walk down, restore registers);
+* which register spaces exist and how wide their registers are.
+
+These descriptions deliberately do not import the simulator's Arch
+classes: the debugger carries its own copies of machine facts, exactly
+as the paper's ldb does — agreement is enforced by the integration
+tests, not by sharing code with the target.
+"""
+
+from __future__ import annotations
+
+
+def machdep_for(arch_name: str):
+    """The machine-dependent module for a target architecture name."""
+    if arch_name in ("rmips", "rmipsel"):
+        from . import mips
+        return mips.MipsMachine(arch_name)
+    if arch_name == "rsparc":
+        from . import sparc
+        return sparc.SparcMachine()
+    if arch_name == "rm68k":
+        from . import m68k
+        return m68k.M68kMachine()
+    if arch_name == "rvax":
+        from . import vax
+        return vax.VaxMachine()
+    raise KeyError("no machine-dependent support for %r" % arch_name)

@@ -1,0 +1,113 @@
+"""ldb machine-dependent support for the rm68k target.
+
+Frame-pointer chains (LINK/UNLK): the saved fp is at fp+0 and the
+return address at fp+4.  Register variables live in the callee-saved
+data registers d4-d7; which ones a procedure saved — and where — comes
+from the register-save mask the compiler adds to its symbol-table entry
+(paper Sec. 5).  Floating registers hold 80-bit extended values, so the
+``f`` space is 10 bytes wide here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...postscript import Location
+from ..frames import Frame, make_register_dag
+from ..memories import MemoryStats
+
+NREGS = 16
+NFREGS = 8
+SP_REG = 15  # a7
+FP_REG = 14  # a6
+
+CTX_PC = 0
+CTX_REGS = 4
+CTX_FREGS = CTX_REGS + 4 * NREGS
+CTX_SIZE = CTX_FREGS + 10 * NFREGS + 4
+
+REGSET_WIDTHS = {"r": "i32", "f": "f80"}
+
+
+class M68kMachine:
+    noop_advance = 2
+    insn_fetch_size = 2
+    ps_arch = "rm68k"
+    frame_base_is_vfp = False
+    arch_name = "rm68k"
+
+    break_bytes_le = bytes([0x48, 0x48])  # BKPT as a little-endian value
+    nop_bytes_le = bytes([0x71, 0x4E])    # NOP (0x4E71)
+
+    def reg_names(self):
+        return ["d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7",
+                "a0", "a1", "a2", "a3", "a4", "a5", "fp", "sp"]
+
+    def context_aliases(self, context_addr: int, pc: int):
+        aliases: Dict[Tuple[str, int], Location] = {}
+        for i in range(NREGS):
+            aliases[("r", i)] = Location.absolute("d", context_addr + CTX_REGS + 4 * i)
+        for i in range(NFREGS):
+            aliases[("f", i)] = Location.absolute("d", context_addr + CTX_FREGS + 10 * i)
+        aliases[("x", 0)] = Location.immediate(pc)
+        return aliases
+
+    def pc_context_location(self, context_addr: int) -> Location:
+        return Location.absolute("d", context_addr + CTX_PC)
+
+    def new_top_frame(self, target, context_addr: int) -> "M68kFrame":
+        wire = target.wire
+        pc = wire.fetch(self.pc_context_location(context_addr), "i32") & 0xFFFFFFFF
+        fp = wire.fetch(Location.absolute(
+            "d", context_addr + CTX_REGS + 4 * FP_REG), "i32") & 0xFFFFFFFF
+        sp = wire.fetch(Location.absolute(
+            "d", context_addr + CTX_REGS + 4 * SP_REG), "i32") & 0xFFFFFFFF
+        stats = MemoryStats()
+        memory = make_register_dag(target, self.context_aliases(context_addr, pc),
+                                   REGSET_WIDTHS, stats=stats)
+        frame = M68kFrame(target, pc, memory, fp, sp)
+        frame.machine = self
+        frame.stats = stats
+        return frame
+
+
+class M68kFrame(Frame):
+    machine: M68kMachine = None
+    stats = None
+
+    def _saved_reg_slots(self) -> Dict[int, int]:
+        """Use the compiler's register-save mask from the symbol table."""
+        entry = self.proc_entry()
+        if entry is None or "savemask" not in entry:
+            return {}
+        mask = entry["savemask"]
+        offset = entry["saveoffset"]
+        regs = sorted(bit for bit in range(NREGS) if mask & (1 << bit))
+        base = self.frame_base + offset
+        return {reg: base + 4 * k for k, reg in enumerate(regs)}
+
+    def caller(self) -> Optional["M68kFrame"]:
+        fp = self.frame_base
+        if fp == 0:
+            return None
+        old_fp = self.memory.fetch(Location.absolute("d", fp), "i32") & 0xFFFFFFFF
+        ra = self.memory.fetch(Location.absolute("d", fp + 4), "i32") & 0xFFFFFFFF
+        if ra == 0:
+            return None
+        caller_pc = ra - 2
+        hit = self.target.linker.proc_containing(caller_pc)
+        if hit is None or hit[1].startswith("__"):  # startup code
+            return None
+        aliases = dict(self.memory.routes["r"].underlying.aliases)
+        for reg, address in self._saved_reg_slots().items():
+            aliases[("r", reg)] = Location.absolute("d", address)
+        aliases[("r", SP_REG)] = Location.immediate(fp + 8)
+        aliases[("r", FP_REG)] = Location.immediate(old_fp)
+        aliases[("x", 0)] = Location.immediate(caller_pc)
+        memory = make_register_dag(self.target, aliases, REGSET_WIDTHS,
+                                   stats=self.stats)
+        frame = M68kFrame(self.target, caller_pc, memory, old_fp, fp + 8,
+                          level=self.level + 1)
+        frame.machine = self.machine
+        frame.stats = self.stats
+        return frame

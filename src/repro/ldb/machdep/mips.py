@@ -1,0 +1,143 @@
+"""ldb machine-dependent support for the rmips target.
+
+The machine has no frame pointer, so locals are addressed off the
+virtual frame pointer vfp = sp + frame size; the frame size, the
+register-save mask, and the save-area offset come from the runtime
+procedure table through the MIPS linker interface (paper Sec. 4.1, 4.3).
+Saved registers lie at the save offset in ascending register number,
+with the return address (r31) last.
+
+``MipsFrame.new`` takes the context from the nub and creates the
+top-frame abstract memory: general and floating registers alias their
+saved slots in the context; the extra registers (pc and vfp) are
+aliases for immediate locations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...postscript import Location
+from ..frames import Frame, make_register_dag
+from ..memories import MemoryStats
+
+NREGS = 32
+NFREGS = 16
+SP_REG = 29
+RA_REG = 31
+
+#: context layout: pc, then 32 integer registers, then 16 doubles, flags
+CTX_PC = 0
+CTX_REGS = 4
+CTX_FREGS = CTX_REGS + 4 * NREGS
+CTX_SIZE = CTX_FREGS + 8 * NFREGS + 4
+
+#: register spaces and widths (r integer words, f doubles)
+REGSET_WIDTHS = {"r": "i32", "f": "f64"}
+
+
+class MipsMachine:
+    """Machine-dependent data and constructors for rmips/rmipsel."""
+
+    #: the four machine-dependent breakpoint items (paper Sec. 3)
+    noop_advance = 4
+    insn_fetch_size = 4
+    ps_arch = "rmips"
+    frame_base_is_vfp = True
+
+    def __init__(self, arch_name: str = "rmips"):
+        self.arch_name = arch_name
+        big = arch_name == "rmips"
+        self.break_bytes_le = bytes([0, 0, 0, 4])  # break, little-endian value
+        self.nop_bytes_le = bytes(4)
+
+    def reg_names(self):
+        return (["r%d" % i for i in range(29)] + ["sp", "r30", "ra"])
+
+    # -- context ------------------------------------------------------------
+
+    def context_aliases(self, context_addr: int, pc: int, vfp: int):
+        aliases: Dict[Tuple[str, int], Location] = {}
+        for i in range(NREGS):
+            aliases[("r", i)] = Location.absolute("d", context_addr + CTX_REGS + 4 * i)
+        for i in range(NFREGS):
+            aliases[("f", i)] = Location.absolute("d", context_addr + CTX_FREGS + 8 * i)
+        aliases[("x", 0)] = Location.immediate(pc)
+        aliases[("x", 1)] = Location.immediate(vfp)
+        return aliases
+
+    def pc_context_location(self, context_addr: int) -> Location:
+        return Location.absolute("d", context_addr + CTX_PC)
+
+    # -- frames ---------------------------------------------------------------
+
+    def new_top_frame(self, target, context_addr: int) -> "MipsFrame":
+        """MipsFrame.New of the paper: context -> topmost frame."""
+        wire = target.wire
+        pc = wire.fetch(self.pc_context_location(context_addr), "i32") & 0xFFFFFFFF
+        sp = wire.fetch(Location.absolute(
+            "d", context_addr + CTX_REGS + 4 * SP_REG), "i32") & 0xFFFFFFFF
+        framesize = target.linker.frame_size(pc) or 0
+        vfp = sp + framesize
+        stats = MemoryStats()
+        memory = make_register_dag(
+            target, self.context_aliases(context_addr, pc, vfp),
+            REGSET_WIDTHS, stats=stats)
+        frame = MipsFrame(target, pc, memory, vfp, sp)
+        frame.machine = self
+        frame.stats = stats
+        return frame
+
+
+class MipsFrame(Frame):
+    """The rmips frame subtype: its two machine-dependent methods."""
+
+    machine: MipsMachine = None
+    stats = None
+
+    def _saved_reg_slots(self) -> Dict[int, int]:
+        """reg number -> stack address of its save slot in this frame."""
+        mask, save_offset = self.target.linker.reg_save_info(self.pc)
+        regs = sorted(bit for bit in range(31) if mask & (1 << bit))
+        if mask & (1 << RA_REG):
+            regs.append(RA_REG)  # the return address is saved last
+        base = self.frame_base + save_offset
+        return {reg: base + 4 * k for k, reg in enumerate(regs)}
+
+    def _return_address(self) -> int:
+        slots = self._saved_reg_slots()
+        if RA_REG in slots:
+            return self.memory.fetch(
+                Location.absolute("d", slots[RA_REG]), "i32") & 0xFFFFFFFF
+        return self.read_reg(RA_REG) & 0xFFFFFFFF
+
+    def caller(self) -> Optional["MipsFrame"]:
+        """Walk down the stack and restore registers from it.
+
+        The aliases for registers this procedure saved point at its
+        save area; aliases for untouched callee-saved registers are
+        reused from the called frame (paper Sec. 4.1).
+        """
+        ra = self._return_address()
+        if ra == 0:
+            return None
+        caller_pc = ra - 4  # the call site
+        hit = self.target.linker.proc_containing(caller_pc)
+        if hit is None or hit[1].startswith("__"):  # startup code
+            return None
+        caller_sp = self.frame_base  # our vfp is the caller's sp
+        framesize = self.target.linker.frame_size(caller_pc) or 0
+        caller_vfp = caller_sp + framesize
+        aliases = dict(self.memory.routes["r"].underlying.aliases)
+        for reg, address in self._saved_reg_slots().items():
+            aliases[("r", reg)] = Location.absolute("d", address)
+        aliases[("r", SP_REG)] = Location.immediate(caller_sp)
+        aliases[("x", 0)] = Location.immediate(caller_pc)
+        aliases[("x", 1)] = Location.immediate(caller_vfp)
+        memory = make_register_dag(self.target, aliases, REGSET_WIDTHS,
+                                   stats=self.stats)
+        frame = MipsFrame(self.target, caller_pc, memory, caller_vfp,
+                          caller_sp, level=self.level + 1)
+        frame.machine = self.machine
+        frame.stats = self.stats
+        return frame

@@ -1,0 +1,225 @@
+"""Abstract memories: the DAG of Fig. 4 (paper Sec. 4.1).
+
+An abstract memory represents the registers and memory of a target
+process as a collection of spaces.  ldb combines several instances to
+represent the state during one procedure activation:
+
+* the **wire** holds the connection to the nub and forwards fetch/store
+  requests for the code and data spaces;
+* the **alias** memory translates register-space locations into code or
+  data locations (the saved context) or immediate locations;
+* the **register** memory turns sub-word register accesses into
+  full-word operations, making target byte order irrelevant — the same
+  debugger code runs against little- and big-endian targets;
+* the **joined** memory routes each space to the right underlying
+  memory and is the instance the rest of the debugger sees.
+
+Machine-independent code manipulates machine-dependent *data* (the alias
+table), so cross-architecture debugging comes for free.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple, Union
+
+from ..machines import float80
+from ..nub import protocol
+from ..nub.channel import Channel
+from ..postscript import AbstractMemory, KIND_BYTES, Location, PSError
+
+
+class MemoryStats:
+    """Fetch/store counters, shared down a DAG (bench_fig4 uses them)."""
+
+    def __init__(self):
+        self.counts: Dict[str, int] = {}
+
+    def note(self, memory_name: str, what: str) -> None:
+        key = "%s.%s" % (memory_name, what)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def of(self, memory_name: str, what: str) -> int:
+        return self.counts.get("%s.%s" % (memory_name, what), 0)
+
+
+class WireMemory(AbstractMemory):
+    """Forwards fetches and stores to the nub over the channel.
+
+    Values travel little-endian on the wire whatever the target's byte
+    order; the nub does the target-order memory access.
+    """
+
+    spaces = "cd"
+
+    #: how long to wait for the nub before giving up
+    REPLY_TIMEOUT = 15.0
+
+    def __init__(self, channel: Channel, stats: Optional[MemoryStats] = None):
+        self.channel = channel
+        self.stats = stats if stats is not None else MemoryStats()
+
+    def fetch_absolute(self, loc: Location, kind: str):
+        self.stats.note("wire", "fetch")
+        size = KIND_BYTES[kind]
+        self.channel.send(protocol.fetch(loc.space, loc.offset, size))
+        reply = self.channel.recv(self.REPLY_TIMEOUT)
+        if reply.mtype == protocol.MSG_ERROR:
+            raise PSError("invalidaccess", "nub error %d at %s+%d"
+                          % (protocol.parse_error(reply), loc.space, loc.offset))
+        if reply.mtype != protocol.MSG_DATA:
+            raise PSError("ioerror", "unexpected reply %r" % (reply,))
+        return decode_value(reply.payload, kind)
+
+    def store_absolute(self, loc: Location, kind: str, value) -> None:
+        self.stats.note("wire", "store")
+        raw = encode_value(value, kind)
+        self.channel.send(protocol.store(loc.space, loc.offset, raw))
+        reply = self.channel.recv(self.REPLY_TIMEOUT)
+        if reply.mtype == protocol.MSG_ERROR:
+            raise PSError("invalidaccess", "nub store error %d"
+                          % protocol.parse_error(reply))
+
+
+def decode_value(raw_le: bytes, kind: str):
+    """Decode a little-endian wire value into a host value.
+
+    Kinds use the abstract-memory vocabulary (``i8 i16 i32 f32 f64 f80``).
+    """
+    if kind == "f32":
+        return struct.unpack("<f", raw_le)[0]
+    if kind == "f64":
+        return struct.unpack("<d", raw_le)[0]
+    if kind == "f80":
+        return float80.decode(raw_le)
+    return int.from_bytes(raw_le, "little", signed=True)
+
+
+def encode_value(value, kind: str) -> bytes:
+    """Encode a host value as little-endian wire bytes."""
+    if kind == "f32":
+        return struct.pack("<f", float(value))
+    if kind == "f64":
+        return struct.pack("<d", float(value))
+    if kind == "f80":
+        return float80.encode(float(value))
+    size = KIND_BYTES[kind]
+    return (int(value) & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+
+
+class AliasMemory(AbstractMemory):
+    """Records where each register lives: a context or stack location in
+    the data space, or an immediate location.  The aliases are
+    machine-dependent data; this code is machine-independent."""
+
+    def __init__(self, underlying: AbstractMemory,
+                 aliases: Optional[Dict[Tuple[str, int], Location]] = None,
+                 stats: Optional[MemoryStats] = None):
+        self.underlying = underlying
+        self.aliases = aliases if aliases is not None else {}
+        self.stats = stats if stats is not None else getattr(
+            underlying, "stats", MemoryStats())
+
+    def alias(self, space: str, offset: int, target: Location) -> "AliasMemory":
+        self.aliases[(space, offset)] = target
+        return self
+
+    def target_of(self, loc: Location) -> Location:
+        key = (loc.space, loc.offset)
+        if key not in self.aliases:
+            raise PSError("invalidaccess",
+                          "no alias for %s+%d" % (loc.space, loc.offset))
+        return self.aliases[key]
+
+    def fetch_absolute(self, loc: Location, kind: str):
+        self.stats.note("alias", "fetch")
+        return self.underlying.fetch(self.target_of(loc), kind)
+
+    def store_absolute(self, loc: Location, kind: str, value) -> None:
+        self.stats.note("alias", "store")
+        self.underlying.store(self.target_of(loc), kind, value)
+
+
+class RegisterMemory(AbstractMemory):
+    """Solves the byte-order problem for sub-word register access.
+
+    Fetching the least significant byte of a register would need the
+    target's byte order; instead, sub-word fetches and stores become
+    full-word operations here, and only the low-order *bits* of the word
+    value are used — byte order becomes irrelevant (paper Sec. 4.1).
+
+    ``widths`` maps each register space to its full-register kind
+    (``r -> i32``, ``f -> f64`` — or ``f80`` on the 68020 analog).
+    """
+
+    def __init__(self, underlying: AbstractMemory, widths: Dict[str, str],
+                 stats: Optional[MemoryStats] = None):
+        self.underlying = underlying
+        self.widths = widths
+        self.stats = stats if stats is not None else getattr(
+            underlying, "stats", MemoryStats())
+
+    def fetch_absolute(self, loc: Location, kind: str):
+        self.stats.note("register", "fetch")
+        full = self.widths.get(loc.space, "i32")
+        if kind in ("i8", "i16") and full.startswith("i"):
+            word = self.underlying.fetch(loc, full)
+            bits = 8 * KIND_BYTES[kind]
+            value = word & ((1 << bits) - 1)
+            if value >= 1 << (bits - 1):
+                value -= 1 << bits
+            return value
+        return self.underlying.fetch(loc, full if kind.startswith(full[0]) else kind)
+
+    def store_absolute(self, loc: Location, kind: str, value) -> None:
+        self.stats.note("register", "store")
+        full = self.widths.get(loc.space, "i32")
+        if kind in ("i8", "i16") and full.startswith("i"):
+            word = self.underlying.fetch(loc, full)
+            bits = 8 * KIND_BYTES[kind]
+            mask = (1 << bits) - 1
+            merged = (word & ~mask) | (int(value) & mask)
+            self.underlying.store(loc, full, merged)
+            return
+        self.underlying.store(loc, full if kind.startswith(full[0]) else kind, value)
+
+
+class JoinedMemory(AbstractMemory):
+    """Routes fetch and store requests by space: the instance presented
+    to the rest of the debugger as the frame's abstract memory."""
+
+    def __init__(self, routes: Dict[str, AbstractMemory],
+                 stats: Optional[MemoryStats] = None):
+        self.routes = routes
+        self.stats = stats if stats is not None else MemoryStats()
+
+    def route(self, loc: Location) -> AbstractMemory:
+        memory = self.routes.get(loc.space)
+        if memory is None:
+            raise PSError("invalidaccess", "no memory serves space %r" % loc.space)
+        return memory
+
+    def fetch_absolute(self, loc: Location, kind: str):
+        self.stats.note("joined", "fetch")
+        return self.route(loc).fetch(loc, kind)
+
+    def store_absolute(self, loc: Location, kind: str, value) -> None:
+        self.stats.note("joined", "store")
+        self.route(loc).store(loc, kind, value)
+
+
+class LocalMemory(AbstractMemory):
+    """A concrete in-host memory for tests and the expression server's
+    immediate values; stores one value per (space, offset)."""
+
+    def __init__(self):
+        self.slots: Dict[Tuple[str, int], Union[int, float]] = {}
+
+    def fetch_absolute(self, loc: Location, kind: str):
+        key = (loc.space, loc.offset)
+        if key not in self.slots:
+            raise PSError("invalidaccess", "nothing at %s+%d" % key)
+        return self.slots[key]
+
+    def store_absolute(self, loc: Location, kind: str, value) -> None:
+        self.slots[(loc.space, loc.offset)] = value

@@ -1,0 +1,251 @@
+"""Target objects (paper Sec. 7).
+
+ldb can connect to multiple targets simultaneously, so target-specific
+state never lives in globals: the connection, the loader table, the
+linker interface, the machine-dependent dictionaries, the breakpoint
+table, and the stopped/running state all hang off a :class:`Target`.
+
+The target's architecture comes from the top-level dictionary at debug
+time, and is used to find the machine-dependent code and data — which is
+what lets ldb change architectures dynamically and debug across
+architectures (Sec. 1, 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..nub import protocol
+from ..nub.channel import Channel, ChannelClosed
+from ..postscript import (
+    Interp,
+    Location,
+    Name,
+    Operator,
+    PSDict,
+    PSError,
+    String,
+)
+from .breakpoints import BreakpointTable
+from .frames import Frame, backtrace
+from .linker import linker_for
+from .machdep import machdep_for
+from .memories import MemoryStats, WireMemory
+from .symtab import SymbolTable
+
+
+class TargetError(Exception):
+    pass
+
+
+class Target:
+    """One debugged process: connection + tables + state."""
+
+    def __init__(self, interp: Interp, channel: Channel, loader_table: PSDict,
+                 name: str = "t0"):
+        self.interp = interp
+        self.channel = channel
+        self.name = name
+        self.table = loader_table
+        toplevel = loader_table["symtab"]
+        self.arch_name = toplevel["architecture"].text
+        # the architecture name selects the machine-dependent code & data
+        self.machdep = machdep_for(self.arch_name)
+        self.stats = MemoryStats()
+        self.wire = WireMemory(channel, stats=self.stats)
+        self.linker = linker_for(self.arch_name, loader_table, self.wire)
+        self.symtab = SymbolTable(interp, toplevel, target=self)
+        # the same per-architecture dictionary the loader-table PostScript
+        # pushed with UseArchitecture: symbol definitions made while the
+        # table was interpreted live there, and deferred values forced
+        # later must resolve against them
+        self.arch_dict = interp.systemdict["ArchDicts"][self.machdep.ps_arch]
+        self.target_dict = self._make_target_dict()
+        self.breakpoints = BreakpointTable(self)
+        #: 'running' | 'stopped' | 'exited' | 'disconnected'
+        self.state = "running"
+        self.signo = 0
+        self.sigcode = 0
+        self.context_addr = 0
+        self.exit_status: Optional[int] = None
+        self._top_frame: Optional[Frame] = None
+
+    # -- PostScript context ------------------------------------------------
+
+    def _make_target_dict(self) -> PSDict:
+        """Target-bound operators: LazyData, GlobalData, ProcName."""
+        d = PSDict()
+
+        def op_lazydata(interp) -> None:
+            # (anchor) k LazyData -> loc : fetch the k-th word after the
+            # anchor from the target address space (paper Sec. 2)
+            index = interp.pop_int()
+            anchor = interp.pop_name_or_string_text()
+            base = self.linker.anchor_address(anchor)
+            address = self.wire.fetch(
+                Location.absolute("d", base + 4 * index), "i32") & 0xFFFFFFFF
+            interp.push(Location.absolute("d", address))
+
+        def op_globaldata(interp) -> None:
+            # (label) GlobalData -> loc : an external symbol, via nm
+            label = interp.pop_name_or_string_text()
+            address = self.linker.global_address(label)
+            if address is None:
+                raise PSError("undefined", "no external symbol %s" % label)
+            interp.push(Location.absolute("d", address))
+
+        def op_procname(interp) -> None:
+            # addr ProcName -> name|null : used by the PTR printer
+            address = interp.pop_int()
+            hit = self.linker.proc_containing(address)
+            if hit is not None and hit[0] == address:
+                interp.push(String(hit[1].lstrip("_")))
+            else:
+                interp.push(None)
+
+        d["LazyData"] = Operator("LazyData", op_lazydata)
+        d["GlobalData"] = Operator("GlobalData", op_globaldata)
+        d["ProcName"] = Operator("ProcName", op_procname)
+        return d
+
+    def eval_dicts(self) -> List[PSDict]:
+        """Dictionaries to push when interpreting this target's
+        PostScript: machine-dependent names first, then target ops."""
+        return [self.arch_dict, self.target_dict]
+
+    # -- nub conversation -----------------------------------------------------
+
+    def wait_for_stop(self, timeout: Optional[float] = 30.0) -> str:
+        """Block until the nub reports a signal or an exit."""
+        try:
+            msg = self.channel.recv(timeout)
+        except ChannelClosed:
+            self.state = "disconnected"
+            return self.state
+        if msg.mtype == protocol.MSG_SIGNAL:
+            self.signo, self.sigcode, self.context_addr = protocol.parse_signal(msg)
+            self.state = "stopped"
+            self._top_frame = None
+        elif msg.mtype == protocol.MSG_EXITED:
+            self.exit_status = protocol.parse_exited(msg)
+            self.state = "exited"
+        else:
+            raise TargetError("unexpected nub message %r" % (msg,))
+        return self.state
+
+    def _require_stopped(self) -> None:
+        # several parts of the debugger must know whether the target is
+        # running or stopped (paper Sec. 7)
+        if self.state != "stopped":
+            raise TargetError("target %s is %s, not stopped"
+                              % (self.name, self.state))
+
+    def cont(self, at_pc: Optional[int] = None) -> None:
+        """Resume execution, optionally at a new pc."""
+        self._require_stopped()
+        if at_pc is not None:
+            self.wire.store(self.machdep.pc_context_location(self.context_addr),
+                            "i32", at_pc)
+        self.channel.send(protocol.cont())
+        self.state = "running"
+        self._top_frame = None
+
+    def resume_from_breakpoint(self) -> None:
+        """Continue past the trapped no-op (skip it out of line)."""
+        self._require_stopped()
+        pc = self.stop_pc()
+        self.cont(at_pc=self.breakpoints.resume_pc(pc))
+
+    def kill(self) -> None:
+        self._require_stopped()
+        self.channel.send(protocol.kill())
+        self.state = "exited"
+
+    def detach(self) -> None:
+        """Break the connection; the nub preserves the target's state."""
+        self._require_stopped()
+        self.channel.send(protocol.detach())
+        self.channel.close()
+        self.state = "disconnected"
+
+    # -- stopped-state inspection -------------------------------------------------
+
+    def stop_pc(self) -> int:
+        self._require_stopped()
+        return self.wire.fetch(
+            self.machdep.pc_context_location(self.context_addr), "i32") & 0xFFFFFFFF
+
+    def at_breakpoint(self) -> bool:
+        from ..machines.isa import SIGTRAP
+        return (self.state == "stopped" and self.signo == SIGTRAP
+                and self.breakpoints.at(self.stop_pc()) is not None)
+
+    def top_frame(self) -> Frame:
+        self._require_stopped()
+        if self._top_frame is None:
+            self._top_frame = self.machdep.new_top_frame(self, self.context_addr)
+        return self._top_frame
+
+    def frames(self, limit: int = 64) -> List[Frame]:
+        return backtrace(self.top_frame(), limit)
+
+    # -- symbol values ---------------------------------------------------------------
+
+    def location_of(self, entry: PSDict, frame: Optional[Frame] = None) -> Location:
+        """Force a symbol's where-value in a frame's context.
+
+        Anchor- and nm-based locations are replaced with their results
+        ("at most once per symbol-table entry", Sec. 7); frame-relative
+        locations are recomputed per frame.
+        """
+        value = entry["where"]
+        if isinstance(value, Location):
+            return value
+        memoize = self._mentions_linker(value)
+        result = self._exec_where(value, frame)
+        if not isinstance(result, Location):
+            raise PSError("typecheck", "where yielded %r" % (result,))
+        if memoize:
+            entry["where"] = result
+        return result
+
+    def _mentions_linker(self, value) -> bool:
+        text = value.text if isinstance(value, String) else repr(value)
+        return "LazyData" in text or "GlobalData" in text
+
+    def _exec_where(self, value, frame: Optional[Frame]):
+        interp = self.interp
+        pushed = 0
+        for d in self.eval_dicts():
+            interp.push_dict(d)
+            pushed += 1
+        if frame is not None:
+            frame_dict = PSDict()
+            frame_dict["FrameBase"] = frame.frame_base
+            interp.push_dict(frame_dict)
+            pushed += 1
+        try:
+            interp.call(value)
+            return interp.pop()
+        finally:
+            for _ in range(pushed):
+                interp.pop_dict_stack()
+
+    def print_value(self, entry: PSDict, frame: Frame) -> None:
+        """Print a variable using its type's printer procedure: the
+        PostScript runs against the frame's abstract memory (Sec. 4.1)."""
+        loc = self.location_of(entry, frame)
+        typedict = entry["type"]
+        interp = self.interp
+        pushed = 0
+        for d in self.eval_dicts():
+            interp.push_dict(d)
+            pushed += 1
+        try:
+            interp.push(frame.memory)
+            interp.push(loc)
+            interp.push(typedict)
+            interp.run("PrintValue")
+        finally:
+            for _ in range(pushed):
+                interp.pop_dict_stack()

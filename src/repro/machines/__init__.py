@@ -1,0 +1,102 @@
+"""Simulated target architectures: the hardware substrate.
+
+The paper ran on MIPS R3000, Motorola 68020, SPARC, and VAX hardware;
+this package supplies simulated analogs that keep the properties the
+debugger's machine-dependent code depends on (see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .cpu import Cpu
+from .isa import (
+    Arch,
+    ContextField,
+    Halt,
+    Insn,
+    Label,
+    SIGFPE,
+    SIGILL,
+    SIGSEGV,
+    SIGTRAP,
+    TargetFault,
+)
+from .loader import (
+    Executable,
+    FuncInfo,
+    LinkError,
+    ObjectUnit,
+    Relocation,
+    Symbol,
+    link,
+    load,
+    nm,
+    read_runtime_proc_table,
+)
+from .m68k import RM68kArch
+from .memory import MemoryFault, TargetMemory
+from .mips import RMipsArch, RMipsELArch
+from .process import ExitEvent, FaultEvent, Process
+from .sparc import RSparcArch
+from .vax import RVaxArch
+
+_ARCHES: Dict[str, Arch] = {}
+
+
+def get_arch(name: str) -> Arch:
+    """The singleton Arch description for ``name``.
+
+    Known names: rmips, rmipsel, rsparc, rm68k, rvax.
+    """
+    if name not in _ARCHES:
+        classes = {
+            "rmips": RMipsArch,
+            "rmipsel": RMipsELArch,
+            "rsparc": RSparcArch,
+            "rm68k": RM68kArch,
+            "rvax": RVaxArch,
+        }
+        if name not in classes:
+            raise KeyError("unknown architecture %r" % name)
+        _ARCHES[name] = classes[name]()
+    return _ARCHES[name]
+
+
+ARCH_NAMES = ("rmips", "rmipsel", "rsparc", "rm68k", "rvax")
+
+__all__ = [
+    "ARCH_NAMES",
+    "Arch",
+    "ContextField",
+    "Cpu",
+    "ExitEvent",
+    "Executable",
+    "FaultEvent",
+    "FuncInfo",
+    "Halt",
+    "Insn",
+    "Label",
+    "LinkError",
+    "MemoryFault",
+    "ObjectUnit",
+    "Process",
+    "RM68kArch",
+    "RMipsArch",
+    "RMipsELArch",
+    "RSparcArch",
+    "RVaxArch",
+    "Relocation",
+    "SIGFPE",
+    "SIGILL",
+    "SIGSEGV",
+    "SIGTRAP",
+    "Symbol",
+    "TargetFault",
+    "TargetMemory",
+    "get_arch",
+    "link",
+    "load",
+    "nm",
+    "read_runtime_proc_table",
+]

@@ -1,0 +1,91 @@
+"""80-bit extended-precision float codec (the 68020's native format).
+
+The paper's abstract memory model fetches and stores three sizes of
+floating-point values — 32, 64, and 80 bits (Sec. 4.1); the 80-bit size
+exists for the 68020, whose nub needs assembly code to fetch and store
+such values (Sec. 4.3).
+
+Python has no native 80-bit float, so values are converted through the
+host ``float`` (IEEE double).  Encoding is exact for every double;
+decoding collapses extra mantissa precision into the nearest double.
+DESIGN.md records this precision substitution — the paper itself notes
+that differing float precision is *the* fundamental problem of
+cross-debugging (Sec. 7), which this codec faithfully exhibits.
+
+Format (m68k extended): 1 sign bit, 15 exponent bits (bias 16383), a
+16-bit pad, then a 64-bit mantissa with an explicit integer bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Total size in bytes (the 68020 in-memory format is 12 bytes with pad;
+#: we use the 10-byte packed layout plus explicit handling of the pad in
+#: the machine module, matching x87/packed-extended practice).
+SIZE = 10
+
+_EXP_BIAS = 16383
+_EXP_MAX = 0x7FFF
+
+
+def encode(value: float) -> bytes:
+    """Encode a host float as 10 little-endian extended-format bytes."""
+    if isinstance(value, int):
+        value = float(value)
+    sign = 0x8000 if math.copysign(1.0, value) < 0 else 0
+    if math.isnan(value):
+        return _pack(sign | _EXP_MAX, 0xC000000000000000)
+    if math.isinf(value):
+        return _pack(sign | _EXP_MAX, 0x8000000000000000)
+    if value == 0.0:
+        return _pack(sign, 0)
+    mantissa, exponent = math.frexp(abs(value))
+    # frexp: value = mantissa * 2**exponent with mantissa in [0.5, 1).
+    # Extended format wants an explicit integer bit: m in [1, 2).
+    exponent -= 1
+    biased = exponent + _EXP_BIAS
+    if biased <= 0:  # denormal in extended range: encode with exponent 0
+        shift = 1 - biased
+        frac = int(mantissa * 2.0 * (1 << 63)) >> shift
+        return _pack(sign, frac)
+    frac = int(mantissa * 2.0 * (1 << 63))
+    if frac >= 1 << 64:
+        frac >>= 1
+        biased += 1
+    return _pack(sign | biased, frac)
+
+
+def decode(raw: bytes) -> float:
+    """Decode 10 little-endian extended-format bytes to a host float."""
+    if len(raw) != SIZE:
+        raise ValueError("need %d bytes, got %d" % (SIZE, len(raw)))
+    frac = int.from_bytes(raw[:8], "little")
+    se = int.from_bytes(raw[8:], "little")
+    sign = -1.0 if se & 0x8000 else 1.0
+    biased = se & _EXP_MAX
+    if biased == _EXP_MAX:
+        if frac == 0x8000000000000000:  # integer bit only: infinity
+            return sign * math.inf
+        return math.nan
+    if biased == 0 and frac == 0:
+        return sign * 0.0
+    exponent = biased - _EXP_BIAS
+    mantissa = frac / float(1 << 63)  # in [1, 2) when the integer bit is set
+    try:
+        return sign * math.ldexp(mantissa, exponent)
+    except OverflowError:
+        return sign * math.inf
+
+
+def _pack(se: int, frac: int) -> bytes:
+    return frac.to_bytes(8, "little") + se.to_bytes(2, "little")
+
+
+def encode_be(value: float) -> bytes:
+    """Big-endian byte order (the 68020 is big-endian in memory)."""
+    return bytes(reversed(encode(value)))
+
+
+def decode_be(raw: bytes) -> float:
+    return decode(bytes(reversed(raw)))

@@ -1,0 +1,337 @@
+"""Object units, the linker, the ``nm`` analog, and load images.
+
+The compiler produces :class:`ObjectUnit`\\ s; the linker lays them out,
+resolves symbols, patches data relocations, encodes instructions, and
+produces an :class:`Executable`.
+
+Two pieces of the paper's machinery live here:
+
+* the **runtime procedure table** for rmips (paper Sec. 4.3, [17]): an
+  array in the *target address space* recording each procedure's address,
+  frame size, register-save mask, and register-save offset.  The MIPS
+  linker interface of the debugger reads it from target memory, because
+  the machine has no frame pointer;
+* the **nm analog** (:func:`nm`): after linking, the compiler driver uses
+  it to generate the loader table (paper Sec. 3), keeping the debugger
+  independent of object-file formats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .isa import Arch, Insn, Label
+
+TEXT_BASE = 0x2000
+NUB_AREA = 0x100          # the nub's data (context save area) lives here
+STACK_RESERVE = 0x1000
+
+
+class LinkError(Exception):
+    """An undefined or duplicate symbol, or an unencodable operand."""
+
+
+class Symbol:
+    """A symbol definition in an object unit.
+
+    ``kind`` follows nm: 'T' global text, 't' local text, 'D' global data,
+    'd' local data.  Kind 'i' marks internal symbols (stopping-point
+    labels) that relocations may reference but nm does not list.
+    """
+
+    __slots__ = ("name", "section", "offset", "kind")
+
+    def __init__(self, name: str, section: str, offset: Union[int, str], kind: str):
+        self.name = name
+        self.section = section
+        self.offset = offset  # int offset, or a label name for text symbols
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return "<sym %s %s %r %s>" % (self.name, self.section, self.offset, self.kind)
+
+
+class Relocation:
+    """Patch a 32-bit data word with the address of a symbol (+ addend)."""
+
+    __slots__ = ("offset", "symbol", "addend")
+
+    def __init__(self, offset: int, symbol: str, addend: int = 0):
+        self.offset = offset
+        self.symbol = symbol
+        self.addend = addend
+
+
+class FuncInfo:
+    """Per-procedure metadata the linker and debugger need.
+
+    ``framesize``/``regmask``/``regsave_offset`` feed the rmips runtime
+    procedure table; ``regmask`` also reaches the rm68k symbol table as
+    the register-save mask the paper mentions (Sec. 5).
+    """
+
+    __slots__ = ("name", "label", "framesize", "regmask", "regsave_offset")
+
+    def __init__(self, name: str, label: str, framesize: int,
+                 regmask: int = 0, regsave_offset: int = 0):
+        self.name = name
+        self.label = label
+        self.framesize = framesize
+        self.regmask = regmask
+        self.regsave_offset = regsave_offset
+
+
+class ObjectUnit:
+    """One compiled translation unit."""
+
+    def __init__(self, name: str, arch_name: str):
+        self.name = name
+        self.arch_name = arch_name
+        self.text: List[Union[Insn, Label]] = []
+        self.data = bytearray()
+        self.data_relocs: List[Relocation] = []
+        self.symbols: List[Symbol] = []
+        self.funcs: List[FuncInfo] = []
+        #: PostScript symbol table source (None when compiled without -g).
+        self.pssym: Optional[str] = None
+        #: dbx-style stabs (the baseline format).
+        self.stabs: Optional[str] = None
+
+    def count_insns(self) -> int:
+        return sum(1 for item in self.text if isinstance(item, Insn))
+
+    def name_suffix(self) -> str:
+        """A link-safe suffix derived from the unit name."""
+        import re
+        return re.sub(r"\W", "_", self.name)
+
+
+class Executable:
+    """A linked program image plus everything the driver and nub need."""
+
+    def __init__(self, arch: Arch, units: Sequence[ObjectUnit]):
+        self.arch = arch
+        self.units = list(units)
+        self.text_base = TEXT_BASE
+        self.text = b""
+        self.data_base = 0
+        self.data = b""
+        self.entry = 0
+        self.symbols: Dict[str, int] = {}
+        #: (address, kind, name) triples for nm, in address order.
+        self.nm_symbols: List[Tuple[int, str, str]] = []
+        self.funcs: List[Tuple[int, FuncInfo]] = []
+        self.rpt_address = 0  # runtime procedure table (rmips only)
+        self.stack_top = 0
+
+    def proc_containing(self, pc: int) -> Optional[Tuple[int, FuncInfo]]:
+        best = None
+        for address, info in self.funcs:
+            if address <= pc and (best is None or address > best[0]):
+                best = (address, info)
+        return best
+
+
+def link(arch: Arch, units: Sequence[ObjectUnit], startup,
+         memsize: int = 1 << 20) -> Executable:
+    """Link ``units`` against the generated startup code.
+
+    ``startup`` is a callable ``(arch, stack_top) -> (text, symbols,
+    funcs)`` supplied by the code generator (the system-dependent startup
+    code that calls the nub before main — paper Sec. 4.3).
+    """
+    exe = Executable(arch, units)
+    exe.stack_top = memsize - 16
+
+    startup_text, startup_syms, startup_funcs = startup(arch, exe.stack_top)
+    startup_unit = ObjectUnit("<startup>", arch.name)
+    startup_unit.text = startup_text
+    startup_unit.symbols = startup_syms
+    startup_unit.funcs = startup_funcs
+    all_units = [startup_unit] + list(units)
+
+    # Pass 1: lay out text, assigning addresses to labels.
+    label_addr: Dict[str, int] = {}
+    address = exe.text_base
+    for unit in all_units:
+        for item in unit.text:
+            if isinstance(item, Label):
+                if item.name in label_addr:
+                    raise LinkError("duplicate label %s" % item.name)
+                label_addr[item.name] = address
+            else:
+                address += arch.insn_length(item)
+    text_end = address
+
+    # Pass 2: lay out data.
+    data_base = _align(text_end, 16)
+    exe.data_base = data_base
+    data = bytearray()
+    data_sym_addr: Dict[str, int] = {}
+    unit_data_start: Dict[int, int] = {}
+    for unit in all_units:
+        start = data_base + len(data)
+        unit_data_start[id(unit)] = start
+        data.extend(unit.data)
+        data.extend(b"\0" * (-len(unit.data) % 4))
+
+    # Global symbol table.
+    for unit in all_units:
+        for sym in unit.symbols:
+            if sym.section == "text":
+                label = sym.offset if isinstance(sym.offset, str) else None
+                addr = label_addr.get(label if label else "", None)
+                if addr is None:
+                    raise LinkError("text symbol %s has no label" % sym.name)
+            else:
+                addr = unit_data_start[id(unit)] + sym.offset
+            if sym.name in exe.symbols and sym.kind in ("T", "D"):
+                raise LinkError("duplicate symbol %s" % sym.name)
+            exe.symbols[sym.name] = addr
+            data_sym_addr[sym.name] = addr
+            if sym.kind != "i":
+                exe.nm_symbols.append((addr, sym.kind, sym.name))
+        for func in unit.funcs:
+            if func.label not in label_addr:
+                raise LinkError("function %s has no label" % func.name)
+            exe.funcs.append((label_addr[func.label], func))
+
+    # Internal labels are addressable by relocations too.
+    resolve_env = dict(label_addr)
+    resolve_env.update(exe.symbols)
+
+    # Runtime procedure table (rmips): written into the data section so
+    # the debugger's MIPS linker interface reads it from target memory.
+    if arch.has_runtime_proc_table:
+        exe.rpt_address = data_base + len(data)
+        for addr, func in sorted(exe.funcs):
+            for word in (addr, func.framesize, func.regmask, func.regsave_offset):
+                data.extend((word & 0xFFFFFFFF).to_bytes(4, arch.byteorder))
+        data.extend(b"\0" * 16)  # terminator record
+        exe.symbols["_procedure_table"] = exe.rpt_address
+        resolve_env["_procedure_table"] = exe.rpt_address
+        exe.nm_symbols.append((exe.rpt_address, "D", "_procedure_table"))
+
+    # Patch data relocations.
+    offset_of_unit = unit_data_start
+    for unit in all_units:
+        base = offset_of_unit[id(unit)] - data_base
+        for reloc in unit.data_relocs:
+            target = resolve_env.get(reloc.symbol)
+            if target is None:
+                raise LinkError("undefined symbol %s in %s" % (reloc.symbol, unit.name))
+            where = base + reloc.offset
+            value = (target + reloc.addend) & 0xFFFFFFFF
+            data[where : where + 4] = value.to_bytes(4, arch.byteorder)
+
+    # Pass 3: resolve instruction operands and encode.
+    chunks: List[bytes] = []
+    address = exe.text_base
+    for unit in all_units:
+        for item in unit.text:
+            if isinstance(item, Label):
+                continue
+            _resolve_insn(arch, item, address, resolve_env)
+            encoded = arch.encode(item)
+            chunks.append(encoded)
+            address += len(encoded)
+    exe.text = b"".join(chunks)
+    exe.data = bytes(data)
+
+    exe.entry = label_addr.get("__start", exe.text_base)
+    exe.nm_symbols.sort()
+    return exe
+
+
+def _resolve_insn(arch: Arch, insn: Insn, address: int, env: Dict[str, int]) -> None:
+    size = arch.insn_length(insn)
+    insn.imm = _resolve_value(arch, insn.imm, address, size, env, insn)
+    insn.target = _resolve_value(arch, insn.target, address, size, env, insn)
+
+
+def _resolve_value(arch: Arch, value, address: int, size: int,
+                   env: Dict[str, int], insn: Insn):
+    if value is None or isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        if value not in env:
+            raise LinkError("undefined symbol %s" % value)
+        return env[value]
+    if isinstance(value, tuple):
+        kind, name = value
+        if name not in env:
+            raise LinkError("undefined symbol %s" % name)
+        target = env[name]
+        if kind == "hi":
+            return (target >> 16) & 0xFFFF
+        if kind == "lo":
+            return target & 0xFFFF
+        if kind == "hi19":
+            # rsparc sethi half: the low 13 bits are added back with a
+            # *signed* simm13, so the high part is adjusted when the low
+            # half is negative (the standard %hi/%lo carry trick).
+            low = target & 0x1FFF
+            if low >= 0x1000:
+                low -= 0x2000
+            return ((target - low) >> 13) & 0x7FFFF
+        if kind == "lo13":
+            low = target & 0x1FFF
+            return low - 0x2000 if low >= 0x1000 else low
+        if kind == "br":  # branch displacement, arch-specific semantics
+            return arch_branch_disp(arch, address, size, target)
+        raise LinkError("unknown relocation kind %r" % (kind,))
+    if isinstance(value, list):  # rvax operand lists
+        for operand in value:
+            if isinstance(operand.ext, (str, tuple)):
+                operand.ext = _resolve_value(arch, operand.ext, address, size, env, insn)
+        return value
+    raise LinkError("unresolvable operand %r in %r" % (value, insn))
+
+
+def arch_branch_disp(arch: Arch, insn_addr: int, insn_size: int, target: int) -> int:
+    """Branch displacement semantics per target family."""
+    if arch.insn_align == 4:  # rmips, rsparc: word offset from pc+4
+        return (target - (insn_addr + 4)) >> 2
+    return target - (insn_addr + insn_size)  # rm68k, rvax: byte offset
+
+
+def load(exe: Executable, mem) -> None:
+    """Copy the linked image into target memory."""
+    mem.write_bytes(exe.text_base, exe.text)
+    mem.write_bytes(exe.data_base, exe.data)
+
+
+def nm(exe: Executable) -> str:
+    """The ``nm`` analog: list symbols of a linked program.
+
+    Output format: ``address kind name`` per line, address in hex — the
+    mostly machine-independent output the paper's driver transforms into
+    loader-table PostScript (Sec. 3, 7).
+    """
+    lines = []
+    for address, kind, name in exe.nm_symbols:
+        lines.append("%08x %s %s" % (address, kind, name))
+    return "\n".join(lines) + "\n"
+
+
+def read_runtime_proc_table(mem, rpt_address: int, byteorder: str):
+    """Read the runtime procedure table out of target memory.
+
+    Returns a list of (address, framesize, regmask, regsave_offset).
+    This is the reader the debugger's MIPS linker interface uses (paper
+    Sec. 4.3 and footnote 4).
+    """
+    records = []
+    offset = rpt_address
+    while True:
+        words = [int.from_bytes(mem.read_bytes(offset + 4 * i, 4), byteorder)
+                 for i in range(4)]
+        if words[0] == 0:
+            break
+        records.append(tuple(words))
+        offset += 16
+    return records
+
+
+def _align(value: int, boundary: int) -> int:
+    return (value + boundary - 1) & ~(boundary - 1)

@@ -1,0 +1,177 @@
+"""Byte-addressable target memory with typed, endian-aware access.
+
+Every simulated target owns one flat :class:`TargetMemory`; the code and
+data spaces refer to the same locations on all four targets (the paper
+permits either, Sec. 4.1).  Accesses outside the configured size raise
+:class:`MemoryFault`, which the CPU converts into a SIGSEGV-analog that
+the nub catches.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+from . import float80
+
+
+class MemoryFault(Exception):
+    """An access outside the target's memory (the SIGSEGV analog)."""
+
+    def __init__(self, address: int, size: int = 1):
+        self.address = address
+        self.size = size
+        super().__init__("bad address 0x%x (size %d)" % (address, size))
+
+
+class TargetMemory:
+    """A flat byte-addressable memory of a simulated target.
+
+    ``byteorder`` is ``"big"`` or ``"little"`` and governs every
+    multi-byte access — this is where target byte order lives, and the
+    nub (not the debugger) is the only debug component that reads memory
+    through it, matching the paper's division of labor (Sec. 4.1).
+    """
+
+    def __init__(self, size: int = 1 << 20, byteorder: str = "little"):
+        if byteorder not in ("big", "little"):
+            raise ValueError("byteorder must be 'big' or 'little'")
+        self.size = size
+        self.byteorder = byteorder
+        self.bytes = bytearray(size)
+
+    def _check(self, address: int, size: int) -> None:
+        if address < 0 or address + size > self.size:
+            raise MemoryFault(address, size)
+
+    # -- raw bytes -------------------------------------------------------
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        self._check(address, size)
+        return bytes(self.bytes[address : address + size])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        self._check(address, len(data))
+        self.bytes[address : address + len(data)] = data
+
+    # -- integers --------------------------------------------------------
+
+    def read_uint(self, address: int, size: int) -> int:
+        self._check(address, size)
+        return int.from_bytes(self.bytes[address : address + size], self.byteorder)
+
+    def read_int(self, address: int, size: int) -> int:
+        value = self.read_uint(address, size)
+        half = 1 << (size * 8 - 1)
+        return value - (half << 1) if value >= half else value
+
+    def write_int(self, address: int, size: int, value: int) -> None:
+        self._check(address, size)
+        value &= (1 << (size * 8)) - 1
+        self.bytes[address : address + size] = value.to_bytes(size, self.byteorder)
+
+    def read_u8(self, address: int) -> int:
+        return self.read_uint(address, 1)
+
+    def read_u16(self, address: int) -> int:
+        return self.read_uint(address, 2)
+
+    def read_u32(self, address: int) -> int:
+        return self.read_uint(address, 4)
+
+    def read_i8(self, address: int) -> int:
+        return self.read_int(address, 1)
+
+    def read_i16(self, address: int) -> int:
+        return self.read_int(address, 2)
+
+    def read_i32(self, address: int) -> int:
+        return self.read_int(address, 4)
+
+    def write_u8(self, address: int, value: int) -> None:
+        self.write_int(address, 1, value)
+
+    def write_u16(self, address: int, value: int) -> None:
+        self.write_int(address, 2, value)
+
+    def write_u32(self, address: int, value: int) -> None:
+        self.write_int(address, 4, value)
+
+    # -- floats ----------------------------------------------------------
+
+    def read_f32(self, address: int) -> float:
+        raw = self.read_bytes(address, 4)
+        fmt = ">f" if self.byteorder == "big" else "<f"
+        return struct.unpack(fmt, raw)[0]
+
+    def write_f32(self, address: int, value: float) -> None:
+        fmt = ">f" if self.byteorder == "big" else "<f"
+        self.write_bytes(address, struct.pack(fmt, value))
+
+    def read_f64(self, address: int) -> float:
+        raw = self.read_bytes(address, 8)
+        fmt = ">d" if self.byteorder == "big" else "<d"
+        return struct.unpack(fmt, raw)[0]
+
+    def write_f64(self, address: int, value: float) -> None:
+        fmt = ">d" if self.byteorder == "big" else "<d"
+        self.write_bytes(address, struct.pack(fmt, value))
+
+    def read_f80(self, address: int) -> float:
+        raw = self.read_bytes(address, float80.SIZE)
+        if self.byteorder == "big":
+            return float80.decode_be(raw)
+        return float80.decode(raw)
+
+    def write_f80(self, address: int, value: float) -> None:
+        raw = float80.encode_be(value) if self.byteorder == "big" else float80.encode(value)
+        self.write_bytes(address, raw)
+
+    # -- strings ---------------------------------------------------------
+
+    def read_cstring(self, address: int, limit: int = 1 << 16) -> str:
+        """Read a NUL-terminated latin-1 string (used by the syscall layer)."""
+        chars = []
+        for i in range(limit):
+            byte = self.read_u8(address + i)
+            if byte == 0:
+                break
+            chars.append(chr(byte))
+        return "".join(chars)
+
+    def write_cstring(self, address: int, text: str) -> None:
+        self.write_bytes(address, text.encode("latin-1") + b"\0")
+
+    # -- kinds (abstract-memory vocabulary) -------------------------------
+
+    def read_kind(self, address: int, kind: str) -> Union[int, float]:
+        """Read by abstract-memory kind name (i8/i16/i32/f32/f64/f80)."""
+        if kind == "i8":
+            return self.read_i8(address)
+        if kind == "i16":
+            return self.read_i16(address)
+        if kind == "i32":
+            return self.read_i32(address)
+        if kind == "f32":
+            return self.read_f32(address)
+        if kind == "f64":
+            return self.read_f64(address)
+        if kind == "f80":
+            return self.read_f80(address)
+        raise ValueError("unknown kind %r" % kind)
+
+    def write_kind(self, address: int, kind: str, value: Union[int, float]) -> None:
+        if kind == "i8":
+            self.write_int(address, 1, int(value))
+        elif kind == "i16":
+            self.write_int(address, 2, int(value))
+        elif kind == "i32":
+            self.write_int(address, 4, int(value))
+        elif kind == "f32":
+            self.write_f32(address, float(value))
+        elif kind == "f64":
+            self.write_f64(address, float(value))
+        elif kind == "f80":
+            self.write_f80(address, float(value))
+        else:
+            raise ValueError("unknown kind %r" % kind)

@@ -1,0 +1,155 @@
+"""Simulated target processes and their little operating system.
+
+A :class:`Process` owns the memory, CPU, and OS services (syscalls) of
+one running target program.  Faults and exits surface as events; the nub
+(:mod:`repro.nub`) wraps a process to catch faults the way the paper's
+nub catches signals.
+
+The syscall layer implements ``exit``, ``putchar``, and ``printf`` (the
+paper's fib example prints with printf).  printf uses a packed varargs
+block on the stack, so the OS can read integer, string, and double
+arguments regardless of the target's register-argument convention.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Optional, Union
+
+from .cpu import Cpu
+from .isa import Halt, SYS_EXIT, SYS_PRINTF, SYS_PUTCHAR, TargetFault
+from .loader import Executable, load
+from .memory import TargetMemory
+
+
+class ExitEvent:
+    """The target called exit()."""
+
+    def __init__(self, status: int):
+        self.status = status
+
+    def __repr__(self) -> str:
+        return "<exit %d>" % self.status
+
+
+class FaultEvent:
+    """The target took a signal (trap, segv, fpe, ill)."""
+
+    def __init__(self, signo: int, code: int, pc: int):
+        self.signo = signo
+        self.code = code
+        self.pc = pc
+
+    def __repr__(self) -> str:
+        return "<fault sig=%d code=%d pc=0x%x>" % (self.signo, self.code, self.pc)
+
+
+_FORMAT_RE = re.compile(r"%([-+ 0#]*)(\d*)(\.\d+)?([diuxXcsfeg%])")
+
+
+class Process:
+    """A loaded target program on a simulated CPU."""
+
+    def __init__(self, exe: Executable, memsize: Optional[int] = None,
+                 stdout: Optional[io.StringIO] = None):
+        self.exe = exe
+        self.arch = exe.arch
+        if memsize is None:
+            # match the memory size the program was linked for
+            memsize = exe.stack_top + 16
+        self.mem = TargetMemory(memsize, byteorder=self.arch.byteorder)
+        self.stdout = stdout if stdout is not None else io.StringIO()
+        load(exe, self.mem)
+        self.cpu = Cpu(self.arch, self.mem, syscall_handler=self._syscall)
+        self.cpu.pc = exe.entry
+        self.cpu.set_reg(self.arch.sp, exe.stack_top)
+        self.exited: Optional[int] = None
+
+    # -- events ------------------------------------------------------------
+
+    def run_until_event(self, max_steps: int = 50_000_000) -> Union[ExitEvent, FaultEvent]:
+        """Run until the target exits or faults."""
+        try:
+            status = self.cpu.run(max_steps)
+        except TargetFault as fault:
+            return FaultEvent(fault.signo, fault.code, fault.address)
+        self.exited = status
+        return ExitEvent(status)
+
+    def output(self) -> str:
+        return self.stdout.getvalue()
+
+    # -- syscalls ------------------------------------------------------------
+
+    def _syscall(self, cpu: Cpu, code: int) -> None:
+        if code == SYS_EXIT:
+            raise Halt(self._int_arg(cpu, 0))
+        if code == SYS_PUTCHAR:
+            self.stdout.write(chr(self._int_arg(cpu, 0) & 0xFF))
+            return
+        if code == SYS_PRINTF:
+            self._printf(cpu)
+            return
+        raise TargetFault(4, code=code, address=cpu.pc)  # SIGILL: bad syscall
+
+    def _int_arg(self, cpu: Cpu, index: int) -> int:
+        """The index-th integer argument under the normal convention."""
+        arch = self.arch
+        if arch.arg_regs and index < len(arch.arg_regs):
+            return cpu.get_reg(arch.arg_regs[index])
+        base = cpu.get_reg(arch.sp) + (4 if arch.ra is None else 0)
+        return self.mem.read_u32(base + 4 * index)
+
+    def _varargs_base(self, cpu: Cpu) -> int:
+        """Start of printf's packed argument block.
+
+        The compiler passes *all* printf arguments in a packed block at
+        the bottom of the caller's outgoing-argument area; on the CISC
+        targets the return address sits below it.
+        """
+        sp = cpu.get_reg(self.arch.sp)
+        return sp + (4 if self.arch.ra is None else 0)
+
+    def _printf(self, cpu: Cpu) -> None:
+        base = self._varargs_base(cpu)
+        fmt_addr = self.mem.read_u32(base)
+        fmt = self.mem.read_cstring(fmt_addr)
+        offset = base + 4
+        out = []
+        pos = 0
+        while pos < len(fmt):
+            ch = fmt[pos]
+            if ch != "%":
+                out.append(ch)
+                pos += 1
+                continue
+            match = _FORMAT_RE.match(fmt, pos)
+            if not match:
+                out.append(ch)
+                pos += 1
+                continue
+            flags, width, precision, conv = match.groups()
+            spec = "%" + flags + width + (precision or "")
+            if conv == "%":
+                out.append("%")
+            elif conv in "di":
+                out.append((spec + "d") % self.mem.read_i32(offset))
+                offset += 4
+            elif conv == "u":
+                out.append((spec + "d") % self.mem.read_u32(offset))
+                offset += 4
+            elif conv in "xX":
+                out.append((spec + conv) % self.mem.read_u32(offset))
+                offset += 4
+            elif conv == "c":
+                out.append((spec + "c") % (self.mem.read_u32(offset) & 0xFF))
+                offset += 4
+            elif conv == "s":
+                out.append((spec + "s") % self.mem.read_cstring(self.mem.read_u32(offset)))
+                offset += 4
+            else:  # f e g
+                out.append((spec + conv) % self.mem.read_f64(offset))
+                offset += 8
+            pos = match.end()
+        self.stdout.write("".join(out))

@@ -1,0 +1,8 @@
+"""The debug nub and its wire protocol (paper Sec. 4.2)."""
+
+from . import protocol
+from .channel import Channel, ChannelClosed, Listener, connect, pair
+from .nub import Nub, NubMD, NubRunner, nub_md_for
+
+__all__ = ["Channel", "ChannelClosed", "Listener", "Nub", "NubMD",
+           "NubRunner", "connect", "nub_md_for", "pair", "protocol"]

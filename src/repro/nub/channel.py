@@ -1,0 +1,94 @@
+"""Byte channels between the debugger and the nub.
+
+The nub uses sockets because they are more uniform across systems than
+process-control facilities (paper Sec. 4.2).  Three connection styles
+mirror the paper's: a socketpair for the forked-child case, TCP over the
+network, and a listener the nub waits on so a faulty process can be
+picked up by a debugger started later — or by a *new* debugger after the
+first one crashed.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional, Tuple
+
+from .protocol import Message, decode, encode
+
+
+class ChannelClosed(Exception):
+    """The peer went away (e.g. a debugger crash)."""
+
+
+class Channel:
+    """A framed message channel over a socket."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buffer = b""
+
+    def send(self, msg: Message) -> None:
+        try:
+            self.sock.sendall(encode(msg))
+        except OSError as err:
+            raise ChannelClosed(str(err))
+
+    def recv(self, timeout: Optional[float] = None) -> Message:
+        self.sock.settimeout(timeout)
+        while True:
+            msg, self._buffer = decode(self._buffer)
+            if msg is not None:
+                return msg
+            try:
+                chunk = self.sock.recv(4096)
+            except socket.timeout:
+                raise TimeoutError("no message within %s seconds" % timeout)
+            except OSError as err:
+                raise ChannelClosed(str(err))
+            if not chunk:
+                raise ChannelClosed("peer closed the connection")
+            self._buffer += chunk
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def pair() -> Tuple[Channel, Channel]:
+    """A connected channel pair (the forked-child connection style)."""
+    a, b = socket.socketpair()
+    return Channel(a), Channel(b)
+
+
+class Listener:
+    """A TCP listener the nub waits on for (re)connections."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind((host, port))
+        self.sock.listen(4)
+        self.address = self.sock.getsockname()
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def accept(self, timeout: Optional[float] = None) -> Channel:
+        self.sock.settimeout(timeout)
+        conn, _peer = self.sock.accept()
+        return Channel(conn)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def connect(host: str, port: int, timeout: float = 10.0) -> Channel:
+    """Connect to a listening nub over the network."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    return Channel(sock)

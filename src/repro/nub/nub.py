@@ -1,0 +1,375 @@
+"""The debug nub (paper Sec. 4.2).
+
+The nub is loaded with the target program and runs in user space: its
+data — the context save area — lives in the *target's own memory* at a
+fixed low address, which is why a faulty program can destroy it (the
+vulnerability the paper discusses).  When the target faults or hits a
+breakpoint, the nub saves a context, notifies the debugger (signal
+number, code, context address), and services fetch and store requests
+until told to continue, to terminate, or to break the connection.
+
+When a connection breaks — even by a debugger crash — the nub preserves
+the state of the target and waits for a new connection from another
+debugger instance.
+
+Machine-dependent nub code is isolated in the ``*NubMD`` classes:
+
+* rmips (big-endian): doubleword fetches/stores of saved floating-point
+  registers must swap words, because the kernel-saved context stores
+  them least-significant-word first (the paper's footnote 3);
+* rm68k: 80-bit float fetch/store needs its own code (the paper's
+  assembly-language case);
+* rvax/rm68k: a custom context representation (``struct sigcontext``
+  will not do, Sec. 4.3);
+* rsparc: nothing — the operating system provides the registers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..machines import ExitEvent, FaultEvent, Process, SIGTRAP
+from ..machines.loader import NUB_AREA
+from . import protocol
+from .channel import Channel, ChannelClosed, Listener
+
+
+class NubMD:
+    """Machine-independent context save/restore, parameterized by the
+    machine-dependent context-field description (paper Sec. 4.3)."""
+
+    def __init__(self, arch):
+        self.arch = arch
+        self.fields = arch.context_fields()
+        self.context_size = arch.context_size()
+
+    def save_context(self, cpu, mem, base: int, pc: int) -> None:
+        for field in self.fields:
+            address = base + field.offset
+            if field.kind == "pc":
+                mem.write_u32(address, pc)
+            elif field.kind == "reg":
+                index = int(field.name[1:])
+                mem.write_u32(address, cpu.regs[index])
+            elif field.kind == "freg":
+                index = int(field.name[1:])
+                self.save_freg(mem, address, cpu.fregs[index], field.size)
+            else:  # flags
+                flags = (int(cpu.cc_lt) | (int(cpu.cc_eq) << 1)
+                         | (int(cpu.cc_ltu) << 2))
+                mem.write_u32(address, flags)
+
+    def restore_context(self, cpu, mem, base: int) -> int:
+        pc = 0
+        for field in self.fields:
+            address = base + field.offset
+            if field.kind == "pc":
+                pc = mem.read_u32(address)
+            elif field.kind == "reg":
+                index = int(field.name[1:])
+                cpu.regs[index] = mem.read_u32(address)
+            elif field.kind == "freg":
+                index = int(field.name[1:])
+                cpu.fregs[index] = self.restore_freg(mem, address, field.size)
+            else:
+                flags = mem.read_u32(address)
+                cpu.cc_lt = bool(flags & 1)
+                cpu.cc_eq = bool(flags & 2)
+                cpu.cc_ltu = bool(flags & 4)
+        return pc
+
+    def save_freg(self, mem, address: int, value: float, size: int) -> None:
+        mem.write_f64(address, value)
+
+    def restore_freg(self, mem, address: int, size: int) -> float:
+        return mem.read_f64(address)
+
+    def freg_region(self, base: int):
+        """(start, end) of the saved floating registers in the context."""
+        fregs = [f for f in self.fields if f.kind == "freg"]
+        if not fregs:
+            return (0, 0)
+        return (base + fregs[0].offset, base + fregs[-1].offset + fregs[-1].size)
+
+    def fix_fetched(self, address: int, raw_le: bytes, context_base: int) -> bytes:
+        """Hook for targets whose saved floats need fixing on the wire."""
+        return raw_le
+
+    def fix_stored(self, address: int, raw_le: bytes, context_base: int) -> bytes:
+        return raw_le
+
+
+class MipsNubMD(NubMD):
+    """Big-endian rmips: the kernel saves doubleword floating-point
+    registers least-significant word first (footnote 3), so nub code for
+    doubleword fetches and stores of saved f-registers swaps the words."""
+
+    def save_freg(self, mem, address: int, value: float, size: int) -> None:
+        import struct
+        raw = struct.pack(">d", value)
+        mem.write_bytes(address, raw[4:] + raw[:4])  # LSW first: the quirk
+
+    def restore_freg(self, mem, address: int, size: int) -> float:
+        import struct
+        raw = mem.read_bytes(address, 8)
+        return struct.unpack(">d", raw[4:] + raw[:4])[0]
+
+    def _in_freg_area(self, address: int, size: int, context_base: int) -> bool:
+        start, end = self.freg_region(context_base)
+        return size == 8 and start <= address < end
+
+    def fix_fetched(self, address: int, raw_le: bytes, context_base: int) -> bytes:
+        if self._in_freg_area(address, len(raw_le), context_base):
+            return raw_le[4:] + raw_le[:4]
+        return raw_le
+
+    def fix_stored(self, address: int, raw_le: bytes, context_base: int) -> bytes:
+        if self._in_freg_area(address, len(raw_le), context_base):
+            return raw_le[4:] + raw_le[:4]
+        return raw_le
+
+
+class M68kNubMD(NubMD):
+    """rm68k: 80-bit extended floats need their own fetch/store code (the
+    paper's assembly-language case), and the context is a custom layout
+    rather than a sigcontext."""
+
+    def save_freg(self, mem, address: int, value: float, size: int) -> None:
+        mem.write_f80(address, value)
+
+    def restore_freg(self, mem, address: int, size: int) -> float:
+        return mem.read_f80(address)
+
+
+class VaxNubMD(NubMD):
+    """rvax: a custom context representation (Sec. 4.3)."""
+
+
+class SparcNubMD(NubMD):
+    """rsparc: the OS provides the registers; no machine-dependent dirt."""
+
+
+def nub_md_for(arch) -> NubMD:
+    table = {"rmips": MipsNubMD, "rmipsel": NubMD, "rsparc": SparcNubMD,
+             "rm68k": M68kNubMD, "rvax": VaxNubMD}
+    return table.get(arch.name, NubMD)(arch)
+
+
+class Nub:
+    """The nub controlling one target process."""
+
+    #: where the nub's data structures live in target memory (user space,
+    #: and therefore vulnerable to the target program)
+    CONTEXT_ADDR = NUB_AREA
+
+    def __init__(self, process: Process, channel: Optional[Channel] = None,
+                 listener: Optional[Listener] = None,
+                 stop_at_entry: bool = True,
+                 accept_timeout: Optional[float] = 30.0,
+                 breakpoint_extension: bool = True):
+        self.process = process
+        self.arch = process.arch
+        self.channel = channel
+        self.listener = listener
+        self.stop_at_entry = stop_at_entry
+        self.accept_timeout = accept_timeout
+        self.md = nub_md_for(self.arch)
+        self.context_addr = self.CONTEXT_ADDR
+        self.entry_pause = process.exe.symbols.get("__nub_pause")
+        self.exit_status: Optional[int] = None
+        self.killed = False
+        #: the Sec. 7.1 extension: remember instructions overwritten by
+        #: PLANT stores so a new debugger can recover them after a crash
+        self.breakpoint_extension = breakpoint_extension
+        self.planted: dict = {}  # address -> original little-endian bytes
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> Optional[int]:
+        """Run the target to completion, handling signals."""
+        while True:
+            event = self.process.run_until_event()
+            if isinstance(event, ExitEvent):
+                self.exit_status = event.status
+                self._send(protocol.exited(event.status))
+                if self.channel is not None:
+                    self.channel.close()
+                return event.status
+            if self._is_entry_pause(event) and not self._should_stop_at_entry():
+                self.process.cpu.pc = event.pc + self.arch.noop_advance
+                continue
+            outcome = self.handle_signal(event)
+            if outcome == "killed":
+                self.killed = True
+                return None
+
+    def _is_entry_pause(self, event: FaultEvent) -> bool:
+        return event.signo == SIGTRAP and event.pc == self.entry_pause
+
+    def _should_stop_at_entry(self) -> bool:
+        return self.stop_at_entry and (self.channel is not None
+                                       or self.listener is not None)
+
+    def debuggable(self) -> bool:
+        return self.channel is not None or self.listener is not None
+
+    # -- signal handling ---------------------------------------------------------
+
+    def handle_signal(self, event: FaultEvent) -> str:
+        """Save a context, notify the debugger, service requests."""
+        cpu = self.process.cpu
+        self.md.save_context(cpu, self.process.mem, self.context_addr, event.pc)
+        while True:
+            if self.channel is None:
+                if self.listener is None:
+                    return "killed"  # fatal signal, nobody debugging
+                self.channel = self.listener.accept(self.accept_timeout)
+            try:
+                self.channel.send(protocol.signal(event.signo, event.code,
+                                                  self.context_addr))
+                outcome = self.serve()
+            except ChannelClosed:
+                # debugger crash: preserve state, wait for a new debugger
+                self.channel = None
+                continue
+            if outcome == "continue":
+                pc = self.md.restore_context(cpu, self.process.mem,
+                                             self.context_addr)
+                cpu.pc = pc
+                return "continued"
+            if outcome == "killed":
+                return "killed"
+            # detached: keep the target stopped, await a new connection
+            self.channel = None
+
+    def serve(self) -> str:
+        """Service fetch/store requests until continue/kill/detach."""
+        while True:
+            msg = self.channel.recv()
+            if msg.mtype == protocol.MSG_FETCH:
+                self._do_fetch(msg)
+            elif msg.mtype == protocol.MSG_STORE:
+                self._do_store(msg)
+            elif msg.mtype == protocol.MSG_PLANT:
+                self._do_plant(msg)
+            elif msg.mtype == protocol.MSG_UNPLANT:
+                self._do_unplant(msg)
+            elif msg.mtype == protocol.MSG_BREAKS:
+                self._do_breaks()
+            elif msg.mtype == protocol.MSG_CONTINUE:
+                return "continue"
+            elif msg.mtype == protocol.MSG_KILL:
+                return "killed"
+            elif msg.mtype == protocol.MSG_DETACH:
+                self.channel.close()
+                return "detached"
+            else:
+                self.channel.send(protocol.error(protocol.ERR_BAD_MESSAGE))
+
+    # -- fetch/store ---------------------------------------------------------------
+
+    def _do_fetch(self, msg) -> None:
+        space, address, size = protocol.parse_fetch(msg)
+        if space not in "cd":
+            # the nub answers only for code and data (paper Sec. 4.1)
+            self.channel.send(protocol.error(protocol.ERR_BAD_SPACE))
+            return
+        if size == 10 and not self.arch.has_f80:
+            self.channel.send(protocol.error(protocol.ERR_BAD_MESSAGE))
+            return
+        try:
+            raw = self.process.mem.read_bytes(address, size)
+        except Exception:
+            self.channel.send(protocol.error(protocol.ERR_BAD_ADDRESS))
+            return
+        # the nub reads with the target's byte order and replies in
+        # little-endian order (paper Sec. 4.1)
+        raw_le = raw if self.arch.byteorder == "little" else raw[::-1]
+        raw_le = self.md.fix_fetched(address, raw_le, self.context_addr)
+        self.channel.send(protocol.data(raw_le))
+
+    def _do_store(self, msg) -> None:
+        space, address, raw_le = protocol.parse_store(msg)
+        if space not in "cd":
+            self.channel.send(protocol.error(protocol.ERR_BAD_SPACE))
+            return
+        raw_le = self.md.fix_stored(address, raw_le, self.context_addr)
+        raw = raw_le if self.arch.byteorder == "little" else raw_le[::-1]
+        try:
+            self.process.mem.write_bytes(address, raw)
+        except Exception:
+            self.channel.send(protocol.error(protocol.ERR_BAD_ADDRESS))
+            return
+        self.channel.send(protocol.ok())
+
+    # -- the breakpoint extension (Sec. 7.1) ---------------------------------
+
+    def _extension_enabled(self) -> bool:
+        if not self.breakpoint_extension:
+            # a minimal nub: the debugger falls back to plain stores
+            self.channel.send(protocol.error(protocol.ERR_UNSUPPORTED))
+            return False
+        return True
+
+    def _do_plant(self, msg) -> None:
+        if not self._extension_enabled():
+            return
+        address, trap = protocol.parse_plant(msg)
+        size = len(trap)
+        try:
+            original = self.process.mem.read_bytes(address, size)
+        except Exception:
+            self.channel.send(protocol.error(protocol.ERR_BAD_ADDRESS))
+            return
+        raw = trap if self.arch.byteorder == "little" else trap[::-1]
+        self.process.mem.write_bytes(address, raw)
+        original_le = original if self.arch.byteorder == "little"             else original[::-1]
+        self.planted[address] = original_le
+        self.channel.send(protocol.ok())
+
+    def _do_unplant(self, msg) -> None:
+        if not self._extension_enabled():
+            return
+        address = protocol.parse_unplant(msg)
+        original_le = self.planted.pop(address, None)
+        if original_le is None:
+            self.channel.send(protocol.error(protocol.ERR_BAD_ADDRESS))
+            return
+        raw = original_le if self.arch.byteorder == "little"             else original_le[::-1]
+        self.process.mem.write_bytes(address, raw)
+        self.channel.send(protocol.ok())
+
+    def _do_breaks(self) -> None:
+        if not self._extension_enabled():
+            return
+        self.channel.send(protocol.breaklist(sorted(self.planted.items())))
+
+    def _send(self, msg) -> None:
+        if self.channel is not None:
+            try:
+                self.channel.send(msg)
+            except ChannelClosed:
+                self.channel = None
+
+
+class NubRunner:
+    """Runs a nub (and its target) on a background thread."""
+
+    def __init__(self, nub: Nub):
+        self.nub = nub
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        try:
+            self.nub.run()
+        except BaseException as exc:  # surfaced via .error in tests
+            self.error = exc
+
+    def start(self) -> "NubRunner":
+        self.thread.start()
+        return self
+
+    def join(self, timeout: Optional[float] = 10.0) -> None:
+        self.thread.join(timeout)

@@ -1,0 +1,224 @@
+"""The little-endian nub wire protocol (paper Sec. 4.2).
+
+The protocol between ldb and the nub is little-endian regardless of host
+and target byte order; the paper notes it "has been used on all
+combinations of host and target byte orders and has been validated".
+
+Message frame: one type byte, a 4-byte little-endian payload length, and
+the payload.  The important property inherited from the paper: the
+protocol does **not** mention breakpoints or single-stepping — ldb
+implements breakpoints entirely with fetches and stores (Sec. 6).
+
+Messages from the debugger::
+
+    FETCH  space(1) addr(4) size(4)      -> DATA value bytes (little-endian)
+    STORE  space(1) addr(4) bytes        -> OK / ERROR
+    CONTINUE                             (restore context, resume)
+    DETACH                               (break connection, stay stopped)
+    KILL                                 (terminate the target)
+
+Messages from the nub::
+
+    SIGNAL signo(4) code(4) context(4)   (target stopped)
+    EXITED status(4)
+    DATA   bytes
+    OK
+    ERROR  code(4)
+
+The nub answers FETCH/STORE only for the code ('c') and data ('d')
+spaces; register values live in the context, which is in the data space.
+Values travel in little-endian byte order — the nub does the target-
+byte-order access (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+MSG_FETCH = 1
+MSG_STORE = 2
+MSG_CONTINUE = 3
+MSG_DETACH = 4
+MSG_KILL = 5
+# -- the Sec. 7.1 extension: breakpoint-aware stores, so a new debugger
+# -- can learn what a crashed one planted
+MSG_PLANT = 6
+MSG_UNPLANT = 7
+MSG_BREAKS = 8
+MSG_SIGNAL = 16
+MSG_EXITED = 17
+MSG_DATA = 18
+MSG_OK = 19
+MSG_ERROR = 20
+MSG_BREAKLIST = 21
+
+_NAMES = {
+    MSG_FETCH: "FETCH", MSG_STORE: "STORE", MSG_CONTINUE: "CONTINUE",
+    MSG_DETACH: "DETACH", MSG_KILL: "KILL", MSG_SIGNAL: "SIGNAL",
+    MSG_EXITED: "EXITED", MSG_DATA: "DATA", MSG_OK: "OK", MSG_ERROR: "ERROR",
+    MSG_PLANT: "PLANT", MSG_UNPLANT: "UNPLANT", MSG_BREAKS: "BREAKS",
+    MSG_BREAKLIST: "BREAKLIST",
+}
+
+ERR_BAD_SPACE = 1
+ERR_BAD_ADDRESS = 2
+ERR_BAD_MESSAGE = 3
+ERR_UNSUPPORTED = 4
+
+#: value sizes the protocol carries (the abstract-memory sizes)
+VALUE_SIZES = (1, 2, 4, 8, 10)
+
+
+class ProtocolError(Exception):
+    pass
+
+
+class Message:
+    __slots__ = ("mtype", "payload")
+
+    def __init__(self, mtype: int, payload: bytes = b""):
+        self.mtype = mtype
+        self.payload = payload
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Message) and other.mtype == self.mtype
+                and other.payload == self.payload)
+
+    def __repr__(self) -> str:
+        return "<msg %s %r>" % (_NAMES.get(self.mtype, self.mtype), self.payload)
+
+
+def encode(msg: Message) -> bytes:
+    return struct.pack("<BI", msg.mtype, len(msg.payload)) + msg.payload
+
+
+def decode(data: bytes) -> Tuple[Optional[Message], bytes]:
+    """Decode one message from ``data``; returns (message, rest).
+
+    Returns (None, data) when the buffer holds an incomplete frame.
+    """
+    if len(data) < 5:
+        return None, data
+    mtype, length = struct.unpack("<BI", data[:5])
+    if len(data) < 5 + length:
+        return None, data
+    return Message(mtype, data[5 : 5 + length]), data[5 + length :]
+
+
+# -- constructors -----------------------------------------------------------
+
+def fetch(space: str, address: int, size: int) -> Message:
+    if size not in VALUE_SIZES:
+        raise ProtocolError("bad fetch size %d" % size)
+    return Message(MSG_FETCH, struct.pack("<BII", ord(space), address, size))
+
+
+def store(space: str, address: int, data: bytes) -> Message:
+    if len(data) not in VALUE_SIZES:
+        raise ProtocolError("bad store size %d" % len(data))
+    return Message(MSG_STORE, struct.pack("<BI", ord(space), address) + data)
+
+
+def cont() -> Message:
+    return Message(MSG_CONTINUE)
+
+
+def detach() -> Message:
+    return Message(MSG_DETACH)
+
+
+def kill() -> Message:
+    return Message(MSG_KILL)
+
+
+def signal(signo: int, code: int, context_addr: int) -> Message:
+    return Message(MSG_SIGNAL, struct.pack("<III", signo, code, context_addr))
+
+
+def exited(status: int) -> Message:
+    return Message(MSG_EXITED, struct.pack("<i", status))
+
+
+def data(value_bytes: bytes) -> Message:
+    return Message(MSG_DATA, value_bytes)
+
+
+def ok() -> Message:
+    return Message(MSG_OK)
+
+
+def error(code: int) -> Message:
+    return Message(MSG_ERROR, struct.pack("<I", code))
+
+
+# -- payload readers ---------------------------------------------------------
+
+def parse_fetch(msg: Message) -> Tuple[str, int, int]:
+    space, address, size = struct.unpack("<BII", msg.payload)
+    return chr(space), address, size
+
+
+def parse_store(msg: Message) -> Tuple[str, int, bytes]:
+    space, address = struct.unpack("<BI", msg.payload[:5])
+    return chr(space), address, msg.payload[5:]
+
+
+def parse_signal(msg: Message) -> Tuple[int, int, int]:
+    return struct.unpack("<III", msg.payload)
+
+
+def parse_exited(msg: Message) -> int:
+    return struct.unpack("<i", msg.payload)[0]
+
+
+def parse_error(msg: Message) -> int:
+    return struct.unpack("<I", msg.payload)[0]
+
+
+# -- the breakpoint extension (paper Sec. 7.1) --------------------------------
+
+def plant(address: int, trap_bytes: bytes) -> Message:
+    """A store used only for planting breakpoints: the nub records the
+    overwritten instruction so a later debugger can recover it."""
+    if len(trap_bytes) not in VALUE_SIZES:
+        raise ProtocolError("bad trap size %d" % len(trap_bytes))
+    return Message(MSG_PLANT, struct.pack("<I", address) + trap_bytes)
+
+
+def unplant(address: int) -> Message:
+    return Message(MSG_UNPLANT, struct.pack("<I", address))
+
+
+def breaks() -> Message:
+    """Ask the nub for the breakpoints currently planted."""
+    return Message(MSG_BREAKS)
+
+
+def breaklist(entries) -> Message:
+    """entries: iterable of (address, original little-endian bytes)."""
+    payload = bytearray()
+    for address, original in entries:
+        payload += struct.pack("<IB", address, len(original)) + original
+    return Message(MSG_BREAKLIST, bytes(payload))
+
+
+def parse_plant(msg: Message):
+    address = struct.unpack("<I", msg.payload[:4])[0]
+    return address, msg.payload[4:]
+
+
+def parse_unplant(msg: Message) -> int:
+    return struct.unpack("<I", msg.payload)[0]
+
+
+def parse_breaklist(msg: Message):
+    entries = []
+    data_bytes = msg.payload
+    offset = 0
+    while offset < len(data_bytes):
+        address, size = struct.unpack("<IB", data_bytes[offset : offset + 5])
+        offset += 5
+        entries.append((address, data_bytes[offset : offset + size]))
+        offset += size
+    return entries

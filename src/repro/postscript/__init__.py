@@ -1,0 +1,141 @@
+"""ldb's embedded PostScript dialect.
+
+One interpreter instance supports both the code in symbol-table entries
+and expression evaluation (paper Sec. 3).  Use :func:`new_interp` to get
+an interpreter with the standard operators, the debugging extensions, and
+the shared prelude loaded; push a per-architecture dictionary with
+:func:`load_arch_dict` to bind machine-dependent names (Sec. 5).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from .interp import Interp
+from .objects import (
+    NULL,
+    Mark,
+    Name,
+    Operator,
+    PSArray,
+    PSDict,
+    PSError,
+    PSExit,
+    PSStop,
+    Reader,
+    String,
+    Writer,
+    cvlit,
+    cvx,
+    is_executable,
+    ps_key,
+    type_name,
+)
+from .memops import (
+    ABSOLUTE,
+    FLOAT_KINDS,
+    IMMEDIATE,
+    INT_KINDS,
+    KIND_BYTES,
+    AbstractMemory,
+    Location,
+    mask_to_kind,
+)
+from .printer import PrettyPrinter
+from .scanner import EOF, Scanner
+
+_DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+#: Architectures with machine-dependent PostScript shipped in this package.
+ARCH_PS = ("rmips", "rsparc", "rm68k", "rvax")
+
+
+def data_path(name: str) -> str:
+    """Path to a PostScript file shipped with the package."""
+    return os.path.join(_DATA_DIR, name)
+
+
+def read_data(name: str) -> str:
+    with open(data_path(name)) as f:
+        return f.read()
+
+
+def new_interp(stdout: Any = None, prelude: bool = True) -> Interp:
+    """A fresh interpreter with the shared prelude loaded into userdict.
+
+    Reading the initial PostScript is one of the startup phases the paper
+    times (Sec. 7); ``bench_table_startup.py`` measures this call.
+    """
+    interp = Interp(stdout=stdout)
+    if prelude:
+        interp.run(read_data("prelude.ps"), name="prelude.ps")
+        interp.run(read_data("symload.ps"), name="symload.ps")
+        # one machine-dependent dictionary per target architecture; the
+        # loader table selects one with UseArchitecture (Sec. 5), because
+        # register locations like `30 Regset0 Absolute` are computed when
+        # the symbol table is interpreted (Sec. 2)
+        arch_dicts = PSDict()
+        for arch in ARCH_PS:
+            arch_dicts[arch] = load_arch_dict(interp, arch)
+        arch_dicts["rmipsel"] = arch_dicts["rmips"]  # same MD PostScript
+        interp.systemdict["ArchDicts"] = arch_dicts
+    return interp
+
+
+def load_arch_dict(interp: Interp, arch: str) -> PSDict:
+    """Build the machine-dependent dictionary for ``arch``.
+
+    The returned dictionary is *not* left on the dictionary stack; ldb
+    pushes it (and pops the previous target's) when it changes
+    architectures, rebinding the machine-dependent names dynamically
+    (paper Sec. 5: "we supply one such dictionary for each target
+    architecture").
+    """
+    if arch not in ARCH_PS:
+        raise PSError("undefined", "no machine-dependent PostScript for %r" % arch)
+    arch_dict = PSDict()
+    interp.push_dict(arch_dict)
+    try:
+        interp.run(read_data(arch + ".ps"), name=arch + ".ps")
+    finally:
+        interp.pop_dict_stack()
+    return arch_dict
+
+
+__all__ = [
+    "ABSOLUTE",
+    "ARCH_PS",
+    "AbstractMemory",
+    "EOF",
+    "FLOAT_KINDS",
+    "IMMEDIATE",
+    "INT_KINDS",
+    "Interp",
+    "KIND_BYTES",
+    "Location",
+    "Mark",
+    "NULL",
+    "Name",
+    "Operator",
+    "PSArray",
+    "PSDict",
+    "PSError",
+    "PSExit",
+    "PSStop",
+    "PrettyPrinter",
+    "Reader",
+    "Scanner",
+    "String",
+    "Writer",
+    "cvlit",
+    "cvx",
+    "data_path",
+    "is_executable",
+    "load_arch_dict",
+    "mask_to_kind",
+    "new_interp",
+    "ps_key",
+    "read_data",
+    "type_name",
+]

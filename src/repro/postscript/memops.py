@@ -1,0 +1,209 @@
+"""Abstract-memory and location types, and their PostScript operators.
+
+The dialect "adds new types and operators for debugging ... 'abstract
+memories', which are a machine-independent representation of target
+registers and memory" (paper Sec. 2).
+
+An abstract memory is a collection of *spaces* denoted by lower-case
+letters — ``c`` code, ``d`` data, and per-machine extras such as ``r``
+(general registers), ``f`` (floating registers), and ``x`` (extra
+registers: program counter and virtual frame pointer on the MIPS analog).
+Locations within a space are integer offsets (Sec. 4.1).
+
+Given a memory and a location, the dialect can fetch and store three sizes
+of integers (8, 16, 32 bits) and three sizes of floating-point values (32,
+64, 80 bits) — the simplified model the paper adopted to match lcc's IR
+types.  Fetched integers are returned signed (two's complement); unsigned
+interpretations are applied above, by printer procedures or generated
+expression code.
+
+The concrete memory classes (wire, alias, register, joined) live in
+:mod:`repro.ldb.memories`; this module owns only the base types and the
+operators, so the interpreter stays independent of the debugger proper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from .objects import PSError, String
+
+#: Data kinds the abstract memory model supports.
+INT_KINDS = ("i8", "i16", "i32")
+FLOAT_KINDS = ("f32", "f64", "f80")
+KIND_BYTES = {"i8": 1, "i16": 2, "i32": 4, "f32": 4, "f64": 8, "f80": 10}
+
+#: Addressing modes.
+ABSOLUTE = "absolute"
+IMMEDIATE = "immediate"
+
+
+class Location:
+    """A location in an abstract memory: (space, offset) or an immediate.
+
+    An immediate location carries its value directly; the alias memory maps
+    registers with no home in target memory (the MIPS virtual frame
+    pointer, for example) to immediate locations (Sec. 4.1).  Immediate
+    locations are mutable cells so that stores (e.g. to the program
+    counter) take effect and can be written back on continue.
+    """
+
+    __slots__ = ("mode", "space", "offset", "value")
+
+    ps_type_name = "locationtype"
+    literal = True
+
+    def __init__(self, space: str = "", offset: int = 0,
+                 mode: str = ABSOLUTE, value: Any = None):
+        self.mode = mode
+        self.space = space
+        self.offset = offset
+        self.value = value
+
+    @classmethod
+    def absolute(cls, space: str, offset: int) -> "Location":
+        return cls(space, offset, ABSOLUTE)
+
+    @classmethod
+    def immediate(cls, value: Any) -> "Location":
+        return cls(mode=IMMEDIATE, value=value)
+
+    def shifted(self, delta: int) -> "Location":
+        if self.mode != ABSOLUTE:
+            raise PSError("typecheck", "Shifted on non-absolute location")
+        return Location(self.space, self.offset + delta, ABSOLUTE)
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Location)
+                and other.mode == self.mode
+                and other.space == self.space
+                and other.offset == self.offset
+                and (self.mode != IMMEDIATE or other.value == self.value))
+
+    def __hash__(self) -> int:
+        return hash((self.mode, self.space, self.offset))
+
+    def __repr__(self) -> str:
+        if self.mode == IMMEDIATE:
+            return "-loc:imm=%r-" % (self.value,)
+        return "-loc:%s+%d-" % (self.space, self.offset)
+
+
+class AbstractMemory:
+    """Base class for abstract memories (paper Sec. 4.1).
+
+    Subclasses implement :meth:`fetch` and :meth:`store` for the kinds in
+    ``INT_KINDS`` + ``FLOAT_KINDS``.  All memories honor the immediate
+    addressing mode here, so subclasses only see absolute locations.
+    """
+
+    ps_type_name = "memorytype"
+    literal = True
+
+    #: Spaces this memory serves; None means "any" (used by joined parents).
+    spaces: Optional[str] = None
+
+    def fetch(self, loc: Location, kind: str) -> Union[int, float]:
+        if loc.mode == IMMEDIATE:
+            return loc.value
+        return self.fetch_absolute(loc, kind)
+
+    def store(self, loc: Location, kind: str, value: Union[int, float]) -> None:
+        if loc.mode == IMMEDIATE:
+            loc.value = value
+            return
+        self.store_absolute(loc, kind, value)
+
+    def fetch_absolute(self, loc: Location, kind: str) -> Union[int, float]:
+        raise PSError("invalidaccess", "fetch from %r" % (self,))
+
+    def store_absolute(self, loc: Location, kind: str, value: Union[int, float]) -> None:
+        raise PSError("invalidaccess", "store to %r" % (self,))
+
+
+def mask_to_kind(value: int, kind: str) -> int:
+    """Truncate ``value`` to ``kind``'s width, returning the signed view."""
+    bits = KIND_BYTES[kind] * 8
+    mask = (1 << bits) - 1
+    value &= mask
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def _pop_location(interp) -> Location:
+    obj = interp.pop()
+    if not isinstance(obj, Location):
+        raise PSError("typecheck", "expected location, got %r" % (obj,))
+    return obj
+
+
+def _pop_memory(interp) -> AbstractMemory:
+    obj = interp.pop()
+    if not isinstance(obj, AbstractMemory):
+        raise PSError("typecheck", "expected memory, got %r" % (obj,))
+    return obj
+
+
+def _make_fetch(kind: str):
+    def op_fetch(interp) -> None:
+        loc = _pop_location(interp)
+        mem = _pop_memory(interp)
+        interp.push(mem.fetch(loc, kind))
+
+    return op_fetch
+
+
+def _make_store(kind: str):
+    def op_store(interp) -> None:
+        value = interp.pop_number()
+        loc = _pop_location(interp)
+        mem = _pop_memory(interp)
+        if kind in FLOAT_KINDS:
+            value = float(value)
+        mem.store(loc, kind, value)
+
+    return op_store
+
+
+def op_absolute(interp) -> None:
+    """``offset space Absolute -> loc``: an absolute location."""
+    space = interp.pop_name_or_string_text()
+    offset = interp.pop_int()
+    interp.push(Location.absolute(space, offset))
+
+
+def op_immediate(interp) -> None:
+    """``value Immediate -> loc``: an immediate location holding value."""
+    interp.push(Location.immediate(interp.pop()))
+
+
+def op_shifted(interp) -> None:
+    """``loc n Shifted -> loc'``: the location n bytes past loc."""
+    delta = interp.pop_int()
+    loc = _pop_location(interp)
+    interp.push(loc.shifted(delta))
+
+
+def op_locspace(interp) -> None:
+    loc = _pop_location(interp)
+    interp.push(String(loc.space))
+
+
+def op_locoffset(interp) -> None:
+    loc = _pop_location(interp)
+    interp.push(loc.offset)
+
+
+def install(interp) -> None:
+    for kind in INT_KINDS + FLOAT_KINDS:
+        bits = KIND_BYTES[kind] * 8
+        prefix = "fetch" if kind.startswith("i") else "fetchf"
+        sprefix = "store" if kind.startswith("i") else "storef"
+        interp.defop("%s%d" % (prefix, bits), _make_fetch(kind))
+        interp.defop("%s%d" % (sprefix, bits), _make_store(kind))
+    interp.defop("Absolute", op_absolute)
+    interp.defop("Immediate", op_immediate)
+    interp.defop("Shifted", op_shifted)
+    interp.defop("locspace", op_locspace)
+    interp.defop("locoffset", op_locoffset)

@@ -1,0 +1,102 @@
+"""Array and polymorphic sequence operators.
+
+There are no subarrays in the dialect (paper Sec. 5), so ``getinterval``
+and ``putinterval`` are deliberately absent.
+"""
+
+from __future__ import annotations
+
+from .objects import Mark, Name, PSArray, PSDict, PSError, String
+
+
+def op_array(interp) -> None:
+    n = interp.pop_int()
+    if n < 0:
+        raise PSError("rangecheck", "array %d" % n)
+    interp.push(PSArray([None] * n))
+
+
+def op_array_open(interp) -> None:
+    """The ``[`` token: push an array-mark."""
+    interp.push(Mark("array"))
+
+
+def op_array_close(interp) -> None:
+    """The ``]`` token: collect objects down to the mark into an array."""
+    items = []
+    while True:
+        obj = interp.pop()
+        if isinstance(obj, Mark):
+            break
+        items.append(obj)
+    items.reverse()
+    interp.push(PSArray(items))
+
+
+def op_length(interp) -> None:
+    obj = interp.pop()
+    if isinstance(obj, (PSArray, PSDict, String)):
+        interp.push(len(obj))
+    elif isinstance(obj, Name):
+        interp.push(len(obj.text))
+    else:
+        raise PSError("typecheck", "length of %r" % (obj,))
+
+
+def op_aload(interp) -> None:
+    arr = interp.pop_array()
+    for item in arr.items:
+        interp.push(item)
+    interp.push(arr)
+
+
+def op_astore(interp) -> None:
+    arr = interp.pop_array()
+    n = len(arr)
+    values = interp.pop_n(n)
+    arr.items[:] = values
+    interp.push(arr)
+
+
+def op_append(interp) -> None:
+    """``array obj append -``: grow an array in place (dialect extension;
+    the symbol-table loader accumulates procs/anchors with it)."""
+    obj = interp.pop()
+    arr = interp.pop_array()
+    arr.items.append(obj)
+
+
+def op_forall(interp) -> None:
+    from .objects import PSExit
+
+    proc = interp.pop()
+    container = interp.pop()
+    try:
+        if isinstance(container, PSArray):
+            for item in container.items:
+                interp.push(item)
+                interp.call(proc)
+        elif isinstance(container, PSDict):
+            for key, value in list(container.items()):
+                interp.push(Name(key, literal=True) if isinstance(key, str) else key)
+                interp.push(value)
+                interp.call(proc)
+        elif isinstance(container, String):
+            for ch in container.text:
+                interp.push(ord(ch))
+                interp.call(proc)
+        else:
+            raise PSError("typecheck", "forall over %r" % (container,))
+    except PSExit:
+        pass
+
+
+def install(interp) -> None:
+    interp.defop("array", op_array)
+    interp.defop("[", op_array_open)
+    interp.defop("]", op_array_close)
+    interp.defop("length", op_length)
+    interp.defop("append", op_append)
+    interp.defop("aload", op_aload)
+    interp.defop("astore", op_astore)
+    interp.defop("forall", op_forall)

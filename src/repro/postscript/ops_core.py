@@ -1,0 +1,54 @@
+"""Installs the complete operator set of ldb's PostScript dialect.
+
+Beyond the standard categories this adds a handful of extension operators
+the prelude's printer procedures need (``chr``, ``hexstring``) plus inert
+compatibility stubs (``readonly``/``executeonly`` — the dialect drops
+access attributes along with ``save``/``restore``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from . import memops, ops_array, ops_control, ops_dict, ops_io, ops_math, ops_stack, ops_string, printer
+from .objects import PSError, String
+
+
+def op_chr(interp) -> None:
+    """``code chr -> string``: the one-character string for a char code."""
+    code = interp.pop_int()
+    if not 0 <= code < 0x110000:
+        raise PSError("rangecheck", "chr %d" % code)
+    interp.push(String(chr(code)))
+
+
+def op_hexstring(interp) -> None:
+    """``int hexstring -> string``: lower-case hex, unsigned 32-bit view."""
+    value = interp.pop_int()
+    interp.push(String("%x" % (value & 0xFFFFFFFF)))
+
+
+def op_readonly(interp) -> None:
+    pass  # access attributes are not in the dialect; top of stack unchanged
+
+
+def op_usertime(interp) -> None:
+    interp.push(int(time.monotonic() * 1000))
+
+
+def install(interp) -> None:
+    ops_stack.install(interp)
+    ops_math.install(interp)
+    ops_dict.install(interp)
+    ops_array.install(interp)
+    ops_string.install(interp)
+    ops_control.install(interp)
+    ops_io.install(interp)
+    printer.install(interp)
+    memops.install(interp)
+    interp.defop("chr", op_chr)
+    interp.defop("hexstring", op_hexstring)
+    interp.defop("readonly", op_readonly)
+    interp.defop("executeonly", op_readonly)
+    interp.defop("usertime", op_usertime)
+    interp.systemdict["version"] = String("ldb-dialect-1")

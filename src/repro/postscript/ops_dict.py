@@ -1,0 +1,164 @@
+"""Dictionary operators, including the ``<< ... >>`` literal syntax.
+
+The dictionary stack is central to ldb: per-architecture dictionaries are
+pushed with ``begin`` to rebind machine-dependent names when the debugger
+changes target architectures (paper Sec. 5).
+"""
+
+from __future__ import annotations
+
+from .objects import Mark, Name, PSArray, PSDict, PSError, String
+
+
+def op_dict(interp) -> None:
+    interp.pop_int()  # capacity hint, ignored — host dicts grow
+    interp.push(PSDict())
+
+
+def op_dict_begin_mark(interp) -> None:
+    """The ``<<`` token: push a dict-mark."""
+    interp.push(Mark("dict"))
+
+
+def op_dict_end(interp) -> None:
+    """The ``>>`` token: collect key/value pairs down to the mark."""
+    pairs = []
+    while True:
+        obj = interp.pop()
+        if isinstance(obj, Mark):
+            break
+        pairs.append(obj)
+    if len(pairs) % 2 != 0:
+        raise PSError("rangecheck", "odd number of objects in << >>")
+    d = PSDict()
+    pairs.reverse()
+    for i in range(0, len(pairs), 2):
+        d[pairs[i]] = pairs[i + 1]
+    interp.push(d)
+
+
+def op_begin(interp) -> None:
+    interp.push_dict(interp.pop_dict())
+
+
+def op_end(interp) -> None:
+    interp.pop_dict_stack()
+
+
+def op_def(interp) -> None:
+    value = interp.pop()
+    key = interp.pop()
+    interp.dstack[-1][key] = value
+
+
+def op_load(interp) -> None:
+    key = interp.pop()
+    if isinstance(key, (Name, String)):
+        interp.push(interp.lookup(key.text))
+    else:
+        raise PSError("typecheck", "load of %r" % (key,))
+
+
+def op_store(interp) -> None:
+    value = interp.pop()
+    key = interp.pop()
+    if not isinstance(key, (Name, String)):
+        raise PSError("typecheck", "store of %r" % (key,))
+    holder = interp.lookup_dict(key.text)
+    if holder is None:
+        holder = interp.dstack[-1]
+    holder[key] = value
+
+
+def op_get(interp) -> None:
+    key = interp.pop()
+    container = interp.pop()
+    if isinstance(container, PSDict):
+        interp.push(container[key])
+    elif isinstance(container, PSArray):
+        index = _index(key, len(container))
+        interp.push(container[index])
+    elif isinstance(container, String):
+        index = _index(key, len(container))
+        interp.push(ord(container.text[index]))
+    else:
+        raise PSError("typecheck", "get from %r" % (container,))
+
+
+def op_put(interp) -> None:
+    value = interp.pop()
+    key = interp.pop()
+    container = interp.pop()
+    if isinstance(container, PSDict):
+        container[key] = value
+    elif isinstance(container, PSArray):
+        container[_index(key, len(container))] = value
+    elif isinstance(container, String):
+        raise PSError("invalidaccess", "strings are immutable in this dialect")
+    else:
+        raise PSError("typecheck", "put into %r" % (container,))
+
+
+def op_known(interp) -> None:
+    key = interp.pop()
+    d = interp.pop_dict()
+    interp.push(key in d)
+
+
+def op_where(interp) -> None:
+    key = interp.pop()
+    if not isinstance(key, (Name, String)):
+        raise PSError("typecheck", "where of %r" % (key,))
+    holder = interp.lookup_dict(key.text)
+    if holder is None:
+        interp.push(False)
+    else:
+        interp.push(holder)
+        interp.push(True)
+
+
+def op_currentdict(interp) -> None:
+    interp.push(interp.dstack[-1])
+
+
+def op_countdictstack(interp) -> None:
+    interp.push(len(interp.dstack))
+
+
+def op_undef(interp) -> None:
+    key = interp.pop()
+    d = interp.pop_dict()
+    if key in d:
+        del d[key]
+
+
+def op_maxlength(interp) -> None:
+    d = interp.pop_dict()
+    interp.push(max(len(d), 1))
+
+
+def _index(key, length: int) -> int:
+    if isinstance(key, bool) or not isinstance(key, int):
+        raise PSError("typecheck", "index %r" % (key,))
+    if not 0 <= key < length:
+        raise PSError("rangecheck", "index %d out of %d" % (key, length))
+    return key
+
+
+def install(interp) -> None:
+    interp.defop("dict", op_dict)
+    interp.defop("<<", op_dict_begin_mark)
+    interp.defop(">>", op_dict_end)
+    interp.defop("begin", op_begin)
+    interp.defop("end", op_end)
+    interp.defop("def", op_def)
+    interp.defop("load", op_load)
+    interp.defop("store", op_store)
+    interp.defop("get", op_get)
+    interp.defop("put", op_put)
+    interp.defop("known", op_known)
+    interp.defop("where", op_where)
+    interp.defop("currentdict", op_currentdict)
+    interp.defop("countdictstack", op_countdictstack)
+    interp.defop("undef", op_undef)
+    interp.defop("maxlength", op_maxlength)

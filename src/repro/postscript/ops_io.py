@@ -1,0 +1,81 @@
+"""Output operators and reader/writer support.
+
+Files in the dialect are Modula-3 readers and writers (paper Sec. 5); the
+host program wraps streams in :class:`~repro.postscript.objects.Reader` /
+:class:`~repro.postscript.objects.Writer` objects.
+"""
+
+from __future__ import annotations
+
+from .objects import PSError, Reader, String, Writer, to_string
+
+
+def op_print(interp) -> None:
+    """Write a string to the interpreter's standard output.
+
+    Note: ldb's PostScript prelude shadows ``print`` with the recursive
+    value printer used by symbol-table type dictionaries; this operator is
+    still reachable while the prelude dictionary is not on the stack.
+    """
+    interp.write(interp.pop_string().text)
+
+
+def op_equals(interp) -> None:
+    interp.write(to_string(interp.pop()) + "\n")
+
+
+def op_equals_equals(interp) -> None:
+    interp.write(repr(interp.pop()) + "\n")
+
+
+def op_flush(interp) -> None:
+    flush = getattr(interp.stdout, "flush", None)
+    if flush is not None:
+        flush()
+
+
+def op_write(interp) -> None:
+    text = interp.pop_string()
+    writer = interp.pop()
+    if not isinstance(writer, Writer):
+        raise PSError("typecheck", "write to %r" % (writer,))
+    writer.write(text.text)
+
+
+def op_writeflush(interp) -> None:
+    writer = interp.pop()
+    if not isinstance(writer, Writer):
+        raise PSError("typecheck", "writeflush of %r" % (writer,))
+    flush = getattr(writer.stream, "flush", None)
+    if flush is not None:
+        flush()
+
+
+def op_readline(interp) -> None:
+    reader = interp.pop()
+    if not isinstance(reader, Reader):
+        raise PSError("typecheck", "readline of %r" % (reader,))
+    line = reader.stream.readline()
+    if isinstance(line, bytes):
+        line = line.decode("latin-1")
+    if line:
+        interp.push(String(line.rstrip("\n")))
+        interp.push(True)
+    else:
+        interp.push(False)
+
+
+def op_pstack(interp) -> None:
+    for obj in reversed(interp.ostack):
+        interp.write(repr(obj) + "\n")
+
+
+def install(interp) -> None:
+    interp.defop("print", op_print)
+    interp.defop("=", op_equals)
+    interp.defop("==", op_equals_equals)
+    interp.defop("flush", op_flush)
+    interp.defop("write", op_write)
+    interp.defop("writeflush", op_writeflush)
+    interp.defop("readline", op_readline)
+    interp.defop("pstack", op_pstack)

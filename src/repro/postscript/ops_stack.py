@@ -1,0 +1,92 @@
+"""Operand-stack operators: dup, pop, exch, copy, index, roll, marks."""
+
+from __future__ import annotations
+
+from .objects import Mark, PSError
+
+
+def op_dup(interp) -> None:
+    interp.push(interp.peek())
+
+
+def op_pop(interp) -> None:
+    interp.pop()
+
+
+def op_exch(interp) -> None:
+    b, a = interp.pop(), interp.pop()
+    interp.push(b)
+    interp.push(a)
+
+
+def op_copy(interp) -> None:
+    n = interp.pop_int()
+    if n < 0:
+        raise PSError("rangecheck", "copy %d" % n)
+    if n:
+        if len(interp.ostack) < n:
+            raise PSError("stackunderflow")
+        interp.ostack.extend(interp.ostack[-n:])
+
+
+def op_index(interp) -> None:
+    n = interp.pop_int()
+    if n < 0:
+        raise PSError("rangecheck", "index %d" % n)
+    interp.push(interp.peek(n))
+
+
+def op_roll(interp) -> None:
+    j = interp.pop_int()
+    n = interp.pop_int()
+    if n < 0:
+        raise PSError("rangecheck", "roll %d" % n)
+    if n == 0:
+        return
+    if len(interp.ostack) < n:
+        raise PSError("stackunderflow")
+    j %= n
+    if j:
+        seg = interp.ostack[-n:]
+        interp.ostack[-n:] = seg[-j:] + seg[:-j]
+
+
+def op_clear(interp) -> None:
+    del interp.ostack[:]
+
+
+def op_count(interp) -> None:
+    interp.push(len(interp.ostack))
+
+
+def op_mark(interp) -> None:
+    interp.push(Mark())
+
+
+def op_cleartomark(interp) -> None:
+    while True:
+        obj = interp.pop()
+        if isinstance(obj, Mark):
+            return
+
+
+def op_counttomark(interp) -> None:
+    for depth, obj in enumerate(reversed(interp.ostack)):
+        if isinstance(obj, Mark):
+            interp.push(depth)
+            return
+    raise PSError("unmatchedmark")
+
+
+def install(interp) -> None:
+    interp.defop("dup", op_dup)
+    interp.defop("pop", op_pop)
+    interp.defop("exch", op_exch)
+    interp.defop("copy", op_copy)
+    interp.defop("index", op_index)
+    interp.defop("roll", op_roll)
+    interp.defop("clear", op_clear)
+    interp.defop("count", op_count)
+    interp.defop("mark", op_mark)
+    interp.defop("cleartomark", op_cleartomark)
+    interp.defop("counttomark", op_counttomark)

@@ -1,0 +1,121 @@
+"""String and conversion operators.
+
+Strings are immutable (paper Sec. 5), so the mutating Adobe operators are
+absent; ``cat`` builds a new string, the Modula-3 ``TEXT`` idiom.
+"""
+
+from __future__ import annotations
+
+from .objects import (
+    Name,
+    PSError,
+    String,
+    cvlit,
+    cvx,
+    is_executable,
+    to_string,
+    type_name,
+)
+
+
+def op_cat(interp) -> None:
+    b = interp.pop_string()
+    a = interp.pop_string()
+    interp.push(String(a.text + b.text))
+
+
+def op_search(interp) -> None:
+    seek = interp.pop_string()
+    where = interp.pop_string()
+    at = where.text.find(seek.text)
+    if at < 0:
+        interp.push(where)
+        interp.push(False)
+    else:
+        interp.push(String(where.text[at + len(seek.text) :]))  # post
+        interp.push(String(seek.text))  # match
+        interp.push(String(where.text[:at]))  # pre
+        interp.push(True)
+
+
+def op_anchorsearch(interp) -> None:
+    seek = interp.pop_string()
+    where = interp.pop_string()
+    if where.text.startswith(seek.text):
+        interp.push(String(where.text[len(seek.text) :]))
+        interp.push(String(seek.text))
+        interp.push(True)
+    else:
+        interp.push(where)
+        interp.push(False)
+
+
+def op_cvs(interp) -> None:
+    interp.push(String(to_string(interp.pop())))
+
+
+def op_cvi(interp) -> None:
+    obj = interp.pop()
+    if isinstance(obj, bool):
+        raise PSError("typecheck", "cvi of boolean")
+    if isinstance(obj, int):
+        interp.push(obj)
+    elif isinstance(obj, float):
+        interp.push(int(obj))
+    elif isinstance(obj, String):
+        try:
+            interp.push(int(float(obj.text)) if "." in obj.text else int(obj.text, 0))
+        except ValueError:
+            raise PSError("syntaxerror", "cvi of %r" % obj.text)
+    else:
+        raise PSError("typecheck", "cvi of %r" % (obj,))
+
+
+def op_cvr(interp) -> None:
+    obj = interp.pop()
+    if isinstance(obj, bool):
+        raise PSError("typecheck", "cvr of boolean")
+    if isinstance(obj, (int, float)):
+        interp.push(float(obj))
+    elif isinstance(obj, String):
+        try:
+            interp.push(float(obj.text))
+        except ValueError:
+            raise PSError("syntaxerror", "cvr of %r" % obj.text)
+    else:
+        raise PSError("typecheck", "cvr of %r" % (obj,))
+
+
+def op_cvn(interp) -> None:
+    text = interp.pop_string()
+    interp.push(Name(text.text, literal=text.literal))
+
+
+def op_cvx(interp) -> None:
+    interp.push(cvx(interp.pop()))
+
+
+def op_cvlit(interp) -> None:
+    interp.push(cvlit(interp.pop()))
+
+
+def op_xcheck(interp) -> None:
+    interp.push(is_executable(interp.pop()))
+
+
+def op_type(interp) -> None:
+    interp.push(Name(type_name(interp.pop()), literal=True))
+
+
+def install(interp) -> None:
+    interp.defop("cat", op_cat)
+    interp.defop("search", op_search)
+    interp.defop("anchorsearch", op_anchorsearch)
+    interp.defop("cvs", op_cvs)
+    interp.defop("cvi", op_cvi)
+    interp.defop("cvr", op_cvr)
+    interp.defop("cvn", op_cvn)
+    interp.defop("cvx", op_cvx)
+    interp.defop("cvlit", op_cvlit)
+    interp.defop("xcheck", op_xcheck)
+    interp.defop("type", op_type)

@@ -1,0 +1,36 @@
+"""Compile-and-run helpers shared by compiler tests."""
+
+from repro.cc.driver import compile_and_link
+from repro.machines import FaultEvent, Process, SIGTRAP
+
+ALL_ARCHES = ("rmips", "rmipsel", "rsparc", "rm68k", "rvax")
+
+
+def run_c(source, arch="rmips", debug=False, expect_status=None):
+    """Compile, link, run; returns (exit status, stdout text)."""
+    exe = compile_and_link({"test.c": source}, arch, debug=debug)
+    process = Process(exe)
+    event = process.run_until_event()
+    if isinstance(event, FaultEvent) and event.signo == SIGTRAP:
+        # skip the nub's startup pause (nobody is debugging)
+        process.cpu.pc = event.pc + exe.arch.noop_advance
+        event = process.run_until_event()
+    status = getattr(event, "status", None)
+    if status is None:
+        raise AssertionError("target faulted: %r" % (event,))
+    if expect_status is not None:
+        assert status == expect_status, \
+            "exit %r, expected %r (output %r)" % (status, expect_status,
+                                                  process.output())
+    return status, process.output()
+
+
+def run_main_expr(expression, arch="rmips", prologue=""):
+    """Run `int main(void){ return (expression) & 0xff; }`."""
+    source = "%s\nint main(void) { return (%s) & 0xff; }\n" % (prologue, expression)
+    status, _ = run_c(source, arch)
+    return status
+
+
+def c_output(source, arch="rmips", debug=False):
+    return run_c(source, arch, debug)[1]

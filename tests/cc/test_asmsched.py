@@ -1,0 +1,133 @@
+"""MIPS assembler pass tests: delay-slot filling and padding."""
+
+import pytest
+
+from repro.cc.asmsched import SchedStats, count_insns, reg_defs, reg_uses, schedule
+from repro.machines.isa import Insn, Label
+
+
+def lw(rd, rs, imm=0):
+    return Insn("lw", rd=rd, rs=rs, imm=imm)
+
+
+class TestHazardDetection:
+    def test_consumer_right_after_load_pads(self):
+        text = [lw(8, 29), Insn("add", rd=9, rs=8, rt=0)]
+        out, stats = schedule(text, debug=False)
+        assert stats.hazards == 1
+        assert out[1].op == "nop"
+
+    def test_independent_next_insn_no_pad(self):
+        text = [lw(8, 29), Insn("add", rd=9, rs=10, rt=11)]
+        out, stats = schedule(text, debug=False)
+        assert stats.hazards == 0
+        assert count_insns(out) == 2
+
+    def test_clobber_counts_as_hazard(self):
+        """Writing the loaded register in the slot would drop the load."""
+        text = [lw(8, 29), Insn("addi", rd=8, rs=0, imm=5)]
+        out, stats = schedule(text, debug=False)
+        assert stats.hazards == 1
+
+    def test_load_at_end_pads(self):
+        out, stats = schedule([lw(8, 29)], debug=False)
+        assert out[-1].op == "nop"
+
+    def test_syscall_after_load_is_hazard(self):
+        text = [lw(4, 29), Insn("syscall", imm=1)]
+        _out, stats = schedule(text, debug=False)
+        assert stats.hazards == 1
+
+
+class TestFilling:
+    def make_fillable(self):
+        # the addi is independent of the load and can fill its slot
+        return [Insn("addi", rd=10, rs=0, imm=5),
+                lw(8, 29),
+                Insn("add", rd=9, rs=8, rt=0)]
+
+    def test_fills_from_before(self):
+        out, stats = schedule(self.make_fillable(), debug=False)
+        assert stats.filled == 1 and stats.nops_inserted == 0
+        assert [i.op for i in out] == ["lw", "addi", "add"]
+
+    def test_wont_move_dependent_insn(self):
+        # addi defines the load's base register: cannot fill
+        text = [Insn("addi", rd=29, rs=29, imm=-8),
+                lw(8, 29),
+                Insn("add", rd=9, rs=8, rt=0)]
+        out, stats = schedule(text, debug=False)
+        assert stats.filled == 0 and stats.nops_inserted == 1
+
+    def test_wont_move_store_past_load(self):
+        text = [Insn("sw", rd=10, rs=29, imm=0),
+                lw(8, 29),
+                Insn("add", rd=9, rs=8, rt=0)]
+        _out, stats = schedule(text, debug=False)
+        assert stats.filled == 0
+
+    def test_wont_move_across_block_leader(self):
+        text = [Insn("addi", rd=10, rs=0, imm=5),
+                Label("L1", is_block_leader=True),
+                lw(8, 29),
+                Insn("add", rd=9, rs=8, rt=0)]
+        _out, stats = schedule(text, debug=False)
+        assert stats.filled == 0 and stats.nops_inserted == 1
+
+
+class TestDebugRestriction:
+    """The paper's Sec. 3 effect: stopping points restrict scheduling."""
+
+    def make_with_stop(self):
+        return [Insn("addi", rd=10, rs=0, imm=5),
+                Label("f.S3", stop_index=3),
+                lw(8, 29),
+                Insn("add", rd=9, rs=8, rt=0)]
+
+    def test_stop_label_transparent_without_debug(self):
+        _out, stats = schedule(self.make_with_stop(), debug=False)
+        assert stats.filled == 1 and stats.nops_inserted == 0
+
+    def test_stop_label_opaque_with_debug(self):
+        _out, stats = schedule(self.make_with_stop(), debug=True)
+        assert stats.filled == 0 and stats.nops_inserted == 1
+
+    def test_debug_never_smaller(self):
+        """Debug scheduling can only add instructions."""
+        text = self.make_with_stop() * 4
+        out_nodebug, _ = schedule(list(text), debug=False)
+        out_debug, _ = schedule(list(text), debug=True)
+        assert count_insns(out_debug) >= count_insns(out_nodebug)
+
+
+class TestUsesDefs:
+    @pytest.mark.parametrize("insn,uses,defs", [
+        (Insn("add", rd=1, rs=2, rt=3), {2, 3}, {1}),
+        (Insn("addi", rd=1, rs=2, imm=0), {2}, {1}),
+        (Insn("lw", rd=1, rs=2, imm=0), {2}, {1}),
+        (Insn("sw", rd=1, rs=2, imm=0), {1, 2}, set()),
+        (Insn("beq", rd=1, rs=2, imm=0), {1, 2}, set()),
+        (Insn("jal", target=0), set(), {31}),
+        (Insn("jr", rs=31), {31}, set()),
+        (Insn("lui", rd=5, imm=0), set(), {5}),
+        (Insn("nop"), set(), set()),
+    ])
+    def test_tables(self, insn, uses, defs):
+        assert reg_uses(insn) == uses
+        assert reg_defs(insn) == defs
+
+
+class TestSemanticPreservation:
+    """Scheduling must never change program behavior."""
+
+    @pytest.mark.parametrize("debug", [False, True])
+    def test_scheduled_fib_still_correct(self, debug):
+        from .helpers import c_output
+        src = """
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n-1) + fib(n-2);
+        }
+        int main(void) { printf("%d", fib(12)); return 0; }
+        """
+        assert c_output(src, "rmips", debug=debug) == "144"

@@ -1,0 +1,165 @@
+"""Preprocessor tests: macros, includes, conditionals — and the
+paper's Sec. 2 point that one source line can hold many stopping points."""
+
+import pytest
+
+from repro.cc.cpp import Preprocessor, preprocess
+from repro.cc.lexer import CError
+
+from .helpers import c_output
+
+
+class TestObjectMacros:
+    def test_simple_substitution(self):
+        assert preprocess("#define N 10\nint a[N];\n") == "\nint a[10];\n"
+
+    def test_line_numbers_preserved(self):
+        out = preprocess("#define A 1\n#define B 2\nA + B\n")
+        assert out.splitlines()[2] == "1 + 2"
+
+    def test_macro_in_macro(self):
+        src = "#define A 1\n#define B (A + A)\nB\n"
+        assert preprocess(src).splitlines()[2] == "(1 + 1)"
+
+    def test_self_reference_does_not_loop(self):
+        src = "#define X X+1\nX\n"
+        assert preprocess(src).splitlines()[1] == "X+1"
+
+    def test_strings_untouched(self):
+        src = '#define N 10\nchar *s = "N of N";\n'
+        assert '"N of N"' in preprocess(src)
+
+    def test_comments_untouched(self):
+        src = "#define N 10\nint x; /* N */ // N\n"
+        out = preprocess(src)
+        assert "/* N */ // N" in out
+
+    def test_word_boundaries(self):
+        src = "#define N 10\nint NN = N;\n"
+        assert preprocess(src).splitlines()[1] == "int NN = 10;"
+
+    def test_undef(self):
+        src = "#define N 10\n#undef N\nN\n"
+        assert preprocess(src).splitlines()[2] == "N"
+
+    def test_predefines(self):
+        out = preprocess("SIZE\n", defines={"SIZE": "64"})
+        assert out.splitlines()[0] == "64"
+
+
+class TestFunctionMacros:
+    def test_basic_call(self):
+        src = "#define SQ(x) ((x) * (x))\nSQ(4)\n"
+        assert preprocess(src).splitlines()[1] == "((4) * (4))"
+
+    def test_two_parameters(self):
+        src = "#define MAX(a, b) ((a) > (b) ? (a) : (b))\nMAX(x, y+1)\n"
+        assert preprocess(src).splitlines()[1] == \
+            "((x) > (y+1) ? (x) : (y+1))"
+
+    def test_nested_parentheses_in_args(self):
+        src = "#define ID(v) v\nID(f(1, 2))\n"
+        assert preprocess(src).splitlines()[1] == "f(1, 2)"
+
+    def test_name_without_call_left_alone(self):
+        src = "#define F(x) x\nint F;\n"
+        # no parenthesis: not an invocation
+        assert preprocess(src).splitlines()[1] == "int F;"
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(CError):
+            preprocess("#define TWO(a, b) a b\nTWO(1)\n")
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        src = "#define YES 1\n#ifdef YES\nkept\n#else\ndropped\n#endif\n"
+        lines = preprocess(src).splitlines()
+        assert "kept" in lines
+        assert "dropped" not in lines
+
+    def test_ifndef(self):
+        src = "#ifndef NO\nkept\n#endif\n"
+        assert "kept" in preprocess(src)
+
+    def test_nested_conditionals(self):
+        src = ("#define A 1\n#ifdef A\n#ifdef B\ninner\n#else\nmiddle\n"
+               "#endif\n#endif\n")
+        lines = preprocess(src).splitlines()
+        assert "middle" in lines and "inner" not in lines
+
+    def test_inactive_region_skips_directives(self):
+        src = "#ifdef NO\n#define X 1\n#endif\nX\n"
+        assert preprocess(src).splitlines()[3] == "X"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(CError):
+            preprocess("#ifdef A\n")
+
+    def test_stray_endif_raises(self):
+        with pytest.raises(CError):
+            preprocess("#endif\n")
+
+
+class TestIncludes:
+    def test_in_memory_include(self):
+        files = {"defs.h": "#define ANSWER 42\nint helper(int);\n"}
+        src = '#include "defs.h"\nint a = ANSWER;\n'
+        out = preprocess(src, files=files)
+        assert "int helper(int);" in out
+        assert "int a = 42;" in out
+
+    def test_missing_include_raises(self):
+        with pytest.raises(CError):
+            preprocess('#include "nope.h"\n')
+
+    def test_include_macros_persist(self):
+        files = {"n.h": "#define N 7\n"}
+        out = preprocess('#include "n.h"\nint a[N];\n', files=files)
+        assert "int a[7];" in out
+
+
+class TestEndToEnd:
+    def test_compiled_program_with_macros(self):
+        src = r"""
+#define LIMIT 5
+#define SQ(x) ((x) * (x))
+int main(void) {
+    int i, total = 0;
+    for (i = 0; i < LIMIT; i++)
+        total += SQ(i);
+    printf("%d\n", total);
+    return 0;
+}
+"""
+        assert c_output(src) == "30\n"
+
+    def test_macro_gives_multiple_stops_on_one_line(self):
+        """The paper, Sec. 2: because of the C preprocessor, a single
+        source location may correspond to more than one stopping point."""
+        import io
+
+        from repro.cc.driver import compile_and_link
+        from repro.ldb import Ldb
+
+        src = r"""
+#define BUMP total = total + 1; count = count + 1
+int total = 0;
+int count = 0;
+int main(void) {
+    BUMP;             /* line 6: two statements, two stopping points */
+    return total + count;
+}
+"""
+        exe = compile_and_link({"m.c": src}, "rmips", debug=True)
+        ldb = Ldb(stdout=io.StringIO())
+        target = ldb.load_program(exe)
+        hits = target.symtab.stops_for_line("m.c", 6)
+        assert len(hits) == 2
+        # break_at_line plants at both; both hit
+        ldb.break_at_line("m.c", 6)
+        ldb.run_to_stop()
+        assert ldb.evaluate("total") == 0   # before the first statement
+        ldb.run_to_stop()
+        assert ldb.evaluate("total") == 1   # between the two
+        target.kill()

@@ -1,0 +1,98 @@
+"""Declaration round-trips: the expression server's foundation.
+
+The server reconstructs compiler types from the C-token declarations
+ldb sends (paper Sec. 3).  That only works if
+``parse(decl_pattern(T) % name)`` rebuilds a type equal to ``T`` — a
+property we fuzz over randomly generated types.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc.ctypes_ import (
+    ArrayType,
+    FunctionType,
+    PointerType,
+    StructType,
+    TypeSystem,
+    _same,
+)
+from repro.cc.lexer import tokenize
+from repro.cc.parser import Parser
+from repro.cc.pssym import decl_pattern, struct_cdef
+
+TYPES = TypeSystem("rmips")
+
+_SCALARS = [TYPES.char, TYPES.uchar, TYPES.short, TYPES.ushort,
+            TYPES.int, TYPES.uint, TYPES.float, TYPES.double]
+
+
+def random_type(draw, depth):
+    base = draw(st.sampled_from(_SCALARS))
+    t = base
+    for _ in range(draw(st.integers(0, depth))):
+        choice = draw(st.sampled_from(["ptr", "array", "ptr", "array"]))
+        if choice == "ptr":
+            t = PointerType(t)
+        else:
+            t = ArrayType(t, draw(st.integers(1, 40)))
+    return t
+
+
+@st.composite
+def ctype(draw):
+    return random_type(draw, 3)
+
+
+def reparse(decl_text):
+    """Parse `decl_text` as one declaration; return the built type."""
+    parser = Parser(decl_text + ";", "<rt>", TYPES)
+    base, _storage, _out = parser.declaration_specifiers()
+    _name, built, _token = parser.declarator(base)
+    return built
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(ctype())
+    def test_random_types_round_trip(self, t):
+        decl = decl_pattern(t).replace("%s", "v")
+        rebuilt = reparse(decl)
+        assert _same(rebuilt, t), (decl, t, rebuilt)
+
+    @pytest.mark.parametrize("pattern", [
+        "int %s", "char *%s", "unsigned short %s[3]",
+        "double (*%s)[4]", "int **%s", "int (*%s)(int, char *)",
+        "float %s[2][3]",
+    ])
+    def test_known_shapes(self, pattern):
+        rebuilt = reparse(pattern.replace("%s", "v"))
+        again = decl_pattern(rebuilt)
+        assert again == pattern
+
+    def test_struct_via_cdef(self):
+        """Struct types need their definition shipped first (the cdefs
+        the lookup reply carries)."""
+        s = StructType("pair")
+        s.define([("first", TYPES.int), ("second", PointerType(TYPES.char))])
+        cdef = struct_cdef(s)
+        parser = Parser(cdef + "; struct pair v;", "<rt>", TYPES)
+        unit = parser.parse_translation_unit()
+        rebuilt = unit.decls[-1].ctype
+        assert rebuilt.size == s.size
+        assert [f.name for f in rebuilt.fields] == ["first", "second"]
+        assert [f.offset for f in rebuilt.fields] == [0, 4]
+
+    def test_nested_struct_cdefs_compose(self):
+        inner = StructType("inner")
+        inner.define([("a", TYPES.int)])
+        outer = StructType("outer")
+        outer.define([("in_", inner), ("b", TYPES.double)])
+        source = "%s; %s; struct outer v;" % (struct_cdef(inner),
+                                              struct_cdef(outer))
+        parser = Parser(source, "<rt>", TYPES)
+        unit = parser.parse_translation_unit()
+        rebuilt = unit.decls[-1].ctype
+        assert rebuilt.size == outer.size
+        assert rebuilt.field("b").offset == outer.field("b").offset

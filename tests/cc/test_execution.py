@@ -1,0 +1,534 @@
+"""Compile-and-run tests: compiled programs must behave like C.
+
+These cover the code generators end-to-end (parser -> sema -> IR ->
+backend -> linker -> simulator) on every target.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from .helpers import ALL_ARCHES, c_output, run_c, run_main_expr
+
+
+@pytest.fixture(params=ALL_ARCHES)
+def arch(request):
+    return request.param
+
+
+class TestArithmetic:
+    def test_integer_ops(self, arch):
+        src = r"""
+        int main(void) {
+            int a = 17, b = 5;
+            printf("%d %d %d %d %d\n", a + b, a - b, a * b, a / b, a %% b);
+            printf("%d %d %d\n", -a, a << 2, a >> 1);
+            printf("%d %d %d\n", a & b, a | b, a ^ b);
+            return 0;
+        }
+        """.replace("%%", "%")
+        assert c_output(src, arch) == "22 12 85 3 2\n-17 68 8\n1 21 20\n"
+
+    def test_negative_division_truncates(self, arch):
+        assert run_main_expr("(-7 / 2 == -3) + 2*(-7 % 2 == -1)", arch) == 3
+
+    def test_unsigned_arithmetic(self, arch):
+        src = r"""
+        int main(void) {
+            unsigned a = 0x80000000u;
+            unsigned b = 3;
+            printf("%u %u %u\n", a / b, a %% b, a >> 4);
+            printf("%d\n", a > 1000u);
+            return 0;
+        }
+        """.replace("%%", "%")
+        assert c_output(src, arch) == "715827882 2 134217728\n1\n"
+
+    def test_signed_shift_right(self, arch):
+        assert run_main_expr("((-16) >> 2) == -4", arch) == 1
+
+    def test_overflow_wraps(self, arch):
+        assert run_main_expr("(2147483647 + 1 < 0)", arch) == 1
+
+    def test_char_arithmetic(self, arch):
+        src = r"""
+        int main(void) {
+            char c = 'z';
+            signed char s = -1;
+            unsigned char u = 255;
+            printf("%d %d %d\n", c - 'a', s, u);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "25 -1 255\n"
+
+    def test_short_truncation(self, arch):
+        src = r"""
+        int main(void) {
+            short s = 70000;         /* wraps to 70000 - 65536 */
+            unsigned short u = 70000;
+            printf("%d %d\n", s, u);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "4464 4464\n"
+
+
+class TestFloats:
+    def test_double_ops(self, arch):
+        src = r"""
+        int main(void) {
+            double a = 7.5, b = 2.0;
+            printf("%g %g %g %g\n", a + b, a - b, a * b, a / b);
+            printf("%d %d\n", a > b, (int) a);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "9.5 5.5 15 3.75\n1 7\n"
+
+    def test_float_vs_double(self, arch):
+        src = r"""
+        float half(float x) { return x / 2.0; }
+        int main(void) {
+            float f = 3.0;
+            double d = half(f);
+            printf("%g\n", d);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "1.5\n"
+
+    def test_int_float_conversion(self, arch):
+        src = r"""
+        int main(void) {
+            int i = 7;
+            double d = i / 2;      /* integer division, then convert */
+            double e = i / 2.0;    /* float division */
+            printf("%g %g %d\n", d, e, (int) e);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "3 3.5 3\n"
+
+    def test_long_double(self, arch):
+        src = r"""
+        int main(void) {
+            long double x = 1.25;
+            x = x * 4.0;
+            printf("%g\n", (double) x);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "5\n"
+
+
+class TestControlFlow:
+    def test_nested_loops(self, arch):
+        src = r"""
+        int main(void) {
+            int total = 0, i, j;
+            for (i = 0; i < 5; i++)
+                for (j = 0; j <= i; j++)
+                    total += j;
+            printf("%d\n", total);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "20\n"
+
+    def test_break_continue(self, arch):
+        src = r"""
+        int main(void) {
+            int s = 0, i;
+            for (i = 0; i < 100; i++) {
+                if (i == 7) break;
+                if (i % 2) continue;
+                s += i;
+            }
+            printf("%d\n", s);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "12\n"
+
+    def test_do_while(self, arch):
+        src = r"""
+        int main(void) {
+            int n = 0;
+            do { n++; } while (n < 5);
+            printf("%d\n", n);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "5\n"
+
+    def test_switch_fallthrough(self, arch):
+        src = r"""
+        int pick(int c) {
+            int r = 0;
+            switch (c) {
+            case 1: r += 1;
+            case 2: r += 2; break;
+            case 3: r += 4; break;
+            default: r = 99;
+            }
+            return r;
+        }
+        int main(void) {
+            printf("%d %d %d %d\n", pick(1), pick(2), pick(3), pick(7));
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "3 2 4 99\n"
+
+    def test_short_circuit(self, arch):
+        src = r"""
+        int calls = 0;
+        int bump(void) { calls++; return 1; }
+        int main(void) {
+            int r1 = 0 && bump();
+            int r2 = 1 || bump();
+            int r3 = 1 && bump();
+            printf("%d %d %d %d\n", r1, r2, r3, calls);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "0 1 1 1\n"
+
+    def test_ternary(self, arch):
+        assert run_main_expr("(5 > 3 ? 10 : 20) + (1 > 2 ? 100 : 1)", arch) == 11
+
+
+class TestFunctions:
+    def test_recursion(self, arch):
+        src = r"""
+        int ack(int m, int n) {
+            if (m == 0) return n + 1;
+            if (n == 0) return ack(m - 1, 1);
+            return ack(m - 1, ack(m, n - 1));
+        }
+        int main(void) { printf("%d\n", ack(2, 3)); return 0; }
+        """
+        assert c_output(src, arch) == "9\n"
+
+    def test_mutual_recursion(self, arch):
+        src = r"""
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        int main(void) { printf("%d %d\n", is_even(10), is_odd(10)); return 0; }
+        """
+        assert c_output(src, arch) == "1 0\n"
+
+    def test_many_arguments(self, arch):
+        src = r"""
+        int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+            return a + b + c + d + e + f + g + h;
+        }
+        int main(void) { printf("%d\n", sum8(1,2,3,4,5,6,7,8)); return 0; }
+        """
+        assert c_output(src, arch) == "36\n"
+
+    def test_function_pointer(self, arch):
+        src = r"""
+        int twice(int x) { return 2 * x; }
+        int thrice(int x) { return 3 * x; }
+        int main(void) {
+            int (*f)(int);
+            f = twice;
+            printf("%d ", f(10));
+            f = thrice;
+            printf("%d\n", f(10));
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "20 30\n"
+
+    def test_double_args_mixed(self, arch):
+        src = r"""
+        double mix(int a, double b, int c, double d) {
+            return a + b * c - d;
+        }
+        int main(void) { printf("%g\n", mix(1, 2.5, 4, 0.5)); return 0; }
+        """
+        assert c_output(src, arch) == "10.5\n"
+
+    def test_value_preserved_across_call(self, arch):
+        """Register variables must survive calls (callee-saved)."""
+        src = r"""
+        int noisy(void) { return 7; }
+        int main(void) {
+            int keep = 123;
+            int x = noisy();
+            printf("%d %d\n", keep, x);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "123 7\n"
+
+
+class TestPointersAndArrays:
+    def test_pointer_walk(self, arch):
+        src = r"""
+        int main(void) {
+            int a[5];
+            int *p, s = 0;
+            int i;
+            for (i = 0; i < 5; i++) a[i] = i * i;
+            for (p = a; p < a + 5; p++) s += *p;
+            printf("%d\n", s);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "30\n"
+
+    def test_pointer_difference(self, arch):
+        src = r"""
+        int main(void) {
+            int a[10];
+            int *p = &a[7];
+            int *q = &a[2];
+            printf("%d\n", (int)(p - q));
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "5\n"
+
+    def test_string_walk(self, arch):
+        src = r"""
+        int main(void) {
+            char *s = "hello";
+            int n = 0;
+            while (s[n]) n++;
+            printf("%d %c\n", n, s[1]);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "5 e\n"
+
+    def test_two_dimensional_array(self, arch):
+        src = r"""
+        int main(void) {
+            int m[3][4];
+            int i, j, s = 0;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    m[i][j] = i * 10 + j;
+            for (i = 0; i < 3; i++) s += m[i][i];
+            printf("%d %d\n", s, m[2][3]);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "33 23\n"
+
+    def test_out_param(self, arch):
+        src = r"""
+        void divmod(int a, int b, int *q, int *r) { *q = a / b; *r = a % b; }
+        int main(void) {
+            int q, r;
+            divmod(17, 5, &q, &r);
+            printf("%d %d\n", q, r);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "3 2\n"
+
+    def test_global_array_initializer(self, arch):
+        src = r"""
+        int primes[5] = {2, 3, 5, 7, 11};
+        char msg[] = "ok";
+        int main(void) {
+            printf("%d %s\n", primes[3], msg);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "7 ok\n"
+
+
+class TestStructs:
+    def test_member_access_and_copy(self, arch):
+        src = r"""
+        struct point { int x; int y; };
+        int main(void) {
+            struct point a, b;
+            a.x = 3; a.y = 4;
+            b = a;
+            b.y = 40;
+            printf("%d %d %d %d\n", a.x, a.y, b.x, b.y);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "3 4 3 40\n"
+
+    def test_struct_pointers(self, arch):
+        src = r"""
+        struct node { int value; struct node *next; };
+        int main(void) {
+            struct node a, b, c;
+            struct node *p;
+            int s = 0;
+            a.value = 1; a.next = &b;
+            b.value = 2; b.next = &c;
+            c.value = 3; c.next = 0;
+            for (p = &a; p; p = p->next) s += p->value;
+            printf("%d\n", s);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "6\n"
+
+    def test_nested_struct(self, arch):
+        src = r"""
+        struct inner { int a; int b; };
+        struct outer { struct inner in; int c; };
+        int main(void) {
+            struct outer o;
+            o.in.a = 1; o.in.b = 2; o.c = 3;
+            printf("%d\n", o.in.a + o.in.b + o.c);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "6\n"
+
+    def test_array_of_structs(self, arch):
+        src = r"""
+        struct pair { int k; int v; };
+        int main(void) {
+            struct pair table[3];
+            int i, s = 0;
+            for (i = 0; i < 3; i++) { table[i].k = i; table[i].v = i * i; }
+            for (i = 0; i < 3; i++) s += table[i].v;
+            printf("%d\n", s);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "5\n"
+
+    def test_union_overlays(self, arch):
+        src = r"""
+        union both { int i; unsigned char bytes[4]; };
+        int main(void) {
+            union both u;
+            u.i = 0x01020304;
+            printf("%d\n", u.bytes[0] + u.bytes[3]);
+            return 0;
+        }
+        """
+        # 0x01 + 0x04 on either byte order
+        assert c_output(src, arch) == "5\n"
+
+
+class TestStorage:
+    def test_static_locals_persist(self, arch):
+        src = r"""
+        int counter(void) { static int n; n++; return n; }
+        int main(void) {
+            counter(); counter();
+            printf("%d\n", counter());
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "3\n"
+
+    def test_globals_and_statics(self, arch):
+        src = r"""
+        int shared = 10;
+        static int private_ = 20;
+        void bump(void) { shared++; private_ += 2; }
+        int main(void) {
+            bump(); bump();
+            printf("%d %d\n", shared, private_);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "12 24\n"
+
+    def test_scoped_shadowing(self, arch):
+        src = r"""
+        int main(void) {
+            int x = 1;
+            { int x = 2; printf("%d ", x); }
+            printf("%d\n", x);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "2 1\n"
+
+
+class TestIncDec:
+    def test_pre_post(self, arch):
+        src = r"""
+        int main(void) {
+            int i = 5;
+            printf("%d ", i++);
+            printf("%d ", i);
+            printf("%d ", ++i);
+            printf("%d ", i--);
+            printf("%d\n", --i);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "5 6 7 7 5\n"
+
+    def test_pointer_incdec(self, arch):
+        src = r"""
+        int main(void) {
+            int a[3];
+            int *p = a;
+            a[0] = 10; a[1] = 20; a[2] = 30;
+            printf("%d %d\n", *p++, *p);
+            return 0;
+        }
+        """
+        assert c_output(src, arch) == "10 20\n"
+
+    def test_compound_assignment(self, arch):
+        src = r"""
+        int main(void) {
+            int x = 100;
+            x += 5; x -= 2; x *= 2; x /= 3; x %= 50; x <<= 1; x >>= 2;
+            x |= 0x10; x &= 0x1F; x ^= 3;
+            printf("%d\n", x);
+            return 0;
+        }
+        """
+        # 100+5=105, -2=103, *2=206, /3=68, %50=18, <<1=36, >>2=9,
+        # |0x10=25, &0x1F=25, ^3=26
+        assert c_output(src, arch) == "26\n"
+
+
+class TestExitStatus:
+    def test_main_return_value(self, arch):
+        run_c("int main(void) { return 42; }", arch, expect_status=42)
+
+    def test_exit_call(self, arch):
+        run_c("int main(void) { exit(7); return 0; }", arch, expect_status=7)
+
+
+class TestPropertyArithmetic:
+    """Compiled C arithmetic must match the C abstract machine."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000),
+           st.sampled_from(["+", "-", "*", "|", "&", "^"]))
+    def test_binary_ops_match(self, a, b, op):
+        expected = eval("(%d) %s (%d)" % (a, op, b)) & 0xFF
+        assert run_main_expr("(%d) %s (%d)" % (a, op, b)) == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(-10000, 10000), st.integers(1, 100))
+    def test_division_matches(self, a, b):
+        import math
+        quotient = int(math.trunc(a / b))
+        remainder = a - quotient * b
+        expected = ((quotient & 0xFF) + (remainder & 0xFF)) & 0xFF
+        got = run_main_expr("((%d) / (%d) & 0xff) + ((%d) %% (%d) & 0xff)"
+                            % (a, b, a, b))
+        assert got == expected & 0xFF or got == (expected & 0x1FF) & 0xFF
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(0, 20))
+    def test_shifts_match(self, a, s):
+        expected = ((a << s) & 0xFFFFFFFF) >> 24 & 0xFF
+        got = run_main_expr("((unsigned)%d << %d) >> 24" % (a, s))
+        assert got == expected

@@ -1,0 +1,124 @@
+"""IR generation tests: stopping points and operator shapes."""
+
+import pytest
+
+from repro.cc.ctypes_ import TypeSystem
+from repro.cc.ir import all_operators
+from repro.cc.irgen import IRGen
+from repro.cc.parser import parse
+from repro.cc.sema import Sema
+
+
+def lower(source, arch="rmips"):
+    types = TypeSystem(arch)
+    ast = parse(source, "t.c", types)
+    info = Sema(types, "t.c").analyze(ast)
+    return IRGen(types, info).generate(ast)
+
+
+FIB = """void fib(int n)
+{
+    static int a[20];
+    if (n > 20) n = 20;
+    a[0] = a[1] = 1;
+    {   int i;
+        for (i=2; i<n; i++)
+            a[i] = a[i-1] + a[i-2];
+    }
+    {   int j;
+        for (j=0; j<n; j++)
+            printf("%d ", a[j]);
+    }
+    printf("\\n");
+}
+"""
+
+
+class TestStoppingPoints:
+    """Fig. 1's numbering: 14 stopping points for fib, 0 at the opening
+    brace and 13 at the closing brace; for-loops number init, cond,
+    body, incr in that order."""
+
+    def test_fib_has_fourteen_stops(self):
+        unit = lower(FIB)
+        assert len(unit.functions[0].stops) == 14
+
+    def test_entry_and_exit_stops(self):
+        unit = lower(FIB)
+        stops = unit.functions[0].stops
+        assert stops[0].index == 0
+        assert stops[13].pos.line == 15  # the closing brace
+
+    def test_for_loop_stop_order(self):
+        """init=4, cond=5, body=6, incr=7 — matching the paper."""
+        unit = lower(FIB)
+        stops = unit.functions[0].stops
+        assert stops[4].pos.line == 7    # i=2
+        assert stops[5].pos.line == 7    # i<n
+        assert stops[6].pos.line == 8    # the body statement
+        assert stops[7].pos.line == 7    # i++
+
+    def test_stop_chain_visibility(self):
+        """From point 9 (j<n), j, a, n are visible via uplinks."""
+        unit = lower(FIB)
+        stops = unit.functions[0].stops
+        chain = stops[9].chain
+        names = []
+        while chain is not None:
+            names.append(chain.name)
+            chain = chain.uplink
+        assert names == ["j", "a", "n"]
+
+    def test_every_statement_gets_a_stop(self):
+        unit = lower("""
+        int f(int x) {
+            x = x + 1;
+            if (x) x = 2;
+            while (x > 5) x--;
+            return x;
+        }
+        """)
+        # entry, assign, if-cond, then-stmt, while-cond, body-stmt,
+        # return, exit
+        assert len(unit.functions[0].stops) == 8
+
+    def test_stop_labels_are_unique(self):
+        unit = lower(FIB + "\nint main(void) { fib(10); return 0; }")
+        labels = [s.label for fn in unit.functions for s in fn.stops]
+        assert len(labels) == len(set(labels))
+
+    def test_declarations_get_no_stops(self):
+        unit = lower("void f(void) { int a; int b; a = 1; }")
+        # entry, the assignment, exit
+        assert len(unit.functions[0].stops) == 3
+
+
+class TestIRShapes:
+    def test_operator_vocabulary_size(self):
+        """lcc's IR has 112 operators (paper Sec. 5); ours is the same
+        order of magnitude."""
+        count = len(all_operators())
+        assert 100 <= count <= 160
+
+    def test_string_literals_deduplicated(self):
+        unit = lower('int main(void) { printf("x"); printf("x"); return 0; }')
+        assert len([1 for _label, text in unit.strings if text == "x"]) == 1
+
+    def test_register_hint_survives(self):
+        unit = lower("void f(void) { register int i; i = 1; }")
+        (func,) = unit.functions
+        assert func.locals[0].sclass == "register"
+
+    def test_temps_are_marked(self):
+        unit = lower("int f(int a) { return a > 0 && a < 10; }")
+        temps = [s for s in unit.functions[0].locals if s.name.startswith(".")]
+        assert temps  # the boolean value needs a temporary
+
+    def test_struct_copy_expands_to_word_moves(self):
+        unit = lower("""
+        struct s { int a; int b; int c; };
+        void f(void) { struct s x, y; x = y; }
+        """)
+        body = unit.functions[0].body
+        stores = [n for n in body if n.op == "ASGN" and n.kind == "i4"]
+        assert len(stores) >= 3  # three word copies (plus temp setup)

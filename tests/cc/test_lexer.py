@@ -1,0 +1,115 @@
+"""C lexer tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cc.lexer import CError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_identifiers_and_keywords(self):
+        assert kinds("int foo") == [("keyword", "int"), ("id", "foo")]
+
+    def test_underscore_identifier(self):
+        assert kinds("_x_1")[0] == ("id", "_x_1")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b", "f.c")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+        assert tokens[0].filename == "f.c"
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("src,value", [
+        ("42", 42), ("0", 0), ("0x1f", 31), ("0X1F", 31),
+        ("010", 8), ("123u", 123), ("123L", 123), ("0xFFul", 255),
+    ])
+    def test_integers(self, src, value):
+        assert kinds(src) == [("int", value)]
+
+    @pytest.mark.parametrize("src,value", [
+        ("1.5", 1.5), ("0.25", 0.25), (".5", 0.5), ("1e3", 1000.0),
+        ("1.5e-2", 0.015), ("2.5f", 2.5),
+    ])
+    def test_floats(self, src, value):
+        assert kinds(src) == [("float", value)]
+
+    def test_int_then_dot_member(self):
+        """3 . x must not parse as a float."""
+        assert [k for k, _ in kinds("a.x")] == ["id", "punct", "id"]
+
+
+class TestCharsAndStrings:
+    @pytest.mark.parametrize("src,value", [
+        ("'a'", ord("a")), ("'\\n'", 10), ("'\\0'", 0), ("'\\x41'", 65),
+        ("'\\101'", 65), ("'\\''", 39),
+    ])
+    def test_char_constants(self, src, value):
+        assert kinds(src) == [("int", value)]
+
+    def test_string(self):
+        assert kinds('"hi there"') == [("string", "hi there")]
+
+    def test_string_escapes(self):
+        assert kinds(r'"a\tb\n"') == [("string", "a\tb\n")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(CError):
+            tokenize('"oops')
+
+    def test_unterminated_char(self):
+        with pytest.raises(CError):
+            tokenize("'a")
+
+
+class TestPunctuation:
+    def test_three_char(self):
+        assert kinds("<<= >>= ...") == [("punct", "<<="), ("punct", ">>="),
+                                        ("punct", "...")]
+
+    def test_two_char(self):
+        text = "<< >> <= >= == != && || ++ -- -> += -="
+        assert all(k == "punct" for k, _ in kinds(text))
+
+    def test_maximal_munch(self):
+        assert [v for _, v in kinds("a+++b")] == ["a", "++", "+", "b"]
+
+    def test_stray_character(self):
+        with pytest.raises(CError):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_block_comment(self):
+        assert kinds("a /* junk */ b") == [("id", "a"), ("id", "b")]
+
+    def test_block_comment_multiline_tracks_lines(self):
+        tokens = tokenize("/* a\nb */ x")
+        assert tokens[0].line == 2
+
+    def test_line_comment(self):
+        assert kinds("a // junk\nb") == [("id", "a"), ("id", "b")]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CError):
+            tokenize("/* oops")
+
+
+class TestProperties:
+    @given(st.integers(0, 2**31 - 1))
+    def test_decimal_round_trip(self, n):
+        assert kinds(str(n)) == [("int", n)]
+
+    @given(st.text(alphabet="abcdefgh_", min_size=1, max_size=20))
+    def test_identifier_round_trip(self, name):
+        tokens = kinds(name)
+        assert len(tokens) == 1 and tokens[0][1] == name

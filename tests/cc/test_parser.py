@@ -1,0 +1,252 @@
+"""Parser tests: declarations, declarators, statements, expressions."""
+
+import pytest
+
+from repro.cc import tree
+from repro.cc.ctypes_ import (
+    ArrayType,
+    EnumType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    UnionType,
+)
+from repro.cc.lexer import CError
+from repro.cc.parser import Parser, parse
+
+
+def first_decl(source):
+    unit = parse(source)
+    return unit.decls[0]
+
+
+def parse_expr(source):
+    parser = Parser(source)
+    return parser.expression()
+
+
+class TestDeclarations:
+    def test_simple_int(self):
+        decl = first_decl("int x;")
+        assert decl.name == "x" and isinstance(decl.ctype, IntType)
+
+    def test_qualified_types(self):
+        assert str(first_decl("unsigned short s;").ctype) == "unsigned short"
+        assert str(first_decl("long double d;").ctype) == "long double"
+        assert str(first_decl("signed char c;").ctype) == "char"
+
+    def test_pointer(self):
+        decl = first_decl("char *p;")
+        assert isinstance(decl.ctype, PointerType)
+        assert decl.ctype.ref.size == 1
+
+    def test_pointer_to_pointer(self):
+        decl = first_decl("int **pp;")
+        assert isinstance(decl.ctype.ref, PointerType)
+
+    def test_array(self):
+        decl = first_decl("int a[20];")
+        assert isinstance(decl.ctype, ArrayType)
+        assert decl.ctype.count == 20 and decl.ctype.size == 80
+
+    def test_array_of_arrays(self):
+        decl = first_decl("int m[2][3];")
+        assert decl.ctype.count == 2
+        assert decl.ctype.elem.count == 3
+        assert decl.ctype.size == 24
+
+    def test_array_size_constant_expr(self):
+        decl = first_decl("int a[4*5];")
+        assert decl.ctype.count == 20
+
+    def test_function_pointer(self):
+        decl = first_decl("int (*f)(int);")
+        assert isinstance(decl.ctype, PointerType)
+        assert isinstance(decl.ctype.ref, FunctionType)
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, *b, c[3];")
+        assert isinstance(unit.decls[0].ctype, IntType)
+        assert isinstance(unit.decls[1].ctype, PointerType)
+        assert isinstance(unit.decls[2].ctype, ArrayType)
+
+    def test_storage_classes(self):
+        assert first_decl("static int x;").storage == "static"
+        assert first_decl("extern int y;").storage == "extern"
+        assert first_decl("register int z;").storage == "register"
+
+    def test_initializers(self):
+        decl = first_decl("int a[3] = {1, 2, 3};")
+        assert isinstance(decl.init, list) and len(decl.init) == 3
+
+    def test_conflicting_storage_rejected(self):
+        with pytest.raises(CError):
+            parse("static extern int x;")
+
+
+class TestStructsUnionsEnums:
+    def test_struct_definition(self):
+        decl = first_decl("struct point { int x; int y; } p;")
+        stype = decl.ctype
+        assert isinstance(stype, StructType)
+        assert stype.size == 8
+        assert stype.field("y").offset == 4
+
+    def test_struct_alignment(self):
+        decl = first_decl("struct s { char c; int i; } v;")
+        assert decl.ctype.field("i").offset == 4
+        assert decl.ctype.size == 8
+
+    def test_struct_tag_reference(self):
+        unit = parse("struct point { int x; int y; }; struct point p;")
+        assert unit.decls[0].ctype.tag == "point"
+
+    def test_self_referential_struct(self):
+        decl = first_decl("struct node { int v; struct node *next; } n;")
+        next_type = decl.ctype.field("next").ctype
+        assert next_type.ref is decl.ctype
+
+    def test_union(self):
+        decl = first_decl("union u { int i; double d; } v;")
+        assert isinstance(decl.ctype, UnionType)
+        assert decl.ctype.size == 8
+        assert decl.ctype.field("d").offset == 0
+
+    def test_enum(self):
+        unit = parse("enum color { RED, GREEN = 5, BLUE } c;")
+        consts = [d for d in unit.decls if d.storage == "enumconst"]
+        assert [(d.name, d.init.value) for d in consts] == [
+            ("RED", 0), ("GREEN", 5), ("BLUE", 6)]
+
+    def test_enum_constant_in_array_size(self):
+        decl = parse("enum { N = 7 }; int a[N];").decls[-1]
+        assert decl.ctype.count == 7
+
+    def test_typedef(self):
+        unit = parse("typedef unsigned long word; word w;")
+        assert unit.decls[-1].ctype.size == 4
+        assert not unit.decls[-1].ctype.signed
+
+    def test_typedef_of_struct(self):
+        unit = parse("typedef struct point { int x; int y; } Point; Point p;")
+        assert isinstance(unit.decls[-1].ctype, StructType)
+
+    def test_typedef_shadowed_by_variable(self):
+        # after `int word;` in an inner scope, word is not a type there
+        source = "typedef int word; int f(void) { int word; word = 1; return word; }"
+        unit = parse(source)  # must not raise
+        assert isinstance(unit.decls[-1], tree.FuncDef)
+
+
+class TestFunctions:
+    def test_definition(self):
+        fn = first_decl("int add(int a, int b) { return a + b; }")
+        assert isinstance(fn, tree.FuncDef)
+        assert [p for p, _ in fn.ftype.params] == ["a", "b"]
+
+    def test_void_params(self):
+        fn = first_decl("int f(void) { return 0; }")
+        assert fn.ftype.params == []
+
+    def test_varargs_prototype(self):
+        decl = first_decl("int printf(char *fmt, ...);")
+        assert decl.ctype.varargs
+
+    def test_array_param_decays(self):
+        fn = first_decl("int f(int a[10]) { return a[0]; }")
+        assert isinstance(fn.ftype.params[0][1], PointerType)
+
+    def test_end_pos_is_closing_brace(self):
+        fn = first_decl("int f(void)\n{\n  return 0;\n}")
+        assert fn.end_pos.line == 4
+
+
+class TestStatements:
+    def wrap(self, body):
+        fn = first_decl("void f(void) { %s }" % body)
+        return fn.body.items
+
+    def test_if_else(self):
+        (stmt,) = self.wrap("if (1) ; else ;")
+        assert isinstance(stmt, tree.If) and stmt.els is not None
+
+    def test_dangling_else(self):
+        (stmt,) = self.wrap("if (1) if (2) ; else ;")
+        assert stmt.els is None
+        assert stmt.then.els is not None
+
+    def test_loops(self):
+        items = self.wrap("while (1) ; do ; while (0); for (;;) break;")
+        assert isinstance(items[0], tree.While)
+        assert isinstance(items[1], tree.DoWhile)
+        assert isinstance(items[2], tree.For)
+        assert items[2].cond is None
+
+    def test_switch(self):
+        (stmt,) = self.wrap("switch (1) { case 1: break; default: break; }")
+        assert isinstance(stmt, tree.Switch)
+
+    def test_return_value(self):
+        fn = first_decl("int f(void) { return 42; }")
+        assert isinstance(fn.body.items[0].value, tree.IntLit)
+
+    def test_local_declarations_in_nested_blocks(self):
+        fn = first_decl("void f(void) { int i; { int j; } }")
+        assert isinstance(fn.body.items[0], tree.VarDecl)
+        inner = fn.body.items[1]
+        assert isinstance(inner.items[0], tree.VarDecl)
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_associativity(self):
+        e = parse_expr("1 - 2 - 3")
+        assert e.left.op == "-"
+
+    def test_assignment_right_assoc(self):
+        e = parse_expr("a = b = c")
+        assert isinstance(e.value, tree.Assign)
+
+    def test_conditional(self):
+        e = parse_expr("a ? b : c ? d : e")
+        assert isinstance(e.els, tree.Cond)
+
+    def test_unary_chain(self):
+        e = parse_expr("!*p")
+        assert e.op == "!" and e.operand.op == "*"
+
+    def test_postfix_chain(self):
+        e = parse_expr("a.b[2]->c")
+        assert isinstance(e, tree.Member) and e.arrow
+
+    def test_call_args(self):
+        e = parse_expr("f(1, 2, 3)")
+        assert isinstance(e, tree.Call) and len(e.args) == 3
+
+    def test_cast_vs_parens(self):
+        parser = Parser("(int)x + (y)")
+        e = parser.expression()
+        assert isinstance(e.left, tree.Cast)
+        assert isinstance(e.right, tree.Ident)
+
+    def test_sizeof_type_and_expr(self):
+        assert isinstance(parse_expr("sizeof(int)"), tree.SizeofType)
+        e = parse_expr("sizeof x")
+        assert isinstance(e, tree.Unary) and e.op == "sizeof"
+
+    def test_string_concatenation(self):
+        e = parse_expr('"ab" "cd"')
+        assert e.value == "abcd"
+
+    def test_comma(self):
+        e = parse_expr("a, b")
+        assert isinstance(e, tree.Comma)
+
+    def test_error_position(self):
+        with pytest.raises(CError) as info:
+            parse("int f(void) {\n  return $;\n}")
+        assert info.value.line == 2

@@ -1,0 +1,136 @@
+"""Scheduler correctness fuzz: delay slots must be invisible.
+
+The rmips simulator enforces load-delay semantics, so the scheduler's
+job is to make programs behave as if loads completed immediately.  We
+generate random instruction sequences, compute the intended result on
+an idealized machine (loads commit at once), schedule the sequence, run
+it on the real delay-slot machine, and require identical final state.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc.asmsched import schedule
+from repro.machines import Cpu, TargetMemory, get_arch
+from repro.machines.isa import Insn, Label
+
+ARCH = get_arch("rmips")
+
+# registers the generator uses (r8-r15: the compiler's temporaries)
+REGS = list(range(8, 16))
+BASE = 0x1000  # a scratch data region
+
+
+@st.composite
+def instruction(draw):
+    kind = draw(st.sampled_from(["alu", "alu", "alu", "load", "store",
+                                 "imm"]))
+    rd = draw(st.sampled_from(REGS))
+    rs = draw(st.sampled_from(REGS))
+    rt = draw(st.sampled_from(REGS))
+    slot = draw(st.integers(0, 7)) * 4
+    if kind == "alu":
+        op = draw(st.sampled_from(["add", "sub", "and", "or", "xor"]))
+        return Insn(op, rd=rd, rs=rs, rt=rt)
+    if kind == "imm":
+        return Insn("addi", rd=rd, rs=rs, imm=draw(st.integers(-50, 50)))
+    if kind == "load":
+        return Insn("lw", rd=rd, rs=0, imm=BASE + slot)
+    return Insn("sw", rd=rd, rs=0, imm=BASE + slot)
+
+
+@st.composite
+def sequence(draw):
+    insns = draw(st.lists(instruction(), min_size=2, max_size=20))
+    # sprinkle stopping-point labels between instructions
+    out = []
+    for index, insn in enumerate(insns):
+        if draw(st.booleans()):
+            out.append(Label("f.S%d" % index, stop_index=index))
+        out.append(insn)
+    return out
+
+
+def run_ideal(text):
+    """Execute with loads committing immediately (the intended meaning)."""
+    regs = {r: (r * 1234567) & 0xFFFFFFFF for r in REGS}
+    regs[0] = 0
+    memory = {BASE + 4 * i: (i * 271828) & 0xFFFFFFFF for i in range(8)}
+    for item in text:
+        if isinstance(item, Label):
+            continue
+        op = item.op
+        if op == "nop":
+            continue
+        if op == "lw":
+            regs[item.rd] = memory[item.imm]
+        elif op == "sw":
+            memory[item.imm] = regs[item.rd]
+        elif op == "addi":
+            regs[item.rd] = (regs[item.rs] + item.imm) & 0xFFFFFFFF
+        else:
+            a, b = regs[item.rs], regs[item.rt]
+            value = {"add": a + b, "sub": a - b, "and": a & b,
+                     "or": a | b, "xor": a ^ b}[op]
+            regs[item.rd] = value & 0xFFFFFFFF
+    return {r: regs[r] for r in REGS}, memory
+
+
+def run_real(text):
+    """Execute on the real CPU with delay-slot enforcement."""
+    mem = TargetMemory(1 << 16, "big")
+    cpu = Cpu(ARCH, mem)
+    for r in REGS:
+        cpu.regs[r] = (r * 1234567) & 0xFFFFFFFF
+    for i in range(8):
+        mem.write_u32(BASE + 4 * i, (i * 271828) & 0xFFFFFFFF)
+    address = 0x4000
+    for item in text:
+        if isinstance(item, Label):
+            continue
+        mem.write_bytes(address, ARCH.encode(item))
+        address += 4
+    end = address
+    cpu.pc = 0x4000
+    while cpu.pc < end:
+        cpu.step()
+    # execute one trailing nop so a load in the final slot commits
+    mem.write_bytes(end, ARCH.nop_bytes)
+    cpu.step()
+    regs = {r: cpu.regs[r] for r in REGS}
+    memory = {BASE + 4 * i: mem.read_u32(BASE + 4 * i) for i in range(8)}
+    return regs, memory
+
+
+class TestSchedulerEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(sequence(), st.booleans())
+    def test_scheduled_code_matches_ideal_semantics(self, text, debug):
+        expected_regs, expected_mem = run_ideal(text)
+        scheduled, _stats = schedule(list(text), debug=debug)
+        got_regs, got_mem = run_real(scheduled)
+        assert got_regs == expected_regs
+        assert got_mem == expected_mem
+
+    @settings(max_examples=60, deadline=None)
+    @given(sequence())
+    def test_restricted_never_reorders_across_stops(self, text):
+        """With -g, no instruction may cross a stopping-point label."""
+        scheduled, _stats = schedule(list(text), debug=True)
+
+        def regions(items):
+            out = [[]]
+            for item in items:
+                if isinstance(item, Label) and item.stop_index is not None:
+                    out.append([])
+                elif isinstance(item, Insn) and item.op != "nop":
+                    out[-1].append(item)
+            return out
+
+        before = regions(text)
+        after = regions(scheduled)
+        assert len(before) == len(after)
+        for original, rescheduled in zip(before, after):
+            assert sorted(id(i) for i in original) == \
+                sorted(id(i) for i in rescheduled)

@@ -1,0 +1,134 @@
+"""Semantic analysis tests: typing, scope chains, error reporting."""
+
+import pytest
+
+from repro.cc.ctypes_ import PointerType, TypeSystem
+from repro.cc.lexer import CError
+from repro.cc.parser import parse
+from repro.cc.sema import Sema
+
+
+def analyze(source, arch="rmips"):
+    types = TypeSystem(arch)
+    ast = parse(source, "t.c", types)
+    return Sema(types, "t.c").analyze(ast)
+
+
+class TestScopeChains:
+    """The uplink tree of paper Fig. 2."""
+
+    FIB = """
+    void fib(int n)
+    {
+        static int a[20];
+        if (n > 20) n = 20;
+        a[0] = a[1] = 1;
+        { int i;
+          for (i=2; i<n; i++) a[i] = a[i-1] + a[i-2];
+        }
+        { int j;
+          for (j=0; j<n; j++) printf("%d ", a[j]);
+        }
+        printf("\\n");
+    }
+    """
+
+    def test_uplinks_form_a_tree(self):
+        info = analyze(self.FIB).functions[0]
+        syms = {s.name: s for s in info.params + info.locals + info.statics}
+        assert syms["i"].uplink is syms["a"]
+        assert syms["j"].uplink is syms["a"]   # sibling blocks share uplink
+        assert syms["a"].uplink is syms["n"]
+        assert syms["n"].uplink is None
+
+    def test_param_chain(self):
+        info = analyze("int f(int a, int b, int c) { return a; }").functions[0]
+        chain = info.param_chain
+        assert chain.name == "c"
+        assert chain.uplink.name == "b"
+        assert chain.uplink.uplink.name == "a"
+
+    def test_statics_recorded(self):
+        info = analyze(self.FIB).functions[0]
+        assert [s.name for s in info.statics] == ["a"]
+        assert info.statics[0].label.startswith("_a_")
+
+    def test_shadowing_gets_two_symbols(self):
+        info = analyze("void f(void) { int x; { int x; x = 1; } x = 2; }").functions[0]
+        assert len([s for s in info.locals if s.name == "x"]) == 2
+
+
+class TestTyping:
+    def test_usual_arithmetic_conversions(self):
+        types = TypeSystem()
+        assert types.usual_arith(types.char, types.short) is types.int
+        assert types.usual_arith(types.int, types.uint) is types.uint
+        assert types.usual_arith(types.int, types.double) is types.double
+        assert types.usual_arith(types.float, types.float) is types.float
+
+    def test_long_double_size_depends_on_target(self):
+        assert TypeSystem("rm68k").ldouble.size == 10
+        assert TypeSystem("rmips").ldouble.size == 8
+
+    def test_implicit_function_declaration(self):
+        info = analyze("int main(void) { return mystery(1); }")
+        # C89: calling an unknown function implicitly declares int f()
+        assert info.functions[0].symbol.name == "main"
+
+    def test_builtin_printf_varargs(self):
+        analyze('int main(void) { printf("%d %s", 1, "x"); return 0; }')
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("int main(void) { return x; }", "undeclared"),
+        ("int main(void) { 1 = 2; return 0; }", "non-lvalue"),
+        ("int main(void) { int a[3]; a = 0; return 0; }", "array"),
+        ("void f(void) { return 1; }", "void"),
+        ("int f(void) { return; }", "without a value"),
+        ("int main(void) { int x; return *x; }", "dereference"),
+        ("struct s { int a; }; int main(void) { struct s v; return v.b; }",
+         "no member"),
+        ("int main(void) { void *p; return *p; }", "void"),
+        ("int f(int a) { return a(); }", "non-function"),
+        ("int main(void) { double d; return d % 2; }", "integer"),
+    ])
+    def test_rejected(self, source, fragment):
+        with pytest.raises(CError) as info:
+            analyze(source)
+        assert fragment in str(info.value)
+
+    def test_wrong_argument_count(self):
+        with pytest.raises(CError):
+            analyze("int f(int a) { return a; } int main(void) { return f(1, 2); }")
+
+    def test_break_outside_loop_rejected_in_irgen(self):
+        from repro.cc.irgen import IRGen
+        types = TypeSystem()
+        ast = parse("int main(void) { break; return 0; }", "t.c", types)
+        info = Sema(types, "t.c").analyze(ast)
+        with pytest.raises(CError):
+            IRGen(types, info).generate(ast)
+
+
+class TestChainAt:
+    def test_statement_chains_recorded(self):
+        source = """
+        void f(int n) {
+            int a;
+            a = 1;
+            { int b;
+              b = 2;
+            }
+            a = 3;
+        }
+        """
+        info = analyze(source).functions[0]
+        # every recorded chain must be a declared symbol or None
+        names = {s.name for s in info.params + info.locals}
+        for chain in info.chain_at.values():
+            if chain is not None:
+                assert chain.name in names
+        recorded = [c.name if c else None for c in info.chain_at.values()]
+        assert "a" in recorded   # the statement after `int a`
+        assert "b" in recorded   # inside the block

@@ -1,0 +1,123 @@
+"""Stabs emission tests: the machine-dependent baseline format."""
+
+import struct
+
+import pytest
+
+from repro.cc.ctypes_ import TypeSystem
+from repro.cc.driver import compile_unit
+from repro.cc import stabs
+
+
+def emit(source, arch="rmips"):
+    compiled = compile_unit(source, "t.c", arch, debug=True)
+    return compiled.unit.stabs
+
+
+def parse(blob):
+    count, str_size = struct.unpack("<II", blob[:8])
+    records = []
+    offset = 8
+    strtab = blob[8 + 12 * count :]
+    for _ in range(count):
+        strx, ntype, _other, desc, value = struct.unpack(
+            "<IBBhI", blob[offset : offset + 12])
+        offset += 12
+        end = strtab.index(b"\0", strx)
+        records.append((strtab[strx:end].decode(), ntype, desc, value))
+    return records
+
+
+FIB = """void fib(int n)
+{
+    static int a[20];
+    {   int i;
+        for (i=2; i<n; i++) a[i] = 1;
+    }
+}
+int main(void) { fib(10); return 0; }
+"""
+
+
+class TestFormat:
+    def test_binary_layout_round_trips(self):
+        records = parse(emit(FIB))
+        assert records  # parses cleanly end to end
+
+    def test_source_file_stab(self):
+        records = parse(emit(FIB))
+        assert records[0] == ("t.c", stabs.N_SO, 0, 0)
+
+    def test_function_stabs(self):
+        records = parse(emit(FIB))
+        funs = [r for r in records if r[1] == stabs.N_FUN]
+        names = [r[0].split(":")[0] for r in funs]
+        assert names == ["fib", "main"]
+        assert all(":F" in r[0] for r in funs)
+
+    def test_parameter_and_local_stabs(self):
+        records = parse(emit(FIB))
+        params = [r for r in records if r[1] == stabs.N_PSYM]
+        assert any(r[0].startswith("n:p") for r in params)
+        locals_ = [r for r in records
+                   if r[1] in (stabs.N_LSYM, stabs.N_RSYM)
+                   and r[0].startswith("i:")]
+        assert locals_
+
+    def test_register_variable_stab(self):
+        """Register variables get N_RSYM with the register number."""
+        records = parse(emit(FIB, "rmips"))
+        rsyms = [r for r in records if r[1] == stabs.N_RSYM]
+        assert rsyms
+        assert all(":r" in r[0] for r in rsyms)
+
+    def test_static_stab(self):
+        records = parse(emit(FIB))
+        lcsyms = [r for r in records if r[1] == stabs.N_LCSYM]
+        assert any(r[0].startswith("a:") for r in lcsyms)
+
+    def test_line_number_stabs(self):
+        """One N_SLINE per stopping point."""
+        records = parse(emit(FIB))
+        slines = [r for r in records if r[1] == stabs.N_SLINE]
+        assert len(slines) >= 8
+        assert all(r[2] > 0 for r in slines)  # desc = line number
+
+    def test_type_definitions_shared(self):
+        """`int` gets one type stab, referenced by number thereafter."""
+        records = parse(emit(FIB))
+        int_defs = [r for r in records if r[0].startswith("int:t")]
+        assert len(int_defs) == 1
+
+    def test_stabs_much_smaller_than_postscript(self):
+        compiled = compile_unit(FIB, "t.c", "rmips", debug=True)
+        assert len(compiled.unit.stabs) * 3 < len(compiled.unit.pssym)
+
+
+class TestTypeGrammar:
+    def test_int_range(self):
+        records = parse(emit("int g; int main(void){return 0;}"))
+        int_def = next(r[0] for r in records if r[0].startswith("int:t"))
+        assert "-2147483648;2147483647;" in int_def
+
+    def test_pointer_and_array(self):
+        src = "int a[4]; int *p; int main(void){return 0;}"
+        records = parse(emit(src))
+        texts = [r[0] for r in records]
+        assert any("=ar1;0;3;" in t for t in texts)  # the array type
+        assert any("=*" in t for t in texts)          # the pointer type
+
+    def test_struct_fields_with_bit_offsets(self):
+        src = ("struct p { int x; int y; };\nstruct p g;\n"
+               "int main(void){return 0;}")
+        records = parse(emit(src))
+        struct_def = next(t for t, *_ in records if "=s8" in t)
+        assert "x:" in struct_def and ",0,32;" in struct_def
+        assert "y:" in struct_def and ",32,32;" in struct_def
+
+    def test_enum_tags(self):
+        src = ("enum c { RED, BLUE = 9 };\nenum c g;\n"
+               "int main(void){return 0;}")
+        records = parse(emit(src))
+        enum_def = next(t for t, *_ in records if "=e" in t)
+        assert "RED:0," in enum_def and "BLUE:9," in enum_def

@@ -1,0 +1,155 @@
+"""Cross-architecture equivalence: one C program, five identical runs.
+
+The deepest property behind the paper: the same compiled semantics on
+every target, so the same debugger behaviors hold everywhere.  These
+hypothesis tests generate random expression trees, compile them for
+every architecture, and require bit-identical program output.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from ..cc.helpers import ALL_ARCHES, run_c
+
+# -- random C expression generator -------------------------------------------
+
+
+def int_expr(depth):
+    if depth <= 0:
+        return st.one_of(
+            st.integers(-100, 100).map(str),
+            st.sampled_from(["x", "y", "z"]),
+        )
+    smaller = int_expr(depth - 1)
+    return st.one_of(
+        smaller,
+        st.tuples(st.sampled_from(["+", "-", "*", "&", "|", "^"]),
+                  smaller, smaller).map(lambda t: "(%s %s %s)" % (t[1], t[0], t[2])),
+        st.tuples(st.sampled_from(["<<", ">>"]), smaller,
+                  st.integers(0, 8)).map(
+                      lambda t: "(%s %s %d)" % (t[1], t[0], t[2])),
+        st.tuples(st.sampled_from(["<", ">", "<=", ">=", "==", "!="]),
+                  smaller, smaller).map(
+                      lambda t: "(%s %s %s)" % (t[1], t[0], t[2])),
+        st.tuples(smaller, smaller, smaller).map(
+            lambda t: "(%s ? %s : %s)" % t),
+        st.tuples(smaller, st.integers(1, 50)).map(
+            lambda t: "(%s / %d)" % t),
+        st.tuples(smaller, st.integers(1, 50)).map(
+            lambda t: "(%s %% %d)" % t),
+    )
+
+
+def program_for(expression):
+    return """
+    int x = 11, y = -7, z = 3;
+    int main(void) {
+        printf("%%d\\n", %s);
+        return 0;
+    }
+    """ % expression
+
+
+class TestExpressionEquivalence:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(int_expr(3))
+    def test_same_output_everywhere(self, expression):
+        source = program_for(expression)
+        reference = None
+        for arch in ("rmips", "rvax"):   # one RISC-BE, one CISC-LE
+            status, output = run_c(source, arch)
+            if reference is None:
+                reference = output
+            assert output == reference, (arch, expression)
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(int_expr(2))
+    def test_all_five_targets_agree(self, expression):
+        source = program_for(expression)
+        outputs = {arch: run_c(source, arch)[1] for arch in ALL_ARCHES}
+        assert len(set(outputs.values())) == 1, (expression, outputs)
+
+
+class TestProgramEquivalence:
+    """Whole programs with control flow must agree across targets."""
+
+    PROGRAMS = [
+        # collatz steps
+        """
+        int main(void) {
+            int n = 27, steps = 0;
+            while (n != 1) {
+                if (n % 2) n = 3 * n + 1; else n = n / 2;
+                steps++;
+            }
+            printf("%d\\n", steps);
+            return 0;
+        }
+        """,
+        # string reversal in place
+        """
+        char buf[16] = "retargetable";
+        int main(void) {
+            int i = 0, j;
+            char t;
+            while (buf[i]) i++;
+            for (j = 0; j < i / 2; j++) {
+                t = buf[j]; buf[j] = buf[i-1-j]; buf[i-1-j] = t;
+            }
+            printf("%s\\n", buf);
+            return 0;
+        }
+        """,
+        # struct sorting (bubble)
+        """
+        struct kv { int k; int v; };
+        struct kv t[5];
+        int main(void) {
+            int i, j;
+            struct kv tmp;
+            for (i = 0; i < 5; i++) { t[i].k = (7 * i + 3) % 5; t[i].v = i; }
+            for (i = 0; i < 5; i++)
+                for (j = 0; j + 1 < 5 - i; j++)
+                    if (t[j].k > t[j+1].k) {
+                        tmp = t[j]; t[j] = t[j+1]; t[j+1] = tmp;
+                    }
+            for (i = 0; i < 5; i++) printf("%d:%d ", t[i].k, t[i].v);
+            printf("\\n");
+            return 0;
+        }
+        """,
+        # floating point accumulation
+        """
+        int main(void) {
+            double total = 0.0;
+            float small = 0.5;
+            int i;
+            for (i = 1; i <= 10; i++) total += 1.0 / i;
+            printf("%.6f %g\\n", total, small * 8.0);
+            return 0;
+        }
+        """,
+        # unsigned wraparound and shifts
+        """
+        int main(void) {
+            unsigned h = 2166136261u;
+            char *s = "ldb";
+            while (*s) { h ^= *s++; h *= 16777619u; }
+            printf("%u %u\\n", h, h >> 16);
+            return 0;
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("index", range(len(PROGRAMS)))
+    def test_program_agrees_on_all_targets(self, index):
+        source = self.PROGRAMS[index]
+        outputs = {}
+        for arch in ALL_ARCHES:
+            for debug in (False, True):
+                _status, out = run_c(source, arch, debug=debug)
+                outputs[(arch, debug)] = out
+        assert len(set(outputs.values())) == 1, outputs

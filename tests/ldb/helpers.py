@@ -1,0 +1,39 @@
+"""Shared helpers: spin up debug sessions for ldb tests."""
+
+import io
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+
+FIB = """void fib(int n)
+{
+    static int a[20];
+    if (n > 20) n = 20;
+    a[0] = a[1] = 1;
+    {   int i;
+        for (i=2; i<n; i++)
+            a[i] = a[i-1] + a[i-2];
+    }
+    {   int j;
+        for (j=0; j<n; j++)
+            printf("%d ", a[j]);
+    }
+    printf("\\n");
+}
+int main(void) { fib(10); return 0; }
+"""
+
+
+def session(source=FIB, arch="rmips", filename="fib.c"):
+    """(ldb, target) stopped at the entry pause."""
+    exe = compile_and_link({filename: source}, arch, debug=True)
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(exe)
+    return ldb, target
+
+
+def run_to_exit(ldb, target, limit=200):
+    for _ in range(limit):
+        if ldb.run_to_stop(target=target) != "stopped":
+            break
+    return target.state

@@ -1,0 +1,111 @@
+"""Breakpoint tests: no-op overwrite, restore, resume (paper Sec. 3)."""
+
+import pytest
+
+from repro.ldb import BreakpointError
+
+from .helpers import FIB, run_to_exit, session
+
+
+class TestPlanting:
+    def test_plant_overwrites_noop_with_trap(self):
+        ldb, target = session()
+        address = ldb.break_at_function("fib")
+        planted = target.breakpoints.fetch_insn(address)
+        assert planted == target.breakpoints.break_pattern
+
+    def test_plant_requires_noop(self):
+        """The interim scheme: breakpoints only at stopping points."""
+        ldb, target = session()
+        address = ldb.break_at_function("fib")
+        with pytest.raises(BreakpointError):
+            target.breakpoints.plant(address + 8)  # a real instruction
+
+    def test_remove_restores_noop(self):
+        ldb, target = session()
+        address = ldb.break_at_function("fib")
+        target.breakpoints.remove(address)
+        assert target.breakpoints.fetch_insn(address) == \
+            target.breakpoints.nop_pattern
+
+    def test_double_plant_is_idempotent(self):
+        ldb, target = session()
+        address = ldb.break_at_function("fib")
+        bp1 = target.breakpoints.plant(address)
+        assert target.breakpoints.at(address) is bp1
+
+    def test_remove_unknown_raises(self):
+        ldb, target = session()
+        with pytest.raises(BreakpointError):
+            target.breakpoints.remove(0x5555)
+
+    def test_unknown_function_raises(self):
+        ldb, target = session()
+        with pytest.raises(BreakpointError):
+            ldb.break_at_function("nonesuch")
+
+    @pytest.mark.parametrize("arch", ["rmips", "rsparc", "rm68k", "rvax"])
+    def test_machine_dependent_patterns(self, arch):
+        """The four MD breakpoint data items differ per target."""
+        ldb, target = session(arch=arch)
+        table = target.breakpoints
+        sizes = {"rmips": 4, "rsparc": 4, "rm68k": 2, "rvax": 1}
+        assert table.noop_advance == sizes[arch]
+        assert table.break_pattern != table.nop_pattern
+
+
+class TestHitting:
+    def test_break_and_hit(self):
+        ldb, target = session()
+        ldb.break_at_function("fib")
+        assert ldb.run_to_stop() == "stopped"
+        assert target.at_breakpoint()
+        assert target.top_frame().proc_name() == "fib"
+
+    def test_hit_reports_source_position(self):
+        ldb, target = session()
+        ldb.break_at_function("fib")
+        ldb.run_to_stop()
+        proc, filename, _line = ldb.where_am_i()
+        assert (proc, filename) == ("fib", "fib.c")
+
+    def test_break_by_line(self):
+        ldb, target = session()
+        ldb.break_at_line("fib.c", 7)   # the first for loop
+        ldb.run_to_stop()
+        _, _, line = ldb.where_am_i()
+        assert line == 7
+
+    def test_loop_breakpoint_hits_repeatedly(self):
+        ldb, target = session()
+        ldb.break_at_stop("fib", 6)    # the first loop body
+        hits = 0
+        while ldb.run_to_stop() == "stopped" and hits < 50:
+            hits += 1
+        assert hits == 8               # i = 2..9
+
+    def test_program_completes_correctly_with_breakpoints(self):
+        """Planting, hitting, and resuming must not perturb output."""
+        ldb, target = session()
+        ldb.break_at_stop("fib", 9)
+        state = run_to_exit(ldb, target)
+        assert state == "exited"
+        assert target.process.output() == "1 1 2 3 5 8 13 21 34 55 \n"
+
+    def test_multiple_breakpoints(self):
+        ldb, target = session()
+        a1 = ldb.break_at_function("fib")
+        a2 = ldb.break_at_function("main")
+        assert a1 != a2
+        ldb.run_to_stop()
+        assert target.top_frame().proc_name() == "main"
+        ldb.run_to_stop()
+        assert target.top_frame().proc_name() == "fib"
+
+    def test_remove_all(self):
+        ldb, target = session()
+        ldb.break_at_function("fib")
+        ldb.break_at_function("main")
+        target.breakpoints.remove_all()
+        assert not target.breakpoints.planted
+        assert run_to_exit(ldb, target) == "exited"

@@ -1,0 +1,179 @@
+"""Event engine tests: stepping, conditional breakpoints, handlers.
+
+These exercise the paper's future-work designs (Sec. 7.1): source-level
+stepping built on breakpoints, event-driven internals, and conditional
+breakpoints as an event-handling special case.
+"""
+
+import pytest
+
+from repro.ldb.events import (
+    BreakpointHit,
+    SignalStop,
+    StepDone,
+    TargetExited,
+)
+
+from .helpers import FIB, session
+
+COUNTDOWN = """int tick(int n) {
+    int twice = n * 2;
+    return twice;
+}
+int main(void) {
+    int i;
+    int total = 0;
+    for (i = 3; i > 0; i--)
+        total += tick(i);
+    return total;
+}
+"""
+
+ALL_ARCHES = ["rmips", "rsparc", "rvax"]
+
+
+@pytest.fixture(params=ALL_ARCHES)
+def arch(request):
+    return request.param
+
+
+class TestStep:
+    def test_step_visits_consecutive_stops(self, arch):
+        ldb, target = session(arch=arch)
+        ldb.break_at_function("fib")
+        ldb.run_to_stop()
+        lines = []
+        for _ in range(5):
+            event = ldb.step()
+            assert isinstance(event, StepDone), event
+            lines.append(event.frame.location_line()[1])
+        # fib entry(1) -> if cond(4) -> (branch untaken) a[0]= (5)
+        #   -> for init i=2 (7) -> i<n (7) -> body a[i]= (8)
+        assert lines == [4, 5, 7, 7, 8]
+
+    def test_step_enters_calls(self, arch):
+        ldb, target = session(COUNTDOWN, arch, filename="c.c")
+        ldb.break_at_line("c.c", 9)    # total += tick(i)
+        ldb.run_to_stop()
+        event = ldb.step()
+        assert isinstance(event, StepDone)
+        assert event.frame.proc_name() == "tick"
+
+    def test_next_steps_over_calls(self, arch):
+        ldb, target = session(COUNTDOWN, arch, filename="c.c")
+        ldb.break_at_line("c.c", 9)
+        ldb.run_to_stop()
+        target.breakpoints.remove_all()
+        event = ldb.step_over()
+        assert isinstance(event, StepDone)
+        assert event.frame.proc_name() == "main"
+
+    def test_step_cleans_temporaries(self, arch):
+        ldb, target = session(arch=arch)
+        ldb.break_at_function("fib")
+        ldb.run_to_stop()
+        before = dict(target.breakpoints.planted)
+        ldb.step()
+        after = dict(target.breakpoints.planted)
+        assert set(after) == set(before)
+
+    def test_step_to_exit(self, arch):
+        source = "int main(void) { return 5; }"
+        ldb, target = session(source, arch, filename="tiny.c")
+        ldb.break_at_function("main")
+        ldb.run_to_stop()
+        event = ldb.step()        # the closing brace
+        assert isinstance(event, StepDone)
+        event = ldb.step()        # past the end: exit
+        assert isinstance(event, TargetExited)
+        assert event.status == 5
+
+    def test_unexpected_fault_during_step(self, arch):
+        """The event that is expected may not be the one that occurs."""
+        source = """
+        int zero = 0;
+        int main(void) {
+            int a = 1;
+            a = a / zero;    /* faults mid-step */
+            return a;
+        }
+        """
+        ldb, target = session(source, arch, filename="f.c")
+        user_addrs = set(ldb.break_at_line("f.c", 5))
+        ldb.run_to_stop()
+        event = ldb.step()
+        assert isinstance(event, SignalStop)
+        from repro.machines import SIGFPE
+        assert event.signo == SIGFPE
+        # temporaries were cleaned even though the step never completed;
+        # the user's own breakpoints survive
+        assert set(target.breakpoints.planted) == user_addrs
+
+    def test_user_breakpoint_wins_during_step(self):
+        ldb, target = session(COUNTDOWN, "rmips", filename="c.c")
+        line_addrs = set(ldb.break_at_line("c.c", 9))
+        ldb.run_to_stop()
+        user_addr = ldb.break_at_function("tick")
+        event = ldb.step()
+        assert isinstance(event, BreakpointHit)
+        assert event.breakpoint.note == "tick"
+        assert set(target.breakpoints.planted) == line_addrs | {user_addr}
+
+
+class TestConditionalBreakpoints:
+    def test_condition_filters_hits(self, arch):
+        ldb, target = session(arch=arch)
+        ldb.break_if("fib.c:8", "i == 5")   # a[i] = ... in the loop
+        event = ldb.events.wait()
+        assert isinstance(event, BreakpointHit)
+        assert ldb.evaluate("i") == 5
+
+    def test_condition_false_resumes_silently(self, arch):
+        ldb, target = session(arch=arch)
+        ldb.break_if("fib.c:8", "i > 100")   # never true
+        event = ldb.events.wait()
+        assert isinstance(event, TargetExited)
+        assert target.process.output() == "1 1 2 3 5 8 13 21 34 55 \n"
+
+    def test_condition_on_function(self, arch):
+        source = """
+        int poke(int v) { return v + 1; }
+        int main(void) {
+            int k, sum = 0;
+            for (k = 0; k < 6; k++) sum += poke(k);
+            return sum;
+        }
+        """
+        ldb, target = session(source, arch, filename="p.c")
+        ldb.break_if("poke", "v == 4")
+        event = ldb.events.wait()
+        assert isinstance(event, BreakpointHit)
+        assert ldb.evaluate("v") == 4
+
+
+class TestHandlers:
+    def test_handlers_see_every_event(self, arch):
+        ldb, target = session(arch=arch)
+        seen = []
+        ldb.events.on_event(lambda e: seen.append(e.kind))
+        ldb.break_at_stop("fib", 6)
+        event = ldb.events.wait()
+        assert isinstance(event, BreakpointHit)
+        assert seen == ["breakpoint"]
+
+    def test_handler_driven_trace(self):
+        """An event-action client: auto-continue, recording i each hit
+        (the Dalek-style tool the paper says belongs above ldb)."""
+        ldb, target = session(arch="rmips")
+        trace = []
+
+        def record(event):
+            if event.kind == "breakpoint":
+                trace.append(ldb.evaluate("i", frame=event.frame))
+                event.resume = True
+
+        ldb.events.on_event(record)
+        ldb.break_at_stop("fib", 6)
+        event = ldb.events.wait()
+        assert isinstance(event, TargetExited)
+        assert trace == [2, 3, 4, 5, 6, 7, 8, 9]

@@ -1,0 +1,192 @@
+"""Expression-server tests: the Fig. 3 conversation and the rewriter."""
+
+import pytest
+
+from repro.cc.ir import BINOP, CNST, CVT, INDIR, IRNode
+from repro.ldb.exprserver import EvalError, rewrite_to_ps
+from repro.postscript import new_interp
+
+from .helpers import FIB, session
+
+
+def run_ps(source):
+    import io
+    interp = new_interp(stdout=io.StringIO())
+    interp.run(source)
+    return interp.pop()
+
+
+class TestRewriter:
+    """IR -> PostScript (the paper's 124-line rewriter analog)."""
+
+    def test_constants(self):
+        assert run_ps(rewrite_to_ps(CNST("i4", 42))) == 42
+        assert run_ps(rewrite_to_ps(CNST("f8", 2.5))) == 2.5
+
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("ADD", 3, 4, 7), ("SUB", 10, 4, 6), ("MUL", 6, 7, 42),
+        ("BAND", 12, 10, 8), ("BOR", 12, 10, 14), ("BXOR", 12, 10, 6),
+    ])
+    def test_arith(self, op, a, b, expected):
+        node = BINOP(op, "i4", CNST("i4", a), CNST("i4", b))
+        assert run_ps(rewrite_to_ps(node)) == expected
+
+    def test_add_wraps_to_32_bits(self):
+        node = BINOP("ADD", "i4", CNST("i4", 2**31 - 1), CNST("i4", 1))
+        assert run_ps(rewrite_to_ps(node)) == -(2**31)
+
+    def test_signed_division_truncates(self):
+        node = BINOP("DIV", "i4", CNST("i4", -7), CNST("i4", 2))
+        assert run_ps(rewrite_to_ps(node)) == -3
+
+    def test_unsigned_division(self):
+        node = BINOP("DIV", "u4", CNST("u4", -2), CNST("u4", 3))
+        assert run_ps(rewrite_to_ps(node)) == (2**32 - 2) // 3
+
+    def test_signed_shift_right(self):
+        node = BINOP("RSH", "i4", CNST("i4", -16), CNST("i4", 2))
+        assert run_ps(rewrite_to_ps(node)) == -4
+
+    def test_unsigned_shift_right(self):
+        node = BINOP("RSH", "u4", CNST("u4", -16), CNST("u4", 2))
+        assert run_ps(rewrite_to_ps(node)) == (2**32 - 16) >> 2
+
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("EQ", 3, 3, 1), ("NE", 3, 4, 1), ("LT", 3, 4, 1),
+        ("GE", 3, 4, 0), ("GT", 5, 4, 1), ("LE", 5, 4, 0),
+    ])
+    def test_compares(self, op, a, b, expected):
+        node = BINOP(op, "i4", CNST("i4", a), CNST("i4", b))
+        assert run_ps(rewrite_to_ps(node)) == expected
+
+    def test_unsigned_compare(self):
+        # -1 as unsigned is huge
+        node = BINOP("LT", "u4", CNST("u4", -1), CNST("u4", 1))
+        assert run_ps(rewrite_to_ps(node)) == 0
+
+    def test_cond_and_logic(self):
+        cond = IRNode("COND", "i4", [CNST("i4", 1), CNST("i4", 10), CNST("i4", 20)])
+        assert run_ps(rewrite_to_ps(cond)) == 10
+        andand = IRNode("ANDAND", "i4", [CNST("i4", 2), CNST("i4", 0)])
+        assert run_ps(rewrite_to_ps(andand)) == 0
+        oror = IRNode("OROR", "i4", [CNST("i4", 0), CNST("i4", 5)])
+        assert run_ps(rewrite_to_ps(oror)) == 1
+        notn = IRNode("NOT", "i4", [CNST("i4", 0)])
+        assert run_ps(rewrite_to_ps(notn)) == 1
+
+    def test_conversions(self):
+        to_float = CVT("f8", "i4", CNST("i4", 7))
+        assert run_ps(rewrite_to_ps(to_float)) == 7.0
+        to_int = CVT("i4", "f8", CNST("f8", 3.9))
+        assert run_ps(rewrite_to_ps(to_int)) == 3
+        narrow = CVT("i1", "i4", CNST("i4", 300))
+        assert run_ps(rewrite_to_ps(narrow)) == 300 - 256
+
+    def test_neg_and_bcom(self):
+        assert run_ps(rewrite_to_ps(IRNode("NEG", "i4", [CNST("i4", 5)]))) == -5
+        assert run_ps(rewrite_to_ps(IRNode("BCOM", "i4", [CNST("i4", 0)]))) == -1
+
+    def test_rewriter_is_compact(self):
+        """The paper: 124 lines of C rewrote 112 IR operators.  Our
+        rewriter should be the same order of magnitude."""
+        import inspect
+        from repro.ldb import exprserver
+        source = inspect.getsource(exprserver.rewrite_to_ps) \
+            + inspect.getsource(exprserver._rewrite_cvt)
+        lines = [l for l in source.splitlines()
+                 if l.strip() and not l.strip().startswith("#")]
+        assert len(lines) <= 200
+
+
+class TestConversation:
+    """The lookup round trip of Fig. 3."""
+
+    def stopped(self, arch="rmips"):
+        ldb, target = session(arch=arch)
+        ldb.break_at_stop("fib", 9)
+        ldb.run_to_stop()
+        return ldb, target
+
+    def test_simple_expression(self):
+        ldb, _target = self.stopped()
+        assert ldb.evaluate("2 + 3 * 4") == 14
+
+    def test_symbol_lookup_round_trip(self):
+        ldb, _target = self.stopped()
+        assert ldb.evaluate("n") == 10
+
+    def test_static_array_subscript(self):
+        ldb, _target = self.stopped()
+        assert ldb.evaluate("a[4]") == 5
+
+    def test_out_of_scope_name_fails(self):
+        ldb, _target = self.stopped()
+        with pytest.raises(EvalError):
+            ldb.evaluate("i")   # the other block's local
+
+    def test_parse_error_reported(self):
+        ldb, _target = self.stopped()
+        with pytest.raises(EvalError):
+            ldb.evaluate("n +")
+
+    def test_call_rejected_like_the_paper(self):
+        """Sec. 7.1: expressions with procedure calls are future work."""
+        ldb, _target = self.stopped()
+        with pytest.raises(EvalError) as info:
+            ldb.evaluate("fib(3)")
+        assert "not yet supported" in str(info.value)
+
+    def test_assignment_writes_target(self):
+        ldb, target = self.stopped()
+        ldb.evaluate("j = 3")
+        assert ldb.evaluate("j") == 3
+
+    def test_server_survives_errors(self):
+        """An error must not wedge the conversation."""
+        ldb, _target = self.stopped()
+        with pytest.raises(EvalError):
+            ldb.evaluate("totally bogus +++")
+        assert ldb.evaluate("1 + 1") == 2
+
+    def test_struct_types_reconstructed(self):
+        """The server rebuilds type info from C tokens (Sec. 3)."""
+        source = """
+        struct pair { int first; int second; };
+        struct pair g;
+        int main(void) {
+            g.first = 11; g.second = 22;
+            return g.first;    /* line 6 */
+        }
+        """
+        ldb, target = session(source, filename="pair.c")
+        ldb.break_at_line("pair.c", 6)
+        ldb.run_to_stop()
+        assert ldb.evaluate("g.first + g.second") == 33
+
+    def test_type_info_persists_between_expressions(self):
+        source = """
+        struct pair { int first; int second; };
+        struct pair g;
+        int main(void) {
+            g.first = 11; g.second = 22;
+            return g.first;    /* line 6 */
+        }
+        """
+        ldb, target = session(source, filename="pair.c")
+        ldb.break_at_line("pair.c", 6)
+        ldb.run_to_stop()
+        assert ldb.evaluate("g.first") == 11
+        # the second expression reuses the saved struct definition
+        assert ldb.evaluate("g.second") == 22
+
+    def test_pointer_dereference(self):
+        source = """
+        int value = 55;
+        int *ptr = &value;
+        int main(void) { return *ptr; /* line 4 */ }
+        """
+        ldb, target = session(source, filename="ptr.c")
+        ldb.break_at_line("ptr.c", 4)
+        ldb.run_to_stop()
+        assert ldb.evaluate("*ptr") == 55
+        assert ldb.evaluate("ptr == &value") == 1

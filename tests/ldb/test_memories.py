@@ -1,0 +1,162 @@
+"""Abstract-memory DAG tests (paper Fig. 4, Sec. 4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ldb.memories import (
+    AliasMemory,
+    JoinedMemory,
+    LocalMemory,
+    MemoryStats,
+    RegisterMemory,
+    decode_value,
+    encode_value,
+)
+from repro.postscript import Location, PSError
+
+
+def loc(space, offset):
+    return Location.absolute(space, offset)
+
+
+class TestWireCoding:
+    @pytest.mark.parametrize("value,kind", [
+        (0, "i32"), (1, "i32"), (-1, "i32"), (2**31 - 1, "i32"),
+        (-(2**31), "i32"), (127, "i8"), (-128, "i8"), (-1, "i16"),
+        (1.5, "f32"), (-2.25, "f64"), (3.75, "f80"),
+    ])
+    def test_round_trip(self, value, kind):
+        assert decode_value(encode_value(value, kind), kind) == value
+
+    @given(st.integers(-(2**31), 2**31 - 1))
+    def test_i32_round_trip_property(self, value):
+        assert decode_value(encode_value(value, "i32"), "i32") == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_f64_round_trip_property(self, value):
+        assert decode_value(encode_value(value, "f64"), "f64") == value
+
+    def test_wire_values_are_little_endian(self):
+        assert encode_value(0x01020304, "i32") == b"\x04\x03\x02\x01"
+
+
+class TestAliasMemory:
+    def test_register_alias_to_context(self):
+        """Register 30 aliased to a data-space slot (the paper's i)."""
+        backing = LocalMemory()
+        backing.store(loc("d", 0x192), "i32", 7)   # context + 92 words in
+        alias = AliasMemory(backing)
+        alias.alias("r", 30, loc("d", 0x192))
+        assert alias.fetch(loc("r", 30), "i32") == 7
+
+    def test_alias_to_immediate(self):
+        """The extra registers (pc, vfp) alias immediate locations."""
+        alias = AliasMemory(LocalMemory())
+        alias.alias("x", 0, Location.immediate(0x2270))
+        assert alias.fetch(loc("x", 0), "i32") == 0x2270
+
+    def test_store_through_alias(self):
+        backing = LocalMemory()
+        alias = AliasMemory(backing).alias("r", 2, loc("d", 0x10))
+        alias.store(loc("r", 2), "i32", 99)
+        assert backing.fetch(loc("d", 0x10), "i32") == 99
+
+    def test_missing_alias_raises(self):
+        alias = AliasMemory(LocalMemory())
+        with pytest.raises(PSError):
+            alias.fetch(loc("r", 5), "i32")
+
+
+class TestRegisterMemory:
+    """The byte-order fix: sub-word register accesses become full-word
+    operations, so the same debugger code serves both byte orders."""
+
+    def make(self, word_value):
+        backing = LocalMemory()
+        backing.store(loc("r", 30), "i32", word_value)
+        return backing, RegisterMemory(backing, {"r": "i32", "f": "f64"})
+
+    def test_byte_fetch_returns_low_bits(self):
+        _backing, regmem = self.make(0x11223341)
+        assert regmem.fetch(loc("r", 30), "i8") == 0x41
+
+    def test_byte_fetch_sign_extends(self):
+        _backing, regmem = self.make(0x112233F0)
+        assert regmem.fetch(loc("r", 30), "i8") == -16
+
+    def test_half_fetch(self):
+        _backing, regmem = self.make(0x1122ABCD)
+        assert regmem.fetch(loc("r", 30), "i16") == -21555  # 0xABCD signed
+
+    def test_byte_store_merges(self):
+        backing, regmem = self.make(0x11223344)
+        regmem.store(loc("r", 30), "i8", 0x7F)
+        assert backing.fetch(loc("r", 30), "i32") == 0x1122337F
+
+    def test_full_word_passthrough(self):
+        _backing, regmem = self.make(123456)
+        assert regmem.fetch(loc("r", 30), "i32") == 123456
+
+    def test_float_space_width(self):
+        backing = LocalMemory()
+        backing.store(loc("f", 2), "f64", 2.5)
+        regmem = RegisterMemory(backing, {"r": "i32", "f": "f64"})
+        assert regmem.fetch(loc("f", 2), "f64") == 2.5
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_byte_extraction_is_order_independent(self, word):
+        """The property the paper claims: identical results regardless
+        of target byte order, because only word values are exchanged."""
+        signed = word - (1 << 32) if word >= 1 << 31 else word
+        backing = LocalMemory()
+        backing.store(loc("r", 1), "i32", signed)
+        regmem = RegisterMemory(backing, {"r": "i32"})
+        low = regmem.fetch(loc("r", 1), "i8")
+        expected = word & 0xFF
+        assert low & 0xFF == expected
+
+
+class TestJoinedMemory:
+    def make_dag(self):
+        """wire(c,d) <- alias <- register <- joined: Fig. 4."""
+        stats = MemoryStats()
+        wire = LocalMemory()
+        alias = AliasMemory(wire, stats=stats)
+        register = RegisterMemory(alias, {"r": "i32"}, stats=stats)
+        joined = JoinedMemory({"c": wire, "d": wire, "r": register},
+                              stats=stats)
+        return wire, alias, joined, stats
+
+    def test_data_requests_route_to_wire(self):
+        wire, _alias, joined, stats = self.make_dag()
+        wire.store(loc("d", 100), "i32", 5)
+        assert joined.fetch(loc("d", 100), "i32") == 5
+        assert stats.of("alias", "fetch") == 0
+
+    def test_register_requests_route_through_alias(self):
+        wire, alias, joined, stats = self.make_dag()
+        wire.store(loc("d", 0x192), "i32", 7)
+        alias.alias("r", 30, loc("d", 0x192))
+        assert joined.fetch(loc("r", 30), "i32") == 7
+        assert stats.of("register", "fetch") == 1
+        assert stats.of("alias", "fetch") == 1
+
+    def test_unserved_space_raises(self):
+        _wire, _alias, joined, _stats = self.make_dag()
+        with pytest.raises(PSError):
+            joined.fetch(loc("q", 0), "i32")
+
+    def test_paper_example_i_in_register_30(self):
+        """The full Sec. 4.1 walk-through: i is at register 30; the
+        alias notes register 30 lives 92 bytes into the context; the
+        fetch lands on the wire as a data request."""
+        wire, alias, joined, stats = self.make_dag()
+        context = 0x100
+        wire.store(loc("d", context + 92), "i32", 4)     # i == 4
+        alias.alias("r", 30, loc("d", context + 92))
+        value = joined.fetch(loc("r", 30), "i32")
+        assert value == 4
+        assert stats.of("joined", "fetch") == 1
+        assert stats.of("register", "fetch") == 1
+        assert stats.of("alias", "fetch") == 1

@@ -1,0 +1,55 @@
+"""Hand-assembly helpers for machine tests: tiny programs per target."""
+
+from repro.machines import ObjectUnit, Symbol, get_arch, link
+from repro.machines.isa import Insn, Label
+from repro.machines.vax import Operand
+
+
+def null_startup(arch, stack_top):
+    """No startup code; the Process sets sp and jumps to __start."""
+    return [], [], []
+
+
+def build(arch_name, text, data=b"", symbols=(), relocs=(), funcs=()):
+    """Link a hand-written instruction list into an Executable."""
+    arch = get_arch(arch_name)
+    unit = ObjectUnit("<test>", arch_name)
+    unit.text = list(text)
+    unit.data = bytearray(data)
+    unit.symbols = list(symbols)
+    unit.data_relocs = list(relocs)
+    unit.funcs = list(funcs)
+    return link(arch, [unit], null_startup)
+
+
+def exit_program(arch_name, status):
+    """A program that calls exit(status), per-target conventions."""
+    if arch_name in ("rmips", "rmipsel"):
+        return build(arch_name, [
+            Label("__start"),
+            Insn("addi", rd=4, rs=0, imm=status),   # a0 = status
+            Insn("syscall", imm=1),
+        ])
+    if arch_name == "rsparc":
+        return build(arch_name, [
+            Label("__start"),
+            Insn("add", rd=8, rs=0, imm=status),    # o0 = status
+            Insn("syscall", imm=1),
+        ])
+    if arch_name == "rm68k":
+        return build(arch_name, [
+            Label("__start"),
+            Insn("movei", rd=1, imm=status),
+            Insn("push", rs=1),                     # the argument
+            Insn("movei", rd=1, imm=0),
+            Insn("push", rs=1),                     # fake return address
+            Insn("syscall", imm=1),
+        ])
+    if arch_name == "rvax":
+        return build(arch_name, [
+            Label("__start"),
+            Insn("pushl", imm=[Operand.imm(status)]),
+            Insn("pushl", imm=[Operand.imm(0)]),    # fake return address
+            Insn("syscall", imm=1),
+        ])
+    raise ValueError(arch_name)

@@ -1,0 +1,202 @@
+"""Instruction encode/decode round-trip tests for all four targets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines import TargetMemory, get_arch
+from repro.machines.isa import Insn
+from repro.machines.vax import Operand
+
+
+def round_trip(arch_name, insn):
+    arch = get_arch(arch_name)
+    mem = TargetMemory(256, byteorder=arch.byteorder)
+    raw = arch.encode(insn)
+    mem.write_bytes(0, raw)
+    decoded = arch.decode(mem, 0)
+    assert decoded.size == len(raw) == arch.insn_length(insn)
+    return decoded
+
+
+class TestRMips:
+    @pytest.mark.parametrize("op", ["add", "sub", "mul", "slt", "fadd"])
+    def test_r_type(self, op):
+        decoded = round_trip("rmips", Insn(op, rd=3, rs=7, rt=12))
+        assert (decoded.op, decoded.rd, decoded.rs, decoded.rt) == (op, 3, 7, 12)
+
+    @pytest.mark.parametrize("imm", [0, 1, -1, 32767, -32768])
+    def test_i_type_signed(self, imm):
+        decoded = round_trip("rmips", Insn("addi", rd=2, rs=4, imm=imm))
+        assert decoded.imm == imm
+
+    def test_ori_unsigned(self):
+        decoded = round_trip("rmips", Insn("ori", rd=2, rs=2, imm=0xFFFF))
+        assert decoded.imm == 0xFFFF
+
+    def test_j_type(self):
+        decoded = round_trip("rmips", Insn("jal", target=0x2270))
+        assert decoded.op == "jal" and decoded.target == 0x2270
+
+    def test_imm_out_of_range_rejected(self):
+        arch = get_arch("rmips")
+        with pytest.raises(ValueError):
+            arch.encode(Insn("addi", rd=1, rs=1, imm=1 << 20))
+
+    def test_unresolved_symbol_rejected(self):
+        arch = get_arch("rmips")
+        with pytest.raises(ValueError):
+            arch.encode(Insn("jal", target="_main"))
+
+    @given(st.integers(0, 31), st.integers(0, 31), st.integers(-(1 << 15), (1 << 15) - 1))
+    def test_load_round_trip_property(self, rd, rs, imm):
+        decoded = round_trip("rmips", Insn("lw", rd=rd, rs=rs, imm=imm))
+        assert (decoded.rd, decoded.rs, decoded.imm) == (rd, rs, imm)
+
+    def test_little_endian_variant_same_insn(self):
+        big = get_arch("rmips")
+        little = get_arch("rmipsel")
+        insn = Insn("addi", rd=1, rs=2, imm=5)
+        raw_big = big.encode(insn)
+        raw_little = little.encode(Insn("addi", rd=1, rs=2, imm=5))
+        assert raw_big == bytes(reversed(raw_little))
+
+
+class TestRSparc:
+    def test_reg_form(self):
+        decoded = round_trip("rsparc", Insn("add", rd=1, rs=2, rt=3))
+        assert (decoded.rd, decoded.rs, decoded.rt) == (1, 2, 3)
+        assert decoded.imm is None
+
+    @pytest.mark.parametrize("imm", [0, 5, -1, 4095, -4096])
+    def test_imm_form(self, imm):
+        decoded = round_trip("rsparc", Insn("add", rd=1, rs=2, imm=imm))
+        assert decoded.imm == imm
+
+    def test_sethi(self):
+        decoded = round_trip("rsparc", Insn("sethi", rd=3, imm=0x7FFFF))
+        assert decoded.imm == 0x7FFFF
+
+    def test_call(self):
+        decoded = round_trip("rsparc", Insn("call", target=0x4000))
+        assert decoded.target == 0x4000
+
+    def test_simm13_overflow_rejected(self):
+        arch = get_arch("rsparc")
+        with pytest.raises(ValueError):
+            arch.encode(Insn("add", rd=1, rs=1, imm=5000))
+
+    @given(st.integers(0, 31), st.integers(0, 31), st.integers(-4096, 4095))
+    def test_ld_round_trip_property(self, rd, rs, imm):
+        decoded = round_trip("rsparc", Insn("ld", rd=rd, rs=rs, imm=imm))
+        assert (decoded.rd, decoded.rs, decoded.imm) == (rd, rs, imm)
+
+
+class TestRM68k:
+    def test_plain(self):
+        decoded = round_trip("rm68k", Insn("add", rd=3, rs=5))
+        assert (decoded.op, decoded.rd, decoded.rs) == ("add", 3, 5)
+        assert decoded.size == 2
+
+    @pytest.mark.parametrize("disp", [0, 100, -100, 32767, -32768])
+    def test_disp16(self, disp):
+        decoded = round_trip("rm68k", Insn("load32", rd=1, rs=14, imm=disp))
+        assert decoded.imm == disp
+        assert decoded.size == 4
+
+    @pytest.mark.parametrize("imm", [0, 1, -1, 2**31 - 1, -(2**31)])
+    def test_imm32(self, imm):
+        decoded = round_trip("rm68k", Insn("movei", rd=2, imm=imm))
+        assert decoded.imm == imm
+        assert decoded.size == 6
+
+    def test_jsr(self):
+        decoded = round_trip("rm68k", Insn("jsr", target=0x2270))
+        assert decoded.target == 0x2270
+
+    def test_float_immediate(self):
+        decoded = round_trip("rm68k", Insn("fmovei", rd=1, imm=2.5))
+        assert decoded.imm == 2.5
+        assert decoded.size == 10
+
+    def test_nop_is_real_68k_encoding(self):
+        arch = get_arch("rm68k")
+        assert arch.nop_bytes == b"\x4e\x71"
+        assert arch.break_bytes == b"\x48\x48"
+
+    def test_variable_lengths(self):
+        arch = get_arch("rm68k")
+        assert arch.insn_length(Insn("move", rd=0, rs=1)) == 2
+        assert arch.insn_length(Insn("load32", rd=0, rs=1, imm=0)) == 4
+        assert arch.insn_length(Insn("movei", rd=0, imm=0)) == 6
+
+
+class TestRVax:
+    def test_register_operands(self):
+        insn = Insn("movl", imm=[Operand.reg_(1), Operand.reg_(2)])
+        decoded = round_trip("rvax", insn)
+        assert decoded.imm[0].mode == 0 and decoded.imm[0].reg == 1
+        assert decoded.imm[1].reg == 2
+        assert decoded.size == 3
+
+    def test_disp8_operand(self):
+        insn = Insn("movl", imm=[Operand.disp(13, -8), Operand.reg_(1)])
+        decoded = round_trip("rvax", insn)
+        assert decoded.imm[0].mode == 2 and decoded.imm[0].ext == -8
+
+    def test_disp32_operand(self):
+        insn = Insn("movl", imm=[Operand.disp(13, 100000), Operand.reg_(1)])
+        decoded = round_trip("rvax", insn)
+        assert decoded.imm[0].mode == 3 and decoded.imm[0].ext == 100000
+
+    def test_immediate_operand(self):
+        insn = Insn("pushl", imm=[Operand.imm(0xDEADBEEF)])
+        decoded = round_trip("rvax", insn)
+        assert decoded.imm[0].ext == 0xDEADBEEF
+
+    def test_absolute_operand(self):
+        insn = Insn("movl", imm=[Operand.absolute(0x8000), Operand.reg_(0)])
+        decoded = round_trip("rvax", insn)
+        assert decoded.imm[0].mode == 5 and decoded.imm[0].ext == 0x8000
+
+    def test_float_immediate_operand(self):
+        insn = Insn("movd", imm=[Operand.fimm(1.25), Operand.reg_(0)])
+        decoded = round_trip("rvax", insn)
+        assert decoded.imm[0].ext == 1.25
+
+    def test_three_operand_add(self):
+        insn = Insn("addl3", imm=[Operand.reg_(1), Operand.reg_(2), Operand.reg_(3)])
+        decoded = round_trip("rvax", insn)
+        assert len(decoded.imm) == 3
+
+    def test_branch(self):
+        decoded = round_trip("rvax", Insn("beql", imm=-20))
+        assert decoded.imm == -20
+        assert decoded.size == 3
+
+    def test_nop_is_one_byte(self):
+        """Byte-granular instructions: the breakpoint overwrites 1 byte."""
+        arch = get_arch("rvax")
+        assert len(arch.nop_bytes) == 1
+        assert arch.break_bytes == b"\x03"  # the real VAX BPT opcode
+
+    def test_disp_picks_smallest_encoding(self):
+        assert Operand.disp(1, 10).mode == 2
+        assert Operand.disp(1, 1000).mode == 3
+
+
+class TestNoopAdvance:
+    """The four machine-dependent breakpoint data items (paper Sec. 3)."""
+
+    @pytest.mark.parametrize("arch_name,advance", [
+        ("rmips", 4), ("rsparc", 4), ("rm68k", 2), ("rvax", 1)])
+    def test_advance_matches_nop_size(self, arch_name, advance):
+        arch = get_arch(arch_name)
+        assert arch.noop_advance == advance
+        assert len(arch.nop_bytes) == advance
+
+    @pytest.mark.parametrize("arch_name", ["rmips", "rsparc", "rm68k", "rvax"])
+    def test_break_and_nop_differ(self, arch_name):
+        arch = get_arch(arch_name)
+        assert arch.break_bytes != arch.nop_bytes
+        assert len(arch.break_bytes) <= len(arch.nop_bytes)

@@ -1,0 +1,414 @@
+"""Execution tests: arithmetic, memory, control flow, faults per target."""
+
+import pytest
+
+from repro.machines import (
+    ExitEvent,
+    FaultEvent,
+    Process,
+    SIGFPE,
+    SIGSEGV,
+    SIGTRAP,
+    get_arch,
+)
+from repro.machines.isa import Insn, Label
+from repro.machines.vax import Operand
+
+from .helpers import build, exit_program
+
+ALL_ARCHES = ["rmips", "rmipsel", "rsparc", "rm68k", "rvax"]
+
+
+class TestExit:
+    @pytest.mark.parametrize("arch_name", ALL_ARCHES)
+    def test_exit_status(self, arch_name):
+        process = Process(exit_program(arch_name, 42))
+        event = process.run_until_event()
+        assert isinstance(event, ExitEvent) and event.status == 42
+
+
+class TestRMipsExecution:
+    def run_regs(self, text, arch_name="rmips"):
+        exe = build(arch_name, [Label("__start")] + text + [
+            Insn("syscall", imm=1)])
+        process = Process(exe)
+        process.run_until_event()
+        return process.cpu
+
+    def test_arithmetic_chain(self):
+        cpu = self.run_regs([
+            Insn("addi", rd=8, rs=0, imm=6),
+            Insn("addi", rd=9, rs=0, imm=7),
+            Insn("mul", rd=10, rs=8, rt=9),
+        ])
+        assert cpu.regs[10] == 42
+
+    def test_r0_is_hardwired_zero(self):
+        cpu = self.run_regs([Insn("addi", rd=0, rs=0, imm=99)])
+        assert cpu.regs[0] == 0
+
+    def test_lui_ori_builds_32bit_constant(self):
+        cpu = self.run_regs([
+            Insn("lui", rd=8, imm=0x1234),
+            Insn("ori", rd=8, rs=8, imm=0x5678),
+        ])
+        assert cpu.regs[8] == 0x12345678
+
+    def test_store_load_word(self):
+        cpu = self.run_regs([
+            Insn("lui", rd=9, imm=1),               # address 0x10000
+            Insn("addi", rd=8, rs=0, imm=1234),
+            Insn("sw", rd=8, rs=9, imm=0),
+            Insn("lw", rd=10, rs=9, imm=0),
+            Insn("nop"),                            # let the load land
+        ])
+        assert cpu.regs[10] == 1234
+
+    def test_load_delay_slot_sees_old_value(self):
+        """The rmips load delay: the next insn reads the OLD register."""
+        cpu = self.run_regs([
+            Insn("lui", rd=9, imm=1),
+            Insn("addi", rd=8, rs=0, imm=77),
+            Insn("sw", rd=8, rs=9, imm=0),
+            Insn("addi", rd=10, rs=0, imm=5),       # r10 = 5 (old value src)
+            Insn("lw", rd=10, rs=9, imm=0),         # load 77 -> delayed
+            Insn("add", rd=11, rs=10, rt=0),        # delay slot: sees 5
+            Insn("add", rd=12, rs=10, rt=0),        # after slot: sees 77
+        ])
+        assert cpu.regs[11] == 5
+        assert cpu.regs[12] == 77
+
+    def test_branch_taken_and_fallthrough(self):
+        cpu = self.run_regs([
+            Insn("addi", rd=8, rs=0, imm=1),
+            Insn("beq", rd=8, rs=0, imm=("br", "skip")),   # not taken
+            Insn("addi", rd=9, rs=0, imm=10),
+            Label("skip"),
+            Insn("bne", rd=8, rs=0, imm=("br", "over")),   # taken
+            Insn("addi", rd=9, rs=9, imm=100),             # skipped
+            Label("over"),
+        ])
+        assert cpu.regs[9] == 10
+
+    def test_loop_sums(self):
+        # sum 1..10 via a bne loop
+        cpu = self.run_regs([
+            Insn("addi", rd=8, rs=0, imm=0),    # sum
+            Insn("addi", rd=9, rs=0, imm=1),    # i
+            Insn("addi", rd=10, rs=0, imm=11),  # limit
+            Label("loop"),
+            Insn("add", rd=8, rs=8, rt=9),
+            Insn("addi", rd=9, rs=9, imm=1),
+            Insn("bne", rd=9, rs=10, imm=("br", "loop")),
+        ])
+        assert cpu.regs[8] == 55
+
+    def test_jal_jr_round_trip(self):
+        cpu = self.run_regs([
+            Insn("jal", target="func"),
+            Insn("addi", rd=9, rs=8, imm=1),   # after return: r9 = r8+1
+            Insn("syscall", imm=1),
+            Label("func"),
+            Insn("addi", rd=8, rs=0, imm=41),
+            Insn("jr", rs=31),
+        ])
+        assert cpu.regs[9] == 42
+
+    def test_signed_division(self):
+        cpu = self.run_regs([
+            Insn("addi", rd=8, rs=0, imm=-7),
+            Insn("addi", rd=9, rs=0, imm=2),
+            Insn("div", rd=10, rs=8, rt=9),
+            Insn("rem", rd=11, rs=8, rt=9),
+        ])
+        assert cpu.get_reg_signed(10) == -3
+        assert cpu.get_reg_signed(11) == -1
+
+    def test_float_ops(self):
+        cpu = self.run_regs([
+            Insn("addi", rd=8, rs=0, imm=3),
+            Insn("cvtdw", rd=1, rs=8),
+            Insn("addi", rd=8, rs=0, imm=4),
+            Insn("cvtdw", rd=2, rs=8),
+            Insn("fmul", rd=3, rs=1, rt=2),
+            Insn("cvtwd", rd=10, rs=3),
+        ])
+        assert cpu.fregs[3] == 12.0
+        assert cpu.regs[10] == 12
+
+    def test_little_endian_variant_runs_same_program(self):
+        cpu = self.run_regs([
+            Insn("addi", rd=8, rs=0, imm=6),
+            Insn("addi", rd=9, rs=0, imm=7),
+            Insn("mul", rd=10, rs=8, rt=9),
+        ], arch_name="rmipsel")
+        assert cpu.regs[10] == 42
+
+
+class TestRSparcExecution:
+    def run_regs(self, text):
+        exe = build("rsparc", [Label("__start")] + text + [Insn("syscall", imm=1)])
+        process = Process(exe)
+        process.run_until_event()
+        return process.cpu
+
+    def test_arith_imm_and_reg(self):
+        cpu = self.run_regs([
+            Insn("add", rd=16, rs=0, imm=6),
+            Insn("add", rd=17, rs=0, imm=7),
+            Insn("smul", rd=18, rs=16, rt=17),
+        ])
+        assert cpu.regs[18] == 42
+
+    def test_sethi_add_constant(self):
+        """32-bit constants: sethi hi19 then add the signed lo13 half."""
+        value = 0x12345678
+        low = value & 0x1FFF
+        if low >= 0x1000:
+            low -= 0x2000
+        cpu = self.run_regs([
+            Insn("sethi", rd=16, imm=((value - low) >> 13) & 0x7FFFF),
+            Insn("add", rd=16, rs=16, imm=low),
+        ])
+        assert cpu.regs[16] == value
+
+    def test_memory_and_branches(self):
+        cpu = self.run_regs([
+            Insn("sethi", rd=17, imm=8),            # some data address
+            Insn("add", rd=16, rs=0, imm=123),
+            Insn("st", rd=16, rs=17, imm=4),
+            Insn("ld", rd=18, rs=17, imm=4),
+            Insn("bne", rd=18, rs=16, imm=("br", "bad")),
+            Insn("add", rd=19, rs=0, imm=1),
+            Label("bad"),
+        ])
+        assert cpu.regs[18] == 123
+        assert cpu.regs[19] == 1
+
+    def test_call_and_return(self):
+        cpu = self.run_regs([
+            Insn("call", target="f"),
+            Insn("add", rd=17, rs=16, imm=1),
+            Insn("syscall", imm=1),
+            Label("f"),
+            Insn("add", rd=16, rs=0, imm=9),
+            Insn("jmpl", rs=15),
+        ])
+        assert cpu.regs[17] == 10
+
+
+class TestRM68kExecution:
+    def run_regs(self, text):
+        exe = build("rm68k", [Label("__start")] + text + [
+            Insn("movei", rd=1, imm=0), Insn("push", rs=1), Insn("push", rs=1),
+            Insn("syscall", imm=1)])
+        process = Process(exe)
+        process.run_until_event()
+        return process.cpu
+
+    def test_two_address_arith(self):
+        cpu = self.run_regs([
+            Insn("movei", rd=2, imm=6),
+            Insn("movei", rd=3, imm=7),
+            Insn("muls", rd=2, rs=3),
+        ])
+        assert cpu.regs[2] == 42
+
+    def test_condition_codes_and_scc(self):
+        cpu = self.run_regs([
+            Insn("movei", rd=2, imm=3),
+            Insn("movei", rd=3, imm=5),
+            Insn("cmp", rd=2, rs=3),    # 3 vs 5
+            Insn("slt", rd=4),          # 3 < 5 -> 1
+            Insn("sgt", rd=5),          # 3 > 5 -> 0
+        ])
+        assert cpu.regs[4] == 1 and cpu.regs[5] == 0
+
+    def test_unsigned_compare(self):
+        cpu = self.run_regs([
+            Insn("movei", rd=2, imm=-1),    # 0xffffffff
+            Insn("movei", rd=3, imm=1),
+            Insn("cmp", rd=2, rs=3),
+            Insn("slt", rd=4),              # signed: -1 < 1
+            Insn("sltu", rd=5),             # unsigned: huge > 1
+        ])
+        assert cpu.regs[4] == 1 and cpu.regs[5] == 0
+
+    def test_link_unlk_frame(self):
+        cpu = self.run_regs([
+            Insn("movei", rd=14, imm=0),
+            Insn("link", imm=16),
+            Insn("movei", rd=2, imm=7),
+            Insn("store32", rd=14, rs=2, imm=-4),   # a local at fp-4
+            Insn("load32", rd=3, rs=14, imm=-4),
+            Insn("unlk"),
+        ])
+        assert cpu.regs[3] == 7
+
+    def test_jsr_rts(self):
+        cpu = self.run_regs([
+            Insn("jsr", target="f"),
+            Insn("movei", rd=3, imm=1),
+            Insn("add", rd=3, rs=2),
+            Insn("movei", rd=1, imm=0), Insn("push", rs=1), Insn("push", rs=1),
+            Insn("syscall", imm=1),
+            Label("f"),
+            Insn("movei", rd=2, imm=41),
+            Insn("rts"),
+        ])
+        assert cpu.regs[3] == 42
+
+    def test_f80_registers(self):
+        cpu = self.run_regs([
+            Insn("fmovei", rd=1, imm=2.5),
+            Insn("fmovei", rd=2, imm=4.0),
+            Insn("fmul", rd=1, rs=2),
+        ])
+        assert cpu.fregs[1] == 10.0
+
+
+class TestRVaxExecution:
+    def run_regs(self, text):
+        exe = build("rvax", [Label("__start")] + text + [
+            Insn("pushl", imm=[Operand.imm(0)]),
+            Insn("pushl", imm=[Operand.imm(0)]),
+            Insn("syscall", imm=1)])
+        process = Process(exe)
+        process.run_until_event()
+        return process.cpu
+
+    def test_three_operand_arith(self):
+        cpu = self.run_regs([
+            Insn("movl", imm=[Operand.imm(6), Operand.reg_(1)]),
+            Insn("movl", imm=[Operand.imm(7), Operand.reg_(2)]),
+            Insn("mull3", imm=[Operand.reg_(1), Operand.reg_(2), Operand.reg_(3)]),
+        ])
+        assert cpu.regs[3] == 42
+
+    def test_subl3_operand_order(self):
+        """subl3 sub, min, dst computes min - sub (the VAX order)."""
+        cpu = self.run_regs([
+            Insn("movl", imm=[Operand.imm(3), Operand.reg_(1)]),
+            Insn("movl", imm=[Operand.imm(10), Operand.reg_(2)]),
+            Insn("subl3", imm=[Operand.reg_(1), Operand.reg_(2), Operand.reg_(3)]),
+        ])
+        assert cpu.regs[3] == 7
+
+    def test_memory_displacement(self):
+        cpu = self.run_regs([
+            Insn("movl", imm=[Operand.imm(0x10000), Operand.reg_(1)]),
+            Insn("movl", imm=[Operand.imm(99), Operand.disp(1, 8)]),
+            Insn("movl", imm=[Operand.disp(1, 8), Operand.reg_(2)]),
+        ])
+        assert cpu.regs[2] == 99
+
+    def test_byte_moves_sign_extend_to_registers(self):
+        cpu = self.run_regs([
+            Insn("movl", imm=[Operand.imm(0x10000), Operand.reg_(1)]),
+            Insn("movl", imm=[Operand.imm(0xFF), Operand.reg_(2)]),
+            Insn("movb", imm=[Operand.reg_(2), Operand.disp(1, 0)]),
+            Insn("movb", imm=[Operand.disp(1, 0), Operand.reg_(3)]),
+            Insn("movzbl", imm=[Operand.disp(1, 0), Operand.reg_(4)]),
+        ])
+        assert cpu.get_reg_signed(3) == -1
+        assert cpu.regs[4] == 0xFF
+
+    def test_compare_and_branch(self):
+        cpu = self.run_regs([
+            Insn("movl", imm=[Operand.imm(5), Operand.reg_(1)]),
+            Insn("cmpl", imm=[Operand.reg_(1), Operand.imm(10)]),
+            Insn("blss", imm=("br", "less")),
+            Insn("movl", imm=[Operand.imm(0), Operand.reg_(2)]),
+            Insn("brb", imm=("br", "end")),
+            Label("less"),
+            Insn("movl", imm=[Operand.imm(1), Operand.reg_(2)]),
+            Label("end"),
+        ])
+        assert cpu.regs[2] == 1
+
+    def test_call_ret_push_pop(self):
+        cpu = self.run_regs([
+            Insn("call", target="f"),
+            Insn("addl3", imm=[Operand.reg_(0), Operand.imm(1), Operand.reg_(2)]),
+            Insn("pushl", imm=[Operand.imm(0)]),
+            Insn("pushl", imm=[Operand.imm(0)]),
+            Insn("syscall", imm=1),
+            Label("f"),
+            Insn("movl", imm=[Operand.imm(41), Operand.reg_(0)]),
+            Insn("ret"),
+        ])
+        assert cpu.regs[2] == 42
+
+    def test_doubles(self):
+        cpu = self.run_regs([
+            Insn("movd", imm=[Operand.fimm(2.5), Operand.reg_(1)]),
+            Insn("movd", imm=[Operand.fimm(4.0), Operand.reg_(2)]),
+            Insn("muld3", imm=[Operand.reg_(1), Operand.reg_(2), Operand.reg_(3)]),
+            Insn("cvtdl", imm=[Operand.reg_(3), Operand.reg_(5)]),
+        ])
+        assert cpu.fregs[3] == 10.0
+        assert cpu.regs[5] == 10
+
+
+class TestFaults:
+    @pytest.mark.parametrize("arch_name", ALL_ARCHES)
+    def test_break_raises_sigtrap(self, arch_name):
+        exe = build(arch_name, [Label("__start"), Insn("break" if arch_name != "rvax" else "bpt")])
+        process = Process(exe)
+        event = process.run_until_event()
+        assert isinstance(event, FaultEvent)
+        assert event.signo == SIGTRAP
+        assert event.pc == exe.entry
+
+    def test_division_by_zero_sigfpe(self):
+        from .helpers import build as b
+        exe = b("rmips", [
+            Label("__start"),
+            Insn("addi", rd=8, rs=0, imm=1),
+            Insn("div", rd=9, rs=8, rt=0),
+        ])
+        event = Process(exe).run_until_event()
+        assert isinstance(event, FaultEvent) and event.signo == SIGFPE
+
+    def test_bad_memory_sigsegv(self):
+        exe = build("rmips", [
+            Label("__start"),
+            Insn("lui", rd=8, imm=0xFFFF),
+            Insn("lw", rd=9, rs=8, imm=0),
+        ])
+        event = Process(exe).run_until_event()
+        assert isinstance(event, FaultEvent) and event.signo == SIGSEGV
+
+
+class TestSyscalls:
+    def test_putchar_rmips(self):
+        exe = build("rmips", [
+            Label("__start"),
+            Insn("addi", rd=4, rs=0, imm=ord("A")),
+            Insn("syscall", imm=2),
+            Insn("addi", rd=4, rs=0, imm=0),
+            Insn("syscall", imm=1),
+        ])
+        process = Process(exe)
+        process.run_until_event()
+        assert process.output() == "A"
+
+    def test_printf_rmips(self):
+        """printf via the packed varargs block at [sp]."""
+        from repro.machines import Symbol
+        exe = build("rmips", [
+            Label("__start"),
+            # sp -= 16; store format pointer at [sp], 42 at [sp+4]
+            Insn("addi", rd=29, rs=29, imm=-16),
+            Insn("lui", rd=8, imm=("hi", "_fmt")),
+            Insn("ori", rd=8, rs=8, imm=("lo", "_fmt")),
+            Insn("sw", rd=8, rs=29, imm=0),
+            Insn("addi", rd=8, rs=0, imm=42),
+            Insn("sw", rd=8, rs=29, imm=4),
+            Insn("syscall", imm=3),
+            Insn("addi", rd=4, rs=0, imm=0),
+            Insn("syscall", imm=1),
+        ], data=b"x=%d!\x00", symbols=[Symbol("_fmt", "data", 0, "d")])
+        process = Process(exe)
+        process.run_until_event()
+        assert process.output() == "x=42!"

@@ -1,0 +1,67 @@
+"""80-bit extended float codec tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines import float80
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", [
+        0.0, 1.0, -1.0, 0.5, -0.5, 2.0, 1e10, -1e-10, 3.141592653589793,
+        1.5e308, 5e-324, 2**52 + 1.0, -(2**63) * 1.0,
+    ])
+    def test_exact_values(self, value):
+        assert float80.decode(float80.encode(value)) == value
+
+    def test_negative_zero(self):
+        decoded = float80.decode(float80.encode(-0.0))
+        assert decoded == 0.0 and math.copysign(1.0, decoded) < 0
+
+    def test_positive_infinity(self):
+        assert float80.decode(float80.encode(math.inf)) == math.inf
+
+    def test_negative_infinity(self):
+        assert float80.decode(float80.encode(-math.inf)) == -math.inf
+
+    def test_nan(self):
+        assert math.isnan(float80.decode(float80.encode(math.nan)))
+
+    def test_size(self):
+        assert len(float80.encode(1.5)) == float80.SIZE == 10
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_every_double_round_trips(self, value):
+        """Every IEEE double is exactly representable in extended format."""
+        assert float80.decode(float80.encode(value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_big_endian_round_trip(self, value):
+        assert float80.decode_be(float80.encode_be(value)) == value
+
+
+class TestFormat:
+    def test_one_encoding(self):
+        """1.0 = sign 0, exponent 16383, mantissa with integer bit only."""
+        raw = float80.encode(1.0)
+        assert raw[8:] == (16383).to_bytes(2, "little")
+        assert int.from_bytes(raw[:8], "little") == 1 << 63
+
+    def test_sign_bit(self):
+        raw = float80.encode(-1.0)
+        se = int.from_bytes(raw[8:], "little")
+        assert se & 0x8000
+
+    def test_decode_rejects_short_input(self):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            float80.decode(b"\0\0")
+
+    def test_integer_input_coerced(self):
+        assert float80.decode(float80.encode(7)) == 7.0
+
+    def test_endianness_reversal(self):
+        assert float80.encode_be(2.5) == bytes(reversed(float80.encode(2.5)))

@@ -1,0 +1,146 @@
+"""Target memory tests: typed access, endianness, faults."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines import MemoryFault, TargetMemory
+
+
+class TestIntegers:
+    def test_u32_round_trip_little(self):
+        mem = TargetMemory(256, "little")
+        mem.write_u32(0, 0x12345678)
+        assert mem.read_u32(0) == 0x12345678
+        assert mem.read_bytes(0, 4) == b"\x78\x56\x34\x12"
+
+    def test_u32_round_trip_big(self):
+        mem = TargetMemory(256, "big")
+        mem.write_u32(0, 0x12345678)
+        assert mem.read_bytes(0, 4) == b"\x12\x34\x56\x78"
+
+    def test_signed_read(self):
+        mem = TargetMemory(256, "little")
+        mem.write_u32(0, 0xFFFFFFFF)
+        assert mem.read_i32(0) == -1
+        mem.write_u16(8, 0x8000)
+        assert mem.read_i16(8) == -32768
+        mem.write_u8(12, 0xFF)
+        assert mem.read_i8(12) == -1
+
+    def test_write_negative(self):
+        mem = TargetMemory(256, "little")
+        mem.write_int(0, 4, -2)
+        assert mem.read_u32(0) == 0xFFFFFFFE
+
+    def test_byteorder_visible_at_byte_level(self):
+        """The byte-order fact the register memory must hide (Sec. 4.1)."""
+        big = TargetMemory(16, "big")
+        little = TargetMemory(16, "little")
+        big.write_u32(0, 0x41)
+        little.write_u32(0, 0x41)
+        assert big.read_u8(3) == 0x41 and big.read_u8(0) == 0
+        assert little.read_u8(0) == 0x41 and little.read_u8(3) == 0
+
+    @given(st.integers(0, 2**32 - 1),
+           st.sampled_from(["big", "little"]))
+    def test_u32_round_trip_property(self, value, order):
+        mem = TargetMemory(64, order)
+        mem.write_u32(4, value)
+        assert mem.read_u32(4) == value
+
+    @given(st.integers(-(2**31), 2**31 - 1),
+           st.sampled_from(["big", "little"]))
+    def test_i32_round_trip_property(self, value, order):
+        mem = TargetMemory(64, order)
+        mem.write_int(4, 4, value)
+        assert mem.read_i32(4) == value
+
+
+class TestFloats:
+    @pytest.mark.parametrize("order", ["big", "little"])
+    def test_f32(self, order):
+        mem = TargetMemory(64, order)
+        mem.write_f32(0, 1.5)
+        assert mem.read_f32(0) == 1.5
+
+    @pytest.mark.parametrize("order", ["big", "little"])
+    def test_f64(self, order):
+        mem = TargetMemory(64, order)
+        mem.write_f64(0, -2.25e10)
+        assert mem.read_f64(0) == -2.25e10
+
+    @pytest.mark.parametrize("order", ["big", "little"])
+    def test_f80(self, order):
+        mem = TargetMemory(64, order)
+        mem.write_f80(0, 3.25)
+        assert mem.read_f80(0) == 3.25
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32),
+           st.sampled_from(["big", "little"]))
+    def test_f32_round_trip_property(self, value, order):
+        mem = TargetMemory(64, order)
+        mem.write_f32(0, value)
+        assert mem.read_f32(0) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.sampled_from(["big", "little"]))
+    def test_f64_round_trip_property(self, value, order):
+        mem = TargetMemory(64, order)
+        mem.write_f64(0, value)
+        assert mem.read_f64(0) == value
+
+
+class TestKinds:
+    @pytest.mark.parametrize("kind,value", [
+        ("i8", -5), ("i16", -300), ("i32", -70000),
+        ("f32", 0.5), ("f64", 2.5), ("f80", -1.25),
+    ])
+    def test_kind_round_trip(self, kind, value):
+        mem = TargetMemory(64, "big")
+        mem.write_kind(0, kind, value)
+        assert mem.read_kind(0, kind) == value
+
+    def test_unknown_kind_raises(self):
+        mem = TargetMemory(64)
+        with pytest.raises(ValueError):
+            mem.read_kind(0, "i64")
+
+
+class TestStrings:
+    def test_cstring_round_trip(self):
+        mem = TargetMemory(256)
+        mem.write_cstring(10, "hello world")
+        assert mem.read_cstring(10) == "hello world"
+
+    def test_cstring_empty(self):
+        mem = TargetMemory(64)
+        mem.write_cstring(0, "")
+        assert mem.read_cstring(0) == ""
+
+
+class TestFaults:
+    def test_read_past_end(self):
+        mem = TargetMemory(64)
+        with pytest.raises(MemoryFault) as info:
+            mem.read_u32(62)
+        assert info.value.address == 62
+
+    def test_negative_address(self):
+        mem = TargetMemory(64)
+        with pytest.raises(MemoryFault):
+            mem.read_u8(-1)
+
+    def test_write_past_end(self):
+        mem = TargetMemory(64)
+        with pytest.raises(MemoryFault):
+            mem.write_u32(61, 1)
+
+    def test_boundary_access_ok(self):
+        mem = TargetMemory(64)
+        mem.write_u32(60, 7)
+        assert mem.read_u32(60) == 7
+
+    def test_bad_byteorder_rejected(self):
+        with pytest.raises(ValueError):
+            TargetMemory(64, "middle")

@@ -1,0 +1,122 @@
+"""Process/OS tests: syscalls, printf formatting, runaway protection."""
+
+import pytest
+
+from repro.machines import Process, TargetFault, get_arch
+from repro.machines.isa import Insn, Label
+
+from ..cc.helpers import ALL_ARCHES, c_output, run_c
+
+
+class TestPrintfFormats:
+    """The printf syscall must format like C's printf."""
+
+    @pytest.mark.parametrize("fmt,args,expected", [
+        ("%d", "-42", "-42"),
+        ("%u", "4294967295u", "4294967295"),
+        ("%x", "255", "ff"),
+        ("%X", "255", "FF"),
+        ("%c", "'A'", "A"),
+        ("%5d", "42", "   42"),
+        ("%-5d|", "42", "42   |"),
+        ("%05d", "42", "00042"),
+        ("%%", "", "%"),
+    ])
+    def test_integer_formats(self, fmt, args, expected):
+        arglist = ", " + args if args else ""
+        src = 'int main(void) { printf("%s"%s); return 0; }' % (fmt, arglist)
+        assert c_output(src) == expected
+
+    @pytest.mark.parametrize("fmt,value,expected", [
+        ("%f", "1.5", "1.500000"),
+        ("%.2f", "3.14159", "3.14"),
+        ("%g", "1000000.0", "1e+06"),
+        ("%e", "12.5", "1.250000e+01"),
+    ])
+    def test_float_formats(self, fmt, value, expected):
+        src = 'int main(void) { printf("%s", %s); return 0; }' % (fmt, value)
+        assert c_output(src) == expected
+
+    def test_string_format(self):
+        src = ('char *name = "ldb";\n'
+               'int main(void) { printf("[%10s]", name); return 0; }')
+        assert c_output(src) == "[       ldb]"
+
+    def test_mixed_arguments(self):
+        src = ('int main(void) { printf("%s=%d (%g)", "x", 7, 0.5); '
+               "return 0; }")
+        assert c_output(src) == "x=7 (0.5)"
+
+    @pytest.mark.parametrize("arch", ALL_ARCHES)
+    def test_formats_agree_across_targets(self, arch):
+        src = ('int main(void) { printf("%d|%u|%x|%c|%s|%g", -5, 5u, 254, '
+               "'z', \"ok\", 2.25); return 0; }")
+        assert c_output(src, arch) == "-5|5|fe|z|ok|2.25"
+
+
+class TestPutcharAndExit:
+    @pytest.mark.parametrize("arch", ALL_ARCHES)
+    def test_putchar(self, arch):
+        src = ("int main(void) { putchar('h'); putchar('i'); "
+               "putchar(10); return 0; }")
+        assert c_output(src, arch) == "hi\n"
+
+    @pytest.mark.parametrize("arch", ALL_ARCHES)
+    def test_exit_mid_program(self, arch):
+        src = ('int main(void) { printf("before"); exit(9); '
+               'printf("after"); return 0; }')
+        status, out = run_c(src, arch)
+        assert status == 9
+        assert out == "before"
+
+
+class TestRunawayProtection:
+    def test_infinite_loop_bounded(self):
+        arch = get_arch("rmips")
+        from ..machines.helpers import build
+        exe = build("rmips", [
+            Label("__start"),
+            Label("spin"),
+            Insn("j", target="spin"),
+        ])
+        process = Process(exe)
+        event = process.run_until_event(max_steps=10_000)
+        # the runaway guard surfaces as a fault, not a hang
+        assert event.__class__.__name__ == "FaultEvent"
+
+    def test_bad_syscall_faults(self):
+        from ..machines.helpers import build
+        exe = build("rmips", [Label("__start"), Insn("syscall", imm=99)])
+        process = Process(exe)
+        event = process.run_until_event()
+        assert event.__class__.__name__ == "FaultEvent"
+
+
+class TestMemorySizing:
+    def test_process_memory_matches_link(self):
+        from repro.cc.driver import compile_and_link
+        exe = compile_and_link({"t.c": "int main(void){return 0;}"},
+                               "rmips", debug=False, memsize=1 << 21)
+        process = Process(exe)
+        assert process.mem.size >= exe.stack_top
+        assert process.cpu.get_reg(exe.arch.sp) == exe.stack_top
+
+    def test_deep_recursion_overflows_gracefully(self):
+        src = """
+        int burn(int n) {
+            int pad[64];
+            pad[0] = n;
+            return burn(n + 1) + pad[0];
+        }
+        int main(void) { return burn(0); }
+        """
+        from repro.cc.driver import compile_and_link
+        from repro.machines import FaultEvent, SIGSEGV, SIGTRAP
+        exe = compile_and_link({"t.c": src}, "rmips", debug=False)
+        process = Process(exe)
+        event = process.run_until_event()
+        if isinstance(event, FaultEvent) and event.signo == SIGTRAP:
+            process.cpu.pc = event.pc + exe.arch.noop_advance
+            event = process.run_until_event()
+        assert isinstance(event, FaultEvent)
+        assert event.signo == SIGSEGV   # stack ran off the bottom

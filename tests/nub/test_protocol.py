@@ -1,0 +1,114 @@
+"""Wire-protocol tests: framing, round-trips, validation.
+
+The paper validated its protocol with a model checker [13]; we settle
+for exhaustive round-trip property tests.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nub import protocol as p
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        msg = p.fetch("d", 0x1234, 4)
+        decoded, rest = p.decode(p.encode(msg))
+        assert decoded == msg and rest == b""
+
+    def test_partial_frame_returns_none(self):
+        data = p.encode(p.fetch("d", 0, 4))
+        decoded, rest = p.decode(data[:3])
+        assert decoded is None and rest == data[:3]
+
+    def test_two_frames_in_buffer(self):
+        data = p.encode(p.ok()) + p.encode(p.cont())
+        first, rest = p.decode(data)
+        second, rest = p.decode(rest)
+        assert first.mtype == p.MSG_OK
+        assert second.mtype == p.MSG_CONTINUE
+        assert rest == b""
+
+    def test_little_endian_length(self):
+        """The protocol is little-endian regardless of host order."""
+        msg = p.data(b"\x01\x02\x03")
+        raw = p.encode(msg)
+        assert raw[1:5] == (3).to_bytes(4, "little")
+
+
+class TestMessages:
+    def test_fetch_fields(self):
+        space, address, size = p.parse_fetch(p.fetch("c", 0xDEAD, 8))
+        assert (space, address, size) == ("c", 0xDEAD, 8)
+
+    def test_store_fields(self):
+        space, address, data = p.parse_store(p.store("d", 64, b"\x2a\0\0\0"))
+        assert (space, address, data) == ("d", 64, b"\x2a\0\0\0")
+
+    def test_signal_fields(self):
+        assert p.parse_signal(p.signal(5, 0, 0x100)) == (5, 0, 0x100)
+
+    def test_exited_negative_status(self):
+        assert p.parse_exited(p.exited(-1)) == -1
+
+    def test_error_code(self):
+        assert p.parse_error(p.error(p.ERR_BAD_SPACE)) == p.ERR_BAD_SPACE
+
+    def test_bad_fetch_size_rejected(self):
+        with pytest.raises(p.ProtocolError):
+            p.fetch("d", 0, 3)
+
+    def test_bad_store_size_rejected(self):
+        with pytest.raises(p.ProtocolError):
+            p.store("d", 0, b"\x00" * 7)
+
+    def test_value_sizes_are_the_abstract_memory_sizes(self):
+        """Three integer sizes and three float sizes (Sec. 4.1) — 4 and
+        8 bytes shared between the families."""
+        assert p.VALUE_SIZES == (1, 2, 4, 8, 10)
+
+    def test_core_protocol_has_no_breakpoint_or_step_messages(self):
+        """The key simplification (Sec. 6): the core protocol does not
+        mention breakpoints or single-stepping.  PLANT/UNPLANT/BREAKS
+        are the paper's own Sec. 7.1 *extension*, optional by design —
+        a nub may reject them and the debugger falls back to stores."""
+        core = {p.MSG_FETCH, p.MSG_STORE, p.MSG_CONTINUE, p.MSG_DETACH,
+                p.MSG_KILL, p.MSG_SIGNAL, p.MSG_EXITED, p.MSG_DATA,
+                p.MSG_OK, p.MSG_ERROR}
+        extension = {p.MSG_PLANT, p.MSG_UNPLANT, p.MSG_BREAKS,
+                     p.MSG_BREAKLIST}
+        assert not core & extension
+        assert not any("STEP" in n for n in dir(p) if n.startswith("MSG_"))
+
+
+class TestProperties:
+    @given(st.sampled_from("cd"), st.integers(0, 2**32 - 1),
+           st.sampled_from(p.VALUE_SIZES))
+    def test_fetch_round_trip(self, space, address, size):
+        msg, rest = p.decode(p.encode(p.fetch(space, address, size)))
+        assert rest == b""
+        assert p.parse_fetch(msg) == (space, address, size)
+
+    @given(st.sampled_from("cd"), st.integers(0, 2**32 - 1),
+           st.binary(min_size=1, max_size=10).filter(
+               lambda b: len(b) in p.VALUE_SIZES))
+    def test_store_round_trip(self, space, address, data):
+        msg, rest = p.decode(p.encode(p.store(space, address, data)))
+        assert p.parse_store(msg) == (space, address, data)
+
+    @given(st.integers(1, 31), st.integers(0, 2**31 - 1), st.integers(0, 2**31 - 1))
+    def test_signal_round_trip(self, signo, code, ctx):
+        msg, _rest = p.decode(p.encode(p.signal(signo, code, ctx)))
+        assert p.parse_signal(msg) == (signo, code, ctx)
+
+    @given(st.binary(max_size=64))
+    def test_concatenated_stream_reassembles(self, junk_payload):
+        msgs = [p.ok(), p.data(junk_payload), p.cont()]
+        stream = b"".join(p.encode(m) for m in msgs)
+        out = []
+        while stream:
+            msg, stream = p.decode(stream)
+            assert msg is not None
+            out.append(msg)
+        assert out == msgs

@@ -1,0 +1,37 @@
+"""Test doubles for abstract memories."""
+
+from repro.postscript import AbstractMemory, Location
+
+
+class FakeMemory(AbstractMemory):
+    """A memory storing one value per (space, offset) slot.
+
+    This double checks the *plumbing* of printer procedures and memory
+    operators; byte-accurate semantics are covered by the target-memory
+    tests in tests/machines.
+    """
+
+    def __init__(self):
+        self.slots = {}
+        self.fetch_log = []
+
+    def put(self, space, offset, value):
+        self.slots[(space, offset)] = value
+        return self
+
+    def put_cstring(self, space, offset, text):
+        for i, ch in enumerate(text):
+            self.slots[(space, offset + i)] = ord(ch)
+        self.slots[(space, offset + len(text))] = 0
+        return self
+
+    def fetch_absolute(self, loc, kind):
+        self.fetch_log.append((loc.space, loc.offset, kind))
+        return self.slots[(loc.space, loc.offset)]
+
+    def store_absolute(self, loc, kind, value):
+        self.slots[(loc.space, loc.offset)] = value
+
+
+def loc(space, offset):
+    return Location.absolute(space, offset)

@@ -1,0 +1,127 @@
+"""Interpreter error-path tests: every error becomes a host exception
+(paper Sec. 5: "interpreter errors raise Modula-3 exceptions")."""
+
+import pytest
+
+from repro.postscript import PSError
+from repro.postscript.objects import PSStop
+
+
+def expect_error(interp, source, errname):
+    with pytest.raises(PSError) as info:
+        interp.run(source)
+    assert info.value.errname == errname, info.value
+
+
+class TestTypeErrors:
+    @pytest.mark.parametrize("source", [
+        "(a) 1 add",
+        "true 1 add",
+        "1 { } add",
+        "1 2 begin",
+        "5 load",
+        "1 true and",
+        "(a) not",
+        "1 forall",
+        "(abc) (x) put",
+        "1 2 get",
+    ])
+    def test_typecheck_like_errors(self, bare_ps, source):
+        with pytest.raises(PSError):
+            bare_ps.interp.run(source)
+
+    def test_invalidaccess_on_string_put(self, bare_ps):
+        expect_error(bare_ps.interp, "(abc) 0 65 put", "invalidaccess")
+
+
+class TestStackErrors:
+    @pytest.mark.parametrize("source", [
+        "pop", "exch", "add", "1 add", "def", "/x def", "dup",
+    ])
+    def test_stackunderflow(self, bare_ps, source):
+        expect_error(bare_ps.interp, source, "stackunderflow")
+
+    def test_counttomark_without_mark(self, bare_ps):
+        expect_error(bare_ps.interp, "1 2 counttomark", "unmatchedmark")
+
+    def test_dictstackunderflow(self, bare_ps):
+        expect_error(bare_ps.interp, "end", "dictstackunderflow")
+
+    def test_copy_negative(self, bare_ps):
+        expect_error(bare_ps.interp, "1 -1 copy", "rangecheck")
+
+    def test_index_past_bottom(self, bare_ps):
+        expect_error(bare_ps.interp, "1 5 index", "stackunderflow")
+
+
+class TestRangeErrors:
+    @pytest.mark.parametrize("source,errname", [
+        ("1 0 idiv", "undefinedresult"),
+        ("1 0 mod", "undefinedresult"),
+        ("1.0 0.0 div", "undefinedresult"),
+        ("-2 array", "rangecheck"),
+        ("[1 2] 5 get", "rangecheck"),
+        ("[1 2] -1 0 put", "rangecheck"),
+        ("1 0 5 { } for", "rangecheck"),
+        ("-3 { } repeat", "rangecheck"),
+        ("(xy) 7 get", "rangecheck"),
+    ])
+    def test_range(self, bare_ps, source, errname):
+        expect_error(bare_ps.interp, source, errname)
+
+
+class TestNameErrors:
+    def test_undefined_name(self, bare_ps):
+        expect_error(bare_ps.interp, "florble", "undefined")
+
+    def test_undefined_dict_key(self, bare_ps):
+        expect_error(bare_ps.interp, "<< /a 1 >> /b get", "undefined")
+
+    def test_load_of_undefined(self, bare_ps):
+        expect_error(bare_ps.interp, "/florble load", "undefined")
+
+    def test_error_detail_names_the_symbol(self, bare_ps):
+        with pytest.raises(PSError) as info:
+            bare_ps.interp.run("nonesuch_name")
+        assert "nonesuch_name" in str(info.value)
+
+
+class TestConversionErrors:
+    @pytest.mark.parametrize("source", [
+        "(not a number) cvi",
+        "(nope) cvr",
+        "true cvi",
+        "[1] cvr",
+    ])
+    def test_bad_conversions(self, bare_ps, source):
+        with pytest.raises(PSError):
+            bare_ps.interp.run(source)
+
+    def test_chr_out_of_range(self, bare_ps):
+        expect_error(bare_ps.interp, "-1 chr", "rangecheck")
+
+
+class TestErrorRecovery:
+    def test_stopped_isolates_errors(self, bare_ps):
+        """After a caught error the interpreter keeps working."""
+        bare_ps.interp.run("{ 1 0 idiv } stopped")
+        assert bare_ps.interp.pop() is True
+        assert bare_ps.eval("2 3 add") == 5
+
+    def test_dict_stack_survives_error_in_stopped(self, bare_ps):
+        bare_ps.interp.run("/x 1 def { 5 dict begin nonesuch } stopped pop")
+        # the failed begin leaked one dict; the dialect leaves recovery
+        # to the host, which can pop it explicitly
+        while len(bare_ps.interp.dstack) > 2:
+            bare_ps.interp.pop_dict_stack()
+        assert bare_ps.eval("x") == 1
+
+    def test_nested_stopped(self, bare_ps):
+        bare_ps.interp.run("{ { stop } stopped } stopped")
+        assert bare_ps.interp.pop() is False   # outer saw no error
+        assert bare_ps.interp.pop() is True    # inner caught the stop
+
+    def test_exit_not_caught_by_stopped(self, bare_ps):
+        """exit unwinds to the enclosing loop, not to stopped."""
+        assert bare_ps.eval("0 { { exit 99 } loop 7 } stopped") is False
+        assert bare_ps.interp.pop() == 7

@@ -1,0 +1,262 @@
+"""Interpreter execution tests: stacks, dictionaries, control, stopped."""
+
+import io
+
+import pytest
+
+from repro.postscript import Interp, Name, PSArray, PSDict, PSError, Reader, String, new_interp
+from repro.postscript.objects import PSStop
+
+
+class TestStacks:
+    def test_literal_pushes(self, bare_ps):
+        assert bare_ps.eval("42") == 42
+
+    def test_dup_pop_exch(self, bare_ps):
+        bare_ps.interp.run("1 2 exch")
+        assert bare_ps.interp.pop_n(2) == [2, 1]
+
+    def test_copy(self, bare_ps):
+        bare_ps.interp.run("1 2 3 2 copy")
+        assert bare_ps.interp.pop_n(5) == [1, 2, 3, 2, 3]
+
+    def test_index(self, bare_ps):
+        assert bare_ps.eval("10 20 30 2 index") == 10
+
+    def test_roll_positive(self, bare_ps):
+        bare_ps.interp.run("1 2 3 3 1 roll")
+        assert bare_ps.interp.pop_n(3) == [3, 1, 2]
+
+    def test_roll_negative(self, bare_ps):
+        """The 3 -1 roll idiom from the paper's ARRAY procedure."""
+        bare_ps.interp.run("1 2 3 3 -1 roll")
+        assert bare_ps.interp.pop_n(3) == [2, 3, 1]
+
+    def test_stackunderflow(self, bare_ps):
+        with pytest.raises(PSError) as info:
+            bare_ps.interp.run("pop")
+        assert info.value.errname == "stackunderflow"
+
+    def test_counttomark(self, bare_ps):
+        assert bare_ps.eval("mark 1 2 3 counttomark") == 3
+
+    def test_cleartomark(self, bare_ps):
+        bare_ps.interp.run("7 mark 1 2 cleartomark")
+        assert bare_ps.interp.pop() == 7
+        assert bare_ps.interp.ostack == []
+
+
+class TestDictionaries:
+    def test_def_and_lookup(self, bare_ps):
+        assert bare_ps.eval("/x 5 def x") == 5
+
+    def test_dict_literal(self, bare_ps):
+        d = bare_ps.eval("<< /name (i) /sourcey 6 >>")
+        assert isinstance(d, PSDict)
+        assert d["name"].text == "i"
+        assert d["sourcey"] == 6
+
+    def test_nested_dict_literal(self, bare_ps):
+        """Symbol-table entries nest type dictionaries (paper Sec. 2)."""
+        d = bare_ps.eval("<< /type << /decl (int %s) /printer {INT} >> >>")
+        inner = d["type"]
+        assert inner["decl"].text == "int %s"
+        assert isinstance(inner["printer"], PSArray)
+
+    def test_begin_end_scoping(self, bare_ps):
+        bare_ps.interp.run("/x 1 def 5 dict begin /x 2 def x end x")
+        assert bare_ps.interp.pop_n(2) == [2, 1]
+
+    def test_name_resolution_top_down(self, bare_ps):
+        """Pushing a dict rebinds names — ldb's arch-switching mechanism."""
+        bare_ps.interp.run("/width 32 def")
+        arch = PSDict()
+        arch["width"] = 64
+        bare_ps.interp.push_dict(arch)
+        assert bare_ps.eval("width") == 64
+        bare_ps.interp.pop_dict_stack()
+        assert bare_ps.eval("width") == 32
+
+    def test_store_updates_defining_dict(self, bare_ps):
+        bare_ps.interp.run("/x 1 def 5 dict begin /x 2 store end x")
+        assert bare_ps.interp.pop() == 2
+
+    def test_known(self, bare_ps):
+        assert bare_ps.eval("<< /a 1 >> /a known") is True
+        assert bare_ps.eval("<< /a 1 >> /b known") is False
+
+    def test_where_found(self, bare_ps):
+        bare_ps.interp.run("/y 9 def /y where")
+        assert bare_ps.interp.pop() is True
+        assert isinstance(bare_ps.interp.pop(), PSDict)
+
+    def test_where_not_found(self, bare_ps):
+        assert bare_ps.eval("/nonesuch where") is False
+
+    def test_undefined_name_raises(self, bare_ps):
+        with pytest.raises(PSError) as info:
+            bare_ps.interp.run("nonesuch")
+        assert info.value.errname == "undefined"
+
+    def test_string_and_name_keys_equal(self, bare_ps):
+        assert bare_ps.eval("<< (k) 1 >> /k get") == 1
+
+    def test_undef(self, bare_ps):
+        assert bare_ps.eval("<< /a 1 >> dup /a undef /a known") is False
+
+
+class TestControl:
+    def test_if_true(self, bare_ps):
+        assert bare_ps.eval("true { 1 } if") == 1
+
+    def test_if_false_skips(self, bare_ps):
+        bare_ps.interp.run("false { 1 } if")
+        assert bare_ps.interp.ostack == []
+
+    def test_ifelse(self, bare_ps):
+        assert bare_ps.eval("1 2 lt { (yes) } { (no) } ifelse").text == "yes"
+
+    def test_for_accumulates(self, bare_ps):
+        assert bare_ps.eval("0 1 1 4 { add } for") == 10
+
+    def test_for_with_step(self, bare_ps):
+        """The ARRAY loop steps by element size (paper Sec. 2)."""
+        bare_ps.interp.run("0 4 12 { } for")
+        assert bare_ps.interp.pop_n(4) == [0, 4, 8, 12]
+
+    def test_for_downward(self, bare_ps):
+        bare_ps.interp.run("3 -1 1 { } for")
+        assert bare_ps.interp.pop_n(3) == [3, 2, 1]
+
+    def test_exit_from_for(self, bare_ps):
+        assert bare_ps.eval("0 1 1 100 { dup 5 ge { pop exit } if add } for") == 10
+
+    def test_repeat(self, bare_ps):
+        assert bare_ps.eval("0 5 { 1 add } repeat") == 5
+
+    def test_loop_with_exit(self, bare_ps):
+        assert bare_ps.eval("0 { 1 add dup 7 ge { exit } if } loop") == 7
+
+    def test_forall_array(self, bare_ps):
+        assert bare_ps.eval("0 [1 2 3 4] { add } forall") == 10
+
+    def test_forall_string(self, bare_ps):
+        assert bare_ps.eval("0 (AB) { add } forall") == ord("A") + ord("B")
+
+    def test_forall_dict(self, bare_ps):
+        assert bare_ps.eval("0 << /a 1 /b 2 >> { exch pop add } forall") == 3
+
+    def test_forall_exit(self, bare_ps):
+        assert bare_ps.eval("[1 2 3] { dup 2 eq { exit } if pop } forall") == 2
+
+    def test_exec_procedure(self, bare_ps):
+        assert bare_ps.eval("{ 2 3 mul } exec") == 6
+
+    def test_nested_proc_deferred(self, bare_ps):
+        """Inside a body, inner procedures are pushed, not run."""
+        inner = bare_ps.eval("{ { 99 } } exec")
+        assert isinstance(inner, PSArray) and not inner.literal
+
+    def test_stop_and_stopped(self, bare_ps):
+        assert bare_ps.eval("{ 1 stop 2 } stopped") is True
+        assert bare_ps.interp.pop() == 1
+
+    def test_stopped_false_on_success(self, bare_ps):
+        assert bare_ps.eval("{ 1 } stopped") is False
+
+    def test_stopped_catches_errors(self, bare_ps):
+        assert bare_ps.eval("{ nonesuch } stopped") is True
+
+    def test_uncaught_stop_raises(self, bare_ps):
+        with pytest.raises(PSStop):
+            bare_ps.interp.run("stop")
+
+    def test_bind_replaces_operators(self, bare_ps):
+        proc = bare_ps.eval("{ 1 2 add } bind")
+        from repro.postscript.objects import Operator
+        assert isinstance(proc.items[2], Operator)
+
+    def test_bind_leaves_unknown_names(self, bare_ps):
+        proc = bare_ps.eval("{ futuredef } bind")
+        assert isinstance(proc.items[0], Name)
+
+
+class TestExecutableStringsAndReaders:
+    def test_cvx_string_executes(self, bare_ps):
+        """Deferred lexical analysis: quoted code runs via cvx (Sec. 5)."""
+        assert bare_ps.eval("(3 4 mul) cvx exec") == 12
+
+    def test_cvx_stopped_on_reader(self, bare_ps):
+        """The expression-server drive loop: cvx stopped on a pipe."""
+        pipe = io.StringIO("1 2 add\nstop\nnever run\n")
+        bare_ps.interp.push(Reader(pipe, "pipe"))
+        assert bare_ps.eval("cvx stopped") is True
+        assert bare_ps.interp.pop() == 3
+
+    def test_reader_stops_midstream(self, bare_ps):
+        """After stop, the rest of the stream is unread."""
+        pipe = io.StringIO("10 stop\n20\n")
+        bare_ps.interp.push(Reader(pipe, "pipe"))
+        bare_ps.interp.run("cvx stopped pop")
+        assert bare_ps.interp.pop() == 10
+        assert "20" in pipe.read()
+
+    def test_literal_reader_pushes(self, bare_ps):
+        reader = Reader(io.StringIO("1"))
+        bare_ps.interp.push(reader)
+        bare_ps.interp.run("dup")
+        assert bare_ps.interp.pop() is reader
+
+
+class TestDefinedProcedures:
+    def test_procedure_runs_when_name_executed(self, bare_ps):
+        assert bare_ps.eval("/double { 2 mul } def 21 double") == 42
+
+    def test_recursive_procedure(self, bare_ps):
+        bare_ps.interp.run(
+            "/fact { dup 1 le { pop 1 } { dup 1 sub fact mul } ifelse } def")
+        assert bare_ps.eval("6 fact") == 720
+
+    def test_load_pushes_without_running(self, bare_ps):
+        proc = bare_ps.eval("/p { 1 } def /p load")
+        assert isinstance(proc, PSArray) and not proc.literal
+
+    def test_name_bound_to_constant(self, bare_ps):
+        assert bare_ps.eval("/k 13 def k") == 13
+
+    def test_literal_name_executed_pushes_itself(self, bare_ps):
+        obj = bare_ps.eval("/lit")
+        assert isinstance(obj, Name) and obj.literal
+
+
+class TestPaperExamples:
+    def test_symbol_table_entry_shape(self, bare_ps):
+        """The S10 entry for `i` from paper Sec. 2 parses and builds."""
+        bare_ps.interp.run("""
+          /Regset0 (r) def
+          /S10 <<
+            /name (i)
+            /type << /decl (int %s) /printer {INT} >>
+            /sourcefile (fib.c) /sourcey 6 /sourcex 8
+            /kind (variable)
+            /where 30 Regset0 Absolute
+            /uplink null
+          >> def
+        """)
+        entry = bare_ps.eval("S10")
+        assert entry["name"].text == "i"
+        assert entry["kind"].text == "variable"
+        where = entry["where"]
+        assert where.space == "r" and where.offset == 30
+
+    def test_loader_table_shape(self, bare_ps):
+        """The loader table for fib from paper Sec. 3."""
+        table = bare_ps.eval("""
+          <<
+            /anchormap << /_stanchor__V2935334b_e288a 16#000023d8 >>
+            /proctable [ 16#00002270 (_fib) 16#00002374 (_main) ]
+          >>
+        """)
+        assert table["anchormap"]["_stanchor__V2935334b_e288a"] == 0x23D8
+        assert table["proctable"][0] == 0x2270
+        assert table["proctable"][1].text == "_fib"

@@ -1,0 +1,141 @@
+"""Abstract-memory and location operator tests."""
+
+import pytest
+
+from repro.postscript import IMMEDIATE, Location, PSError
+
+from .fakes import FakeMemory, loc
+
+
+class TestLocation:
+    def test_absolute(self):
+        l = Location.absolute("d", 100)
+        assert l.space == "d" and l.offset == 100 and l.mode == "absolute"
+
+    def test_immediate_holds_value(self):
+        l = Location.immediate(0x2270)
+        assert l.mode == IMMEDIATE and l.value == 0x2270
+
+    def test_shifted(self):
+        assert loc("d", 8).shifted(4) == loc("d", 12)
+
+    def test_shifted_immediate_raises(self):
+        with pytest.raises(PSError):
+            Location.immediate(1).shifted(4)
+
+    def test_equality(self):
+        assert loc("d", 4) == loc("d", 4)
+        assert loc("d", 4) != loc("r", 4)
+        assert loc("d", 4) != loc("d", 8)
+
+
+class TestMemoryDispatch:
+    def test_fetch_absolute_goes_to_memory(self):
+        mem = FakeMemory().put("d", 16, 77)
+        assert mem.fetch(loc("d", 16), "i32") == 77
+
+    def test_fetch_immediate_returns_value(self):
+        """Immediate-mode fetches never reach the target (paper Sec. 4.1)."""
+        mem = FakeMemory()
+        assert mem.fetch(Location.immediate(123), "i32") == 123
+        assert mem.fetch_log == []
+
+    def test_store_immediate_updates_cell(self):
+        """Stores to immediate locations update the cell — ldb sets the pc
+        this way before writing it back on continue."""
+        cell = Location.immediate(0x100)
+        FakeMemory().store(cell, "i32", 0x104)
+        assert cell.value == 0x104
+
+    def test_store_absolute_goes_to_memory(self):
+        mem = FakeMemory()
+        mem.store(loc("d", 4), "i16", 9)
+        assert mem.slots[("d", 4)] == 9
+
+
+class TestOperators:
+    def setup_memory(self, bare_ps):
+        mem = FakeMemory().put("d", 8, 42).put("r", 30, 7)
+        bare_ps.interp.define("M", mem)
+        return mem
+
+    def test_absolute_operator(self, bare_ps):
+        l = bare_ps.eval("30 (r) Absolute")
+        assert l == loc("r", 30)
+
+    def test_absolute_with_name_space(self, bare_ps):
+        assert bare_ps.eval("4 /d Absolute") == loc("d", 4)
+
+    def test_regset_idiom(self, bare_ps):
+        """`30 Regset0 Absolute` — the where-value idiom from Sec. 2."""
+        bare_ps.interp.run("/Regset0 (r) def")
+        assert bare_ps.eval("30 Regset0 Absolute") == loc("r", 30)
+
+    def test_immediate_operator(self, bare_ps):
+        l = bare_ps.eval("99 Immediate")
+        assert l.mode == IMMEDIATE and l.value == 99
+
+    def test_shifted_operator(self, bare_ps):
+        assert bare_ps.eval("0 (d) Absolute 12 Shifted") == loc("d", 12)
+
+    def test_fetch32(self, bare_ps):
+        self.setup_memory(bare_ps)
+        assert bare_ps.eval("M 8 (d) Absolute fetch32") == 42
+
+    def test_fetch_from_register_space(self, bare_ps):
+        self.setup_memory(bare_ps)
+        assert bare_ps.eval("M 30 (r) Absolute fetch32") == 7
+
+    def test_store32(self, bare_ps):
+        mem = self.setup_memory(bare_ps)
+        bare_ps.interp.run("M 8 (d) Absolute 55 store32")
+        assert mem.slots[("d", 8)] == 55
+
+    def test_fetchf64(self, bare_ps):
+        mem = FakeMemory().put("d", 0, 2.5)
+        bare_ps.interp.define("M", mem)
+        assert bare_ps.eval("M 0 (d) Absolute fetchf64") == 2.5
+
+    def test_storef32_coerces_to_float(self, bare_ps):
+        mem = FakeMemory()
+        bare_ps.interp.define("M", mem)
+        bare_ps.interp.run("M 0 (d) Absolute 3 storef32")
+        assert mem.slots[("d", 0)] == 3.0
+
+    def test_locspace_locoffset(self, bare_ps):
+        assert bare_ps.eval("5 (d) Absolute locspace").text == "d"
+        assert bare_ps.eval("5 (d) Absolute locoffset") == 5
+
+    def test_fetch_typechecks(self, bare_ps):
+        with pytest.raises(PSError) as info:
+            bare_ps.interp.run("1 2 fetch32")
+        assert info.value.errname == "typecheck"
+
+    def test_memory_type_name(self, bare_ps):
+        bare_ps.interp.define("M", FakeMemory())
+        assert bare_ps.eval("M type").text == "memorytype"
+        assert bare_ps.eval("0 (d) Absolute type").text == "locationtype"
+
+
+class TestBaseMemoryErrors:
+    def test_base_fetch_is_invalidaccess(self):
+        from repro.postscript import AbstractMemory
+        with pytest.raises(PSError):
+            AbstractMemory().fetch(loc("d", 0), "i32")
+
+
+class TestMaskToKind:
+    @pytest.mark.parametrize("value,kind,expected", [
+        (0xFF, "i8", -1),
+        (0x7F, "i8", 127),
+        (0x80, "i8", -128),
+        (0xFFFF, "i16", -1),
+        (0x8000, "i16", -32768),
+        (0xFFFFFFFF, "i32", -1),
+        (0x7FFFFFFF, "i32", 2**31 - 1),
+        (2**32 + 5, "i32", 5),
+        (-1, "i8", -1),
+    ])
+    def test_masking(self, value, kind, expected):
+        from repro.postscript import mask_to_kind
+        assert mask_to_kind(value, kind) == expected

@@ -1,0 +1,222 @@
+"""Operator tests: arithmetic, comparison, arrays, strings, conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.postscript import Name, PSArray, PSError, String, new_interp
+
+
+def _fresh_interp():
+    import io
+    return new_interp(stdout=io.StringIO(), prelude=False)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("src,expected", [
+        ("1 2 add", 3),
+        ("5 3 sub", 2),
+        ("4 6 mul", 24),
+        ("7 2 idiv", 3),
+        ("-7 2 idiv", -3),
+        ("7 -2 idiv", -3),
+        ("7 3 mod", 1),
+        ("-7 3 mod", -1),
+        ("5 neg", -5),
+        ("-5 abs", 5),
+        ("2 10 exp", 1024.0),
+        ("3.7 floor", 3.0),
+        ("3.2 ceiling", 4.0),
+        ("3.5 round", 4.0),
+        ("-3.7 truncate", -3.0),
+        ("1 4 bitshift", 16),
+        ("16 -4 bitshift", 1),
+        ("3 5 min", 3),
+        ("3 5 max", 5),
+    ])
+    def test_result(self, bare_ps, src, expected):
+        assert bare_ps.eval(src) == expected
+
+    def test_div_is_real(self, bare_ps):
+        result = bare_ps.eval("1 2 div")
+        assert result == 0.5 and isinstance(result, float)
+
+    def test_div_by_zero(self, bare_ps):
+        with pytest.raises(PSError) as info:
+            bare_ps.interp.run("1 0 div")
+        assert info.value.errname == "undefinedresult"
+
+    def test_sqrt_negative(self, bare_ps):
+        with pytest.raises(PSError):
+            bare_ps.interp.run("-1 sqrt")
+
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_add_matches_python(self, a, b):
+        interp = _fresh_interp()
+        interp.run("%d %d add" % (a, b))
+        assert interp.pop() == a + b
+
+    @given(st.integers(-10**6, 10**6), st.integers(1, 10**4))
+    def test_idiv_mod_identity(self, a, b):
+        """PostScript truncating division: (a idiv b)*b + (a mod b) == a."""
+        interp = _fresh_interp()
+        interp.run("%d %d idiv %d %d mod" % (a, b, a, b))
+        r = interp.pop()
+        q = interp.pop()
+        assert q * b + r == a
+
+
+class TestComparison:
+    @pytest.mark.parametrize("src,expected", [
+        ("1 2 lt", True),
+        ("2 2 le", True),
+        ("3 2 gt", True),
+        ("2 3 ge", False),
+        ("2 2.0 eq", True),
+        ("1 2 ne", True),
+        ("(abc) (abc) eq", True),
+        ("(abc) (abd) eq", False),
+        ("(abc) /abc eq", True),
+        ("(a) (b) lt", True),
+        ("true false or", True),
+        ("true false and", False),
+        ("true true xor", False),
+        ("true not", False),
+        ("12 10 and", 8),
+        ("12 10 or", 14),
+        ("12 10 xor", 6),
+        ("0 not", -1),
+        ("null null eq", True),
+    ])
+    def test_result(self, bare_ps, src, expected):
+        assert bare_ps.eval(src) == expected
+
+    def test_arrays_compare_by_identity(self, bare_ps):
+        assert bare_ps.eval("[1] [1] eq") is False
+        assert bare_ps.eval("[1] dup eq") is True
+
+    def test_ordering_strings_and_numbers_raises(self, bare_ps):
+        with pytest.raises(PSError):
+            bare_ps.interp.run("(a) 1 lt")
+
+
+class TestArrays:
+    def test_literal_array(self, bare_ps):
+        arr = bare_ps.eval("[1 (two) /three]")
+        assert len(arr) == 3
+        assert arr[1].text == "two"
+
+    def test_array_of_n(self, bare_ps):
+        arr = bare_ps.eval("3 array")
+        assert len(arr) == 3 and arr[0] is None
+
+    def test_get_put(self, bare_ps):
+        assert bare_ps.eval("[10 20 30] dup 1 99 put 1 get") == 99
+
+    def test_get_out_of_range(self, bare_ps):
+        with pytest.raises(PSError) as info:
+            bare_ps.interp.run("[1] 5 get")
+        assert info.value.errname == "rangecheck"
+
+    def test_aload(self, bare_ps):
+        bare_ps.interp.run("[1 2 3] aload pop")
+        assert bare_ps.interp.pop_n(3) == [1, 2, 3]
+
+    def test_astore(self, bare_ps):
+        arr = bare_ps.eval("7 8 9 3 array astore")
+        assert arr.items == [7, 8, 9]
+
+    def test_array_evaluated_inside(self, bare_ps):
+        """[ ... ] contents are executed: names resolve."""
+        arr = bare_ps.eval("/S1 1 def /S6 6 def [ S1 S6 ]")
+        assert arr.items == [1, 6]
+
+
+class TestStrings:
+    def test_length(self, bare_ps):
+        assert bare_ps.eval("(hello) length") == 5
+
+    def test_get_char_code(self, bare_ps):
+        assert bare_ps.eval("(A) 0 get") == 65
+
+    def test_put_raises_immutable(self, bare_ps):
+        """Strings are immutable in the dialect (paper Sec. 5)."""
+        with pytest.raises(PSError) as info:
+            bare_ps.interp.run("(abc) 0 65 put")
+        assert info.value.errname == "invalidaccess"
+
+    def test_cat(self, bare_ps):
+        assert bare_ps.eval("(foo) (bar) cat").text == "foobar"
+
+    def test_search_found(self, bare_ps):
+        bare_ps.interp.run("(abcdef) (cd) search")
+        assert bare_ps.interp.pop() is True
+        assert bare_ps.interp.pop().text == "ab"
+        assert bare_ps.interp.pop().text == "cd"
+        assert bare_ps.interp.pop().text == "ef"
+
+    def test_search_not_found(self, bare_ps):
+        bare_ps.interp.run("(abc) (zz) search")
+        assert bare_ps.interp.pop() is False
+        assert bare_ps.interp.pop().text == "abc"
+
+    def test_anchorsearch(self, bare_ps):
+        bare_ps.interp.run("(_fib) (_) anchorsearch")
+        assert bare_ps.interp.pop() is True
+
+    def test_chr(self, bare_ps):
+        assert bare_ps.eval("65 chr").text == "A"
+
+    def test_hexstring(self, bare_ps):
+        assert bare_ps.eval("16#23d8 hexstring").text == "23d8"
+
+    def test_hexstring_negative_is_unsigned32(self, bare_ps):
+        assert bare_ps.eval("-1 hexstring").text == "ffffffff"
+
+
+class TestConversions:
+    def test_cvi_from_string(self, bare_ps):
+        assert bare_ps.eval("(42) cvi") == 42
+
+    def test_cvi_from_real(self, bare_ps):
+        assert bare_ps.eval("3.9 cvi") == 3
+
+    def test_cvr(self, bare_ps):
+        assert bare_ps.eval("(2.5) cvr") == 2.5
+
+    def test_cvn(self, bare_ps):
+        name = bare_ps.eval("(foo) cvn")
+        assert isinstance(name, Name) and name.text == "foo"
+
+    def test_cvs(self, bare_ps):
+        assert bare_ps.eval("42 cvs").text == "42"
+
+    def test_cvs_boolean(self, bare_ps):
+        assert bare_ps.eval("true cvs").text == "true"
+
+    def test_cvx_cvlit_xcheck(self, bare_ps):
+        assert bare_ps.eval("/a cvx xcheck") is True
+        assert bare_ps.eval("{1} cvlit xcheck") is False
+
+    def test_type_names(self, bare_ps):
+        assert bare_ps.eval("1 type").text == "integertype"
+        assert bare_ps.eval("1.0 type").text == "realtype"
+        assert bare_ps.eval("(s) type").text == "stringtype"
+        assert bare_ps.eval("/n type").text == "nametype"
+        assert bare_ps.eval("[] type").text == "arraytype"
+        assert bare_ps.eval("<< >> type").text == "dicttype"
+        assert bare_ps.eval("true type").text == "booleantype"
+        assert bare_ps.eval("null type").text == "nulltype"
+
+
+class TestOutput:
+    def test_print_writes_string(self, bare_ps):
+        assert bare_ps.run("(hello) print") == "hello"
+
+    def test_equals_adds_newline(self, bare_ps):
+        assert bare_ps.run("42 =") == "42\n"
+
+    def test_pstack_preserves_stack(self, bare_ps):
+        bare_ps.interp.run("1 2")
+        bare_ps.run("pstack")
+        assert bare_ps.interp.pop_n(2) == [1, 2]

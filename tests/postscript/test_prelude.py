@@ -1,0 +1,243 @@
+"""Tests for the shared PostScript prelude: the printer procedures.
+
+Each printer procedure takes (memory, location, typedict) and prints a
+value — the protocol from paper Sec. 2.
+"""
+
+import pytest
+
+from .fakes import FakeMemory, loc
+
+
+def int_type(ps):
+    return "<< /decl (int %s) /printer {INT} >>"
+
+
+class TestScalarPrinters:
+    def test_int(self, ps):
+        ps.interp.define("M", FakeMemory().put("d", 0, -5))
+        out = ps.run("M 0 (d) Absolute << /printer {INT} >> print Newline")
+        assert out == "-5\n"
+
+    def test_uint_wraps_negative(self, ps):
+        ps.interp.define("M", FakeMemory().put("d", 0, -1))
+        out = ps.run("M 0 (d) Absolute << /printer {UINT} >> print Newline")
+        assert out == "4294967295\n"
+
+    def test_short(self, ps):
+        ps.interp.define("M", FakeMemory().put("d", 0, -7))
+        out = ps.run("M 0 (d) Absolute << /printer {SHORT} >> print Newline")
+        assert out == "-7\n"
+
+    def test_char_printable(self, ps):
+        ps.interp.define("M", FakeMemory().put("d", 0, ord("A")))
+        out = ps.run("M 0 (d) Absolute << /printer {CHAR} >> print Newline")
+        assert out == "'A'\n"
+
+    def test_char_unprintable_prints_code(self, ps):
+        ps.interp.define("M", FakeMemory().put("d", 0, 7))
+        out = ps.run("M 0 (d) Absolute << /printer {CHAR} >> print Newline")
+        assert out == "7\n"
+
+    def test_double(self, ps):
+        ps.interp.define("M", FakeMemory().put("d", 0, 3.25))
+        out = ps.run("M 0 (d) Absolute << /printer {DOUBLE} >> print Newline")
+        assert out == "3.25\n"
+
+    def test_ptr_hex(self, ps):
+        ps.interp.define("M", FakeMemory().put("d", 0, 0x23D8))
+        out = ps.run("M 0 (d) Absolute << /printer {PTR} >> print Newline")
+        assert out == "0x23d8\n"
+
+    def test_ptr_with_procname(self, ps):
+        """With a loader table available the host installs ProcName and
+        function pointers print by name (paper Sec. 7)."""
+        from repro.postscript import String
+
+        def proc_name(interp):
+            addr = interp.pop_int()
+            interp.push(String("fib") if addr == 0x2270 else None)
+
+        ps.interp.defop("ProcName", proc_name)
+        ps.interp.define("M", FakeMemory().put("d", 0, 0x2270))
+        out = ps.run("M 0 (d) Absolute << /printer {PTR} >> print Newline")
+        assert out == "fib\n"
+
+
+class TestArrayPrinter:
+    def make_array_type(self, ps, elemsize=4, arraysize=20):
+        ps.interp.run("""
+          /ElemType << /decl (int %%s) /printer {INT} >> def
+          /ArrType <<
+            /decl (int %%s[%d])
+            /printer {ARRAY}
+            /elemsize %d
+            /arraysize %d
+            /elemtype ElemType
+          >> def
+        """ % (arraysize // elemsize, elemsize, arraysize))
+
+    def test_small_array(self, ps):
+        mem = FakeMemory()
+        for i, v in enumerate([1, 1, 2, 3, 5]):
+            mem.put("d", 100 + 4 * i, v)
+        ps.interp.define("M", mem)
+        self.make_array_type(ps, elemsize=4, arraysize=20)
+        out = ps.run("M 100 (d) Absolute ArrType print Newline")
+        assert out == "{1, 1, 2, 3, 5}\n"
+
+    def test_array_ellipsis_past_limit(self, ps):
+        """More elements than ArrayLimit print an ellipsis (paper Sec. 2)."""
+        mem = FakeMemory()
+        for i in range(16):
+            mem.put("d", 4 * i, i)
+        ps.interp.define("M", mem)
+        self.make_array_type(ps, elemsize=4, arraysize=64)
+        out = ps.run("M 0 (d) Absolute ArrType print Newline")
+        assert "..." in out
+        assert "15" not in out
+
+    def test_array_respects_custom_limit(self, ps):
+        mem = FakeMemory()
+        for i in range(8):
+            mem.put("d", 4 * i, i)
+        ps.interp.define("M", mem)
+        self.make_array_type(ps, elemsize=4, arraysize=32)
+        ps.interp.run("/ArrayLimit 3 def")
+        out = ps.run("M 0 (d) Absolute ArrType print Newline")
+        assert out == "{0, 1, 2, ...}\n"
+
+    def test_long_array_line_breaks(self, ps):
+        """A potential line break precedes each element after the first."""
+        ps.interp.pretty.width = 24
+        mem = FakeMemory()
+        for i in range(10):
+            mem.put("d", 4 * i, 1000000 + i)
+        ps.interp.define("M", mem)
+        self.make_array_type(ps, elemsize=4, arraysize=40)
+        out = ps.run("M 0 (d) Absolute ArrType print Newline")
+        body_lines = out.rstrip("\n").split("\n")
+        assert len(body_lines) > 1
+
+    def test_array_of_shorts_uses_elemsize(self, ps):
+        mem = FakeMemory()
+        for i, v in enumerate([10, 20, 30]):
+            mem.put("d", 2 * i, v)
+        ps.interp.define("M", mem)
+        ps.interp.run("""
+          /ArrType << /printer {ARRAY} /elemsize 2 /arraysize 6
+                      /elemtype << /printer {SHORT} >> >> def
+        """)
+        out = ps.run("M 0 (d) Absolute ArrType print Newline")
+        assert out == "{10, 20, 30}\n"
+
+
+class TestStructPrinter:
+    def test_struct_fields(self, ps):
+        mem = FakeMemory().put("d", 0, 3).put("d", 4, 4)
+        ps.interp.define("M", mem)
+        ps.interp.run("""
+          /IntT << /printer {INT} >> def
+          /PointT <<
+            /printer {STRUCT}
+            /fields [
+              << /name (x) /offset 0 /ftype IntT >>
+              << /name (y) /offset 4 /ftype IntT >>
+            ]
+          >> def
+        """)
+        out = ps.run("M 0 (d) Absolute PointT print Newline")
+        assert out == "{x = 3, y = 4}\n"
+
+    def test_nested_struct(self, ps):
+        mem = FakeMemory().put("d", 0, 1).put("d", 4, 2).put("d", 8, 3)
+        ps.interp.define("M", mem)
+        ps.interp.run("""
+          /IntT << /printer {INT} >> def
+          /InnerT << /printer {STRUCT}
+            /fields [ << /name (a) /offset 0 /ftype IntT >>
+                      << /name (b) /offset 4 /ftype IntT >> ] >> def
+          /OuterT << /printer {STRUCT}
+            /fields [ << /name (in) /offset 0 /ftype InnerT >>
+                      << /name (c) /offset 8 /ftype IntT >> ] >> def
+        """)
+        out = ps.run("M 0 (d) Absolute OuterT print Newline")
+        assert out == "{in = {a = 1, b = 2}, c = 3}\n"
+
+    def test_struct_at_shifted_base(self, ps):
+        mem = FakeMemory().put("d", 100, 9).put("d", 104, 8)
+        ps.interp.define("M", mem)
+        ps.interp.run("""
+          /T << /printer {STRUCT}
+            /fields [ << /name (p) /offset 0 /ftype << /printer {INT} >> >>
+                      << /name (q) /offset 4 /ftype << /printer {INT} >> >> ] >> def
+        """)
+        out = ps.run("M 100 (d) Absolute T print Newline")
+        assert out == "{p = 9, q = 8}\n"
+
+
+class TestEnumAndStringPrinters:
+    def test_enum_named_value(self, ps):
+        ps.interp.define("M", FakeMemory().put("d", 0, 1))
+        ps.interp.run("/ColorT << /printer {ENUM} "
+                      "/enumtags << 0 (RED) 1 (GREEN) 2 (BLUE) >> >> def")
+        out = ps.run("M 0 (d) Absolute ColorT print Newline")
+        assert out == "GREEN\n"
+
+    def test_enum_unnamed_value_prints_number(self, ps):
+        ps.interp.define("M", FakeMemory().put("d", 0, 42))
+        ps.interp.run("/ColorT << /printer {ENUM} /enumtags << 0 (RED) >> >> def")
+        out = ps.run("M 0 (d) Absolute ColorT print Newline")
+        assert out == "42\n"
+
+    def test_cstring_follows_pointer(self, ps):
+        mem = FakeMemory().put("d", 0, 500).put_cstring("d", 500, "hi there")
+        ps.interp.define("M", mem)
+        out = ps.run("M 0 (d) Absolute << /printer {CSTRING} >> print Newline")
+        assert out == '"hi there"\n'
+
+    def test_cstring_null_pointer(self, ps):
+        ps.interp.define("M", FakeMemory().put("d", 0, 0))
+        out = ps.run("M 0 (d) Absolute << /printer {CSTRING} >> print Newline")
+        assert out == "NULL\n"
+
+
+class TestArchDicts:
+    @pytest.mark.parametrize("arch", ["rmips", "rsparc", "rm68k", "rvax"])
+    def test_arch_dict_defines_md_names(self, ps, arch):
+        from repro.postscript import load_arch_dict
+        d = load_arch_dict(ps.interp, arch)
+        for name in ("Regset0", "Regset1", "Local", "RegNames", "PC"):
+            assert name in d, "%s missing from %s" % (name, arch)
+
+    def test_arch_dicts_not_left_on_stack(self, ps):
+        from repro.postscript import load_arch_dict
+        depth = len(ps.interp.dstack)
+        load_arch_dict(ps.interp, "rmips")
+        assert len(ps.interp.dstack) == depth
+
+    def test_arch_switch_rebinds(self, ps):
+        """Pushing a different arch dict rebinds Regset names (Sec. 5)."""
+        from repro.postscript import load_arch_dict
+        mips = load_arch_dict(ps.interp, "rmips")
+        m68k = load_arch_dict(ps.interp, "rm68k")
+        ps.interp.push_dict(mips)
+        assert ps.eval("RegNames 29 get").text == "sp"
+        ps.interp.pop_dict_stack()
+        ps.interp.push_dict(m68k)
+        assert ps.eval("RegNames 15 get").text == "sp"
+        assert ps.eval("RegNames 0 get").text == "d0"
+
+    def test_local_addressing(self, ps):
+        """`off Local` computes a data-space location off FrameBase."""
+        from repro.postscript import load_arch_dict
+        from repro.postscript.memops import Location
+        mips = load_arch_dict(ps.interp, "rmips")
+        ps.interp.push_dict(mips)
+        ps.interp.define("FrameBase", 0x1000)
+        assert ps.eval("-8 Local") == Location.absolute("d", 0xFF8)
+
+    def test_unknown_arch_raises(self, ps):
+        from repro.postscript import PSError, load_arch_dict
+        with pytest.raises(PSError):
+            load_arch_dict(ps.interp, "pdp11")

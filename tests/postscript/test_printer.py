@@ -1,0 +1,100 @@
+"""Prettyprinter tests: groups, breaks, indentation."""
+
+import io
+
+from repro.postscript.printer import PrettyPrinter
+
+
+def render(width, actions):
+    out = io.StringIO()
+    pp = PrettyPrinter(out, width=width)
+    for action in actions:
+        kind = action[0]
+        if kind == "put":
+            pp.put(action[1])
+        elif kind == "brk":
+            pp.brk(action[1])
+        elif kind == "begin":
+            pp.begin(action[1])
+        elif kind == "end":
+            pp.end()
+        elif kind == "newline":
+            pp.newline()
+    return out.getvalue()
+
+
+class TestFlat:
+    def test_plain_text(self):
+        assert render(80, [("put", "hello")]) == "hello"
+
+    def test_break_outside_group_is_invisible(self):
+        assert render(80, [("put", "a"), ("brk", 0), ("put", "b")]) == "ab"
+
+    def test_small_group_stays_flat(self):
+        text = render(80, [
+            ("put", "{"), ("begin", 2),
+            ("put", "1"), ("put", ", "), ("brk", 0), ("put", "2"),
+            ("put", "}"), ("end",),
+        ])
+        assert text == "{1, 2}"
+
+
+class TestBreaking:
+    def test_wide_group_breaks(self):
+        actions = [("put", "{"), ("begin", 2)]
+        for i in range(6):
+            if i:
+                actions += [("put", ", "), ("brk", 0)]
+            actions.append(("put", "elem%d" % i))
+        actions += [("put", "}"), ("end",)]
+        text = render(20, actions)
+        lines = text.split("\n")
+        assert len(lines) > 1
+        assert all(len(line) <= 20 for line in lines)
+        # continuation lines are indented by the group indent
+        assert lines[1].startswith("  ")
+
+    def test_nested_group_can_stay_flat(self):
+        """An inner group that fits renders flat inside a broken outer."""
+        actions = [("begin", 0)]
+        actions += [("put", "x" * 15), ("brk", 0)]
+        actions += [("begin", 0), ("put", "a"), ("brk", 0), ("put", "b"), ("end",)]
+        actions += [("brk", 0), ("put", "y" * 15), ("end",)]
+        text = render(18, actions)
+        assert "ab" in text  # inner group rendered flat, break invisible
+
+    def test_break_indent_adds_to_group_indent(self):
+        actions = [("begin", 2), ("put", "x" * 10), ("brk", 3), ("put", "tail"), ("end",)]
+        text = render(8, actions)
+        assert "\n     tail" in text  # 2 + 3 spaces
+
+
+class TestColumnTracking:
+    def test_newline_resets_column(self):
+        out = io.StringIO()
+        pp = PrettyPrinter(out, width=10)
+        pp.put("12345")
+        pp.newline()
+        assert pp.column == 0
+
+    def test_column_advances(self):
+        out = io.StringIO()
+        pp = PrettyPrinter(out, width=80)
+        pp.put("abc")
+        assert pp.column == 3
+
+
+class TestPostScriptInterface:
+    def test_put_break_begin_end_ops(self, bare_ps):
+        text = bare_ps.run("({) Put 1 Begin (a) Put (, ) Put 0 Break (b) Put (}) Put End Newline")
+        assert text == "{a, b}\n"
+
+    def test_put_converts_numbers(self, bare_ps):
+        assert bare_ps.run("42 Put Newline") == "42\n"
+
+    def test_long_group_breaks_via_ops(self, bare_ps):
+        bare_ps.interp.pretty.width = 16
+        text = bare_ps.run(
+            "({) Put 1 Begin 1 1 8 { dup 1 ne { (, ) Put 0 Break } if "
+            "(element) Put pop } for (}) Put End Newline")
+        assert "\n" in text.rstrip("\n")
