@@ -58,15 +58,35 @@ class BreakpointTable:
 
     # -- the Sec. 7.1 protocol extension --------------------------------------
 
+    def _request(self, msg, expect):
+        """A retried request through the target's session (falls back to
+        the bare channel for hand-built targets)."""
+        session = getattr(self.target, "session", None)
+        if session is not None:
+            return session.request(msg, expect=expect)
+        self.target.channel.send(msg)
+        return self.target.channel.recv(10.0)
+
     def extension_available(self) -> bool:
         """Probe the nub (once) for the breakpoint-aware protocol."""
         if "ok" not in self._extension:
-            self.target.channel.send(protocol.breaks())
-            reply = self.target.channel.recv(10.0)
+            reply = self._request(protocol.breaks(),
+                                  expect=(protocol.MSG_BREAKLIST,))
             self._extension["ok"] = reply.mtype == protocol.MSG_BREAKLIST
             if self._extension["ok"]:
                 self._adopt(protocol.parse_breaklist(reply))
         return self._extension["ok"]
+
+    def resync(self) -> None:
+        """After a reconnect: replay BREAKS and adopt whatever the nub
+        still has planted — the paper's Sec. 7.1 recovery, for a session
+        that survived its own connection's death."""
+        if not self._extension.get("ok"):
+            return  # never probed, or a minimal nub: nothing to replay
+        reply = self._request(protocol.breaks(),
+                              expect=(protocol.MSG_BREAKLIST,))
+        if reply.mtype == protocol.MSG_BREAKLIST:
+            self._adopt(protocol.parse_breaklist(reply))
 
     def _adopt(self, entries) -> None:
         """Recover breakpoints a previous (crashed) debugger planted."""
@@ -81,8 +101,8 @@ class BreakpointTable:
             return False
         trap = self.break_pattern.to_bytes(len(self.target.machdep.nop_bytes_le),
                                            "little")
-        self.target.channel.send(protocol.plant(address, trap))
-        reply = self.target.channel.recv(10.0)
+        reply = self._request(protocol.plant(address, trap),
+                              expect=(protocol.MSG_OK,))
         if reply.mtype == protocol.MSG_ERROR:
             raise BreakpointError("nub rejected plant at 0x%x" % address)
         return True
@@ -90,8 +110,8 @@ class BreakpointTable:
     def _remove_via_extension(self, address: int) -> bool:
         if not self.extension_available():
             return False
-        self.target.channel.send(protocol.unplant(address))
-        reply = self.target.channel.recv(10.0)
+        reply = self._request(protocol.unplant(address),
+                              expect=(protocol.MSG_OK,))
         if reply.mtype == protocol.MSG_ERROR:
             raise BreakpointError("nub rejected unplant at 0x%x" % address)
         return True

@@ -53,10 +53,16 @@ class Ldb:
         return name
 
     def adopt_channel(self, channel: Channel, table_ps: str,
-                      wait: bool = True) -> Target:
-        """Debug over an existing connection (any transport)."""
+                      wait: bool = True, connector=None) -> Target:
+        """Debug over an existing connection (any transport).
+
+        ``connector`` — a zero-argument callable returning a fresh
+        :class:`Channel` — gives the target a reconnect path: if the
+        connection dies, ``Target.reconnect()`` re-attaches through it.
+        """
         table = self.read_loader_table(table_ps)
-        target = Target(self.interp, channel, table, self._new_target_name())
+        target = Target(self.interp, channel, table, self._new_target_name(),
+                        connector=connector)
         self.targets[target.name] = target
         self.current = target
         if wait:
@@ -82,7 +88,9 @@ class Ldb:
                wait: bool = True) -> Target:
         """Connect to a faulty process waiting on the network."""
         channel = connect(host, port)
-        return self.adopt_channel(channel, table_ps, wait=wait)
+        connector = lambda: connect(host, port)
+        return self.adopt_channel(channel, table_ps, wait=wait,
+                                  connector=connector)
 
     def switch_target(self, name: str) -> Target:
         """Switch targets — possibly to a different architecture; the

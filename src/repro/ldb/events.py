@@ -128,7 +128,7 @@ class EventEngine:
     def _classify(self, target, state: str) -> Event:
         if state == "exited":
             return TargetExited(target, target.exit_status)
-        if state == "disconnected":
+        if state in ("disconnected", "reconnecting"):
             return TargetDisconnected(target)
         if target.signo != SIGTRAP:
             return SignalStop(target, target.signo, target.sigcode)

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple, Union
 from ..machines import float80
 from ..nub import protocol
 from ..nub.channel import Channel
+from ..nub.session import SessionError
 from ..postscript import AbstractMemory, KIND_BYTES, Location, PSError
 
 
@@ -48,22 +49,36 @@ class WireMemory(AbstractMemory):
 
     Values travel little-endian on the wire whatever the target's byte
     order; the nub does the target-order memory access.
+
+    ``link`` is either a :class:`~repro.nub.session.NubSession` — the
+    normal case, giving every fetch and store retry/backoff and
+    crash-reconnect for free — or a bare :class:`Channel` for direct,
+    unretried access.
     """
 
     spaces = "cd"
 
-    #: how long to wait for the nub before giving up
+    #: how long to wait for the nub before giving up (bare-channel mode)
     REPLY_TIMEOUT = 15.0
 
-    def __init__(self, channel: Channel, stats: Optional[MemoryStats] = None):
-        self.channel = channel
+    def __init__(self, link, stats: Optional[MemoryStats] = None):
+        self.link = link
         self.stats = stats if stats is not None else MemoryStats()
+
+    def _transact(self, msg, expect):
+        if hasattr(self.link, "request"):
+            try:
+                return self.link.request(msg, expect=expect)
+            except SessionError as err:
+                raise PSError("ioerror", "nub request failed: %s" % err)
+        self.link.send(msg)
+        return self.link.recv(self.REPLY_TIMEOUT)
 
     def fetch_absolute(self, loc: Location, kind: str):
         self.stats.note("wire", "fetch")
         size = KIND_BYTES[kind]
-        self.channel.send(protocol.fetch(loc.space, loc.offset, size))
-        reply = self.channel.recv(self.REPLY_TIMEOUT)
+        reply = self._transact(protocol.fetch(loc.space, loc.offset, size),
+                               expect=(protocol.MSG_DATA,))
         if reply.mtype == protocol.MSG_ERROR:
             raise PSError("invalidaccess", "nub error %d at %s+%d"
                           % (protocol.parse_error(reply), loc.space, loc.offset))
@@ -74,8 +89,8 @@ class WireMemory(AbstractMemory):
     def store_absolute(self, loc: Location, kind: str, value) -> None:
         self.stats.note("wire", "store")
         raw = encode_value(value, kind)
-        self.channel.send(protocol.store(loc.space, loc.offset, raw))
-        reply = self.channel.recv(self.REPLY_TIMEOUT)
+        reply = self._transact(protocol.store(loc.space, loc.offset, raw),
+                               expect=(protocol.MSG_OK,))
         if reply.mtype == protocol.MSG_ERROR:
             raise PSError("invalidaccess", "nub store error %d"
                           % protocol.parse_error(reply))

@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from ..nub import protocol
 from ..nub.channel import Channel, ChannelClosed
+from ..nub.session import NubSession, RetryPolicy, SessionError
 from ..postscript import (
     Interp,
     Location,
@@ -42,9 +43,12 @@ class Target:
     """One debugged process: connection + tables + state."""
 
     def __init__(self, interp: Interp, channel: Channel, loader_table: PSDict,
-                 name: str = "t0"):
+                 name: str = "t0", connector=None,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.interp = interp
-        self.channel = channel
+        self.session = NubSession(channel=channel, connector=connector,
+                                  policy=retry_policy,
+                                  on_reconnect=self._session_reconnected)
         self.name = name
         self.table = loader_table
         toplevel = loader_table["symtab"]
@@ -52,7 +56,7 @@ class Target:
         # the architecture name selects the machine-dependent code & data
         self.machdep = machdep_for(self.arch_name)
         self.stats = MemoryStats()
-        self.wire = WireMemory(channel, stats=self.stats)
+        self.wire = WireMemory(self.session, stats=self.stats)
         self.linker = linker_for(self.arch_name, loader_table, self.wire)
         self.symtab = SymbolTable(interp, toplevel, target=self)
         # the same per-architecture dictionary the loader-table PostScript
@@ -62,13 +66,18 @@ class Target:
         self.arch_dict = interp.systemdict["ArchDicts"][self.machdep.ps_arch]
         self.target_dict = self._make_target_dict()
         self.breakpoints = BreakpointTable(self)
-        #: 'running' | 'stopped' | 'exited' | 'disconnected'
+        #: 'running' | 'stopped' | 'exited' | 'disconnected' | 'reconnecting'
         self.state = "running"
         self.signo = 0
         self.sigcode = 0
         self.context_addr = 0
         self.exit_status: Optional[int] = None
         self._top_frame: Optional[Frame] = None
+
+    @property
+    def channel(self) -> Optional[Channel]:
+        """The session's current channel (None while disconnected)."""
+        return self.session.channel
 
     # -- PostScript context ------------------------------------------------
 
@@ -116,11 +125,17 @@ class Target:
     # -- nub conversation -----------------------------------------------------
 
     def wait_for_stop(self, timeout: Optional[float] = 30.0) -> str:
-        """Block until the nub reports a signal or an exit."""
+        """Block until the nub reports a signal or an exit.
+
+        If the connection dies while waiting and the target was attached
+        with a reconnect path, the state becomes ``reconnecting`` — call
+        :meth:`reconnect` to re-attach; the nub preserves the target.
+        """
         try:
-            msg = self.channel.recv(timeout)
+            msg = self.session.recv_event(timeout)
         except ChannelClosed:
-            self.state = "disconnected"
+            self.state = ("reconnecting" if self.session.connector is not None
+                          else "disconnected")
             return self.state
         if msg.mtype == protocol.MSG_SIGNAL:
             self.signo, self.sigcode, self.context_addr = protocol.parse_signal(msg)
@@ -146,7 +161,10 @@ class Target:
         if at_pc is not None:
             self.wire.store(self.machdep.pc_context_location(self.context_addr),
                             "i32", at_pc)
-        self.channel.send(protocol.cont())
+        try:
+            self.session.control(protocol.cont())
+        except SessionError as err:
+            raise TargetError("continue failed: %s" % err)
         self.state = "running"
         self._top_frame = None
 
@@ -158,15 +176,53 @@ class Target:
 
     def kill(self) -> None:
         self._require_stopped()
-        self.channel.send(protocol.kill())
+        try:
+            self.session.control(protocol.kill())
+        except SessionError as err:
+            raise TargetError("kill failed: %s" % err)
         self.state = "exited"
 
     def detach(self) -> None:
         """Break the connection; the nub preserves the target's state."""
         self._require_stopped()
-        self.channel.send(protocol.detach())
-        self.channel.close()
+        try:
+            self.session.control(protocol.detach())
+        except SessionError as err:
+            raise TargetError("detach failed: %s" % err)
+        self.session.close()
         self.state = "disconnected"
+
+    # -- crash recovery (paper Sec. 7.1) ----------------------------------
+
+    def _session_reconnected(self, session: NubSession) -> None:
+        """Session hook: a new connection found the target stopped.
+        Apply the re-announced stop and resynchronize breakpoints."""
+        if session.last_signal is not None:
+            self.signo, self.sigcode, self.context_addr = session.last_signal
+            self.state = "stopped"
+            self._top_frame = None
+        self.breakpoints.resync()
+
+    def reconnect(self) -> None:
+        """Re-attach after a lost connection (or debugger crash): a new
+        channel through the nub's listener, the re-announced stop, and a
+        ``BREAKS`` replay to recover the breakpoint table."""
+        if self.session.connector is None:
+            raise TargetError("target %s has no reconnect path" % self.name)
+        self.state = "reconnecting"
+        try:
+            self.session.reconnect()
+        except SessionError as err:
+            self.state = "disconnected"
+            raise TargetError("reconnect failed: %s" % err)
+        if self.state == "reconnecting":
+            # nothing was re-announced on the new connection
+            if self.session.pending_events:
+                self.wait_for_stop(timeout=1.0)
+            else:
+                self.state = "running"
+        if self.state == "stopped":
+            self.stop_pc()  # re-validate the saved-context address
 
     # -- stopped-state inspection -------------------------------------------------
 

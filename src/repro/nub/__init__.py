@@ -2,7 +2,11 @@
 
 from . import protocol
 from .channel import Channel, ChannelClosed, Listener, connect, pair
+from .faults import FaultInjectingChannel, FaultSchedule
 from .nub import Nub, NubMD, NubRunner, nub_md_for
+from .session import NubSession, RetryPolicy, SessionError
 
-__all__ = ["Channel", "ChannelClosed", "Listener", "Nub", "NubMD",
-           "NubRunner", "connect", "nub_md_for", "pair", "protocol"]
+__all__ = ["Channel", "ChannelClosed", "FaultInjectingChannel",
+           "FaultSchedule", "Listener", "Nub", "NubMD", "NubRunner",
+           "NubSession", "RetryPolicy", "SessionError", "connect",
+           "nub_md_for", "pair", "protocol"]

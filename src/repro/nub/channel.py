@@ -6,6 +6,10 @@ mirror the paper's: a socketpair for the forked-child case, TCP over the
 network, and a listener the nub waits on so a faulty process can be
 picked up by a debugger started later — or by a *new* debugger after the
 first one crashed.
+
+Channels carry the framing state negotiated by the HELLO handshake
+(``crc``, ``seq_mode``): a fresh connection always starts with plain
+frames, and both peers flip the flags after the handshake round-trip.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from __future__ import annotations
 import socket
 from typing import Optional, Tuple
 
-from .protocol import Message, decode, encode
+from .protocol import CrcError, FrameError, Message, decode, encode
 
 
 class ChannelClosed(Exception):
@@ -26,28 +30,79 @@ class Channel:
     def __init__(self, sock: socket.socket):
         self.sock = sock
         self._buffer = b""
+        #: negotiated framing extras (HELLO handshake); plain by default
+        self.crc = False
+        self.seq_mode = False
 
     def send(self, msg: Message) -> None:
         try:
-            self.sock.sendall(encode(msg))
+            self.sock.sendall(encode(msg, crc=self.crc, seq_mode=self.seq_mode))
         except OSError as err:
             raise ChannelClosed(str(err))
 
     def recv(self, timeout: Optional[float] = None) -> Message:
-        self.sock.settimeout(timeout)
-        while True:
-            msg, self._buffer = decode(self._buffer)
-            if msg is not None:
-                return msg
+        try:
+            old = self.sock.gettimeout()
+            self.sock.settimeout(timeout)
+        except OSError as err:
+            raise ChannelClosed(str(err))
+        try:
+            while True:
+                try:
+                    msg, self._buffer = decode(self._buffer, crc=self.crc,
+                                               seq_mode=self.seq_mode)
+                except CrcError as err:
+                    # the bad frame is consumed; the stream stays framed
+                    self._buffer = err.rest
+                    raise
+                except FrameError:
+                    # a hostile length field poisons the whole stream:
+                    # drop the connection
+                    self.close()
+                    raise
+                if msg is not None:
+                    return msg
+                try:
+                    chunk = self.sock.recv(4096)
+                except socket.timeout:
+                    raise TimeoutError("no message within %s seconds" % timeout)
+                except OSError as err:
+                    raise ChannelClosed(str(err))
+                if not chunk:
+                    raise ChannelClosed("peer closed the connection")
+                self._buffer += chunk
+        finally:
             try:
+                self.sock.settimeout(old)
+            except OSError:
+                pass
+
+    def drain(self) -> int:
+        """Discard any buffered or immediately-readable input; returns
+        the number of bytes dropped.  The nub uses this when a new stop
+        is announced: in the lockstep request/reply conversation, input
+        queued from before the stop is stale (e.g. duplicated frames)."""
+        dropped = len(self._buffer)
+        self._buffer = b""
+        try:
+            old = self.sock.gettimeout()
+        except OSError:
+            return dropped
+        try:
+            self.sock.settimeout(0.0)
+            while True:
                 chunk = self.sock.recv(4096)
-            except socket.timeout:
-                raise TimeoutError("no message within %s seconds" % timeout)
-            except OSError as err:
-                raise ChannelClosed(str(err))
-            if not chunk:
-                raise ChannelClosed("peer closed the connection")
-            self._buffer += chunk
+                if not chunk:
+                    break
+                dropped += len(chunk)
+        except (BlockingIOError, socket.timeout, OSError):
+            pass
+        finally:
+            try:
+                self.sock.settimeout(old)
+            except OSError:
+                pass
+        return dropped
 
     def close(self) -> None:
         try:
@@ -78,7 +133,11 @@ class Listener:
 
     def accept(self, timeout: Optional[float] = None) -> Channel:
         self.sock.settimeout(timeout)
-        conn, _peer = self.sock.accept()
+        try:
+            conn, _peer = self.sock.accept()
+        except socket.timeout:
+            # callers see one timeout type, like Channel.recv
+            raise TimeoutError("no connection within %s seconds" % timeout)
         return Channel(conn)
 
     def close(self) -> None:
@@ -91,4 +150,5 @@ class Listener:
 def connect(host: str, port: int, timeout: float = 10.0) -> Channel:
     """Connect to a listening nub over the network."""
     sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
     return Channel(sock)

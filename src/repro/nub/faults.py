@@ -1,0 +1,169 @@
+"""Deterministic fault injection for nub channels.
+
+Robustness claims are only as good as the failures they were tested
+against, so this module makes failure a first-class, *reproducible*
+input: a :class:`FaultInjectingChannel` wraps any :class:`Channel` and
+mangles outgoing frames according to a seeded :class:`FaultSchedule`.
+The same seed always yields the same fault sequence, so a recovery bug
+found by the fault matrix replays exactly.
+
+Fault kinds (per outgoing frame):
+
+* ``drop``      — the frame is silently discarded (a lost datagram /
+  half-dead connection); the peer never sees the request;
+* ``corrupt``   — one payload byte is flipped; with CRC framing the
+  receiver detects it and answers ``ERROR ERR_BAD_MESSAGE``;
+* ``truncate``  — only a prefix of the frame is written and the socket
+  is closed: a connection cut mid-frame (the "debugger crash" of paper
+  Sec. 7.1 at its least convenient moment);
+* ``duplicate`` — the frame is sent twice (a retransmit gone wrong);
+  sequence-numbered framing lets the receiver discard the echo;
+* ``delay``     — the frame is delivered after ``latency`` seconds of
+  artificial latency.
+
+Corruption deliberately avoids the length field: a mangled length is a
+different failure (unframeable stream) exercised separately by the
+serve-loop fuzz tests.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional
+
+from .channel import Channel, ChannelClosed
+from .protocol import Message, encode
+
+#: every fault kind a schedule can inject
+FAULT_KINDS = ("drop", "corrupt", "truncate", "duplicate", "delay")
+
+
+class FaultSchedule:
+    """A deterministic, seeded schedule of frame faults.
+
+    Two modes:
+
+    * probabilistic — per-kind rates (``drop=0.2, corrupt=0.1, ...``)
+      drawn from ``random.Random(seed)``; ``limit`` caps the total
+      number of injected faults so retries eventually meet a clean
+      channel and the workload converges;
+    * scripted — an explicit ``script`` of actions (``"ok"`` or a fault
+      kind) consumed one per frame, then clean forever.
+    """
+
+    def __init__(self, seed: int = 0, drop: float = 0.0, corrupt: float = 0.0,
+                 truncate: float = 0.0, duplicate: float = 0.0,
+                 delay: float = 0.0, latency: float = 0.01,
+                 limit: Optional[int] = None,
+                 script: Optional[List[str]] = None):
+        self.rates = {"drop": drop, "corrupt": corrupt, "truncate": truncate,
+                      "duplicate": duplicate, "delay": delay}
+        for kind, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("bad %s rate %r" % (kind, rate))
+        self.latency = latency
+        self.limit = limit
+        self.script = list(script) if script else []
+        for action in self.script:
+            if action != "ok" and action not in FAULT_KINDS:
+                raise ValueError("unknown scripted action %r" % action)
+        self._rng = random.Random(seed)
+        self.injected = 0
+        self.counts: Dict[str, int] = {}
+
+    def next_action(self) -> str:
+        """The action for the next outgoing frame."""
+        if self.script:
+            action = self.script.pop(0)
+        elif self.limit is not None and self.injected >= self.limit:
+            action = "ok"
+        else:
+            action = "ok"
+            roll = self._rng.random()
+            total = 0.0
+            for kind in FAULT_KINDS:
+                total += self.rates[kind]
+                if roll < total:
+                    action = kind
+                    break
+        if action != "ok":
+            self.injected += 1
+            self.counts[action] = self.counts.get(action, 0) + 1
+        return action
+
+
+class FaultInjectingChannel:
+    """A :class:`Channel` look-alike that injects scheduled faults into
+    the frames it sends.  Receiving is passed through untouched — wrap
+    whichever end's sends should suffer."""
+
+    def __init__(self, channel: Channel, schedule: FaultSchedule):
+        self.inner = channel
+        self.schedule = schedule
+
+    # the negotiated framing state lives on the wrapped channel, so the
+    # wrapper stays transparent to the HELLO handshake
+    @property
+    def sock(self):
+        return self.inner.sock
+
+    @property
+    def crc(self) -> bool:
+        return self.inner.crc
+
+    @crc.setter
+    def crc(self, value: bool) -> None:
+        self.inner.crc = value
+
+    @property
+    def seq_mode(self) -> bool:
+        return self.inner.seq_mode
+
+    @seq_mode.setter
+    def seq_mode(self, value: bool) -> None:
+        self.inner.seq_mode = value
+
+    def send(self, msg: Message) -> None:
+        raw = encode(msg, crc=self.inner.crc, seq_mode=self.inner.seq_mode)
+        action = self.schedule.next_action()
+        if action == "drop":
+            return
+        if action == "delay":
+            time.sleep(self.schedule.latency)
+        try:
+            if action == "corrupt":
+                self.inner.sock.sendall(_flip_byte(raw, self.inner.seq_mode,
+                                                   self.schedule))
+            elif action == "truncate":
+                cut = max(1, len(raw) // 2)
+                self.inner.sock.sendall(raw[:cut])
+                self.inner.sock.close()  # the connection dies mid-frame
+            elif action == "duplicate":
+                self.inner.sock.sendall(raw)
+                self.inner.sock.sendall(raw)
+            else:
+                self.inner.sock.sendall(raw)
+        except OSError as err:
+            raise ChannelClosed(str(err))
+
+    def recv(self, timeout: Optional[float] = None) -> Message:
+        return self.inner.recv(timeout)
+
+    def drain(self) -> int:
+        return self.inner.drain()
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def _flip_byte(raw: bytes, seq_mode: bool, schedule: FaultSchedule) -> bytes:
+    """Flip one bit of a frame, sparing the length field so the stream
+    stays framed (length corruption is the serve-loop fuzz tests' job)."""
+    header = 9 if seq_mode else 5
+    if len(raw) > header:
+        index = header + schedule._rng.randrange(len(raw) - header)
+    else:
+        index = 0  # no payload and no trailer: the type byte it is
+    bit = 1 << schedule._rng.randrange(8)
+    return raw[:index] + bytes([raw[index] ^ bit]) + raw[index + 1:]

@@ -183,6 +183,14 @@ class Nub:
         #: PLANT stores so a new debugger can recover them after a crash
         self.breakpoint_extension = breakpoint_extension
         self.planted: dict = {}  # address -> original little-endian bytes
+        #: negotiated per-connection: acknowledge control messages (HELLO)
+        self.ack_active = False
+        #: sequence id of the request being served (FEATURE_SEQ)
+        self._reply_seq = None
+        #: seq of the last control acted on: a duplicated CONTINUE can
+        #: arrive after the *next* stop (in flight past the drain), and
+        #: resuming on it would desynchronize the debugger
+        self._last_control_seq = None
 
     # -- main loop -----------------------------------------------------------
 
@@ -225,13 +233,19 @@ class Nub:
                 if self.listener is None:
                     return "killed"  # fatal signal, nobody debugging
                 self.channel = self.listener.accept(self.accept_timeout)
+                self.ack_active = False
+                self._last_control_seq = None
             try:
+                # the conversation is lockstep, so input queued from
+                # before this stop is stale (e.g. duplicated frames)
+                self.channel.drain()
                 self.channel.send(protocol.signal(event.signo, event.code,
                                                   self.context_addr))
                 outcome = self.serve()
             except ChannelClosed:
                 # debugger crash: preserve state, wait for a new debugger
                 self.channel = None
+                self.ack_active = False
                 continue
             if outcome == "continue":
                 pc = self.md.restore_context(cpu, self.process.mem,
@@ -240,32 +254,111 @@ class Nub:
                 return "continued"
             if outcome == "killed":
                 return "killed"
-            # detached: keep the target stopped, await a new connection
+            # detached, or an unframeable stream was dropped: keep the
+            # target stopped and await a new connection
             self.channel = None
+            self.ack_active = False
 
     def serve(self) -> str:
-        """Service fetch/store requests until continue/kill/detach."""
+        """Service fetch/store requests until continue/kill/detach.
+
+        Malformed input never tears the target down: payloads that fail
+        validation are answered with ``ERROR ERR_BAD_MESSAGE``, and an
+        unframeable stream (hostile length field) drops only the
+        *connection* — the target stays stopped for the next debugger.
+        """
         while True:
-            msg = self.channel.recv()
-            if msg.mtype == protocol.MSG_FETCH:
-                self._do_fetch(msg)
-            elif msg.mtype == protocol.MSG_STORE:
-                self._do_store(msg)
-            elif msg.mtype == protocol.MSG_PLANT:
-                self._do_plant(msg)
-            elif msg.mtype == protocol.MSG_UNPLANT:
-                self._do_unplant(msg)
-            elif msg.mtype == protocol.MSG_BREAKS:
-                self._do_breaks()
-            elif msg.mtype == protocol.MSG_CONTINUE:
-                return "continue"
-            elif msg.mtype == protocol.MSG_KILL:
-                return "killed"
-            elif msg.mtype == protocol.MSG_DETACH:
-                self.channel.close()
-                return "detached"
-            else:
+            try:
+                msg = self.channel.recv()
+            except protocol.CrcError:
+                self._reply_seq = None
                 self.channel.send(protocol.error(protocol.ERR_BAD_MESSAGE))
+                continue
+            except protocol.FrameError:
+                return "reset"  # recv already dropped the connection
+            self._reply_seq = msg.seq
+            try:
+                outcome = self._dispatch(msg)
+            except protocol.ProtocolError:
+                self._reply(protocol.error(protocol.ERR_BAD_MESSAGE))
+                continue
+            if outcome is not None:
+                return outcome
+
+    def _dispatch(self, msg) -> Optional[str]:
+        if msg.mtype == protocol.MSG_FETCH:
+            self._do_fetch(msg)
+        elif msg.mtype == protocol.MSG_STORE:
+            self._do_store(msg)
+        elif msg.mtype == protocol.MSG_PLANT:
+            self._do_plant(msg)
+        elif msg.mtype == protocol.MSG_UNPLANT:
+            self._do_unplant(msg)
+        elif msg.mtype == protocol.MSG_BREAKS:
+            self._require_empty(msg)
+            self._do_breaks()
+        elif msg.mtype == protocol.MSG_HELLO:
+            self._do_hello(msg)
+        elif msg.mtype == protocol.MSG_CONTINUE:
+            self._require_empty(msg)
+            if self._stale_control(msg):
+                return None
+            self._ack()
+            return "continue"
+        elif msg.mtype == protocol.MSG_KILL:
+            self._require_empty(msg)
+            if self._stale_control(msg):
+                return None
+            self._ack()
+            return "killed"
+        elif msg.mtype == protocol.MSG_DETACH:
+            self._require_empty(msg)
+            if self._stale_control(msg):
+                return None
+            self._ack()
+            self.channel.close()
+            return "detached"
+        else:
+            self._reply(protocol.error(protocol.ERR_BAD_MESSAGE))
+        return None
+
+    def _require_empty(self, msg) -> None:
+        # a control message carrying a payload is corruption, not intent
+        if msg.payload:
+            raise protocol.ProtocolError("unexpected payload on control")
+
+    def _stale_control(self, msg) -> bool:
+        """True for a duplicated control (same sequence id as the last
+        one acted on) — a frame duplicated on the wire can outrun the
+        drain and arrive after the next stop; act on it once only.  The
+        duplicate is re-acknowledged so a still-waiting debugger gets
+        its reply, and the echo is discarded as stale otherwise."""
+        if msg.seq is None or msg.seq == protocol.NO_SEQ:
+            return False
+        if msg.seq == self._last_control_seq:
+            self._ack()
+            return True
+        self._last_control_seq = msg.seq
+        return False
+
+    def _ack(self) -> None:
+        if self.ack_active:
+            self._reply(protocol.ok())
+
+    def _reply(self, msg) -> None:
+        """Send a reply echoing the request's sequence id, so a
+        retrying debugger can match it."""
+        msg.seq = self._reply_seq
+        self.channel.send(msg)
+
+    def _do_hello(self, msg) -> None:
+        _version, features = protocol.parse_hello(msg)
+        accepted = features & protocol.ALL_FEATURES
+        self._reply(protocol.hello(protocol.PROTOCOL_VERSION, accepted))
+        # frames after the reply carry the negotiated extras
+        self.channel.crc = bool(accepted & protocol.FEATURE_CRC)
+        self.channel.seq_mode = bool(accepted & protocol.FEATURE_SEQ)
+        self.ack_active = bool(accepted & protocol.FEATURE_ACK)
 
     # -- fetch/store ---------------------------------------------------------------
 
@@ -273,42 +366,42 @@ class Nub:
         space, address, size = protocol.parse_fetch(msg)
         if space not in "cd":
             # the nub answers only for code and data (paper Sec. 4.1)
-            self.channel.send(protocol.error(protocol.ERR_BAD_SPACE))
+            self._reply(protocol.error(protocol.ERR_BAD_SPACE))
             return
         if size == 10 and not self.arch.has_f80:
-            self.channel.send(protocol.error(protocol.ERR_BAD_MESSAGE))
+            self._reply(protocol.error(protocol.ERR_UNSUPPORTED))
             return
         try:
             raw = self.process.mem.read_bytes(address, size)
         except Exception:
-            self.channel.send(protocol.error(protocol.ERR_BAD_ADDRESS))
+            self._reply(protocol.error(protocol.ERR_BAD_ADDRESS))
             return
         # the nub reads with the target's byte order and replies in
         # little-endian order (paper Sec. 4.1)
         raw_le = raw if self.arch.byteorder == "little" else raw[::-1]
         raw_le = self.md.fix_fetched(address, raw_le, self.context_addr)
-        self.channel.send(protocol.data(raw_le))
+        self._reply(protocol.data(raw_le))
 
     def _do_store(self, msg) -> None:
         space, address, raw_le = protocol.parse_store(msg)
         if space not in "cd":
-            self.channel.send(protocol.error(protocol.ERR_BAD_SPACE))
+            self._reply(protocol.error(protocol.ERR_BAD_SPACE))
             return
         raw_le = self.md.fix_stored(address, raw_le, self.context_addr)
         raw = raw_le if self.arch.byteorder == "little" else raw_le[::-1]
         try:
             self.process.mem.write_bytes(address, raw)
         except Exception:
-            self.channel.send(protocol.error(protocol.ERR_BAD_ADDRESS))
+            self._reply(protocol.error(protocol.ERR_BAD_ADDRESS))
             return
-        self.channel.send(protocol.ok())
+        self._reply(protocol.ok())
 
     # -- the breakpoint extension (Sec. 7.1) ---------------------------------
 
     def _extension_enabled(self) -> bool:
         if not self.breakpoint_extension:
             # a minimal nub: the debugger falls back to plain stores
-            self.channel.send(protocol.error(protocol.ERR_UNSUPPORTED))
+            self._reply(protocol.error(protocol.ERR_UNSUPPORTED))
             return False
         return True
 
@@ -317,16 +410,20 @@ class Nub:
             return
         address, trap = protocol.parse_plant(msg)
         size = len(trap)
-        try:
-            original = self.process.mem.read_bytes(address, size)
-        except Exception:
-            self.channel.send(protocol.error(protocol.ERR_BAD_ADDRESS))
-            return
+        if address not in self.planted:
+            # idempotent: a duplicated or retried PLANT must not re-read
+            # the (already trapped) instruction as the saved original
+            try:
+                original = self.process.mem.read_bytes(address, size)
+            except Exception:
+                self._reply(protocol.error(protocol.ERR_BAD_ADDRESS))
+                return
+            self.planted[address] = (original
+                                     if self.arch.byteorder == "little"
+                                     else original[::-1])
         raw = trap if self.arch.byteorder == "little" else trap[::-1]
         self.process.mem.write_bytes(address, raw)
-        original_le = original if self.arch.byteorder == "little"             else original[::-1]
-        self.planted[address] = original_le
-        self.channel.send(protocol.ok())
+        self._reply(protocol.ok())
 
     def _do_unplant(self, msg) -> None:
         if not self._extension_enabled():
@@ -334,16 +431,16 @@ class Nub:
         address = protocol.parse_unplant(msg)
         original_le = self.planted.pop(address, None)
         if original_le is None:
-            self.channel.send(protocol.error(protocol.ERR_BAD_ADDRESS))
+            self._reply(protocol.error(protocol.ERR_BAD_ADDRESS))
             return
         raw = original_le if self.arch.byteorder == "little"             else original_le[::-1]
         self.process.mem.write_bytes(address, raw)
-        self.channel.send(protocol.ok())
+        self._reply(protocol.ok())
 
     def _do_breaks(self) -> None:
         if not self._extension_enabled():
             return
-        self.channel.send(protocol.breaklist(sorted(self.planted.items())))
+        self._reply(protocol.breaklist(sorted(self.planted.items())))
 
     def _send(self, msg) -> None:
         if self.channel is not None:

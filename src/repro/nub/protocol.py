@@ -16,6 +16,7 @@ Messages from the debugger::
     CONTINUE                             (restore context, resume)
     DETACH                               (break connection, stay stopped)
     KILL                                 (terminate the target)
+    HELLO  version(1) features(4)        -> HELLO (hardened-framing handshake)
 
 Messages from the nub::
 
@@ -29,11 +30,32 @@ The nub answers FETCH/STORE only for the code ('c') and data ('d')
 spaces; register values live in the context, which is in the data space.
 Values travel in little-endian byte order — the nub does the target-
 byte-order access (Sec. 4.1).
+
+Hardened framing (the fault-tolerance layer): a debugger may open a
+session with HELLO, offering feature bits.  The nub answers with the
+bits it accepts, and *subsequent* frames on the connection carry the
+negotiated extras:
+
+* ``FEATURE_CRC`` — every frame is followed by a CRC32 trailer over the
+  header and payload; a mismatch raises :class:`CrcError` (the frame is
+  consumed, the stream stays framed);
+* ``FEATURE_SEQ`` — the header grows a 4-byte sequence id; replies echo
+  the request's id so a retrying debugger can discard stale replies
+  (duplicated or late frames);
+* ``FEATURE_ACK`` — CONTINUE, DETACH and KILL are acknowledged with OK
+  before taking effect, making the control messages retryable.
+
+Every payload reader validates its length and raises
+:class:`ProtocolError` naming the message — wire input can never surface
+a raw ``struct.error``.  ``decode`` rejects frames whose declared length
+exceeds :data:`MAX_PAYLOAD` with :class:`FrameError` (the connection
+cannot be resynchronized past a hostile length field).
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Optional, Tuple
 
 MSG_FETCH = 1
@@ -46,6 +68,8 @@ MSG_KILL = 5
 MSG_PLANT = 6
 MSG_UNPLANT = 7
 MSG_BREAKS = 8
+# -- the fault-tolerance handshake: version + feature negotiation
+MSG_HELLO = 9
 MSG_SIGNAL = 16
 MSG_EXITED = 17
 MSG_DATA = 18
@@ -58,7 +82,7 @@ _NAMES = {
     MSG_DETACH: "DETACH", MSG_KILL: "KILL", MSG_SIGNAL: "SIGNAL",
     MSG_EXITED: "EXITED", MSG_DATA: "DATA", MSG_OK: "OK", MSG_ERROR: "ERROR",
     MSG_PLANT: "PLANT", MSG_UNPLANT: "UNPLANT", MSG_BREAKS: "BREAKS",
-    MSG_BREAKLIST: "BREAKLIST",
+    MSG_BREAKLIST: "BREAKLIST", MSG_HELLO: "HELLO",
 }
 
 ERR_BAD_SPACE = 1
@@ -69,17 +93,49 @@ ERR_UNSUPPORTED = 4
 #: value sizes the protocol carries (the abstract-memory sizes)
 VALUE_SIZES = (1, 2, 4, 8, 10)
 
+#: handshake version and negotiable feature bits
+PROTOCOL_VERSION = 1
+FEATURE_CRC = 1 << 0
+FEATURE_SEQ = 1 << 1
+FEATURE_ACK = 1 << 2
+ALL_FEATURES = FEATURE_CRC | FEATURE_SEQ | FEATURE_ACK
+
+#: sanity cap on a frame's declared payload length; anything larger is a
+#: corrupt or hostile length field, and the stream cannot be reframed
+MAX_PAYLOAD = 1 << 20
+
+#: the sequence id carried by unsolicited frames (SIGNAL, EXITED) when
+#: sequence numbering is active
+NO_SEQ = 0xFFFFFFFF
+
 
 class ProtocolError(Exception):
-    pass
+    """Malformed wire input (bad payload length, bad field value)."""
+
+
+class FrameError(ProtocolError):
+    """Framing is destroyed (hostile length field); the connection
+    cannot be resynchronized and must be dropped."""
+
+
+class CrcError(ProtocolError):
+    """A frame failed its CRC32 check.  The frame was consumed — the
+    stream is still framed and ``rest`` holds the bytes after it."""
+
+    def __init__(self, message: str, rest: bytes = b""):
+        super().__init__(message)
+        self.rest = rest
 
 
 class Message:
-    __slots__ = ("mtype", "payload")
+    __slots__ = ("mtype", "payload", "seq")
 
-    def __init__(self, mtype: int, payload: bytes = b""):
+    def __init__(self, mtype: int, payload: bytes = b"",
+                 seq: Optional[int] = None):
         self.mtype = mtype
         self.payload = payload
+        #: sequence id (FEATURE_SEQ); None outside sequenced framing
+        self.seq = seq
 
     def __eq__(self, other) -> bool:
         return (isinstance(other, Message) and other.mtype == self.mtype
@@ -89,21 +145,58 @@ class Message:
         return "<msg %s %r>" % (_NAMES.get(self.mtype, self.mtype), self.payload)
 
 
-def encode(msg: Message) -> bytes:
-    return struct.pack("<BI", msg.mtype, len(msg.payload)) + msg.payload
+def encode(msg: Message, crc: bool = False, seq_mode: bool = False) -> bytes:
+    if seq_mode:
+        seq = NO_SEQ if msg.seq is None else msg.seq
+        frame = struct.pack("<BII", msg.mtype, len(msg.payload), seq)
+    else:
+        frame = struct.pack("<BI", msg.mtype, len(msg.payload))
+    frame += msg.payload
+    if crc:
+        frame += struct.pack("<I", zlib.crc32(frame) & 0xFFFFFFFF)
+    return frame
 
 
-def decode(data: bytes) -> Tuple[Optional[Message], bytes]:
+def decode(data: bytes, crc: bool = False,
+           seq_mode: bool = False) -> Tuple[Optional[Message], bytes]:
     """Decode one message from ``data``; returns (message, rest).
 
     Returns (None, data) when the buffer holds an incomplete frame.
+    Raises :class:`FrameError` on an insane declared length and
+    :class:`CrcError` (carrying the remaining bytes) on a bad trailer.
     """
-    if len(data) < 5:
+    header = 9 if seq_mode else 5
+    if len(data) < header:
         return None, data
-    mtype, length = struct.unpack("<BI", data[:5])
-    if len(data) < 5 + length:
+    if seq_mode:
+        mtype, length, seq = struct.unpack("<BII", data[:9])
+    else:
+        mtype, length = struct.unpack("<BI", data[:5])
+        seq = None
+    if length > MAX_PAYLOAD:
+        raise FrameError("declared payload length %d exceeds the %d-byte cap"
+                         % (length, MAX_PAYLOAD))
+    total = header + length + (4 if crc else 0)
+    if len(data) < total:
         return None, data
-    return Message(mtype, data[5 : 5 + length]), data[5 + length :]
+    if crc:
+        declared = struct.unpack("<I", data[header + length:total])[0]
+        actual = zlib.crc32(data[:header + length]) & 0xFFFFFFFF
+        if declared != actual:
+            raise CrcError("CRC mismatch on %s frame"
+                           % _NAMES.get(mtype, mtype), rest=data[total:])
+    return Message(mtype, data[header:header + length], seq), data[total:]
+
+
+def _payload(msg: Message, size: int, name: str, exact: bool = True) -> bytes:
+    """The message's payload, validated to ``size`` bytes (or at least
+    ``size`` when not exact); short payloads raise ProtocolError."""
+    have = len(msg.payload)
+    if (have != size) if exact else (have < size):
+        raise ProtocolError(
+            "truncated %s payload: %d bytes, need %s%d"
+            % (name, have, "" if exact else ">= ", size))
+    return msg.payload
 
 
 # -- constructors -----------------------------------------------------------
@@ -132,6 +225,12 @@ def kill() -> Message:
     return Message(MSG_KILL)
 
 
+def hello(version: int = PROTOCOL_VERSION,
+          features: int = ALL_FEATURES) -> Message:
+    """Open (or answer) the hardened-framing handshake."""
+    return Message(MSG_HELLO, struct.pack("<BI", version, features))
+
+
 def signal(signo: int, code: int, context_addr: int) -> Message:
     return Message(MSG_SIGNAL, struct.pack("<III", signo, code, context_addr))
 
@@ -155,25 +254,33 @@ def error(code: int) -> Message:
 # -- payload readers ---------------------------------------------------------
 
 def parse_fetch(msg: Message) -> Tuple[str, int, int]:
-    space, address, size = struct.unpack("<BII", msg.payload)
+    space, address, size = struct.unpack("<BII", _payload(msg, 9, "FETCH"))
     return chr(space), address, size
 
 
 def parse_store(msg: Message) -> Tuple[str, int, bytes]:
-    space, address = struct.unpack("<BI", msg.payload[:5])
-    return chr(space), address, msg.payload[5:]
+    raw = _payload(msg, 6, "STORE", exact=False)
+    space, address = struct.unpack("<BI", raw[:5])
+    if len(raw) - 5 not in VALUE_SIZES:
+        raise ProtocolError("bad STORE data size %d" % (len(raw) - 5))
+    return chr(space), address, raw[5:]
 
 
 def parse_signal(msg: Message) -> Tuple[int, int, int]:
-    return struct.unpack("<III", msg.payload)
+    return struct.unpack("<III", _payload(msg, 12, "SIGNAL"))
 
 
 def parse_exited(msg: Message) -> int:
-    return struct.unpack("<i", msg.payload)[0]
+    return struct.unpack("<i", _payload(msg, 4, "EXITED"))[0]
 
 
 def parse_error(msg: Message) -> int:
-    return struct.unpack("<I", msg.payload)[0]
+    return struct.unpack("<I", _payload(msg, 4, "ERROR"))[0]
+
+
+def parse_hello(msg: Message) -> Tuple[int, int]:
+    version, features = struct.unpack("<BI", _payload(msg, 5, "HELLO"))
+    return version, features
 
 
 # -- the breakpoint extension (paper Sec. 7.1) --------------------------------
@@ -204,12 +311,15 @@ def breaklist(entries) -> Message:
 
 
 def parse_plant(msg: Message):
-    address = struct.unpack("<I", msg.payload[:4])[0]
-    return address, msg.payload[4:]
+    raw = _payload(msg, 5, "PLANT", exact=False)
+    address = struct.unpack("<I", raw[:4])[0]
+    if len(raw) - 4 not in VALUE_SIZES:
+        raise ProtocolError("bad PLANT trap size %d" % (len(raw) - 4))
+    return address, raw[4:]
 
 
 def parse_unplant(msg: Message) -> int:
-    return struct.unpack("<I", msg.payload)[0]
+    return struct.unpack("<I", _payload(msg, 4, "UNPLANT"))[0]
 
 
 def parse_breaklist(msg: Message):
@@ -217,8 +327,15 @@ def parse_breaklist(msg: Message):
     data_bytes = msg.payload
     offset = 0
     while offset < len(data_bytes):
-        address, size = struct.unpack("<IB", data_bytes[offset : offset + 5])
+        if offset + 5 > len(data_bytes):
+            raise ProtocolError("truncated BREAKLIST entry header at "
+                                "offset %d" % offset)
+        address, size = struct.unpack_from("<IB", data_bytes, offset)
         offset += 5
-        entries.append((address, data_bytes[offset : offset + size]))
+        if offset + size > len(data_bytes):
+            raise ProtocolError("truncated BREAKLIST entry for 0x%x: "
+                                "%d of %d instruction bytes"
+                                % (address, len(data_bytes) - offset, size))
+        entries.append((address, data_bytes[offset: offset + size]))
         offset += size
     return entries

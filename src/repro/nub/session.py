@@ -1,0 +1,346 @@
+"""Fault-tolerant debugger sessions over a nub channel.
+
+The paper's robustness story (Sec. 7.1) is that the *nub* survives a
+debugger crash: it preserves the target, keeps planted breakpoints, and
+waits for a new connection.  This module supplies the debugger half of
+that story: a :class:`NubSession` wraps the channel in a retrying
+request/reply layer, so transient faults — dropped, corrupted,
+truncated, duplicated or delayed frames, and outright connection
+crashes — are absorbed instead of surfacing as exceptions.
+
+* requests are retried under an exponential-backoff-with-jitter
+  :class:`RetryPolicy`;
+* a broken connection is re-established through the nub's listener
+  (``connector``), the nub re-announces the interrupted stop, and an
+  ``on_reconnect`` hook lets the owner resynchronize state (ldb's
+  :class:`Target` replays ``BREAKS`` to recover the breakpoint table);
+* the HELLO handshake negotiates hardened framing: CRC32 trailers,
+  sequence-numbered frames (stale replies from duplicated or timed-out
+  exchanges are discarded by id), and acknowledged control messages so
+  CONTINUE/KILL/DETACH are retryable too;
+* against a legacy nub that answers HELLO with an error, the session
+  degrades to plain frames and best-effort controls — the baseline
+  debugger keeps working, exactly in the spirit of the paper's optional
+  protocol extensions.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from typing import Callable, Iterable, Optional, Tuple
+
+from . import protocol
+from .channel import Channel, ChannelClosed
+
+
+class SessionError(Exception):
+    """A request could not be completed within the retry budget."""
+
+
+class _Transient(Exception):
+    """Internal: the nub reported our frame mangled; retry immediately."""
+
+
+class RetryPolicy:
+    """Exponential backoff with jitter, deterministically seeded."""
+
+    def __init__(self, max_attempts: int = 6, base_delay: float = 0.02,
+                 max_delay: float = 0.5, multiplier: float = 2.0,
+                 jitter: float = 0.5, seed: int = 0):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """The sleep before retry number ``attempt`` (0-based)."""
+        base = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        return base * (1.0 + self.jitter * self._rng.random())
+
+
+_EVENT_TYPES = (protocol.MSG_SIGNAL, protocol.MSG_EXITED)
+
+
+class NubSession:
+    """A retrying, reconnecting request/reply session with one nub."""
+
+    def __init__(self, channel: Optional[Channel] = None,
+                 connector: Optional[Callable[[], Channel]] = None,
+                 policy: Optional[RetryPolicy] = None,
+                 want_crc: bool = True, want_seq: bool = True,
+                 want_ack: bool = True, reply_timeout: float = 10.0,
+                 on_reconnect: Optional[Callable[["NubSession"], None]] = None):
+        self.channel = channel
+        self.connector = connector
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.want_crc = want_crc
+        self.want_seq = want_seq
+        self.want_ack = want_ack
+        self.reply_timeout = reply_timeout
+        self.on_reconnect = on_reconnect
+        #: negotiated state (HELLO handshake, per connection)
+        self.hello_done = False
+        self.crc_active = False
+        self.seq_active = False
+        self.ack_active = False
+        #: SIGNAL/EXITED frames that arrived while awaiting a reply
+        self.pending_events: deque = deque()
+        #: the last (signo, code, context) announced by the nub
+        self.last_signal: Optional[Tuple[int, int, int]] = None
+        #: counters, for tests and curiosity
+        self.retries = 0
+        self.reconnects = 0
+        self._seq = 0
+        self._in_callback = False
+
+    # -- the request/reply engine -----------------------------------------
+
+    def request(self, msg: protocol.Message,
+                expect: Iterable[int] = (protocol.MSG_OK,),
+                timeout: Optional[float] = None) -> protocol.Message:
+        """Send ``msg`` and return the nub's reply, retrying through
+        transient faults and reconnecting through connection crashes.
+
+        ``expect`` names the success reply types; an ERROR reply with a
+        semantic code (bad address, unsupported, ...) is returned to the
+        caller as-is, while ``ERR_BAD_MESSAGE`` — "your frame arrived
+        mangled" — triggers a retry.
+        """
+        timeout = self.reply_timeout if timeout is None else timeout
+        expect = tuple(expect)
+        msg.seq = self._next_seq()
+        last_err: Optional[BaseException] = None
+        for attempt in range(self.policy.max_attempts):
+            if attempt:
+                self.retries += 1
+                time.sleep(self.policy.delay(attempt - 1))
+            try:
+                self._ensure_channel()
+                self._ensure_handshake()
+                self.channel.send(msg)
+                return self._await_reply(msg, expect, timeout)
+            except ChannelClosed as err:
+                last_err = err
+                self._drop_channel()
+            except protocol.FrameError as err:
+                last_err = err
+                self._drop_channel()
+            except TimeoutError as err:
+                # the request (or its reply) was lost; shed any late
+                # reply still in flight before resending
+                last_err = err
+                self._flush()
+            except (protocol.ProtocolError, _Transient) as err:
+                last_err = err
+        raise SessionError("request %r failed after %d attempts: %s"
+                           % (msg, self.policy.max_attempts, last_err))
+
+    def control(self, msg: protocol.Message) -> None:
+        """Send a control message (CONTINUE/DETACH/KILL): acknowledged
+        and retried when the nub speaks FEATURE_ACK, best-effort
+        otherwise."""
+        try:
+            self._ensure_channel()
+            self._ensure_handshake()
+        except (ChannelClosed, protocol.ProtocolError):
+            # a dead connection under the handshake: one reconnect
+            # (the request engine below retries everything else)
+            self._drop_channel()
+            self._ensure_channel()
+            self._ensure_handshake()
+        if self.ack_active:
+            self.request(msg, expect=(protocol.MSG_OK,))
+        else:
+            self.channel.send(msg)
+
+    def send(self, msg: protocol.Message) -> None:
+        """A raw, unretried send (legacy escape hatch)."""
+        self._ensure_channel()
+        self.channel.send(msg)
+
+    def recv_event(self, timeout: Optional[float] = None) -> protocol.Message:
+        """The next SIGNAL/EXITED notification (stale replies from
+        faulted exchanges are skipped)."""
+        if self.pending_events:
+            return self.pending_events.popleft()
+        if self.channel is None:
+            raise ChannelClosed("session is not connected")
+        while True:
+            try:
+                msg = self.channel.recv(timeout)
+            except protocol.CrcError:
+                continue
+            except protocol.FrameError as err:
+                self._drop_channel()
+                raise ChannelClosed("unrecoverable framing: %s" % err)
+            if msg.mtype == protocol.MSG_SIGNAL:
+                self.last_signal = protocol.parse_signal(msg)
+                return msg
+            if msg.mtype == protocol.MSG_EXITED:
+                return msg
+
+    def reconnect(self) -> None:
+        """Drop the current connection (if any) and re-attach through
+        the connector; the nub re-announces the interrupted stop."""
+        self._drop_channel()
+        self._reconnect()
+
+    def close(self) -> None:
+        self._drop_channel()
+
+    # -- internals ---------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        if self._seq >= protocol.NO_SEQ:
+            self._seq = 1
+        return self._seq
+
+    def _await_reply(self, msg, expect, timeout) -> protocol.Message:
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("no reply within %s seconds" % timeout)
+            reply = self.channel.recv(remaining)
+            if reply.mtype in _EVENT_TYPES:
+                self._note_event(reply)
+                continue
+            if self.seq_active and reply.seq != msg.seq:
+                # a stale reply (duplicate or late after a timeout);
+                # ERR_BAD_MESSAGE means a mangled frame reached the nub
+                if (reply.mtype == protocol.MSG_ERROR
+                        and protocol.parse_error(reply)
+                        == protocol.ERR_BAD_MESSAGE):
+                    raise _Transient("nub saw a mangled frame")
+                continue
+            if reply.mtype == protocol.MSG_ERROR:
+                if protocol.parse_error(reply) == protocol.ERR_BAD_MESSAGE:
+                    raise _Transient("nub saw a mangled frame")
+                return reply
+            if reply.mtype in expect:
+                return reply
+            # without sequence ids a stale reply shows up as the wrong
+            # type: flush the stream and retry
+            raise _Transient("expected %s, got %r" % (expect, reply))
+
+    def _note_event(self, msg: protocol.Message) -> None:
+        if msg.mtype == protocol.MSG_SIGNAL:
+            self.last_signal = protocol.parse_signal(msg)
+        self.pending_events.append(msg)
+
+    def _ensure_channel(self) -> None:
+        if self.channel is None:
+            if self.connector is None:
+                raise ChannelClosed("session has no reconnect path")
+            self._reconnect()
+
+    def _drop_channel(self) -> None:
+        if self.channel is not None:
+            self.channel.close()
+            self.channel = None
+        self.hello_done = False
+        self.crc_active = self.seq_active = self.ack_active = False
+
+    def _reconnect(self) -> None:
+        if self.connector is None:
+            raise ChannelClosed("session has no reconnect path")
+        self.last_signal = None
+        last_err: Optional[BaseException] = None
+        for attempt in range(self.policy.max_attempts):
+            if attempt:
+                time.sleep(self.policy.delay(attempt - 1))
+            try:
+                channel = self.connector()
+            except OSError as err:
+                last_err = err
+                continue
+            self.channel = channel
+            self.hello_done = False
+            self.crc_active = self.seq_active = self.ack_active = False
+            got_signal = False
+            try:
+                try:
+                    msg = channel.recv(self.reply_timeout)
+                except TimeoutError:
+                    msg = None  # target still running; nothing announced
+                if msg is not None:
+                    if msg.mtype == protocol.MSG_SIGNAL:
+                        # the nub re-announces the preserved stop; the
+                        # on_reconnect hook applies it, so don't queue it
+                        self.last_signal = protocol.parse_signal(msg)
+                        got_signal = True
+                    elif msg.mtype == protocol.MSG_EXITED:
+                        self.pending_events.append(msg)
+                if got_signal:
+                    self._ensure_handshake()
+            except (ChannelClosed, protocol.ProtocolError) as err:
+                last_err = err
+                self._drop_channel()
+                continue
+            self.reconnects += 1
+            if got_signal:
+                self._run_reconnect_callback()
+            return
+        raise SessionError("reconnect failed after %d attempts: %s"
+                           % (self.policy.max_attempts, last_err))
+
+    def _run_reconnect_callback(self) -> None:
+        if self.on_reconnect is None or self._in_callback:
+            return
+        self._in_callback = True
+        try:
+            self.on_reconnect(self)
+        finally:
+            self._in_callback = False
+
+    def _ensure_handshake(self) -> None:
+        if self.hello_done:
+            return
+        features = ((protocol.FEATURE_CRC if self.want_crc else 0)
+                    | (protocol.FEATURE_SEQ if self.want_seq else 0)
+                    | (protocol.FEATURE_ACK if self.want_ack else 0))
+        if not features:
+            self.hello_done = True
+            return
+        self.channel.send(protocol.hello(protocol.PROTOCOL_VERSION, features))
+        while True:
+            reply = self.channel.recv(self.reply_timeout)
+            if reply.mtype in _EVENT_TYPES:
+                self._note_event(reply)
+                continue
+            break
+        if reply.mtype == protocol.MSG_HELLO:
+            _version, accepted = protocol.parse_hello(reply)
+            self.crc_active = bool(accepted & protocol.FEATURE_CRC)
+            self.seq_active = bool(accepted & protocol.FEATURE_SEQ)
+            self.ack_active = bool(accepted & protocol.FEATURE_ACK)
+            self.channel.crc = self.crc_active
+            self.channel.seq_mode = self.seq_active
+        else:
+            # a legacy nub: plain frames, unacknowledged controls
+            self.crc_active = self.seq_active = self.ack_active = False
+        self.hello_done = True
+
+    def _flush(self) -> None:
+        """Discard stale input (late replies) after a timeout, keeping
+        any SIGNAL/EXITED notifications."""
+        if self.channel is None:
+            return
+        try:
+            while True:
+                msg = self.channel.recv(0.02)
+                if msg.mtype in _EVENT_TYPES:
+                    self._note_event(msg)
+        except TimeoutError:
+            pass
+        except protocol.ProtocolError:
+            pass
+        except ChannelClosed:
+            self._drop_channel()

@@ -82,6 +82,90 @@ class TestMessages:
         assert not any("STEP" in n for n in dir(p) if n.startswith("MSG_"))
 
 
+class TestHardening:
+    """Satellite of the fault-tolerance work: wire input can never
+    surface a raw struct.error, hostile lengths are capped, and the
+    negotiated framing extras (CRC trailer, sequence ids) round-trip."""
+
+    # (parser, a valid message to truncate, payload prefix lengths that
+    # happen to parse as a shorter valid message — the ambiguity the CRC
+    # trailer exists to catch)
+    CASES = [
+        (p.parse_fetch, p.fetch("d", 0x1000, 4), ()),
+        (p.parse_store, p.store("d", 0x1000, b"\x2a\0\0\0"), (6, 7)),
+        (p.parse_signal, p.signal(5, 0, 0x100), ()),
+        (p.parse_exited, p.exited(0), ()),
+        (p.parse_error, p.error(p.ERR_BAD_SPACE), ()),
+        (p.parse_hello, p.hello(), ()),
+        (p.parse_plant, p.plant(0x2000, b"\0\0\0\x0c"), (5, 6)),
+        (p.parse_unplant, p.unplant(0x2000), ()),
+        (p.parse_breaklist, p.breaklist([(0x2000, b"\0\0\0\x08")]), (0,)),
+    ]
+
+    @pytest.mark.parametrize("parser,msg,ambiguous", CASES,
+                             ids=[c[0].__name__ for c in CASES])
+    def test_truncated_payload_raises_protocol_error(self, parser, msg,
+                                                     ambiguous):
+        for cut in range(len(msg.payload)):
+            if cut in ambiguous:
+                parser(p.Message(msg.mtype, msg.payload[:cut]))
+                continue
+            with pytest.raises(p.ProtocolError):
+                parser(p.Message(msg.mtype, msg.payload[:cut]))
+
+    @pytest.mark.parametrize("parser,msg,_ambiguous", CASES,
+                             ids=[c[0].__name__ for c in CASES])
+    @given(junk=st.binary(max_size=24))
+    def test_random_payload_never_struct_error(self, parser, msg, _ambiguous,
+                                               junk):
+        try:
+            parser(p.Message(msg.mtype, junk))
+        except p.ProtocolError:
+            pass  # the only exception wire input may raise
+
+    def test_breaklist_truncated_entry(self):
+        raw = p.breaklist([(0x2000, b"\0\0\0\x08")]).payload
+        with pytest.raises(p.ProtocolError):
+            p.parse_breaklist(p.Message(p.MSG_BREAKLIST, raw[:-1]))
+
+    def test_oversized_length_is_frame_error(self):
+        hostile = b"\x12" + (p.MAX_PAYLOAD + 1).to_bytes(4, "little")
+        with pytest.raises(p.FrameError):
+            p.decode(hostile)
+
+    def test_crc_round_trip(self):
+        msg = p.fetch("d", 0x1234, 4)
+        decoded, rest = p.decode(p.encode(msg, crc=True), crc=True)
+        assert decoded == msg and rest == b""
+
+    def test_crc_mismatch_consumes_the_frame(self):
+        first = bytearray(p.encode(p.data(b"\x01\x02"), crc=True))
+        second = p.encode(p.ok(), crc=True)
+        first[6] ^= 0x40  # flip a payload bit
+        try:
+            p.decode(bytes(first) + second, crc=True)
+        except p.CrcError as err:
+            assert err.rest == second  # the stream is still framed
+        else:
+            pytest.fail("corrupt frame passed its CRC")
+
+    def test_seq_header_round_trip(self):
+        msg = p.fetch("d", 0x10, 4)
+        msg.seq = 77
+        decoded, rest = p.decode(p.encode(msg, seq_mode=True), seq_mode=True)
+        assert decoded == msg and decoded.seq == 77 and rest == b""
+
+    def test_events_carry_no_seq(self):
+        raw = p.encode(p.signal(5, 0, 0x100), seq_mode=True)
+        decoded, _ = p.decode(raw, seq_mode=True)
+        assert decoded.seq == p.NO_SEQ
+
+    def test_hello_round_trip(self):
+        msg = p.hello(p.PROTOCOL_VERSION, p.FEATURE_CRC | p.FEATURE_ACK)
+        assert p.parse_hello(msg) == (p.PROTOCOL_VERSION,
+                                      p.FEATURE_CRC | p.FEATURE_ACK)
+
+
 class TestProperties:
     @given(st.sampled_from("cd"), st.integers(0, 2**32 - 1),
            st.sampled_from(p.VALUE_SIZES))
@@ -112,3 +196,33 @@ class TestProperties:
             assert msg is not None
             out.append(msg)
         assert out == msgs
+
+    @given(st.binary(max_size=48), st.booleans(), st.booleans(),
+           st.data())
+    def test_split_stream_reassembles_in_every_mode(self, payload, crc,
+                                                    seq_mode, data):
+        """Frames survive arbitrary segmentation under all framing modes
+        — the property Channel.recv depends on."""
+        msgs = [p.data(payload), p.ok()]
+        if seq_mode:
+            msgs[0].seq = 5
+            msgs[1].seq = 6
+        stream = b"".join(p.encode(m, crc=crc, seq_mode=seq_mode)
+                          for m in msgs)
+        cut = data.draw(st.integers(0, len(stream)))
+        buffer, out = b"", []
+        for chunk in (stream[:cut], stream[cut:]):
+            buffer += chunk
+            while True:
+                msg, buffer = p.decode(buffer, crc=crc, seq_mode=seq_mode)
+                if msg is None:
+                    break
+                out.append(msg)
+        assert buffer == b"" and out == msgs
+
+    @given(st.binary(max_size=20))
+    def test_truncated_frame_never_decodes(self, payload):
+        raw = p.encode(p.data(payload))
+        for cut in range(len(raw)):
+            msg, rest = p.decode(raw[:cut])
+            assert msg is None and rest == raw[:cut]
