@@ -20,21 +20,28 @@ from .workloads import FIB_C
 
 @pytest.fixture(scope="module")
 def stopped_at_7():
+    # cache=False: this bench measures the Fig. 4 per-node routing, so
+    # every fetch must reach the wire as its own FETCH message
     exe = compile_and_link({"fib.c": FIB_C}, "rmips", debug=True)
     ldb = Ldb(stdout=io.StringIO())
-    target = ldb.load_program(exe)
+    target = ldb.load_program(exe, cache=False)
     ldb.break_at_stop("fib", 7)   # i++ in the first loop (paper Sec. 4.1)
     ldb.run_to_stop()
     return ldb, target
 
 
-def counts(frame, target, what="fetch"):
-    """Per-node counters: the wire counts on the target-wide stats."""
-    stats = frame.memory.stats
-    out = {node: stats.of(node, what)
+def deltas_between(frame, target, action, what="fetch"):
+    """Per-node counter increments around ``action()`` (MemoryStats
+    snapshot/diff API); returns (deltas, action result)."""
+    node_before = frame.memory.stats.snapshot()
+    wire_before = target.stats.snapshot()
+    result = action()
+    node_diff = frame.memory.stats.diff(node_before)
+    wire_diff = target.stats.diff(wire_before)
+    out = {node: node_diff.get("%s.%s" % (node, what), 0)
            for node in ("joined", "register", "alias")}
-    out["wire"] = target.stats.of("wire", what)
-    return out
+    out["wire"] = wire_diff.get("wire.%s" % what, 0)
+    return out, result
 
 
 def test_fig4_register_fetch_routing(benchmark, stopped_at_7):
@@ -44,10 +51,8 @@ def test_fig4_register_fetch_routing(benchmark, stopped_at_7):
     entry = frame.resolve("i")
     location = target.location_of(entry, frame)
 
-    before = counts(frame, target)
-    value = frame.memory.fetch(location, "i32")
-    after = counts(frame, target)
-    deltas = {node: after[node] - before[node] for node in after}
+    deltas, value = deltas_between(
+        frame, target, lambda: frame.memory.fetch(location, "i32"))
 
     benchmark(frame.memory.fetch, location, "i32")
 
@@ -74,10 +79,8 @@ def test_fig4_data_fetch_skips_register_nodes(benchmark, stopped_at_7):
     entry = frame.resolve("a")
     location = target.location_of(entry, frame)
 
-    before = counts(frame, target)
-    element0 = frame.memory.fetch(location, "i32")
-    after = counts(frame, target)
-    deltas = {node: after[node] - before[node] for node in after}
+    deltas, element0 = deltas_between(
+        frame, target, lambda: frame.memory.fetch(location, "i32"))
 
     report("  one fetch of a[0]: joined+%d register+%d alias+%d wire+%d "
            "(a[0] = %d)" % (deltas["joined"], deltas["register"],

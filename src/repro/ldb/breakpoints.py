@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..nub import protocol
+from ..nub.session import NubError
 from ..postscript import Location
 
 _KIND_BY_SIZE = {1: "i8", 2: "i16", 4: "i32"}
@@ -59,21 +60,20 @@ class BreakpointTable:
     # -- the Sec. 7.1 protocol extension --------------------------------------
 
     def _request(self, msg, expect):
-        """A retried request through the target's session (falls back to
-        the bare channel for hand-built targets)."""
-        session = getattr(self.target, "session", None)
-        if session is not None:
-            return session.request(msg, expect=expect)
-        self.target.channel.send(msg)
-        return self.target.channel.recv(10.0)
+        """One exchange through the target's transport: session and
+        bare-channel targets surface errors identically."""
+        return self.target.transport.transact(msg, expect=expect)
 
     def extension_available(self) -> bool:
         """Probe the nub (once) for the breakpoint-aware protocol."""
         if "ok" not in self._extension:
-            reply = self._request(protocol.breaks(),
-                                  expect=(protocol.MSG_BREAKLIST,))
-            self._extension["ok"] = reply.mtype == protocol.MSG_BREAKLIST
-            if self._extension["ok"]:
+            try:
+                reply = self._request(protocol.breaks(),
+                                      expect=(protocol.MSG_BREAKLIST,))
+            except NubError:
+                self._extension["ok"] = False  # a minimal nub
+            else:
+                self._extension["ok"] = True
                 self._adopt(protocol.parse_breaklist(reply))
         return self._extension["ok"]
 
@@ -83,10 +83,12 @@ class BreakpointTable:
         that survived its own connection's death."""
         if not self._extension.get("ok"):
             return  # never probed, or a minimal nub: nothing to replay
-        reply = self._request(protocol.breaks(),
-                              expect=(protocol.MSG_BREAKLIST,))
-        if reply.mtype == protocol.MSG_BREAKLIST:
-            self._adopt(protocol.parse_breaklist(reply))
+        try:
+            reply = self._request(protocol.breaks(),
+                                  expect=(protocol.MSG_BREAKLIST,))
+        except NubError:
+            return
+        self._adopt(protocol.parse_breaklist(reply))
 
     def _adopt(self, entries) -> None:
         """Recover breakpoints a previous (crashed) debugger planted."""
@@ -101,20 +103,31 @@ class BreakpointTable:
             return False
         trap = self.break_pattern.to_bytes(len(self.target.machdep.nop_bytes_le),
                                            "little")
-        reply = self._request(protocol.plant(address, trap),
-                              expect=(protocol.MSG_OK,))
-        if reply.mtype == protocol.MSG_ERROR:
+        try:
+            self._request(protocol.plant(address, trap),
+                          expect=(protocol.MSG_OK,))
+        except NubError:
             raise BreakpointError("nub rejected plant at 0x%x" % address)
+        self._invalidate_insn(address, len(trap))
         return True
 
     def _remove_via_extension(self, address: int) -> bool:
         if not self.extension_available():
             return False
-        reply = self._request(protocol.unplant(address),
-                              expect=(protocol.MSG_OK,))
-        if reply.mtype == protocol.MSG_ERROR:
+        try:
+            self._request(protocol.unplant(address),
+                          expect=(protocol.MSG_OK,))
+        except NubError:
             raise BreakpointError("nub rejected unplant at 0x%x" % address)
+        self._invalidate_insn(address, len(self.target.machdep.nop_bytes_le))
         return True
+
+    def _invalidate_insn(self, address: int, length: int) -> None:
+        # the extension writes code behind the wire memory's back; the
+        # nub's code and data spaces address the same memory, so drop
+        # cached blocks under both names
+        self.target.wire.invalidate_range("c", address, length)
+        self.target.wire.invalidate_range("d", address, length)
 
     def _code_loc(self, address: int) -> Location:
         return Location.absolute("c", address)

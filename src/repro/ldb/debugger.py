@@ -53,16 +53,19 @@ class Ldb:
         return name
 
     def adopt_channel(self, channel: Channel, table_ps: str,
-                      wait: bool = True, connector=None) -> Target:
+                      wait: bool = True, connector=None,
+                      cache: bool = True) -> Target:
         """Debug over an existing connection (any transport).
 
         ``connector`` — a zero-argument callable returning a fresh
         :class:`Channel` — gives the target a reconnect path: if the
         connection dies, ``Target.reconnect()`` re-attaches through it.
+        ``cache=False`` turns off the block-transfer memory cache and
+        sends every fetch as its own FETCH message.
         """
         table = self.read_loader_table(table_ps)
         target = Target(self.interp, channel, table, self._new_target_name(),
-                        connector=connector)
+                        connector=connector, cache=cache)
         self.targets[target.name] = target
         self.current = target
         if wait:
@@ -70,27 +73,34 @@ class Ldb:
         return target
 
     def load_program(self, exe: Executable, stop_at_entry: bool = True,
-                     table_ps: Optional[str] = None) -> Target:
-        """Start a target process as a "child": the fork analog."""
+                     table_ps: Optional[str] = None,
+                     cache: bool = True, block_nub: bool = True) -> Target:
+        """Start a target process as a "child": the fork analog.
+
+        ``block_nub=False`` simulates a legacy nub without the
+        block-transfer extension; the debugger falls back per-word.
+        """
         debugger_end, nub_end = pair()
         process = Process(exe)
-        nub = Nub(process, channel=nub_end, stop_at_entry=stop_at_entry)
+        nub = Nub(process, channel=nub_end, stop_at_entry=stop_at_entry,
+                  block_extension=block_nub)
         runner = NubRunner(nub).start()
         if table_ps is None:
             table_ps = getattr(exe, "loader_ps", None) or loader_table_ps(exe)
-        target = self.adopt_channel(debugger_end, table_ps, wait=stop_at_entry)
+        target = self.adopt_channel(debugger_end, table_ps, wait=stop_at_entry,
+                                    cache=cache)
         target.process = process
         target.nub = nub
         target.runner = runner
         return target
 
     def attach(self, host: str, port: int, table_ps: str,
-               wait: bool = True) -> Target:
+               wait: bool = True, cache: bool = True) -> Target:
         """Connect to a faulty process waiting on the network."""
         channel = connect(host, port)
         connector = lambda: connect(host, port)
         return self.adopt_channel(channel, table_ps, wait=wait,
-                                  connector=connector)
+                                  connector=connector, cache=cache)
 
     def switch_target(self, name: str) -> Target:
         """Switch targets — possibly to a different architecture; the

@@ -114,6 +114,10 @@ class EventEngine:
         target = target or self.debugger.current
         for _ in range(max_resumes):
             state = self.debugger.run_to_stop(target=target, timeout=timeout)
+            # the target ran: nothing cached from before the stop may
+            # leak into classification or the handlers (Target already
+            # invalidates on resume and stop; this covers subclasses)
+            target.wire.invalidate()
             event = self._classify(target, state)
             self._cleanup_step_temps_if_done(target, event)
             for handler in self.handlers:

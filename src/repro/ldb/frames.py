@@ -13,8 +13,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..postscript import Location, PSDict
+from ..postscript import ABSOLUTE, KIND_BYTES, Location, PSDict
 from .memories import AliasMemory, JoinedMemory, MemoryStats, RegisterMemory
+
+#: registers whose save slots lie within this many bytes of each other
+#: are prefetched as one span (context slots are adjacent; a frame's
+#: stack save area is a second tight cluster)
+_PREFETCH_GAP = 64
 
 
 class Frame:
@@ -111,12 +116,46 @@ def backtrace(frame: Optional[Frame], limit: int = 64) -> List[Frame]:
     return frames
 
 
+def prefetch_alias_targets(wire, aliases: Dict[Tuple[str, int], Location],
+                           widths: Dict[str, str]) -> None:
+    """Warm the wire cache for every saved-register slot the aliases
+    point at, coalescing neighbours into block transfers.
+
+    A frame's register aliases land in a few tight clusters — the saved
+    context, and (in caller frames) the procedure's stack save area —
+    but a single min..max span would drag in everything between a low
+    context address and a high stack address, so near neighbours
+    (within ``_PREFETCH_GAP``) coalesce and distant ones get their own
+    span.  On an uncached or legacy path ``prefetch`` is a no-op.
+    """
+    per_space: Dict[str, list] = {}
+    for (space, _reg), loc in aliases.items():
+        if loc.mode != ABSOLUTE:
+            continue  # immediates live in the debugger
+        size = KIND_BYTES.get(widths.get(space, "i32"), 4)
+        per_space.setdefault(loc.space, []).append((loc.offset, size))
+    for target_space, slots in per_space.items():
+        slots.sort()
+        start = end = None
+        for offset, size in slots:
+            if start is None:
+                start, end = offset, offset + size
+            elif offset - end <= _PREFETCH_GAP:
+                end = max(end, offset + size)
+            else:
+                wire.prefetch(target_space, start, end - start)
+                start, end = offset, offset + size
+        if start is not None:
+            wire.prefetch(target_space, start, end - start)
+
+
 def make_register_dag(target, aliases: Dict[Tuple[str, int], Location],
                       widths: Dict[str, str],
                       stats: Optional[MemoryStats] = None) -> JoinedMemory:
     """Assemble the Fig. 4 DAG: wire <- alias <- register <- joined."""
     stats = stats if stats is not None else MemoryStats()
     wire = target.wire
+    prefetch_alias_targets(wire, aliases, widths)
     alias = AliasMemory(wire, aliases, stats=stats)
     register = RegisterMemory(alias, widths, stats=stats)
     routes: Dict[str, object] = {"c": wire, "d": wire}

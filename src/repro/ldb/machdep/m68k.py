@@ -35,9 +35,13 @@ class M68kMachine:
     ps_arch = "rm68k"
     frame_base_is_vfp = False
     arch_name = "rm68k"
+    byteorder = "big"
 
     break_bytes_le = bytes([0x48, 0x48])  # BKPT as a little-endian value
     nop_bytes_le = bytes([0x71, 0x4E])    # NOP (0x4E71)
+
+    def cache_fixup(self, target):
+        return None  # saved contexts need no per-value fixing
 
     def reg_names(self):
         return ["d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7",
@@ -57,6 +61,7 @@ class M68kMachine:
 
     def new_top_frame(self, target, context_addr: int) -> "M68kFrame":
         wire = target.wire
+        wire.prefetch("d", context_addr, CTX_SIZE)  # one block transfer
         pc = wire.fetch(self.pc_context_location(context_addr), "i32") & 0xFFFFFFFF
         fp = wire.fetch(Location.absolute(
             "d", context_addr + CTX_REGS + 4 * FP_REG), "i32") & 0xFFFFFFFF

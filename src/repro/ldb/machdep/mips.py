@@ -48,6 +48,7 @@ class MipsMachine:
     def __init__(self, arch_name: str = "rmips"):
         self.arch_name = arch_name
         big = arch_name == "rmips"
+        self.byteorder = "big" if big else "little"
         self.break_bytes_le = bytes([0, 0, 0, 4])  # break, little-endian value
         self.nop_bytes_le = bytes(4)
 
@@ -69,11 +70,38 @@ class MipsMachine:
     def pc_context_location(self, context_addr: int) -> Location:
         return Location.absolute("d", context_addr + CTX_PC)
 
+    def cache_fixup(self, target):
+        """The debugger-side replica of the nub's ``fix_fetched`` hook.
+
+        On rmips the kernel-saved context stores doubleword floating
+        registers least-significant word first (footnote 3); the nub
+        swaps the words when answering a per-value FETCH, so values
+        sliced out of raw blocks must be swapped the same way.  The
+        closure reads ``target.context_addr`` at fetch time — the
+        region moves with each stop announcement.
+        """
+        if self.byteorder != "big":
+            return None  # rmipsel contexts need no fixing
+
+        def fixup(space: str, address: int, raw_le: bytes) -> bytes:
+            base = target.context_addr
+            if (base and len(raw_le) == 8
+                    and base + CTX_FREGS <= address
+                    < base + CTX_FREGS + 8 * NFREGS):
+                return raw_le[4:] + raw_le[:4]
+            return raw_le
+
+        return fixup
+
     # -- frames ---------------------------------------------------------------
 
     def new_top_frame(self, target, context_addr: int) -> "MipsFrame":
         """MipsFrame.New of the paper: context -> topmost frame."""
         wire = target.wire
+        # the whole saved context in one block transfer (when the nub
+        # speaks blocks): the pc/sp reads below and the register DAG's
+        # fetches then hit the cache
+        wire.prefetch("d", context_addr, CTX_SIZE)
         pc = wire.fetch(self.pc_context_location(context_addr), "i32") & 0xFFFFFFFF
         sp = wire.fetch(Location.absolute(
             "d", context_addr + CTX_REGS + 4 * SP_REG), "i32") & 0xFFFFFFFF

@@ -33,9 +33,13 @@ class SparcMachine:
     ps_arch = "rsparc"
     frame_base_is_vfp = False
     arch_name = "rsparc"
+    byteorder = "big"
 
     break_bytes_le = bytes([0, 0, 0, 1])
     nop_bytes_le = bytes(4)
+
+    def cache_fixup(self, target):
+        return None  # saved contexts need no per-value fixing
 
     def reg_names(self):
         return (["g%d" % i for i in range(8)]
@@ -57,6 +61,7 @@ class SparcMachine:
 
     def new_top_frame(self, target, context_addr: int) -> "SparcFrame":
         wire = target.wire
+        wire.prefetch("d", context_addr, CTX_SIZE)  # one block transfer
         pc = wire.fetch(self.pc_context_location(context_addr), "i32") & 0xFFFFFFFF
         fp = wire.fetch(Location.absolute(
             "d", context_addr + CTX_REGS + 4 * FP_REG), "i32") & 0xFFFFFFFF

@@ -33,9 +33,13 @@ class VaxMachine:
     ps_arch = "rvax"
     frame_base_is_vfp = False
     arch_name = "rvax"
+    byteorder = "little"
 
     break_bytes_le = bytes([0x03])  # BPT
     nop_bytes_le = bytes([0x01])    # NOP
+
+    def cache_fixup(self, target):
+        return None  # saved contexts need no per-value fixing
 
     def reg_names(self):
         return ["r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7",
@@ -55,6 +59,7 @@ class VaxMachine:
 
     def new_top_frame(self, target, context_addr: int) -> "VaxFrame":
         wire = target.wire
+        wire.prefetch("d", context_addr, CTX_SIZE)  # one block transfer
         pc = wire.fetch(self.pc_context_location(context_addr), "i32") & 0xFFFFFFFF
         fp = wire.fetch(Location.absolute(
             "d", context_addr + CTX_REGS + 4 * FP_REG), "i32") & 0xFFFFFFFF

@@ -21,17 +21,24 @@ table), so cross-architecture debugging comes for free.
 from __future__ import annotations
 
 import struct
-from typing import Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..machines import float80
 from ..nub import protocol
-from ..nub.channel import Channel
-from ..nub.session import SessionError
+from ..nub.session import NubError, Transport, TransportError
 from ..postscript import AbstractMemory, KIND_BYTES, Location, PSError
 
 
 class MemoryStats:
-    """Fetch/store counters, shared down a DAG (bench_fig4 uses them)."""
+    """Fetch/store counters, shared down a DAG.
+
+    Keys are ``memory.operation``; the ``wire.*`` family counts actual
+    nub round-trips while every other family counts logical accesses at
+    one DAG node.  Consumers use :meth:`snapshot` to freeze the
+    counters, :meth:`diff` to get the increments since a snapshot, and
+    :meth:`round_trips` for the wire-message total — the number the
+    block-transfer protocol exists to shrink.
+    """
 
     def __init__(self):
         self.counts: Dict[str, int] = {}
@@ -43,57 +50,122 @@ class MemoryStats:
     def of(self, memory_name: str, what: str) -> int:
         return self.counts.get("%s.%s" % (memory_name, what), 0)
 
+    def snapshot(self) -> Dict[str, int]:
+        """An immutable copy of the counters, for :meth:`diff` later."""
+        return dict(self.counts)
+
+    def diff(self, earlier: Union["MemoryStats", Dict[str, int]]) -> Dict[str, int]:
+        """The counter increments since ``earlier`` (a snapshot or
+        another stats object); zero deltas are omitted."""
+        base = earlier.counts if isinstance(earlier, MemoryStats) else earlier
+        out: Dict[str, int] = {}
+        for key, value in self.counts.items():
+            delta = value - base.get(key, 0)
+            if delta:
+                out[key] = delta
+        return out
+
+    def round_trips(self) -> int:
+        """Total nub round-trips: every ``wire.*`` message counts one."""
+        return sum(v for k, v in self.counts.items() if k.startswith("wire."))
+
+
+class BlockUnsupported(Exception):
+    """The peer cannot move memory blocks (a legacy nub, or a connection
+    negotiated without FEATURE_BLOCK); callers fall back per-word."""
+
 
 class WireMemory(AbstractMemory):
-    """Forwards fetches and stores to the nub over the channel.
+    """Forwards fetches and stores to the nub through a
+    :class:`~repro.nub.session.Transport`.
 
     Values travel little-endian on the wire whatever the target's byte
-    order; the nub does the target-order memory access.
+    order; the nub does the target-order memory access.  Blocks travel
+    as raw memory images (ascending address order) and are interpreted
+    by :class:`CachingMemory` above.
 
-    ``link`` is either a :class:`~repro.nub.session.NubSession` — the
-    normal case, giving every fetch and store retry/backoff and
-    crash-reconnect for free — or a bare :class:`Channel` for direct,
-    unretried access.
+    The transport is explicit: a :class:`~repro.nub.session.NubSession`
+    for retry/backoff and crash-reconnect, or a
+    :class:`~repro.nub.session.ChannelTransport` for direct, unretried
+    access over a bare channel.  Both surface nub errors the same way,
+    so the PSError behaviour here is mode-independent.
     """
 
     spaces = "cd"
 
-    #: how long to wait for the nub before giving up (bare-channel mode)
-    REPLY_TIMEOUT = 15.0
-
-    def __init__(self, link, stats: Optional[MemoryStats] = None):
-        self.link = link
+    def __init__(self, transport: Transport, stats: Optional[MemoryStats] = None):
+        if not isinstance(transport, Transport):
+            raise TypeError(
+                "WireMemory needs a Transport, not %r — wrap bare "
+                "channels in ChannelTransport" % (transport,))
+        self.transport = transport
         self.stats = stats if stats is not None else MemoryStats()
 
-    def _transact(self, msg, expect):
-        if hasattr(self.link, "request"):
-            try:
-                return self.link.request(msg, expect=expect)
-            except SessionError as err:
-                raise PSError("ioerror", "nub request failed: %s" % err)
-        self.link.send(msg)
-        return self.link.recv(self.REPLY_TIMEOUT)
+    def _transact(self, msg, expect, what: str):
+        try:
+            return self.transport.transact(msg, expect=expect)
+        except NubError as err:
+            raise PSError("invalidaccess", "nub error %d %s" % (err.code, what))
+        except TransportError as err:
+            raise PSError("ioerror", "nub request failed: %s" % err)
 
     def fetch_absolute(self, loc: Location, kind: str):
         self.stats.note("wire", "fetch")
         size = KIND_BYTES[kind]
         reply = self._transact(protocol.fetch(loc.space, loc.offset, size),
-                               expect=(protocol.MSG_DATA,))
-        if reply.mtype == protocol.MSG_ERROR:
-            raise PSError("invalidaccess", "nub error %d at %s+%d"
-                          % (protocol.parse_error(reply), loc.space, loc.offset))
-        if reply.mtype != protocol.MSG_DATA:
-            raise PSError("ioerror", "unexpected reply %r" % (reply,))
+                               expect=(protocol.MSG_DATA,),
+                               what="at %s+%d" % (loc.space, loc.offset))
         return decode_value(reply.payload, kind)
 
     def store_absolute(self, loc: Location, kind: str, value) -> None:
         self.stats.note("wire", "store")
         raw = encode_value(value, kind)
-        reply = self._transact(protocol.store(loc.space, loc.offset, raw),
-                               expect=(protocol.MSG_OK,))
-        if reply.mtype == protocol.MSG_ERROR:
-            raise PSError("invalidaccess", "nub store error %d"
-                          % protocol.parse_error(reply))
+        self._transact(protocol.store(loc.space, loc.offset, raw),
+                       expect=(protocol.MSG_OK,),
+                       what="storing %s+%d" % (loc.space, loc.offset))
+
+    # -- block transfers (FEATURE_BLOCK) -----------------------------------
+
+    def fetch_block(self, space: str, address: int, length: int) -> bytes:
+        """Raw memory-image bytes for ``[address, address+length)``.
+
+        The nub may answer with a shorter readable prefix when the span
+        runs off mapped memory.  Raises :class:`BlockUnsupported` when
+        the connection was negotiated without blocks or the peer answers
+        ``ERR_UNSUPPORTED``; the caller falls back to per-word FETCH.
+        """
+        if self.transport.block_active is False:
+            raise BlockUnsupported("connection negotiated without blocks")
+        self.stats.note("wire", "blockfetch")
+        try:
+            reply = self.transport.transact(
+                protocol.blockfetch(space, address, length),
+                expect=(protocol.MSG_DATA,))
+        except NubError as err:
+            if err.code in (protocol.ERR_UNSUPPORTED, protocol.ERR_BAD_MESSAGE):
+                raise BlockUnsupported("nub error %d" % err.code)
+            raise PSError("invalidaccess", "nub error %d for block %s+%d"
+                          % (err.code, space, address))
+        except TransportError as err:
+            raise PSError("ioerror", "nub request failed: %s" % err)
+        return reply.payload
+
+    def store_block(self, space: str, address: int, data: bytes) -> None:
+        """Write raw memory-image bytes verbatim (no byte-order or
+        fixup interpretation — that is the caller's business)."""
+        if self.transport.block_active is False:
+            raise BlockUnsupported("connection negotiated without blocks")
+        self.stats.note("wire", "blockstore")
+        try:
+            self.transport.transact(protocol.blockstore(space, address, data),
+                                    expect=(protocol.MSG_OK,))
+        except NubError as err:
+            if err.code in (protocol.ERR_UNSUPPORTED, protocol.ERR_BAD_MESSAGE):
+                raise BlockUnsupported("nub error %d" % err.code)
+            raise PSError("invalidaccess", "nub error %d for block %s+%d"
+                          % (err.code, space, address))
+        except TransportError as err:
+            raise PSError("ioerror", "nub request failed: %s" % err)
 
 
 def decode_value(raw_le: bytes, kind: str):
@@ -120,6 +192,170 @@ def encode_value(value, kind: str) -> bytes:
         return float80.encode(float(value))
     size = KIND_BYTES[kind]
     return (int(value) & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+
+
+class CachingMemory(AbstractMemory):
+    """A write-through, block-filling cache in front of a WireMemory.
+
+    Fetches are served from cached blocks filled by BLOCKFETCH, turning
+    the stack walker's and expression server's sprays of tiny FETCH
+    messages into a handful of block transfers.  The semantics are
+    byte-identical to the uncached path:
+
+    * a block is the raw memory image, so a value is the slice at its
+      address, reversed for big-endian targets — exactly what the nub's
+      per-value FETCH computes;
+    * targets whose saved contexts need fixing (the rmips saved-float
+      word swap, paper footnote 3) supply a ``fixup`` hook that
+      replicates the nub's ``fix_fetched`` on the debugger side;
+    * stores write through per-word (so the nub's ``fix_stored`` hook
+      still applies) and invalidate the stored span.
+
+    The cache must be dropped whenever the target can have run:
+    :class:`~repro.ldb.target.Target` calls :meth:`invalidate` on every
+    resume, stop, and reconnect.  When the peer cannot do blocks —
+    negotiated off, or a legacy nub answering ERR_UNSUPPORTED — the
+    cache disables itself permanently and every access falls through
+    per-word, so debugging a legacy nub keeps working.
+    """
+
+    spaces = "cd"
+
+    #: cache line size; spans are block-aligned on the wire
+    BLOCK = 128
+
+    def __init__(self, wire: WireMemory, byteorder: str = "little",
+                 fixup: Optional[Callable[[str, int, bytes], bytes]] = None,
+                 stats: Optional[MemoryStats] = None):
+        if byteorder not in ("big", "little"):
+            raise ValueError("byteorder must be 'big' or 'little'")
+        self.wire = wire
+        self.byteorder = byteorder
+        self.fixup = fixup
+        self.stats = stats if stats is not None else wire.stats
+        #: (space, block_start) -> raw bytes; short when the block runs
+        #: off mapped memory
+        self.blocks: Dict[Tuple[str, int], bytes] = {}
+        self._block_ok = True
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop everything: the target may have run."""
+        if self.blocks:
+            self.stats.note("cache", "invalidate")
+            self.blocks.clear()
+
+    def invalidate_range(self, space: str, start: int, length: int) -> None:
+        """Drop the blocks covering ``[start, start+length)``."""
+        if length <= 0:
+            return
+        first = start // self.BLOCK
+        last = (start + length - 1) // self.BLOCK
+        for n in range(first, last + 1):
+            self.blocks.pop((space, n * self.BLOCK), None)
+
+    # -- prefetch ----------------------------------------------------------
+
+    def prefetch(self, space: str, start: int, length: int) -> None:
+        """Warm the cache for a span in one round-trip (best effort).
+
+        The stack walker uses this to pull a frame's whole saved
+        context, or the cluster of saved-register slots, in a single
+        BLOCKFETCH before the per-register fetches hit the cache.
+        """
+        if not self._block_ok or length <= 0:
+            return
+        first = (start // self.BLOCK) * self.BLOCK
+        end = start + length
+        span = ((end - first + self.BLOCK - 1) // self.BLOCK) * self.BLOCK
+        span = min(span, protocol.MAX_BLOCK)
+        if all((space, first + off) in self.blocks
+               for off in range(0, span, self.BLOCK)):
+            return
+        try:
+            raw = self.wire.fetch_block(space, first, span)
+        except BlockUnsupported:
+            self._block_ok = False
+            return
+        except PSError:
+            return  # unmapped start etc.; the demand path will surface it
+        self.stats.note("cache", "prefetch")
+        self._install(space, first, raw)
+
+    # -- the cache proper --------------------------------------------------
+
+    def _install(self, space: str, start: int, raw: bytes) -> None:
+        # ``start`` is block-aligned; the tail piece may be short when
+        # the nub answered a readable prefix
+        for off in range(0, len(raw), self.BLOCK):
+            self.blocks[(space, start + off)] = raw[off:off + self.BLOCK]
+
+    def _ensure_block(self, space: str, bstart: int) -> bytes:
+        blk = self.blocks.get((space, bstart))
+        if blk is None:
+            self.stats.note("cache", "miss")
+            raw = self.wire.fetch_block(space, bstart, self.BLOCK)
+            self._install(space, bstart, raw)
+            blk = self.blocks[(space, bstart)]
+        return blk
+
+    def _read_span(self, space: str, start: int, size: int) -> Optional[bytes]:
+        """The raw memory image for a span, or None when the span is not
+        fully coverable by (possibly short) blocks."""
+        out = []
+        addr, need = start, size
+        while need > 0:
+            bstart = (addr // self.BLOCK) * self.BLOCK
+            blk = self._ensure_block(space, bstart)
+            avail = len(blk) - (addr - bstart)
+            if avail <= 0:
+                return None
+            take = min(avail, need)
+            lo = addr - bstart
+            out.append(blk[lo:lo + take])
+            addr += take
+            need -= take
+            if need > 0 and len(blk) < self.BLOCK:
+                return None  # a short block: the rest is unmapped
+        return b"".join(out)
+
+    def _image_to_value(self, space: str, offset: int, raw_img: bytes, kind: str):
+        # the same interpretation the nub applies per value: reverse for
+        # big-endian targets, then the machine's saved-context fixup
+        raw_le = raw_img[::-1] if self.byteorder == "big" else raw_img
+        if self.fixup is not None:
+            raw_le = self.fixup(space, offset, raw_le)
+        return decode_value(raw_le, kind)
+
+    def fetch_absolute(self, loc: Location, kind: str):
+        self.stats.note("cache", "fetch")
+        size = KIND_BYTES[kind]
+        raw_img = None
+        if self._block_ok:
+            misses = self.stats.of("cache", "miss")
+            try:
+                raw_img = self._read_span(loc.space, loc.offset, size)
+            except BlockUnsupported:
+                self._block_ok = False
+            except PSError:
+                raw_img = None  # block start unmapped; retry per-word
+            else:
+                if raw_img is not None and self.stats.of("cache", "miss") == misses:
+                    self.stats.note("cache", "hit")
+        if raw_img is None:
+            self.stats.note("cache", "fallback")
+            return self.wire.fetch_absolute(loc, kind)
+        return self._image_to_value(loc.space, loc.offset, raw_img, kind)
+
+    def store_absolute(self, loc: Location, kind: str, value) -> None:
+        # write through per-word — the nub's fix_stored hook must see the
+        # store exactly as on the uncached path — then drop the span
+        self.stats.note("cache", "store")
+        self.wire.store_absolute(loc, kind, value)
+        # the nub's c and d spaces address one memory: drop both names
+        for space in self.spaces:
+            self.invalidate_range(space, loc.offset, KIND_BYTES[kind])
 
 
 class AliasMemory(AbstractMemory):

@@ -17,7 +17,13 @@ from typing import List, Optional
 
 from ..nub import protocol
 from ..nub.channel import Channel, ChannelClosed
-from ..nub.session import NubSession, RetryPolicy, SessionError
+from ..nub.session import (
+    NubSession,
+    RetryPolicy,
+    SessionError,
+    Transport,
+    TransportError,
+)
 from ..postscript import (
     Interp,
     Location,
@@ -31,7 +37,7 @@ from .breakpoints import BreakpointTable
 from .frames import Frame, backtrace
 from .linker import linker_for
 from .machdep import machdep_for
-from .memories import MemoryStats, WireMemory
+from .memories import CachingMemory, MemoryStats, WireMemory
 from .symtab import SymbolTable
 
 
@@ -42,13 +48,23 @@ class TargetError(Exception):
 class Target:
     """One debugged process: connection + tables + state."""
 
-    def __init__(self, interp: Interp, channel: Channel, loader_table: PSDict,
-                 name: str = "t0", connector=None,
-                 retry_policy: Optional[RetryPolicy] = None):
+    def __init__(self, interp: Interp, channel: Optional[Channel],
+                 loader_table: PSDict, name: str = "t0", connector=None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 transport: Optional[Transport] = None, cache: bool = True):
         self.interp = interp
-        self.session = NubSession(channel=channel, connector=connector,
-                                  policy=retry_policy,
-                                  on_reconnect=self._session_reconnected)
+        if transport is None:
+            transport = NubSession(channel=channel, connector=connector,
+                                   policy=retry_policy,
+                                   on_reconnect=self._session_reconnected)
+        elif (isinstance(transport, NubSession)
+              and transport.on_reconnect is None):
+            transport.on_reconnect = self._session_reconnected
+        #: how this target talks to its nub (the memory, breakpoint, and
+        #: control paths all go through it)
+        self.transport = transport
+        #: the session view of the transport, None for bare channels
+        self.session = transport if isinstance(transport, NubSession) else None
         self.name = name
         self.table = loader_table
         toplevel = loader_table["symtab"]
@@ -56,7 +72,14 @@ class Target:
         # the architecture name selects the machine-dependent code & data
         self.machdep = machdep_for(self.arch_name)
         self.stats = MemoryStats()
-        self.wire = WireMemory(self.session, stats=self.stats)
+        self.wiremem = WireMemory(self.transport, stats=self.stats)
+        if cache:
+            self.wire = CachingMemory(self.wiremem,
+                                      byteorder=self.machdep.byteorder,
+                                      fixup=self.machdep.cache_fixup(self),
+                                      stats=self.stats)
+        else:
+            self.wire = self.wiremem
         self.linker = linker_for(self.arch_name, loader_table, self.wire)
         self.symtab = SymbolTable(interp, toplevel, target=self)
         # the same per-architecture dictionary the loader-table PostScript
@@ -76,8 +99,8 @@ class Target:
 
     @property
     def channel(self) -> Optional[Channel]:
-        """The session's current channel (None while disconnected)."""
-        return self.session.channel
+        """The transport's current channel (None while disconnected)."""
+        return getattr(self.transport, "channel", None)
 
     # -- PostScript context ------------------------------------------------
 
@@ -132,11 +155,16 @@ class Target:
         :meth:`reconnect` to re-attach; the nub preserves the target.
         """
         try:
-            msg = self.session.recv_event(timeout)
+            msg = self.transport.recv_event(timeout)
         except ChannelClosed:
-            self.state = ("reconnecting" if self.session.connector is not None
-                          else "disconnected")
+            self.wire.invalidate()
+            self.state = ("reconnecting"
+                          if getattr(self.transport, "connector", None)
+                          is not None else "disconnected")
             return self.state
+        # whatever arrived, the target has run since we last looked:
+        # every cached block is stale (the nub rewrote the context too)
+        self.wire.invalidate()
         if msg.mtype == protocol.MSG_SIGNAL:
             self.signo, self.sigcode, self.context_addr = protocol.parse_signal(msg)
             self.state = "stopped"
@@ -162,11 +190,12 @@ class Target:
             self.wire.store(self.machdep.pc_context_location(self.context_addr),
                             "i32", at_pc)
         try:
-            self.session.control(protocol.cont())
-        except SessionError as err:
+            self.transport.control(protocol.cont())
+        except TransportError as err:
             raise TargetError("continue failed: %s" % err)
         self.state = "running"
         self._top_frame = None
+        self.wire.invalidate()
 
     def resume_from_breakpoint(self) -> None:
         """Continue past the trapped no-op (skip it out of line)."""
@@ -177,26 +206,29 @@ class Target:
     def kill(self) -> None:
         self._require_stopped()
         try:
-            self.session.control(protocol.kill())
-        except SessionError as err:
+            self.transport.control(protocol.kill())
+        except TransportError as err:
             raise TargetError("kill failed: %s" % err)
         self.state = "exited"
+        self.wire.invalidate()
 
     def detach(self) -> None:
         """Break the connection; the nub preserves the target's state."""
         self._require_stopped()
         try:
-            self.session.control(protocol.detach())
-        except SessionError as err:
+            self.transport.control(protocol.detach())
+        except TransportError as err:
             raise TargetError("detach failed: %s" % err)
-        self.session.close()
+        self.transport.close()
         self.state = "disconnected"
+        self.wire.invalidate()
 
     # -- crash recovery (paper Sec. 7.1) ----------------------------------
 
     def _session_reconnected(self, session: NubSession) -> None:
         """Session hook: a new connection found the target stopped.
         Apply the re-announced stop and resynchronize breakpoints."""
+        self.wire.invalidate()
         if session.last_signal is not None:
             self.signo, self.sigcode, self.context_addr = session.last_signal
             self.state = "stopped"
@@ -207,9 +239,10 @@ class Target:
         """Re-attach after a lost connection (or debugger crash): a new
         channel through the nub's listener, the re-announced stop, and a
         ``BREAKS`` replay to recover the breakpoint table."""
-        if self.session.connector is None:
+        if self.session is None or self.session.connector is None:
             raise TargetError("target %s has no reconnect path" % self.name)
         self.state = "reconnecting"
+        self.wire.invalidate()
         try:
             self.session.reconnect()
         except SessionError as err:

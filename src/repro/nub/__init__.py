@@ -4,9 +4,18 @@ from . import protocol
 from .channel import Channel, ChannelClosed, Listener, connect, pair
 from .faults import FaultInjectingChannel, FaultSchedule
 from .nub import Nub, NubMD, NubRunner, nub_md_for
-from .session import NubSession, RetryPolicy, SessionError
+from .session import (
+    ChannelTransport,
+    NubError,
+    NubSession,
+    RetryPolicy,
+    SessionError,
+    Transport,
+    TransportError,
+)
 
-__all__ = ["Channel", "ChannelClosed", "FaultInjectingChannel",
-           "FaultSchedule", "Listener", "Nub", "NubMD", "NubRunner",
-           "NubSession", "RetryPolicy", "SessionError", "connect",
+__all__ = ["Channel", "ChannelClosed", "ChannelTransport",
+           "FaultInjectingChannel", "FaultSchedule", "Listener", "Nub",
+           "NubError", "NubMD", "NubRunner", "NubSession", "RetryPolicy",
+           "SessionError", "Transport", "TransportError", "connect",
            "nub_md_for", "pair", "protocol"]

@@ -167,7 +167,8 @@ class Nub:
                  listener: Optional[Listener] = None,
                  stop_at_entry: bool = True,
                  accept_timeout: Optional[float] = 30.0,
-                 breakpoint_extension: bool = True):
+                 breakpoint_extension: bool = True,
+                 block_extension: bool = True):
         self.process = process
         self.arch = process.arch
         self.channel = channel
@@ -182,6 +183,9 @@ class Nub:
         #: the Sec. 7.1 extension: remember instructions overwritten by
         #: PLANT stores so a new debugger can recover them after a crash
         self.breakpoint_extension = breakpoint_extension
+        #: block transfers (BLOCKFETCH/BLOCKSTORE): a legacy nub built
+        #: without them keeps working — the debugger falls back per-word
+        self.block_extension = block_extension
         self.planted: dict = {}  # address -> original little-endian bytes
         #: negotiated per-connection: acknowledge control messages (HELLO)
         self.ack_active = False
@@ -290,6 +294,10 @@ class Nub:
             self._do_fetch(msg)
         elif msg.mtype == protocol.MSG_STORE:
             self._do_store(msg)
+        elif msg.mtype == protocol.MSG_BLOCKFETCH:
+            self._do_blockfetch(msg)
+        elif msg.mtype == protocol.MSG_BLOCKSTORE:
+            self._do_blockstore(msg)
         elif msg.mtype == protocol.MSG_PLANT:
             self._do_plant(msg)
         elif msg.mtype == protocol.MSG_UNPLANT:
@@ -354,6 +362,8 @@ class Nub:
     def _do_hello(self, msg) -> None:
         _version, features = protocol.parse_hello(msg)
         accepted = features & protocol.ALL_FEATURES
+        if not self.block_extension:
+            accepted &= ~protocol.FEATURE_BLOCK
         self._reply(protocol.hello(protocol.PROTOCOL_VERSION, accepted))
         # frames after the reply carry the negotiated extras
         self.channel.crc = bool(accepted & protocol.FEATURE_CRC)
@@ -389,6 +399,64 @@ class Nub:
             return
         raw_le = self.md.fix_stored(address, raw_le, self.context_addr)
         raw = raw_le if self.arch.byteorder == "little" else raw_le[::-1]
+        try:
+            self.process.mem.write_bytes(address, raw)
+        except Exception:
+            self._reply(protocol.error(protocol.ERR_BAD_ADDRESS))
+            return
+        self._reply(protocol.ok())
+
+    # -- block transfers ------------------------------------------------------
+
+    def _do_blockfetch(self, msg) -> None:
+        """A span of raw memory in one round-trip.
+
+        The reply is the memory image in ascending address order — no
+        byte-order normalization and no saved-float fixing; the debugger
+        interprets values out of the block, so the cached path can
+        reproduce the per-value path byte for byte.  A span that runs
+        off the end of mapped memory is answered with the readable
+        prefix; a span that starts unmapped gets ERR_BAD_ADDRESS.
+        """
+        space, address, length = protocol.parse_blockfetch(msg)
+        if not self.block_extension:
+            self._reply(protocol.error(protocol.ERR_UNSUPPORTED))
+            return
+        if space not in "cd":
+            self._reply(protocol.error(protocol.ERR_BAD_SPACE))
+            return
+        raw = self._readable_prefix(address, length)
+        if raw is None:
+            self._reply(protocol.error(protocol.ERR_BAD_ADDRESS))
+            return
+        self._reply(protocol.data(raw))
+
+    def _readable_prefix(self, address: int, length: int):
+        mem = self.process.mem
+        try:
+            return mem.read_bytes(address, length)
+        except Exception:
+            pass
+        lo, hi = 0, length  # binary-search the longest readable prefix
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            try:
+                mem.read_bytes(address, mid)
+                lo = mid
+            except Exception:
+                hi = mid
+        if lo == 0:
+            return None
+        return mem.read_bytes(address, lo)
+
+    def _do_blockstore(self, msg) -> None:
+        space, address, raw = protocol.parse_blockstore(msg)
+        if not self.block_extension:
+            self._reply(protocol.error(protocol.ERR_UNSUPPORTED))
+            return
+        if space not in "cd":
+            self._reply(protocol.error(protocol.ERR_BAD_SPACE))
+            return
         try:
             self.process.mem.write_bytes(address, raw)
         except Exception:

@@ -13,6 +13,8 @@ Messages from the debugger::
 
     FETCH  space(1) addr(4) size(4)      -> DATA value bytes (little-endian)
     STORE  space(1) addr(4) bytes        -> OK / ERROR
+    BLOCKFETCH space(1) addr(4) len(4)   -> DATA raw memory bytes / ERROR
+    BLOCKSTORE space(1) addr(4) bytes    -> OK / ERROR
     CONTINUE                             (restore context, resume)
     DETACH                               (break connection, stay stopped)
     KILL                                 (terminate the target)
@@ -30,6 +32,18 @@ The nub answers FETCH/STORE only for the code ('c') and data ('d')
 spaces; register values live in the context, which is in the data space.
 Values travel in little-endian byte order — the nub does the target-
 byte-order access (Sec. 4.1).
+
+Block transfers (the MSR-TR-99-4 lesson: a compact block-oriented
+protocol is what makes the nub fast) move a *span* of raw memory in one
+round-trip.  Unlike FETCH, whose DATA reply is a little-endian **value**,
+a BLOCKFETCH DATA reply is the **memory image**: bytes in ascending
+address order, exactly as the target stores them.  Interpreting values
+out of a block — byte-order reversal, the rmips saved-float word swap —
+is the debugger's job, which is what lets the cached path reproduce the
+per-value path byte for byte.  BLOCKSTORE writes raw memory-order bytes
+verbatim.  Both are negotiated with ``FEATURE_BLOCK`` in the HELLO
+handshake; a nub without the feature answers ``ERR_UNSUPPORTED`` and
+the debugger falls back to per-value messages.
 
 Hardened framing (the fault-tolerance layer): a debugger may open a
 session with HELLO, offering feature bits.  The nub answers with the
@@ -70,6 +84,9 @@ MSG_UNPLANT = 7
 MSG_BREAKS = 8
 # -- the fault-tolerance handshake: version + feature negotiation
 MSG_HELLO = 9
+# -- block transfers: a span of raw memory bytes per message
+MSG_BLOCKFETCH = 10
+MSG_BLOCKSTORE = 11
 MSG_SIGNAL = 16
 MSG_EXITED = 17
 MSG_DATA = 18
@@ -83,6 +100,7 @@ _NAMES = {
     MSG_EXITED: "EXITED", MSG_DATA: "DATA", MSG_OK: "OK", MSG_ERROR: "ERROR",
     MSG_PLANT: "PLANT", MSG_UNPLANT: "UNPLANT", MSG_BREAKS: "BREAKS",
     MSG_BREAKLIST: "BREAKLIST", MSG_HELLO: "HELLO",
+    MSG_BLOCKFETCH: "BLOCKFETCH", MSG_BLOCKSTORE: "BLOCKSTORE",
 }
 
 ERR_BAD_SPACE = 1
@@ -98,7 +116,12 @@ PROTOCOL_VERSION = 1
 FEATURE_CRC = 1 << 0
 FEATURE_SEQ = 1 << 1
 FEATURE_ACK = 1 << 2
-ALL_FEATURES = FEATURE_CRC | FEATURE_SEQ | FEATURE_ACK
+FEATURE_BLOCK = 1 << 3
+ALL_FEATURES = FEATURE_CRC | FEATURE_SEQ | FEATURE_ACK | FEATURE_BLOCK
+
+#: the largest span one BLOCKFETCH/BLOCKSTORE may move (well under
+#: MAX_PAYLOAD, so block frames can never trip the framing cap)
+MAX_BLOCK = 1024
 
 #: sanity cap on a frame's declared payload length; anything larger is a
 #: corrupt or hostile length field, and the stream cannot be reframed
@@ -213,6 +236,25 @@ def store(space: str, address: int, data: bytes) -> Message:
     return Message(MSG_STORE, struct.pack("<BI", ord(space), address) + data)
 
 
+def blockfetch(space: str, address: int, length: int) -> Message:
+    """Ask for ``length`` raw bytes of target memory at ``address``.
+
+    The DATA reply carries the memory image in ascending address order
+    (no byte-order normalization — that is the debugger's job)."""
+    if not 1 <= length <= MAX_BLOCK:
+        raise ProtocolError("bad blockfetch length %d" % length)
+    return Message(MSG_BLOCKFETCH,
+                   struct.pack("<BII", ord(space), address, length))
+
+
+def blockstore(space: str, address: int, data_bytes: bytes) -> Message:
+    """Write raw memory-order bytes verbatim at ``address``."""
+    if not 1 <= len(data_bytes) <= MAX_BLOCK:
+        raise ProtocolError("bad blockstore length %d" % len(data_bytes))
+    return Message(MSG_BLOCKSTORE,
+                   struct.pack("<BI", ord(space), address) + data_bytes)
+
+
 def cont() -> Message:
     return Message(MSG_CONTINUE)
 
@@ -263,6 +305,22 @@ def parse_store(msg: Message) -> Tuple[str, int, bytes]:
     space, address = struct.unpack("<BI", raw[:5])
     if len(raw) - 5 not in VALUE_SIZES:
         raise ProtocolError("bad STORE data size %d" % (len(raw) - 5))
+    return chr(space), address, raw[5:]
+
+
+def parse_blockfetch(msg: Message) -> Tuple[str, int, int]:
+    space, address, length = struct.unpack(
+        "<BII", _payload(msg, 9, "BLOCKFETCH"))
+    if not 1 <= length <= MAX_BLOCK:
+        raise ProtocolError("bad BLOCKFETCH length %d" % length)
+    return chr(space), address, length
+
+
+def parse_blockstore(msg: Message) -> Tuple[str, int, bytes]:
+    raw = _payload(msg, 6, "BLOCKSTORE", exact=False)
+    space, address = struct.unpack("<BI", raw[:5])
+    if len(raw) - 5 > MAX_BLOCK:
+        raise ProtocolError("bad BLOCKSTORE length %d" % (len(raw) - 5))
     return chr(space), address, raw[5:]
 
 

@@ -26,6 +26,7 @@ crashes — are absorbed instead of surfacing as exceptions.
 
 from __future__ import annotations
 
+import abc
 import random
 import time
 from collections import deque
@@ -35,8 +36,115 @@ from . import protocol
 from .channel import Channel, ChannelClosed
 
 
-class SessionError(Exception):
+class TransportError(Exception):
+    """The transport could not complete a request (connection dead,
+    retry budget exhausted, reply unframeable)."""
+
+
+class SessionError(TransportError):
     """A request could not be completed within the retry budget."""
+
+
+class NubError(Exception):
+    """The nub answered with a semantic ERROR (bad address, bad space,
+    unsupported operation).  Carries the protocol error code."""
+
+    def __init__(self, code: int, request: Optional[protocol.Message] = None):
+        super().__init__("nub error %d answering %r" % (code, request))
+        self.code = code
+        self.request = request
+
+
+class Transport(abc.ABC):
+    """How a debugger talks to one nub.
+
+    The two implementations are :class:`NubSession` — the normal case,
+    adding retry/backoff, crash-reconnect, and negotiated hardened
+    framing — and :class:`ChannelTransport`, a thin adapter over a bare
+    :class:`Channel` for direct, unretried access.  Both surface nub
+    errors identically: :meth:`transact` either returns a reply of an
+    expected type, raises :class:`NubError` for a semantic ERROR reply,
+    or raises :class:`TransportError` when no usable reply arrives.
+    """
+
+    #: Can this connection move raw memory blocks (BLOCKFETCH)?
+    #: True/False once known; None means "not negotiated yet — try it".
+    block_active: Optional[bool] = None
+
+    @abc.abstractmethod
+    def transact(self, msg: protocol.Message, expect: Iterable[int],
+                 timeout: Optional[float] = None) -> protocol.Message:
+        """Send ``msg``; return the reply whose type is in ``expect``.
+
+        Raises :class:`NubError` on an ERROR reply and
+        :class:`TransportError` on anything else (timeout, dead
+        connection, unexpected reply type)."""
+
+    @abc.abstractmethod
+    def control(self, msg: protocol.Message) -> None:
+        """Send a control message (CONTINUE/DETACH/KILL)."""
+
+    @abc.abstractmethod
+    def recv_event(self, timeout: Optional[float] = None) -> protocol.Message:
+        """Block for the next SIGNAL/EXITED notification."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Drop the connection."""
+
+
+class ChannelTransport(Transport):
+    """A :class:`Transport` over a bare channel: one lockstep exchange
+    per request, no retries, no handshake.
+
+    ``block_active`` stays None — there is no negotiation on a bare
+    channel, so callers may *try* block transfers and let a legacy nub's
+    error answer settle the question.
+    """
+
+    def __init__(self, channel: Channel, reply_timeout: float = 15.0):
+        self.channel = channel
+        self.reply_timeout = reply_timeout
+        self.pending_events: deque = deque()
+
+    def transact(self, msg: protocol.Message, expect: Iterable[int],
+                 timeout: Optional[float] = None) -> protocol.Message:
+        expect = tuple(expect)
+        timeout = self.reply_timeout if timeout is None else timeout
+        try:
+            self.channel.send(msg)
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError("no reply within %s seconds" % timeout)
+                reply = self.channel.recv(remaining)
+                if reply.mtype in _EVENT_TYPES:
+                    self.pending_events.append(reply)
+                    continue
+                break
+        except (ChannelClosed, TimeoutError,
+                protocol.ProtocolError) as err:
+            raise TransportError("request %r failed: %s" % (msg, err))
+        if reply.mtype == protocol.MSG_ERROR:
+            raise NubError(protocol.parse_error(reply), msg)
+        if reply.mtype not in expect:
+            raise TransportError("expected %s, got %r" % (expect, reply))
+        return reply
+
+    def control(self, msg: protocol.Message) -> None:
+        self.channel.send(msg)
+
+    def recv_event(self, timeout: Optional[float] = None) -> protocol.Message:
+        if self.pending_events:
+            return self.pending_events.popleft()
+        while True:
+            msg = self.channel.recv(timeout)
+            if msg.mtype in _EVENT_TYPES:
+                return msg
+
+    def close(self) -> None:
+        self.channel.close()
 
 
 class _Transient(Exception):
@@ -67,14 +175,15 @@ class RetryPolicy:
 _EVENT_TYPES = (protocol.MSG_SIGNAL, protocol.MSG_EXITED)
 
 
-class NubSession:
+class NubSession(Transport):
     """A retrying, reconnecting request/reply session with one nub."""
 
     def __init__(self, channel: Optional[Channel] = None,
                  connector: Optional[Callable[[], Channel]] = None,
                  policy: Optional[RetryPolicy] = None,
                  want_crc: bool = True, want_seq: bool = True,
-                 want_ack: bool = True, reply_timeout: float = 10.0,
+                 want_ack: bool = True, want_block: bool = True,
+                 reply_timeout: float = 10.0,
                  on_reconnect: Optional[Callable[["NubSession"], None]] = None):
         self.channel = channel
         self.connector = connector
@@ -82,6 +191,7 @@ class NubSession:
         self.want_crc = want_crc
         self.want_seq = want_seq
         self.want_ack = want_ack
+        self.want_block = want_block
         self.reply_timeout = reply_timeout
         self.on_reconnect = on_reconnect
         #: negotiated state (HELLO handshake, per connection)
@@ -89,6 +199,8 @@ class NubSession:
         self.crc_active = False
         self.seq_active = False
         self.ack_active = False
+        #: None until the handshake settles it (each reconnect renegotiates)
+        self.block_active: Optional[bool] = None if want_block else False
         #: SIGNAL/EXITED frames that arrived while awaiting a reply
         self.pending_events: deque = deque()
         #: the last (signo, code, context) announced by the nub
@@ -140,6 +252,17 @@ class NubSession:
                 last_err = err
         raise SessionError("request %r failed after %d attempts: %s"
                            % (msg, self.policy.max_attempts, last_err))
+
+    def transact(self, msg: protocol.Message,
+                 expect: Iterable[int] = (protocol.MSG_OK,),
+                 timeout: Optional[float] = None) -> protocol.Message:
+        """The :class:`Transport` request: an expected reply, or
+        :class:`NubError` for the nub's semantic ERROR answers —
+        identical surfacing to :class:`ChannelTransport`."""
+        reply = self.request(msg, expect=expect, timeout=timeout)
+        if reply.mtype == protocol.MSG_ERROR:
+            raise NubError(protocol.parse_error(reply), msg)
+        return reply
 
     def control(self, msg: protocol.Message) -> None:
         """Send a control message (CONTINUE/DETACH/KILL): acknowledged
@@ -247,6 +370,7 @@ class NubSession:
             self.channel = None
         self.hello_done = False
         self.crc_active = self.seq_active = self.ack_active = False
+        self.block_active = None if self.want_block else False
 
     def _reconnect(self) -> None:
         if self.connector is None:
@@ -264,6 +388,7 @@ class NubSession:
             self.channel = channel
             self.hello_done = False
             self.crc_active = self.seq_active = self.ack_active = False
+            self.block_active = None if self.want_block else False
             got_signal = False
             try:
                 try:
@@ -305,7 +430,8 @@ class NubSession:
             return
         features = ((protocol.FEATURE_CRC if self.want_crc else 0)
                     | (protocol.FEATURE_SEQ if self.want_seq else 0)
-                    | (protocol.FEATURE_ACK if self.want_ack else 0))
+                    | (protocol.FEATURE_ACK if self.want_ack else 0)
+                    | (protocol.FEATURE_BLOCK if self.want_block else 0))
         if not features:
             self.hello_done = True
             return
@@ -321,11 +447,14 @@ class NubSession:
             self.crc_active = bool(accepted & protocol.FEATURE_CRC)
             self.seq_active = bool(accepted & protocol.FEATURE_SEQ)
             self.ack_active = bool(accepted & protocol.FEATURE_ACK)
+            self.block_active = bool(accepted & protocol.FEATURE_BLOCK)
             self.channel.crc = self.crc_active
             self.channel.seq_mode = self.seq_active
         else:
-            # a legacy nub: plain frames, unacknowledged controls
+            # a legacy nub: plain frames, unacknowledged controls,
+            # per-word memory traffic only
             self.crc_active = self.seq_active = self.ack_active = False
+            self.block_active = False
         self.hello_done = True
 
     def _flush(self) -> None:

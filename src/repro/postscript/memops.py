@@ -120,6 +120,20 @@ class AbstractMemory:
     def store_absolute(self, loc: Location, kind: str, value: Union[int, float]) -> None:
         raise PSError("invalidaccess", "store to %r" % (self,))
 
+    # -- cache hooks (no-ops except on caching memories) -------------------
+    # Machine-dependent code warms and drops caches through the abstract
+    # interface, so the same walker runs against cached, plain-wire, and
+    # local memories alike.
+
+    def prefetch(self, space: str, start: int, length: int) -> None:
+        pass
+
+    def invalidate(self) -> None:
+        pass
+
+    def invalidate_range(self, space: str, start: int, length: int) -> None:
+        pass
+
 
 def mask_to_kind(value: int, kind: str) -> int:
     """Truncate ``value`` to ``kind``'s width, returning the signed view."""

@@ -6,18 +6,83 @@ from hypothesis import strategies as st
 
 from repro.ldb.memories import (
     AliasMemory,
+    BlockUnsupported,
+    CachingMemory,
     JoinedMemory,
     LocalMemory,
     MemoryStats,
     RegisterMemory,
+    WireMemory,
     decode_value,
     encode_value,
 )
+from repro.nub import protocol
+from repro.nub.session import NubError, Transport, TransportError
 from repro.postscript import Location, PSError
 
 
 def loc(space, offset):
     return Location.absolute(space, offset)
+
+
+class FakeNubTransport(Transport):
+    """A Transport served straight out of a bytearray, mimicking the
+    nub's value semantics: FETCH replies little-endian values, BLOCK
+    messages move raw memory images."""
+
+    def __init__(self, size=512, byteorder="little", blocks=True):
+        self.mem = bytearray(size)
+        self.byteorder = byteorder
+        self.blocks = blocks          # does the "nub" do block messages?
+        self.block_active = True      # what the connection negotiated
+        self.dead = False
+        self.log = []
+
+    def poke(self, address, raw):
+        """Plant a raw memory image (what the target would hold)."""
+        self.mem[address:address + len(raw)] = raw
+
+    def transact(self, msg, expect=(protocol.MSG_OK,), timeout=None):
+        if self.dead:
+            raise TransportError("connection lost")
+        if msg.mtype == protocol.MSG_FETCH:
+            space, address, size = protocol.parse_fetch(msg)
+            self.log.append(("fetch", space, address, size))
+            if address + size > len(self.mem):
+                raise NubError(protocol.ERR_BAD_ADDRESS, msg)
+            raw = bytes(self.mem[address:address + size])
+            return protocol.data(raw[::-1] if self.byteorder == "big"
+                                 else raw)
+        if msg.mtype == protocol.MSG_STORE:
+            space, address, raw_le = protocol.parse_store(msg)
+            self.log.append(("store", space, address, len(raw_le)))
+            if address + len(raw_le) > len(self.mem):
+                raise NubError(protocol.ERR_BAD_ADDRESS, msg)
+            self.poke(address, raw_le[::-1] if self.byteorder == "big"
+                      else raw_le)
+            return protocol.ok()
+        if msg.mtype == protocol.MSG_BLOCKFETCH:
+            space, address, length = protocol.parse_blockfetch(msg)
+            self.log.append(("blockfetch", space, address, length))
+            if not self.blocks:
+                raise NubError(protocol.ERR_UNSUPPORTED, msg)
+            if address >= len(self.mem):
+                raise NubError(protocol.ERR_BAD_ADDRESS, msg)
+            return protocol.data(
+                bytes(self.mem[address:address + length]))  # short at end
+        raise NubError(protocol.ERR_BAD_MESSAGE, msg)
+
+    def control(self, msg):
+        pass
+
+    def recv_event(self, timeout=None):
+        raise TransportError("no events on a fake")
+
+    def close(self):
+        self.dead = True
+
+    def sent(self, what):
+        return [entry for entry in self.log if entry[0] == what]
 
 
 class TestWireCoding:
@@ -160,3 +225,196 @@ class TestJoinedMemory:
         assert stats.of("joined", "fetch") == 1
         assert stats.of("register", "fetch") == 1
         assert stats.of("alias", "fetch") == 1
+
+
+class TestMemoryStats:
+    def test_snapshot_is_frozen(self):
+        stats = MemoryStats()
+        stats.note("wire", "fetch")
+        before = stats.snapshot()
+        stats.note("wire", "fetch")
+        assert before == {"wire.fetch": 1}
+        assert stats.of("wire", "fetch") == 2
+
+    def test_diff_against_snapshot_and_stats(self):
+        stats = MemoryStats()
+        stats.note("wire", "fetch")
+        other = MemoryStats()
+        assert stats.diff(other) == {"wire.fetch": 1}
+        assert stats.diff(stats.snapshot()) == {}   # zero deltas omitted
+
+    def test_diff_omits_unchanged_keys(self):
+        stats = MemoryStats()
+        stats.note("wire", "fetch")
+        stats.note("cache", "hit")
+        before = stats.snapshot()
+        stats.note("cache", "hit")
+        assert stats.diff(before) == {"cache.hit": 1}
+
+    def test_round_trips_counts_only_wire_messages(self):
+        stats = MemoryStats()
+        for name, what in (("wire", "fetch"), ("wire", "store"),
+                           ("wire", "blockfetch"), ("cache", "hit"),
+                           ("joined", "fetch"), ("cache", "fetch")):
+            stats.note(name, what)
+        assert stats.round_trips() == 3
+
+
+class TestWireMemoryTransport:
+    """Satellite: WireMemory takes an explicit Transport and surfaces
+    nub errors identically whatever the transport implementation."""
+
+    def test_rejects_non_transport(self):
+        with pytest.raises(TypeError):
+            WireMemory(object())
+
+    def test_fetch_and_store_through_fake(self):
+        for order in ("little", "big"):
+            fake = FakeNubTransport(byteorder=order)
+            wire = WireMemory(fake)
+            wire.store(loc("d", 16), "i32", 0x01020304)
+            assert wire.fetch(loc("d", 16), "i32") == 0x01020304, order
+
+    def test_nub_error_is_invalidaccess(self):
+        wire = WireMemory(FakeNubTransport(size=64))
+        with pytest.raises(PSError) as err:
+            wire.fetch(loc("d", 4096), "i32")
+        assert err.value.errname == "invalidaccess"
+
+    def test_dead_transport_is_ioerror(self):
+        fake = FakeNubTransport()
+        wire = WireMemory(fake)
+        fake.close()
+        with pytest.raises(PSError) as err:
+            wire.fetch(loc("d", 0), "i32")
+        assert err.value.errname == "ioerror"
+
+    def test_fetch_block_raises_when_negotiated_off(self):
+        fake = FakeNubTransport()
+        fake.block_active = False     # HELLO said no
+        wire = WireMemory(fake)
+        with pytest.raises(BlockUnsupported):
+            wire.fetch_block("d", 0, 64)
+        assert fake.log == []         # never even sent
+
+    def test_fetch_block_maps_unsupported_answer(self):
+        wire = WireMemory(FakeNubTransport(blocks=False))
+        with pytest.raises(BlockUnsupported):
+            wire.fetch_block("d", 0, 64)
+
+
+class TestCachingMemory:
+    def make(self, byteorder="little", fixup=None, size=512, blocks=True):
+        fake = FakeNubTransport(size=size, byteorder=byteorder,
+                                blocks=blocks)
+        stats = MemoryStats()
+        wire = WireMemory(fake, stats=stats)
+        cache = CachingMemory(wire, byteorder=byteorder, fixup=fixup,
+                              stats=stats)
+        return fake, cache, stats
+
+    def test_second_fetch_is_a_hit(self):
+        fake, cache, stats = self.make()
+        fake.poke(8, (1234).to_bytes(4, "little"))
+        assert cache.fetch(loc("d", 8), "i32") == 1234
+        assert cache.fetch(loc("d", 12), "i32") == 0   # same block
+        assert len(fake.sent("blockfetch")) == 1
+        assert fake.sent("fetch") == []
+        assert stats.of("cache", "miss") == 1
+        assert stats.of("cache", "hit") == 1
+
+    def test_big_endian_interpretation_matches_fetch(self):
+        fake, cache, stats = self.make(byteorder="big")
+        fake.poke(8, (1234).to_bytes(4, "big"))       # raw target image
+        uncached = WireMemory(fake).fetch(loc("d", 8), "i32")
+        assert cache.fetch(loc("d", 8), "i32") == uncached == 1234
+
+    def test_fixup_replicates_nub_fix_fetched(self):
+        """The rmips saved-float word swap (footnote 3), on the cached
+        path: fixup sees the little-endian image and restores it."""
+        import struct
+
+        def swap_at_16(space, address, raw_le):
+            if address == 16 and len(raw_le) == 8:
+                return raw_le[4:] + raw_le[:4]
+            return raw_le
+
+        fake, cache, stats = self.make(byteorder="big", fixup=swap_at_16)
+        good_le = struct.pack("<d", 1.5)
+        swapped_le = good_le[4:] + good_le[:4]        # as the kernel saved it
+        fake.poke(16, swapped_le[::-1])               # big-endian image
+        assert cache.fetch(loc("d", 16), "f64") == 1.5
+
+    def test_span_crossing_block_boundary(self):
+        fake, cache, stats = self.make()
+        edge = CachingMemory.BLOCK - 2
+        fake.poke(edge, (77).to_bytes(4, "little"))
+        assert cache.fetch(loc("d", edge), "i32") == 77
+        assert len(fake.sent("blockfetch")) == 2      # both blocks filled
+
+    def test_short_block_serves_prefix_and_falls_back_past_it(self):
+        fake, cache, stats = self.make(size=CachingMemory.BLOCK + 8)
+        fake.poke(CachingMemory.BLOCK, (9).to_bytes(4, "little"))
+        assert cache.fetch(loc("d", CachingMemory.BLOCK), "i32") == 9
+        # past the mapped prefix: the per-word fallback surfaces the
+        # same invalidaccess the uncached path would
+        with pytest.raises(PSError) as err:
+            cache.fetch(loc("d", CachingMemory.BLOCK + 6), "i32")
+        assert err.value.errname == "invalidaccess"
+        assert stats.of("cache", "fallback") == 1
+
+    def test_store_writes_through_and_invalidates(self):
+        fake, cache, stats = self.make()
+        cache.fetch(loc("d", 8), "i32")               # warm the block
+        cache.store(loc("d", 8), "i32", 4242)
+        assert fake.sent("store") != []               # write-through
+        assert cache.fetch(loc("d", 8), "i32") == 4242
+        assert len(fake.sent("blockfetch")) == 2      # span was dropped
+
+    def test_invalidate_drops_everything(self):
+        fake, cache, stats = self.make()
+        cache.fetch(loc("d", 8), "i32")
+        cache.invalidate()
+        assert cache.blocks == {}
+        cache.fetch(loc("d", 8), "i32")
+        assert len(fake.sent("blockfetch")) == 2
+
+    def test_invalidate_range_is_surgical(self):
+        fake, cache, stats = self.make()
+        cache.fetch(loc("d", 8), "i32")               # block 0
+        cache.fetch(loc("d", CachingMemory.BLOCK + 8), "i32")   # block 1
+        cache.invalidate_range("d", 4, 8)
+        assert ("d", 0) not in cache.blocks
+        assert ("d", CachingMemory.BLOCK) in cache.blocks
+
+    def test_prefetch_warms_a_span_in_one_message(self):
+        fake, cache, stats = self.make()
+        cache.prefetch("d", 8, 200)                   # spans two blocks
+        assert len(fake.sent("blockfetch")) == 1
+        cache.fetch(loc("d", 8), "i32")
+        cache.fetch(loc("d", 180), "i32")
+        assert len(fake.sent("blockfetch")) == 1      # all hits
+        assert stats.of("cache", "prefetch") == 1
+
+    def test_legacy_nub_disables_cache_permanently(self):
+        fake, cache, stats = self.make(blocks=False)
+        fake.poke(8, (55).to_bytes(4, "little"))
+        assert cache.fetch(loc("d", 8), "i32") == 55  # per-word fallback
+        cache.fetch(loc("d", 8), "i32")
+        cache.prefetch("d", 0, 64)
+        assert len(fake.sent("blockfetch")) == 1      # one probe, ever
+        assert len(fake.sent("fetch")) == 2
+        assert not cache._block_ok
+
+    def test_negotiated_off_never_sends_a_block_message(self):
+        fake, cache, stats = self.make()
+        fake.block_active = False                     # HELLO settled it
+        fake.poke(8, (55).to_bytes(4, "little"))
+        assert cache.fetch(loc("d", 8), "i32") == 55
+        assert fake.sent("blockfetch") == []
+        assert len(fake.sent("fetch")) == 1
+
+    def test_rejects_bad_byteorder(self):
+        fake = FakeNubTransport()
+        with pytest.raises(ValueError):
+            CachingMemory(WireMemory(fake), byteorder="middle")

@@ -126,6 +126,114 @@ class TestFetchStore:
         runner.join()
 
 
+class TestBlockService:
+    """The block-transfer extension on the nub side."""
+
+    def setup_stopped(self, src=SAFE, arch="rmips", **kw):
+        exe, process, nub, runner, chan = start_nub(src, arch, **kw)
+        chan.recv(10.0)  # the startup pause
+        return exe, process, nub, runner, chan
+
+    def teardown_channel(self, chan, runner):
+        chan.send(protocol.kill())
+        runner.join()
+
+    def test_blockfetch_returns_raw_memory_image(self):
+        """BLOCKFETCH replies with the memory image in address order —
+        on a big-endian target that is NOT the little-endian value
+        stream FETCH would produce."""
+        exe, process, nub, runner, chan = self.setup_stopped()  # rmips: BE
+        address = exe.symbols["_tag"]
+        chan.send(protocol.blockfetch("d", address, 8))
+        reply = chan.recv(10.0)
+        assert reply.mtype == protocol.MSG_DATA
+        assert reply.payload == process.mem.read_bytes(address, 8)
+        # big-endian image: 99 lands in the high-order byte position
+        assert reply.payload[:4] == (99).to_bytes(4, "big")
+        self.teardown_channel(chan, runner)
+
+    def test_blockfetch_matches_fetch_after_interpretation(self):
+        """One block, per-word interpreted, equals per-word FETCHes —
+        the identity the caching memory depends on."""
+        for arch in ("rmips", "rmipsel"):
+            exe, process, nub, runner, chan = self.setup_stopped(arch=arch)
+            address = exe.symbols["_tag"]
+            chan.send(protocol.blockfetch("d", address, 4))
+            image = chan.recv(10.0).payload
+            chan.send(protocol.fetch("d", address, 4))
+            value_le = chan.recv(10.0).payload
+            order = "big" if arch == "rmips" else "little"
+            assert int.from_bytes(image, order) == \
+                int.from_bytes(value_le, "little") == 99, arch
+            self.teardown_channel(chan, runner)
+
+    def test_blockfetch_readable_prefix_at_memory_end(self):
+        exe, process, nub, runner, chan = self.setup_stopped()
+        edge = process.mem.size - 10
+        chan.send(protocol.blockfetch("d", edge, 64))
+        reply = chan.recv(10.0)
+        assert reply.mtype == protocol.MSG_DATA
+        assert reply.payload == process.mem.read_bytes(edge, 10)
+        self.teardown_channel(chan, runner)
+
+    def test_blockfetch_unmapped_start_errors(self):
+        exe, process, nub, runner, chan = self.setup_stopped()
+        chan.send(protocol.blockfetch("d", process.mem.size, 16))
+        reply = chan.recv(10.0)
+        assert reply.mtype == protocol.MSG_ERROR
+        assert protocol.parse_error(reply) == protocol.ERR_BAD_ADDRESS
+        self.teardown_channel(chan, runner)
+
+    def test_blockfetch_bad_space_errors(self):
+        exe, process, nub, runner, chan = self.setup_stopped()
+        chan.send(protocol.blockfetch("r", 0, 16))
+        reply = chan.recv(10.0)
+        assert protocol.parse_error(reply) == protocol.ERR_BAD_SPACE
+        self.teardown_channel(chan, runner)
+
+    def test_blockstore_writes_verbatim(self):
+        exe, process, nub, runner, chan = self.setup_stopped()
+        address = exe.symbols["_tag"]
+        image = b"\x00\x00\x00\x7b"       # 123 big-endian: raw image
+        chan.send(protocol.blockstore("d", address, image))
+        assert chan.recv(10.0).mtype == protocol.MSG_OK
+        assert process.mem.read_bytes(address, 4) == image
+        # and FETCH now reinterprets it: little-endian value 123
+        chan.send(protocol.fetch("d", address, 4))
+        assert int.from_bytes(chan.recv(10.0).payload, "little") == 123
+        self.teardown_channel(chan, runner)
+
+    def test_legacy_nub_refuses_block_messages(self):
+        exe, process, nub, runner, chan = self.setup_stopped(
+            block_extension=False)
+        chan.send(protocol.blockfetch("d", 0x100, 16))
+        assert protocol.parse_error(chan.recv(10.0)) == \
+            protocol.ERR_UNSUPPORTED
+        chan.send(protocol.blockstore("d", 0x100, b"\x00" * 4))
+        assert protocol.parse_error(chan.recv(10.0)) == \
+            protocol.ERR_UNSUPPORTED
+        self.teardown_channel(chan, runner)
+
+    def test_legacy_nub_masks_feature_block_in_hello(self):
+        exe, process, nub, runner, chan = self.setup_stopped(
+            block_extension=False)
+        chan.send(protocol.hello(features=protocol.ALL_FEATURES))
+        _version, accepted = protocol.parse_hello(chan.recv(10.0))
+        assert not accepted & protocol.FEATURE_BLOCK
+        chan.crc = bool(accepted & protocol.FEATURE_CRC)
+        chan.seq_mode = bool(accepted & protocol.FEATURE_SEQ)
+        self.teardown_channel(chan, runner)
+
+    def test_modern_nub_accepts_feature_block(self):
+        exe, process, nub, runner, chan = self.setup_stopped()
+        chan.send(protocol.hello(features=protocol.ALL_FEATURES))
+        _version, accepted = protocol.parse_hello(chan.recv(10.0))
+        assert accepted & protocol.FEATURE_BLOCK
+        chan.crc = bool(accepted & protocol.FEATURE_CRC)
+        chan.seq_mode = bool(accepted & protocol.FEATURE_SEQ)
+        self.teardown_channel(chan, runner)
+
+
 class TestSignals:
     def test_sigfpe_reported(self):
         exe, process, nub, runner, chan = start_nub(SRC)

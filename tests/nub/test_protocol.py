@@ -4,6 +4,8 @@ The paper validated its protocol with a model checker [13]; we settle
 for exhaustive round-trip property tests.
 """
 
+import struct
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -82,6 +84,64 @@ class TestMessages:
         assert not any("STEP" in n for n in dir(p) if n.startswith("MSG_"))
 
 
+class TestBlockMessages:
+    """The block-transfer extension: raw memory spans in one message."""
+
+    def test_blockfetch_fields(self):
+        space, address, length = p.parse_blockfetch(
+            p.blockfetch("d", 0x1000, 64))
+        assert (space, address, length) == ("d", 0x1000, 64)
+
+    def test_blockstore_fields(self):
+        image = bytes(range(16))
+        space, address, data = p.parse_blockstore(
+            p.blockstore("c", 0x2000, image))
+        assert (space, address, data) == ("c", 0x2000, image)
+
+    def test_block_messages_are_extension_types(self):
+        core = {p.MSG_FETCH, p.MSG_STORE, p.MSG_CONTINUE, p.MSG_DETACH,
+                p.MSG_KILL, p.MSG_SIGNAL, p.MSG_EXITED, p.MSG_DATA,
+                p.MSG_OK, p.MSG_ERROR}
+        assert not core & {p.MSG_BLOCKFETCH, p.MSG_BLOCKSTORE}
+        assert p.FEATURE_BLOCK & p.ALL_FEATURES
+
+    @pytest.mark.parametrize("length", [0, -1, p.MAX_BLOCK + 1])
+    def test_bad_blockfetch_length_rejected(self, length):
+        with pytest.raises(p.ProtocolError):
+            p.blockfetch("d", 0, length)
+
+    @pytest.mark.parametrize("size", [0, p.MAX_BLOCK + 1])
+    def test_bad_blockstore_size_rejected(self, size):
+        with pytest.raises(p.ProtocolError):
+            p.blockstore("d", 0, b"\x00" * size)
+
+    def test_oversized_blockfetch_request_rejected_by_parser(self):
+        raw = p.Message(p.MSG_BLOCKFETCH,
+                        struct.pack("<BII", ord("d"), 0, p.MAX_BLOCK + 1))
+        with pytest.raises(p.ProtocolError):
+            p.parse_blockfetch(raw)
+
+    @given(st.sampled_from("cd"), st.integers(0, 2**32 - 1),
+           st.integers(1, p.MAX_BLOCK))
+    def test_blockfetch_round_trip(self, space, address, length):
+        msg, rest = p.decode(p.encode(p.blockfetch(space, address, length)))
+        assert rest == b""
+        assert p.parse_blockfetch(msg) == (space, address, length)
+
+    @given(st.sampled_from("cd"), st.integers(0, 2**32 - 1),
+           st.binary(min_size=1, max_size=40))
+    def test_blockstore_round_trip(self, space, address, data):
+        msg, rest = p.decode(p.encode(p.blockstore(space, address, data)))
+        assert p.parse_blockstore(msg) == (space, address, data)
+
+    def test_blockstore_carries_raw_memory_order(self):
+        """The payload is the memory image verbatim — no per-value
+        byte-order normalization happens on block messages."""
+        image = b"\xde\xad\xbe\xef"
+        msg = p.blockstore("d", 0x40, image)
+        assert msg.payload[5:] == image
+
+
 class TestHardening:
     """Satellite of the fault-tolerance work: wire input can never
     surface a raw struct.error, hostile lengths are capped, and the
@@ -100,6 +160,9 @@ class TestHardening:
         (p.parse_plant, p.plant(0x2000, b"\0\0\0\x0c"), (5, 6)),
         (p.parse_unplant, p.unplant(0x2000), ()),
         (p.parse_breaklist, p.breaklist([(0x2000, b"\0\0\0\x08")]), (0,)),
+        (p.parse_blockfetch, p.blockfetch("d", 0x1000, 64), ()),
+        (p.parse_blockstore, p.blockstore("d", 0x1000, b"\x2a\0\0\0"),
+         (6, 7, 8)),
     ]
 
     @pytest.mark.parametrize("parser,msg,ambiguous", CASES,
