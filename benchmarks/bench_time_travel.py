@@ -1,0 +1,186 @@
+"""T1 — time travel: checkpoint cost and reverse-continue latency.
+
+Checkpoint/replay buys reverse execution with two currencies: forward
+recording overhead (a CHECKPOINT message — one COW snapshot — every
+``interval`` retired instructions) and reverse-command latency (restore
+the nearest checkpoint, replay the window).  This bench quantifies both
+against the checkpoint interval on a loop-then-crash workload:
+
+* ``plain``  — the same forward run with recording off, the baseline;
+* per interval — recording overhead (wall clock, checkpoint count,
+  wire round-trips) and the latency of a ``reverse-continue`` from the
+  crash back onto the last breakpoint hit.
+
+It asserts every reverse-continue lands byte-position-exact on the
+final forward hit at every interval, and emits
+``BENCH_time_travel.json`` at the repository root.  ``BENCH_QUICK=1``
+runs a single timing repetition (the CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+from repro.machines import SIGSEGV, SIGTRAP
+
+from .conftest import report
+
+INTERVALS = (50, 200, 800)
+LOOPS = 40
+
+BOOM_C = """int g;
+void tick(int i) { g = g + i; }
+void poke(int *p) { *p = 42; }
+int main(void) {
+    int i;
+    for (i = 0; i < %d; i++)
+        tick(i);
+    poke((int *)0x7fffffff);
+    return 0;
+}
+""" % LOOPS
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_time_travel.json"
+_EXE = None
+
+
+def _exe():
+    global _EXE
+    if _EXE is None:
+        _EXE = compile_and_link({"boom.c": BOOM_C}, "rmips", debug=True)
+    return _EXE
+
+
+def _run_to_crash(ldb, target):
+    """Breakpoint on poke, run through the long loop to the single hit
+    and on into the crash; returns the icount of that hit.  The loop
+    itself runs free, so the checkpoint interval — not the breakpoint —
+    decides how dense the recording is."""
+    ldb.break_at_function("poke")
+    last_hit = None
+    while True:
+        ldb.run_to_stop()
+        if target.state != "stopped" or target.signo != SIGTRAP:
+            break
+        last_hit = target.current_icount()
+    assert target.signo == SIGSEGV
+    return last_hit
+
+
+def run_plain():
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(_exe())
+    started = time.perf_counter()
+    last_hit = _run_to_crash(ldb, target)
+    seconds = time.perf_counter() - started
+    stats = {"seconds": seconds, "round_trips": target.stats.round_trips(),
+             "last_hit": last_hit, "crash_icount": target.current_icount()}
+    target.kill()
+    return stats
+
+
+def run_recorded(interval: int):
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(_exe())
+    replay = ldb.enable_time_travel(interval=interval, capacity=64)
+    started = time.perf_counter()
+    last_hit = _run_to_crash(ldb, target)
+    record_seconds = time.perf_counter() - started
+    record_trips = target.stats.round_trips()
+    crash_icount = target.current_icount()
+
+    started = time.perf_counter()
+    hit = ldb.reverse_continue()
+    reverse_seconds = time.perf_counter() - started
+    stats = {
+        "interval": interval,
+        "record_seconds": record_seconds,
+        "record_round_trips": record_trips,
+        "checkpoints": len(replay.ring),
+        "reverse_seconds": reverse_seconds,
+        "reverse_round_trips": target.stats.round_trips() - record_trips,
+        "last_hit": last_hit,
+        "crash_icount": crash_icount,
+        "landed_icount": hit.icount,
+        "landed_on_breakpoint": bool(target.at_breakpoint()),
+    }
+    target.kill()
+    return stats
+
+
+def _timed(fn, *args, reps=3):
+    """Best wall clock over ``reps`` runs (fresh session each time)."""
+    best = None
+    for _ in range(reps):
+        row = fn(*args)
+        key = row.get("record_seconds", row.get("seconds"))
+        if best is None or key < best[0]:
+            best = (key, row)
+    return best[1]
+
+
+def measure(reps: int) -> dict:
+    plain = _timed(run_plain, reps=reps)
+    out = {
+        "benchmark": "time_travel",
+        "workload": ("a %d-iteration loop -> breakpoint hit -> SIGSEGV "
+                     "-> reverse-continue" % LOOPS),
+        "reps": reps,
+        "trace_instructions": plain["crash_icount"],
+        "plain": plain,
+        "intervals": {},
+    }
+    for interval in INTERVALS:
+        row = _timed(run_recorded, interval, reps=reps)
+        row["record_overhead"] = (round(row["record_seconds"]
+                                        / max(plain["seconds"], 1e-9), 2))
+        out["intervals"][str(interval)] = row
+    return out
+
+
+def emit(data: dict) -> None:
+    _OUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_time_travel_latency():
+    reps = 1 if os.environ.get("BENCH_QUICK") else 3
+    data = measure(reps)
+    emit(data)
+    report("", "T1. Time travel: checkpoint cost vs. reverse latency",
+           "  workload: %s (%d instructions)"
+           % (data["workload"], data["trace_instructions"]))
+    plain = data["plain"]
+    for interval, row in sorted(data["intervals"].items(), key=lambda kv: int(kv[0])):
+        report("  interval %-4s %2d ckpts, record %.3fs (%.1fx plain), "
+               "reverse-continue %.3fs / %d round-trips"
+               % (interval, row["checkpoints"], row["record_seconds"],
+                  row["record_overhead"], row["reverse_seconds"],
+                  row["reverse_round_trips"]))
+        # correctness before speed: every landing is the real final hit
+        assert row["landed_on_breakpoint"], interval
+        assert row["landed_icount"] == plain["last_hit"] == row["last_hit"]
+        assert row["crash_icount"] == plain["crash_icount"]
+    # denser checkpoints can't mean fewer of them
+    counts = [data["intervals"][str(i)]["checkpoints"] for i in INTERVALS]
+    assert counts == sorted(counts, reverse=True)
+
+
+if __name__ == "__main__":
+    data = measure(reps=1 if os.environ.get("BENCH_QUICK") else 3)
+    emit(data)
+    plain = data["plain"]
+    print("plain forward run: %.3fs, %d instructions"
+          % (plain["seconds"], data["trace_instructions"]))
+    for interval, row in sorted(data["intervals"].items(), key=lambda kv: int(kv[0])):
+        print("interval %-4s %2d ckpts record %.3fs (%.1fx) "
+              "reverse %.3fs (%d trips) landed=%s"
+              % (interval, row["checkpoints"], row["record_seconds"],
+                 row["record_overhead"], row["reverse_seconds"],
+                 row["reverse_round_trips"], row["landed_icount"]))
+    print("wrote %s" % _OUT)

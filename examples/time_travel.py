@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Time-travel debugging: run forward into a crash, then back out of it.
+
+The retargetable debugger's nub (paper Sec. 3) is a tiny server over
+the target process; the time-travel extension teaches it four more
+messages — CHECKPOINT / RESTORE / DROPCKPT / ICOUNT — plus a bounded
+resume (RUNTO).  Checkpoints are copy-on-write snapshots held *inside*
+the nub: only a 4-byte id ever crosses the wire.  Reverse execution is
+then rr-style replay: restore the nearest earlier checkpoint and re-run
+forward deterministically to just before the present.
+
+The classic workflow this enables:
+
+  1. a program corrupts memory in a loop, then crashes later;
+  2. run forward (recording) straight into the SIGSEGV;
+  3. ``reverse-continue`` — land back on the last breakpoint hit
+     *before* the crash, with all state byte-exact;
+  4. inspect locals there, ``reverse-step`` further back, or ``goto``
+     any recorded instruction count.
+
+Run:  python examples/time_travel.py
+"""
+
+import io
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+from repro.machines import SIGSEGV
+
+BOOM_C = """int sum;
+void note(int i) { sum = sum + i; }
+void poke(int *p) { *p = 42; }       /* the crash */
+int main(void) {
+    int i;
+    for (i = 0; i < 6; i++)
+        note(i);
+    poke((int *)0x7fffffff);
+    return 0;
+}
+"""
+
+
+def main():
+    exe = compile_and_link({"boom.c": BOOM_C}, "rmips", debug=True)
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(exe)
+
+    # start recording: a base checkpoint now, an automatic one every
+    # 40 retired instructions from here on
+    replay = ldb.enable_time_travel(interval=40)
+    print("recording (checkpoint every %d instructions)" % replay.interval)
+
+    ldb.break_at_function("note")
+    state = ldb.run_to_stop()
+    proc, filename, line = ldb.where_am_i()
+    print("first stop: %s () at %s:%d, icount %d"
+          % (proc, filename, line, target.current_icount()))
+
+    # run on — through five more breakpoint hits, into the crash
+    while state == "stopped" and target.signo != SIGSEGV:
+        state = ldb.run_to_stop()
+    assert target.signo == SIGSEGV
+    print("crashed: signal %d at icount %d (pc 0x%x)"
+          % (target.signo, target.current_icount(), target.stop_pc()))
+
+    # back out of the crash onto the most recent breakpoint hit
+    hit = ldb.reverse_continue()
+    proc, filename, line = ldb.where_am_i()
+    print("reverse-continue: %s () at %s:%d, icount %d"
+          % (proc, filename, line, hit.icount))
+    print("  i  = %d (the last loop iteration)" % ldb.evaluate("i"))
+    print("  sum = %d" % ldb.evaluate("sum"))
+
+    # step backwards through source-level stopping points
+    back = ldb.reverse_step()
+    proc, filename, line = ldb.where_am_i()
+    print("reverse-step: %s () at %s:%d, icount %d"
+          % (proc, filename, line, back.icount))
+
+    # travel to an absolute position: forward again to the crash site
+    ldb.goto_icount(target.current_icount() + 1)  # any recorded icount
+    ldb.goto_icount(hit.icount)
+    print("goto %d: back on the breakpoint (sigcode %d)"
+          % (hit.icount, target.sigcode))
+
+    print("checkpoints recorded:")
+    for ck in replay.ring.entries:
+        print("  ckpt %-3d icount %-5d pc 0x%-8x %s"
+              % (ck.cid, ck.icount, ck.pc, ck.kind))
+
+
+if __name__ == "__main__":
+    main()

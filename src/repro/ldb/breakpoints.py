@@ -90,6 +90,37 @@ class BreakpointTable:
             return
         self._adopt(protocol.parse_breaklist(reply))
 
+    def resync_after_restore(self) -> None:
+        """After a checkpoint RESTORE: the target's memory (and the
+        nub's planted table) rewound to checkpoint time, but *this*
+        table is what the user sees — make the target match it.
+        Checkpoint-time traps the user has since removed are unplanted;
+        breakpoints set since the checkpoint are re-planted."""
+        if self.extension_available():
+            try:
+                reply = self._request(protocol.breaks(),
+                                      expect=(protocol.MSG_BREAKLIST,))
+            except NubError:
+                return
+            nub_has = {address for address, _ in
+                       protocol.parse_breaklist(reply)}
+            for address in nub_has - set(self.planted):
+                try:
+                    self._request(protocol.unplant(address),
+                                  expect=(protocol.MSG_OK,))
+                except NubError:
+                    pass  # the nub lost it on its own; nothing to undo
+                self._invalidate_insn(address,
+                                      len(self.target.machdep.nop_bytes_le))
+            for address in set(self.planted) - nub_has:
+                self._plant_via_extension(address)
+        else:
+            # plain stores: re-arm the current table (idempotent); traps
+            # the checkpoint held for since-removed breakpoints cannot
+            # be identified without the extension and stay planted
+            for address in self.planted:
+                self.store_insn(address, self.break_pattern)
+
     def _adopt(self, entries) -> None:
         """Recover breakpoints a previous (crashed) debugger planted."""
         for address, original_le in entries:

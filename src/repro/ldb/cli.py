@@ -13,12 +13,18 @@ Commands::
 
     break <function> | break <file>:<line>
     run / continue / c
+    record [interval]
+    reverse-continue / rc
+    reverse-step / rs
+    reverse-next / rn
+    goto <icount>
+    icount / checkpoint
     print <expression> | p <expression>
     set <var> = <expression>
     backtrace / bt
     where
     registers / regs
-    info breaks
+    info breaks | info checkpoints
     targets / target <name>
     kill / quit
 """
@@ -95,6 +101,21 @@ class Cli:
             self.cmd_step(over=False)
         elif verb in ("next", "n"):
             self.cmd_step(over=True)
+        elif verb == "record":
+            self.cmd_record(rest)
+        elif verb in ("reverse-continue", "rc"):
+            self.cmd_reverse("continue")
+        elif verb in ("reverse-step", "rs"):
+            self.cmd_reverse("step")
+        elif verb in ("reverse-next", "rn"):
+            self.cmd_reverse("next")
+        elif verb == "goto":
+            self.cmd_goto(rest)
+        elif verb == "icount":
+            self.say("icount %d" % self.ldb.current.current_icount())
+        elif verb == "checkpoint":
+            cid, icount = self.ldb.current.take_checkpoint()
+            self.say("checkpoint %d at icount %d" % (cid, icount))
         elif verb == "condition":
             spec, _, expr = rest.partition(" ")
             self.ldb.break_if(spec, expr.strip())
@@ -125,7 +146,32 @@ class Cli:
             self.say("killed")
         else:
             self.say("ldb: unknown command %r (try: break condition run step next "
+                     "record reverse-continue reverse-step reverse-next goto "
                      "print set backtrace where registers targets quit)" % verb)
+
+    def cmd_record(self, rest: str) -> None:
+        interval = int(rest) if rest else 5_000
+        replay = self.ldb.enable_time_travel(interval=interval)
+        self.say("recording: checkpoint every %d instructions"
+                 % replay.interval)
+
+    def cmd_reverse(self, how: str) -> None:
+        if how == "continue":
+            hit = self.ldb.reverse_continue()
+        elif how == "step":
+            hit = self.ldb.reverse_step()
+        else:
+            hit = self.ldb.reverse_next()
+        proc, filename, line = self.ldb.where_am_i()
+        self.say("back at icount %d: %s () at %s:%d"
+                 % (hit.icount, proc, filename, line))
+
+    def cmd_goto(self, rest: str) -> None:
+        state = self.ldb.goto_icount(int(rest))
+        if state == "stopped":
+            self.say("now at icount %d" % self.ldb.current.current_icount())
+        else:
+            self.say("target is %s" % state)
 
     def cmd_break(self, spec: str) -> None:
         if ":" in spec:
@@ -182,8 +228,16 @@ class Cli:
             target = self.ldb.current
             for address, bp in sorted(target.breakpoints.planted.items()):
                 self.say("0x%x %s" % (address, bp.note))
+        elif what.startswith("checkpoint"):
+            target = self.ldb.current
+            if target.replay is None:
+                self.say("not recording")
+                return
+            for ck in target.replay.ring.entries:
+                self.say("ckpt %d at icount %d pc=0x%x (%s)"
+                         % (ck.cid, ck.icount, ck.pc, ck.kind))
         else:
-            self.say("info: breaks")
+            self.say("info: breaks | checkpoints")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

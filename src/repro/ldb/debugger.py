@@ -74,16 +74,21 @@ class Ldb:
 
     def load_program(self, exe: Executable, stop_at_entry: bool = True,
                      table_ps: Optional[str] = None,
-                     cache: bool = True, block_nub: bool = True) -> Target:
+                     cache: bool = True, block_nub: bool = True,
+                     timetravel_nub: bool = True) -> Target:
         """Start a target process as a "child": the fork analog.
 
         ``block_nub=False`` simulates a legacy nub without the
         block-transfer extension; the debugger falls back per-word.
+        ``timetravel_nub=False`` simulates one without the checkpoint
+        messages; reverse commands then fail with a clear error while
+        forward debugging is unaffected.
         """
         debugger_end, nub_end = pair()
         process = Process(exe)
         nub = Nub(process, channel=nub_end, stop_at_entry=stop_at_entry,
-                  block_extension=block_nub)
+                  block_extension=block_nub,
+                  timetravel_extension=timetravel_nub)
         runner = NubRunner(nub).start()
         if table_ps is None:
             table_ps = getattr(exe, "loader_ps", None) or loader_table_ps(exe)
@@ -158,6 +163,10 @@ class Ldb:
                     timeout: float = 30.0) -> str:
         """Continue and wait for the next stop or exit."""
         target = target or self._need_target()
+        if target.replay is not None and target.state == "stopped":
+            # recording: the controller chunks execution with RUNTO and
+            # drops automatic checkpoints along the way
+            return target.replay.continue_forward(timeout=timeout)
         if target.state == "stopped":
             if target.at_breakpoint() or self._at_entry_pause(target):
                 target.resume_from_breakpoint()
@@ -232,6 +241,61 @@ class Ldb:
                 value = frame.memory.fetch(Location.absolute("f", index), "f64")
                 parts.append("%-4s %g" % (item.text, value))
         return "\n".join(parts) + "\n"
+
+    # -- time travel (checkpoint/replay) -----------------------------------
+
+    def enable_time_travel(self, target: Optional[Target] = None,
+                           interval: int = 5_000, capacity: int = 32):
+        """Start recording: a base checkpoint now, automatic checkpoints
+        every ``interval`` retired instructions from here on, and the
+        reverse commands become available."""
+        from ..timetravel import ReplayController, ReplayError
+        target = target or self._need_target()
+        if target.replay is None:
+            controller = ReplayController(target, interval=interval,
+                                          capacity=capacity)
+            try:
+                controller.enable()
+            except ReplayError as err:
+                raise TargetError(str(err))
+            target.replay = controller
+        return target.replay
+
+    def _replay(self, target: Optional[Target] = None):
+        target = target or self._need_target()
+        if target.replay is None:
+            raise TargetError(
+                "time travel is not enabled on %s (use 'record' first)"
+                % target.name)
+        return target.replay
+
+    def _reverse_op(self, op):
+        from ..timetravel import ReplayError
+        try:
+            return op()
+        except ReplayError as err:
+            raise TargetError(str(err))
+
+    def reverse_continue(self, target: Optional[Target] = None):
+        """Rewind to the most recent earlier breakpoint hit."""
+        replay = self._replay(target)
+        return self._reverse_op(replay.reverse_continue)
+
+    def reverse_step(self, target: Optional[Target] = None):
+        """Rewind to the previous stopping point (into calls)."""
+        replay = self._replay(target)
+        return self._reverse_op(replay.reverse_step)
+
+    def reverse_next(self, target: Optional[Target] = None):
+        """Rewind to the previous stopping point at the same or a
+        shallower frame depth (over calls)."""
+        replay = self._replay(target)
+        return self._reverse_op(replay.reverse_next)
+
+    def goto_icount(self, icount: int, target: Optional[Target] = None):
+        """Travel to an absolute retired-instruction count."""
+        replay = self._replay(target)
+        return self._reverse_op(lambda: replay.goto_icount(icount))
 
     # -- events and stepping (paper Sec. 7.1) -----------------------------------------
 

@@ -18,6 +18,7 @@ from typing import List, Optional
 from ..nub import protocol
 from ..nub.channel import Channel, ChannelClosed
 from ..nub.session import (
+    NubError,
     NubSession,
     RetryPolicy,
     SessionError,
@@ -96,6 +97,9 @@ class Target:
         self.context_addr = 0
         self.exit_status: Optional[int] = None
         self._top_frame: Optional[Frame] = None
+        #: the ReplayController once time travel is enabled (see
+        #: repro.timetravel); None means "not recording"
+        self.replay = None
 
     @property
     def channel(self) -> Optional[Channel]:
@@ -223,6 +227,112 @@ class Target:
         self.state = "disconnected"
         self.wire.invalidate()
 
+    # -- time travel (checkpoint/replay over the nub) ----------------------
+
+    def _tt_transact(self, msg, expect):
+        """One time-travel exchange, degrading to a clear error against
+        a nub that cannot time-travel.
+
+        A session that negotiated the feature away (legacy nub) is
+        refused before anything crosses the wire — sending would draw
+        ``ERR_BAD_MESSAGE``, which the retry engine treats as a mangled
+        frame.  A bare channel (no negotiation) tries the request and
+        maps the nub's error answer to the same :class:`TargetError`.
+        """
+        if getattr(self.transport, "timetravel_active", None) is False:
+            raise TargetError(
+                "nub does not support time travel "
+                "(FEATURE_TIMETRAVEL was not negotiated)")
+        try:
+            return self.transport.transact(msg, expect=expect)
+        except NubError as err:
+            if err.code in (protocol.ERR_UNSUPPORTED,
+                            protocol.ERR_BAD_MESSAGE):
+                raise TargetError(
+                    "nub does not support time travel (error %d)" % err.code)
+            if err.code == protocol.ERR_BAD_CHECKPOINT:
+                raise TargetError("no such checkpoint on the nub")
+            raise TargetError("time-travel request failed: nub error %d"
+                              % err.code)
+        except TransportError as err:
+            raise TargetError("time-travel request failed: %s" % err)
+
+    def current_icount(self) -> int:
+        """The target's retired-instruction count (at the current stop)."""
+        self._require_stopped()
+        reply = self._tt_transact(protocol.icount(),
+                                  expect=(protocol.MSG_CKPT,))
+        _cid, icount = protocol.parse_ckpt(reply)
+        return icount
+
+    def take_checkpoint(self):
+        """Checkpoint the target nub-side; returns ``(id, icount)``.
+        Only the id and the instruction count cross the wire — the
+        image stays with the nub."""
+        self._require_stopped()
+        self.stats.note("wire", "checkpoint")
+        reply = self._tt_transact(protocol.checkpoint(),
+                                  expect=(protocol.MSG_CKPT,))
+        return protocol.parse_ckpt(reply)
+
+    def restore_checkpoint(self, cid: int) -> int:
+        """Rewind the target to a checkpoint; returns its icount.
+
+        The whole machine state changed under the debugger, so this
+        resembles a reconnect: drop every cached block, forget the
+        frame chain, and reconcile the nub's (checkpoint-time) planted
+        traps with this session's breakpoint table — the table is the
+        source of truth.
+        """
+        self._require_stopped()
+        self.stats.note("wire", "restore")
+        reply = self._tt_transact(protocol.restore(cid),
+                                  expect=(protocol.MSG_CKPT,))
+        _cid, icount = protocol.parse_ckpt(reply)
+        self.wire.invalidate()
+        self._top_frame = None
+        from ..machines.isa import SIGTRAP
+        # checkpoints are taken at stops, so the restored state is the
+        # checkpoint's SIGTRAP stop (context area included)
+        self.signo = SIGTRAP
+        self.sigcode = 0
+        self.state = "stopped"
+        self.breakpoints.resync_after_restore()
+        return icount
+
+    def drop_checkpoint(self, cid: int) -> None:
+        """Release a nub-side checkpoint (stop paying its COW cost)."""
+        self.stats.note("wire", "dropckpt")
+        self._tt_transact(protocol.drop_checkpoint(cid),
+                          expect=(protocol.MSG_OK,))
+
+    def run_to_icount(self, target_icount: int,
+                      at_pc: Optional[int] = None) -> None:
+        """Resume, asking the nub to stop after ``target_icount``
+        retired instructions (surfaces as a SIGTRAP/CODE_ICOUNT stop)."""
+        self._require_stopped()
+        if getattr(self.transport, "timetravel_active", None) is False:
+            raise TargetError(
+                "nub does not support time travel "
+                "(FEATURE_TIMETRAVEL was not negotiated)")
+        if at_pc is not None:
+            self.wire.store(self.machdep.pc_context_location(self.context_addr),
+                            "i32", at_pc)
+        self.stats.note("wire", "runto")
+        try:
+            self.transport.control(protocol.runto(target_icount))
+        except TransportError as err:
+            raise TargetError("run-to-icount failed: %s" % err)
+        self.state = "running"
+        self._top_frame = None
+        self.wire.invalidate()
+
+    def at_icount_stop(self) -> bool:
+        """Did the target stop because a RUNTO count was reached?"""
+        from ..machines.isa import CODE_ICOUNT, SIGTRAP
+        return (self.state == "stopped" and self.signo == SIGTRAP
+                and self.sigcode == CODE_ICOUNT)
+
     # -- crash recovery (paper Sec. 7.1) ----------------------------------
 
     def _session_reconnected(self, session: NubSession) -> None:
@@ -265,8 +375,11 @@ class Target:
             self.machdep.pc_context_location(self.context_addr), "i32") & 0xFFFFFFFF
 
     def at_breakpoint(self) -> bool:
-        from ..machines.isa import SIGTRAP
+        from ..machines.isa import CODE_ICOUNT, SIGTRAP
+        # an icount stop lands *before* the next instruction: a trap
+        # sitting there has not fired yet, so this is not a bp stop
         return (self.state == "stopped" and self.signo == SIGTRAP
+                and self.sigcode != CODE_ICOUNT
                 and self.breakpoints.at(self.stop_pc()) is not None)
 
     def top_frame(self) -> Frame:

@@ -9,11 +9,14 @@ from __future__ import annotations
 
 from typing import Dict
 
-from .cpu import Cpu
+from .cpu import Cpu, CpuSnapshot
 from .isa import (
     Arch,
+    CODE_ICOUNT,
     ContextField,
+    DEFAULT_MAX_STEPS,
     Halt,
+    IcountReached,
     Insn,
     Label,
     SIGFPE,
@@ -35,9 +38,15 @@ from .loader import (
     read_runtime_proc_table,
 )
 from .m68k import RM68kArch
-from .memory import MemoryFault, TargetMemory
+from .memory import MemoryFault, MemorySnapshot, TargetMemory
 from .mips import RMipsArch, RMipsELArch
-from .process import ExitEvent, FaultEvent, Process
+from .process import (
+    ExitEvent,
+    FaultEvent,
+    IcountStopEvent,
+    Process,
+    ProcessSnapshot,
+)
 from .sparc import RSparcArch
 from .vax import RVaxArch
 
@@ -68,19 +77,26 @@ ARCH_NAMES = ("rmips", "rmipsel", "rsparc", "rm68k", "rvax")
 __all__ = [
     "ARCH_NAMES",
     "Arch",
+    "CODE_ICOUNT",
     "ContextField",
     "Cpu",
+    "CpuSnapshot",
+    "DEFAULT_MAX_STEPS",
     "ExitEvent",
     "Executable",
     "FaultEvent",
     "FuncInfo",
     "Halt",
+    "IcountReached",
+    "IcountStopEvent",
     "Insn",
     "Label",
     "LinkError",
     "MemoryFault",
+    "MemorySnapshot",
     "ObjectUnit",
     "Process",
+    "ProcessSnapshot",
     "RM68kArch",
     "RMipsArch",
     "RMipsELArch",

@@ -16,8 +16,36 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Tuple
 
-from .isa import Arch, Halt, SIGILL, SIGSEGV, TargetFault
+from .isa import (
+    Arch,
+    DEFAULT_MAX_STEPS,
+    Halt,
+    IcountReached,
+    SIGILL,
+    SIGSEGV,
+    TargetFault,
+)
 from .memory import MemoryFault, TargetMemory
+
+
+class CpuSnapshot:
+    """The complete register-level state of a :class:`Cpu` at one
+    instant: restoring it (plus the matching memory snapshot) replays
+    the deterministic simulation byte for byte."""
+
+    __slots__ = ("regs", "fregs", "pc", "cc_lt", "cc_eq", "cc_ltu",
+                 "icount", "pending_load", "wrote_reg")
+
+    def __init__(self, cpu: "Cpu"):
+        self.regs = list(cpu.regs)
+        self.fregs = list(cpu.fregs)
+        self.pc = cpu.pc
+        self.cc_lt = cpu.cc_lt
+        self.cc_eq = cpu.cc_eq
+        self.cc_ltu = cpu.cc_ltu
+        self.icount = cpu.icount
+        self.pending_load = cpu._pending_load
+        self.wrote_reg = cpu._wrote_reg
 
 
 class Cpu:
@@ -35,10 +63,36 @@ class Cpu:
         self.cc_eq = False
         self.cc_ltu = False
         self.syscall_handler = syscall_handler
-        self.steps = 0
+        #: Retired-instruction counter: the clock of the deterministic
+        #: simulation.  A faulting instruction counts as retired (its
+        #: trap is part of the timeline), so replays that plant and hit
+        #: breakpoints stay icount-aligned with runs that do not.
+        self.icount = 0
         # Load-delay simulation (rmips): a pending (reg, value) commit.
         self._pending_load: Optional[Tuple[int, int]] = None
         self._wrote_reg: Optional[int] = None
+
+    @property
+    def steps(self) -> int:
+        """Historical alias for :attr:`icount`."""
+        return self.icount
+
+    # -- snapshot/restore --------------------------------------------------
+
+    def snapshot(self) -> CpuSnapshot:
+        """Capture the full register-level state (cheap: a few lists)."""
+        return CpuSnapshot(self)
+
+    def restore(self, snap: CpuSnapshot) -> None:
+        self.regs = list(snap.regs)
+        self.fregs = list(snap.fregs)
+        self.pc = snap.pc
+        self.cc_lt = snap.cc_lt
+        self.cc_eq = snap.cc_eq
+        self.cc_ltu = snap.cc_ltu
+        self.icount = snap.icount
+        self._pending_load = snap.pending_load
+        self._wrote_reg = snap.wrote_reg
 
     # -- register access --------------------------------------------------
 
@@ -83,20 +137,27 @@ class Cpu:
         except MemoryFault as fault:
             raise TargetFault(SIGSEGV, code=2, address=fault.address)
         finally:
-            self.steps += 1
+            self.icount += 1
             if commit is not None and commit[0] != self._wrote_reg:
                 reg, value = commit
                 if not (reg == 0 and self.arch.zero_reg):
                     self.regs[reg] = value
 
-    def run(self, max_steps: int = 50_000_000) -> int:
+    def run(self, max_steps: int = DEFAULT_MAX_STEPS,
+            stop_at_icount: Optional[int] = None) -> int:
         """Run until exit; returns the exit status.
 
-        TargetFaults propagate to the caller (normally the nub).
+        TargetFaults propagate to the caller (normally the nub).  With
+        ``stop_at_icount`` the loop raises :class:`IcountReached` once
+        the retired-instruction counter reaches the target — checked
+        *between* instructions, so a target at or below the current
+        count stops immediately without executing anything.
         """
         remaining = max_steps
         try:
             while remaining > 0:
+                if stop_at_icount is not None and self.icount >= stop_at_icount:
+                    raise IcountReached(self.icount, self.pc)
                 self.step()
                 remaining -= 1
         except Halt as halt:

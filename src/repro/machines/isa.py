@@ -34,6 +34,16 @@ SYS_EXIT = 1
 SYS_PUTCHAR = 2
 SYS_PRINTF = 3
 
+#: Runaway guard shared by :meth:`Cpu.run` and
+#: :meth:`Process.run_until_event` (one named constant, one policy).
+DEFAULT_MAX_STEPS = 50_000_000
+
+#: The SIGTRAP ``code`` a nub reports when execution stopped because a
+#: requested retired-instruction count was reached (RUNTO), not because
+#: the target trapped.  Distinct from breakpoint trap codes, which come
+#: from the trap instruction's immediate (small integers).
+CODE_ICOUNT = 0x1C0
+
 
 class TargetFault(Exception):
     """A fault in the target: the signal the nub's handler catches."""
@@ -51,6 +61,20 @@ class Halt(Exception):
     def __init__(self, status: int):
         self.status = status
         super().__init__("exit(%d)" % status)
+
+
+class IcountReached(Exception):
+    """Execution reached a requested retired-instruction count.
+
+    Raised by :meth:`Cpu.run` *before* executing the instruction that
+    would be number ``icount + 1`` — the stop lands between
+    instructions, which is what makes ``RUNTO`` replays deterministic.
+    """
+
+    def __init__(self, icount: int, pc: int):
+        self.icount = icount
+        self.pc = pc
+        super().__init__("icount %d reached at pc=0x%x" % (icount, pc))
 
 
 class Insn:

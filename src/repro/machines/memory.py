@@ -10,7 +10,7 @@ the nub catches.
 from __future__ import annotations
 
 import struct
-from typing import Union
+from typing import Dict, List, Union
 
 from . import float80
 
@@ -22,6 +22,32 @@ class MemoryFault(Exception):
         self.address = address
         self.size = size
         super().__init__("bad address 0x%x (size %d)" % (address, size))
+
+
+#: copy-on-write granularity for memory snapshots
+PAGE = 4096
+_PAGE_SHIFT = 12
+
+
+class MemorySnapshot:
+    """A copy-on-write snapshot of a :class:`TargetMemory`.
+
+    Taking one copies nothing; the memory captures a page into every
+    live snapshot that has not seen it yet on the *first write* after
+    the snapshot was taken.  ``pages`` therefore holds exactly the pages
+    that changed since the snapshot — restoring writes them back, which
+    in turn COW-captures the pre-restore content into other live
+    snapshots, so snapshots can be taken and restored in any order.
+    """
+
+    __slots__ = ("pages",)
+
+    def __init__(self):
+        self.pages: Dict[int, bytes] = {}
+
+    def cost_pages(self) -> int:
+        """How many pages this snapshot has had to copy so far."""
+        return len(self.pages)
 
 
 class TargetMemory:
@@ -39,10 +65,56 @@ class TargetMemory:
         self.size = size
         self.byteorder = byteorder
         self.bytes = bytearray(size)
+        #: live snapshots still owed copy-on-write page captures
+        self._snapshots: List[MemorySnapshot] = []
 
     def _check(self, address: int, size: int) -> None:
         if address < 0 or address + size > self.size:
             raise MemoryFault(address, size)
+
+    # -- snapshot/restore (copy-on-write pages) ---------------------------
+
+    def snapshot(self) -> MemorySnapshot:
+        """Take a snapshot without copying anything; pages are captured
+        lazily by the write paths (copy-on-write)."""
+        snap = MemorySnapshot()
+        self._snapshots.append(snap)
+        return snap
+
+    def restore(self, snap: MemorySnapshot) -> None:
+        """Rewind memory to the snapshot's state.
+
+        Only the captured (i.e. since-modified) pages are written; the
+        writes COW-capture pre-restore content into *other* live
+        snapshots, and the snapshot stays valid for further restores.
+        """
+        if snap not in self._snapshots:
+            raise ValueError("snapshot was released or belongs elsewhere")
+        for page, raw in snap.pages.items():
+            start = page << _PAGE_SHIFT
+            self._capture(start, len(raw))
+            self.bytes[start:start + len(raw)] = raw
+
+    def release(self, snap: MemorySnapshot) -> None:
+        """Forget a snapshot: its pages stop being COW-captured."""
+        try:
+            self._snapshots.remove(snap)
+        except ValueError:
+            pass  # released twice, or never taken here
+
+    def _capture(self, address: int, size: int) -> None:
+        """Before mutating ``[address, address+size)``: save the pages'
+        current content into every live snapshot that lacks them."""
+        first = address >> _PAGE_SHIFT
+        last = (address + size - 1) >> _PAGE_SHIFT
+        for page in range(first, last + 1):
+            start = page << _PAGE_SHIFT
+            raw = None
+            for snap in self._snapshots:
+                if page not in snap.pages:
+                    if raw is None:
+                        raw = bytes(self.bytes[start:start + PAGE])
+                    snap.pages[page] = raw
 
     # -- raw bytes -------------------------------------------------------
 
@@ -52,6 +124,8 @@ class TargetMemory:
 
     def write_bytes(self, address: int, data: bytes) -> None:
         self._check(address, len(data))
+        if self._snapshots and data:
+            self._capture(address, len(data))
         self.bytes[address : address + len(data)] = data
 
     # -- integers --------------------------------------------------------
@@ -67,6 +141,8 @@ class TargetMemory:
 
     def write_int(self, address: int, size: int, value: int) -> None:
         self._check(address, size)
+        if self._snapshots:
+            self._capture(address, size)
         value &= (1 << (size * 8)) - 1
         self.bytes[address : address + size] = value.to_bytes(size, self.byteorder)
 

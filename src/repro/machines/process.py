@@ -17,32 +17,84 @@ import io
 import re
 from typing import Optional, Union
 
-from .cpu import Cpu
-from .isa import Halt, SYS_EXIT, SYS_PRINTF, SYS_PUTCHAR, TargetFault
+from .cpu import Cpu, CpuSnapshot
+from .isa import (
+    CODE_ICOUNT,
+    DEFAULT_MAX_STEPS,
+    Halt,
+    IcountReached,
+    SIGTRAP,
+    SYS_EXIT,
+    SYS_PRINTF,
+    SYS_PUTCHAR,
+    TargetFault,
+)
 from .loader import Executable, load
-from .memory import TargetMemory
+from .memory import MemorySnapshot, TargetMemory
 
 
 class ExitEvent:
     """The target called exit()."""
 
-    def __init__(self, status: int):
+    def __init__(self, status: int, icount: Optional[int] = None):
         self.status = status
+        #: retired instructions when the event fired (None: unknown)
+        self.icount = icount
 
     def __repr__(self) -> str:
-        return "<exit %d>" % self.status
+        if self.icount is None:
+            return "<exit %d>" % self.status
+        return "<exit %d icount=%d>" % (self.status, self.icount)
 
 
 class FaultEvent:
     """The target took a signal (trap, segv, fpe, ill)."""
 
-    def __init__(self, signo: int, code: int, pc: int):
+    def __init__(self, signo: int, code: int, pc: int,
+                 icount: Optional[int] = None):
         self.signo = signo
         self.code = code
         self.pc = pc
+        #: retired instructions when the event fired (None: unknown)
+        self.icount = icount
 
     def __repr__(self) -> str:
-        return "<fault sig=%d code=%d pc=0x%x>" % (self.signo, self.code, self.pc)
+        if self.icount is None:
+            return "<fault sig=%d code=%d pc=0x%x>" % (self.signo, self.code,
+                                                       self.pc)
+        return "<fault sig=%d code=%d pc=0x%x icount=%d>" % (
+            self.signo, self.code, self.pc, self.icount)
+
+
+class IcountStopEvent(FaultEvent):
+    """Execution paused because a requested retired-instruction count
+    was reached (the RUNTO stop).  A :class:`FaultEvent` subclass so the
+    nub's stop handling treats it like any other stop; the distinctive
+    ``CODE_ICOUNT`` code tells the debugger why execution paused."""
+
+    def __init__(self, icount: int, pc: int):
+        super().__init__(SIGTRAP, CODE_ICOUNT, pc, icount=icount)
+
+    def __repr__(self) -> str:
+        return "<icount-stop %d pc=0x%x>" % (self.icount, self.pc)
+
+
+class ProcessSnapshot:
+    """A checkpoint of one process: CPU registers, copy-on-write memory
+    pages, exit state, and the output-stream position."""
+
+    __slots__ = ("cpu", "mem", "exited", "out_pos")
+
+    def __init__(self, cpu: CpuSnapshot, mem: MemorySnapshot,
+                 exited: Optional[int], out_pos: Optional[int]):
+        self.cpu = cpu
+        self.mem = mem
+        self.exited = exited
+        self.out_pos = out_pos
+
+    @property
+    def icount(self) -> int:
+        return self.cpu.icount
 
 
 _FORMAT_RE = re.compile(r"%([-+ 0#]*)(\d*)(\.\d+)?([diuxXcsfeg%])")
@@ -68,17 +120,55 @@ class Process:
 
     # -- events ------------------------------------------------------------
 
-    def run_until_event(self, max_steps: int = 50_000_000) -> Union[ExitEvent, FaultEvent]:
-        """Run until the target exits or faults."""
+    def run_until_event(self, max_steps: int = DEFAULT_MAX_STEPS,
+                        stop_at_icount: Optional[int] = None,
+                        ) -> Union[ExitEvent, FaultEvent]:
+        """Run until the target exits, faults, or (with
+        ``stop_at_icount``) retires the requested instruction count."""
         try:
-            status = self.cpu.run(max_steps)
+            status = self.cpu.run(max_steps, stop_at_icount=stop_at_icount)
+        except IcountReached as stop:
+            return IcountStopEvent(stop.icount, stop.pc)
         except TargetFault as fault:
-            return FaultEvent(fault.signo, fault.code, fault.address)
+            return FaultEvent(fault.signo, fault.code, fault.address,
+                              icount=self.cpu.icount)
         self.exited = status
-        return ExitEvent(status)
+        return ExitEvent(status, icount=self.cpu.icount)
 
     def output(self) -> str:
         return self.stdout.getvalue()
+
+    # -- snapshot/restore --------------------------------------------------
+
+    def snapshot(self) -> ProcessSnapshot:
+        """Checkpoint the process: registers, COW memory pages, exit
+        state, and how much output has been produced."""
+        return ProcessSnapshot(self.cpu.snapshot(), self.mem.snapshot(),
+                               self.exited, self._out_tell())
+
+    def restore(self, snap: ProcessSnapshot) -> None:
+        """Rewind the process to a snapshot; the snapshot stays valid
+        (it can be restored again), and output written after the
+        snapshot is truncated away when the stream allows it."""
+        self.cpu.restore(snap.cpu)
+        self.mem.restore(snap.mem)
+        self.exited = snap.exited
+        if snap.out_pos is not None:
+            try:
+                self.stdout.seek(snap.out_pos)
+                self.stdout.truncate(snap.out_pos)
+            except (AttributeError, OSError, io.UnsupportedOperation):
+                pass  # a write-only stream: its past cannot be unprinted
+
+    def release_snapshot(self, snap: ProcessSnapshot) -> None:
+        """Drop a snapshot so its memory pages stop being COW-captured."""
+        self.mem.release(snap.mem)
+
+    def _out_tell(self) -> Optional[int]:
+        try:
+            return self.stdout.tell()
+        except (AttributeError, OSError, io.UnsupportedOperation):
+            return None
 
     # -- syscalls ------------------------------------------------------------
 

@@ -168,7 +168,8 @@ class Nub:
                  stop_at_entry: bool = True,
                  accept_timeout: Optional[float] = 30.0,
                  breakpoint_extension: bool = True,
-                 block_extension: bool = True):
+                 block_extension: bool = True,
+                 timetravel_extension: bool = True):
         self.process = process
         self.arch = process.arch
         self.channel = channel
@@ -186,6 +187,17 @@ class Nub:
         #: block transfers (BLOCKFETCH/BLOCKSTORE): a legacy nub built
         #: without them keeps working — the debugger falls back per-word
         self.block_extension = block_extension
+        #: time travel (CHECKPOINT/RESTORE/ICOUNT/RUNTO): checkpoints
+        #: live here, nub-side, so images never cross the wire
+        self.timetravel_extension = timetravel_extension
+        self.checkpoints: dict = {}  # id -> (ProcessSnapshot, planted copy)
+        self._next_checkpoint = 1
+        #: seq/id of the last CHECKPOINT served, so a retried request
+        #: (lost reply) does not mint a second, leaked snapshot
+        self._last_ckpt_seq = None
+        self._last_ckpt_id = None
+        #: a pending RUNTO target icount (None: plain CONTINUE)
+        self._runto: Optional[int] = None
         self.planted: dict = {}  # address -> original little-endian bytes
         #: negotiated per-connection: acknowledge control messages (HELLO)
         self.ack_active = False
@@ -201,7 +213,9 @@ class Nub:
     def run(self) -> Optional[int]:
         """Run the target to completion, handling signals."""
         while True:
-            event = self.process.run_until_event()
+            stop_at = self._runto
+            self._runto = None
+            event = self.process.run_until_event(stop_at_icount=stop_at)
             if isinstance(event, ExitEvent):
                 self.exit_status = event.status
                 self._send(protocol.exited(event.status))
@@ -209,6 +223,7 @@ class Nub:
                     self.channel.close()
                 return event.status
             if self._is_entry_pause(event) and not self._should_stop_at_entry():
+                self._runto = stop_at  # the pause does not consume RUNTO
                 self.process.cpu.pc = event.pc + self.arch.noop_advance
                 continue
             outcome = self.handle_signal(event)
@@ -307,6 +322,23 @@ class Nub:
             self._do_breaks()
         elif msg.mtype == protocol.MSG_HELLO:
             self._do_hello(msg)
+        elif msg.mtype == protocol.MSG_CHECKPOINT:
+            self._do_checkpoint(msg)
+        elif msg.mtype == protocol.MSG_RESTORE:
+            self._do_restore(msg)
+        elif msg.mtype == protocol.MSG_DROPCKPT:
+            self._do_dropckpt(msg)
+        elif msg.mtype == protocol.MSG_ICOUNT:
+            self._do_icount(msg)
+        elif msg.mtype == protocol.MSG_RUNTO:
+            target = protocol.parse_runto(msg)
+            if not self._tt_enabled():
+                return None
+            if self._stale_control(msg):
+                return None
+            self._ack()
+            self._runto = target
+            return "continue"
         elif msg.mtype == protocol.MSG_CONTINUE:
             self._require_empty(msg)
             if self._stale_control(msg):
@@ -364,6 +396,8 @@ class Nub:
         accepted = features & protocol.ALL_FEATURES
         if not self.block_extension:
             accepted &= ~protocol.FEATURE_BLOCK
+        if not self.timetravel_extension:
+            accepted &= ~protocol.FEATURE_TIMETRAVEL
         self._reply(protocol.hello(protocol.PROTOCOL_VERSION, accepted))
         # frames after the reply carry the negotiated extras
         self.channel.crc = bool(accepted & protocol.FEATURE_CRC)
@@ -509,6 +543,67 @@ class Nub:
         if not self._extension_enabled():
             return
         self._reply(protocol.breaklist(sorted(self.planted.items())))
+
+    # -- the time-travel extension -------------------------------------------
+
+    def _tt_enabled(self) -> bool:
+        if not self.timetravel_extension:
+            # a legacy nub: the debugger must degrade gracefully
+            self._reply(protocol.error(protocol.ERR_UNSUPPORTED))
+            return False
+        return True
+
+    def _do_checkpoint(self, msg) -> None:
+        """Snapshot the whole process *nub-side*: CPU, COW memory pages,
+        and the planted-trap table.  Only a small id and the retired
+        instruction count cross the wire — never the image itself."""
+        if not self._tt_enabled():
+            return
+        self._require_empty(msg)
+        if (msg.seq is not None and msg.seq != protocol.NO_SEQ
+                and msg.seq == self._last_ckpt_seq
+                and self._last_ckpt_id in self.checkpoints):
+            # a retried CHECKPOINT (its reply was lost): answer again
+            snap, _planted = self.checkpoints[self._last_ckpt_id]
+            self._reply(protocol.ckpt(self._last_ckpt_id, snap.icount))
+            return
+        cid = self._next_checkpoint
+        self._next_checkpoint += 1
+        self.checkpoints[cid] = (self.process.snapshot(), dict(self.planted))
+        self._last_ckpt_seq = msg.seq
+        self._last_ckpt_id = cid
+        self._reply(protocol.ckpt(cid, self.process.cpu.icount))
+
+    def _do_restore(self, msg) -> None:
+        cid = protocol.parse_restore(msg)
+        if not self._tt_enabled():
+            return
+        entry = self.checkpoints.get(cid)
+        if entry is None:
+            self._reply(protocol.error(protocol.ERR_BAD_CHECKPOINT))
+            return
+        snap, planted = entry
+        self.process.restore(snap)
+        # memory came back with the checkpoint-time traps in place;
+        # realign the bookkeeping with it (restore is idempotent, so a
+        # retried RESTORE is harmless)
+        self.planted = dict(planted)
+        self._reply(protocol.ckpt(cid, self.process.cpu.icount))
+
+    def _do_dropckpt(self, msg) -> None:
+        cid = protocol.parse_drop_checkpoint(msg)
+        if not self._tt_enabled():
+            return
+        entry = self.checkpoints.pop(cid, None)
+        if entry is not None:
+            self.process.release_snapshot(entry[0])
+        self._reply(protocol.ok())  # dropping twice is not an error
+
+    def _do_icount(self, msg) -> None:
+        if not self._tt_enabled():
+            return
+        self._require_empty(msg)
+        self._reply(protocol.ckpt(protocol.NO_CKPT, self.process.cpu.icount))
 
     def _send(self, msg) -> None:
         if self.channel is not None:

@@ -45,6 +45,27 @@ verbatim.  Both are negotiated with ``FEATURE_BLOCK`` in the HELLO
 handshake; a nub without the feature answers ``ERR_UNSUPPORTED`` and
 the debugger falls back to per-value messages.
 
+Time travel (``FEATURE_TIMETRAVEL``): four messages give a debugger
+checkpoint/replay control over the deterministic simulated targets.
+Checkpoint images stay nub-side — only small ids and instruction counts
+cross the wire::
+
+    CHECKPOINT                           -> CKPT id(4) icount(8)
+    RESTORE  id(4)                       -> CKPT id(4) icount(8) / ERROR
+    DROPCKPT id(4)                       -> OK / ERROR
+    ICOUNT                               -> CKPT NO_CKPT icount(8)
+    RUNTO    icount(8)                   (resume; stop when the retired-
+                                          instruction count reaches the
+                                          target: SIGNAL with
+                                          code=CODE_ICOUNT)
+
+``RUNTO`` is a control message like CONTINUE: acknowledged with OK
+under ``FEATURE_ACK``, deduplicated by sequence id, and followed by the
+usual unsolicited SIGNAL/EXITED when the target stops.  A nub built
+without the feature answers the request messages with
+``ERR_UNSUPPORTED`` and the debugger reports time travel unavailable;
+forward debugging is unaffected.
+
 Hardened framing (the fault-tolerance layer): a debugger may open a
 session with HELLO, offering feature bits.  The nub answers with the
 bits it accepts, and *subsequent* frames on the connection carry the
@@ -87,12 +108,20 @@ MSG_HELLO = 9
 # -- block transfers: a span of raw memory bytes per message
 MSG_BLOCKFETCH = 10
 MSG_BLOCKSTORE = 11
+# -- time travel (FEATURE_TIMETRAVEL): checkpoint ids are allocated and
+# -- held nub-side, so memory images never cross the wire
+MSG_CHECKPOINT = 12
+MSG_RESTORE = 13
+MSG_ICOUNT = 14
+MSG_RUNTO = 15
 MSG_SIGNAL = 16
 MSG_EXITED = 17
 MSG_DATA = 18
 MSG_OK = 19
 MSG_ERROR = 20
 MSG_BREAKLIST = 21
+MSG_CKPT = 22
+MSG_DROPCKPT = 23
 
 _NAMES = {
     MSG_FETCH: "FETCH", MSG_STORE: "STORE", MSG_CONTINUE: "CONTINUE",
@@ -101,12 +130,16 @@ _NAMES = {
     MSG_PLANT: "PLANT", MSG_UNPLANT: "UNPLANT", MSG_BREAKS: "BREAKS",
     MSG_BREAKLIST: "BREAKLIST", MSG_HELLO: "HELLO",
     MSG_BLOCKFETCH: "BLOCKFETCH", MSG_BLOCKSTORE: "BLOCKSTORE",
+    MSG_CHECKPOINT: "CHECKPOINT", MSG_RESTORE: "RESTORE",
+    MSG_ICOUNT: "ICOUNT", MSG_RUNTO: "RUNTO", MSG_CKPT: "CKPT",
+    MSG_DROPCKPT: "DROPCKPT",
 }
 
 ERR_BAD_SPACE = 1
 ERR_BAD_ADDRESS = 2
 ERR_BAD_MESSAGE = 3
 ERR_UNSUPPORTED = 4
+ERR_BAD_CHECKPOINT = 5
 
 #: value sizes the protocol carries (the abstract-memory sizes)
 VALUE_SIZES = (1, 2, 4, 8, 10)
@@ -117,7 +150,9 @@ FEATURE_CRC = 1 << 0
 FEATURE_SEQ = 1 << 1
 FEATURE_ACK = 1 << 2
 FEATURE_BLOCK = 1 << 3
-ALL_FEATURES = FEATURE_CRC | FEATURE_SEQ | FEATURE_ACK | FEATURE_BLOCK
+FEATURE_TIMETRAVEL = 1 << 4
+ALL_FEATURES = (FEATURE_CRC | FEATURE_SEQ | FEATURE_ACK | FEATURE_BLOCK
+                | FEATURE_TIMETRAVEL)
 
 #: the largest span one BLOCKFETCH/BLOCKSTORE may move (well under
 #: MAX_PAYLOAD, so block frames can never trip the framing cap)
@@ -130,6 +165,10 @@ MAX_PAYLOAD = 1 << 20
 #: the sequence id carried by unsolicited frames (SIGNAL, EXITED) when
 #: sequence numbering is active
 NO_SEQ = 0xFFFFFFFF
+
+#: the checkpoint id carried by a CKPT reply that answers ICOUNT (no
+#: checkpoint was involved, only the retired-instruction count)
+NO_CKPT = 0xFFFFFFFF
 
 
 class ProtocolError(Exception):
@@ -273,6 +312,41 @@ def hello(version: int = PROTOCOL_VERSION,
     return Message(MSG_HELLO, struct.pack("<BI", version, features))
 
 
+# -- time travel (FEATURE_TIMETRAVEL) ----------------------------------------
+
+def checkpoint() -> Message:
+    """Ask the nub to snapshot the stopped target; answered with CKPT."""
+    return Message(MSG_CHECKPOINT)
+
+
+def restore(checkpoint_id: int) -> Message:
+    """Rewind the stopped target to a previously taken checkpoint."""
+    return Message(MSG_RESTORE, struct.pack("<I", checkpoint_id))
+
+
+def drop_checkpoint(checkpoint_id: int) -> Message:
+    """Release a checkpoint the debugger no longer needs."""
+    return Message(MSG_DROPCKPT, struct.pack("<I", checkpoint_id))
+
+
+def icount() -> Message:
+    """Ask for the target's retired-instruction count."""
+    return Message(MSG_ICOUNT)
+
+
+def runto(target_icount: int) -> Message:
+    """Resume, stopping when the retired-instruction count reaches
+    ``target_icount`` (or earlier, on any trap/fault/exit)."""
+    if target_icount < 0:
+        raise ProtocolError("bad RUNTO icount %d" % target_icount)
+    return Message(MSG_RUNTO, struct.pack("<Q", target_icount))
+
+
+def ckpt(checkpoint_id: int, current_icount: int) -> Message:
+    """The nub's answer to CHECKPOINT/RESTORE/ICOUNT."""
+    return Message(MSG_CKPT, struct.pack("<IQ", checkpoint_id, current_icount))
+
+
 def signal(signo: int, code: int, context_addr: int) -> Message:
     return Message(MSG_SIGNAL, struct.pack("<III", signo, code, context_addr))
 
@@ -339,6 +413,23 @@ def parse_error(msg: Message) -> int:
 def parse_hello(msg: Message) -> Tuple[int, int]:
     version, features = struct.unpack("<BI", _payload(msg, 5, "HELLO"))
     return version, features
+
+
+def parse_restore(msg: Message) -> int:
+    return struct.unpack("<I", _payload(msg, 4, "RESTORE"))[0]
+
+
+def parse_drop_checkpoint(msg: Message) -> int:
+    return struct.unpack("<I", _payload(msg, 4, "DROPCKPT"))[0]
+
+
+def parse_runto(msg: Message) -> int:
+    return struct.unpack("<Q", _payload(msg, 8, "RUNTO"))[0]
+
+
+def parse_ckpt(msg: Message) -> Tuple[int, int]:
+    """(checkpoint id, retired-instruction count)."""
+    return struct.unpack("<IQ", _payload(msg, 12, "CKPT"))
 
 
 # -- the breakpoint extension (paper Sec. 7.1) --------------------------------

@@ -71,6 +71,10 @@ class Transport(abc.ABC):
     #: True/False once known; None means "not negotiated yet — try it".
     block_active: Optional[bool] = None
 
+    #: Can this connection time-travel (CHECKPOINT/RESTORE/RUNTO)?
+    #: True/False once known; None means "not negotiated yet — try it".
+    timetravel_active: Optional[bool] = None
+
     @abc.abstractmethod
     def transact(self, msg: protocol.Message, expect: Iterable[int],
                  timeout: Optional[float] = None) -> protocol.Message:
@@ -183,6 +187,7 @@ class NubSession(Transport):
                  policy: Optional[RetryPolicy] = None,
                  want_crc: bool = True, want_seq: bool = True,
                  want_ack: bool = True, want_block: bool = True,
+                 want_timetravel: bool = True,
                  reply_timeout: float = 10.0,
                  on_reconnect: Optional[Callable[["NubSession"], None]] = None):
         self.channel = channel
@@ -192,6 +197,7 @@ class NubSession(Transport):
         self.want_seq = want_seq
         self.want_ack = want_ack
         self.want_block = want_block
+        self.want_timetravel = want_timetravel
         self.reply_timeout = reply_timeout
         self.on_reconnect = on_reconnect
         #: negotiated state (HELLO handshake, per connection)
@@ -201,6 +207,8 @@ class NubSession(Transport):
         self.ack_active = False
         #: None until the handshake settles it (each reconnect renegotiates)
         self.block_active: Optional[bool] = None if want_block else False
+        self.timetravel_active: Optional[bool] = (None if want_timetravel
+                                                  else False)
         #: SIGNAL/EXITED frames that arrived while awaiting a reply
         self.pending_events: deque = deque()
         #: the last (signo, code, context) announced by the nub
@@ -371,6 +379,7 @@ class NubSession(Transport):
         self.hello_done = False
         self.crc_active = self.seq_active = self.ack_active = False
         self.block_active = None if self.want_block else False
+        self.timetravel_active = None if self.want_timetravel else False
 
     def _reconnect(self) -> None:
         if self.connector is None:
@@ -389,6 +398,7 @@ class NubSession(Transport):
             self.hello_done = False
             self.crc_active = self.seq_active = self.ack_active = False
             self.block_active = None if self.want_block else False
+            self.timetravel_active = None if self.want_timetravel else False
             got_signal = False
             try:
                 try:
@@ -431,7 +441,9 @@ class NubSession(Transport):
         features = ((protocol.FEATURE_CRC if self.want_crc else 0)
                     | (protocol.FEATURE_SEQ if self.want_seq else 0)
                     | (protocol.FEATURE_ACK if self.want_ack else 0)
-                    | (protocol.FEATURE_BLOCK if self.want_block else 0))
+                    | (protocol.FEATURE_BLOCK if self.want_block else 0)
+                    | (protocol.FEATURE_TIMETRAVEL
+                       if self.want_timetravel else 0))
         if not features:
             self.hello_done = True
             return
@@ -448,13 +460,16 @@ class NubSession(Transport):
             self.seq_active = bool(accepted & protocol.FEATURE_SEQ)
             self.ack_active = bool(accepted & protocol.FEATURE_ACK)
             self.block_active = bool(accepted & protocol.FEATURE_BLOCK)
+            self.timetravel_active = bool(accepted
+                                          & protocol.FEATURE_TIMETRAVEL)
             self.channel.crc = self.crc_active
             self.channel.seq_mode = self.seq_active
         else:
             # a legacy nub: plain frames, unacknowledged controls,
-            # per-word memory traffic only
+            # per-word memory traffic only, no time travel
             self.crc_active = self.seq_active = self.ack_active = False
             self.block_active = False
+            self.timetravel_active = False
         self.hello_done = True
 
     def _flush(self) -> None:

@@ -1,0 +1,31 @@
+"""Time-travel debugging: checkpoint/replay with reverse execution.
+
+The four simulated targets are fully deterministic, so the classic
+record/replay construction applies: take cheap copy-on-write
+checkpoints as the target runs forward, and implement every *reverse*
+command as "restore an earlier checkpoint, replay forward, stop one
+event short".  Checkpoints live **nub-side** (the images never cross
+the wire — only small ids and instruction counts do), and replay is
+driven over the ordinary nub protocol with one new control message,
+``RUNTO``, that bounds execution by retired-instruction count.
+
+The pieces:
+
+* :class:`CheckpointRing` — the debugger's metadata about the nub-side
+  checkpoints: a bounded ring that always retains the base (oldest)
+  checkpoint and recycles the rest FIFO;
+* :class:`ReplayController` — drives recording (chunked RUNTO with
+  automatic checkpoints), ``reverse-continue``, ``reverse-step``,
+  ``reverse-next``, and ``goto-icount``.
+"""
+
+from .replay import Hit, ReplayController, ReplayError
+from .ring import Checkpoint, CheckpointRing
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointRing",
+    "Hit",
+    "ReplayController",
+    "ReplayError",
+]

@@ -1,0 +1,321 @@
+"""The replay controller: reverse execution by checkpoint + re-run.
+
+Reverse commands never execute backwards.  Each one is a *search over
+forward replays*: restore the nearest earlier checkpoint, replay
+forward under a ``RUNTO`` bound recording where the interesting stops
+(breakpoint hits) land, then restore once more and replay **to** the
+chosen stop.  Determinism of the simulated targets makes the replays
+byte-exact, and the search visits checkpoint windows newest-first so
+the common case — the hit is in the most recent window — costs one
+window replay plus one landing replay.
+
+The controller also drives *recording*: forward execution is chunked
+with ``RUNTO`` so an automatic checkpoint is taken every ``interval``
+retired instructions, plus one at every user-visible stop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..machines.isa import SIGTRAP
+from .ring import Checkpoint, CheckpointRing
+
+
+class ReplayError(Exception):
+    """A reverse command could not be satisfied (nothing earlier
+    recorded, history exhausted, or the target is in the wrong state)."""
+
+
+class Hit:
+    """One breakpoint stop observed during a replay scan."""
+
+    __slots__ = ("icount", "pc", "sp")
+
+    def __init__(self, icount: int, pc: int, sp: Optional[int]):
+        self.icount = icount
+        self.pc = pc
+        self.sp = sp
+
+    def __repr__(self) -> str:
+        return "<hit icount=%d pc=0x%x>" % (self.icount, self.pc)
+
+
+class ReplayController:
+    """Checkpoint/replay for one target.
+
+    ``interval`` is the automatic-checkpoint spacing in retired
+    instructions: smaller means faster reverse commands (shorter
+    replays) but more copy-on-write captures while running forward.
+    ``capacity`` bounds how many checkpoints the nub holds at once.
+    """
+
+    def __init__(self, target, interval: int = 5_000, capacity: int = 32,
+                 timeout: float = 30.0, max_stops: int = 100_000):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.target = target
+        self.interval = interval
+        self.ring = CheckpointRing(capacity)
+        self.timeout = timeout
+        #: safety bound on stops consumed inside one replay loop
+        self.max_stops = max_stops
+
+    # -- recording ---------------------------------------------------------
+
+    def enable(self) -> Checkpoint:
+        """Start recording at the current stop: the base checkpoint.
+        Everything from here on is reachable by reverse commands."""
+        self._require_stopped()
+        return self._ensure_checkpoint_here()
+
+    def continue_forward(self, timeout: Optional[float] = None) -> str:
+        """The recording 'continue': chunk execution with RUNTO, taking
+        an automatic checkpoint at every interval boundary and one more
+        at the stop that ends the chunk run.  Returns the target state
+        exactly like ``Target.wait_for_stop``."""
+        timeout = self.timeout if timeout is None else timeout
+        t = self.target
+        self._require_stopped()
+        # resuming forward after time travel: the recorded future may
+        # diverge from what happens now, so forget it
+        here = t.current_icount()
+        for stale in self.ring.drop_future(here):
+            t.drop_checkpoint(stale.cid)
+        for _ in range(self.max_stops):
+            here = t.current_icount()
+            t.run_to_icount(here + self.interval, at_pc=self._skip_pc())
+            state = self._wait(timeout)
+            if state != "stopped":
+                return state
+            if t.at_icount_stop():
+                self._checkpoint_here(kind="auto")
+                continue
+            self._checkpoint_here(kind="stop")
+            return state
+        raise ReplayError("recording ran %d chunks without a real stop"
+                          % self.max_stops)
+
+    # -- reverse commands --------------------------------------------------
+
+    def reverse_continue(self):
+        """Rewind to the most recent breakpoint hit strictly before the
+        current position; returns the landing :class:`Hit`."""
+        return self._reverse(lambda hit: True,
+                             what="breakpoint hit")
+
+    def reverse_step(self):
+        """Rewind to the previous stopping point (source-level step
+        backwards, into calls)."""
+        temps = self._plant_temps()
+        try:
+            return self._reverse(lambda hit: True, what="stopping point")
+        finally:
+            self._remove_temps(temps)
+
+    def reverse_next(self):
+        """Rewind to the previous stopping point in the same or a
+        shallower frame (source-level step backwards, over calls)."""
+        self._require_stopped()
+        origin_sp = self._sp()
+        temps = self._plant_temps()
+
+        def same_or_shallower(hit: Hit) -> bool:
+            if origin_sp is None or hit.sp is None:
+                return True
+            return hit.sp >= origin_sp  # stacks grow downward
+
+        try:
+            return self._reverse(same_or_shallower,
+                                 what="stopping point at this depth")
+        finally:
+            self._remove_temps(temps)
+
+    def goto_icount(self, icount: int) -> str:
+        """Travel to an absolute position: restore the nearest earlier
+        checkpoint and replay forward (or just replay forward when the
+        position is ahead).  Returns the final target state."""
+        self._require_stopped()
+        t = self.target
+        here = t.current_icount()
+        if icount < here:
+            ck = self.ring.at_or_before(icount)
+            if ck is None:
+                raise ReplayError(
+                    "icount %d predates the recorded history" % icount)
+            self._restore(ck)
+        return self._run_to(icount)
+
+    # -- the reverse search ------------------------------------------------
+
+    def _reverse(self, keep: Callable[[Hit], bool], what: str) -> Hit:
+        """Restore-and-replay search, newest checkpoint window first.
+
+        Each window ``(ck.icount, end)`` is scanned by one forward
+        replay that records every breakpoint stop; the last surviving
+        hit wins and a second, targeted replay lands on it.  A window
+        with no hits shrinks ``end`` to its checkpoint, whose own stop
+        is the remaining candidate before moving to an older window.
+        The search leaves the target back at the origin if it fails.
+        """
+        self._require_stopped()
+        t = self.target
+        origin = t.current_icount()
+        origin_ck = self._ensure_checkpoint_here()
+        end = origin
+        for ck in self.ring.before(origin):
+            hits = [h for h in self._scan(ck, end) if keep(h)]
+            if hits:
+                hit = hits[-1]
+                self._restore(ck)
+                self._run_to(hit.icount)
+                return hit
+            if (ck.kind == "stop" and ck.signo == SIGTRAP
+                    and ck.sigcode == 0
+                    and t.breakpoints.at(ck.pc) is not None):
+                # the checkpoint itself sits at a breakpoint stop (not,
+                # say, the entry pause): a candidate
+                hit = Hit(ck.icount, ck.pc, ck.sp)
+                if keep(hit):
+                    self._restore(ck)
+                    return hit
+            end = ck.icount
+        self._restore(origin_ck)
+        raise ReplayError("no earlier %s in the recorded history" % what)
+
+    def _scan(self, ck: Checkpoint, end: int) -> List[Hit]:
+        """Replay the window ``(ck.icount, end)`` once, recording every
+        breakpoint stop before ``end``."""
+        t = self.target
+        self._restore(ck)
+        hits: List[Hit] = []
+        for _ in range(self.max_stops):
+            t.run_to_icount(end, at_pc=self._skip_pc())
+            state = self._wait(self.timeout)
+            if state != "stopped":
+                return hits  # the window ends in the origin exit
+            if t.at_icount_stop():
+                return hits  # the RUNTO bound: window exhausted
+            icount = t.current_icount()
+            if icount >= end:
+                return hits  # the origin event itself re-fired
+            if t.at_breakpoint():
+                hits.append(Hit(icount, t.stop_pc(), self._sp()))
+            elif t.signo != SIGTRAP:
+                return hits  # a mid-window signal: scan no further
+        raise ReplayError("replay scan exceeded %d stops" % self.max_stops)
+
+    def _run_to(self, icount: int) -> str:
+        """Replay forward until the stop at exactly ``icount``, resuming
+        through earlier breakpoint traps.  A trap retiring as the
+        ``icount``-th instruction beats the RUNTO bound, so a landing on
+        a breakpoint hit arrives as the genuine SIGTRAP stop."""
+        t = self.target
+        for _ in range(self.max_stops):
+            if t.state != "stopped":
+                return t.state
+            if t.current_icount() >= icount:
+                return "stopped"
+            if t.signo != SIGTRAP:
+                return "stopped"  # a fatal signal blocks the way forward
+            t.run_to_icount(icount, at_pc=self._skip_pc())
+            self._wait(self.timeout)
+        raise ReplayError("landing replay exceeded %d stops"
+                          % self.max_stops)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _require_stopped(self) -> None:
+        if self.target.state != "stopped":
+            raise ReplayError("target %s is %s, not stopped"
+                              % (self.target.name, self.target.state))
+
+    def _wait(self, timeout: float) -> str:
+        """Wait for a stop, riding out connection deaths: the nub keeps
+        the target (and every checkpoint) across a reconnect."""
+        t = self.target
+        for _ in range(8):
+            state = t.wait_for_stop(timeout)
+            if state == "reconnecting":
+                t.reconnect()
+                if t.state != "running":
+                    return t.state
+                continue
+            return state
+        raise ReplayError("connection kept dying while waiting for a stop")
+
+    def _skip_pc(self) -> Optional[int]:
+        """Where to resume from the current stop.
+
+        A trap stop (a breakpoint, the entry pause — sigcode 0) resumes
+        *past* the no-op: the trap already retired in the no-op's place,
+        and re-executing the site would retire it twice and shear every
+        replay's icounts off by one.  This must hold even when the
+        breakpoint has since been removed from the table (a temporary
+        one, say): what matters is that a trap fired here, not whether
+        it is still planted.  An icount stop has not executed the
+        instruction at pc yet, so it resumes in place.
+        """
+        t = self.target
+        if t.state != "stopped" or t.signo != SIGTRAP:
+            return None
+        if t.at_icount_stop():
+            return None
+        return t.breakpoints.resume_pc(t.stop_pc())
+
+    def _sp(self) -> Optional[int]:
+        try:
+            return self.target.top_frame().sp
+        except Exception:
+            return None  # an unwalkable stop (corrupt stack, etc.)
+
+    def _checkpoint_here(self, kind: str) -> Checkpoint:
+        t = self.target
+        icount = t.current_icount()
+        existing = self.ring.find(icount)
+        if existing is not None:
+            return existing  # determinism: same icount, same state
+        cid, icount = t.take_checkpoint()
+        ck = Checkpoint(cid, icount, t.stop_pc(), self._sp(),
+                        t.signo, t.sigcode, kind)
+        for evicted in self.ring.add(ck):
+            t.drop_checkpoint(evicted.cid)
+        return ck
+
+    def _ensure_checkpoint_here(self) -> Checkpoint:
+        return self._checkpoint_here(kind="stop")
+
+    def _restore(self, ck: Checkpoint) -> None:
+        """Restore a checkpoint and put back the stop identity it was
+        taken at (``Target.restore_checkpoint`` can only assume a plain
+        trap stop; the ring knows better)."""
+        self.target.restore_checkpoint(ck.cid)
+        self.target.signo = ck.signo
+        self.target.sigcode = ck.sigcode
+
+    # -- temporary breakpoints for reverse stepping ------------------------
+
+    def _plant_temps(self) -> List[int]:
+        """Make every stopping point a stop, as the event engine does
+        for forward stepping — reverse stepping is the same trick run
+        inside a replay."""
+        t = self.target
+        temps: List[int] = []
+        for proc_entry in t.symtab.procs():
+            for stop in t.symtab.loci(proc_entry):
+                address = t.symtab.stop_address(stop)
+                if address is None or t.breakpoints.at(address) is not None:
+                    continue
+                try:
+                    t.breakpoints.plant(address, note="reverse-step")
+                except Exception:
+                    continue  # e.g. the current stop sits on this no-op
+                temps.append(address)
+        return temps
+
+    def _remove_temps(self, temps: List[int]) -> None:
+        for address in temps:
+            try:
+                self.target.breakpoints.remove(address)
+            except Exception:
+                pass

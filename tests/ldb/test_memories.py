@@ -418,3 +418,37 @@ class TestCachingMemory:
         fake = FakeNubTransport()
         with pytest.raises(ValueError):
             CachingMemory(WireMemory(fake), byteorder="middle")
+
+
+class TestTimeTravelStats:
+    """The time-travel verbs are wire traffic too: each one notes
+    itself so `info stats`-style tooling can account for it."""
+
+    def make_target(self):
+        from .helpers import session
+        ldb, target = session()
+        return ldb, target
+
+    def test_checkpoint_restore_and_drop_are_counted(self):
+        ldb, target = self.make_target()
+        before = target.stats.snapshot()
+        cid, _ = target.take_checkpoint()
+        target.restore_checkpoint(cid)
+        target.drop_checkpoint(cid)
+        delta = target.stats.diff(before)
+        assert delta.get("wire.checkpoint") == 1
+        assert delta.get("wire.restore") == 1
+        assert delta.get("wire.dropckpt") == 1
+
+    def test_runto_is_counted_per_chunk(self):
+        ldb, target = self.make_target()
+        before = target.stats.snapshot()
+        here = target.current_icount()
+        # resume past the entry-pause no-op, like any resume from a trap
+        target.run_to_icount(here + 5,
+                             at_pc=target.breakpoints.resume_pc(
+                                 target.stop_pc()))
+        target.wait_for_stop()
+        assert target.at_icount_stop()
+        delta = target.stats.diff(before)
+        assert delta.get("wire.runto") == 1

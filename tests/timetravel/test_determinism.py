@@ -1,0 +1,90 @@
+"""The property time travel rests on: the simulated machines are
+deterministic, so snapshot -> run k -> restore -> run k reaches a
+byte-identical state — registers, memory, output, everything — on
+every target architecture."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc.driver import compile_and_link
+from repro.machines import ARCH_NAMES, FaultEvent, Process, SIGTRAP
+
+WORK = """int a[20];
+void fill(int n) {
+    int i;
+    a[0] = a[1] = 1;
+    for (i = 2; i < n; i++)
+        a[i] = a[i-1] + a[i-2];
+}
+int main(void) {
+    int j;
+    fill(18);
+    for (j = 0; j < 18; j++)
+        printf("%d ", a[j]);
+    printf("\\n");
+    return 0;
+}
+"""
+
+_EXES = {}
+
+
+def _exe(arch):
+    if arch not in _EXES:
+        _EXES[arch] = compile_and_link({"work.c": WORK}, arch, debug=True)
+    return _EXES[arch]
+
+
+def _start(arch):
+    """A process just past the entry pause."""
+    p = Process(_exe(arch), stdout=io.StringIO())
+    event = p.run_until_event()
+    assert isinstance(event, FaultEvent) and event.signo == SIGTRAP
+    p.cpu.pc = event.pc + p.arch.noop_advance
+    return p
+
+
+def _advance(p, k):
+    """Retire up to k more instructions (fewer only if the program
+    exits first — which is itself deterministic)."""
+    bound = p.cpu.icount + k
+    while p.exited is None and p.cpu.icount < bound:
+        p.run_until_event(stop_at_icount=bound)
+
+
+def _state(p):
+    return (list(p.cpu.regs), list(p.cpu.fregs), p.cpu.pc, p.cpu.icount,
+            bytes(p.mem.bytes), p.output(), p.exited)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arch=st.sampled_from(ARCH_NAMES),
+       lead=st.integers(0, 400),
+       k=st.integers(1, 600))
+def test_snapshot_replay_is_byte_identical(arch, lead, k):
+    p = _start(arch)
+    _advance(p, lead)
+    snap = p.snapshot()
+    _advance(p, k)
+    first = _state(p)
+    p.restore(snap)
+    _advance(p, k)
+    assert _state(p) == first
+
+
+@settings(max_examples=10, deadline=None)
+@given(arch=st.sampled_from(ARCH_NAMES), lead=st.integers(0, 300))
+def test_restore_is_repeatable(arch, lead):
+    """One snapshot supports any number of replays (the reverse search
+    restores the same checkpoint repeatedly)."""
+    p = _start(arch)
+    _advance(p, lead)
+    snap = p.snapshot()
+    results = []
+    for _ in range(3):
+        _advance(p, 250)
+        results.append(_state(p))
+        p.restore(snap)
+    assert results[0] == results[1] == results[2]
