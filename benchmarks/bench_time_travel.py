@@ -79,7 +79,8 @@ def run_plain():
     started = time.perf_counter()
     last_hit = _run_to_crash(ldb, target)
     seconds = time.perf_counter() - started
-    stats = {"seconds": seconds, "round_trips": target.stats.round_trips(),
+    stats = {"seconds": seconds,
+             "round_trips": ldb.obs.metrics.total("wire."),
              "last_hit": last_hit, "crash_icount": target.current_icount()}
     target.kill()
     return stats
@@ -88,11 +89,14 @@ def run_plain():
 def run_recorded(interval: int):
     ldb = Ldb(stdout=io.StringIO())
     target = ldb.load_program(_exe())
+    # all counters come from the unified registry: wire.* mirrors the
+    # memory DAG, replay.* comes from the controller itself
+    metrics = ldb.obs.metrics
     replay = ldb.enable_time_travel(interval=interval, capacity=64)
     started = time.perf_counter()
     last_hit = _run_to_crash(ldb, target)
     record_seconds = time.perf_counter() - started
-    record_trips = target.stats.round_trips()
+    record_trips = metrics.total("wire.")
     crash_icount = target.current_icount()
 
     started = time.perf_counter()
@@ -104,7 +108,10 @@ def run_recorded(interval: int):
         "record_round_trips": record_trips,
         "checkpoints": len(replay.ring),
         "reverse_seconds": reverse_seconds,
-        "reverse_round_trips": target.stats.round_trips() - record_trips,
+        "reverse_round_trips": metrics.total("wire.") - record_trips,
+        "reverse_windows": metrics.get("replay.windows"),
+        "reverse_restores": metrics.get("replay.restores"),
+        "replayed_instructions": metrics.get("replay.instructions_replayed"),
         "last_hit": last_hit,
         "crash_icount": crash_icount,
         "landed_icount": hit.icount,

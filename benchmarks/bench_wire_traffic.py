@@ -53,10 +53,14 @@ def run_workload(arch: str, cache: bool, block_nub: bool = True):
     results.append(ldb.print_variable("a", frame=frame))
     results.append(ldb.registers_text())
     elapsed = time.perf_counter() - started
+    # every number below reads from the unified Metrics registry: the
+    # memory DAG's wire.*/cache.* counters are mirrored into it and the
+    # session adds its own session.* family (requests, bytes, retries)
+    metrics = ldb.obs.metrics
     stats = {
-        "round_trips": target.stats.round_trips(),
+        "round_trips": metrics.total("wire."),
         "seconds": elapsed,
-        "counters": target.stats.snapshot(),
+        "counters": metrics.snapshot(),
     }
     try:
         target.kill()
@@ -97,7 +101,11 @@ def measure(reps: int) -> dict:
                        "seconds": cached["seconds"],
                        "blockfetches":
                            cached["counters"].get("wire.blockfetch", 0),
-                       "cache_hits": cached["counters"].get("cache.hit", 0)},
+                       "cache_hits": cached["counters"].get("cache.hit", 0),
+                       "bytes_out":
+                           cached["counters"].get("session.bytes_out", 0),
+                       "bytes_in":
+                           cached["counters"].get("session.bytes_in", 0)},
             "legacy_fallback": {"round_trips": legacy["round_trips"]},
             "reduction": round(reduction, 2),
             "identical": cached_results == base_results,

@@ -25,8 +25,12 @@ Commands::
     where
     registers / regs
     info breaks | info checkpoints
+    stats
+    trace on | trace off | trace dump [file]
     targets / target <name>
     kill / quit
+
+See docs/ldb.md for the full command reference.
 """
 
 from __future__ import annotations
@@ -133,6 +137,10 @@ class Cli:
             self.out.write(self.ldb.registers_text())
         elif verb == "info":
             self.cmd_info(rest)
+        elif verb == "stats":
+            self.cmd_stats()
+        elif verb == "trace":
+            self.cmd_trace(rest)
         elif verb == "targets":
             for name, target in self.ldb.targets.items():
                 marker = "*" if target is self.ldb.current else " "
@@ -147,7 +155,8 @@ class Cli:
         else:
             self.say("ldb: unknown command %r (try: break condition run step next "
                      "record reverse-continue reverse-step reverse-next goto "
-                     "print set backtrace where registers targets quit)" % verb)
+                     "print set backtrace where registers stats trace targets "
+                     "quit)" % verb)
 
     def cmd_record(self, rest: str) -> None:
         interval = int(rest) if rest else 5_000
@@ -238,6 +247,44 @@ class Cli:
                          % (ck.cid, ck.icount, ck.pc, ck.kind))
         else:
             self.say("info: breaks | checkpoints")
+
+    # -- observability ------------------------------------------------------
+
+    def cmd_stats(self) -> None:
+        """Print every nonzero metric in the debugger's registry."""
+        snapshot = self.ldb.obs.metrics.snapshot()
+        if not snapshot:
+            self.say("no metrics recorded")
+            return
+        width = max(len(name) for name in snapshot)
+        for name in sorted(snapshot):
+            value = snapshot[name]
+            text = "%g" % value if isinstance(value, float) else str(value)
+            self.say("%-*s  %s" % (width, name, text))
+
+    def cmd_trace(self, rest: str) -> None:
+        tracer = self.ldb.obs.tracer
+        arg, _, operand = rest.partition(" ")
+        if arg == "on":
+            tracer.enable()
+            self.say("tracing on")
+        elif arg == "off":
+            tracer.disable()
+            self.say("tracing off")
+        elif arg == "dump":
+            path = operand.strip()
+            if path:
+                with open(path, "w") as f:
+                    count = len(tracer.records())
+                    f.write(tracer.dump())
+                self.say("%d trace records written to %s" % (count, path))
+            else:
+                self.out.write(tracer.dump())
+        elif arg == "clear":
+            tracer.clear()
+            self.say("trace buffer cleared")
+        else:
+            self.say("trace: on | off | dump [file] | clear")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

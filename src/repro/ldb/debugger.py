@@ -17,6 +17,7 @@ from ..cc.driver import loader_table_ps
 from ..machines import Executable, Process
 from ..nub.channel import Channel, connect, pair
 from ..nub.nub import Nub, NubRunner
+from ..obs import Observability
 from ..postscript import Interp, PSDict, new_interp
 from .breakpoints import BreakpointError
 from .frames import Frame
@@ -36,6 +37,9 @@ class Ldb:
         self._expr_client = None
         self._events = None
         self._next_target = 0
+        #: one observability hub for the whole debugger: every target's
+        #: session, memory DAG, and replay controller report into it
+        self.obs = Observability()
 
     # -- connecting to targets ---------------------------------------------
 
@@ -65,7 +69,7 @@ class Ldb:
         """
         table = self.read_loader_table(table_ps)
         target = Target(self.interp, channel, table, self._new_target_name(),
-                        connector=connector, cache=cache)
+                        connector=connector, cache=cache, obs=self.obs)
         self.targets[target.name] = target
         self.current = target
         if wait:

@@ -38,14 +38,25 @@ class MemoryStats:
     counters, :meth:`diff` to get the increments since a snapshot, and
     :meth:`round_trips` for the wire-message total — the number the
     block-transfer protocol exists to shrink.
+
+    When constructed with a ``metrics`` registry
+    (:class:`repro.obs.Metrics`), every count is mirrored into it under
+    the same dotted name, folding the DAG's counters into the unified
+    observability registry — :class:`~repro.ldb.target.Target` passes
+    its hub's registry, which is what ``ldb stats`` and the benchmarks
+    read.  The local snapshot/diff API is unchanged either way.
     """
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self.counts: Dict[str, int] = {}
+        #: optional repro.obs.Metrics registry mirroring these counts
+        self.metrics = metrics
 
     def note(self, memory_name: str, what: str) -> None:
         key = "%s.%s" % (memory_name, what)
         self.counts[key] = self.counts.get(key, 0) + 1
+        if self.metrics is not None:
+            self.metrics.inc(key)
 
     def of(self, memory_name: str, what: str) -> int:
         return self.counts.get("%s.%s" % (memory_name, what), 0)

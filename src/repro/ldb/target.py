@@ -52,15 +52,25 @@ class Target:
     def __init__(self, interp: Interp, channel: Optional[Channel],
                  loader_table: PSDict, name: str = "t0", connector=None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 transport: Optional[Transport] = None, cache: bool = True):
+                 transport: Optional[Transport] = None, cache: bool = True,
+                 obs=None):
         self.interp = interp
+        # one observability hub per debug stack: adopt the caller's
+        # (usually the Ldb's), else share the session's, else make one
+        from ..obs import Observability  # deferred: obs decodes via repro.nub
+        if obs is None and isinstance(transport, NubSession):
+            obs = transport.obs
+        #: the shared metrics registry + tracer (repro.obs.Observability)
+        self.obs = obs if obs is not None else Observability()
         if transport is None:
             transport = NubSession(channel=channel, connector=connector,
                                    policy=retry_policy,
-                                   on_reconnect=self._session_reconnected)
-        elif (isinstance(transport, NubSession)
-              and transport.on_reconnect is None):
-            transport.on_reconnect = self._session_reconnected
+                                   on_reconnect=self._session_reconnected,
+                                   obs=self.obs)
+        elif isinstance(transport, NubSession):
+            transport.obs = self.obs
+            if transport.on_reconnect is None:
+                transport.on_reconnect = self._session_reconnected
         #: how this target talks to its nub (the memory, breakpoint, and
         #: control paths all go through it)
         self.transport = transport
@@ -72,7 +82,7 @@ class Target:
         self.arch_name = toplevel["architecture"].text
         # the architecture name selects the machine-dependent code & data
         self.machdep = machdep_for(self.arch_name)
-        self.stats = MemoryStats()
+        self.stats = MemoryStats(metrics=self.obs.metrics)
         self.wiremem = WireMemory(self.transport, stats=self.stats)
         if cache:
             self.wire = CachingMemory(self.wiremem,
@@ -173,9 +183,17 @@ class Target:
             self.signo, self.sigcode, self.context_addr = protocol.parse_signal(msg)
             self.state = "stopped"
             self._top_frame = None
+            self.obs.metrics.inc("target.stops")
+            # record only fields already in hand: fetching the pc here
+            # would add wire traffic, breaking tracing neutrality
+            self.obs.tracer.event("target.stop", target=self.name,
+                                  signo=self.signo, code=self.sigcode)
         elif msg.mtype == protocol.MSG_EXITED:
             self.exit_status = protocol.parse_exited(msg)
             self.state = "exited"
+            self.obs.metrics.inc("target.exits")
+            self.obs.tracer.event("target.exit", target=self.name,
+                                  status=self.exit_status)
         else:
             raise TargetError("unexpected nub message %r" % (msg,))
         return self.state
@@ -197,6 +215,7 @@ class Target:
             self.transport.control(protocol.cont())
         except TransportError as err:
             raise TargetError("continue failed: %s" % err)
+        self.obs.tracer.event("target.cont", target=self.name)
         self.state = "running"
         self._top_frame = None
         self.wire.invalidate()
@@ -213,6 +232,7 @@ class Target:
             self.transport.control(protocol.kill())
         except TransportError as err:
             raise TargetError("kill failed: %s" % err)
+        self.obs.tracer.event("target.kill", target=self.name)
         self.state = "exited"
         self.wire.invalidate()
 
@@ -223,6 +243,7 @@ class Target:
             self.transport.control(protocol.detach())
         except TransportError as err:
             raise TargetError("detach failed: %s" % err)
+        self.obs.tracer.event("target.detach", target=self.name)
         self.transport.close()
         self.state = "disconnected"
         self.wire.invalidate()
@@ -273,7 +294,11 @@ class Target:
         self.stats.note("wire", "checkpoint")
         reply = self._tt_transact(protocol.checkpoint(),
                                   expect=(protocol.MSG_CKPT,))
-        return protocol.parse_ckpt(reply)
+        cid, icount = protocol.parse_ckpt(reply)
+        self.obs.metrics.inc("target.checkpoints")
+        self.obs.tracer.event("target.checkpoint", target=self.name,
+                              ckpt=cid, icount=icount)
+        return cid, icount
 
     def restore_checkpoint(self, cid: int) -> int:
         """Rewind the target to a checkpoint; returns its icount.
@@ -289,6 +314,11 @@ class Target:
         reply = self._tt_transact(protocol.restore(cid),
                                   expect=(protocol.MSG_CKPT,))
         _cid, icount = protocol.parse_ckpt(reply)
+        # like a reconnect, this silently rewrites the whole machine
+        # state under the debugger: one warning-level mark per restore
+        self.obs.metrics.inc("target.restores")
+        self.obs.tracer.warn("target.restore", target=self.name,
+                             ckpt=cid, icount=icount)
         self.wire.invalidate()
         self._top_frame = None
         from ..machines.isa import SIGTRAP
@@ -319,6 +349,8 @@ class Target:
             self.wire.store(self.machdep.pc_context_location(self.context_addr),
                             "i32", at_pc)
         self.stats.note("wire", "runto")
+        self.obs.tracer.event("target.runto", target=self.name,
+                              icount=target_icount)
         try:
             self.transport.control(protocol.runto(target_icount))
         except TransportError as err:
@@ -339,11 +371,18 @@ class Target:
         """Session hook: a new connection found the target stopped.
         Apply the re-announced stop and resynchronize breakpoints."""
         self.wire.invalidate()
-        if session.last_signal is not None:
+        announced = session.last_signal is not None
+        if announced:
             self.signo, self.sigcode, self.context_addr = session.last_signal
             self.state = "stopped"
             self._top_frame = None
         self.breakpoints.resync()
+        # the one warning per resync: a reconnect silently rewrites the
+        # target's stop state and replants traps, so leave a visible mark
+        self.obs.metrics.inc("target.reconnects")
+        self.obs.tracer.warn("target.reconnect", target=self.name,
+                             announced=announced,
+                             breakpoints=len(self.breakpoints.planted))
 
     def reconnect(self) -> None:
         """Re-attach after a lost connection (or debugger crash): a new

@@ -169,7 +169,18 @@ class Nub:
                  accept_timeout: Optional[float] = 30.0,
                  breakpoint_extension: bool = True,
                  block_extension: bool = True,
-                 timetravel_extension: bool = True):
+                 timetravel_extension: bool = True,
+                 obs=None):
+        if obs is None:
+            # imported here: repro.obs decodes frames via repro.nub, so
+            # a module-level import would be circular
+            from ..obs import Observability
+            obs = Observability()
+        #: tracing + metrics for the nub side (``nub.*`` names).  Kept
+        #: separate from the debugger's hub by default: the nub runs on
+        #: its own thread, and interleaving its records into the
+        #: debugger's trace would make transcripts racy.
+        self.obs = obs
         self.process = process
         self.arch = process.arch
         self.channel = channel
@@ -218,6 +229,7 @@ class Nub:
             event = self.process.run_until_event(stop_at_icount=stop_at)
             if isinstance(event, ExitEvent):
                 self.exit_status = event.status
+                self.obs.tracer.event("nub.exit", status=event.status)
                 self._send(protocol.exited(event.status))
                 if self.channel is not None:
                     self.channel.close()
@@ -246,6 +258,9 @@ class Nub:
     def handle_signal(self, event: FaultEvent) -> str:
         """Save a context, notify the debugger, service requests."""
         cpu = self.process.cpu
+        self.obs.metrics.inc("nub.stops")
+        self.obs.tracer.event("nub.stop", signo=event.signo, code=event.code,
+                              pc="0x%x" % event.pc)
         self.md.save_context(cpu, self.process.mem, self.context_addr, event.pc)
         while True:
             if self.channel is None:
@@ -290,15 +305,20 @@ class Nub:
             try:
                 msg = self.channel.recv()
             except protocol.CrcError:
+                self.obs.metrics.inc("nub.bad_frames")
                 self._reply_seq = None
                 self.channel.send(protocol.error(protocol.ERR_BAD_MESSAGE))
                 continue
             except protocol.FrameError:
+                self.obs.metrics.inc("nub.framing_lost")
                 return "reset"  # recv already dropped the connection
+            self.obs.metrics.inc("nub.frames")
+            self._trace_frame("nub.recv", msg)
             self._reply_seq = msg.seq
             try:
                 outcome = self._dispatch(msg)
             except protocol.ProtocolError:
+                self.obs.metrics.inc("nub.bad_frames")
                 self._reply(protocol.error(protocol.ERR_BAD_MESSAGE))
                 continue
             if outcome is not None:
@@ -389,7 +409,16 @@ class Nub:
         """Send a reply echoing the request's sequence id, so a
         retrying debugger can match it."""
         msg.seq = self._reply_seq
+        self.obs.metrics.inc("nub.replies")
+        self._trace_frame("nub.send", msg)
         self.channel.send(msg)
+
+    def _trace_frame(self, name: str, msg) -> None:
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return
+        from ..obs import wiretap  # deferred: see __init__
+        tracer.event(name, **wiretap.describe(msg))
 
     def _do_hello(self, msg) -> None:
         _version, features = protocol.parse_hello(msg)

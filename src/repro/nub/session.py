@@ -21,7 +21,12 @@ crashes — are absorbed instead of surfacing as exceptions.
 * against a legacy nub that answers HELLO with an error, the session
   degrades to plain frames and best-effort controls — the baseline
   debugger keeps working, exactly in the spirit of the paper's optional
-  protocol extensions.
+  protocol extensions;
+* every exchange is observable: the session feeds the unified
+  :mod:`repro.obs` registry (``session.*`` counters, a round-trip
+  latency histogram) and, when tracing is enabled, records each frame
+  *decoded* — opcode, fields, sequence id, byte size — so a session
+  transcript is human-readable and diffable.
 """
 
 from __future__ import annotations
@@ -189,7 +194,15 @@ class NubSession(Transport):
                  want_ack: bool = True, want_block: bool = True,
                  want_timetravel: bool = True,
                  reply_timeout: float = 10.0,
-                 on_reconnect: Optional[Callable[["NubSession"], None]] = None):
+                 on_reconnect: Optional[Callable[["NubSession"], None]] = None,
+                 obs=None):
+        if obs is None:
+            # imported here: repro.obs decodes frames via repro.nub, so
+            # a module-level import would be circular
+            from ..obs import Observability
+            obs = Observability()
+        #: the unified tracing + metrics hub (repro.obs.Observability)
+        self.obs = obs
         self.channel = channel
         self.connector = connector
         self.policy = policy if policy is not None else RetryPolicy()
@@ -235,16 +248,29 @@ class NubSession(Transport):
         timeout = self.reply_timeout if timeout is None else timeout
         expect = tuple(expect)
         msg.seq = self._next_seq()
+        metrics = self.obs.metrics
+        metrics.inc("session.requests")
         last_err: Optional[BaseException] = None
         for attempt in range(self.policy.max_attempts):
             if attempt:
                 self.retries += 1
+                metrics.inc("session.retries")
                 time.sleep(self.policy.delay(attempt - 1))
             try:
                 self._ensure_channel()
                 self._ensure_handshake()
+                self._trace_frame("wire.send", msg, attempt=attempt)
+                metrics.inc("session.sends")
+                metrics.inc("session.bytes_out", self._frame_size(msg))
+                started = time.perf_counter()
                 self.channel.send(msg)
-                return self._await_reply(msg, expect, timeout)
+                reply = self._await_reply(msg, expect, timeout)
+                metrics.observe("session.latency_us",
+                                int((time.perf_counter() - started) * 1e6))
+                metrics.inc("session.replies")
+                metrics.inc("session.bytes_in", self._frame_size(reply))
+                self._trace_frame("wire.recv", reply)
+                return reply
             except ChannelClosed as err:
                 last_err = err
                 self._drop_channel()
@@ -288,6 +314,9 @@ class NubSession(Transport):
         if self.ack_active:
             self.request(msg, expect=(protocol.MSG_OK,))
         else:
+            self._trace_frame("wire.send", msg)
+            self.obs.metrics.inc("session.sends")
+            self.obs.metrics.inc("session.bytes_out", self._frame_size(msg))
             self.channel.send(msg)
 
     def send(self, msg: protocol.Message) -> None:
@@ -312,8 +341,10 @@ class NubSession(Transport):
                 raise ChannelClosed("unrecoverable framing: %s" % err)
             if msg.mtype == protocol.MSG_SIGNAL:
                 self.last_signal = protocol.parse_signal(msg)
+                self._count_event(msg)
                 return msg
             if msg.mtype == protocol.MSG_EXITED:
+                self._count_event(msg)
                 return msg
 
     def reconnect(self) -> None:
@@ -326,6 +357,22 @@ class NubSession(Transport):
         self._drop_channel()
 
     # -- internals ---------------------------------------------------------
+
+    def _trace_frame(self, name: str, msg: protocol.Message, **extra) -> None:
+        """One decoded frame into the trace (only when tracing is on)."""
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return
+        from ..obs import wiretap  # deferred: obs decodes via this package
+        tracer.event(name, **dict(wiretap.describe(msg), **extra))
+
+    def _frame_size(self, msg: protocol.Message) -> int:
+        return ((9 if self.seq_active else 5) + len(msg.payload)
+                + (4 if self.crc_active else 0))
+
+    def _count_event(self, msg: protocol.Message) -> None:
+        self.obs.metrics.inc("session.events")
+        self._trace_frame("wire.event", msg)
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -364,6 +411,7 @@ class NubSession(Transport):
     def _note_event(self, msg: protocol.Message) -> None:
         if msg.mtype == protocol.MSG_SIGNAL:
             self.last_signal = protocol.parse_signal(msg)
+        self._count_event(msg)
         self.pending_events.append(msg)
 
     def _ensure_channel(self) -> None:
@@ -420,6 +468,9 @@ class NubSession(Transport):
                 self._drop_channel()
                 continue
             self.reconnects += 1
+            self.obs.metrics.inc("session.reconnects")
+            self.obs.tracer.event("session.reconnect", attempt=attempt,
+                                  announced=got_signal)
             if got_signal:
                 self._run_reconnect_callback()
             return

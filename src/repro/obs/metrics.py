@@ -1,0 +1,194 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Before this layer every module kept its own hand-rolled counters — a
+``MemoryStats`` dict here, a ``retries`` attribute there — and each
+benchmark reached into a different private place to read them.  The
+registry gives the whole debug stack one vocabulary:
+
+* a **counter** only goes up (round-trips, cache misses, retries);
+* a **gauge** holds the latest value (checkpoint-ring occupancy);
+* a **histogram** summarizes a distribution (round-trip latency) as
+  count/sum/min/max — enough for benchmarks without holding samples.
+
+Everything is addressed by a dotted name (``session.round_trips``,
+``cache.miss``, ``replay.restores``) and read with one call:
+:meth:`Metrics.snapshot` freezes the registry into a flat dict, and
+:meth:`Metrics.diff` yields the increments since an earlier snapshot —
+the same snapshot/diff idiom :class:`~repro.ldb.memories.MemoryStats`
+established, now covering every subsystem.
+
+The registry is thread-safe: the nub serve loop runs on a background
+thread and shares the registry with the debugger side in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counter %s cannot decrease" % self.name)
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return "<counter %s=%d>" % (self.name, self.value)
+
+
+class Gauge:
+    """The latest observed value of some level."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "<gauge %s=%r>" % (self.name, self.value)
+
+
+class Histogram:
+    """A streaming summary of a distribution: count, sum, min, max.
+
+    Individual samples are not retained — the consumers (benchmarks,
+    the ``stats`` verb) want totals and means, and keeping samples
+    would make long traced sessions grow without bound.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return ("<histogram %s n=%d mean=%.3g>"
+                % (self.name, self.count, self.mean()))
+
+
+class Metrics:
+    """A registry of named instruments, created on first use.
+
+    One kind per name: asking for ``counter("x")`` after ``gauge("x")``
+    is a programming error and raises ``TypeError``.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError("metric %r is a %s, not a %s"
+                                % (name, type(inst).__name__, cls.__name__))
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- shortcuts (mutate under the lock: concurrent increments from
+    # -- the nub thread and the debugger thread must not be lost) ----------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        inst = self.counter(name)
+        with self._lock:
+            inst.inc(amount)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        inst = self.gauge(name)
+        with self._lock:
+            inst.set(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        inst = self.histogram(name)
+        with self._lock:
+            inst.observe(value)
+
+    # -- reading -----------------------------------------------------------
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        """The current value of a counter or gauge (0 when absent)."""
+        with self._lock:
+            inst = self._instruments.get(name)
+        if inst is None:
+            return default
+        if isinstance(inst, Histogram):
+            return inst.count
+        return inst.value
+
+    def total(self, prefix: str) -> int:
+        """Sum of every counter whose name starts with ``prefix``."""
+        with self._lock:
+            return sum(inst.value for name, inst in self._instruments.items()
+                       if name.startswith(prefix) and isinstance(inst, Counter))
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Freeze the registry into a flat name -> value dict.
+
+        Histograms flatten to ``name.count``, ``name.sum``, ``name.min``
+        and ``name.max`` entries so the snapshot stays JSON-trivial.
+        """
+        out: Dict[str, Number] = {}
+        with self._lock:
+            for name, inst in sorted(self._instruments.items()):
+                if isinstance(inst, Histogram):
+                    out[name + ".count"] = inst.count
+                    out[name + ".sum"] = inst.total
+                    if inst.count:
+                        out[name + ".min"] = inst.min
+                        out[name + ".max"] = inst.max
+                else:
+                    out[name] = inst.value
+        return out
+
+    def diff(self, earlier: Dict[str, Number]) -> Dict[str, Number]:
+        """The changes since an earlier :meth:`snapshot`; unchanged
+        entries are omitted (gauges diff like counters: new - old)."""
+        now = self.snapshot()
+        out: Dict[str, Number] = {}
+        for key, value in now.items():
+            delta = value - earlier.get(key, 0)
+            if delta:
+                out[key] = delta
+        return out

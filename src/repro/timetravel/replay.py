@@ -60,6 +60,8 @@ class ReplayController:
         self.timeout = timeout
         #: safety bound on stops consumed inside one replay loop
         self.max_stops = max_stops
+        #: the target's observability hub (shared metrics + tracer)
+        self.obs = target.obs
 
     # -- recording ---------------------------------------------------------
 
@@ -101,15 +103,22 @@ class ReplayController:
     def reverse_continue(self):
         """Rewind to the most recent breakpoint hit strictly before the
         current position; returns the landing :class:`Hit`."""
-        return self._reverse(lambda hit: True,
-                             what="breakpoint hit")
+        self.obs.metrics.inc("replay.reverse_commands")
+        with self.obs.tracer.span("replay.reverse_continue") as span:
+            hit = self._reverse(lambda hit: True, what="breakpoint hit")
+            span.note(icount=hit.icount)
+            return hit
 
     def reverse_step(self):
         """Rewind to the previous stopping point (source-level step
         backwards, into calls)."""
+        self.obs.metrics.inc("replay.reverse_commands")
         temps = self._plant_temps()
         try:
-            return self._reverse(lambda hit: True, what="stopping point")
+            with self.obs.tracer.span("replay.reverse_step") as span:
+                hit = self._reverse(lambda hit: True, what="stopping point")
+                span.note(icount=hit.icount)
+                return hit
         finally:
             self._remove_temps(temps)
 
@@ -117,6 +126,7 @@ class ReplayController:
         """Rewind to the previous stopping point in the same or a
         shallower frame (source-level step backwards, over calls)."""
         self._require_stopped()
+        self.obs.metrics.inc("replay.reverse_commands")
         origin_sp = self._sp()
         temps = self._plant_temps()
 
@@ -126,8 +136,11 @@ class ReplayController:
             return hit.sp >= origin_sp  # stacks grow downward
 
         try:
-            return self._reverse(same_or_shallower,
-                                 what="stopping point at this depth")
+            with self.obs.tracer.span("replay.reverse_next") as span:
+                hit = self._reverse(same_or_shallower,
+                                    what="stopping point at this depth")
+                span.note(icount=hit.icount)
+                return hit
         finally:
             self._remove_temps(temps)
 
@@ -136,15 +149,17 @@ class ReplayController:
         checkpoint and replay forward (or just replay forward when the
         position is ahead).  Returns the final target state."""
         self._require_stopped()
-        t = self.target
-        here = t.current_icount()
-        if icount < here:
-            ck = self.ring.at_or_before(icount)
-            if ck is None:
-                raise ReplayError(
-                    "icount %d predates the recorded history" % icount)
-            self._restore(ck)
-        return self._run_to(icount)
+        self.obs.metrics.inc("replay.reverse_commands")
+        with self.obs.tracer.span("replay.goto", icount=icount):
+            t = self.target
+            here = t.current_icount()
+            if icount < here:
+                ck = self.ring.at_or_before(icount)
+                if ck is None:
+                    raise ReplayError(
+                        "icount %d predates the recorded history" % icount)
+                self._restore(ck)
+            return self._run_to(icount)
 
     # -- the reverse search ------------------------------------------------
 
@@ -187,6 +202,19 @@ class ReplayController:
         """Replay the window ``(ck.icount, end)`` once, recording every
         breakpoint stop before ``end``."""
         t = self.target
+        metrics = self.obs.metrics
+        metrics.inc("replay.windows")
+        # window size, not an extra ICOUNT round-trip: the scan replays
+        # at most end - ck.icount instructions
+        metrics.inc("replay.instructions_replayed", max(0, end - ck.icount))
+        with self.obs.tracer.span("replay.scan", window_start=ck.icount,
+                                  window_end=end) as span:
+            hits = self._scan_window(ck, end)
+            span.note(hits=len(hits))
+            return hits
+
+    def _scan_window(self, ck: Checkpoint, end: int) -> List[Hit]:
+        t = self.target
         self._restore(ck)
         hits: List[Hit] = []
         for _ in range(self.max_stops):
@@ -211,6 +239,7 @@ class ReplayController:
         ``icount``-th instruction beats the RUNTO bound, so a landing on
         a breakpoint hit arrives as the genuine SIGTRAP stop."""
         t = self.target
+        self.obs.metrics.inc("replay.landings")
         for _ in range(self.max_stops):
             if t.state != "stopped":
                 return t.state
@@ -280,6 +309,8 @@ class ReplayController:
                         t.signo, t.sigcode, kind)
         for evicted in self.ring.add(ck):
             t.drop_checkpoint(evicted.cid)
+        self.obs.metrics.inc("replay.checkpoints")
+        self.obs.metrics.set_gauge("replay.ring_size", len(self.ring.entries))
         return ck
 
     def _ensure_checkpoint_here(self) -> Checkpoint:
@@ -289,6 +320,7 @@ class ReplayController:
         """Restore a checkpoint and put back the stop identity it was
         taken at (``Target.restore_checkpoint`` can only assume a plain
         trap stop; the ring knows better)."""
+        self.obs.metrics.inc("replay.restores")
         self.target.restore_checkpoint(ck.cid)
         self.target.signo = ck.signo
         self.target.sigcode = ck.sigcode

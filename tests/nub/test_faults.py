@@ -223,6 +223,12 @@ class TestCrashReconnect:
             target.reconnect()
             assert target.state == "stopped"
             assert target.session.reconnects >= 1
+            # the silent resync leaves exactly one warning-level trace
+            # event, even with tracing off (warnings always record)
+            warnings = target.obs.tracer.find("target.reconnect",
+                                              level="warning")
+            assert len(warnings) == 1
+            assert warnings[0]["breakpoints"] == len(planted)
             # the BREAKS replay recovered the exact planted set
             assert set(target.breakpoints.planted) == planted
             assert all(bp.note == "adopted"
@@ -261,6 +267,9 @@ class TestCrashReconnect:
             target.channel.sock.close()
             assert ldb.evaluate("a[4]") == 5        # survives the cut
             assert target.session.reconnects >= 1
+            # one resync, one warning mark — not silent, not noisy
+            assert len(target.obs.tracer.find("target.reconnect",
+                                              level="warning")) == 1
             target.breakpoints.remove_all()
             assert run_to_exit(ldb, target) == "exited"
         finally:

@@ -1,0 +1,90 @@
+"""The metrics registry: instruments, snapshot/diff, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs import Metrics
+
+
+class TestInstruments:
+    def test_counter_counts(self):
+        m = Metrics()
+        m.inc("a.b")
+        m.inc("a.b", 4)
+        assert m.get("a.b") == 5
+
+    def test_counter_rejects_decrease(self):
+        m = Metrics()
+        with pytest.raises(ValueError):
+            m.inc("a", -1)
+
+    def test_gauge_holds_latest(self):
+        m = Metrics()
+        m.set_gauge("ring", 3)
+        m.set_gauge("ring", 7)
+        assert m.get("ring") == 7
+
+    def test_histogram_summary(self):
+        m = Metrics()
+        for value in (5, 1, 9):
+            m.observe("lat", value)
+        h = m.histogram("lat")
+        assert (h.count, h.total, h.min, h.max) == (3, 15, 1, 9)
+        assert h.mean() == 5.0
+
+    def test_absent_name_reads_zero(self):
+        assert Metrics().get("never") == 0
+
+    def test_kind_mismatch_is_an_error(self):
+        m = Metrics()
+        m.inc("x")
+        with pytest.raises(TypeError):
+            m.set_gauge("x", 1)
+
+
+class TestReading:
+    def test_total_sums_a_prefix_family(self):
+        m = Metrics()
+        m.inc("wire.fetch", 3)
+        m.inc("wire.blockfetch", 2)
+        m.inc("cache.hit", 10)
+        assert m.total("wire.") == 5
+
+    def test_total_ignores_gauges(self):
+        m = Metrics()
+        m.inc("wire.fetch")
+        m.set_gauge("wire.depth", 99)
+        assert m.total("wire.") == 1
+
+    def test_snapshot_flattens_histograms(self):
+        m = Metrics()
+        m.inc("n", 2)
+        m.observe("lat", 4)
+        m.observe("lat", 6)
+        snap = m.snapshot()
+        assert snap == {"n": 2, "lat.count": 2, "lat.sum": 10,
+                        "lat.min": 4, "lat.max": 6}
+
+    def test_diff_reports_only_changes(self):
+        m = Metrics()
+        m.inc("a")
+        m.inc("b")
+        before = m.snapshot()
+        m.inc("b", 2)
+        m.inc("c")
+        assert m.diff(before) == {"b": 2, "c": 1}
+
+    def test_concurrent_increments_are_not_lost(self):
+        m = Metrics()
+
+        def spin():
+            for _ in range(1000):
+                m.inc("hits")
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.get("hits") == 4000

@@ -1,0 +1,166 @@
+"""The tracer: spans, events, levels, the ring, deterministic dumps."""
+
+import io
+import json
+import threading
+
+from repro.obs import NONDETERMINISTIC_FIELDS, Tracer
+
+
+class TestEvents:
+    def test_disabled_tracer_records_nothing_info(self):
+        t = Tracer()
+        t.event("wire.send", op="FETCH")
+        assert t.records() == []
+
+    def test_warnings_record_even_while_disabled(self):
+        t = Tracer()
+        t.warn("target.reconnect", attempt=1)
+        (record,) = t.records()
+        assert record["level"] == "warning"
+        assert record["attempt"] == 1
+
+    def test_enabled_tracer_records_fields(self):
+        t = Tracer()
+        t.enable()
+        t.event("target.stop", signo=5, code=0)
+        (record,) = t.records()
+        assert record["name"] == "target.stop"
+        assert (record["signo"], record["code"]) == (5, 0)
+
+    def test_find_filters_by_name_and_level(self):
+        t = Tracer()
+        t.enable()
+        t.event("a")
+        t.warn("a")
+        t.event("b")
+        assert len(t.find("a")) == 2
+        assert len(t.find("a", level="warning")) == 1
+
+    def test_ring_is_bounded(self):
+        t = Tracer(capacity=8)
+        t.enable()
+        for i in range(20):
+            t.event("tick", i=i)
+        records = t.records()
+        assert len(records) == 8
+        assert records[0]["i"] == 12  # the oldest 12 fell off
+
+
+class TestSpans:
+    def test_span_emits_begin_and_end(self):
+        t = Tracer()
+        t.enable()
+        with t.span("replay.scan", window_start=0) as span:
+            span.note(hits=3)
+        begin, end = t.records()
+        assert (begin["ev"], begin["name"]) == ("begin", "replay.scan")
+        assert end["ev"] == "end" and end["hits"] == 3
+        assert "dur_us" in end
+
+    def test_nesting_depth(self):
+        t = Tracer()
+        t.enable()
+        with t.span("outer"):
+            with t.span("inner"):
+                t.event("leaf")
+        by_name = {r["name"]: r for r in t.records() if r["ev"] != "end"}
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner"]["depth"] == 1
+        assert by_name["leaf"]["depth"] == 2
+
+    def test_span_records_error_flag(self):
+        t = Tracer()
+        t.enable()
+        try:
+            with t.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        end = [r for r in t.records() if r["ev"] == "end"][0]
+        assert end["error"] is True
+
+    def test_disabled_span_is_free_and_silent(self):
+        t = Tracer()
+        with t.span("never", x=1) as span:
+            span.note(y=2)
+        assert t.records() == []
+
+    def test_depths_do_not_interleave_across_threads(self):
+        t = Tracer()
+        t.enable()
+
+        def worker():
+            with t.span("w"):
+                t.event("w.leaf")
+
+        thread = threading.Thread(target=worker)
+        with t.span("main"):
+            thread.start()
+            thread.join()
+        leaf = t.find("w.leaf")[0]
+        # the worker's stack starts empty: its span is depth 0, the
+        # event under it depth 1 — main's open span is invisible to it
+        assert leaf["depth"] == 1
+
+
+class TestDump:
+    def test_dump_is_jsonl_and_deterministic(self):
+        t = Tracer()
+        t.enable()
+        t.event("a", x=1)
+        with t.span("s"):
+            pass
+        lines = t.dump().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            record = json.loads(line)
+            for field in NONDETERMINISTIC_FIELDS:
+                assert field not in record
+
+    def test_dump_keeps_timings_on_request(self):
+        t = Tracer()
+        t.enable()
+        t.event("a")
+        record = json.loads(t.dump(deterministic=False))
+        assert "t_us" in record
+
+    def test_dump_writes_to_file(self):
+        t = Tracer()
+        t.enable()
+        t.event("a")
+        sink = io.StringIO()
+        text = t.dump(file=sink)
+        assert sink.getvalue() == text
+
+    def test_identical_sessions_dump_identically(self):
+        def run():
+            t = Tracer()
+            t.enable()
+            t.event("wire.send", op="FETCH", addr="0x40")
+            with t.span("replay.scan", window_start=0) as span:
+                span.note(hits=1)
+            return t.dump()
+
+        assert run() == run()
+
+    def test_clear_resets_ring_and_seq(self):
+        t = Tracer()
+        t.enable()
+        t.event("a")
+        t.clear()
+        t.event("b")
+        (record,) = t.records()
+        assert record["seq"] == 1
+
+    def test_dead_sink_never_breaks_recording(self):
+        class Dead:
+            def write(self, _):
+                raise OSError("gone")
+
+        t = Tracer()
+        t.enable(sink=Dead())
+        t.event("a")  # must not raise
+        t.event("b")
+        assert t.sink is None
+        assert len(t.records()) == 2

@@ -1,0 +1,48 @@
+"""PROTOCOL.md must track the protocol module (the CI check, as a
+tier-1 test so drift fails locally too, not just in Actions)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+CHECKER = Path(__file__).resolve().parent.parent / "tools" / "check_protocol_doc.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_protocol_doc", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_protocol_spec_matches_protocol_module(capsys):
+    checker = _load_checker()
+    status = checker.check()
+    out = capsys.readouterr()
+    assert status == 0, out.err
+    assert "documents all" in out.out
+
+
+def test_checker_flags_missing_and_phantom_names():
+    checker = _load_checker()
+    code = checker.defined_names("MSG_FETCH = 1\nERR_BAD_SPACE = 2\n")
+    assert code == {"MSG_FETCH", "ERR_BAD_SPACE"}
+    doc = checker.documented_names("`MSG_FETCH` and the phantom MSG_GHOST")
+    assert doc == {"MSG_FETCH", "MSG_GHOST"}
+    # a comparison on these sets is exactly what check() reports on
+    assert sorted(code - doc) == ["ERR_BAD_SPACE"]   # undocumented
+    assert sorted(doc - code) == ["MSG_GHOST"]       # phantom
+
+
+def test_checker_ignores_prose_that_is_not_a_constant():
+    checker = _load_checker()
+    assert checker.documented_names("messages, features, errors") == set()
+    # definitions must be at column 0 (not mentions in comments/docstrings)
+    assert checker.defined_names("# MSG_OLD = 9\n    MSG_INNER = 3\n") == set()
+
+
+def test_checker_runs_as_a_script():
+    import subprocess
+    proc = subprocess.run([sys.executable, str(CHECKER)],
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Doc-consistency check: PROTOCOL.md vs. the protocol module.
+
+The wire-protocol spec is only useful while it matches the code, so CI
+fails when they drift.  The check is a two-way set comparison of the
+symbolic names — every ``MSG_*``, ``FEATURE_*``, and ``ERR_*`` constant
+*defined* in ``src/repro/nub/protocol.py`` must be documented in
+``PROTOCOL.md``, and the spec must not document a name the code does
+not define (a renamed or removed message would otherwise live on in
+the spec).
+
+Exit status 0 when consistent; 1 with a per-name report otherwise.
+Run from anywhere: paths resolve relative to the repository root.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+PROTOCOL_PY = ROOT / "src" / "repro" / "nub" / "protocol.py"
+PROTOCOL_MD = ROOT / "PROTOCOL.md"
+
+#: a protocol constant *definition*: the name at column 0, assigned
+_DEF = re.compile(r"^((?:MSG|FEATURE|ERR)_[A-Z0-9_]+)\s*=", re.MULTILINE)
+
+#: any *mention* of a protocol constant name
+_MENTION = re.compile(r"\b((?:MSG|FEATURE|ERR)_[A-Z0-9_]+)\b")
+
+
+def defined_names(source: str) -> set:
+    return set(_DEF.findall(source))
+
+
+def documented_names(text: str) -> set:
+    return set(_MENTION.findall(text))
+
+
+def check() -> int:
+    if not PROTOCOL_MD.exists():
+        print("check_protocol_doc: PROTOCOL.md is missing", file=sys.stderr)
+        return 1
+    code = defined_names(PROTOCOL_PY.read_text())
+    doc = documented_names(PROTOCOL_MD.read_text())
+    if not code:
+        print("check_protocol_doc: no protocol constants found in %s "
+              "(extraction broken?)" % PROTOCOL_PY, file=sys.stderr)
+        return 1
+    undocumented = sorted(code - doc)
+    phantom = sorted(doc - code)
+    for name in undocumented:
+        print("check_protocol_doc: %s is defined in protocol.py but not "
+              "documented in PROTOCOL.md" % name, file=sys.stderr)
+    for name in phantom:
+        print("check_protocol_doc: PROTOCOL.md documents %s, which "
+              "protocol.py does not define" % name, file=sys.stderr)
+    if undocumented or phantom:
+        return 1
+    print("check_protocol_doc: PROTOCOL.md documents all %d protocol "
+          "constants" % len(code))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check())
