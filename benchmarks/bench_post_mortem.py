@@ -1,0 +1,160 @@
+"""P1 — post-mortem cores: write/open cost and size budget.
+
+A core file is only useful if writing one is cheap enough to do
+reflexively (the nub writes one on *every* fatal fault) and opening one
+is fast enough to be the first debugging step, not a chore.  This bench
+crashes the standard loop-then-crash workload on every architecture
+and measures, per ISA:
+
+* ``write_seconds`` / ``core_bytes`` — serializing the dead target
+  (sparse segments + zlib + CRC, symbol table embedded);
+* ``open_seconds`` — ``open_core`` through to a finished backtrace,
+  the whole debugger stack running over the recorded image;
+* correctness: the post-mortem backtrace must be byte-identical to the
+  live session's backtrace at the fault.
+
+Budgets asserted (generous; they catch regressions, not jitter):
+each core under 256 KiB on disk, write and open each under 2 s.
+Emits ``BENCH_post_mortem.json`` at the repository root.
+``BENCH_QUICK=1`` runs a single timing repetition (the CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+from repro.machines import ARCH_NAMES, SIGSEGV
+
+from .conftest import report
+
+LOOPS = 40
+
+BOOM_C = """int g;
+void tick(int i) { g = g + i; }
+void poke(int *p) { *p = 42; }
+int main(void) {
+    int i;
+    for (i = 0; i < %d; i++)
+        tick(i);
+    poke((int *)0x7fffffff);
+    return 0;
+}
+""" % LOOPS
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_post_mortem.json"
+
+#: the regression budgets (hard asserts below)
+MAX_CORE_BYTES = 256 * 1024
+MAX_WRITE_SECONDS = 2.0
+MAX_OPEN_SECONDS = 2.0
+
+_EXES = {}
+
+
+def _exe(arch):
+    if arch not in _EXES:
+        _EXES[arch] = compile_and_link({"boom.c": BOOM_C}, arch, debug=True)
+    return _EXES[arch]
+
+
+def run_arch(arch: str, core_path: str) -> dict:
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(_exe(arch))
+    while ldb.run_to_stop() == "stopped" and target.signo != SIGSEGV:
+        pass
+    assert target.signo == SIGSEGV
+    live_bt = ldb.backtrace_text()
+
+    started = time.perf_counter()
+    target.dump_core(core_path)
+    write_seconds = time.perf_counter() - started
+    core_bytes = os.path.getsize(core_path)
+
+    started = time.perf_counter()
+    post_ldb = Ldb(stdout=io.StringIO())
+    post_ldb.open_core(core_path)
+    post_bt = post_ldb.backtrace_text()
+    open_seconds = time.perf_counter() - started
+
+    return {
+        "arch": arch,
+        "write_seconds": write_seconds,
+        "open_seconds": open_seconds,
+        "core_bytes": core_bytes,
+        "backtrace_matches_live": post_bt == live_bt,
+    }
+
+
+def _timed(arch: str, core_path: str, reps: int) -> dict:
+    best = None
+    for _ in range(reps):
+        row = run_arch(arch, core_path)
+        key = row["write_seconds"] + row["open_seconds"]
+        if best is None or key < best[0]:
+            best = (key, row)
+    return best[1]
+
+
+def measure(reps: int, scratch: str) -> dict:
+    out = {
+        "benchmark": "post_mortem",
+        "workload": ("a %d-iteration loop -> SIGSEGV -> dumpcore -> "
+                     "open_core -> backtrace" % LOOPS),
+        "reps": reps,
+        "budgets": {"core_bytes": MAX_CORE_BYTES,
+                    "write_seconds": MAX_WRITE_SECONDS,
+                    "open_seconds": MAX_OPEN_SECONDS},
+        "arches": {},
+    }
+    for arch in ARCH_NAMES:
+        path = os.path.join(scratch, "%s.core" % arch)
+        out["arches"][arch] = _timed(arch, path, reps)
+    return out
+
+
+def emit(data: dict) -> None:
+    _OUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _check(row: dict) -> None:
+    # correctness before speed, budgets before jitter
+    assert row["backtrace_matches_live"], row["arch"]
+    assert row["core_bytes"] < MAX_CORE_BYTES, row
+    assert row["write_seconds"] < MAX_WRITE_SECONDS, row
+    assert row["open_seconds"] < MAX_OPEN_SECONDS, row
+
+
+def test_post_mortem_budget(tmp_path):
+    reps = 1 if os.environ.get("BENCH_QUICK") else 3
+    data = measure(reps, str(tmp_path))
+    emit(data)
+    report("", "P1. Post-mortem cores: write/open cost per ISA",
+           "  workload: %s" % data["workload"])
+    for arch in ARCH_NAMES:
+        row = data["arches"][arch]
+        report("  %-8s core %6d bytes, write %.4fs, open+bt %.4fs"
+               % (arch, row["core_bytes"], row["write_seconds"],
+                  row["open_seconds"]))
+        _check(row)
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        data = measure(reps=1 if os.environ.get("BENCH_QUICK") else 3,
+                       scratch=scratch)
+    emit(data)
+    for arch in ARCH_NAMES:
+        row = data["arches"][arch]
+        _check(row)
+        print("%-8s core %6d bytes write %.4fs open+bt %.4fs match=%s"
+              % (arch, row["core_bytes"], row["write_seconds"],
+                 row["open_seconds"], row["backtrace_matches_live"]))
+    print("wrote %s" % _OUT)

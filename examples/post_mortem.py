@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Post-mortem debugging: crash, auto-core, offline backtrace.
+
+The debugger cannot always be there when a program dies.  This example
+shows the whole graceful-degradation path:
+
+  1. a target runs with auto-cores configured (``core_path``) and dies
+     of SIGSEGV; the nub writes a core *before* anything else — the
+     registers, the memory image (sparse, compressed, checksummed),
+     the fault record, the planted breakpoints, and the loader symbol
+     table all ride along in one file;
+  2. the live session inspects the fault: backtrace, globals;
+  3. a completely fresh debugger — no executable, no nub, no process —
+     opens the core with ``open_core`` and gets the *same* backtrace
+     and the same variable values, byte for byte;
+  4. mutating verbs refuse the corpse with clear errors: a core is for
+     reading, not for resuming.
+
+Run:  python examples/post_mortem.py
+"""
+
+import io
+import os
+import tempfile
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+from repro.ldb.breakpoints import BreakpointError
+from repro.ldb.target import TargetError
+from repro.machines import SIGSEGV
+
+BOOM = """int g;
+void poke(int *p) { *p = 42; }
+int main(void) {
+    int i;
+    for (i = 0; i < 6; i++)
+        g = g + i;
+    poke((int *)0x7fffffff);
+    return 0;
+}
+"""
+
+
+def main():
+    core_path = os.path.join(tempfile.mkdtemp(), "boom.core")
+    exe = compile_and_link({"boom.c": BOOM}, "rmips", debug=True)
+
+    print("=== the target dies; the nub leaves a core behind ===")
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(exe, core_path=core_path)
+    while ldb.run_to_stop() == "stopped" and target.signo != SIGSEGV:
+        pass
+    assert target.signo == SIGSEGV
+    live_bt = ldb.backtrace_text()
+    live_g = ldb.print_variable("g")
+    print("signal %d at icount %d" % (target.signo, target.current_icount()))
+    print("auto-core: %s (%d bytes)"
+          % (core_path, os.path.getsize(core_path)))
+    print("live backtrace:\n%s" % live_bt)
+
+    print("=== a fresh debugger opens the core: no nub, no process ===")
+    post = Ldb(stdout=io.StringIO())
+    corpse = post.open_core(core_path)
+    print("post-mortem target %s (%s): signal %d, icount %d"
+          % (corpse.name, corpse.arch_name, corpse.signo,
+             corpse.core.icount))
+    post_bt = post.backtrace_text()
+    post_g = post.print_variable("g")
+    print("core backtrace:\n%s" % post_bt)
+    assert post_bt == live_bt, "core and live backtraces differ"
+    assert post_g == live_g, "core and live variable values differ"
+    print("backtrace and g=%s match the live session, byte for byte"
+          % post_g.strip())
+
+    print("\n=== a core is read-only: mutating verbs refuse ===")
+    for verb, attempt in [("continue", corpse.cont),
+                          ("kill", corpse.kill),
+                          ("break", lambda: post.break_at_function("main"))]:
+        try:
+            attempt()
+        except (TargetError, BreakpointError) as err:
+            print("%-8s -> %s" % (verb, err))
+
+    print("\n=== inspection, though, is fully alive ===")
+    print("g + 100 = %s" % post.evaluate("g + 100"))
+    print("pc = 0x%x" % corpse.stop_pc())
+
+
+if __name__ == "__main__":
+    main()

@@ -171,8 +171,16 @@ class BreakpointTable:
     def store_insn(self, address: int, pattern: int) -> None:
         self.target.wire.store(self._code_loc(address), self.kind, pattern)
 
+    def _require_live(self) -> None:
+        # planting patches target code; a core file has no code to patch
+        if getattr(self.target, "post_mortem", False):
+            raise BreakpointError(
+                "target is post-mortem (a core file): breakpoints "
+                "cannot be planted or removed")
+
     def plant(self, address: int, note: str = "") -> Breakpoint:
         """Overwrite the no-op at ``address`` with the trap pattern."""
+        self._require_live()
         if address in self.planted:
             return self.planted[address]
         original = self.fetch_insn(address)
@@ -188,6 +196,7 @@ class BreakpointTable:
         return bp
 
     def remove(self, address: int) -> None:
+        self._require_live()
         bp = self.planted.pop(address, None)
         if bp is None:
             raise BreakpointError("no breakpoint at 0x%x" % address)

@@ -23,6 +23,8 @@ Commands::
     set <var> = <expression>
     backtrace / bt
     where
+    core <file>
+    dumpcore <file>
     registers / regs
     info breaks | info checkpoints
     stats
@@ -42,6 +44,7 @@ from typing import List, Optional
 from ..cc.driver import compile_and_link
 from ..cc.lexer import CError
 from .breakpoints import BreakpointError
+from ..postscript import PSError
 from .debugger import Ldb
 from .exprserver import EvalError
 from .target import TargetError
@@ -91,7 +94,7 @@ class Cli:
         rest = rest.strip()
         try:
             self.dispatch(verb, rest)
-        except (TargetError, BreakpointError, EvalError, CError) as err:
+        except (TargetError, BreakpointError, EvalError, CError, PSError) as err:
             self.say("ldb: %s" % err)
 
     def dispatch(self, verb: str, rest: str) -> None:
@@ -133,6 +136,10 @@ class Cli:
         elif verb == "where":
             proc, filename, line = self.ldb.where_am_i()
             self.say("%s () at %s:%d" % (proc, filename, line))
+        elif verb == "core":
+            self.cmd_core(rest)
+        elif verb == "dumpcore":
+            self.cmd_dumpcore(rest)
         elif verb in ("registers", "regs"):
             self.out.write(self.ldb.registers_text())
         elif verb == "info":
@@ -155,8 +162,32 @@ class Cli:
         else:
             self.say("ldb: unknown command %r (try: break condition run step next "
                      "record reverse-continue reverse-step reverse-next goto "
-                     "print set backtrace where registers stats trace targets "
-                     "quit)" % verb)
+                     "print set backtrace where core dumpcore registers stats "
+                     "trace targets quit)" % verb)
+
+    def cmd_core(self, path: str) -> None:
+        """Open a core file: a post-mortem target with no nub behind it."""
+        if not path:
+            self.say("usage: core <file>")
+            return
+        target = self.ldb.open_core(path)
+        self.say("post-mortem target %s (%s): signal %d, icount %d"
+                 % (target.name, target.arch_name, target.signo,
+                    target.core.icount))
+        try:
+            proc, filename, line = self.ldb.where_am_i()
+            self.say("died in %s () at %s:%d" % (proc, filename, line))
+        except Exception:
+            self.say("died at an unknown location (saved context unreadable)")
+
+    def cmd_dumpcore(self, path: str) -> None:
+        """Snapshot the stopped target into a core file."""
+        if not path:
+            self.say("usage: dumpcore <file>")
+            return
+        core = self.ldb.current.dump_core(path)
+        self.say("core written to %s (%d memory segments, icount %d)"
+                 % (path, len(core.segments), core.icount))
 
     def cmd_record(self, rest: str) -> None:
         interval = int(rest) if rest else 5_000
@@ -217,6 +248,11 @@ class Cli:
             self.say("program exited with status %s" % event.status)
             if hasattr(target, "process"):
                 self.out.write(target.process.output())
+        elif event.kind == "died":
+            self.say("target died: %s" % event.reason)
+            if event.core_path:
+                self.say("a core was written; open it with: core %s"
+                         % event.core_path)
         else:
             self.say("target is %s" % event.kind)
 
@@ -293,16 +329,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap = argparse.ArgumentParser(prog="ldb", description="a retargetable debugger")
     ap.add_argument("image", nargs="?", help="program image from rcc -o")
     ap.add_argument("--source", help="compile and debug a C source file")
+    ap.add_argument("--core", help="open a core file post-mortem")
     ap.add_argument("--target", default="rmips",
                     choices=["rmips", "rmipsel", "rsparc", "rm68k", "rvax"])
     args = ap.parse_args(argv)
     cli = Cli()
     if args.source:
         cli.compile_source(args.source, args.target)
+    elif args.core:
+        cli.cmd_core(args.core)
     elif args.image:
         cli.load_image(args.image)
     else:
-        ap.error("give an image or --source")
+        ap.error("give an image, --source, or --core")
     cli.repl()
     return 0
 

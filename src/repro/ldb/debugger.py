@@ -79,28 +79,76 @@ class Ldb:
     def load_program(self, exe: Executable, stop_at_entry: bool = True,
                      table_ps: Optional[str] = None,
                      cache: bool = True, block_nub: bool = True,
-                     timetravel_nub: bool = True) -> Target:
+                     timetravel_nub: bool = True, core_nub: bool = True,
+                     core_path: Optional[str] = None) -> Target:
         """Start a target process as a "child": the fork analog.
 
         ``block_nub=False`` simulates a legacy nub without the
         block-transfer extension; the debugger falls back per-word.
         ``timetravel_nub=False`` simulates one without the checkpoint
         messages; reverse commands then fail with a clear error while
-        forward debugging is unaffected.
+        forward debugging is unaffected.  ``core_nub=False`` simulates
+        one without DUMPCORE.  ``core_path`` tells the nub where to
+        auto-write a core when the target takes a fatal signal or the
+        nub itself dies.
         """
         debugger_end, nub_end = pair()
         process = Process(exe)
-        nub = Nub(process, channel=nub_end, stop_at_entry=stop_at_entry,
-                  block_extension=block_nub,
-                  timetravel_extension=timetravel_nub)
-        runner = NubRunner(nub).start()
         if table_ps is None:
             table_ps = getattr(exe, "loader_ps", None) or loader_table_ps(exe)
+        nub = Nub(process, channel=nub_end, stop_at_entry=stop_at_entry,
+                  block_extension=block_nub,
+                  timetravel_extension=timetravel_nub,
+                  core_extension=core_nub, core_path=core_path,
+                  loader_ps=table_ps)
+        runner = NubRunner(nub).start()
         target = self.adopt_channel(debugger_end, table_ps, wait=stop_at_entry,
                                     cache=cache)
         target.process = process
         target.nub = nub
         target.runner = runner
+        target.core_path = core_path
+        return target
+
+    def open_core(self, path: str, table_ps: Optional[str] = None,
+                  cache: bool = True) -> Target:
+        """Open a core file for post-mortem debugging: no nub, no
+        process — the whole debugger stack runs against the recorded
+        memory image.
+
+        The symbol table comes from the core itself when the nub
+        embedded one (the usual case); otherwise pass ``table_ps``.
+        Backtraces, frame walks, and variable inspection work exactly
+        as on the live target at the recorded stop; mutating verbs
+        (continue, step, set, break) refuse with a clear error.
+        """
+        from ..machines.core import CoreError, CoreFile
+        from .postmortem import CoreTransport
+        try:
+            core = CoreFile.load(path)
+            transport = CoreTransport(core)
+        except CoreError as err:
+            raise TargetError("cannot open core %s: %s" % (path, err))
+        if table_ps is None:
+            table_ps = core.loader_ps
+            if table_ps is None:
+                raise TargetError(
+                    "core %s embeds no symbol table; pass table_ps" % path)
+        table = self.read_loader_table(table_ps)
+        target = Target(self.interp, None, table, self._new_target_name(),
+                        transport=transport, cache=cache, obs=self.obs)
+        if target.arch_name != core.arch_name:
+            raise TargetError(
+                "core %s is %s but the symbol table says %s"
+                % (path, core.arch_name, target.arch_name))
+        self.targets[target.name] = target
+        self.current = target
+        target.core = core
+        target.wait_for_stop()  # the recorded fault, re-announced
+        # adopt the planted-breakpoint table the dead debugger left
+        target.breakpoints.extension_available()
+        self.obs.tracer.event("ldb.open_core", path=path,
+                              arch=core.arch_name, signo=core.signo)
         return target
 
     def attach(self, host: str, port: int, table_ps: str,

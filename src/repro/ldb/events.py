@@ -25,6 +25,8 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from ..machines.isa import SIGTRAP
+from ..postscript import PSError
+from .target import TargetDiedError, TargetError
 
 
 class Event:
@@ -81,6 +83,20 @@ class TargetDisconnected(Event):
     kind = "disconnect"
 
 
+class TargetDied(Event):
+    """The target's process is gone for good — the nub died or the
+    target exited behind the debugger's back.  When the nub wrote a
+    core on its way down, ``core_path`` points at it, so the session
+    can continue post-mortem (``ldb core <file>``)."""
+
+    kind = "died"
+
+    def __init__(self, target, reason: str, core_path=None):
+        super().__init__(target)
+        self.reason = reason
+        self.core_path = core_path
+
+
 class EventEngine:
     """Dispatches events for one debugger; drives stepping.
 
@@ -113,12 +129,24 @@ class EventEngine:
         """Continue the target until an event a client should see."""
         target = target or self.debugger.current
         for _ in range(max_resumes):
-            state = self.debugger.run_to_stop(target=target, timeout=timeout)
-            # the target ran: nothing cached from before the stop may
-            # leak into classification or the handlers (Target already
-            # invalidates on resume and stop; this covers subclasses)
-            target.wire.invalidate()
-            event = self._classify(target, state)
+            try:
+                state = self.debugger.run_to_stop(target=target,
+                                                  timeout=timeout)
+                # the target ran: nothing cached from before the stop may
+                # leak into classification or the handlers (Target already
+                # invalidates on resume and stop; this covers subclasses)
+                target.wire.invalidate()
+                event = self._classify(target, state)
+            except (TargetError, PSError) as err:
+                # the nub can die at *any* point of the conversation —
+                # mid-continue, or mid-fetch while classifying a stop
+                # that did arrive.  If the session is dead underneath,
+                # that failure IS the event; anything else propagates.
+                if not self._session_dead(target):
+                    raise
+                target.state = "disconnected"
+                target.wire.invalidate()
+                event = self._classify_disconnect(target)
             self._cleanup_step_temps_if_done(target, event)
             for handler in self.handlers:
                 handler(event)
@@ -129,11 +157,17 @@ class EventEngine:
         raise RuntimeError("event loop resumed %d times without "
                            "surfacing an event" % max_resumes)
 
+    def _session_dead(self, target) -> bool:
+        """Did the target's session lose its connection for good (the
+        retry engine already exhausted its reconnect budget)?"""
+        session = getattr(target, "session", None)
+        return session is not None and session.channel is None
+
     def _classify(self, target, state: str) -> Event:
         if state == "exited":
             return TargetExited(target, target.exit_status)
         if state in ("disconnected", "reconnecting"):
-            return TargetDisconnected(target)
+            return self._classify_disconnect(target)
         if target.signo != SIGTRAP:
             return SignalStop(target, target.signo, target.sigcode)
         pc = target.stop_pc()
@@ -155,6 +189,31 @@ class EventEngine:
                     event.resume = True
             return event
         return SignalStop(target, target.signo, target.sigcode)
+
+    def _classify_disconnect(self, target) -> Event:
+        """A lost connection: one reconnect attempt decides whether this
+        is a transient disconnect or a dead target.
+
+        With no reconnect path the event is a plain disconnect (the
+        caller may have its own recovery).  With one, a failed attempt
+        means the nub is gone for good: the *typed* death event carries
+        the pointer to the auto-written core instead of leaving the
+        client to retry forever."""
+        session = getattr(target, "session", None)
+        if session is None or session.connector is None:
+            return TargetDisconnected(target)
+        try:
+            target.reconnect()
+        except TargetDiedError as err:
+            return TargetDied(target, str(err),
+                              core_path=err.core_path or target.core_path)
+        except TargetError:
+            return TargetDisconnected(target)
+        if target.state == "stopped":
+            return self._classify(target, "stopped")
+        if target.state == "exited":
+            return TargetExited(target, target.exit_status)
+        return TargetDisconnected(target)
 
     # -- source-level stepping (on top of breakpoints, Sec. 7.1) ---------------
 

@@ -572,6 +572,13 @@ class ExpressionClient:
             interp.run("cvx stopped pop")
             if self._error is not None:
                 raise EvalError(self._error)
+            if interp.stop_error is not None:
+                # the run stopped on an interpreter error, not on the
+                # server's final ``stop`` — a failed fetch/store (bad
+                # address, read-only post-mortem target ...) must not
+                # pass off whatever is on the stack as the result
+                self._drain_failed_program()
+                raise EvalError("expression failed: %s" % interp.stop_error)
             if len(interp.ostack) <= depth:
                 raise EvalError("expression produced no value")
             return interp.pop()
@@ -583,6 +590,15 @@ class ExpressionClient:
     def _send(self, line: str) -> None:
         self.cmd_out.write(line + "\n")
         self.cmd_out.flush()
+
+    def _drain_failed_program(self) -> None:
+        """An error stopped the run mid-program: the server's final
+        ``ExpressionServer.result`` line is still in the pipe and would
+        prefix (and wreck) the *next* expression — consume the tail."""
+        while True:
+            line = self.ps_in.readline()
+            if not line or line.strip() == "ExpressionServer.result":
+                return
 
 
 def _location_source(loc: Location) -> str:

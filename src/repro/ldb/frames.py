@@ -13,13 +13,20 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..postscript import ABSOLUTE, KIND_BYTES, Location, PSDict
+from ..postscript import ABSOLUTE, KIND_BYTES, Location, PSDict, PSError
 from .memories import AliasMemory, JoinedMemory, MemoryStats, RegisterMemory
 
 #: registers whose save slots lie within this many bytes of each other
 #: are prefetched as one span (context slots are adjacent; a frame's
 #: stack save area is a second tight cluster)
 _PREFETCH_GAP = 64
+
+
+class CorruptStackError(Exception):
+    """A down-stack walker found evidence of corruption — a misaligned
+    or non-monotonic stack pointer, a return address outside the text
+    segment, a backwards fp chain.  :func:`build_stack` converts it into
+    a terminating :class:`CorruptFrame` instead of letting it surface."""
 
 
 class Frame:
@@ -29,6 +36,9 @@ class Frame:
     is the value the per-architecture PostScript binds as ``FrameBase``
     to address locals (the vfp on rmips, the fp elsewhere).
     """
+
+    #: True only on the :class:`CorruptFrame` sentinel
+    corrupt = False
 
     def __init__(self, target, pc: int, memory: JoinedMemory,
                  frame_base: int, sp: int, level: int = 0):
@@ -107,12 +117,119 @@ class Frame:
         return "<frame #%d %s pc=0x%x>" % (self.level, self.proc_name(), self.pc)
 
 
+class CorruptFrame(Frame):
+    """The sentinel that ends a truncated backtrace: the walk hit
+    evidence of stack corruption and stopped.  It prints as
+    ``<corrupt frame>``, resolves no names, and has no caller — so a
+    smashed stack yields a partial, labelled backtrace on live and
+    post-mortem targets alike, never a debugger crash."""
+
+    corrupt = True
+
+    def __init__(self, target, level: int, reason: str):
+        super().__init__(target, 0, None, 0, 0, level=level)
+        #: why the walk stopped (for traces and curious users)
+        self.reason = reason
+
+    def proc_entry(self) -> None:
+        return None
+
+    def proc_name(self) -> str:
+        return "<corrupt frame>"
+
+    def location_line(self) -> Tuple[str, int]:
+        return ("?", 0)
+
+    def stop(self) -> None:
+        return None
+
+    def resolve(self, name: str) -> None:
+        return None
+
+    def visible_names(self) -> List[str]:
+        return []
+
+    def caller(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "<frame #%d <corrupt frame> (%s)>" % (self.level, self.reason)
+
+
+def corrupt_frame(target, level: int, reason: str) -> CorruptFrame:
+    """Make the sentinel, leaving a mark in the observability hub —
+    every corrupt-frame bailout should be visible in metrics/traces."""
+    obs = getattr(target, "obs", None)
+    if obs is not None:
+        obs.metrics.inc("target.corrupt_frames")
+        obs.tracer.warn("target.corrupt_frame", reason=reason)
+    return CorruptFrame(target, level, reason)
+
+
+def guard_down_stack(target, caller_pc: int, caller_sp: int, callee_sp: int,
+                     stack_align: int, pc_align: int) -> None:
+    """The corruption defenses shared by the machdep down-stack walkers.
+
+    Walking *down* the stack (toward callers), stack addresses only
+    grow and return addresses land inside the text segment; anything
+    else is a smashed frame, reported as :class:`CorruptStackError`
+    rather than followed into the weeds.
+    """
+    if pc_align > 1 and caller_pc % pc_align:
+        raise CorruptStackError("misaligned return pc 0x%x" % caller_pc)
+    bounds = target.linker.text_range()
+    if bounds is not None and not bounds[0] <= caller_pc < bounds[1]:
+        raise CorruptStackError(
+            "return pc 0x%x outside text [0x%x, 0x%x)"
+            % (caller_pc, bounds[0], bounds[1]))
+    if stack_align > 1 and caller_sp % stack_align:
+        raise CorruptStackError("misaligned caller sp 0x%x" % caller_sp)
+    if caller_sp < callee_sp:
+        raise CorruptStackError(
+            "caller sp 0x%x below callee sp 0x%x (stack walked backwards)"
+            % (caller_sp, callee_sp))
+
+
 def backtrace(frame: Optional[Frame], limit: int = 64) -> List[Frame]:
     """The frames from ``frame`` outward."""
     frames: List[Frame] = []
     while frame is not None and len(frames) < limit:
         frames.append(frame)
         frame = frame.caller()
+    return frames
+
+
+def build_stack(frame: Optional[Frame], limit: int = 64) -> List[Frame]:
+    """A defensive :func:`backtrace`: given a frame it never raises and
+    always returns at least that frame.
+
+    Any evidence of corruption — a walker's :class:`CorruptStackError`,
+    unreadable frame memory, or a frame cycle — truncates the walk with
+    a :class:`CorruptFrame` sentinel instead of surfacing an exception.
+    """
+    frames: List[Frame] = []
+    seen = set()
+    while frame is not None and len(frames) < limit:
+        if frame.corrupt:
+            frames.append(frame)
+            break
+        key = (frame.pc, frame.sp, frame.frame_base)
+        if key in seen:
+            frames.append(corrupt_frame(frame.target, frame.level,
+                                        "frame cycle at pc 0x%x" % frame.pc))
+            break
+        seen.add(key)
+        frames.append(frame)
+        try:
+            frame = frame.caller()
+        except CorruptStackError as err:
+            frames.append(corrupt_frame(frame.target, frame.level + 1,
+                                        str(err)))
+            break
+        except PSError as err:
+            frames.append(corrupt_frame(frame.target, frame.level + 1,
+                                        "unreadable frame memory: %s" % err))
+            break
     return frames
 
 

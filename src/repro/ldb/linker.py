@@ -17,6 +17,11 @@ from ..postscript import Location, PSDict, PSError
 from .memories import WireMemory
 
 
+#: slack past the last known procedure *entry* when bounding the text
+#: segment — the table has no procedure ends, so the top is padded
+_TEXT_SLACK = 1 << 16
+
+
 class LinkerInterface:
     """The shared (machine-independent) implementation."""
 
@@ -63,6 +68,15 @@ class LinkerInterface:
             else:
                 break
         return best
+
+    def text_range(self) -> Optional[Tuple[int, int]]:
+        """A conservative ``[lo, hi)`` bound on the text segment, from
+        the proctable.  Used by the unwinder's corruption defenses: a
+        return address far outside every known procedure is stack
+        corruption, not a call site."""
+        if not self._proctable:
+            return None
+        return (self._proctable[0][0], self._proctable[-1][0] + _TEXT_SLACK)
 
     def proc_name_for(self, address: int) -> Optional[str]:
         for addr, name in self._proctable:

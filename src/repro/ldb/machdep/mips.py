@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ...postscript import Location
-from ..frames import Frame, make_register_dag
+from ..frames import Frame, guard_down_stack, make_register_dag
 from ..memories import MemoryStats
 
 NREGS = 32
@@ -150,10 +150,12 @@ class MipsFrame(Frame):
         if ra == 0:
             return None
         caller_pc = ra - 4  # the call site
+        caller_sp = self.frame_base  # our vfp is the caller's sp
+        guard_down_stack(self.target, caller_pc, caller_sp, self.sp,
+                         stack_align=4, pc_align=4)
         hit = self.target.linker.proc_containing(caller_pc)
         if hit is None or hit[1].startswith("__"):  # startup code
             return None
-        caller_sp = self.frame_base  # our vfp is the caller's sp
         framesize = self.target.linker.frame_size(caller_pc) or 0
         caller_vfp = caller_sp + framesize
         aliases = dict(self.memory.routes["r"].underlying.aliases)

@@ -10,7 +10,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ...postscript import Location
-from ..frames import Frame, make_register_dag
+from ..frames import (
+    CorruptStackError,
+    Frame,
+    guard_down_stack,
+    make_register_dag,
+)
 from ..memories import MemoryStats
 
 NREGS = 32
@@ -89,6 +94,14 @@ class SparcFrame(Frame):
         if ra == 0:
             return None
         caller_pc = ra - 4
+        # the caller resumes with sp = our fp; its own fp must lie
+        # further down-stack still (or be 0, ending the walk cleanly)
+        guard_down_stack(self.target, caller_pc, fp, self.sp,
+                         stack_align=4, pc_align=4)
+        if old_fp and old_fp < fp:
+            raise CorruptStackError("saved fp 0x%x below fp 0x%x "
+                                    "(fp chain walked backwards)"
+                                    % (old_fp, fp))
         hit = self.target.linker.proc_containing(caller_pc)
         if hit is None or hit[1].startswith("__"):  # startup code
             return None

@@ -10,7 +10,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ...postscript import Location
-from ..frames import Frame, make_register_dag
+from ..frames import (
+    CorruptStackError,
+    Frame,
+    guard_down_stack,
+    make_register_dag,
+)
 from ..memories import MemoryStats
 
 NREGS = 16
@@ -87,6 +92,13 @@ class VaxFrame(Frame):
         if ra == 0:
             return None
         caller_pc = ra - 1
+        # byte-granular instructions: no pc alignment to check
+        guard_down_stack(self.target, caller_pc, fp + 8, self.sp,
+                         stack_align=4, pc_align=1)
+        if old_fp and old_fp < fp:
+            raise CorruptStackError("saved fp 0x%x below fp 0x%x "
+                                    "(fp chain walked backwards)"
+                                    % (old_fp, fp))
         hit = self.target.linker.proc_containing(caller_pc)
         if hit is None or hit[1].startswith("__"):  # startup code
             return None

@@ -35,7 +35,7 @@ from ..postscript import (
     String,
 )
 from .breakpoints import BreakpointTable
-from .frames import Frame, backtrace
+from .frames import Frame, build_stack, corrupt_frame
 from .linker import linker_for
 from .machdep import machdep_for
 from .memories import CachingMemory, MemoryStats, WireMemory
@@ -44,6 +44,19 @@ from .symtab import SymbolTable
 
 class TargetError(Exception):
     pass
+
+
+class TargetDiedError(TargetError):
+    """The target's process is gone for good — the nub died, or the
+    target exited while the debugger was away.  When the nub managed to
+    write a core on its way down, ``core_path`` points at it: the
+    session can continue post-mortem with ``ldb core <file>``."""
+
+    def __init__(self, message: str, core_path: Optional[str] = None):
+        if core_path:
+            message += " (core written to %s)" % core_path
+        super().__init__(message)
+        self.core_path = core_path
 
 
 class Target:
@@ -100,6 +113,12 @@ class Target:
         self.arch_dict = interp.systemdict["ArchDicts"][self.machdep.ps_arch]
         self.target_dict = self._make_target_dict()
         self.breakpoints = BreakpointTable(self)
+        #: is this a post-mortem target (a core file, nothing live)?
+        from .postmortem import CoreTransport  # deferred: avoid a cycle
+        self.post_mortem = isinstance(transport, CoreTransport)
+        #: where the nub auto-writes a core when the target dies (set by
+        #: the debugger when it launched the nub with a core path)
+        self.core_path: Optional[str] = None
         #: 'running' | 'stopped' | 'exited' | 'disconnected' | 'reconnecting'
         self.state = "running"
         self.signo = 0
@@ -205,8 +224,16 @@ class Target:
             raise TargetError("target %s is %s, not stopped"
                               % (self.name, self.state))
 
+    def _require_live(self, what: str) -> None:
+        """Refuse mutating verbs on a corpse, before anything is sent."""
+        if self.post_mortem:
+            raise TargetError(
+                "target %s is post-mortem (a core file): cannot %s"
+                % (self.name, what))
+
     def cont(self, at_pc: Optional[int] = None) -> None:
         """Resume execution, optionally at a new pc."""
+        self._require_live("continue")
         self._require_stopped()
         if at_pc is not None:
             self.wire.store(self.machdep.pc_context_location(self.context_addr),
@@ -227,6 +254,7 @@ class Target:
         self.cont(at_pc=self.breakpoints.resume_pc(pc))
 
     def kill(self) -> None:
+        self._require_live("kill")
         self._require_stopped()
         try:
             self.transport.control(protocol.kill())
@@ -238,6 +266,7 @@ class Target:
 
     def detach(self) -> None:
         """Break the connection; the nub preserves the target's state."""
+        self._require_live("detach")
         self._require_stopped()
         try:
             self.transport.control(protocol.detach())
@@ -340,6 +369,7 @@ class Target:
                       at_pc: Optional[int] = None) -> None:
         """Resume, asking the nub to stop after ``target_icount``
         retired instructions (surfaces as a SIGTRAP/CODE_ICOUNT stop)."""
+        self._require_live("run")
         self._require_stopped()
         if getattr(self.transport, "timetravel_active", None) is False:
             raise TargetError(
@@ -365,6 +395,49 @@ class Target:
         return (self.state == "stopped" and self.signo == SIGTRAP
                 and self.sigcode == CODE_ICOUNT)
 
+    # -- post-mortem (core dumps) ------------------------------------------
+
+    def dump_core(self, path: str):
+        """Ask the nub to serialize the stopped target (DUMPCORE) and
+        write the image to ``path``; returns the parsed
+        :class:`~repro.machines.core.CoreFile`.
+
+        Degrades like time travel: a session that negotiated the
+        feature away refuses before anything crosses the wire, and a
+        bare channel maps the nub's error answer to the same
+        :class:`TargetError`.
+        """
+        self._require_stopped()
+        if getattr(self.transport, "core_active", None) is False:
+            raise TargetError(
+                "nub does not support core dumps "
+                "(FEATURE_CORE was not negotiated)")
+        from ..machines.core import CoreError, CoreFile
+        self.stats.note("wire", "dumpcore")
+        try:
+            reply = self.transport.transact(protocol.dumpcore(),
+                                            expect=(protocol.MSG_DATA,))
+        except NubError as err:
+            if err.code in (protocol.ERR_UNSUPPORTED,
+                            protocol.ERR_BAD_MESSAGE):
+                raise TargetError(
+                    "nub does not support core dumps (error %d)" % err.code)
+            raise TargetError("core dump failed: nub error %d" % err.code)
+        except TransportError as err:
+            raise TargetError("core dump failed: %s" % err)
+        try:
+            core = CoreFile.from_bytes(reply.payload)
+        except CoreError as err:
+            raise TargetError("nub answered an unreadable core: %s" % err)
+        try:
+            core.dump(path)
+        except OSError as err:
+            raise TargetError("cannot write core to %s: %s" % (path, err))
+        self.obs.metrics.inc("target.core_dumps")
+        self.obs.tracer.event("target.dumpcore", target=self.name,
+                              path=path, size=len(reply.payload))
+        return core
+
     # -- crash recovery (paper Sec. 7.1) ----------------------------------
 
     def _session_reconnected(self, session: NubSession) -> None:
@@ -376,7 +449,10 @@ class Target:
             self.signo, self.sigcode, self.context_addr = session.last_signal
             self.state = "stopped"
             self._top_frame = None
-        self.breakpoints.resync()
+            self.breakpoints.resync()
+        # no stop announced: the nub answered with EXITED (queued as a
+        # pending event) or nothing at all — there is no stopped target
+        # to replant traps into, so do NOT replay BREAKS here
         # the one warning per resync: a reconnect silently rewrites the
         # target's stop state and replants traps, so leave a visible mark
         self.obs.metrics.inc("target.reconnects")
@@ -387,7 +463,14 @@ class Target:
     def reconnect(self) -> None:
         """Re-attach after a lost connection (or debugger crash): a new
         channel through the nub's listener, the re-announced stop, and a
-        ``BREAKS`` replay to recover the breakpoint table."""
+        ``BREAKS`` replay to recover the breakpoint table.
+
+        When the nub is gone for good (the retry budget ran out) or the
+        target turns out to have exited, this raises the *typed*
+        :class:`TargetDiedError` — pointing at the auto-written core
+        when one is known — rather than pretending the connection might
+        come back.
+        """
         if self.session is None or self.session.connector is None:
             raise TargetError("target %s has no reconnect path" % self.name)
         self.state = "reconnecting"
@@ -396,13 +479,28 @@ class Target:
             self.session.reconnect()
         except SessionError as err:
             self.state = "disconnected"
-            raise TargetError("reconnect failed: %s" % err)
+            self.obs.metrics.inc("target.deaths")
+            self.obs.tracer.warn("target.died", target=self.name,
+                                 reason=str(err))
+            raise TargetDiedError("target %s is gone: %s" % (self.name, err),
+                                  core_path=self.core_path)
         if self.state == "reconnecting":
             # nothing was re-announced on the new connection
             if self.session.pending_events:
                 self.wait_for_stop(timeout=1.0)
             else:
                 self.state = "running"
+        if self.state == "exited":
+            # the nub re-announced an exit, not a stop: the process is
+            # dead; there is nothing to resynchronize and no target to
+            # debug further on this connection
+            self.obs.metrics.inc("target.deaths")
+            self.obs.tracer.warn("target.died", target=self.name,
+                                 reason="exited with status %r"
+                                 % self.exit_status)
+            raise TargetDiedError(
+                "target %s exited (status %r) while the debugger was away"
+                % (self.name, self.exit_status), core_path=self.core_path)
         if self.state == "stopped":
             self.stop_pc()  # re-validate the saved-context address
 
@@ -428,7 +526,18 @@ class Target:
         return self._top_frame
 
     def frames(self, limit: int = 64) -> List[Frame]:
-        return backtrace(self.top_frame(), limit)
+        """The defensive backtrace (:func:`build_stack`): given a
+        stopped target it never raises — a smashed stack, unreadable
+        frame memory, or a frame cycle truncates the walk with a
+        ``<corrupt frame>`` sentinel instead."""
+        try:
+            top = self.top_frame()
+        except PSError as err:
+            # even the saved context is gone (the paper's "a faulty
+            # program can destroy the nub's data" case)
+            return [corrupt_frame(self, 0,
+                                  "unreadable saved context: %s" % err)]
+        return build_stack(top, limit)
 
     # -- symbol values ---------------------------------------------------------------
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from .core import CoreError, CoreFile, core_from_process
 from .cpu import Cpu, CpuSnapshot
 from .isa import (
     Arch,
@@ -79,6 +80,8 @@ __all__ = [
     "Arch",
     "CODE_ICOUNT",
     "ContextField",
+    "CoreError",
+    "CoreFile",
     "Cpu",
     "CpuSnapshot",
     "DEFAULT_MAX_STEPS",
@@ -110,6 +113,7 @@ __all__ = [
     "Symbol",
     "TargetFault",
     "TargetMemory",
+    "core_from_process",
     "get_arch",
     "link",
     "load",

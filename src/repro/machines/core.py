@@ -1,0 +1,219 @@
+"""A versioned core-file format for post-mortem debugging.
+
+When a target dies — a fatal fault, or an explicit ``dumpcore`` — the
+nub serializes everything the debugger's machine-independent core needs
+to keep working without a live target: the machine name and byte order,
+the saved context address, the retired-instruction count, the fault
+record, the planted-breakpoint table, and the memory image itself.
+
+The memory image is stored *sparsely* (all-zero runs are skipped) and
+the whole body is zlib-compressed, so a core comfortably fits in one
+DUMPCORE reply under the protocol's 1 MiB payload cap.  A CRC32 over
+the compressed body catches truncation and bit rot; loading a damaged,
+truncated, or future-versioned core raises :class:`CoreError` with a
+reason rather than a struct error.
+
+A core may optionally embed the program's loader symbol table (the
+PostScript table ``ldb`` reads), which is what lets ``ldb core <file>``
+open a core standalone — no executable, no nub, no target.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Optional, Tuple
+
+from .memory import TargetMemory
+
+MAGIC = b"LDBC"
+CORE_VERSION = 1
+
+#: granularity of the sparse scan: a run of memory is kept when any of
+#: its bytes is non-zero; adjacent kept runs merge into one segment
+_CHUNK = 256
+
+
+class CoreError(Exception):
+    """A core file that cannot be loaded (damaged, truncated, or from a
+    future format version)."""
+
+
+class CoreFile:
+    """One serialized dead (or stopped) target."""
+
+    def __init__(self, arch_name: str, byteorder: str, memsize: int,
+                 context_addr: int, icount: int, signo: int, code: int,
+                 fault_pc: int,
+                 segments: List[Tuple[int, bytes]],
+                 planted: Optional[List[Tuple[int, bytes]]] = None,
+                 loader_ps: Optional[str] = None):
+        self.arch_name = arch_name
+        self.byteorder = byteorder
+        self.memsize = memsize
+        #: where the nub saved the context (registers live here)
+        self.context_addr = context_addr
+        self.icount = icount
+        #: the fault record: why the target stopped for the last time
+        self.signo = signo
+        self.code = code
+        self.fault_pc = fault_pc
+        #: sparse memory image: (start address, raw target-order bytes)
+        self.segments = segments
+        #: planted breakpoints: (address, original little-endian bytes)
+        self.planted = list(planted or [])
+        #: optional embedded loader symbol table (PostScript text)
+        self.loader_ps = loader_ps
+
+    # -- serialization ----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        body = bytearray()
+        name = self.arch_name.encode("ascii")
+        body += struct.pack("<B", len(name)) + name
+        body += struct.pack("<B", 1 if self.byteorder == "big" else 0)
+        body += struct.pack("<IIQ", self.memsize, self.context_addr,
+                            self.icount)
+        body += struct.pack("<iII", self.signo, self.code, self.fault_pc)
+        body += struct.pack("<I", len(self.planted))
+        for address, original in self.planted:
+            body += struct.pack("<IB", address, len(original)) + original
+        body += struct.pack("<I", len(self.segments))
+        for start, raw in self.segments:
+            body += struct.pack("<II", start, len(raw)) + raw
+        table = (self.loader_ps or "").encode("utf-8")
+        body += struct.pack("<I", len(table)) + table
+        packed = zlib.compress(bytes(body), 6)
+        header = MAGIC + struct.pack("<HHI", CORE_VERSION, 0, len(packed))
+        return header + struct.pack("<I", zlib.crc32(packed) & 0xFFFFFFFF) \
+            + packed
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "CoreFile":
+        if len(raw) < 16 or raw[:4] != MAGIC:
+            raise CoreError("not a core file (bad magic)")
+        version, _flags, length = struct.unpack("<HHI", raw[4:12])
+        if version > CORE_VERSION:
+            raise CoreError("core format version %d is newer than this "
+                            "debugger understands (max %d)"
+                            % (version, CORE_VERSION))
+        declared_crc = struct.unpack("<I", raw[12:16])[0]
+        packed = raw[16:16 + length]
+        if len(packed) != length:
+            raise CoreError("truncated core: %d of %d body bytes"
+                            % (len(packed), length))
+        if zlib.crc32(packed) & 0xFFFFFFFF != declared_crc:
+            raise CoreError("core body fails its CRC check (corrupt file)")
+        try:
+            body = zlib.decompress(packed)
+        except zlib.error as exc:
+            raise CoreError("core body does not decompress: %s" % exc)
+        try:
+            return cls._unpack_body(body)
+        except (struct.error, IndexError, UnicodeDecodeError) as exc:
+            raise CoreError("malformed core body: %s" % exc)
+
+    @classmethod
+    def _unpack_body(cls, body: bytes) -> "CoreFile":
+        offset = 0
+
+        def take(fmt: str):
+            nonlocal offset
+            values = struct.unpack_from(fmt, body, offset)
+            offset += struct.calcsize(fmt)
+            return values
+
+        (name_len,) = take("<B")
+        arch_name = body[offset:offset + name_len].decode("ascii")
+        offset += name_len
+        (big,) = take("<B")
+        memsize, context_addr, icount = take("<IIQ")
+        signo, code, fault_pc = take("<iII")
+        (nplanted,) = take("<I")
+        planted = []
+        for _ in range(nplanted):
+            address, size = take("<IB")
+            planted.append((address, body[offset:offset + size]))
+            offset += size
+        (nsegments,) = take("<I")
+        segments = []
+        for _ in range(nsegments):
+            start, size = take("<II")
+            raw = body[offset:offset + size]
+            if len(raw) != size:
+                raise CoreError("truncated segment at 0x%x" % start)
+            segments.append((start, raw))
+            offset += size
+        (table_len,) = take("<I")
+        table = body[offset:offset + table_len].decode("utf-8")
+        return cls(arch_name, "big" if big else "little", memsize,
+                   context_addr, icount, signo, code, fault_pc, segments,
+                   planted=planted, loader_ps=table or None)
+
+    def dump(self, path: str) -> None:
+        with open(path, "wb") as handle:
+            handle.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, path: str) -> "CoreFile":
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise CoreError("cannot read core file %s: %s" % (path, exc))
+        return cls.from_bytes(raw)
+
+    # -- reconstruction ---------------------------------------------------
+
+    def memory(self) -> TargetMemory:
+        """Rebuild the target's memory image (unstored runs are zero,
+        exactly as they were when skipped by the sparse scan)."""
+        mem = TargetMemory(self.memsize, byteorder=self.byteorder)
+        for start, raw in self.segments:
+            if start < 0 or start + len(raw) > self.memsize:
+                raise CoreError("segment [0x%x, 0x%x) outside the %d-byte "
+                                "image" % (start, start + len(raw),
+                                           self.memsize))
+            mem.write_bytes(start, raw)
+        return mem
+
+
+def sparse_segments(image: bytes) -> List[Tuple[int, bytes]]:
+    """The non-zero runs of ``image``, chunk-aligned and merged."""
+    segments: List[Tuple[int, bytes]] = []
+    run_start = None
+    view = memoryview(image)
+    for start in range(0, len(image), _CHUNK):
+        chunk_live = view[start:start + _CHUNK].tobytes().strip(b"\0")
+        if chunk_live:
+            if run_start is None:
+                run_start = start
+        elif run_start is not None:
+            segments.append((run_start, bytes(view[run_start:start])))
+            run_start = None
+    if run_start is not None:
+        segments.append((run_start, bytes(view[run_start:])))
+    return segments
+
+
+def core_from_process(process, signo: int, code: int, fault_pc: int,
+                      context_addr: int,
+                      planted=None, loader_ps: Optional[str] = None,
+                      ) -> CoreFile:
+    """Serialize a stopped process (context already saved by the nub at
+    ``context_addr``) into a :class:`CoreFile`."""
+    mem = process.mem
+    if loader_ps is None:
+        loader_ps = getattr(process.exe, "loader_ps", None)
+    return CoreFile(
+        arch_name=process.arch.name,
+        byteorder=mem.byteorder,
+        memsize=mem.size,
+        context_addr=context_addr,
+        icount=process.cpu.icount,
+        signo=signo, code=code, fault_pc=fault_pc,
+        segments=sparse_segments(bytes(mem.bytes)),
+        planted=sorted((planted or {}).items()) if isinstance(planted, dict)
+        else list(planted or []),
+        loader_ps=loader_ps,
+    )

@@ -2,7 +2,7 @@
 
 from . import protocol
 from .channel import Channel, ChannelClosed, Listener, connect, pair
-from .faults import FaultInjectingChannel, FaultSchedule
+from .faults import FaultInjectingChannel, FaultSchedule, NubKilled
 from .nub import Nub, NubMD, NubRunner, nub_md_for
 from .session import (
     ChannelTransport,
@@ -16,6 +16,7 @@ from .session import (
 
 __all__ = ["Channel", "ChannelClosed", "ChannelTransport",
            "FaultInjectingChannel", "FaultSchedule", "Listener", "Nub",
-           "NubError", "NubMD", "NubRunner", "NubSession", "RetryPolicy",
+           "NubError", "NubKilled", "NubMD", "NubRunner", "NubSession",
+           "RetryPolicy",
            "SessionError", "Transport", "TransportError", "connect",
            "nub_md_for", "pair", "protocol"]

@@ -21,6 +21,13 @@ Fault kinds (per outgoing frame):
 * ``delay``     — the frame is delivered after ``latency`` seconds of
   artificial latency.
 
+One failure is deliberately *not* in :data:`FAULT_KINDS` (it is not a
+frame fault the retry layer can absorb): **process death**.  A schedule
+built with ``kill_after=N`` (or a scripted ``"kill"`` action) tears the
+connection down on the N-th frame and raises :class:`NubKilled` in the
+nub, simulating the target process dying mid-session — the case where
+the debugger must stop retrying and degrade to post-mortem debugging.
+
 Corruption deliberately avoids the length field: a mangled length is a
 different failure (unframeable stream) exercised separately by the
 serve-loop fuzz tests.
@@ -35,8 +42,16 @@ from typing import Dict, List, Optional
 from .channel import Channel, ChannelClosed
 from .protocol import Message, encode
 
-#: every fault kind a schedule can inject
+#: every *recoverable* fault kind a schedule can inject; process death
+#: ("kill") is separate — it is terminal, not absorbable by retries
 FAULT_KINDS = ("drop", "corrupt", "truncate", "duplicate", "delay")
+
+
+class NubKilled(Exception):
+    """Injected process death: the nub (and with it the target) died
+    mid-session.  Raised out of the nub's send path so the nub's main
+    loop can fall over the way a killed process would — after leaving a
+    core behind, if it was configured to."""
 
 
 class FaultSchedule:
@@ -56,7 +71,8 @@ class FaultSchedule:
                  truncate: float = 0.0, duplicate: float = 0.0,
                  delay: float = 0.0, latency: float = 0.01,
                  limit: Optional[int] = None,
-                 script: Optional[List[str]] = None):
+                 script: Optional[List[str]] = None,
+                 kill_after: Optional[int] = None):
         self.rates = {"drop": drop, "corrupt": corrupt, "truncate": truncate,
                       "duplicate": duplicate, "delay": delay}
         for kind, rate in self.rates.items():
@@ -66,14 +82,25 @@ class FaultSchedule:
         self.limit = limit
         self.script = list(script) if script else []
         for action in self.script:
-            if action != "ok" and action not in FAULT_KINDS:
+            if action != "ok" and action != "kill" and action not in FAULT_KINDS:
                 raise ValueError("unknown scripted action %r" % action)
+        if kill_after is not None and kill_after < 0:
+            raise ValueError("bad kill_after %r" % kill_after)
+        #: kill the process on this (0-based) outgoing frame
+        self.kill_after = kill_after
+        self._frames = 0
         self._rng = random.Random(seed)
         self.injected = 0
         self.counts: Dict[str, int] = {}
 
     def next_action(self) -> str:
         """The action for the next outgoing frame."""
+        frame = self._frames
+        self._frames += 1
+        if self.kill_after is not None and frame >= self.kill_after:
+            self.injected += 1
+            self.counts["kill"] = self.counts.get("kill", 0) + 1
+            return "kill"
         if self.script:
             action = self.script.pop(0)
         elif self.limit is not None and self.injected >= self.limit:
@@ -127,6 +154,14 @@ class FaultInjectingChannel:
     def send(self, msg: Message) -> None:
         raw = encode(msg, crc=self.inner.crc, seq_mode=self.inner.seq_mode)
         action = self.schedule.next_action()
+        if action == "kill":
+            # process death: the socket dies with the process, and the
+            # nub's main loop unwinds on NubKilled
+            try:
+                self.inner.sock.close()
+            except OSError:
+                pass
+            raise NubKilled("injected nub process death")
         if action == "drop":
             return
         if action == "delay":

@@ -30,9 +30,11 @@ import threading
 from typing import Optional
 
 from ..machines import ExitEvent, FaultEvent, Process, SIGTRAP
+from ..machines.core import core_from_process
 from ..machines.loader import NUB_AREA
 from . import protocol
 from .channel import Channel, ChannelClosed, Listener
+from .faults import FaultInjectingChannel, FaultSchedule, NubKilled
 
 
 class NubMD:
@@ -170,6 +172,10 @@ class Nub:
                  breakpoint_extension: bool = True,
                  block_extension: bool = True,
                  timetravel_extension: bool = True,
+                 core_extension: bool = True,
+                 core_path: Optional[str] = None,
+                 loader_ps: Optional[str] = None,
+                 fault_schedule: Optional[FaultSchedule] = None,
                  obs=None):
         if obs is None:
             # imported here: repro.obs decodes frames via repro.nub, so
@@ -183,6 +189,12 @@ class Nub:
         self.obs = obs
         self.process = process
         self.arch = process.arch
+        #: fault injection on the *nub's* sends (tests, chaos runs): the
+        #: schedule wraps the given channel and every accepted one, so a
+        #: scripted "kill" dies inside the nub whatever the topology
+        self.fault_schedule = fault_schedule
+        if fault_schedule is not None and channel is not None:
+            channel = FaultInjectingChannel(channel, fault_schedule)
         self.channel = channel
         self.listener = listener
         self.stop_at_entry = stop_at_entry
@@ -201,6 +213,17 @@ class Nub:
         #: time travel (CHECKPOINT/RESTORE/ICOUNT/RUNTO): checkpoints
         #: live here, nub-side, so images never cross the wire
         self.timetravel_extension = timetravel_extension
+        #: post-mortem (DUMPCORE): serialize the stopped target on demand
+        self.core_extension = core_extension
+        #: where to auto-write a core on a fatal fault or injected death
+        #: (None: no automatic cores)
+        self.core_path = core_path
+        #: the loader symbol table to embed in cores, so they open
+        #: standalone; falls back to the executable's own copy
+        self.loader_ps = (loader_ps if loader_ps is not None
+                          else getattr(process.exe, "loader_ps", None))
+        #: the stop currently being served (the fault record a core records)
+        self._last_event: Optional[FaultEvent] = None
         self.checkpoints: dict = {}  # id -> (ProcessSnapshot, planted copy)
         self._next_checkpoint = 1
         #: seq/id of the last CHECKPOINT served, so a retried request
@@ -223,6 +246,28 @@ class Nub:
 
     def run(self) -> Optional[int]:
         """Run the target to completion, handling signals."""
+        try:
+            return self._run_loop()
+        except NubKilled:
+            # injected process death: the target dies with the nub, so
+            # nothing survives but the core (when one is configured)
+            self.obs.tracer.warn("nub.process_died")
+            self.obs.metrics.inc("nub.process_deaths")
+            if self._last_event is not None:
+                self._write_auto_core(self._last_event)
+            if self.channel is not None:
+                try:
+                    self.channel.close()
+                except Exception:
+                    pass
+                self.channel = None
+            if self.listener is not None:
+                self.listener.close()
+                self.listener = None
+            self.killed = True
+            return None
+
+    def _run_loop(self) -> Optional[int]:
         while True:
             stop_at = self._runto
             self._runto = None
@@ -262,11 +307,20 @@ class Nub:
         self.obs.tracer.event("nub.stop", signo=event.signo, code=event.code,
                               pc="0x%x" % event.pc)
         self.md.save_context(cpu, self.process.mem, self.context_addr, event.pc)
+        self._last_event = event
+        if event.signo != SIGTRAP:
+            # a fatal fault: leave a core behind before anything else can
+            # go wrong (the debugger may never connect, or die with us)
+            self._write_auto_core(event)
         while True:
             if self.channel is None:
                 if self.listener is None:
                     return "killed"  # fatal signal, nobody debugging
-                self.channel = self.listener.accept(self.accept_timeout)
+                accepted = self.listener.accept(self.accept_timeout)
+                if self.fault_schedule is not None:
+                    accepted = FaultInjectingChannel(accepted,
+                                                     self.fault_schedule)
+                self.channel = accepted
                 self.ack_active = False
                 self._last_control_seq = None
             try:
@@ -350,6 +404,8 @@ class Nub:
             self._do_dropckpt(msg)
         elif msg.mtype == protocol.MSG_ICOUNT:
             self._do_icount(msg)
+        elif msg.mtype == protocol.MSG_DUMPCORE:
+            self._do_dumpcore(msg)
         elif msg.mtype == protocol.MSG_RUNTO:
             target = protocol.parse_runto(msg)
             if not self._tt_enabled():
@@ -427,6 +483,8 @@ class Nub:
             accepted &= ~protocol.FEATURE_BLOCK
         if not self.timetravel_extension:
             accepted &= ~protocol.FEATURE_TIMETRAVEL
+        if not self.core_extension:
+            accepted &= ~protocol.FEATURE_CORE
         self._reply(protocol.hello(protocol.PROTOCOL_VERSION, accepted))
         # frames after the reply carry the negotiated extras
         self.channel.crc = bool(accepted & protocol.FEATURE_CRC)
@@ -633,6 +691,45 @@ class Nub:
             return
         self._require_empty(msg)
         self._reply(protocol.ckpt(protocol.NO_CKPT, self.process.cpu.icount))
+
+    # -- the post-mortem extension --------------------------------------------
+
+    def _build_core(self, event: FaultEvent):
+        return core_from_process(self.process, event.signo, event.code,
+                                 event.pc, self.context_addr,
+                                 planted=self.planted,
+                                 loader_ps=self.loader_ps)
+
+    def _do_dumpcore(self, msg) -> None:
+        """Serialize the stopped target into a core image, answered as
+        DATA.  The context is already saved at ``context_addr``, so the
+        core captures exactly what the live session sees."""
+        if not self.core_extension:
+            # a legacy nub: the debugger must degrade gracefully
+            self._reply(protocol.error(protocol.ERR_UNSUPPORTED))
+            return
+        self._require_empty(msg)
+        if self._last_event is None:
+            self._reply(protocol.error(protocol.ERR_BAD_MESSAGE))
+            return
+        raw = self._build_core(self._last_event).to_bytes()
+        self.obs.metrics.inc("nub.core_dumps")
+        self.obs.tracer.event("nub.core_dump", bytes=len(raw))
+        self._reply(protocol.data(raw))
+
+    def _write_auto_core(self, event: FaultEvent) -> None:
+        """Best-effort automatic core at ``core_path``; a failed write
+        must never take down the nub on top of the target's own fault."""
+        if self.core_path is None:
+            return
+        try:
+            self._build_core(event).dump(self.core_path)
+        except OSError:
+            self.obs.tracer.warn("nub.core_write_failed", path=self.core_path)
+            return
+        self.obs.metrics.inc("nub.core_writes")
+        self.obs.tracer.event("nub.core_write", path=self.core_path,
+                              signo=event.signo)
 
     def _send(self, msg) -> None:
         if self.channel is not None:

@@ -59,6 +59,15 @@ cross the wire::
                                           target: SIGNAL with
                                           code=CODE_ICOUNT)
 
+Post-mortem (``FEATURE_CORE``): one request message asks the nub to
+serialize the stopped target — registers, memory, icount, and the fault
+record — into a versioned core image (see ``repro.machines.core``)::
+
+    DUMPCORE                             -> DATA core bytes / ERROR
+
+A nub built without the feature answers ``ERR_UNSUPPORTED`` and the
+debugger reports core dumps unavailable.
+
 ``RUNTO`` is a control message like CONTINUE: acknowledged with OK
 under ``FEATURE_ACK``, deduplicated by sequence id, and followed by the
 usual unsolicited SIGNAL/EXITED when the target stops.  A nub built
@@ -122,6 +131,9 @@ MSG_ERROR = 20
 MSG_BREAKLIST = 21
 MSG_CKPT = 22
 MSG_DROPCKPT = 23
+# -- post-mortem (FEATURE_CORE): ask the nub to serialize the stopped
+# -- target into a core image; the DATA reply carries the core bytes
+MSG_DUMPCORE = 24
 
 _NAMES = {
     MSG_FETCH: "FETCH", MSG_STORE: "STORE", MSG_CONTINUE: "CONTINUE",
@@ -132,8 +144,13 @@ _NAMES = {
     MSG_BLOCKFETCH: "BLOCKFETCH", MSG_BLOCKSTORE: "BLOCKSTORE",
     MSG_CHECKPOINT: "CHECKPOINT", MSG_RESTORE: "RESTORE",
     MSG_ICOUNT: "ICOUNT", MSG_RUNTO: "RUNTO", MSG_CKPT: "CKPT",
-    MSG_DROPCKPT: "DROPCKPT",
+    MSG_DROPCKPT: "DROPCKPT", MSG_DUMPCORE: "DUMPCORE",
 }
+
+
+def type_name(mtype: int) -> str:
+    """The opcode's name, for error messages and traces."""
+    return _NAMES.get(mtype, "opcode %d" % mtype)
 
 ERR_BAD_SPACE = 1
 ERR_BAD_ADDRESS = 2
@@ -151,8 +168,9 @@ FEATURE_SEQ = 1 << 1
 FEATURE_ACK = 1 << 2
 FEATURE_BLOCK = 1 << 3
 FEATURE_TIMETRAVEL = 1 << 4
+FEATURE_CORE = 1 << 5
 ALL_FEATURES = (FEATURE_CRC | FEATURE_SEQ | FEATURE_ACK | FEATURE_BLOCK
-                | FEATURE_TIMETRAVEL)
+                | FEATURE_TIMETRAVEL | FEATURE_CORE)
 
 #: the largest span one BLOCKFETCH/BLOCKSTORE may move (well under
 #: MAX_PAYLOAD, so block frames can never trip the framing cap)
@@ -345,6 +363,12 @@ def runto(target_icount: int) -> Message:
 def ckpt(checkpoint_id: int, current_icount: int) -> Message:
     """The nub's answer to CHECKPOINT/RESTORE/ICOUNT."""
     return Message(MSG_CKPT, struct.pack("<IQ", checkpoint_id, current_icount))
+
+
+def dumpcore() -> Message:
+    """Ask the nub to serialize the stopped target into a core image
+    (FEATURE_CORE); the DATA reply carries the serialized bytes."""
+    return Message(MSG_DUMPCORE)
 
 
 def signal(signo: int, code: int, context_addr: int) -> Message:

@@ -80,6 +80,10 @@ class Transport(abc.ABC):
     #: True/False once known; None means "not negotiated yet — try it".
     timetravel_active: Optional[bool] = None
 
+    #: Can this connection serialize a core (DUMPCORE)?
+    #: True/False once known; None means "not negotiated yet — try it".
+    core_active: Optional[bool] = None
+
     @abc.abstractmethod
     def transact(self, msg: protocol.Message, expect: Iterable[int],
                  timeout: Optional[float] = None) -> protocol.Message:
@@ -192,7 +196,7 @@ class NubSession(Transport):
                  policy: Optional[RetryPolicy] = None,
                  want_crc: bool = True, want_seq: bool = True,
                  want_ack: bool = True, want_block: bool = True,
-                 want_timetravel: bool = True,
+                 want_timetravel: bool = True, want_core: bool = True,
                  reply_timeout: float = 10.0,
                  on_reconnect: Optional[Callable[["NubSession"], None]] = None,
                  obs=None):
@@ -211,6 +215,7 @@ class NubSession(Transport):
         self.want_ack = want_ack
         self.want_block = want_block
         self.want_timetravel = want_timetravel
+        self.want_core = want_core
         self.reply_timeout = reply_timeout
         self.on_reconnect = on_reconnect
         #: negotiated state (HELLO handshake, per connection)
@@ -222,6 +227,7 @@ class NubSession(Transport):
         self.block_active: Optional[bool] = None if want_block else False
         self.timetravel_active: Optional[bool] = (None if want_timetravel
                                                   else False)
+        self.core_active: Optional[bool] = None if want_core else False
         #: SIGNAL/EXITED frames that arrived while awaiting a reply
         self.pending_events: deque = deque()
         #: the last (signo, code, context) announced by the nub
@@ -428,6 +434,7 @@ class NubSession(Transport):
         self.crc_active = self.seq_active = self.ack_active = False
         self.block_active = None if self.want_block else False
         self.timetravel_active = None if self.want_timetravel else False
+        self.core_active = None if self.want_core else False
 
     def _reconnect(self) -> None:
         if self.connector is None:
@@ -447,6 +454,7 @@ class NubSession(Transport):
             self.crc_active = self.seq_active = self.ack_active = False
             self.block_active = None if self.want_block else False
             self.timetravel_active = None if self.want_timetravel else False
+            self.core_active = None if self.want_core else False
             got_signal = False
             try:
                 try:
@@ -494,7 +502,8 @@ class NubSession(Transport):
                     | (protocol.FEATURE_ACK if self.want_ack else 0)
                     | (protocol.FEATURE_BLOCK if self.want_block else 0)
                     | (protocol.FEATURE_TIMETRAVEL
-                       if self.want_timetravel else 0))
+                       if self.want_timetravel else 0)
+                    | (protocol.FEATURE_CORE if self.want_core else 0))
         if not features:
             self.hello_done = True
             return
@@ -513,6 +522,7 @@ class NubSession(Transport):
             self.block_active = bool(accepted & protocol.FEATURE_BLOCK)
             self.timetravel_active = bool(accepted
                                           & protocol.FEATURE_TIMETRAVEL)
+            self.core_active = bool(accepted & protocol.FEATURE_CORE)
             self.channel.crc = self.crc_active
             self.channel.seq_mode = self.seq_active
         else:
@@ -521,6 +531,7 @@ class NubSession(Transport):
             self.crc_active = self.seq_active = self.ack_active = False
             self.block_active = False
             self.timetravel_active = False
+            self.core_active = False
         self.hello_done = True
 
     def _flush(self) -> None:

@@ -50,6 +50,10 @@ class Interp:
         self.userdict = PSDict()
         self.dstack: List[PSDict] = [self.systemdict, self.userdict]
         self.stdout = stdout if stdout is not None else sys.stdout
+        #: the error that made the outermost ``stopped`` return true, or
+        #: None when it stopped via ``stop`` (the $error analog: hosts
+        #: read it to tell "done" from "failed")
+        self.stop_error: Optional[PSError] = None
         self.systemdict["systemdict"] = self.systemdict
         self.systemdict["userdict"] = self.userdict
         from . import ops_core
@@ -253,11 +257,21 @@ class Interp:
         self.run_source(source, name)
 
     def stopped_call(self, obj: Any) -> bool:
-        """Execute ``obj``; True if it stopped (``stop`` or an error)."""
+        """Execute ``obj``; True if it stopped (``stop`` or an error).
+
+        ``stop_error`` records *why*: the :class:`PSError` when an error
+        stopped execution, None for a plain ``stop`` or a clean finish.
+        The outermost ``stopped`` wins, so an inner handler that caught
+        and absorbed an error leaves no stale record behind."""
         try:
             self.call(obj)
-        except (PSStop, PSError):
+        except PSStop:
+            self.stop_error = None
             return True
+        except PSError as err:
+            self.stop_error = err
+            return True
+        self.stop_error = None
         return False
 
     # ------------------------------------------------------------------
