@@ -1,0 +1,168 @@
+"""P2 — the session-server fleet: many live sessions, bounded latency.
+
+The server's scaling claim made measurable: one :class:`DebugServer`
+hosting a fleet of concurrent sessions (every one a full debugger
+stack — compiler-built target, nub thread, supervised worker), driven
+by one client thread per session through the JSON-line gateway.
+
+Measured, straight from the shared Metrics registry the server already
+feeds (no bench-side stopwatches around the interesting part):
+
+* ``p50_us`` / ``p99_us`` — per-command service latency
+  (``serve.cmd_latency_us``), across every session at peak load;
+* ``commands`` / ``errors`` — fleet totals; a single error fails the
+  budget (a loaded server answers, correctly, or the bench is red);
+* ``peak_sessions`` — live sessions held simultaneously (the
+  acceptance floor is 100 in the full run).
+
+Budgets: zero errors, every spawned session live at peak, zero
+sessions left after detach, p99 under 5 s.  Emits
+``BENCH_server_fleet.json`` at the repository root.  ``BENCH_QUICK=1``
+runs a 20-session fleet (the CI smoke mode); the full run holds 120.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.serve import DebugServer
+
+from .conftest import report
+
+FLEET = 20 if os.environ.get("BENCH_QUICK") else 120
+CONTINUES = 3  # breakpoint hits driven per session at peak load
+
+COUNTER_C = """int counter;
+int tick(int n) { counter = counter + n; return counter; }
+int main(void)
+{
+    int i;
+    for (i = 0; i < 50; i++)
+        tick(1);
+    return counter;
+}
+"""
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_server_fleet.json"
+
+MAX_P99_SECONDS = 5.0
+
+
+def _drive(srv, results, index):
+    """One fleet member: spawn, debug under load, detach."""
+    client = srv.client(timeout=120.0)
+    try:
+        info = client.spawn(source=COUNTER_C)
+        sid, token = info["session"], info["token"]
+        results[index]["spawned"] = True
+        # hold here until the whole fleet is live: the command phase
+        # must run at peak concurrency, not against a ramp
+        results["barrier"].wait(timeout=300.0)
+        client.command(sid, token, "break", {"at": "tick"}, deadline=60.0)
+        for _ in range(CONTINUES):
+            event = client.command(sid, token, "continue", deadline=60.0)
+            assert event["event"] == "breakpoint", event
+        printed = client.command(sid, token, "print", {"expr": "counter"},
+                                 deadline=60.0)
+        assert "text" in printed or "value" in printed
+        client.command(sid, token, "ping", deadline=60.0)
+        results[index]["commands"] = CONTINUES + 3
+        results["peak"].wait(timeout=300.0)  # everyone finishes at load
+        client.detach(sid, token)
+        results[index]["ok"] = True
+    except Exception as err:  # noqa: BLE001 - a bench failure is data
+        results[index]["error"] = "%s: %s" % (type(err).__name__, err)
+    finally:
+        client.close()
+
+
+def measure(fleet: int) -> dict:
+    srv = DebugServer(max_sessions=fleet + 8, default_deadline=60.0,
+                      hang_grace=5.0, idle_ttl=600.0, token_seed=2026)
+    metrics = srv.manager.obs.metrics
+    results = {i: {} for i in range(fleet)}
+    results["barrier"] = threading.Barrier(fleet)
+    results["peak"] = threading.Barrier(fleet)
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=fleet) as pool:
+        futures = [pool.submit(_drive, srv, results, i)
+                   for i in range(fleet)]
+        # sample the live-session gauge while the fleet runs
+        peak_sessions = 0
+        while any(not f.done() for f in futures):
+            peak_sessions = max(peak_sessions,
+                                len(srv.manager.list_sessions()))
+            time.sleep(0.1)
+        for f in futures:
+            f.result()
+    elapsed = time.perf_counter() - started
+
+    errors = [results[i]["error"] for i in range(fleet)
+              if "error" in results[i]]
+    commands = sum(results[i].get("commands", 0) for i in range(fleet))
+    snapshot = metrics.snapshot()
+    leftover = srv.manager.list_sessions()
+    out = {
+        "benchmark": "server_fleet",
+        "workload": ("%d concurrent sessions x (break + %d continues + "
+                     "print + ping) through the JSON gateway"
+                     % (fleet, CONTINUES)),
+        "fleet": fleet,
+        "peak_sessions": peak_sessions,
+        "elapsed_seconds": elapsed,
+        "commands": commands,
+        "commands_per_second": commands / elapsed if elapsed else 0.0,
+        "p50_us": metrics.percentile("serve.cmd_latency_us", 0.50),
+        "p99_us": metrics.percentile("serve.cmd_latency_us", 0.99),
+        "served_commands": snapshot.get("serve.commands", 0),
+        "spawns": snapshot.get("serve.spawns", 0),
+        "deaths": snapshot.get("serve.deaths", 0),
+        "errors": errors,
+        "sessions_left": len(leftover),
+        "budgets": {"errors": 0, "p99_seconds": MAX_P99_SECONDS},
+    }
+    srv.close()
+    return out
+
+
+def emit(data: dict) -> None:
+    _OUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _check(data: dict) -> None:
+    assert data["errors"] == [], data["errors"][:5]
+    assert data["peak_sessions"] >= data["fleet"], data["peak_sessions"]
+    assert data["sessions_left"] == 0, data["sessions_left"]
+    assert data["deaths"] == 0, data["deaths"]
+    assert data["p99_us"] < MAX_P99_SECONDS * 1e6, data["p99_us"]
+
+
+def test_server_fleet_budget():
+    data = measure(FLEET)
+    emit(data)
+    report("", "P2. Session-server fleet: concurrent sessions under load",
+           "  workload: %s" % data["workload"],
+           "  peak %d sessions, %d commands in %.2fs (%.0f/s)"
+           % (data["peak_sessions"], data["commands"],
+              data["elapsed_seconds"], data["commands_per_second"]),
+           "  latency p50 %.1fms p99 %.1fms"
+           % (data["p50_us"] / 1e3, data["p99_us"] / 1e3))
+    _check(data)
+
+
+if __name__ == "__main__":
+    data = measure(FLEET)
+    emit(data)
+    _check(data)
+    print("fleet %d peak %d commands %d in %.2fs (%.0f/s) "
+          "p50 %.1fms p99 %.1fms errors %d"
+          % (data["fleet"], data["peak_sessions"], data["commands"],
+             data["elapsed_seconds"], data["commands_per_second"],
+             data["p50_us"] / 1e3, data["p99_us"] / 1e3,
+             len(data["errors"])))
+    print("wrote %s" % _OUT)

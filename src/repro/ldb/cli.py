@@ -56,6 +56,12 @@ class Cli:
         self.out = stdout if stdout is not None else sys.stdout
         self.ldb = Ldb(stdout=self.out)
         self.done = False
+        self.server = None  # the session server, once `serve` runs
+
+    def close(self) -> None:
+        if self.server is not None:
+            self.server.close()
+            self.server = None
 
     def say(self, text: str) -> None:
         self.out.write(text + "\n")
@@ -79,13 +85,16 @@ class Cli:
     # -- the command loop ---------------------------------------------------
 
     def repl(self) -> None:
-        while not self.done:
-            self.out.write("(ldb) ")
-            self.out.flush()
-            line = self.stdin.readline()
-            if not line:
-                break
-            self.command(line.strip())
+        try:
+            while not self.done:
+                self.out.write("(ldb) ")
+                self.out.flush()
+                line = self.stdin.readline()
+                if not line:
+                    break
+                self.command(line.strip())
+        finally:
+            self.close()
 
     def command(self, line: str) -> None:
         if not line:
@@ -159,11 +168,15 @@ class Cli:
         elif verb == "kill":
             self.ldb.current.kill()
             self.say("killed")
+        elif verb == "serve":
+            self.cmd_serve(rest)
+        elif verb == "sessions":
+            self.cmd_sessions()
         else:
             self.say("ldb: unknown command %r (try: break condition run step next "
                      "record reverse-continue reverse-step reverse-next goto "
                      "print set backtrace where core dumpcore registers stats "
-                     "trace targets quit)" % verb)
+                     "trace targets serve sessions quit)" % verb)
 
     def cmd_core(self, path: str) -> None:
         """Open a core file: a post-mortem target with no nub behind it."""
@@ -321,6 +334,33 @@ class Cli:
             self.say("trace buffer cleared")
         else:
             self.say("trace: on | off | dump [file] | clear")
+
+    def cmd_serve(self, rest: str) -> None:
+        """Start the session server (docs/ldb.md, DESIGN.md Sec. 11)
+        on a background thread; this CLI keeps working beside it."""
+        if self.server is not None:
+            self.say("session server already listening on %s:%d"
+                     % (self.server.host, self.server.port))
+            return
+        from ..serve import DebugServer
+        port = int(rest) if rest else 0
+        self.server = DebugServer(port=port)
+        self.say("session server listening on %s:%d"
+                 % (self.server.host, self.server.port))
+
+    def cmd_sessions(self) -> None:
+        if self.server is None:
+            self.say("no session server (start one with: serve [port])")
+            return
+        rows = self.server.manager.list_sessions()
+        if not rows:
+            self.say("no sessions")
+            return
+        for row in rows:
+            self.say("%s  %-8s queued=%d busy=%s idle=%.1fs done=%d  %s"
+                     % (row["session"], row["state"], row["queued"],
+                        "y" if row["busy"] else "n", row["idle_seconds"],
+                        row["commands_done"], row.get("reason", "")))
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -80,7 +80,8 @@ class Ldb:
                      table_ps: Optional[str] = None,
                      cache: bool = True, block_nub: bool = True,
                      timetravel_nub: bool = True, core_nub: bool = True,
-                     core_path: Optional[str] = None) -> Target:
+                     core_path: Optional[str] = None,
+                     fault_schedule=None) -> Target:
         """Start a target process as a "child": the fork analog.
 
         ``block_nub=False`` simulates a legacy nub without the
@@ -90,7 +91,10 @@ class Ldb:
         forward debugging is unaffected.  ``core_nub=False`` simulates
         one without DUMPCORE.  ``core_path`` tells the nub where to
         auto-write a core when the target takes a fatal signal or the
-        nub itself dies.
+        nub itself dies.  ``fault_schedule`` injects a seeded
+        :class:`~repro.nub.faults.FaultSchedule` into the *nub's* sends
+        — the hook the session server's chaos harness uses to kill,
+        hang, or corrupt hosted sessions.
         """
         debugger_end, nub_end = pair()
         process = Process(exe)
@@ -100,7 +104,7 @@ class Ldb:
                   block_extension=block_nub,
                   timetravel_extension=timetravel_nub,
                   core_extension=core_nub, core_path=core_path,
-                  loader_ps=table_ps)
+                  loader_ps=table_ps, fault_schedule=fault_schedule)
         runner = NubRunner(nub).start()
         target = self.adopt_channel(debugger_end, table_ps, wait=stop_at_entry,
                                     cache=cache)
@@ -165,6 +169,21 @@ class Ldb:
         (paper Sec. 5)."""
         self.current = self.targets[name]
         return self.current
+
+    def drop_target(self, name: str) -> None:
+        """Forget a target and close its transport: the session-server
+        detach path.  Closing the debugger end of a spawned pair tells
+        the nub nobody is debugging, so a stopped target is released
+        rather than preserved forever."""
+        target = self.targets.pop(name, None)
+        if target is None:
+            return
+        try:
+            target.transport.close()
+        except Exception:
+            pass  # a dead transport is already what "dropped" means
+        if self.current is target:
+            self.current = next(iter(self.targets.values()), None)
 
     # -- breakpoints -------------------------------------------------------------
 

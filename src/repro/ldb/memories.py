@@ -25,7 +25,7 @@ from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..machines import float80
 from ..nub import protocol
-from ..nub.session import NubError, Transport, TransportError
+from ..nub.session import DeadlineExceeded, NubError, Transport, TransportError
 from ..postscript import AbstractMemory, KIND_BYTES, Location, PSError
 
 
@@ -117,8 +117,14 @@ class WireMemory(AbstractMemory):
             return self.transport.transact(msg, expect=expect)
         except NubError as err:
             raise PSError("invalidaccess", "nub error %d %s" % (err.code, what))
+        except DeadlineExceeded:
+            raise  # the supervisor's time bound: never masked as an ioerror
         except TransportError as err:
-            raise PSError("ioerror", "nub request failed: %s" % err)
+            ps = PSError("ioerror", "nub request failed: %s" % err)
+            # tag the wrapped cause: callers that can answer typed (the
+            # command API) map this to "target died", not "bad expression"
+            ps.transport_error = err
+            raise ps
 
     def fetch_absolute(self, loc: Location, kind: str):
         self.stats.note("wire", "fetch")
@@ -157,8 +163,14 @@ class WireMemory(AbstractMemory):
                 raise BlockUnsupported("nub error %d" % err.code)
             raise PSError("invalidaccess", "nub error %d for block %s+%d"
                           % (err.code, space, address))
+        except DeadlineExceeded:
+            raise  # the supervisor's time bound: never masked as an ioerror
         except TransportError as err:
-            raise PSError("ioerror", "nub request failed: %s" % err)
+            ps = PSError("ioerror", "nub request failed: %s" % err)
+            # tag the wrapped cause: callers that can answer typed (the
+            # command API) map this to "target died", not "bad expression"
+            ps.transport_error = err
+            raise ps
         return reply.payload
 
     def store_block(self, space: str, address: int, data: bytes) -> None:
@@ -175,8 +187,14 @@ class WireMemory(AbstractMemory):
                 raise BlockUnsupported("nub error %d" % err.code)
             raise PSError("invalidaccess", "nub error %d for block %s+%d"
                           % (err.code, space, address))
+        except DeadlineExceeded:
+            raise  # the supervisor's time bound: never masked as an ioerror
         except TransportError as err:
-            raise PSError("ioerror", "nub request failed: %s" % err)
+            ps = PSError("ioerror", "nub request failed: %s" % err)
+            # tag the wrapped cause: callers that can answer typed (the
+            # command API) map this to "target died", not "bad expression"
+            ps.transport_error = err
+            raise ps
 
 
 def decode_value(raw_le: bytes, kind: str):

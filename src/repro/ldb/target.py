@@ -135,6 +135,23 @@ class Target:
         """The transport's current channel (None while disconnected)."""
         return getattr(self.transport, "channel", None)
 
+    def describe(self) -> dict:
+        """A machine-readable status snapshot — JSON-able, and built
+        only from state already in hand (no wire traffic: a dead or
+        wedged nub must not make *describing* the target hang too)."""
+        return {
+            "name": self.name,
+            "arch": self.arch_name,
+            "state": self.state,
+            "post_mortem": self.post_mortem,
+            "signo": self.signo,
+            "sigcode": self.sigcode,
+            "exit_status": self.exit_status,
+            "breakpoints": len(self.breakpoints.planted),
+            "core_path": self.core_path,
+            "recording": self.replay is not None,
+        }
+
     # -- PostScript context ------------------------------------------------
 
     def _make_target_dict(self) -> PSDict:

@@ -15,6 +15,7 @@ frames, and both peers flip the flags after the handshake round-trip.
 from __future__ import annotations
 
 import socket
+import time
 from typing import Optional, Tuple
 
 from .protocol import CrcError, FrameError, Message, decode, encode
@@ -147,8 +148,36 @@ class Listener:
             pass
 
 
-def connect(host: str, port: int, timeout: float = 10.0) -> Channel:
-    """Connect to a listening nub over the network."""
-    sock = socket.create_connection((host, port), timeout=timeout)
-    sock.settimeout(None)
-    return Channel(sock)
+def connect(host: str, port: int, timeout: float = 10.0,
+            attempts: int = 3, base_delay: float = 0.05,
+            multiplier: float = 2.0) -> Channel:
+    """Connect to a listening nub over the network.
+
+    A nub that is mid-restart (or briefly out of accept slots) refuses
+    or times out the first connection, so the dial is retried with
+    exponential backoff up to ``attempts`` times, all bounded by the
+    single overall ``timeout`` budget.  Every failure mode — refused,
+    unreachable, or slow — surfaces as one consistent
+    ``TimeoutError("no connection to HOST:PORT within S seconds ...")``
+    so callers (and their tests) match a single message shape.
+    """
+    deadline = time.monotonic() + timeout
+    last_err: Optional[Exception] = None
+    for attempt in range(max(1, attempts)):
+        if attempt:
+            pause = base_delay * multiplier ** (attempt - 1)
+            pause = min(pause, max(0.0, deadline - time.monotonic()))
+            time.sleep(pause)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        try:
+            sock = socket.create_connection((host, port), timeout=remaining)
+        except OSError as err:  # includes socket.timeout
+            last_err = err
+            continue
+        sock.settimeout(None)
+        return Channel(sock)
+    raise TimeoutError(
+        "no connection to %s:%d within %s seconds (%d attempts): %s"
+        % (host, port, timeout, max(1, attempts), last_err))

@@ -72,7 +72,8 @@ class FaultSchedule:
                  delay: float = 0.0, latency: float = 0.01,
                  limit: Optional[int] = None,
                  script: Optional[List[str]] = None,
-                 kill_after: Optional[int] = None):
+                 kill_after: Optional[int] = None,
+                 after: int = 0):
         self.rates = {"drop": drop, "corrupt": corrupt, "truncate": truncate,
                       "duplicate": duplicate, "delay": delay}
         for kind, rate in self.rates.items():
@@ -88,15 +89,59 @@ class FaultSchedule:
             raise ValueError("bad kill_after %r" % kill_after)
         #: kill the process on this (0-based) outgoing frame
         self.kill_after = kill_after
+        if after < 0:
+            raise ValueError("bad after %r" % after)
+        #: frames before this index pass clean — lets a chaos schedule
+        #: spare the spawn handshake and strike mid-session
+        self.after = after
         self._frames = 0
+        self.seed = seed
         self._rng = random.Random(seed)
         self.injected = 0
         self.counts: Dict[str, int] = {}
+
+    #: every key a serialized spec may carry (the JSON gateway accepts
+    #: exactly these in a spawn request's ``fault`` object)
+    SPEC_KEYS = ("seed", "drop", "corrupt", "truncate", "duplicate", "delay",
+                 "latency", "limit", "script", "kill_after", "after")
+
+    @classmethod
+    def from_spec(cls, spec: Dict) -> "FaultSchedule":
+        """Build a schedule from a plain JSON-able dict — the form a
+        session server receives inside a spawn request.  Unknown keys
+        are rejected loudly: a typo'd chaos spec that silently injects
+        nothing would make a whole chaos run vacuous."""
+        unknown = sorted(set(spec) - set(cls.SPEC_KEYS))
+        if unknown:
+            raise ValueError("unknown fault spec keys: %s"
+                             % ", ".join(unknown))
+        return cls(**spec)
+
+    def spec(self) -> Dict:
+        """The JSON-able description of this schedule's *configuration*
+        (not its consumed state): round-trips through :meth:`from_spec`."""
+        out: Dict = {"seed": self.seed}
+        for kind, rate in self.rates.items():
+            if rate:
+                out[kind] = rate
+        if self.latency != 0.01:
+            out["latency"] = self.latency
+        if self.limit is not None:
+            out["limit"] = self.limit
+        if self.script:
+            out["script"] = list(self.script)
+        if self.kill_after is not None:
+            out["kill_after"] = self.kill_after
+        if self.after:
+            out["after"] = self.after
+        return out
 
     def next_action(self) -> str:
         """The action for the next outgoing frame."""
         frame = self._frames
         self._frames += 1
+        if frame < self.after:
+            return "ok"
         if self.kill_after is not None and frame >= self.kill_after:
             self.injected += 1
             self.counts["kill"] = self.counts.get("kill", 0) + 1

@@ -50,6 +50,13 @@ class SessionError(TransportError):
     """A request could not be completed within the retry budget."""
 
 
+class DeadlineExceeded(SessionError):
+    """A request ran out of *deadline*, not retry budget: the caller's
+    time bound expired while the exchange (attempts, backoff sleeps,
+    reconnects) was still in flight.  Supervisors map this to their
+    deadline answer rather than treating the nub as dead."""
+
+
 class NubError(Exception):
     """The nub answered with a semantic ERROR (bad address, bad space,
     unsupported operation).  Carries the protocol error code."""
@@ -165,13 +172,25 @@ class _Transient(Exception):
 
 
 class RetryPolicy:
-    """Exponential backoff with jitter, deterministically seeded."""
+    """Exponential backoff with *full* jitter, deterministically seeded.
+
+    The sleep before retry ``n`` is drawn uniformly from
+    ``[(1 - jitter) * cap, cap]`` where ``cap`` is the capped
+    exponential ``min(max_delay, base_delay * multiplier**n)`` — with
+    the default ``jitter=1.0`` that is full jitter, uniform over
+    ``(0, cap]``.  A fleet of sessions reconnecting after a shared
+    outage therefore spreads its retries across the whole window
+    instead of thundering back at the same deterministic instants.
+    The RNG is seeded, so a fault-matrix run replays exactly.
+    """
 
     def __init__(self, max_attempts: int = 6, base_delay: float = 0.02,
                  max_delay: float = 0.5, multiplier: float = 2.0,
-                 jitter: float = 0.5, seed: int = 0):
+                 jitter: float = 1.0, seed: int = 0):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
         self.max_attempts = max_attempts
         self.base_delay = base_delay
         self.max_delay = max_delay
@@ -181,8 +200,8 @@ class RetryPolicy:
 
     def delay(self, attempt: int) -> float:
         """The sleep before retry number ``attempt`` (0-based)."""
-        base = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
-        return base * (1.0 + self.jitter * self._rng.random())
+        cap = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        return cap * (1.0 - self.jitter * self._rng.random())
 
 
 _EVENT_TYPES = (protocol.MSG_SIGNAL, protocol.MSG_EXITED)
@@ -237,12 +256,18 @@ class NubSession(Transport):
         self.reconnects = 0
         self._seq = 0
         self._in_callback = False
+        #: absolute (monotonic) deadline applied to *every* request
+        #: while set — how a supervisor bounds a whole command, fetches
+        #: and retries included, without threading a parameter through
+        #: each call site
+        self.deadline_abs: Optional[float] = None
 
     # -- the request/reply engine -----------------------------------------
 
     def request(self, msg: protocol.Message,
                 expect: Iterable[int] = (protocol.MSG_OK,),
-                timeout: Optional[float] = None) -> protocol.Message:
+                timeout: Optional[float] = None,
+                deadline: Optional[float] = None) -> protocol.Message:
         """Send ``msg`` and return the nub's reply, retrying through
         transient faults and reconnecting through connection crashes.
 
@@ -250,8 +275,19 @@ class NubSession(Transport):
         semantic code (bad address, unsupported, ...) is returned to the
         caller as-is, while ``ERR_BAD_MESSAGE`` — "your frame arrived
         mangled" — triggers a retry.
+
+        ``deadline`` bounds the *whole* exchange in seconds — every
+        attempt, backoff sleep, and reconnect included — so a caller
+        under its own deadline (the session server's supervisor) gets a
+        :class:`SessionError` in bounded time instead of waiting out
+        the full retry budget.  ``timeout`` still bounds each attempt.
         """
         timeout = self.reply_timeout if timeout is None else timeout
+        started_at = time.monotonic()
+        overall = None if deadline is None else started_at + deadline
+        if self.deadline_abs is not None:
+            overall = (self.deadline_abs if overall is None
+                       else min(overall, self.deadline_abs))
         expect = tuple(expect)
         msg.seq = self._next_seq()
         metrics = self.obs.metrics
@@ -261,7 +297,20 @@ class NubSession(Transport):
             if attempt:
                 self.retries += 1
                 metrics.inc("session.retries")
-                time.sleep(self.policy.delay(attempt - 1))
+                pause = self.policy.delay(attempt - 1)
+                if overall is not None:
+                    pause = min(pause, max(0.0, overall - time.monotonic()))
+                time.sleep(pause)
+            if overall is not None:
+                remaining = overall - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExceeded(
+                        "request %r missed its %.3fs deadline after "
+                        "%d attempts: %s" % (msg, overall - started_at,
+                                             attempt, last_err))
+                timeout_now = min(timeout, remaining)
+            else:
+                timeout_now = timeout
             try:
                 self._ensure_channel()
                 self._ensure_handshake()
@@ -270,7 +319,7 @@ class NubSession(Transport):
                 metrics.inc("session.bytes_out", self._frame_size(msg))
                 started = time.perf_counter()
                 self.channel.send(msg)
-                reply = self._await_reply(msg, expect, timeout)
+                reply = self._await_reply(msg, expect, timeout_now)
                 metrics.observe("session.latency_us",
                                 int((time.perf_counter() - started) * 1e6))
                 metrics.inc("session.replies")
@@ -295,11 +344,13 @@ class NubSession(Transport):
 
     def transact(self, msg: protocol.Message,
                  expect: Iterable[int] = (protocol.MSG_OK,),
-                 timeout: Optional[float] = None) -> protocol.Message:
+                 timeout: Optional[float] = None,
+                 deadline: Optional[float] = None) -> protocol.Message:
         """The :class:`Transport` request: an expected reply, or
         :class:`NubError` for the nub's semantic ERROR answers —
         identical surfacing to :class:`ChannelTransport`."""
-        reply = self.request(msg, expect=expect, timeout=timeout)
+        reply = self.request(msg, expect=expect, timeout=timeout,
+                             deadline=deadline)
         if reply.mtype == protocol.MSG_ERROR:
             raise NubError(protocol.parse_error(reply), msg)
         return reply

@@ -23,7 +23,9 @@ thread and shares the registry with the debugger side in tests.
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from typing import Dict, Optional, Union
 
 Number = Union[int, float]
@@ -64,14 +66,22 @@ class Gauge:
 
 
 class Histogram:
-    """A streaming summary of a distribution: count, sum, min, max.
+    """A streaming summary of a distribution: count, sum, min, max —
+    plus a *bounded* reservoir of samples for percentiles.
 
-    Individual samples are not retained — the consumers (benchmarks,
-    the ``stats`` verb) want totals and means, and keeping samples
-    would make long traced sessions grow without bound.
+    The full sample stream is not retained (a long traced session
+    would grow without bound); instead a fixed-size reservoir holds a
+    uniform random subset (Vitter's Algorithm R) from which
+    :meth:`percentile` answers p50/p99-style questions — the fleet
+    benchmark's command-latency numbers come straight from here.  The
+    reservoir RNG is seeded per-histogram-name, so equal workloads
+    sample identically run to run.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_reservoir", "_rng")
+
+    RESERVOIR_SIZE = 1024
 
     def __init__(self, name: str):
         self.name = name
@@ -79,6 +89,8 @@ class Histogram:
         self.total: Number = 0
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
+        self._reservoir: list = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: Number) -> None:
         self.count += 1
@@ -87,9 +99,31 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if len(self._reservoir) < self.RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.RESERVOIR_SIZE:
+                self._reservoir[slot] = value
 
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]) estimated from the
+        reservoir, with linear interpolation between samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile %r not in [0, 1]" % q)
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     def __repr__(self) -> str:
         return ("<histogram %s n=%d mean=%.3g>"
@@ -156,6 +190,14 @@ class Metrics:
         if isinstance(inst, Histogram):
             return inst.count
         return inst.value
+
+    def percentile(self, name: str, q: float) -> float:
+        """A histogram's ``q``-quantile (0 when the name is unknown)."""
+        with self._lock:
+            inst = self._instruments.get(name)
+            if not isinstance(inst, Histogram):
+                return 0.0
+            return inst.percentile(q)
 
     def total(self, prefix: str) -> int:
         """Sum of every counter whose name starts with ``prefix``."""

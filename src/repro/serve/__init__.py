@@ -1,0 +1,26 @@
+"""The supervised debug-session fleet (DESIGN.md Sec. 11).
+
+A resilient multi-session server over the nub stack: an asyncio
+:class:`~repro.serve.manager.SessionManager` hosts many concurrent
+debug sessions — each a supervised
+:class:`~repro.serve.session.SessionWorker` thread owning its own
+debugger, target, and nub — behind the JSON-line TCP
+:class:`~repro.serve.gateway.Gateway`.  Deadlines, bounded queues,
+watchdog expiry, and degradation to core-backed read-only sessions
+keep every request answered with a typed result, whatever the nubs do.
+"""
+
+from .errors import GatewayError
+from .gateway import DebugServer, Gateway, GatewayClient, RemoteError
+from .manager import SessionManager
+from .session import SessionWorker
+
+__all__ = [
+    "DebugServer",
+    "Gateway",
+    "GatewayClient",
+    "GatewayError",
+    "RemoteError",
+    "SessionManager",
+    "SessionWorker",
+]

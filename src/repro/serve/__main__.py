@@ -1,0 +1,7 @@
+"""``python -m repro.serve [port]`` — run the session server."""
+
+import sys
+
+from .gateway import main
+
+sys.exit(main())

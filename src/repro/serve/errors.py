@@ -1,0 +1,55 @@
+"""Typed errors for the session server.
+
+Robustness is the headline of :mod:`repro.serve`, and the contract
+that makes it testable is: **every request is answered, and every
+failure is answered with a code** a client can switch on.  The chaos
+suite asserts exactly this — no injected nub death, hang, or
+corruption may ever turn into a silent disconnect or a raw traceback.
+
+The command-layer codes (bad verb, dead target, post-mortem refusal)
+live in :mod:`repro.ldb.api`; this module adds the *session* layer:
+admission, authentication, deadlines, and lifecycle.  Both vocabularies
+are documented in PROTOCOL.md Appendix A, and
+``tools/check_protocol_doc.py`` keeps the doc and these definitions in
+two-way sync.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+# -- session-layer error codes (PROTOCOL.md App. A) -----------------------
+
+ERR_BAD_REQUEST = "ERR_BAD_REQUEST"            # unparseable JSON line
+ERR_AUTH = "ERR_AUTH"                          # missing/wrong session token
+ERR_NO_SESSION = "ERR_NO_SESSION"              # unknown session id
+ERR_BUSY = "ERR_BUSY"                          # queue/admission rejected
+ERR_DEADLINE = "ERR_DEADLINE"                  # command missed its deadline
+ERR_SESSION_EXPIRED = "ERR_SESSION_EXPIRED"    # idle-reaped or force-killed
+ERR_SPAWN_FAILED = "ERR_SPAWN_FAILED"          # compile/launch failed
+ERR_SHUTTING_DOWN = "ERR_SHUTTING_DOWN"        # server is draining
+ERR_INTERNAL = "ERR_INTERNAL"                  # anything unforeseen, typed
+
+
+class GatewayError(Exception):
+    """A session-layer failure with a wire-visible code.
+
+    ``retryable`` marks errors a well-behaved client may retry with
+    backoff (``ERR_BUSY``, ``ERR_DEADLINE``); the rest are final for
+    this session or request.
+    """
+
+    def __init__(self, code: str, message: str, retryable: bool = False,
+                 core_path: Optional[str] = None):
+        super().__init__(message)
+        self.code = code
+        self.retryable = retryable
+        self.core_path = core_path
+
+    def to_dict(self) -> dict:
+        out = {"code": self.code, "message": str(self)}
+        if self.retryable:
+            out["retryable"] = True
+        if self.core_path:
+            out["core_path"] = self.core_path
+        return out

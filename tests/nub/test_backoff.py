@@ -1,0 +1,143 @@
+"""Full-jitter retry backoff, the bounded connect() dial, and the
+fault-spec round-trip — the reproducibility half of the robustness
+story: every retry sleep and every injected fault replays from a seed.
+"""
+
+import re
+import socket
+import time
+
+import pytest
+
+from repro.nub.channel import connect
+from repro.nub.faults import FaultSchedule
+from repro.nub.session import RetryPolicy
+
+
+# -- RetryPolicy: capped exponential with full jitter ----------------------
+
+def test_jitter_is_seeded_and_reproducible():
+    a = RetryPolicy(seed=42)
+    b = RetryPolicy(seed=42)
+    assert [a.delay(n) for n in range(8)] == [b.delay(n) for n in range(8)]
+    c = RetryPolicy(seed=43)
+    assert [a.delay(n) for n in range(8)] != [c.delay(n) for n in range(8)]
+
+
+def test_jitter_stays_inside_the_cap():
+    policy = RetryPolicy(max_attempts=10, base_delay=0.02, max_delay=0.5,
+                         multiplier=2.0, jitter=1.0, seed=7)
+    for attempt in range(64):
+        cap = min(0.5, 0.02 * 2.0 ** attempt)
+        for _ in range(50):
+            delay = policy.delay(attempt)
+            assert 0.0 <= delay <= cap
+
+
+def test_jitter_spreads_the_window():
+    # full jitter exists to de-synchronize a fleet: across many draws
+    # the delays must cover the window, not cluster at the cap
+    policy = RetryPolicy(base_delay=0.5, max_delay=0.5, jitter=1.0, seed=3)
+    draws = [policy.delay(0) for _ in range(200)]
+    assert min(draws) < 0.1
+    assert max(draws) > 0.4
+
+
+def test_zero_jitter_is_pure_exponential():
+    policy = RetryPolicy(base_delay=0.02, max_delay=10.0, multiplier=2.0,
+                         jitter=0.0, seed=1)
+    assert policy.delay(0) == pytest.approx(0.02)
+    assert policy.delay(1) == pytest.approx(0.04)
+    assert policy.delay(4) == pytest.approx(0.32)
+
+
+def test_partial_jitter_keeps_a_floor():
+    # jitter=0.5: uniform over [cap/2, cap]
+    policy = RetryPolicy(base_delay=0.4, max_delay=0.4, jitter=0.5, seed=9)
+    draws = [policy.delay(0) for _ in range(100)]
+    assert all(0.2 <= d <= 0.4 for d in draws)
+
+
+def test_jitter_bounds_are_validated():
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=-0.1)
+
+
+# -- connect(): bounded dial with one consistent failure shape -------------
+
+def _dead_port():
+    """A port with no listener behind it."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def test_connect_retries_then_fails_with_one_message_shape():
+    started = time.monotonic()
+    with pytest.raises(TimeoutError) as err:
+        connect("127.0.0.1", _dead_port(), timeout=0.5, attempts=3,
+                base_delay=0.02)
+    elapsed = time.monotonic() - started
+    assert elapsed < 5.0  # bounded by the overall budget, not per-dial
+    assert re.match(
+        r"no connection to 127\.0\.0\.1:\d+ within [\d.]+ seconds "
+        r"\(3 attempts\): .+", str(err.value))
+
+
+def test_connect_timeout_budget_is_overall():
+    # even with absurd attempt counts the single budget bounds the dial
+    started = time.monotonic()
+    with pytest.raises(TimeoutError):
+        connect("127.0.0.1", _dead_port(), timeout=0.3, attempts=50,
+                base_delay=0.05)
+    assert time.monotonic() - started < 3.0
+
+
+def test_connect_succeeds_on_a_live_listener():
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    try:
+        channel = connect("127.0.0.1", port, timeout=5.0)
+        assert channel.sock is not None
+        channel.close()
+    finally:
+        listener.close()
+
+
+# -- FaultSchedule: spec round-trip -----------------------------------------
+
+def test_fault_spec_round_trips():
+    for spec in (
+        {"seed": 3, "drop": 0.25, "limit": 5},
+        {"seed": 9, "kill_after": 12},
+        {"seed": 1, "corrupt": 0.5, "duplicate": 0.25, "latency": 0.002},
+        {"seed": 0, "script": ["ok", "drop", "ok", "kill"]},
+        {"seed": 4, "drop": 1.0, "after": 3},
+    ):
+        assert FaultSchedule.from_spec(spec).spec() == spec
+
+
+def test_fault_spec_rejects_unknown_keys():
+    with pytest.raises(ValueError) as err:
+        FaultSchedule.from_spec({"seed": 1, "dorp": 0.5})
+    assert "dorp" in str(err.value)
+
+
+def test_fault_after_spares_early_frames():
+    schedule = FaultSchedule(seed=1, drop=1.0, after=4)
+    actions = [schedule.next_action() for _ in range(8)]
+    assert actions[:4] == ["ok"] * 4
+    assert actions[4:] == ["drop"] * 4
+
+
+def test_same_seed_same_fault_sequence():
+    a = FaultSchedule(seed=11, drop=0.3, corrupt=0.3, duplicate=0.2)
+    b = FaultSchedule(seed=11, drop=0.3, corrupt=0.3, duplicate=0.2)
+    assert ([a.next_action() for _ in range(64)]
+            == [b.next_action() for _ in range(64)])

@@ -1,0 +1,142 @@
+"""Metrics and Tracer under real concurrency: OS threads and asyncio
+tasks hammering the same registry must lose nothing and tear nothing.
+
+The server leans on this: every session worker thread and the asyncio
+manager loop write into one shared Observability, and the fleet bench
+reads percentiles out of it while commands are still in flight.
+"""
+
+import asyncio
+import threading
+
+from repro.obs import Observability
+from repro.obs.metrics import Metrics
+
+THREADS = 8
+PER_THREAD = 2000
+
+
+def test_concurrent_counters_lose_nothing():
+    metrics = Metrics()
+    barrier = threading.Barrier(THREADS)
+
+    def hammer(k):
+        barrier.wait()
+        for i in range(PER_THREAD):
+            metrics.inc("shared")
+            metrics.inc("per.%d" % k)
+            metrics.inc("weighted", 3)
+    threads = [threading.Thread(target=hammer, args=(k,))
+               for k in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snap = metrics.snapshot()
+    assert snap["shared"] == THREADS * PER_THREAD
+    assert snap["weighted"] == 3 * THREADS * PER_THREAD
+    for k in range(THREADS):
+        assert snap["per.%d" % k] == PER_THREAD
+    assert metrics.total("per.") == THREADS * PER_THREAD
+
+
+def test_concurrent_histograms_are_consistent():
+    metrics = Metrics()
+    barrier = threading.Barrier(THREADS)
+
+    def hammer(k):
+        barrier.wait()
+        for i in range(PER_THREAD):
+            metrics.observe("latency", (k * PER_THREAD + i) % 1000)
+    threads = [threading.Thread(target=hammer, args=(k,))
+               for k in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snap = metrics.snapshot()
+    assert snap["latency.count"] == THREADS * PER_THREAD
+    assert snap["latency.min"] == 0
+    assert snap["latency.max"] == 999
+    # every observed value was in [0, 1000): so is every percentile
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert 0 <= metrics.percentile("latency", q) <= 999
+
+
+def test_snapshot_diff_mid_flight_never_goes_backward():
+    metrics = Metrics()
+    stop = threading.Event()
+
+    def hammer():
+        while not stop.is_set():
+            metrics.inc("busy")
+            metrics.observe("h", 1)
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    try:
+        last = metrics.snapshot()
+        for _ in range(200):
+            now = metrics.snapshot()
+            # counters are monotone even while written concurrently
+            assert now.get("busy", 0) >= last.get("busy", 0)
+            assert now.get("h.count", 0) >= last.get("h.count", 0)
+            delta = metrics.diff(last)
+            assert delta.get("busy", 0) >= 0
+            last = now
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+
+
+def test_threads_and_asyncio_tasks_share_one_registry():
+    obs = Observability()
+    metrics = obs.metrics
+    N_TASKS, N_EACH = 16, 500
+
+    def thread_work():
+        for _ in range(PER_THREAD):
+            metrics.inc("mixed")
+            obs.tracer.event("thread.tick")
+    threads = [threading.Thread(target=thread_work)
+               for _ in range(THREADS)]
+    for t in threads:
+        t.start()
+
+    async def task_work():
+        for _ in range(N_EACH):
+            metrics.inc("mixed")
+            metrics.observe("task.latency", 7)
+            await asyncio.sleep(0)
+
+    async def main():
+        await asyncio.gather(*(task_work() for _ in range(N_TASKS)))
+    asyncio.run(main())
+    for t in threads:
+        t.join()
+    snap = metrics.snapshot()
+    assert snap["mixed"] == THREADS * PER_THREAD + N_TASKS * N_EACH
+    assert snap["task.latency.count"] == N_TASKS * N_EACH
+
+
+def test_tracer_concurrent_events_all_recorded():
+    obs = Observability()
+    tracer = obs.tracer
+    tracer.enable()  # point events are dropped while tracing is off
+    barrier = threading.Barrier(THREADS)
+
+    def hammer(k):
+        barrier.wait()
+        for i in range(200):
+            tracer.event("tick", worker=k, i=i)
+    threads = [threading.Thread(target=hammer, args=(k,))
+               for k in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    records = [r for r in tracer.records() if r.get("name") == "tick"]
+    assert len(records) == THREADS * 200
+    # no torn records: every one carries both fields
+    assert all("worker" in r and "i" in r for r in records)

@@ -1,0 +1,137 @@
+"""SessionManager policies through the running server: admission,
+auth, idle reaping, the watchdog, and shutdown draining."""
+
+import time
+
+import pytest
+
+from repro.serve import RemoteError
+
+from tests.serve.helpers import QUICK, server, spawn
+
+
+def test_max_sessions_backpressure():
+    with server(max_sessions=2) as srv:
+        client = srv.client()
+        spawn(client)
+        spawn(client)
+        with pytest.raises(RemoteError) as err:
+            spawn(client)
+        assert err.value.code == "ERR_BUSY"
+        assert err.value.retryable
+
+
+def test_auth_token_required():
+    with server() as srv:
+        client = srv.client()
+        sid, token = spawn(client)
+        with pytest.raises(RemoteError) as err:
+            client.command(sid, "wrong-token", "ping")
+        assert err.value.code == "ERR_AUTH"
+        with pytest.raises(RemoteError) as err:
+            client.command(sid, None, "ping")
+        assert err.value.code == "ERR_AUTH"
+        # tokens are per-session: one session's token opens no other
+        sid2, token2 = spawn(client)
+        with pytest.raises(RemoteError) as err:
+            client.command(sid2, token, "ping")
+        assert err.value.code == "ERR_AUTH"
+        assert client.command(sid, token, "ping") == {"pong": True}
+
+
+def test_unknown_session_is_typed():
+    with server() as srv:
+        client = srv.client()
+        with pytest.raises(RemoteError) as err:
+            client.command("s9999", "whatever", "ping")
+        assert err.value.code == "ERR_NO_SESSION"
+
+
+def test_deterministic_tokens_with_seed():
+    with server(token_seed=42) as a:
+        _, token_a = spawn(a.client())
+    with server(token_seed=42) as b:
+        _, token_b = spawn(b.client())
+    assert token_a == token_b  # seeded runs replay exactly
+
+
+def test_idle_sessions_are_reaped():
+    with server(idle_ttl=0.3, reap_interval=0.05) as srv:
+        client = srv.client()
+        sid, token = spawn(client)
+        assert client.sessions()
+        deadline = time.monotonic() + 10.0
+        while client.sessions() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert client.sessions() == []  # reaped, not leaked
+        stats = client.stats()
+        assert stats.get("serve.reaps", 0) >= 1
+        assert stats.get("serve.sessions", 0) == 0
+        # the reaped id answers typed forever after
+        with pytest.raises(RemoteError) as err:
+            client.command(sid, token, "ping")
+        assert err.value.code == "ERR_NO_SESSION"
+
+
+def test_watchdog_expires_wedged_session():
+    with server(hang_grace=0.3, reap_interval=0.05, idle_ttl=60.0) as srv:
+        client = srv.client()
+        sid, token = spawn(client)
+        worker = srv.manager.sessions[sid]
+        # wedge the session in a way no deadline plumbing can reach:
+        # the command itself ignores its timeout entirely
+        worker.api.execute = lambda cmd, args, timeout=None: time.sleep(8.0)
+        with pytest.raises(RemoteError) as err:
+            client.command(sid, token, "status", deadline=0.3)
+        assert err.value.code in ("ERR_DEADLINE", "ERR_SESSION_EXPIRED")
+        deadline = time.monotonic() + 5.0
+        while worker.state != "expired" and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert worker.state == "expired"
+        assert client.stats().get("serve.hangs", 0) >= 1
+
+
+def test_command_on_exited_target_answers_typed():
+    with server() as srv:
+        client = srv.client()
+        sid, token = spawn(client, source=QUICK)
+        event = client.command(sid, token, "continue", deadline=10.0)
+        assert event == {"event": "exit", "status": 42}
+        with pytest.raises(RemoteError) as err:
+            client.command(sid, token, "step")
+        assert err.value.code == "ERR_TARGET_STATE"
+        client.detach(sid, token)
+
+
+def test_detach_requires_auth_and_removes():
+    with server() as srv:
+        client = srv.client()
+        sid, token = spawn(client)
+        with pytest.raises(RemoteError) as err:
+            client.detach(sid, "nope")
+        assert err.value.code == "ERR_AUTH"
+        out = client.detach(sid, token)
+        assert out == {"session": sid, "state": "closed"}
+        assert client.sessions() == []
+
+
+def test_spawn_failure_is_typed_and_not_leaked():
+    with server() as srv:
+        client = srv.client()
+        with pytest.raises(RemoteError) as err:
+            client.spawn(source="int main(void) { return syntax error }")
+        assert err.value.code == "ERR_SPAWN_FAILED"
+        assert client.sessions() == []
+        with pytest.raises(RemoteError) as err:
+            client.spawn()  # no source at all
+        assert err.value.code == "ERR_SPAWN_FAILED"
+
+
+def test_bad_fault_spec_is_typed():
+    with server() as srv:
+        client = srv.client()
+        with pytest.raises(RemoteError) as err:
+            client.spawn(source=QUICK, fault={"seed": 1, "dorp": 0.5})
+        assert err.value.code == "ERR_SPAWN_FAILED"
+        assert "dorp" in str(err.value)
+        assert client.sessions() == []

@@ -1,13 +1,22 @@
 #!/usr/bin/env python
-"""Doc-consistency check: PROTOCOL.md vs. the protocol module.
+"""Doc-consistency check: PROTOCOL.md vs. the defining modules.
 
 The wire-protocol spec is only useful while it matches the code, so CI
 fails when they drift.  The check is a two-way set comparison of the
 symbolic names — every ``MSG_*``, ``FEATURE_*``, and ``ERR_*`` constant
-*defined* in ``src/repro/nub/protocol.py`` must be documented in
+*defined* in the protocol's source modules must be documented in
 ``PROTOCOL.md``, and the spec must not document a name the code does
 not define (a renamed or removed message would otherwise live on in
 the spec).
+
+Three modules define wire-visible vocabularies:
+
+* ``src/repro/nub/protocol.py`` — the nub protocol (frames, features,
+  nub error codes);
+* ``src/repro/serve/errors.py`` — the gateway's session-layer error
+  codes (PROTOCOL.md Appendix A);
+* ``src/repro/ldb/api.py`` — the command-layer error codes answered
+  through the gateway's ``command`` op (also Appendix A).
 
 Exit status 0 when consistent; 1 with a per-name report otherwise.
 Run from anywhere: paths resolve relative to the repository root.
@@ -20,7 +29,11 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-PROTOCOL_PY = ROOT / "src" / "repro" / "nub" / "protocol.py"
+SOURCES = (
+    ROOT / "src" / "repro" / "nub" / "protocol.py",
+    ROOT / "src" / "repro" / "serve" / "errors.py",
+    ROOT / "src" / "repro" / "ldb" / "api.py",
+)
 PROTOCOL_MD = ROOT / "PROTOCOL.md"
 
 #: a protocol constant *definition*: the name at column 0, assigned
@@ -42,20 +55,23 @@ def check() -> int:
     if not PROTOCOL_MD.exists():
         print("check_protocol_doc: PROTOCOL.md is missing", file=sys.stderr)
         return 1
-    code = defined_names(PROTOCOL_PY.read_text())
+    code: set = set()
+    for path in SOURCES:
+        names = defined_names(path.read_text())
+        if not names:
+            print("check_protocol_doc: no protocol constants found in %s "
+                  "(extraction broken?)" % path, file=sys.stderr)
+            return 1
+        code |= names
     doc = documented_names(PROTOCOL_MD.read_text())
-    if not code:
-        print("check_protocol_doc: no protocol constants found in %s "
-              "(extraction broken?)" % PROTOCOL_PY, file=sys.stderr)
-        return 1
     undocumented = sorted(code - doc)
     phantom = sorted(doc - code)
     for name in undocumented:
-        print("check_protocol_doc: %s is defined in protocol.py but not "
+        print("check_protocol_doc: %s is defined in the source but not "
               "documented in PROTOCOL.md" % name, file=sys.stderr)
     for name in phantom:
         print("check_protocol_doc: PROTOCOL.md documents %s, which "
-              "protocol.py does not define" % name, file=sys.stderr)
+              "no source module defines" % name, file=sys.stderr)
     if undocumented or phantom:
         return 1
     print("check_protocol_doc: PROTOCOL.md documents all %d protocol "
