@@ -1,0 +1,142 @@
+"""S1 — simulator speed: block-dispatch vs. single-step interpretation.
+
+The interpreter bounds every workload in the system — time-travel
+replay re-executes windows, the fault matrix reruns programs, the
+session server hosts many simulations at once.  This bench measures
+retired instructions per second on a hot arithmetic loop for both
+execution engines on every target architecture, asserts the block
+engine's architectural state is byte-identical to the step engine's,
+and requires the advertised speedup (>= 5x on the hot loop, the
+tentpole acceptance bar) on each ISA.
+
+Timings interleave the two engines over ``reps`` repetitions and take
+each engine's best time (like timeit: noise only ever adds wall
+clock, so the minimum is the cleanest estimate).  Emits
+``BENCH_sim_speed.json`` at the repository root.  ``BENCH_QUICK=1``
+runs a single repetition and relaxes the speedup bar to >= 2x (the CI
+smoke mode shares hardware unpredictably).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.cc.driver import compile_and_link
+from repro.machines import ExitEvent, FaultEvent, Process, SIGTRAP
+
+from .conftest import report
+
+ARCHES = ("rmips", "rsparc", "rm68k", "rvax")
+LOOPS = 300_000
+MIN_SPEEDUP = 2.0 if os.environ.get("BENCH_QUICK") else 5.0
+
+HOT_C = """int main(void) {
+    int i, s = 0;
+    for (i = 0; i < %d; i++)
+        s += i;
+    return s & 0xff;
+}
+""" % LOOPS
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_sim_speed.json"
+_EXES: dict = {}
+
+
+def _exe(arch: str):
+    if arch not in _EXES:
+        _EXES[arch] = compile_and_link({"hot.c": HOT_C}, arch, debug=True)
+    return _EXES[arch]
+
+
+def _run(arch: str, engine: str):
+    """One full run under one engine; returns (seconds, icount, state).
+
+    ``state`` is every architecturally visible bit — the equivalence
+    check rides along with every timing rep for free."""
+    exe = _exe(arch)
+    process = Process(exe, engine=engine)
+    event = process.run_until_event()
+    assert isinstance(event, FaultEvent) and event.signo == SIGTRAP
+    process.cpu.pc = event.pc + exe.arch.noop_advance
+    started = time.perf_counter()
+    event = process.run_until_event()
+    seconds = time.perf_counter() - started
+    assert isinstance(event, ExitEvent), event
+    cpu = process.cpu
+    state = (event.status, cpu.pc, cpu.icount, tuple(cpu.regs),
+             tuple(cpu.fregs), bytes(process.mem.bytes))
+    return seconds, cpu.icount, state
+
+
+def measure_arch(arch: str, reps: int) -> dict:
+    step_times, block_times = [], []
+    icount = None
+    for _ in range(reps):
+        step_s, icount, step_state = _run(arch, "step")
+        block_s, block_icount, block_state = _run(arch, "block")
+        assert block_icount == icount
+        assert block_state == step_state, \
+            "%s: block engine state diverged from step engine" % arch
+        step_times.append(step_s)
+        block_times.append(block_s)
+    # best-of, like timeit: noise only ever adds time, so the minimum
+    # is the cleanest estimate of each engine's true cost
+    step_s = min(step_times)
+    block_s = min(block_times)
+    return {
+        "icount": icount,
+        "step_seconds": step_s,
+        "block_seconds": block_s,
+        "step_ips": round(icount / step_s),
+        "block_ips": round(icount / block_s),
+        "speedup": round(step_s / block_s, 2),
+        "state_identical": True,
+    }
+
+
+def measure(reps: int) -> dict:
+    out = {
+        "benchmark": "sim_speed",
+        "workload": "hot C loop: for (i = 0; i < %d; i++) s += i" % LOOPS,
+        "reps": reps,
+        "min_speedup": MIN_SPEEDUP,
+        "arches": {},
+    }
+    for arch in ARCHES:
+        out["arches"][arch] = measure_arch(arch, reps)
+    return out
+
+
+def emit(data: dict) -> None:
+    _OUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_sim_speed():
+    reps = 1 if os.environ.get("BENCH_QUICK") else 5
+    data = measure(reps)
+    emit(data)
+    report("", "S1. Simulator speed: block dispatch vs. single step",
+           "  workload: %s" % data["workload"])
+    for arch in ARCHES:
+        row = data["arches"][arch]
+        report("  %-7s %9d insns  step %8d i/s  block %8d i/s  %5.2fx"
+               % (arch, row["icount"], row["step_ips"], row["block_ips"],
+                  row["speedup"]))
+        assert row["state_identical"]
+        assert row["speedup"] >= MIN_SPEEDUP, \
+            "%s: block engine only %.2fx over step (need >= %.1fx)" \
+            % (arch, row["speedup"], MIN_SPEEDUP)
+
+
+if __name__ == "__main__":
+    data = measure(reps=1 if os.environ.get("BENCH_QUICK") else 5)
+    emit(data)
+    for arch in ARCHES:
+        row = data["arches"][arch]
+        print("%-7s %9d insns  step %8d i/s  block %8d i/s  %5.2fx"
+              % (arch, row["icount"], row["step_ips"], row["block_ips"],
+                 row["speedup"]))
+    print("wrote %s" % _OUT)

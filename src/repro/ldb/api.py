@@ -84,6 +84,7 @@ class DebugAPI:
             "registers": self._cmd_registers,
             "kill": self._cmd_kill,
             "dumpcore": self._cmd_dumpcore,
+            "sim_stats": self._cmd_sim_stats,
         }
 
     def commands(self):
@@ -283,3 +284,19 @@ class DebugAPI:
         core = target.dump_core(path)
         return {"path": path, "segments": len(core.segments),
                 "icount": core.icount}
+
+    def _cmd_sim_stats(self, args, timeout) -> dict:
+        # non-mutating: reads the simulator engine's own counters, so
+        # it works only on targets whose simulator lives in-process
+        target = self._target()
+        if target.post_mortem:
+            raise ApiError(ERR_POST_MORTEM,
+                           "target %s is post-mortem (a core file): "
+                           "no simulator is running" % target.name)
+        process = getattr(target, "process", None)
+        if process is None:
+            raise ApiError(ERR_TARGET_STATE,
+                           "target %s has no in-process simulator "
+                           "(adopted channel?)" % target.name)
+        engine = process.cpu.engine
+        return {"engine": engine.name, **engine.describe()}

@@ -28,6 +28,7 @@ Commands::
     registers / regs
     info breaks | info checkpoints
     stats
+    sim
     trace on | trace off | trace dump [file]
     targets / target <name>
     kill / quit
@@ -155,6 +156,8 @@ class Cli:
             self.cmd_info(rest)
         elif verb == "stats":
             self.cmd_stats()
+        elif verb == "sim":
+            self.cmd_sim()
         elif verb == "trace":
             self.cmd_trace(rest)
         elif verb == "targets":
@@ -176,7 +179,7 @@ class Cli:
             self.say("ldb: unknown command %r (try: break condition run step next "
                      "record reverse-continue reverse-step reverse-next goto "
                      "print set backtrace where core dumpcore registers stats "
-                     "trace targets serve sessions quit)" % verb)
+                     "sim trace targets serve sessions quit)" % verb)
 
     def cmd_core(self, path: str) -> None:
         """Open a core file: a post-mortem target with no nub behind it."""
@@ -310,6 +313,25 @@ class Cli:
             value = snapshot[name]
             text = "%g" % value if isinstance(value, float) else str(value)
             self.say("%-*s  %s" % (width, name, text))
+
+    def cmd_sim(self) -> None:
+        """Print the current target's simulator-engine counters."""
+        target = self.ldb.current
+        if target is None:
+            self.say("no target")
+            return
+        process = getattr(target, "process", None)
+        if process is None:
+            self.say("target %s has no in-process simulator" % target.name)
+            return
+        engine = process.cpu.engine
+        info = engine.describe()
+        self.say("engine %s" % engine.name)
+        if not info:
+            return
+        width = max(len(name) for name in info)
+        for name in sorted(info):
+            self.say("%-*s  %s" % (width, name, info[name]))
 
     def cmd_trace(self, rest: str) -> None:
         tracer = self.ldb.obs.tracer

@@ -81,7 +81,7 @@ class Ldb:
                      cache: bool = True, block_nub: bool = True,
                      timetravel_nub: bool = True, core_nub: bool = True,
                      core_path: Optional[str] = None,
-                     fault_schedule=None) -> Target:
+                     fault_schedule=None, engine=None) -> Target:
         """Start a target process as a "child": the fork analog.
 
         ``block_nub=False`` simulates a legacy nub without the
@@ -94,10 +94,12 @@ class Ldb:
         nub itself dies.  ``fault_schedule`` injects a seeded
         :class:`~repro.nub.faults.FaultSchedule` into the *nub's* sends
         — the hook the session server's chaos harness uses to kill,
-        hang, or corrupt hosted sessions.
+        hang, or corrupt hosted sessions.  ``engine`` picks the
+        simulator's execution engine ("step", "block", or None for the
+        configured default; see :mod:`repro.machines.engine`).
         """
         debugger_end, nub_end = pair()
-        process = Process(exe)
+        process = Process(exe, engine=engine)
         if table_ps is None:
             table_ps = getattr(exe, "loader_ps", None) or loader_table_ps(exe)
         nub = Nub(process, channel=nub_end, stop_at_entry=stop_at_entry,

@@ -11,6 +11,16 @@ from typing import Dict
 
 from .core import CoreError, CoreFile, core_from_process
 from .cpu import Cpu, CpuSnapshot
+from .engine import (
+    BlockEngine,
+    ENGINE_ENV,
+    ExecutionEngine,
+    SimStats,
+    StepEngine,
+    StopSpec,
+    engine_names,
+    make_engine,
+)
 from .isa import (
     Arch,
     CODE_ICOUNT,
@@ -78,6 +88,7 @@ ARCH_NAMES = ("rmips", "rmipsel", "rsparc", "rm68k", "rvax")
 __all__ = [
     "ARCH_NAMES",
     "Arch",
+    "BlockEngine",
     "CODE_ICOUNT",
     "ContextField",
     "CoreError",
@@ -85,6 +96,8 @@ __all__ = [
     "Cpu",
     "CpuSnapshot",
     "DEFAULT_MAX_STEPS",
+    "ENGINE_ENV",
+    "ExecutionEngine",
     "ExitEvent",
     "Executable",
     "FaultEvent",
@@ -110,11 +123,16 @@ __all__ = [
     "SIGILL",
     "SIGSEGV",
     "SIGTRAP",
+    "SimStats",
+    "StepEngine",
+    "StopSpec",
     "Symbol",
     "TargetFault",
     "TargetMemory",
     "core_from_process",
+    "engine_names",
     "get_arch",
+    "make_engine",
     "link",
     "load",
     "nm",

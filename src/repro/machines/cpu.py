@@ -14,14 +14,12 @@ restricted scheduling available under debugging costs 13% on MIPS).
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional, Tuple
 
+from .engine import StopSpec, make_engine
 from .isa import (
     Arch,
-    DEFAULT_MAX_STEPS,
-    Halt,
-    IcountReached,
-    SIGILL,
     SIGSEGV,
     TargetFault,
 )
@@ -52,7 +50,8 @@ class Cpu:
     """Register state plus the fetch-decode-execute loop."""
 
     def __init__(self, arch: Arch, mem: TargetMemory,
-                 syscall_handler: Optional[Callable[["Cpu", int], None]] = None):
+                 syscall_handler: Optional[Callable[["Cpu", int], None]] = None,
+                 engine=None):
         self.arch = arch
         self.mem = mem
         self.regs = [0] * arch.nregs
@@ -71,10 +70,20 @@ class Cpu:
         # Load-delay simulation (rmips): a pending (reg, value) commit.
         self._pending_load: Optional[Tuple[int, int]] = None
         self._wrote_reg: Optional[int] = None
+        #: The execution engine that drives :meth:`run`.  ``engine``
+        #: accepts a name ("step", "block"), an engine class, an
+        #: instance, or None for the configured default.
+        self.engine = make_engine(engine, self)
+
+    _steps_warned = False
 
     @property
     def steps(self) -> int:
-        """Historical alias for :attr:`icount`."""
+        """Deprecated alias for :attr:`icount`; use that instead."""
+        if not Cpu._steps_warned:
+            Cpu._steps_warned = True
+            warnings.warn("Cpu.steps is deprecated; use Cpu.icount",
+                          DeprecationWarning, stacklevel=2)
         return self.icount
 
     # -- snapshot/restore --------------------------------------------------
@@ -143,26 +152,22 @@ class Cpu:
                 if not (reg == 0 and self.arch.zero_reg):
                     self.regs[reg] = value
 
-    def run(self, max_steps: int = DEFAULT_MAX_STEPS,
-            stop_at_icount: Optional[int] = None) -> int:
+    def run(self, *, max_steps: Optional[int] = None,
+            stop_at_icount: Optional[int] = None,
+            stop: Optional[StopSpec] = None) -> int:
         """Run until exit; returns the exit status.
 
-        TargetFaults propagate to the caller (normally the nub).  With
-        ``stop_at_icount`` the loop raises :class:`IcountReached` once
-        the retired-instruction counter reaches the target — checked
+        Stop conditions are keyword-only: pass ``max_steps`` /
+        ``stop_at_icount``, or a prebuilt :class:`StopSpec` as
+        ``stop`` (not both).  TargetFaults propagate to the caller
+        (normally the nub).  With ``stop_at_icount`` the engine raises
+        :class:`~repro.machines.isa.IcountReached` once the
+        retired-instruction counter reaches the target — checked
         *between* instructions, so a target at or below the current
         count stops immediately without executing anything.
         """
-        remaining = max_steps
-        try:
-            while remaining > 0:
-                if stop_at_icount is not None and self.icount >= stop_at_icount:
-                    raise IcountReached(self.icount, self.pc)
-                self.step()
-                remaining -= 1
-        except Halt as halt:
-            return halt.status
-        raise TargetFault(SIGILL, code=99, address=self.pc)  # runaway
+        spec = StopSpec.coerce(stop, max_steps, stop_at_icount)
+        return self.engine.run(self, spec)
 
     def syscall(self, code: int) -> None:
         if self.syscall_handler is None:

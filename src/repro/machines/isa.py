@@ -161,6 +161,10 @@ class Arch:
     has_runtime_proc_table = False
     #: True when register 0 is hardwired to zero (rmips, rsparc).
     zero_reg = False
+    #: True when loads commit one instruction late (the rmips load
+    #: delay slot).  Engines skip the pending-load bookkeeping on
+    #: targets that never use it.
+    has_load_delay = False
     #: 80-bit floats exist only where the hardware has them.
     has_f80 = False
     #: Spaces in this target's abstract memory (paper Sec. 4.1).
@@ -215,6 +219,49 @@ class Arch:
     def insn_length(self, insn: Insn) -> int:
         """Encoded length in bytes (before encoding, for layout)."""
         raise NotImplementedError
+
+    # -- block dispatch (machine-dependent data for the execution engine)
+
+    #: Opcodes that end a decoded basic block: control transfers,
+    #: traps, and syscalls — anything that may set the pc to something
+    #: other than the next sequential instruction, or hand control to
+    #: code outside the simulated ISA.  ``None`` (the conservative
+    #: default for an arch that supplies no classification) makes
+    #: *every* instruction a block of one, which is step-equivalent.
+    block_enders: Optional[frozenset] = None
+
+    #: Opcodes whose execution may write target memory.  ``None`` (the
+    #: conservative default) means *any* instruction may write.  The
+    #: block engine only re-checks its code-cache generation after
+    #: instructions that can write, so this set must be sound: listing
+    #: too many ops costs a cheap check, missing one breaks
+    #: self-modifying-code invalidation.
+    mem_write_ops: Optional[frozenset] = None
+
+    def is_block_end(self, insn: Insn) -> bool:
+        enders = self.block_enders
+        return True if enders is None else insn.op in enders
+
+    def may_write_mem(self, insn: Insn) -> bool:
+        ops = self.mem_write_ops
+        return True if ops is None else insn.op in ops
+
+    def compile_insn(self, insn: Insn, pc: int):
+        """Return a prebuilt fast-path body ``f(cpu) -> None`` for this
+        instruction at this pc, or None to fall back to
+        :meth:`execute`.
+
+        The contract is byte-identical equivalence with
+        ``execute(cpu, insn)`` for an instruction decoded at ``pc``:
+        the same register writes (including ``set_reg``'s masking,
+        zero-register suppression, and ``_wrote_reg`` tracking for the
+        delay-slot commit), the same memory and condition-code effects
+        in the same order, the same faults with the same addresses —
+        and it must leave ``cpu.pc`` at the next instruction exactly as
+        execute would.  The engine supplies the step prologue/epilogue
+        (pending-load commit, icount); bodies never touch those.
+        """
+        return None
 
     # -- conventions ------------------------------------------------------
 

@@ -113,6 +113,27 @@ _OPTABLE = {
 }
 _OPS = {name: (byte, ext) for byte, (name, ext) in _OPTABLE.items()}
 
+_FAST_ALU = frozenset(["add", "sub", "muls", "and", "or", "eor",
+                       "lsl", "lsr", "asr"])
+_CC_BRANCHES = frozenset(["beq", "bne", "blt", "ble", "bgt", "bge",
+                          "bltu", "bleu", "bgtu", "bgeu"])
+_CC_SETS = frozenset(["seq", "sne", "slt", "sle", "sgt", "sge",
+                      "sltu", "sgtu", "sleu", "sgeu"])
+#: condition tests as prebuilt closures (same table as _cc_test, but
+#: resolvable at block-compile time)
+_CC_FUNCS = {
+    "eq": lambda cpu: cpu.cc_eq,
+    "ne": lambda cpu: not cpu.cc_eq,
+    "lt": lambda cpu: cpu.cc_lt,
+    "le": lambda cpu: cpu.cc_lt or cpu.cc_eq,
+    "gt": lambda cpu: not (cpu.cc_lt or cpu.cc_eq),
+    "ge": lambda cpu: not cpu.cc_lt,
+    "ltu": lambda cpu: cpu.cc_ltu,
+    "leu": lambda cpu: cpu.cc_ltu or cpu.cc_eq,
+    "gtu": lambda cpu: not (cpu.cc_ltu or cpu.cc_eq),
+    "geu": lambda cpu: not cpu.cc_ltu,
+}
+
 REG_SP = 15  # a7
 REG_FP = 14  # a6
 REG_RETVAL = 0  # d0
@@ -226,6 +247,262 @@ class RM68kArch(Arch):
             return 2
         ext = _OPS[insn.op][1]
         return {"": 2, "d": 4, "w": 4, "i": 6, "f": 10}[ext]
+
+    # -- block dispatch ----------------------------------------------------
+
+    block_enders = frozenset([
+        "break", "syscall", "bra",
+        "beq", "bne", "blt", "ble", "bgt", "bge",
+        "bltu", "bleu", "bgtu", "bgeu",
+        "jsr", "jsrr", "rts",
+    ])
+
+    mem_write_ops = frozenset([
+        "store32", "store16", "store8", "push", "link", "jsr", "jsrr",
+        "fstore32", "fstore64", "fstore80", "syscall"])
+
+    def compile_insn(self, insn: Insn, pc: int):
+        """Prebuilt execute bodies for the hot integer subset; division
+        and float ops fall back to :meth:`execute`."""
+        op = insn.op
+        rd = insn.rd
+        rs = insn.rs
+        imm = insn.imm
+        M = 0xFFFFFFFF
+        npc = (pc + insn.size) & M
+
+        if op == "nop":
+            def body(cpu):
+                cpu.pc = npc
+            return body
+        if op == "break":
+            def body(cpu):
+                raise TargetFault(SIGTRAP, code=0, address=pc)
+            return body
+        if op == "syscall":
+            code = imm or 0
+
+            def body(cpu):
+                cpu.syscall(code)
+                cpu.pc = npc
+            return body
+
+        # -- moves and loads ---------------------------------------------
+        if op == "movei":
+            val = imm & M
+
+            def body(cpu):
+                cpu.regs[rd] = val
+                cpu.pc = npc
+            return body
+        if op == "move":
+            def body(cpu):
+                cpu.regs[rd] = cpu.regs[rs]
+                cpu.pc = npc
+            return body
+        if op == "lea":
+            def body(cpu):
+                cpu.regs[rd] = (cpu.regs[rs] + imm) & M
+                cpu.pc = npc
+            return body
+        if op in ("load32", "load16s", "load16u", "load8s", "load8u"):
+            if op == "load32":
+                def load(cpu):
+                    return cpu.mem.read_u32((cpu.regs[rs] + imm) & M)
+            elif op == "load16s":
+                def load(cpu):
+                    return cpu.mem.read_i16((cpu.regs[rs] + imm) & M) & M
+            elif op == "load16u":
+                def load(cpu):
+                    return cpu.mem.read_u16((cpu.regs[rs] + imm) & M)
+            elif op == "load8s":
+                def load(cpu):
+                    return cpu.mem.read_i8((cpu.regs[rs] + imm) & M) & M
+            else:
+                def load(cpu):
+                    return cpu.mem.read_u8((cpu.regs[rs] + imm) & M)
+
+            def body(cpu):
+                cpu.regs[rd] = load(cpu)
+                cpu.pc = npc
+            return body
+        if op == "store32":
+            def body(cpu):
+                cpu.mem.write_u32((cpu.regs[rd] + imm) & M, cpu.regs[rs])
+                cpu.pc = npc
+            return body
+        if op == "store16":
+            def body(cpu):
+                cpu.mem.write_u16((cpu.regs[rd] + imm) & M,
+                                  cpu.regs[rs] & 0xFFFF)
+                cpu.pc = npc
+            return body
+        if op == "store8":
+            def body(cpu):
+                cpu.mem.write_u8((cpu.regs[rd] + imm) & M,
+                                 cpu.regs[rs] & 0xFF)
+                cpu.pc = npc
+            return body
+
+        # -- two-address ALU (dst also the left operand) -----------------
+        if op in _FAST_ALU:
+            if op == "add":
+                def compute(a, b):
+                    return (a + b) & M
+            elif op == "sub":
+                def compute(a, b):
+                    return (a - b) & M
+            elif op == "muls":
+                def compute(a, b):
+                    return (to_i32(a) * to_i32(b)) & M
+            elif op == "and":
+                def compute(a, b):
+                    return a & b
+            elif op == "or":
+                def compute(a, b):
+                    return a | b
+            elif op == "eor":
+                def compute(a, b):
+                    return a ^ b
+            elif op == "lsl":
+                def compute(a, b):
+                    return (a << (b & 31)) & M
+            elif op == "lsr":
+                def compute(a, b):
+                    return a >> (b & 31)
+            else:  # asr
+                def compute(a, b):
+                    return (to_i32(a) >> (b & 31)) & M
+
+            def body(cpu):
+                regs = cpu.regs
+                regs[rd] = compute(regs[rd], regs[rs])
+                cpu.pc = npc
+            return body
+        if op == "not":
+            def body(cpu):
+                cpu.regs[rd] = ~cpu.regs[rd] & M
+                cpu.pc = npc
+            return body
+        if op == "neg":
+            def body(cpu):
+                cpu.regs[rd] = -cpu.regs[rd] & M
+                cpu.pc = npc
+            return body
+        if op in ("lsli", "lsri", "asri"):
+            sh = imm & 31
+            if op == "lsli":
+                def body(cpu):
+                    cpu.regs[rd] = (cpu.regs[rd] << sh) & M
+                    cpu.pc = npc
+            elif op == "lsri":
+                def body(cpu):
+                    cpu.regs[rd] = cpu.regs[rd] >> sh
+                    cpu.pc = npc
+            else:
+                def body(cpu):
+                    cpu.regs[rd] = (to_i32(cpu.regs[rd]) >> sh) & M
+                    cpu.pc = npc
+            return body
+
+        # -- condition codes ---------------------------------------------
+        if op == "cmp":
+            def body(cpu):
+                regs = cpu.regs
+                cpu.set_cc(regs[rd], regs[rs])
+                cpu.pc = npc
+            return body
+        if op == "tst":
+            def body(cpu):
+                cpu.set_cc(cpu.regs[rd], 0)
+                cpu.pc = npc
+            return body
+        if op == "bra":
+            taken = (pc + insn.size + imm) & M
+
+            def body(cpu):
+                cpu.pc = taken
+            return body
+        if op in _CC_BRANCHES:
+            taken = (pc + insn.size + imm) & M
+            test = _CC_FUNCS[op[1:]]
+
+            def body(cpu):
+                cpu.pc = taken if test(cpu) else npc
+            return body
+        if op in _CC_SETS:
+            test = _CC_FUNCS[op[1:]]
+
+            def body(cpu):
+                cpu.regs[rd] = 1 if test(cpu) else 0
+                cpu.pc = npc
+            return body
+
+        # -- stack and calls ---------------------------------------------
+        if op == "push":
+            def body(cpu):
+                regs = cpu.regs
+                sp = (regs[REG_SP] - 4) & M
+                regs[REG_SP] = sp
+                cpu.mem.write_u32(sp, regs[rs])
+                cpu.pc = npc
+            return body
+        if op == "pop":
+            def body(cpu):
+                regs = cpu.regs
+                sp = regs[REG_SP]
+                value = cpu.mem.read_u32(sp)
+                regs[rd] = value
+                regs[REG_SP] = (sp + 4) & M
+                cpu.pc = npc
+            return body
+        if op == "link":
+            size = imm or 0
+
+            def body(cpu):
+                regs = cpu.regs
+                sp = (regs[REG_SP] - 4) & M
+                cpu.mem.write_u32(sp, regs[REG_FP])
+                regs[REG_FP] = sp
+                regs[REG_SP] = (sp - size) & M
+                cpu.pc = npc
+            return body
+        if op == "unlk":
+            def body(cpu):
+                regs = cpu.regs
+                fp = regs[REG_FP]
+                regs[REG_SP] = (fp + 4) & M
+                regs[REG_FP] = cpu.mem.read_u32(fp)
+                cpu.pc = npc
+            return body
+        if op == "jsr":
+            target = insn.target & M
+
+            def body(cpu):
+                regs = cpu.regs
+                sp = (regs[REG_SP] - 4) & M
+                regs[REG_SP] = sp
+                cpu.mem.write_u32(sp, npc)
+                cpu.pc = target
+            return body
+        if op == "jsrr":
+            def body(cpu):
+                regs = cpu.regs
+                sp = (regs[REG_SP] - 4) & M
+                regs[REG_SP] = sp
+                cpu.mem.write_u32(sp, npc)
+                cpu.pc = regs[rs]
+            return body
+        if op == "rts":
+            def body(cpu):
+                regs = cpu.regs
+                sp = regs[REG_SP]
+                target = cpu.mem.read_u32(sp)
+                regs[REG_SP] = (sp + 4) & M
+                cpu.pc = target
+            return body
+
+        return None  # divisions, floats: the generic execute path
 
     # -- execution ---------------------------------------------------------
 

@@ -67,6 +67,28 @@ class TargetMemory:
         self.bytes = bytearray(size)
         #: live snapshots still owed copy-on-write page captures
         self._snapshots: List[MemorySnapshot] = []
+        #: write observers ``hook(address, size)``, called after every
+        #: mutation (typed writes, raw writes, and snapshot restores).
+        #: The block-dispatching execution engine registers one to
+        #: invalidate decoded code on writes into it.
+        self._write_hooks: List = []
+
+    # -- write observation -------------------------------------------------
+
+    def add_write_hook(self, hook) -> None:
+        """Register ``hook(address, size)``, called after every write.
+
+        Every mutation path notifies — :meth:`write_bytes`,
+        :meth:`write_int` (and everything layered on them), and
+        :meth:`restore` — so an observer sees all content changes,
+        including checkpoint rewinds."""
+        self._write_hooks.append(hook)
+
+    def remove_write_hook(self, hook) -> None:
+        try:
+            self._write_hooks.remove(hook)
+        except ValueError:
+            pass  # removed twice, or never added
 
     def _check(self, address: int, size: int) -> None:
         if address < 0 or address + size > self.size:
@@ -94,6 +116,9 @@ class TargetMemory:
             start = page << _PAGE_SHIFT
             self._capture(start, len(raw))
             self.bytes[start:start + len(raw)] = raw
+            if self._write_hooks:
+                for hook in self._write_hooks:
+                    hook(start, len(raw))
 
     def release(self, snap: MemorySnapshot) -> None:
         """Forget a snapshot: its pages stop being COW-captured."""
@@ -127,6 +152,9 @@ class TargetMemory:
         if self._snapshots and data:
             self._capture(address, len(data))
         self.bytes[address : address + len(data)] = data
+        if self._write_hooks and data:
+            for hook in self._write_hooks:
+                hook(address, len(data))
 
     # -- integers --------------------------------------------------------
 
@@ -145,6 +173,9 @@ class TargetMemory:
             self._capture(address, size)
         value &= (1 << (size * 8)) - 1
         self.bytes[address : address + size] = value.to_bytes(size, self.byteorder)
+        if self._write_hooks:
+            for hook in self._write_hooks:
+                hook(address, size)
 
     def read_u8(self, address: int) -> int:
         return self.read_uint(address, 1)

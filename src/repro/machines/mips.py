@@ -71,6 +71,11 @@ _I_OPS = frozenset([
     "lwc1", "swc1", "ldc1", "sdc1",
 ])
 _LOADS = ("lw", "lh", "lhu", "lb", "lbu")
+_ALU_OPS = frozenset([
+    "lui", "ori", "addi", "add", "sub", "mul", "div", "rem", "divu", "remu",
+    "and", "or", "xor", "nor", "sll", "srl", "sra", "slli", "srli", "srai",
+    "slt", "sltu", "seq", "sne",
+])
 
 REG_ZERO = 0
 REG_AT = 1       # assembler temporary
@@ -93,6 +98,7 @@ class RMipsArch(Arch):
     nregs = 32
     nfregs = 16
     zero_reg = True
+    has_load_delay = True
     sp = REG_SP
     fp = None  # the whole point: no frame pointer
     ra = REG_RA
@@ -167,6 +173,265 @@ class RMipsArch(Arch):
 
     def loads(self):
         return _LOADS
+
+    # -- block dispatch ----------------------------------------------------
+
+    block_enders = frozenset([
+        "break", "syscall",
+        "beq", "bne", "blez", "bgtz", "bltz", "bgez",
+        "j", "jal", "jr", "jalr",
+    ])
+
+    mem_write_ops = frozenset(["sw", "sh", "sb", "swc1", "sdc1", "syscall"])
+
+    def compile_insn(self, insn: Insn, pc: int):
+        """Prebuilt execute bodies for the hot integer subset.
+
+        Operand fields and the next pc are baked in as locals at
+        compile time; each body replicates :meth:`execute` for its op
+        exactly (masking, zero-register suppression, ``_wrote_reg``
+        tracking, fault addresses, evaluation order).  Float and
+        conversion ops fall back to :meth:`execute`.
+        """
+        op = insn.op
+        rd = insn.rd
+        rs = insn.rs
+        imm = insn.imm
+        M = 0xFFFFFFFF
+        npc = (pc + 4) & M
+
+        if op == "nop":
+            def body(cpu):
+                cpu.pc = npc
+            return body
+
+        if op == "break":
+            code = imm or 0
+
+            def body(cpu):
+                raise TargetFault(SIGTRAP, code=code, address=pc)
+            return body
+
+        if op == "syscall":
+            code = imm or 0
+
+            def body(cpu):
+                cpu.syscall(code)
+                cpu.pc = npc
+            return body
+
+        # -- ALU: result into rd (r0 is hardwired zero) ------------------
+        if op in _ALU_OPS:
+            rt = insn.rt
+            if op == "lui":
+                val = ((imm & 0xFFFF) << 16) & M
+
+                def compute(regs):
+                    return val
+            elif op == "ori":
+                iv = imm & 0xFFFF
+
+                def compute(regs):
+                    return regs[rs] | iv
+            elif op == "addi":
+                def compute(regs):
+                    return (regs[rs] + imm) & M
+            elif op == "add":
+                def compute(regs):
+                    return (regs[rs] + regs[rt]) & M
+            elif op == "sub":
+                def compute(regs):
+                    return (regs[rs] - regs[rt]) & M
+            elif op == "mul":
+                def compute(regs):
+                    return (to_i32(regs[rs]) * to_i32(regs[rt])) & M
+            elif op == "div":
+                def compute(regs):
+                    divisor = to_i32(regs[rt])
+                    if divisor == 0:
+                        raise TargetFault(SIGFPE, code=0, address=pc)
+                    return _tdiv(to_i32(regs[rs]), divisor) & M
+            elif op == "rem":
+                def compute(regs):
+                    divisor = to_i32(regs[rt])
+                    if divisor == 0:
+                        raise TargetFault(SIGFPE, code=0, address=pc)
+                    return _trem(to_i32(regs[rs]), divisor) & M
+            elif op == "divu":
+                def compute(regs):
+                    if regs[rt] == 0:
+                        raise TargetFault(SIGFPE, code=0, address=pc)
+                    return regs[rs] // regs[rt]
+            elif op == "remu":
+                def compute(regs):
+                    if regs[rt] == 0:
+                        raise TargetFault(SIGFPE, code=0, address=pc)
+                    return regs[rs] % regs[rt]
+            elif op == "and":
+                def compute(regs):
+                    return regs[rs] & regs[rt]
+            elif op == "or":
+                def compute(regs):
+                    return regs[rs] | regs[rt]
+            elif op == "xor":
+                def compute(regs):
+                    return regs[rs] ^ regs[rt]
+            elif op == "nor":
+                def compute(regs):
+                    return ~(regs[rs] | regs[rt]) & M
+            elif op == "sll":
+                def compute(regs):
+                    return (regs[rs] << (regs[rt] & 31)) & M
+            elif op == "srl":
+                def compute(regs):
+                    return regs[rs] >> (regs[rt] & 31)
+            elif op == "sra":
+                def compute(regs):
+                    return (to_i32(regs[rs]) >> (regs[rt] & 31)) & M
+            elif op == "slli":
+                sh = imm & 31
+
+                def compute(regs):
+                    return (regs[rs] << sh) & M
+            elif op == "srli":
+                sh = imm & 31
+
+                def compute(regs):
+                    return regs[rs] >> sh
+            elif op == "srai":
+                sh = imm & 31
+
+                def compute(regs):
+                    return (to_i32(regs[rs]) >> sh) & M
+            elif op == "slt":
+                def compute(regs):
+                    return int(to_i32(regs[rs]) < to_i32(regs[rt]))
+            elif op == "sltu":
+                def compute(regs):
+                    return int(regs[rs] < regs[rt])
+            elif op == "seq":
+                def compute(regs):
+                    return int(regs[rs] == regs[rt])
+            else:  # sne
+                def compute(regs):
+                    return int(regs[rs] != regs[rt])
+
+            if rd == 0:
+                # the hardwired zero register: side effects (the div
+                # fault check) still happen, the write vanishes and
+                # _wrote_reg stays clear, exactly like set_reg
+                def body(cpu):
+                    compute(cpu.regs)
+                    cpu.pc = npc
+            else:
+                def body(cpu):
+                    cpu.regs[rd] = compute(cpu.regs)
+                    cpu._wrote_reg = rd
+                    cpu.pc = npc
+            return body
+
+        # -- loads: the result lands in the delay slot -------------------
+        if op in _LOADS:
+            if op == "lw":
+                def body(cpu):
+                    cpu._pending_load = (
+                        rd, cpu.mem.read_u32((cpu.regs[rs] + imm) & M))
+                    cpu.pc = npc
+            elif op == "lh":
+                def body(cpu):
+                    cpu._pending_load = (
+                        rd, cpu.mem.read_i16((cpu.regs[rs] + imm) & M) & M)
+                    cpu.pc = npc
+            elif op == "lhu":
+                def body(cpu):
+                    cpu._pending_load = (
+                        rd, cpu.mem.read_u16((cpu.regs[rs] + imm) & M))
+                    cpu.pc = npc
+            elif op == "lb":
+                def body(cpu):
+                    cpu._pending_load = (
+                        rd, cpu.mem.read_i8((cpu.regs[rs] + imm) & M) & M)
+                    cpu.pc = npc
+            else:  # lbu
+                def body(cpu):
+                    cpu._pending_load = (
+                        rd, cpu.mem.read_u8((cpu.regs[rs] + imm) & M))
+                    cpu.pc = npc
+            return body
+
+        if op == "sw":
+            def body(cpu):
+                cpu.mem.write_u32((cpu.regs[rs] + imm) & M, cpu.regs[rd])
+                cpu.pc = npc
+            return body
+        if op == "sh":
+            def body(cpu):
+                cpu.mem.write_u16((cpu.regs[rs] + imm) & M,
+                                  cpu.regs[rd] & 0xFFFF)
+                cpu.pc = npc
+            return body
+        if op == "sb":
+            def body(cpu):
+                cpu.mem.write_u8((cpu.regs[rs] + imm) & M,
+                                 cpu.regs[rd] & 0xFF)
+                cpu.pc = npc
+            return body
+
+        # -- control transfers -------------------------------------------
+        if op in ("beq", "bne", "blez", "bgtz", "bltz", "bgez"):
+            taken = (pc + 4 + (imm << 2)) & M
+            if op == "beq":
+                def body(cpu):
+                    regs = cpu.regs
+                    cpu.pc = taken if regs[rd] == regs[rs] else npc
+            elif op == "bne":
+                def body(cpu):
+                    regs = cpu.regs
+                    cpu.pc = taken if regs[rd] != regs[rs] else npc
+            elif op == "blez":
+                def body(cpu):
+                    v = cpu.regs[rd]
+                    cpu.pc = taken if (v == 0 or v >= 0x80000000) else npc
+            elif op == "bgtz":
+                def body(cpu):
+                    v = cpu.regs[rd]
+                    cpu.pc = taken if 0 < v < 0x80000000 else npc
+            elif op == "bltz":
+                def body(cpu):
+                    cpu.pc = taken if cpu.regs[rd] >= 0x80000000 else npc
+            else:  # bgez
+                def body(cpu):
+                    cpu.pc = taken if cpu.regs[rd] < 0x80000000 else npc
+            return body
+
+        if op == "j":
+            target = insn.target & M
+
+            def body(cpu):
+                cpu.pc = target
+            return body
+        if op == "jal":
+            target = insn.target & M
+
+            def body(cpu):
+                cpu.regs[REG_RA] = npc
+                cpu._wrote_reg = REG_RA
+                cpu.pc = target
+            return body
+        if op == "jr":
+            def body(cpu):
+                cpu.pc = cpu.regs[rs]
+            return body
+        if op == "jalr":
+            def body(cpu):
+                # execute writes ra before reading rs: jalr through ra
+                # jumps to the *new* value; keep that order
+                cpu.regs[REG_RA] = npc
+                cpu._wrote_reg = REG_RA
+                cpu.pc = cpu.regs[rs]
+            return body
+
+        return None  # float/conversion ops: the generic execute path
 
     # -- execution ---------------------------------------------------------
 

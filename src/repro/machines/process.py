@@ -18,9 +18,9 @@ import re
 from typing import Optional, Union
 
 from .cpu import Cpu, CpuSnapshot
+from .engine import StopSpec
 from .isa import (
     CODE_ICOUNT,
-    DEFAULT_MAX_STEPS,
     Halt,
     IcountReached,
     SIGTRAP,
@@ -104,7 +104,7 @@ class Process:
     """A loaded target program on a simulated CPU."""
 
     def __init__(self, exe: Executable, memsize: Optional[int] = None,
-                 stdout: Optional[io.StringIO] = None):
+                 stdout: Optional[io.StringIO] = None, engine=None):
         self.exe = exe
         self.arch = exe.arch
         if memsize is None:
@@ -113,20 +113,28 @@ class Process:
         self.mem = TargetMemory(memsize, byteorder=self.arch.byteorder)
         self.stdout = stdout if stdout is not None else io.StringIO()
         load(exe, self.mem)
-        self.cpu = Cpu(self.arch, self.mem, syscall_handler=self._syscall)
+        self.cpu = Cpu(self.arch, self.mem, syscall_handler=self._syscall,
+                       engine=engine)
         self.cpu.pc = exe.entry
         self.cpu.set_reg(self.arch.sp, exe.stack_top)
         self.exited: Optional[int] = None
 
     # -- events ------------------------------------------------------------
 
-    def run_until_event(self, max_steps: int = DEFAULT_MAX_STEPS,
+    def run_until_event(self, *, max_steps: Optional[int] = None,
                         stop_at_icount: Optional[int] = None,
+                        stop: Optional[StopSpec] = None,
                         ) -> Union[ExitEvent, FaultEvent]:
         """Run until the target exits, faults, or (with
-        ``stop_at_icount``) retires the requested instruction count."""
+        ``stop_at_icount``) retires the requested instruction count.
+
+        Stop conditions are keyword-only and shared with
+        :meth:`Cpu.run`: either ``max_steps``/``stop_at_icount`` or a
+        prebuilt :class:`StopSpec` as ``stop``.
+        """
         try:
-            status = self.cpu.run(max_steps, stop_at_icount=stop_at_icount)
+            status = self.cpu.run(
+                stop=StopSpec.coerce(stop, max_steps, stop_at_icount))
         except IcountReached as stop:
             return IcountStopEvent(stop.icount, stop.pc)
         except TargetFault as fault:

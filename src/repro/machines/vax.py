@@ -169,6 +169,104 @@ class Operand:
         return "<opnd m%d r%d %r>" % (self.mode, self.reg, self.ext)
 
 
+# -- prebuilt operand accessors for the block engine ------------------------
+#
+# Each builder pre-resolves one operand specifier into a closure over the
+# decoded mode/register/extension, replicating ``_address_of``/``_read``/
+# ``_write`` exactly (rvax has no zero register, so a register write is a
+# plain masked store plus ``_wrote_reg`` tracking).  A builder returns
+# ``None`` for specifiers the fast path does not handle — including the
+# modes ``execute`` faults on — sending that instruction to the generic
+# slow path so the fault (and its address) stays byte-identical.
+
+_FAST_ALU3 = frozenset([
+    "addl3", "subl3", "mull3", "divl3", "reml3", "divul3", "remul3",
+    "andl3", "orl3", "xorl3", "ashl", "lshr"])
+
+_SCC_OPS = frozenset([
+    "seql", "sneq", "slss", "sleq", "sgtr", "sgeq", "slssu",
+    "sgtru", "slequ", "sgequ"])
+
+_VAX_CC_FUNCS = {
+    "bneq": lambda cpu: not cpu.cc_eq,
+    "beql": lambda cpu: cpu.cc_eq,
+    "bgtr": lambda cpu: not (cpu.cc_lt or cpu.cc_eq),
+    "bleq": lambda cpu: cpu.cc_lt or cpu.cc_eq,
+    "bgeq": lambda cpu: not cpu.cc_lt,
+    "blss": lambda cpu: cpu.cc_lt,
+    "bgtru": lambda cpu: not (cpu.cc_ltu or cpu.cc_eq),
+    "blequ": lambda cpu: cpu.cc_ltu or cpu.cc_eq,
+    "bgequ": lambda cpu: not cpu.cc_ltu,
+    "blssu": lambda cpu: cpu.cc_ltu,
+}
+
+_VAX_SCC_FUNCS = {
+    "seql": lambda cpu: cpu.cc_eq,
+    "sneq": lambda cpu: not cpu.cc_eq,
+    "slss": lambda cpu: cpu.cc_lt,
+    "sleq": lambda cpu: cpu.cc_lt or cpu.cc_eq,
+    "sgtr": lambda cpu: not (cpu.cc_lt or cpu.cc_eq),
+    "sgeq": lambda cpu: not cpu.cc_lt,
+    "slssu": lambda cpu: cpu.cc_ltu,
+    "sgtru": lambda cpu: not (cpu.cc_ltu or cpu.cc_eq),
+    "slequ": lambda cpu: cpu.cc_ltu or cpu.cc_eq,
+    "sgequ": lambda cpu: not cpu.cc_ltu,
+}
+
+
+def _c_addr(opnd: Operand):
+    """Pre-resolved ``_address_of``; None for modes with no address."""
+    reg = opnd.reg
+    if opnd.mode == M_DEFER:
+        return lambda cpu: cpu.regs[reg]
+    if opnd.mode in (M_DISP8, M_DISP32):
+        disp = opnd.ext
+        return lambda cpu: (cpu.regs[reg] + disp) & 0xFFFFFFFF
+    if opnd.mode == M_ABS:
+        address = to_u32(opnd.ext)
+        return lambda cpu: address
+    return None
+
+
+def _c_read(opnd: Operand, size: int = 4):
+    """Pre-resolved unsigned ``_read``; None → generic slow path."""
+    reg = opnd.reg
+    if opnd.mode == M_REG:
+        if size == 4:
+            return lambda cpu: cpu.regs[reg]
+        mask = (1 << (size * 8)) - 1
+        return lambda cpu: cpu.regs[reg] & mask
+    if opnd.mode == M_IMM:
+        value = opnd.ext  # _read returns the raw immediate at any size
+        return lambda cpu: value
+    if opnd.mode == M_FIMM:
+        return None
+    addr = _c_addr(opnd)
+    if addr is None:
+        return None
+    if size == 4:
+        return lambda cpu: cpu.mem.read_u32(addr(cpu))
+    return lambda cpu: cpu.mem.read_uint(addr(cpu), size)
+
+
+def _c_write(opnd: Operand):
+    """Pre-resolved longword ``_write``; None → generic slow path."""
+    reg = opnd.reg
+    if opnd.mode == M_REG:
+        def write(cpu, value):
+            cpu.regs[reg] = value & 0xFFFFFFFF
+        return write
+    if opnd.mode in (M_IMM, M_FIMM):
+        return None  # execute raises SIGILL; keep that on the slow path
+    addr = _c_addr(opnd)
+    if addr is None:
+        return None
+
+    def write(cpu, value):
+        cpu.mem.write_int(addr(cpu), 4, value)
+    return write
+
+
 class RVaxArch(Arch):
     name = "rvax"
     byteorder = "little"
@@ -279,6 +377,263 @@ class RVaxArch(Arch):
         if op in ("halt", "nop", "bpt", "ret"):
             return 1
         return 1 + sum(o.length() for o in insn.imm or ())
+
+    # -- block dispatch ----------------------------------------------------
+
+    block_enders = _BRANCH_OPS | frozenset(
+        ["halt", "bpt", "syscall", "ret", "call", "callr"])
+
+    #: result-operand index per opcode; ops without an entry (and not
+    #: handled explicitly in :meth:`may_write_mem`) never store
+    _DST_INDEX = dict(
+        [(name, 1) for name in ("movl", "movb", "movw", "movzbl", "movzwl",
+                                "moval", "cvtld", "cvtdl", "movd", "movf",
+                                "negd")]
+        + [(name, 2) for name in ("addl3", "subl3", "mull3", "divl3",
+                                  "reml3", "divul3", "remul3", "andl3",
+                                  "orl3", "xorl3", "ashl", "lshr",
+                                  "addd3", "subd3", "muld3", "divd3")]
+        + [(name, 0) for name in ("seql", "sneq", "slss", "sleq", "sgtr",
+                                  "sgeq", "slssu", "sgtru", "slequ",
+                                  "sgequ", "popl")])
+
+    def may_write_mem(self, insn: Insn) -> bool:
+        """Byte-granular targets store through operand specifiers, so
+        writer-ness depends on the decoded addressing mode, not just
+        the opcode: a register destination writes no memory."""
+        op = insn.op
+        if op in ("pushl", "call", "callr", "syscall"):
+            return True  # stack pushes (syscall kept conservative)
+        index = self._DST_INDEX.get(op)
+        if index is None:
+            return False  # branches, compares, ret, nop, halt, bpt
+        ops = insn.imm if isinstance(insn.imm, list) else []
+        if index >= len(ops):
+            return True  # malformed: stay conservative
+        return ops[index].mode != M_REG
+
+    def compile_insn(self, insn: Insn, pc: int):
+        """Prebuilt execute bodies with pre-resolved operand
+        specifiers; float and byte/word-move ops fall back to
+        :meth:`execute`."""
+        op = insn.op
+        M = 0xFFFFFFFF
+        npc = (pc + insn.size) & M
+        ops: List[Operand] = insn.imm if isinstance(insn.imm, list) else []
+
+        if op == "nop":
+            def body(cpu):
+                cpu.pc = npc
+            return body
+        if op == "halt":
+            from .isa import Halt
+
+            def body(cpu):
+                raise Halt(cpu.get_reg(REG_RETVAL))
+            return body
+        if op == "bpt":
+            def body(cpu):
+                raise TargetFault(SIGTRAP, code=0, address=pc)
+            return body
+        if op == "syscall":
+            code = insn.imm or 0
+
+            def body(cpu):
+                cpu.syscall(code)
+                cpu.pc = npc
+            return body
+
+        if op in _BRANCH_OPS:
+            taken = (pc + insn.size + insn.imm) & M
+            if op == "brb":
+                def body(cpu):
+                    cpu.pc = taken
+            else:
+                test = _VAX_CC_FUNCS[op]
+
+                def body(cpu):
+                    cpu.pc = taken if test(cpu) else npc
+            return body
+
+        if op == "movl":
+            read0 = _c_read(ops[0])
+            write1 = _c_write(ops[1])
+            if read0 is None or write1 is None:
+                return None
+
+            def body(cpu):
+                write1(cpu, read0(cpu))
+                cpu.pc = npc
+            return body
+
+        if op == "movzbl" or op == "movzwl":
+            size = 1 if op == "movzbl" else 2
+            read0 = _c_read(ops[0], size)
+            write1 = _c_write(ops[1])
+            if read0 is None or write1 is None:
+                return None
+
+            def body(cpu):
+                write1(cpu, read0(cpu))
+                cpu.pc = npc
+            return body
+
+        if op == "moval":
+            addr0 = _c_addr(ops[0])
+            write1 = _c_write(ops[1])
+            if addr0 is None or write1 is None:
+                return None
+
+            def body(cpu):
+                write1(cpu, addr0(cpu))
+                cpu.pc = npc
+            return body
+
+        if op in _FAST_ALU3:
+            read0 = _c_read(ops[0])
+            read1 = _c_read(ops[1])
+            write2 = _c_write(ops[2])
+            if read0 is None or read1 is None or write2 is None:
+                return None
+            if op == "addl3":
+                def compute(a, b):
+                    return a + b
+            elif op == "subl3":
+                def compute(a, b):
+                    return b - a  # VAX order: dst = min - sub
+            elif op == "mull3":
+                def compute(a, b):
+                    return to_i32(a) * to_i32(b)
+            elif op == "andl3":
+                def compute(a, b):
+                    return a & b
+            elif op == "orl3":
+                def compute(a, b):
+                    return a | b
+            elif op == "xorl3":
+                def compute(a, b):
+                    return a ^ b
+            elif op == "ashl":
+                def compute(a, b):
+                    count = to_i32(a)
+                    return (to_i32(b) << count) if count >= 0 \
+                        else (to_i32(b) >> -count)
+            elif op == "lshr":
+                def compute(a, b):
+                    return to_u32(b) >> (to_i32(a) & 31)
+            elif op in ("divl3", "reml3"):
+                signed_rem = op == "reml3"
+
+                def compute(a, b):
+                    divisor = to_i32(a)
+                    if divisor == 0:
+                        raise TargetFault(SIGFPE, code=0, address=pc)
+                    dividend = to_i32(b)
+                    quotient = abs(dividend) // abs(divisor)
+                    if (dividend < 0) != (divisor < 0):
+                        quotient = -quotient
+                    if signed_rem:
+                        return dividend - quotient * divisor
+                    return quotient
+            else:  # divul3 / remul3
+                unsigned_rem = op == "remul3"
+
+                def compute(a, b):
+                    divisor = to_u32(a)
+                    if divisor == 0:
+                        raise TargetFault(SIGFPE, code=0, address=pc)
+                    dividend = to_u32(b)
+                    if unsigned_rem:
+                        return dividend % divisor
+                    return dividend // divisor
+
+            def body(cpu):
+                write2(cpu, compute(read0(cpu), read1(cpu)))
+                cpu.pc = npc
+            return body
+
+        if op == "cmpl":
+            read0 = _c_read(ops[0])
+            read1 = _c_read(ops[1])
+            if read0 is None or read1 is None:
+                return None
+
+            def body(cpu):
+                cpu.set_cc(read0(cpu) & M, read1(cpu) & M)
+                cpu.pc = npc
+            return body
+
+        if op in _SCC_OPS:
+            write0 = _c_write(ops[0])
+            if write0 is None:
+                return None
+            test = _VAX_SCC_FUNCS[op]
+
+            def body(cpu):
+                write0(cpu, 1 if test(cpu) else 0)
+                cpu.pc = npc
+            return body
+
+        if op == "pushl":
+            read0 = _c_read(ops[0])
+            if read0 is None:
+                return None
+
+            def body(cpu):
+                regs = cpu.regs
+                sp = (regs[REG_SP] - 4) & M
+                regs[REG_SP] = sp
+                # execute reads the operand after the sp update
+                # (argument-evaluation order); keep that
+                cpu.mem.write_u32(sp, read0(cpu))
+                cpu.pc = npc
+            return body
+        if op == "popl":
+            write0 = _c_write(ops[0])
+            if write0 is None:
+                return None
+
+            def body(cpu):
+                regs = cpu.regs
+                sp = regs[REG_SP]
+                write0(cpu, cpu.mem.read_u32(sp))
+                regs[REG_SP] = (sp + 4) & M
+                cpu.pc = npc
+            return body
+
+        if op == "call":
+            target = insn.target & M
+
+            def body(cpu):
+                regs = cpu.regs
+                sp = (regs[REG_SP] - 4) & M
+                regs[REG_SP] = sp
+                cpu.mem.write_u32(sp, npc)
+                cpu.pc = target
+            return body
+        if op == "callr":
+            read0 = _c_read(ops[0])
+            if read0 is None:
+                return None
+
+            def body(cpu):
+                target = read0(cpu)  # execute reads before the sp update
+                regs = cpu.regs
+                sp = (regs[REG_SP] - 4) & M
+                regs[REG_SP] = sp
+                cpu.mem.write_u32(sp, npc)
+                cpu.pc = target & M
+            return body
+        if op == "ret":
+            def body(cpu):
+                regs = cpu.regs
+                sp = regs[REG_SP]
+                target = cpu.mem.read_u32(sp)
+                regs[REG_SP] = (sp + 4) & M
+                cpu.pc = target
+            return body
+
+        return None  # movb/movw, floats: the generic execute path
 
     # -- operand evaluation -------------------------------------------------
 

@@ -224,6 +224,8 @@ class Nub:
                           else getattr(process.exe, "loader_ps", None))
         #: the stop currently being served (the fault record a core records)
         self._last_event: Optional[FaultEvent] = None
+        #: last-folded execution-engine counters (see _fold_sim_metrics)
+        self._sim_folded: dict = {}
         self.checkpoints: dict = {}  # id -> (ProcessSnapshot, planted copy)
         self._next_checkpoint = 1
         #: seq/id of the last CHECKPOINT served, so a retried request
@@ -267,11 +269,28 @@ class Nub:
             self.killed = True
             return None
 
+    def _fold_sim_metrics(self) -> None:
+        """Fold execution-engine block-cache deltas into ``sim.*``
+        metrics.  Done per stop, not per dispatch, so the simulation's
+        hot path never touches the metrics lock."""
+        engine = self.process.cpu.engine
+        stats = engine.stats
+        folded = self._sim_folded
+        metrics = self.obs.metrics
+        for name, value in (("sim.blocks_compiled", stats.compiled),
+                            ("sim.block_hits", stats.hits),
+                            ("sim.blocks_invalidated", stats.invalidated)):
+            delta = value - folded.get(name, 0)
+            if delta:
+                metrics.inc(name, delta)
+                folded[name] = value
+
     def _run_loop(self) -> Optional[int]:
         while True:
             stop_at = self._runto
             self._runto = None
             event = self.process.run_until_event(stop_at_icount=stop_at)
+            self._fold_sim_metrics()
             if isinstance(event, ExitEvent):
                 self.exit_status = event.status
                 self.obs.tracer.event("nub.exit", status=event.status)

@@ -94,6 +94,17 @@ class TestCliVerbs:
         assert "session.requests" in text
         assert "wire." in text
 
+    def test_sim_prints_engine_counters(self, fib_exe):
+        cli, out = self._cli(fib_exe)
+        cli.command("break fib")
+        cli.command("continue")
+        before = out.tell()
+        cli.command("sim")
+        text = self._said(out, before)
+        assert "engine " in text
+        if "engine block" in text:
+            assert "blocks_compiled" in text and "generation" in text
+
     def test_trace_on_dump_off(self, fib_exe, tmp_path):
         cli, out = self._cli(fib_exe)
         cli.command("trace on")

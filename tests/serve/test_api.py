@@ -131,3 +131,34 @@ def test_post_mortem_refuses_mutation(tmp_path):
     # inspection still works on the core
     assert api.execute("backtrace")["frames"][0]["proc"] == "fib"
     assert api.execute("status")["target"]["post_mortem"] is True
+
+
+def test_sim_stats_reports_engine_counters(api):
+    out = api.execute("sim_stats")
+    assert out["engine"] in ("block", "step")
+    api.execute("break", {"at": "fib"})
+    api.execute("continue")
+    out = api.execute("sim_stats")
+    if out["engine"] == "block":
+        assert out["blocks_compiled"] > 0
+        assert "generation" in out and "blocks_cached" in out
+
+
+def test_sim_stats_typed_errors(tmp_path):
+    import io
+    # no target at all
+    bare = DebugAPI(Ldb(stdout=io.StringIO()))
+    with pytest.raises(ApiError) as err:
+        bare.execute("sim_stats")
+    assert err.value.code == ERR_NO_TARGET
+    # a core target has no running simulator
+    ldb, target = session()
+    api = DebugAPI(ldb)
+    api.execute("break", {"at": "fib"})
+    api.execute("continue")
+    core = str(tmp_path / "t.core")
+    api.execute("dumpcore", {"path": core})
+    ldb.open_core(core)
+    with pytest.raises(ApiError) as err:
+        api.execute("sim_stats")
+    assert err.value.code == ERR_POST_MORTEM
