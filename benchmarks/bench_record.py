@@ -1,0 +1,260 @@
+"""T2 — persistent recordings: record overhead and replay fidelity.
+
+Recording a session costs the same two currencies as time travel
+(checkpoint snapshots every ``interval`` instructions) plus a third:
+each checkpoint is spilled into the on-disk trace alongside the stop
+event log, so the file can be reopened with no nub at all.  This bench
+quantifies that against the plain forward run on the loop-then-crash
+workload:
+
+* ``plain``    — forward run, recording off, the baseline;
+* per interval — recording overhead (wall clock vs plain, spill count,
+  file bytes after ``record save``) and replay fidelity: the saved file
+  is reopened, reverse-continued to the final breakpoint hit, and run
+  forward again across the digest-checked stop log.
+
+It asserts the reopened timeline answers exactly like the live one
+(backtrace, landing icount, zero divergences) and emits
+``BENCH_record.json`` at the repository root.  ``BENCH_QUICK=1`` runs a
+single timing repetition (the CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+from repro.machines import SIGSEGV, SIGTRAP
+
+from .conftest import report
+
+INTERVALS = (200, 400, 800)
+LOOPS = 40
+
+# recording only *registers* checkpoints while running (states are
+# pulled lazily at `record save`), so its forward overhead must stay
+# inside the T1 checkpoint-overhead envelope, and within a small
+# factor of a checkpoint-only run at the same interval
+MAX_OVERHEAD = 4.6
+MAX_VS_CHECKPOINTING = 2.0
+
+BOOM_C = """int g;
+void tick(int i) { g = g + i; }
+void poke(int *p) { *p = 42; }
+int main(void) {
+    int i;
+    for (i = 0; i < %d; i++)
+        tick(i);
+    poke((int *)0x7fffffff);
+    return 0;
+}
+""" % LOOPS
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_record.json"
+_EXE = None
+
+
+def _exe():
+    global _EXE
+    if _EXE is None:
+        _EXE = compile_and_link({"boom.c": BOOM_C}, "rmips", debug=True)
+    return _EXE
+
+
+def _run_to_crash(ldb, target):
+    """Breakpoint on poke, run through the loop to the single hit and
+    on into the crash; returns the icount of that hit."""
+    ldb.break_at_function("poke")
+    last_hit = None
+    while True:
+        ldb.run_to_stop()
+        if target.state != "stopped" or target.signo != SIGTRAP:
+            break
+        last_hit = target.current_icount()
+    assert target.signo == SIGSEGV
+    return last_hit
+
+
+def run_plain():
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(_exe())
+    started = time.perf_counter()
+    last_hit = _run_to_crash(ldb, target)
+    seconds = time.perf_counter() - started
+    stats = {"seconds": seconds,
+             "last_hit": last_hit, "crash_icount": target.current_icount()}
+    target.kill()
+    return stats
+
+
+def run_checkpoint_only(interval: int):
+    """Time travel on, recording off: the baseline the writer rides."""
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(_exe())
+    ldb.enable_time_travel(interval=interval, capacity=64)
+    started = time.perf_counter()
+    _run_to_crash(ldb, target)
+    seconds = time.perf_counter() - started
+    target.kill()
+    return {"seconds": seconds}
+
+
+def run_recorded(interval: int, path: str):
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(_exe())
+    ldb.start_recording(path=path, interval=interval)
+    started = time.perf_counter()
+    last_hit = _run_to_crash(ldb, target)
+    record_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    recording = ldb.record_save()
+    save_seconds = time.perf_counter() - started
+    metrics = ldb.obs.metrics.snapshot()
+    stats = {
+        "interval": interval,
+        "record_seconds": record_seconds,
+        "save_seconds": save_seconds,
+        "spills": len(recording.spills),
+        "stops": len(recording.stops),
+        "file_bytes": os.path.getsize(path),
+        "saved_bytes": metrics.get("trace.saved_bytes", 0),
+        "last_hit": last_hit,
+        "crash_icount": target.current_icount(),
+    }
+    target.kill()
+    return stats
+
+
+def replay_fidelity(path: str, recorded: dict):
+    """Reopen the saved file and debug it: the answers must match the
+    live session that wrote it, and the forward re-execution must pass
+    every recorded digest check."""
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.open_recording(path)
+    assert target.replaying and target.signo == SIGSEGV
+    assert target.current_icount() == recorded["crash_icount"]
+    fault_bt = ldb.backtrace_text()
+
+    started = time.perf_counter()
+    hit = ldb.reverse_continue()
+    reverse_seconds = time.perf_counter() - started
+    assert hit.icount == recorded["last_hit"]
+    assert target.at_breakpoint()
+
+    started = time.perf_counter()
+    assert ldb.run_to_stop() == "stopped"
+    forward_seconds = time.perf_counter() - started
+    assert target.signo == SIGSEGV
+    assert target.current_icount() == recorded["crash_icount"]
+    assert ldb.backtrace_text() == fault_bt
+    snap = ldb.obs.metrics.snapshot()
+    checks = snap.get("trace.replay.checks", 0)
+    divergences = snap.get("trace.replay.divergences", 0)
+    assert checks > 0 and divergences == 0
+    return {
+        "reverse_seconds": reverse_seconds,
+        "forward_replay_seconds": forward_seconds,
+        "landed_icount": hit.icount,
+        "digest_checks": checks,
+        "divergences": divergences,
+    }
+
+
+def _timed(fn, *args, reps=3):
+    """Best wall clock over ``reps`` runs (fresh session each time)."""
+    best = None
+    for _ in range(reps):
+        row = fn(*args)
+        key = row.get("record_seconds", row.get("seconds"))
+        if best is None or key < best[0]:
+            best = (key, row)
+    return best[1]
+
+
+def measure(reps: int, scratch: Path) -> dict:
+    plain = _timed(run_plain, reps=reps)
+    out = {
+        "benchmark": "record",
+        "workload": ("a %d-iteration loop -> breakpoint hit -> SIGSEGV, "
+                     "recorded, saved, reopened" % LOOPS),
+        "reps": reps,
+        "trace_instructions": plain["crash_icount"],
+        "max_overhead": MAX_OVERHEAD,
+        "plain": plain,
+        "intervals": {},
+    }
+    for interval in INTERVALS:
+        path = str(scratch / ("boom_%d.ldbrec" % interval))
+        ckpt_only = _timed(run_checkpoint_only, interval, reps=reps)
+        row = _timed(run_recorded, interval, path, reps=reps)
+        row["checkpoint_only_seconds"] = ckpt_only["seconds"]
+        row["record_overhead"] = (round(row["record_seconds"]
+                                        / max(plain["seconds"], 1e-9), 2))
+        row["record_vs_checkpointing"] = (
+            round(row["record_seconds"]
+                  / max(ckpt_only["seconds"], 1e-9), 2))
+        row["replay"] = replay_fidelity(path, row)
+        out["intervals"][str(interval)] = row
+    return out
+
+
+def emit(data: dict) -> None:
+    _OUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_record_overhead_and_replay_fidelity(tmp_path):
+    reps = 1 if os.environ.get("BENCH_QUICK") else 3
+    data = measure(reps, tmp_path)
+    emit(data)
+    report("", "T2. Recordings: record overhead vs. replay fidelity",
+           "  workload: %s (%d instructions)"
+           % (data["workload"], data["trace_instructions"]))
+    plain = data["plain"]
+    for interval, row in sorted(data["intervals"].items(),
+                                key=lambda kv: int(kv[0])):
+        report("  interval %-4s %2d spills, record %.3fs (%.1fx plain), "
+               "%5d file bytes, replay %d checks / %d divergences"
+               % (interval, row["spills"], row["record_seconds"],
+                  row["record_overhead"], row["file_bytes"],
+                  row["replay"]["digest_checks"],
+                  row["replay"]["divergences"]))
+        # correctness before speed: replay matched live and stayed clean
+        assert row["replay"]["landed_icount"] == plain["last_hit"]
+        assert row["crash_icount"] == plain["crash_icount"]
+        assert row["replay"]["divergences"] == 0
+        # the recording cost stays inside the checkpoint envelope (a
+        # single smoke rep is too noisy for an absolute timing bound)
+        if data["reps"] >= 3:
+            assert row["record_overhead"] <= MAX_OVERHEAD, row
+            assert (row["record_vs_checkpointing"]
+                    <= MAX_VS_CHECKPOINTING), row
+    # denser spills can't mean fewer of them, nor a smaller file
+    counts = [data["intervals"][str(i)]["spills"] for i in INTERVALS]
+    assert counts == sorted(counts, reverse=True)
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        data = measure(reps=1 if os.environ.get("BENCH_QUICK") else 3,
+                       scratch=Path(scratch))
+    emit(data)
+    plain = data["plain"]
+    print("plain forward run: %.3fs, %d instructions"
+          % (plain["seconds"], data["trace_instructions"]))
+    for interval, row in sorted(data["intervals"].items(),
+                                key=lambda kv: int(kv[0])):
+        print("interval %-4s %2d spills record %.3fs (%.1fx) save %.3fs "
+              "%6d bytes replay: %d checks, landed=%d"
+              % (interval, row["spills"], row["record_seconds"],
+                 row["record_overhead"], row["save_seconds"],
+                 row["file_bytes"], row["replay"]["digest_checks"],
+                 row["replay"]["landed_icount"]))
+    print("wrote %s" % _OUT)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Persistent recordings: record a crash, reopen it anywhere, rewind.
+
+A core is a photograph of the moment of death; a recording is the whole
+film.  This example walks the full loop:
+
+  1. a live session records itself (``record --save``): every
+     time-travel checkpoint is registered for the file, every stop gets
+     a divergence digest, and debugger-injected writes (``set``) are
+     logged as inputs;
+  2. the target dies of SIGSEGV and the session saves the recording —
+     checkpoint states are pulled from the nub only now, so recording
+     itself cost no more than plain time travel;
+  3. a completely fresh debugger — no nub, no process, no executable —
+     reopens the file with ``open_recording`` and gets the *same*
+     backtrace and values, byte for byte;
+  4. unlike a core, the reopened timeline *moves*: reverse-continue
+     lands on the recorded breakpoint hit, and running forward again
+     re-executes the program while verifying every recorded digest —
+     a tampered file would raise DivergenceError instead of lying.
+
+Run:  python examples/record_replay.py
+"""
+
+import io
+import os
+import tempfile
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+from repro.machines import SIGSEGV, SIGTRAP
+
+BOOM = """int g;
+void poke(int *p) { *p = 42; }
+int main(void) {
+    int i;
+    for (i = 0; i < 6; i++)
+        g = g + i;
+    poke((int *)0x7fffffff);
+    return 0;
+}
+"""
+
+
+def main():
+    path = os.path.join(tempfile.mkdtemp(), "boom.ldbrec")
+    exe = compile_and_link({"boom.c": BOOM}, "rmips", debug=True)
+
+    print("=== record a live session up to (and into) the crash ===")
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(exe)
+    ldb.start_recording(path=path, interval=37)
+    ldb.break_at_function("poke")
+    assert ldb.run_to_stop() == "stopped" and target.signo == SIGTRAP
+    hit_icount = target.current_icount()
+    print("breakpoint in poke at icount %d, g = %s"
+          % (hit_icount, ldb.evaluate("g")))
+    assert ldb.run_to_stop() == "stopped" and target.signo == SIGSEGV
+    live_bt = ldb.backtrace_text()
+    recording = ldb.record_save()
+    print("SIGSEGV at icount %d" % target.current_icount())
+    print("saved %s: %d spills, %d stops, %d inputs (%d bytes)"
+          % (path, len(recording.spills), len(recording.stops),
+             len(recording.inputs), os.path.getsize(path)))
+
+    print("\n=== a fresh debugger reopens the file: no nub at all ===")
+    post = Ldb(stdout=io.StringIO())
+    replayed = post.open_recording(path)
+    print("replay target %s (%s): signal %d, icount %d"
+          % (replayed.name, replayed.arch_name, replayed.signo,
+             replayed.current_icount()))
+    post_bt = post.backtrace_text()
+    assert post_bt == live_bt, "replay and live backtraces differ"
+    print("backtrace matches the live session, byte for byte:\n%s"
+          % post_bt)
+
+    print("=== unlike a core, the timeline moves: rewind to the hit ===")
+    hit = post.reverse_continue()
+    assert hit.icount == hit_icount and replayed.at_breakpoint()
+    proc, source, line = post.where_am_i()
+    print("reverse-continue landed at icount %d: %s (%s:%d), g = %s"
+          % (hit.icount, proc, source, line, post.evaluate("g")))
+
+    print("\n=== forward again: re-executed, digest-checked ===")
+    assert post.run_to_stop() == "stopped" and replayed.signo == SIGSEGV
+    snap = post.obs.metrics.snapshot()
+    print("back at the fault (icount %d): %d digest checks, "
+          "%d divergences"
+          % (replayed.current_icount(),
+             snap.get("trace.replay.checks", 0),
+             snap.get("trace.replay.divergences", 0)))
+    assert snap.get("trace.replay.divergences", 0) == 0
+
+
+if __name__ == "__main__":
+    main()

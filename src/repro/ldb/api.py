@@ -25,6 +25,7 @@ from typing import Callable, Dict, Optional
 from ..cc.lexer import CError
 from ..nub.session import DeadlineExceeded, TransportError
 from ..postscript import PSError
+from ..trace import DivergenceError, TraceError
 from .breakpoints import BreakpointError
 from .exprserver import EvalError
 from .target import Target, TargetDiedError, TargetError
@@ -39,6 +40,7 @@ ERR_TARGET_STATE = "ERR_TARGET_STATE"  # verb illegal in this state
 ERR_POST_MORTEM = "ERR_POST_MORTEM"    # mutating verb on a core
 ERR_TARGET_DIED = "ERR_TARGET_DIED"    # the nub/process is gone
 ERR_EVAL = "ERR_EVAL"                  # expression/symbol error
+ERR_DIVERGED = "ERR_DIVERGED"          # replay stopped matching the file
 
 
 class ApiError(Exception):
@@ -85,6 +87,8 @@ class DebugAPI:
             "kill": self._cmd_kill,
             "dumpcore": self._cmd_dumpcore,
             "sim_stats": self._cmd_sim_stats,
+            "record_save": self._cmd_record_save,
+            "replay_open": self._cmd_replay_open,
         }
 
     def commands(self):
@@ -112,6 +116,10 @@ class DebugAPI:
             return handler(args, timeout)
         except ApiError:
             raise
+        except DivergenceError as err:
+            # must outrank TransportError (its base class): a diverged
+            # replay is a verdict about the file, not a dead nub
+            raise ApiError(ERR_DIVERGED, str(err))
         except TargetDiedError as err:
             raise ApiError(ERR_TARGET_DIED, str(err),
                            core_path=err.core_path)
@@ -284,6 +292,32 @@ class DebugAPI:
         core = target.dump_core(path)
         return {"path": path, "segments": len(core.segments),
                 "icount": core.icount}
+
+    def _cmd_record_save(self, args, timeout) -> dict:
+        # persist the accumulated recording (start one with the ldb
+        # client's start_recording; the CLI's `record --save`)
+        target = self._target()
+        path = args.get("path")
+        if path is not None and not isinstance(path, str):
+            raise ApiError(ERR_BAD_ARGS, "path must be a string, got %r"
+                           % path)
+        try:
+            recording = self.ldb.record_save(path, target)
+        except TraceError as err:
+            raise ApiError(ERR_TARGET_STATE, str(err))
+        return {"path": target.trace_writer.path,
+                "spills": len(recording.spills),
+                "stops": len(recording.stops),
+                "inputs": len(recording.inputs)}
+
+    def _cmd_replay_open(self, args, timeout) -> dict:
+        path = self._arg(args, "path")
+        target = self.ldb.open_recording(path)
+        recording = target.recording
+        return {"target": target.describe(),
+                "spills": len(recording.spills),
+                "base_icount": recording.meta.base_icount,
+                "final_icount": recording.final_icount}
 
     def _cmd_sim_stats(self, args, timeout) -> dict:
         # non-mutating: reads the simulator engine's own counters, so

@@ -14,6 +14,9 @@ Commands::
     break <function> | break <file>:<line>
     run / continue / c
     record [interval]
+    record --save <file> [interval]
+    record save [file]
+    replay <file>
     reverse-continue / rc
     reverse-step / rs
     reverse-next / rn
@@ -46,6 +49,7 @@ from ..cc.driver import compile_and_link
 from ..cc.lexer import CError
 from .breakpoints import BreakpointError
 from ..postscript import PSError
+from ..trace import DivergenceError
 from .debugger import Ldb
 from .exprserver import EvalError
 from .target import TargetError
@@ -104,6 +108,10 @@ class Cli:
         rest = rest.strip()
         try:
             self.dispatch(verb, rest)
+        except DivergenceError as err:
+            # replay stopped matching the file: the session is suspect
+            # from here on, say so loudly but keep the REPL alive
+            self.say("ldb: REPLAY DIVERGED: %s" % err)
         except (TargetError, BreakpointError, EvalError, CError, PSError) as err:
             self.say("ldb: %s" % err)
 
@@ -120,6 +128,8 @@ class Cli:
             self.cmd_step(over=True)
         elif verb == "record":
             self.cmd_record(rest)
+        elif verb == "replay":
+            self.cmd_replay(rest)
         elif verb in ("reverse-continue", "rc"):
             self.cmd_reverse("continue")
         elif verb in ("reverse-step", "rs"):
@@ -177,9 +187,9 @@ class Cli:
             self.cmd_sessions()
         else:
             self.say("ldb: unknown command %r (try: break condition run step next "
-                     "record reverse-continue reverse-step reverse-next goto "
-                     "print set backtrace where core dumpcore registers stats "
-                     "sim trace targets serve sessions quit)" % verb)
+                     "record replay reverse-continue reverse-step reverse-next "
+                     "goto print set backtrace where core dumpcore registers "
+                     "stats sim trace targets serve sessions quit)" % verb)
 
     def cmd_core(self, path: str) -> None:
         """Open a core file: a post-mortem target with no nub behind it."""
@@ -206,10 +216,51 @@ class Cli:
                  % (path, len(core.segments), core.icount))
 
     def cmd_record(self, rest: str) -> None:
+        words = rest.split()
+        if words and words[0] == "save":
+            # `record save [file]`: write the accumulated recording
+            path = words[1] if len(words) > 1 else None
+            recording = self.ldb.record_save(path)
+            writer = self.ldb.current.trace_writer
+            self.say("recording saved to %s (%d checkpoint spills, "
+                     "%d stops, %d inputs)"
+                     % (writer.path, len(recording.spills),
+                        len(recording.stops), len(recording.inputs)))
+            return
+        if words and words[0] == "--save":
+            # `record --save <file> [interval]`: persistent recording
+            if len(words) < 2:
+                self.say("usage: record --save <file> [interval]")
+                return
+            path = words[1]
+            interval = int(words[2]) if len(words) > 2 else 5_000
+            writer = self.ldb.start_recording(path=path, interval=interval)
+            self.say("recording to %s: checkpoint spill every %d "
+                     "instructions (write it with: record save)"
+                     % (writer.path, writer.interval))
+            return
         interval = int(rest) if rest else 5_000
         replay = self.ldb.enable_time_travel(interval=interval)
         self.say("recording: checkpoint every %d instructions"
                  % replay.interval)
+
+    def cmd_replay(self, path: str) -> None:
+        """Reopen a saved recording: a replay target with no nub."""
+        if not path:
+            self.say("usage: replay <file>")
+            return
+        target = self.ldb.open_recording(path)
+        recording = target.recording
+        self.say("replay target %s (%s): %d checkpoint spills, "
+                 "icounts %d..%d"
+                 % (target.name, target.arch_name, len(recording.spills),
+                    recording.meta.base_icount, recording.final_icount))
+        try:
+            proc, filename, line = self.ldb.where_am_i()
+            self.say("recording ends in %s () at %s:%d (signal %d)"
+                     % (proc, filename, line, target.signo))
+        except Exception:
+            self.say("recording ends at an unknown location")
 
     def cmd_reverse(self, how: str) -> None:
         if how == "continue":
@@ -392,6 +443,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument("image", nargs="?", help="program image from rcc -o")
     ap.add_argument("--source", help="compile and debug a C source file")
     ap.add_argument("--core", help="open a core file post-mortem")
+    ap.add_argument("--replay", help="reopen a saved recording (.ldbrec)")
     ap.add_argument("--target", default="rmips",
                     choices=["rmips", "rmipsel", "rsparc", "rm68k", "rvax"])
     args = ap.parse_args(argv)
@@ -400,10 +452,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         cli.compile_source(args.source, args.target)
     elif args.core:
         cli.cmd_core(args.core)
+    elif args.replay:
+        cli.cmd_replay(args.replay)
     elif args.image:
         cli.load_image(args.image)
     else:
-        ap.error("give an image, --source, or --core")
+        ap.error("give an image, --source, --core, or --replay")
     cli.repl()
     return 0
 

@@ -70,6 +70,7 @@ class Ldb:
         table = self.read_loader_table(table_ps)
         target = Target(self.interp, channel, table, self._new_target_name(),
                         connector=connector, cache=cache, obs=self.obs)
+        target.loader_ps = table_ps
         self.targets[target.name] = target
         self.current = target
         if wait:
@@ -150,6 +151,7 @@ class Ldb:
         self.targets[target.name] = target
         self.current = target
         target.core = core
+        target.loader_ps = table_ps
         target.wait_for_stop()  # the recorded fault, re-announced
         # adopt the planted-breakpoint table the dead debugger left
         target.breakpoints.extension_available()
@@ -333,6 +335,112 @@ class Ldb:
                 raise TargetError(str(err))
             target.replay = controller
         return target.replay
+
+    def start_recording(self, target: Optional[Target] = None,
+                        path: Optional[str] = None, interval: int = 5_000,
+                        capacity: int = 32):
+        """Like :meth:`enable_time_travel`, but the session also
+        accumulates a persistent recording: every checkpoint is spilled
+        (complete machine state pulled over the wire), every stop gets
+        a divergence digest, and debugger-injected writes are logged.
+        ``record_save`` writes the accumulated file."""
+        from ..trace import TraceError, TraceWriter
+        target = target or self._need_target()
+        replay = self.enable_time_travel(target, interval=interval,
+                                         capacity=capacity)
+        if target.trace_writer is None:
+            try:
+                writer = TraceWriter(target, path=path, interval=interval)
+            except TraceError as err:
+                raise TargetError(str(err))
+            replay.writer = writer
+            target.trace_writer = writer
+            # backfill the current stop: enable_time_travel checkpointed
+            # it before the writer existed (spill() dedups)
+            writer.spill(replay._ensure_checkpoint_here())
+            self.obs.tracer.event("ldb.start_recording", path=path,
+                                  interval=interval)
+        elif path is not None:
+            target.trace_writer.path = path
+        return target.trace_writer
+
+    def record_save(self, path: Optional[str] = None,
+                    target: Optional[Target] = None):
+        """Write the accumulated recording to disk (``record save``)."""
+        from ..trace import TraceError
+        target = target or self._need_target()
+        writer = target.trace_writer
+        if writer is None:
+            raise TargetError(
+                "no recording in progress on %s (use 'record --save' "
+                "first)" % target.name)
+        if target.state == "stopped":
+            # make sure the position being looked at is in the file
+            writer.spill(target.replay._ensure_checkpoint_here())
+        try:
+            return writer.save(path)
+        except TraceError as err:
+            raise TargetError(str(err))
+
+    def open_recording(self, path: str, table_ps: Optional[str] = None,
+                       cache: bool = True,
+                       check_divergence: bool = True) -> Target:
+        """Reopen a saved recording: no nub, no live process — the
+        whole debugger stack runs against re-executed machine states
+        restored from the file's checkpoint spills.
+
+        Unlike a core, a recording is a *timeline*: forward continue,
+        stepping, reverse commands, and ``goto`` all work, and the
+        re-execution is verified against the recorded event log —
+        a mismatch raises a divergence error naming the first bad
+        icount rather than silently serving wrong state."""
+        from ..timetravel import ReplayController
+        from ..trace import Recording, ReplayTransport, TraceError
+        from ..trace.format import SPILL_AUTO
+        from ..timetravel.ring import Checkpoint
+        try:
+            recording = Recording.load(path)
+            transport = ReplayTransport(recording,
+                                        check_divergence=check_divergence,
+                                        obs=self.obs)
+        except TraceError as err:
+            raise TargetError("cannot open recording %s: %s" % (path, err))
+        meta = recording.meta
+        if table_ps is None:
+            table_ps = meta.loader_ps
+            if table_ps is None:
+                raise TargetError(
+                    "recording %s embeds no symbol table; pass table_ps"
+                    % path)
+        table = self.read_loader_table(table_ps)
+        target = Target(self.interp, None, table, self._new_target_name(),
+                        transport=transport, cache=cache, obs=self.obs)
+        if target.arch_name != meta.arch_name:
+            raise TargetError(
+                "recording %s is %s but the symbol table says %s"
+                % (path, meta.arch_name, target.arch_name))
+        self.targets[target.name] = target
+        self.current = target
+        target.recording = recording
+        target.loader_ps = table_ps
+        target.wait_for_stop()  # the final recorded stop, re-announced
+        # adopt the planted-breakpoint table the recorded session left
+        target.breakpoints.extension_available()
+        # seed the reverse machinery with the file's spilled
+        # checkpoints: every spill is restorable by its recorded cid
+        controller = ReplayController(
+            target, interval=meta.interval,
+            capacity=max(64, 2 * len(recording.spills) + 8))
+        for spill in recording.spills:
+            controller.ring.add(Checkpoint(
+                spill.cid, spill.icount, spill.pc, None, spill.signo,
+                spill.code, "auto" if spill.kind == SPILL_AUTO else "stop"))
+        target.replay = controller
+        self.obs.tracer.event("ldb.open_recording", path=path,
+                              arch=meta.arch_name,
+                              spills=len(recording.spills),
+                              final_icount=recording.final_icount)
+        return target
 
     def _replay(self, target: Optional[Target] = None):
         target = target or self._need_target()

@@ -116,6 +116,16 @@ class Target:
         #: is this a post-mortem target (a core file, nothing live)?
         from .postmortem import CoreTransport  # deferred: avoid a cycle
         self.post_mortem = isinstance(transport, CoreTransport)
+        #: is this target a reopened recording (a ReplayTransport)?
+        from ..trace.replay import ReplayTransport  # deferred: avoid a cycle
+        self.replaying = isinstance(transport, ReplayTransport)
+        #: the TraceWriter capturing this session to a file, if any
+        self.trace_writer = None
+        #: the loaded Recording when replaying (set by open_recording)
+        self.recording = None
+        #: the loader-table PostScript source this target was opened
+        #: with (recordings embed it so they reopen self-contained)
+        self.loader_ps: Optional[str] = None
         #: where the nub auto-writes a core when the target dies (set by
         #: the debugger when it launched the nub with a core path)
         self.core_path: Optional[str] = None
@@ -150,6 +160,9 @@ class Target:
             "breakpoints": len(self.breakpoints.planted),
             "core_path": self.core_path,
             "recording": self.replay is not None,
+            "recording_path": (self.trace_writer.path
+                               if self.trace_writer is not None else None),
+            "replaying": self.replaying,
         }
 
     # -- PostScript context ------------------------------------------------
@@ -212,6 +225,23 @@ class Target:
                           if getattr(self.transport, "connector", None)
                           is not None else "disconnected")
             return self.state
+        except TransportError as err:
+            if not getattr(err, "diverged", False):
+                raise
+            # replay divergence: the transport parked on the divergent
+            # re-executed state as a stop.  Mark the target stopped
+            # there before the typed error surfaces, so the session
+            # stays debuggable (inspect the divergent world, resume)
+            # instead of wedging in a phantom "running" state.
+            self.wire.invalidate()
+            if err.signo is not None:
+                self.signo, self.sigcode = err.signo, err.sigcode
+            self.state = "stopped"
+            self._top_frame = None
+            self.obs.metrics.inc("target.stops")
+            self.obs.tracer.event("target.stop", target=self.name,
+                                  signo=self.signo, code=self.sigcode)
+            raise
         # whatever arrived, the target has run since we last looked:
         # every cached block is stale (the nub rewrote the context too)
         self.wire.invalidate()
@@ -454,6 +484,33 @@ class Target:
         self.obs.tracer.event("target.dumpcore", target=self.name,
                               path=path, size=len(reply.payload))
         return core
+
+    # -- recording (persistent traces) -------------------------------------
+
+    def spill_state(self):
+        """Ask the nub for the complete resumable machine state (SPILL)
+        of the current stop; returns the parsed
+        :class:`~repro.machines.machstate.MachineState`.
+
+        Degrades like the other time-travel verbs: a session that
+        negotiated FEATURE_TIMETRAVEL away refuses before anything
+        crosses the wire.
+        """
+        self._require_stopped()
+        from ..machines.machstate import MachineState, StateError
+        self.stats.note("wire", "spill")
+        reply = self._tt_transact(protocol.spill(),
+                                  expect=(protocol.MSG_DATA,))
+        try:
+            state = MachineState.from_bytes(reply.payload)
+        except StateError as err:
+            raise TargetError("nub answered an unreadable state spill: %s"
+                              % err)
+        self.obs.metrics.inc("target.spills")
+        self.obs.tracer.event("target.spill", target=self.name,
+                              icount=state.icount,
+                              bytes=len(reply.payload))
+        return state
 
     # -- crash recovery (paper Sec. 7.1) ----------------------------------
 

@@ -1,0 +1,135 @@
+"""Shared container plumbing for on-disk machine-state formats.
+
+Both the core-file format (:mod:`repro.machines.core`) and the recording
+format (:mod:`repro.trace.format`) store a compact binary body wrapped in
+the same armor: a magic tag, a little-endian version header, zlib
+compression, and a CRC32 over the compressed payload so truncation and
+bit rot are caught before a struct error can escape.  This module is
+that armor, factored out once so the two formats cannot drift.
+
+Two framings live here:
+
+* **containers** (:func:`pack_container`/:func:`unpack_container`): one
+  magic-tagged, versioned, compressed, checksummed body — the whole of a
+  core file, and each spilled machine state;
+* **blocks** (:func:`pack_block`/:func:`unpack_block`): a tagged record
+  inside a larger stream — the recording file is a magic header followed
+  by a sequence of blocks, each independently compressed and
+  checksummed so one flipped bit names the damaged block.
+
+Every error raises the *caller's* exception class with the caller's
+noun (``core``, ``trace``...), so ``CoreError`` messages are unchanged
+from when this code lived in ``core.py`` — and core bytes are
+byte-identical: same zlib level, same header layout, same CRC.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Tuple, Type
+
+#: granularity of the sparse scan: a run of memory is kept when any of
+#: its bytes is non-zero; adjacent kept runs merge into one segment
+_CHUNK = 256
+
+#: zlib level shared by every container/block (part of the format: core
+#: bytes must stay stable across refactors)
+_ZLIB_LEVEL = 6
+
+#: container framing after the 4-byte magic: version u16, flags u16,
+#: compressed length u32, then CRC32 u32 of the compressed body
+_CONTAINER_HEAD = struct.Struct("<HHI")
+_CRC = struct.Struct("<I")
+
+#: block framing: kind u8, compressed length u32, CRC32 u32
+_BLOCK_HEAD = struct.Struct("<BII")
+
+
+def sparse_segments(image: bytes, chunk: int = _CHUNK,
+                    ) -> List[Tuple[int, bytes]]:
+    """The non-zero runs of ``image``, chunk-aligned and merged."""
+    segments: List[Tuple[int, bytes]] = []
+    run_start = None
+    view = memoryview(image)
+    for start in range(0, len(image), chunk):
+        chunk_live = view[start:start + chunk].tobytes().strip(b"\0")
+        if chunk_live:
+            if run_start is None:
+                run_start = start
+        elif run_start is not None:
+            segments.append((run_start, bytes(view[run_start:start])))
+            run_start = None
+    if run_start is not None:
+        segments.append((run_start, bytes(view[run_start:])))
+    return segments
+
+
+def pack_container(magic: bytes, version: int, body: bytes) -> bytes:
+    """Wrap ``body`` in the magic/version/CRC/zlib container."""
+    packed = zlib.compress(bytes(body), _ZLIB_LEVEL)
+    header = magic + _CONTAINER_HEAD.pack(version, 0, len(packed))
+    return header + _CRC.pack(zlib.crc32(packed) & 0xFFFFFFFF) + packed
+
+
+def unpack_container(raw: bytes, magic: bytes, max_version: int,
+                     error: Type[Exception], what: str) -> bytes:
+    """Check and unwrap a container, answering the decompressed body.
+
+    Raises ``error`` (with ``what`` naming the format in the message)
+    for bad magic, future versions, truncation, CRC mismatch, and
+    undecompressable bodies — never a bare struct/zlib error.
+    """
+    if len(raw) < len(magic) + 12 or raw[:len(magic)] != magic:
+        raise error("not a %s file (bad magic)" % what)
+    base = len(magic)
+    version, _flags, length = _CONTAINER_HEAD.unpack_from(raw, base)
+    if version > max_version:
+        raise error("%s format version %d is newer than this "
+                    "debugger understands (max %d)"
+                    % (what, version, max_version))
+    (declared_crc,) = _CRC.unpack_from(raw, base + 8)
+    packed = raw[base + 12:base + 12 + length]
+    if len(packed) != length:
+        raise error("truncated %s: %d of %d body bytes"
+                    % (what, len(packed), length))
+    if zlib.crc32(packed) & 0xFFFFFFFF != declared_crc:
+        raise error("%s body fails its CRC check (corrupt file)" % what)
+    try:
+        return zlib.decompress(packed)
+    except zlib.error as exc:
+        raise error("%s body does not decompress: %s" % (what, exc))
+
+
+def pack_block(kind: int, body: bytes) -> bytes:
+    """Frame one tagged record of a block stream."""
+    packed = zlib.compress(bytes(body), _ZLIB_LEVEL)
+    return _BLOCK_HEAD.pack(kind, len(packed),
+                            zlib.crc32(packed) & 0xFFFFFFFF) + packed
+
+
+def unpack_block(raw: bytes, offset: int, error: Type[Exception],
+                 what: str) -> Tuple[int, bytes, int]:
+    """Read the block at ``offset``; answer (kind, body, next offset).
+
+    Raises ``error`` for truncated headers/bodies, CRC mismatches, and
+    undecompressable payloads.
+    """
+    if offset + _BLOCK_HEAD.size > len(raw):
+        raise error("truncated %s: block header cut short at offset %d"
+                    % (what, offset))
+    kind, length, declared_crc = _BLOCK_HEAD.unpack_from(raw, offset)
+    start = offset + _BLOCK_HEAD.size
+    packed = raw[start:start + length]
+    if len(packed) != length:
+        raise error("truncated %s: %d of %d block bytes at offset %d"
+                    % (what, len(packed), length, offset))
+    if zlib.crc32(packed) & 0xFFFFFFFF != declared_crc:
+        raise error("%s block at offset %d fails its CRC check "
+                    "(corrupt file)" % (what, offset))
+    try:
+        body = zlib.decompress(packed)
+    except zlib.error as exc:
+        raise error("%s block at offset %d does not decompress: %s"
+                    % (what, offset, exc))
+    return kind, body, start + length

@@ -21,17 +21,16 @@ open a core standalone — no executable, no nub, no target.
 from __future__ import annotations
 
 import struct
-import zlib
 from typing import List, Optional, Tuple
 
+from .chunkio import pack_container, sparse_segments, unpack_container
 from .memory import TargetMemory
+
+__all__ = ["MAGIC", "CORE_VERSION", "CoreError", "CoreFile",
+           "sparse_segments", "core_from_process"]
 
 MAGIC = b"LDBC"
 CORE_VERSION = 1
-
-#: granularity of the sparse scan: a run of memory is kept when any of
-#: its bytes is non-zero; adjacent kept runs merge into one segment
-_CHUNK = 256
 
 
 class CoreError(Exception):
@@ -83,31 +82,11 @@ class CoreFile:
             body += struct.pack("<II", start, len(raw)) + raw
         table = (self.loader_ps or "").encode("utf-8")
         body += struct.pack("<I", len(table)) + table
-        packed = zlib.compress(bytes(body), 6)
-        header = MAGIC + struct.pack("<HHI", CORE_VERSION, 0, len(packed))
-        return header + struct.pack("<I", zlib.crc32(packed) & 0xFFFFFFFF) \
-            + packed
+        return pack_container(MAGIC, CORE_VERSION, bytes(body))
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "CoreFile":
-        if len(raw) < 16 or raw[:4] != MAGIC:
-            raise CoreError("not a core file (bad magic)")
-        version, _flags, length = struct.unpack("<HHI", raw[4:12])
-        if version > CORE_VERSION:
-            raise CoreError("core format version %d is newer than this "
-                            "debugger understands (max %d)"
-                            % (version, CORE_VERSION))
-        declared_crc = struct.unpack("<I", raw[12:16])[0]
-        packed = raw[16:16 + length]
-        if len(packed) != length:
-            raise CoreError("truncated core: %d of %d body bytes"
-                            % (len(packed), length))
-        if zlib.crc32(packed) & 0xFFFFFFFF != declared_crc:
-            raise CoreError("core body fails its CRC check (corrupt file)")
-        try:
-            body = zlib.decompress(packed)
-        except zlib.error as exc:
-            raise CoreError("core body does not decompress: %s" % exc)
+        body = unpack_container(raw, MAGIC, CORE_VERSION, CoreError, "core")
         try:
             return cls._unpack_body(body)
         except (struct.error, IndexError, UnicodeDecodeError) as exc:
@@ -176,24 +155,6 @@ class CoreFile:
                                            self.memsize))
             mem.write_bytes(start, raw)
         return mem
-
-
-def sparse_segments(image: bytes) -> List[Tuple[int, bytes]]:
-    """The non-zero runs of ``image``, chunk-aligned and merged."""
-    segments: List[Tuple[int, bytes]] = []
-    run_start = None
-    view = memoryview(image)
-    for start in range(0, len(image), _CHUNK):
-        chunk_live = view[start:start + _CHUNK].tobytes().strip(b"\0")
-        if chunk_live:
-            if run_start is None:
-                run_start = start
-        elif run_start is not None:
-            segments.append((run_start, bytes(view[run_start:start])))
-            run_start = None
-    if run_start is not None:
-        segments.append((run_start, bytes(view[run_start:])))
-    return segments
 
 
 def core_from_process(process, signo: int, code: int, fault_pc: int,

@@ -32,6 +32,7 @@ from typing import Optional
 from ..machines import ExitEvent, FaultEvent, Process, SIGTRAP
 from ..machines.core import core_from_process
 from ..machines.loader import NUB_AREA
+from ..machines.machstate import MachineState
 from . import protocol
 from .channel import Channel, ChannelClosed, Listener
 from .faults import FaultInjectingChannel, FaultSchedule, NubKilled
@@ -425,6 +426,8 @@ class Nub:
             self._do_icount(msg)
         elif msg.mtype == protocol.MSG_DUMPCORE:
             self._do_dumpcore(msg)
+        elif msg.mtype == protocol.MSG_SPILL:
+            self._do_spill(msg)
         elif msg.mtype == protocol.MSG_RUNTO:
             target = protocol.parse_runto(msg)
             if not self._tt_enabled():
@@ -734,6 +737,26 @@ class Nub:
         raw = self._build_core(self._last_event).to_bytes()
         self.obs.metrics.inc("nub.core_dumps")
         self.obs.tracer.event("nub.core_dump", bytes=len(raw))
+        self._reply(protocol.data(raw))
+
+    def _do_spill(self, msg) -> None:
+        """Serialize the complete resumable machine state as DATA.
+
+        A core (:meth:`_do_dumpcore`) carries what a dead target needs;
+        a recording checkpoint needs *everything* — including simulator
+        bookkeeping like the rmips load-delay slot that the saved
+        context has no field for — so recording gets its own verb."""
+        if not self._tt_enabled():
+            return
+        self._require_empty(msg)
+        if self._last_event is None:
+            self._reply(protocol.error(protocol.ERR_BAD_MESSAGE))
+            return
+        state = MachineState.capture(self.process, self.planted)
+        raw = state.to_bytes()
+        self.obs.metrics.inc("nub.spills")
+        self.obs.tracer.event("nub.spill", bytes=len(raw),
+                              icount=state.icount)
         self._reply(protocol.data(raw))
 
     def _write_auto_core(self, event: FaultEvent) -> None:

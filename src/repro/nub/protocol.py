@@ -134,6 +134,11 @@ MSG_DROPCKPT = 23
 # -- post-mortem (FEATURE_CORE): ask the nub to serialize the stopped
 # -- target into a core image; the DATA reply carries the core bytes
 MSG_DUMPCORE = 24
+# -- recording (FEATURE_TIMETRAVEL): ask the nub to serialize the
+# -- complete resumable machine state (registers, delay slots, memory,
+# -- planted table) of the stopped target; the DATA reply carries a
+# -- MachineState container (repro.machines.machstate)
+MSG_SPILL = 25
 
 _NAMES = {
     MSG_FETCH: "FETCH", MSG_STORE: "STORE", MSG_CONTINUE: "CONTINUE",
@@ -145,6 +150,7 @@ _NAMES = {
     MSG_CHECKPOINT: "CHECKPOINT", MSG_RESTORE: "RESTORE",
     MSG_ICOUNT: "ICOUNT", MSG_RUNTO: "RUNTO", MSG_CKPT: "CKPT",
     MSG_DROPCKPT: "DROPCKPT", MSG_DUMPCORE: "DUMPCORE",
+    MSG_SPILL: "SPILL",
 }
 
 
@@ -369,6 +375,13 @@ def dumpcore() -> Message:
     """Ask the nub to serialize the stopped target into a core image
     (FEATURE_CORE); the DATA reply carries the serialized bytes."""
     return Message(MSG_DUMPCORE)
+
+
+def spill() -> Message:
+    """Ask the nub for the complete resumable machine state of the
+    stopped target (FEATURE_TIMETRAVEL); the DATA reply carries a
+    serialized MachineState container."""
+    return Message(MSG_SPILL)
 
 
 def signal(signo: int, code: int, context_addr: int) -> Message:

@@ -91,6 +91,19 @@ class Transport(abc.ABC):
     #: True/False once known; None means "not negotiated yet — try it".
     core_active: Optional[bool] = None
 
+    #: Observers of successful request/reply exchanges: callables
+    #: ``tap(request, reply)`` fired after :meth:`transact` settles on a
+    #: non-error reply.  The trace writer (repro.trace.writer) listens
+    #: here to log debugger-injected inputs without patching call sites.
+    #: Class default is an immutable empty tuple; implementations that
+    #: support taps replace it with a per-instance list.
+    taps: tuple = ()
+
+    def notify_taps(self, msg: protocol.Message,
+                    reply: protocol.Message) -> None:
+        for tap in self.taps:
+            tap(msg, reply)
+
     @abc.abstractmethod
     def transact(self, msg: protocol.Message, expect: Iterable[int],
                  timeout: Optional[float] = None) -> protocol.Message:
@@ -126,6 +139,7 @@ class ChannelTransport(Transport):
         self.channel = channel
         self.reply_timeout = reply_timeout
         self.pending_events: deque = deque()
+        self.taps = []
 
     def transact(self, msg: protocol.Message, expect: Iterable[int],
                  timeout: Optional[float] = None) -> protocol.Message:
@@ -150,6 +164,7 @@ class ChannelTransport(Transport):
             raise NubError(protocol.parse_error(reply), msg)
         if reply.mtype not in expect:
             raise TransportError("expected %s, got %r" % (expect, reply))
+        self.notify_taps(msg, reply)
         return reply
 
     def control(self, msg: protocol.Message) -> None:
@@ -249,6 +264,7 @@ class NubSession(Transport):
         self.core_active: Optional[bool] = None if want_core else False
         #: SIGNAL/EXITED frames that arrived while awaiting a reply
         self.pending_events: deque = deque()
+        self.taps = []
         #: the last (signo, code, context) announced by the nub
         self.last_signal: Optional[Tuple[int, int, int]] = None
         #: counters, for tests and curiosity
@@ -353,6 +369,7 @@ class NubSession(Transport):
                              deadline=deadline)
         if reply.mtype == protocol.MSG_ERROR:
             raise NubError(protocol.parse_error(reply), msg)
+        self.notify_taps(msg, reply)
         return reply
 
     def control(self, msg: protocol.Message) -> None:

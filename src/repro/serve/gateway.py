@@ -125,6 +125,8 @@ class Gateway:
             return await manager.spawn(request.get("args"))
         if op == "attach":
             return await manager.attach(request.get("args"))
+        if op == "replay":
+            return await manager.replay(request.get("args"))
         if op == "command":
             return await manager.command(
                 request.get("session"), request.get("token"),
@@ -138,7 +140,8 @@ class Gateway:
         if op == "stats":
             return {"stats": manager.stats()}
         raise GatewayError(ERR_BAD_REQUEST, "unknown op %r (try: spawn, "
-                           "attach, command, detach, sessions, stats)" % op)
+                           "attach, replay, command, detach, sessions, "
+                           "stats)" % op)
 
 
 class RemoteError(Exception):
@@ -205,6 +208,9 @@ class GatewayClient:
 
     def attach(self, **args) -> dict:
         return self.request("attach", args=args)
+
+    def replay(self, **args) -> dict:
+        return self.request("replay", args=args)
 
     def command(self, session: str, token: str, cmd: str,
                 args: Optional[dict] = None,

@@ -168,6 +168,29 @@ class SessionManager:
         worker.factory = factory
         return await self._launch(worker)
 
+    async def replay(self, args: Optional[dict] = None) -> dict:
+        """Host a replay session over a saved recording: no nub, no
+        live process — the worker's debugger stack re-executes the
+        file, so the whole command vocabulary (including reverse
+        commands) works against a crash that happened elsewhere."""
+        args = args or {}
+        worker = self._admit(args)
+        path = args.get("path")
+        if not isinstance(path, str) or not path:
+            self._forget(worker.sid)
+            raise GatewayError(ERR_SPAWN_FAILED,
+                               "replay needs 'path' (a recording file)")
+
+        def factory():
+            from ..ldb import Ldb
+            ldb = Ldb(stdout=io.StringIO())
+            target = ldb.open_recording(path)
+            self._tune_session(target, worker)
+            return ldb, target
+
+        worker.factory = factory
+        return await self._launch(worker)
+
     async def detach(self, sid: str, token: Optional[str]) -> dict:
         worker = self._authorized(sid, token)
         self._forget(sid)

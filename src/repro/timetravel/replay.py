@@ -62,6 +62,10 @@ class ReplayController:
         self.max_stops = max_stops
         #: the target's observability hub (shared metrics + tracer)
         self.obs = target.obs
+        #: the TraceWriter persisting this session's checkpoints to a
+        #: recording file, if any (repro.trace.writer); every checkpoint
+        #: taken here is offered to it as a spill
+        self.writer = None
 
     # -- recording ---------------------------------------------------------
 
@@ -84,6 +88,9 @@ class ReplayController:
         here = t.current_icount()
         for stale in self.ring.drop_future(here):
             t.drop_checkpoint(stale.cid)
+        if self.writer is not None:
+            # the recorded future is stale for the file too
+            self.writer.drop_future(here)
         for _ in range(self.max_stops):
             here = t.current_icount()
             t.run_to_icount(here + self.interval, at_pc=self._skip_pc())
@@ -303,14 +310,24 @@ class ReplayController:
         icount = t.current_icount()
         existing = self.ring.find(icount)
         if existing is not None:
+            if self.writer is not None:
+                # a writer attached after this checkpoint was taken
+                # still wants the state on disk (spill() dedups)
+                self.writer.spill(existing)
             return existing  # determinism: same icount, same state
         cid, icount = t.take_checkpoint()
         ck = Checkpoint(cid, icount, t.stop_pc(), self._sp(),
                         t.signo, t.sigcode, kind)
         for evicted in self.ring.add(ck):
+            if self.writer is not None:
+                # the file may still need this state; pull it before
+                # the nub releases the snapshot
+                self.writer.materialize(evicted, home=ck)
             t.drop_checkpoint(evicted.cid)
         self.obs.metrics.inc("replay.checkpoints")
         self.obs.metrics.set_gauge("replay.ring_size", len(self.ring.entries))
+        if self.writer is not None:
+            self.writer.spill(ck)
         return ck
 
     def _ensure_checkpoint_here(self) -> Checkpoint:

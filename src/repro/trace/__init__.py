@@ -1,0 +1,20 @@
+"""Persistent recordings: record a live debugging session to a
+versioned on-disk trace, reopen it later with no nub process, and
+debug the re-executed timeline — with divergence detection."""
+
+from .format import (InputRecord, Recording, SpillRecord, StopRecord,
+                     TraceError, TraceMeta)
+from .replay import DivergenceError, ReplayTransport
+from .writer import TraceWriter
+
+__all__ = [
+    "DivergenceError",
+    "InputRecord",
+    "Recording",
+    "ReplayTransport",
+    "SpillRecord",
+    "StopRecord",
+    "TraceError",
+    "TraceMeta",
+    "TraceWriter",
+]

@@ -1,0 +1,273 @@
+"""Capturing a live session into a recording file.
+
+The writer rides along with the time-travel machinery instead of
+duplicating it: :class:`~repro.timetravel.replay.ReplayController`
+already checkpoints at every surfaced stop and interval boundary, and
+offers each checkpoint here; the writer pulls the complete machine
+state over the wire (the SPILL verb) and keeps it as a
+:class:`~repro.trace.format.SpillRecord`, plus a
+:class:`~repro.trace.format.StopRecord` with the normalized divergence
+digest.
+
+Debugger-injected writes (``set x = 5``) are observed through the
+transport's tap hook — no call site changes — and logged as
+:class:`~repro.trace.format.InputRecord` at the icount position they
+happened.  Stores wholly inside the nub's context save area are
+*mechanics*, not inputs (the resume-pc write, register pokes the resume
+path reproduces itself), and are not logged.
+
+Nothing crosses the wire while recording: the nub already holds every
+checkpoint as a COW snapshot, so the writer only *registers* each one
+(a pending spill) and pulls the full state lazily — at :meth:`save`,
+or just before the ring would evict a snapshot the file still needs.
+That keeps record overhead within the checkpoint envelope measured in
+BENCH_time_travel; the pull cost lands on the explicit ``record save``
+instead (BENCH_record measures both).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..machines import get_arch
+from ..nub import protocol
+from .format import (OP_BLOCKSTORE, OP_STORE, Recording, SPILL_AUTO,
+                     SPILL_STOP, InputRecord, SpillRecord, StopRecord,
+                     TraceError, TraceMeta)
+
+
+class TraceWriter:
+    """Accumulates one recording from a live (time-travelling) target."""
+
+    def __init__(self, target, path: Optional[str] = None,
+                 interval: int = 5_000):
+        self.target = target
+        #: default save path (``record --save PATH``); ``save`` may
+        #: override it
+        self.path = path
+        self.interval = interval
+        self.obs = target.obs
+        arch = get_arch(target.arch_name)
+        self._ctx_lo = target.context_addr
+        self._ctx_hi = target.context_addr + arch.context_size()
+        self._context_size = arch.context_size()
+        #: spills and stop records keyed by icount (dedup: determinism
+        #: means same icount, same state)
+        self.spills: Dict[int, SpillRecord] = {}
+        self.stops: Dict[int, StopRecord] = {}
+        #: checkpoints registered but not yet pulled over the wire —
+        #: their state still lives nub-side as a COW snapshot (keyed by
+        #: icount, value is the timetravel Checkpoint holding the cid)
+        self._pending: Dict[int, object] = {}
+        #: the most recently offered checkpoint: always the current
+        #: stop, and always live in the ring — the way home after
+        #: save-time restores
+        self._home = None
+        #: save-time restores are mechanics, not timeline movement:
+        #: the tap must not log them or drop inputs over them
+        self._muted = False
+        self.inputs: List[InputRecord] = []
+        #: the current timeline position, maintained passively from
+        #: CKPT replies (every stop is followed by an ICOUNT or
+        #: CHECKPOINT exchange before any user command runs)
+        self._position: int = 0
+        self._attached = False
+        self.attach()
+
+    # -- transport tap -----------------------------------------------------
+
+    def attach(self) -> None:
+        if self._attached:
+            return
+        taps = getattr(self.target.transport, "taps", None)
+        if taps is None or isinstance(taps, tuple):
+            raise TraceError("transport %r does not support taps"
+                             % type(self.target.transport).__name__)
+        taps.append(self._tap)
+        self._attached = True
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        try:
+            self.target.transport.taps.remove(self._tap)
+        except ValueError:
+            pass
+        self._attached = False
+
+    def _tap(self, msg, reply) -> None:
+        if self._muted:
+            return
+        if reply.mtype == protocol.MSG_CKPT:
+            _cid, icount = protocol.parse_ckpt(reply)
+            if msg.mtype == protocol.MSG_RESTORE:
+                # the checkpoint being restored predates any input
+                # injected at (or after) its position: those inputs are
+                # no longer part of the live timeline
+                self.inputs = [entry for entry in self.inputs
+                               if entry.position < icount]
+            self._position = icount
+            return
+        if msg.mtype == protocol.MSG_STORE:
+            space, address, data = protocol.parse_store(msg)
+            self._record_input(OP_STORE, space, address, data)
+        elif msg.mtype == protocol.MSG_BLOCKSTORE:
+            space, address, data = protocol.parse_blockstore(msg)
+            self._record_input(OP_BLOCKSTORE, space, address, data)
+
+    def _record_input(self, op: int, space: str, address: int,
+                      data: bytes) -> None:
+        if self._ctx_lo <= address and address + len(data) <= self._ctx_hi:
+            return  # resume mechanics, reproduced by replay itself
+        self.inputs.append(InputRecord(self._position, op, space, address,
+                                       data))
+        self.obs.metrics.inc("trace.inputs")
+
+    # -- spills (fed by the ReplayController) ------------------------------
+
+    def spill(self, ck) -> None:
+        """Register checkpoint ``ck`` (a timetravel Checkpoint) for the
+        file.  Nothing crosses the wire here: the nub's COW snapshot
+        *is* the state, and it is pulled lazily — at save, or by
+        :meth:`materialize` if the ring is about to drop it.
+        Idempotent per icount."""
+        self._home = ck  # spill is only ever offered at the current stop
+        self._position = ck.icount
+        if ck.icount in self.spills or ck.icount in self._pending:
+            return
+        self._pending[ck.icount] = ck
+        self.obs.metrics.inc("trace.spills")
+        self.obs.tracer.event("trace.spill", icount=ck.icount, kind=ck.kind)
+
+    def materialize(self, ck, home) -> None:
+        """The ring is about to evict ``ck`` and drop its nub-side
+        snapshot; pull the state now if the file still needs it, then
+        restore ``home`` (the checkpoint at the current stop)."""
+        if self._pending.pop(ck.icount, None) is None:
+            return
+        target = self.target
+        signo, sigcode = target.signo, target.sigcode
+        self._muted = True
+        try:
+            target.restore_checkpoint(ck.cid)
+            self._capture(ck)
+            target.restore_checkpoint(home.cid)
+            target.signo, target.sigcode = signo, sigcode
+        finally:
+            self._muted = False
+
+    def _capture(self, ck) -> None:
+        """Pull the complete machine state of the *current* nub stop
+        (which must be ``ck``'s position) and keep it as a spill plus
+        its divergence digest."""
+        state = self.target.spill_state()
+        digest = state.digest(self._ctx_lo, self._context_size)
+        record = SpillRecord(cid=0, icount=ck.icount, pc=ck.pc,
+                             signo=ck.signo, code=ck.sigcode,
+                             kind=SPILL_AUTO if ck.kind == "auto"
+                             else SPILL_STOP, state=state)
+        self.spills[ck.icount] = record
+        self.stops[ck.icount] = StopRecord(ck.icount, ck.pc, ck.signo,
+                                           ck.sigcode, digest)
+
+    def _materialize_pending(self) -> None:
+        """Pull every still-pending checkpoint state over the wire:
+        restore each snapshot in turn, spill it, and come back to the
+        current stop.  Runs muted — these restores are save mechanics,
+        not timeline movement."""
+        if not self._pending:
+            return
+        target = self.target
+        if target.state != "stopped":
+            raise TraceError(
+                "cannot pull %d pending checkpoint states: target is %s"
+                % (len(self._pending), target.state))
+        here = target.current_icount()
+        home = self._home
+        if home is None or home.icount != here:
+            home = self._pending.get(here)
+        if home is None and any(ck.icount != here
+                                for ck in self._pending.values()):
+            raise TraceError("no checkpoint at the current stop to come "
+                             "back to after spilling")
+        signo, sigcode = target.signo, target.sigcode
+        self._muted = True
+        try:
+            for ck in sorted(self._pending.values(),
+                             key=lambda entry: entry.icount):
+                target.restore_checkpoint(ck.cid)
+                self._capture(ck)
+            if home is not None:
+                target.restore_checkpoint(home.cid)
+            target.signo, target.sigcode = signo, sigcode
+            self._pending.clear()
+        finally:
+            self._muted = False
+
+    def drop_future(self, icount: int) -> None:
+        """Resuming forward after time travel: the recorded future is
+        stale (execution may diverge from it), mirror the ring."""
+        dropped = [key for key in self.spills if key > icount]
+        for key in dropped:
+            del self.spills[key]
+            self.stops.pop(key, None)
+        stale = [key for key in self._pending if key > icount]
+        for key in stale:
+            del self._pending[key]
+        self.inputs = [entry for entry in self.inputs
+                       if entry.position <= icount]
+        if dropped or stale:
+            self.obs.metrics.inc("trace.drops", len(dropped) + len(stale))
+
+    # -- saving ------------------------------------------------------------
+
+    def build(self) -> Recording:
+        """The accumulated recording as an in-memory container."""
+        if not self.spills and not self._pending:
+            raise TraceError("nothing recorded yet (no checkpoint spills)")
+        self._materialize_pending()
+        spills = [self.spills[key] for key in sorted(self.spills)]
+        for index, record in enumerate(spills):
+            record.cid = index + 1
+        loader_ps = self._loader_ps()
+        meta = TraceMeta(
+            arch_name=self.target.arch_name,
+            byteorder=spills[0].state.byteorder,
+            memsize=spills[0].state.memsize,
+            context_addr=self._ctx_lo,
+            interval=self.interval,
+            base_icount=spills[0].icount,
+            loader_ps=loader_ps,
+        )
+        stops = [self.stops[key] for key in sorted(self.stops)]
+        return Recording(meta, spills, stops, list(self.inputs))
+
+    def _loader_ps(self) -> Optional[str]:
+        process = getattr(self.target, "process", None)
+        if process is not None:
+            table = getattr(process.exe, "loader_ps", None)
+            if table:
+                return table
+        # re-recording a replayed session: inherit the file's table
+        recording = getattr(self.target.transport, "recording", None)
+        if recording is not None:
+            return recording.meta.loader_ps
+        return getattr(self.target, "loader_ps", None)
+
+    def save(self, path: Optional[str] = None) -> Recording:
+        """Write the recording to ``path`` (or the attached default)."""
+        path = path or self.path
+        if path is None:
+            raise TraceError("no save path (record --save PATH, or "
+                             "record save PATH)")
+        self.path = path
+        recording = self.build()
+        raw = recording.to_bytes()
+        with open(path, "wb") as handle:
+            handle.write(raw)
+        self.obs.metrics.inc("trace.saves")
+        self.obs.metrics.inc("trace.saved_bytes", len(raw))
+        self.obs.tracer.event("trace.save", path=path, bytes=len(raw),
+                              spills=len(recording.spills),
+                              inputs=len(recording.inputs))
+        return recording

@@ -1,0 +1,169 @@
+"""The shared chunked-container codec (repro.machines.chunkio).
+
+The CoreFile container code moved here verbatim; these tests pin the
+byte layout (expected bytes are rebuilt with the runtime's zlib, so
+they stay valid across zlib versions) and the sparse-segment scan, and
+prove CoreFile round-trips are unchanged by the extraction.
+"""
+
+import struct
+import zlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines.chunkio import (
+    pack_block,
+    pack_container,
+    sparse_segments,
+    unpack_block,
+    unpack_container,
+)
+
+
+class CodecError(Exception):
+    pass
+
+
+class TestContainerLayout:
+    def test_container_bytes_are_exactly_the_core_layout(self):
+        body = b"hello container" * 10
+        raw = pack_container(b"LDBC", 3, body)
+        packed = zlib.compress(body, 6)
+        expected = (b"LDBC" + struct.pack("<HHI", 3, 0, len(packed))
+                    + struct.pack("<I", zlib.crc32(packed) & 0xFFFFFFFF)
+                    + packed)
+        assert raw == expected
+
+    def test_round_trip(self):
+        body = bytes(range(256)) * 7
+        raw = pack_container(b"XYZW", 1, body)
+        assert unpack_container(raw, b"XYZW", 1, CodecError, "thing") == body
+
+    def test_older_version_still_loads(self):
+        raw = pack_container(b"XYZW", 1, b"old")
+        assert unpack_container(raw, b"XYZW", 5, CodecError, "thing") == b"old"
+
+    def test_bad_magic(self):
+        raw = pack_container(b"XYZW", 1, b"data")
+        with pytest.raises(CodecError, match="bad magic"):
+            unpack_container(b"ABCD" + raw[4:], b"XYZW", 1, CodecError, "t")
+
+    def test_future_version_refused(self):
+        raw = pack_container(b"XYZW", 9, b"data")
+        with pytest.raises(CodecError, match="newer"):
+            unpack_container(raw, b"XYZW", 1, CodecError, "t")
+
+    def test_truncated_body(self):
+        raw = pack_container(b"XYZW", 1, b"data" * 100)
+        with pytest.raises(CodecError, match="truncated"):
+            unpack_container(raw[:-3], b"XYZW", 1, CodecError, "t")
+
+    def test_flipped_bit_fails_crc(self):
+        raw = bytearray(pack_container(b"XYZW", 1, b"data" * 100))
+        raw[-1] ^= 0x40
+        with pytest.raises(CodecError, match="CRC"):
+            unpack_container(bytes(raw), b"XYZW", 1, CodecError, "t")
+
+    def test_crc_ok_but_undecompressable(self):
+        # valid CRC over a body that is not a zlib stream
+        packed = b"this is not zlib"
+        raw = (b"XYZW" + struct.pack("<HHI", 1, 0, len(packed))
+               + struct.pack("<I", zlib.crc32(packed) & 0xFFFFFFFF) + packed)
+        with pytest.raises(CodecError, match="decompress"):
+            unpack_container(raw, b"XYZW", 1, CodecError, "t")
+
+    def test_too_short_for_header(self):
+        with pytest.raises(CodecError, match="bad magic"):
+            unpack_container(b"XY", b"XYZW", 1, CodecError, "t")
+
+
+class TestBlocks:
+    def test_round_trip_and_chaining(self):
+        raw = pack_block(1, b"first") + pack_block(2, b"second" * 50)
+        kind, body, offset = unpack_block(raw, 0, CodecError, "t")
+        assert (kind, body) == (1, b"first")
+        kind, body, offset = unpack_block(raw, offset, CodecError, "t")
+        assert (kind, body) == (2, b"second" * 50)
+        assert offset == len(raw)
+
+    def test_truncated_header(self):
+        raw = pack_block(1, b"data")
+        with pytest.raises(CodecError, match="truncated"):
+            unpack_block(raw[:4], 0, CodecError, "t")
+
+    def test_truncated_block_body(self):
+        raw = pack_block(1, b"data" * 100)
+        with pytest.raises(CodecError, match="truncated"):
+            unpack_block(raw[:-5], 0, CodecError, "t")
+
+    def test_corrupt_block_crc(self):
+        raw = bytearray(pack_block(1, b"data" * 100))
+        raw[-1] ^= 0x01
+        with pytest.raises(CodecError, match="CRC"):
+            unpack_block(bytes(raw), 0, CodecError, "t")
+
+    @given(st.integers(0, 255), st.binary(max_size=512))
+    def test_any_kind_any_body_round_trips(self, kind, body):
+        raw = pack_block(kind, body)
+        got_kind, got_body, offset = unpack_block(raw, 0, CodecError, "t")
+        assert (got_kind, got_body, offset) == (kind, body, len(raw))
+
+
+class TestSparseSegments:
+    def test_all_zero_image_has_no_segments(self):
+        assert sparse_segments(bytes(4096)) == []
+
+    def test_single_byte_lands_in_one_chunk(self):
+        image = bytearray(1024)
+        image[300] = 7
+        segments = sparse_segments(bytes(image))
+        assert len(segments) == 1
+        base, data = segments[0]
+        assert base <= 300 < base + len(data)
+        assert data[300 - base] == 7
+
+    def test_adjacent_chunks_coalesce(self):
+        image = bytearray(4096)
+        image[0:600] = b"\x01" * 600  # spans chunks 0,1,2
+        segments = sparse_segments(bytes(image))
+        assert len(segments) == 1
+
+    def test_separated_runs_stay_separate(self):
+        image = bytearray(8192)
+        image[10] = 1
+        image[5000] = 2
+        segments = sparse_segments(bytes(image))
+        assert len(segments) == 2
+
+    @given(st.binary(max_size=2048))
+    def test_segments_reconstruct_the_image(self, image):
+        rebuilt = bytearray(len(image))
+        for base, data in sparse_segments(image):
+            rebuilt[base:base + len(data)] = data
+        assert bytes(rebuilt) == image
+
+
+class TestCoreFileUnchanged:
+    """The extraction must not have changed CoreFile's wire format."""
+
+    def test_core_round_trip_after_extraction(self):
+        from repro.machines.core import MAGIC, CoreFile
+
+        core = CoreFile(
+            arch_name="rmips", byteorder="big", memsize=1 << 16,
+            context_addr=0x100, icount=1234, signo=11, code=0,
+            fault_pc=0x2040,
+            segments=[(0x2000, b"\x01\x02\x03"), (0x8000, b"stack")],
+            planted=[(0x2010, b"\x0d\x00\x00\x00")],
+            loader_ps="/LoaderTable 1 dict def")
+        raw = core.to_bytes()
+        assert raw[:4] == MAGIC
+        back = CoreFile.from_bytes(raw)
+        assert back.arch_name == core.arch_name
+        assert back.icount == core.icount
+        assert back.segments == core.segments
+        assert back.planted == core.planted
+        assert back.loader_ps == core.loader_ps
+        assert back.to_bytes() == raw

@@ -1,0 +1,70 @@
+"""Hosted replay sessions: the `replay` gateway op serves a saved
+recording through the same supervised worker/command surface as live
+sessions — including the reverse of the usual flow, where a crash
+recorded on one machine is debugged on a server that never ran it."""
+
+import io
+
+import pytest
+
+from repro.cc.driver import compile_and_link
+from repro.ldb import Ldb
+from repro.serve import RemoteError
+
+from tests.serve.helpers import server
+
+BOOM = """int g;
+void poke(int *p) { *p = 42; }
+int main(void) {
+    int i;
+    for (i = 0; i < 6; i++)
+        g = g + i;
+    poke((int *)0x7fffffff);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def recording_path(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("rec") / "boom.ldbrec")
+    exe = compile_and_link({"boom.c": BOOM}, "rmips", debug=True)
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(exe)
+    ldb.start_recording(path=path, interval=37)
+    ldb.break_at_function("poke")
+    assert ldb.run_to_stop() == "stopped"
+    assert ldb.run_to_stop() == "stopped" and target.signo == 11
+    ldb.record_save()
+    return path
+
+
+def test_replay_session_answers_commands(recording_path):
+    with server() as srv:
+        client = srv.client()
+        info = client.replay(path=recording_path)
+        sid, token = info["session"], info["token"]
+        out = client.command(sid, token, "status")
+        assert out["target"]["replaying"] is True
+        assert out["target"]["state"] == "stopped"
+        out = client.command(sid, token, "backtrace")
+        assert any(frame["proc"] == "main" for frame in out["frames"])
+        out = client.command(sid, token, "print", {"expr": "g + 0"})
+        assert out["value"] == 15
+        client.detach(sid, token)
+
+
+def test_replay_needs_a_path():
+    with server() as srv:
+        client = srv.client()
+        with pytest.raises(RemoteError) as info:
+            client.replay()
+        assert info.value.code == "ERR_SPAWN_FAILED"
+
+
+def test_replay_of_a_missing_file_is_typed():
+    with server() as srv:
+        client = srv.client()
+        with pytest.raises(RemoteError) as info:
+            client.replay(path="/nonexistent/nope.ldbrec")
+        assert info.value.code == "ERR_SPAWN_FAILED"

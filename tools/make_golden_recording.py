@@ -1,0 +1,52 @@
+"""Regenerate the committed golden recording used by the CI smoke test.
+
+The golden file proves that recordings written by an *older* tree keep
+reopening as the format evolves.  Its bytes are not expected to be
+stable across zlib versions, so tests never compare bytes — they load
+and replay it (tests/trace/test_golden.py).  Regenerate only on a
+deliberate, versioned format change::
+
+    PYTHONPATH=src python tools/make_golden_recording.py
+"""
+
+import io
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cc.driver import compile_and_link  # noqa: E402
+from repro.ldb import Ldb  # noqa: E402
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "..", "tests", "data",
+                      "golden_boom_rmips.ldbrec")
+
+BOOM = """int g;
+void poke(int *p) { *p = 42; }
+int main(void) {
+    int i;
+    for (i = 0; i < 6; i++)
+        g = g + i;
+    poke((int *)0x7fffffff);
+    return 0;
+}
+"""
+
+
+def main() -> int:
+    exe = compile_and_link({"boom.c": BOOM}, "rmips", debug=True)
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(exe)
+    ldb.start_recording(path=GOLDEN, interval=37)
+    ldb.break_at_function("poke")
+    assert ldb.run_to_stop() == "stopped" and target.at_breakpoint()
+    assert ldb.run_to_stop() == "stopped" and target.signo == 11
+    recording = ldb.record_save()
+    print("wrote %s: %d spills, %d stops, %d inputs, final icount %d"
+          % (GOLDEN, len(recording.spills), len(recording.stops),
+             len(recording.inputs), recording.final_icount))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
