@@ -83,6 +83,7 @@ class DebugAPI:
             "set": self._cmd_set,
             "backtrace": self._cmd_backtrace,
             "where": self._cmd_where,
+            "fault": self._cmd_fault,
             "registers": self._cmd_registers,
             "kill": self._cmd_kill,
             "dumpcore": self._cmd_dumpcore,
@@ -260,13 +261,47 @@ class DebugAPI:
         frames = []
         for frame in target.frames(limit):
             filename, line = frame.location_line()
-            frames.append({"level": frame.level, "proc": frame.proc_name(),
-                           "file": filename, "line": line})
+            row = {"level": frame.level, "proc": frame.proc_name(),
+                   "file": filename, "line": line, "pc": frame.pc,
+                   "corrupt": frame.corrupt, "offset": None}
+            if not frame.corrupt:
+                hit = target.linker.proc_containing(frame.pc)
+                if hit is not None:
+                    # pc relative to the procedure's entry: what the
+                    # triage normalizer folds to "proc+0xoff"
+                    row["offset"] = frame.pc - hit[0]
+            frames.append(row)
         return {"frames": frames}
 
     def _cmd_where(self, args, timeout) -> dict:
         proc, filename, line = self.ldb.where_am_i(self._target())
         return {"proc": proc, "file": filename, "line": line}
+
+    def _cmd_fault(self, args, timeout) -> dict:
+        # the crash identity in one verb: what killed the target, where,
+        # and when — built to stay answerable on damaged artifacts, so
+        # the unlocatable parts degrade to None instead of erroring
+        target = self._target()
+        out = {"arch": target.arch_name, "state": target.state,
+               "signo": target.signo, "code": target.sigcode,
+               "post_mortem": target.post_mortem,
+               "replaying": target.replaying,
+               "fault_pc": None, "icount": None}
+        core = getattr(target, "core", None)
+        if core is not None:
+            out["fault_pc"] = core.fault_pc
+            out["icount"] = core.icount
+            return out
+        if target.state == "stopped":
+            try:
+                out["fault_pc"] = target.stop_pc()
+            except (TargetError, PSError, TransportError):
+                pass  # a corrupt context leaves the pc unknown, not fatal
+            try:
+                out["icount"] = target.current_icount()
+            except (TargetError, TransportError):
+                pass  # a nub without FEATURE_TIMETRAVEL has no icount
+        return out
 
     def _cmd_registers(self, args, timeout) -> dict:
         target = self._target()

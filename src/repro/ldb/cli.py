@@ -33,8 +33,14 @@ Commands::
     stats
     sim
     trace on | trace off | trace dump [file]
+    triage <dir|manifest.json|artifact> [workers]
     targets / target <name>
     kill / quit
+
+Batch mode::
+
+    ldb triage <dir|manifest.json> [--workers N] [--mode thread|process]
+        [--json report.json] [--top N]
 
 See docs/ldb.md for the full command reference.
 """
@@ -170,6 +176,8 @@ class Cli:
             self.cmd_sim()
         elif verb == "trace":
             self.cmd_trace(rest)
+        elif verb == "triage":
+            self.cmd_triage(rest)
         elif verb == "targets":
             for name, target in self.ldb.targets.items():
                 marker = "*" if target is self.ldb.current else " "
@@ -189,7 +197,7 @@ class Cli:
             self.say("ldb: unknown command %r (try: break condition run step next "
                      "record replay reverse-continue reverse-step reverse-next "
                      "goto print set backtrace where core dumpcore registers "
-                     "stats sim trace targets serve sessions quit)" % verb)
+                     "stats sim trace triage targets serve sessions quit)" % verb)
 
     def cmd_core(self, path: str) -> None:
         """Open a core file: a post-mortem target with no nub behind it."""
@@ -408,6 +416,25 @@ class Cli:
         else:
             self.say("trace: on | off | dump [file] | clear")
 
+    def cmd_triage(self, rest: str) -> None:
+        """Batch-triage a corpus of crash artifacts from inside the
+        REPL: `triage <dir|manifest.json|artifact> [workers]`.  The
+        full flag surface lives on the `ldb triage` subcommand."""
+        from ..triage import TriageEngine, TriageError
+        words = rest.split()
+        if not words:
+            self.say("usage: triage <dir|manifest.json|artifact> [workers]")
+            return
+        workers = int(words[1]) if len(words) > 1 else 4
+        # share the debugger's registry so `stats` shows triage.*
+        engine = TriageEngine(workers=workers, obs=self.ldb.obs)
+        try:
+            report = engine.triage(words[0])
+        except TriageError as err:
+            self.say("ldb: triage: %s" % err)
+            return
+        self.out.write(report.render())
+
     def cmd_serve(self, rest: str) -> None:
         """Start the session server (docs/ldb.md, DESIGN.md Sec. 11)
         on a background thread; this CLI keeps working beside it."""
@@ -436,8 +463,52 @@ class Cli:
                         row["commands_done"], row.get("reason", "")))
 
 
+def triage_main(argv: List[str]) -> int:
+    """The `ldb triage` subcommand: batch mode, no REPL."""
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="ldb triage",
+        description="batch-triage a corpus of crash artifacts (core "
+                    "files and .ldbrec recordings) into ranked, "
+                    "deduplicated crash groups")
+    ap.add_argument("corpus",
+                    help="a directory of artifacts, a JSON manifest, "
+                         "or a single artifact file")
+    ap.add_argument("--workers", type=int, default=4,
+                    help="parallel triage workers (default 4; 1 = serial)")
+    ap.add_argument("--mode", default="thread",
+                    choices=["thread", "process"],
+                    help="worker pool flavor (default thread)")
+    ap.add_argument("--json", metavar="FILE",
+                    help="also write the full report as JSON")
+    ap.add_argument("--top", type=int, default=10,
+                    help="crash groups to show (default 10)")
+    ap.add_argument("--frames", type=int, default=8,
+                    help="exemplar backtrace frames to show (default 8)")
+    args = ap.parse_args(argv)
+
+    from ..triage import TriageEngine, TriageError
+    engine = TriageEngine(workers=args.workers, mode=args.mode)
+    try:
+        report = engine.triage(args.corpus)
+    except TriageError as err:
+        sys.stderr.write("ldb triage: %s\n" % err)
+        return 2
+    sys.stdout.write(report.render(top=args.top, frames=args.frames))
+    if args.json:
+        report.dump_json(args.json)
+        sys.stdout.write("full report written to %s\n" % args.json)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     import argparse
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "triage":
+        return triage_main(argv[1:])
 
     ap = argparse.ArgumentParser(prog="ldb", description="a retargetable debugger")
     ap.add_argument("image", nargs="?", help="program image from rcc -o")

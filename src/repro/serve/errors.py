@@ -28,6 +28,7 @@ ERR_DEADLINE = "ERR_DEADLINE"                  # command missed its deadline
 ERR_SESSION_EXPIRED = "ERR_SESSION_EXPIRED"    # idle-reaped or force-killed
 ERR_SPAWN_FAILED = "ERR_SPAWN_FAILED"          # compile/launch failed
 ERR_SHUTTING_DOWN = "ERR_SHUTTING_DOWN"        # server is draining
+ERR_TRIAGE = "ERR_TRIAGE"                      # batch triage could not run
 ERR_INTERNAL = "ERR_INTERNAL"                  # anything unforeseen, typed
 
 

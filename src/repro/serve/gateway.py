@@ -135,13 +135,15 @@ class Gateway:
         if op == "detach":
             return await manager.detach(request.get("session"),
                                         request.get("token"))
+        if op == "triage":
+            return await manager.triage(request.get("args"))
         if op == "sessions":
             return {"sessions": manager.list_sessions()}
         if op == "stats":
             return {"stats": manager.stats()}
         raise GatewayError(ERR_BAD_REQUEST, "unknown op %r (try: spawn, "
-                           "attach, replay, command, detach, sessions, "
-                           "stats)" % op)
+                           "attach, replay, triage, command, detach, "
+                           "sessions, stats)" % op)
 
 
 class RemoteError(Exception):
@@ -220,6 +222,11 @@ class GatewayClient:
 
     def detach(self, session: str, token: str) -> dict:
         return self.request("detach", session=session, token=token)
+
+    def triage(self, path: str, **args) -> dict:
+        """Run a server-side triage batch; returns the report dict."""
+        args["path"] = path
+        return self.request("triage", args=args)["report"]
 
     def sessions(self) -> list:
         return self.request("sessions")["sessions"]

@@ -44,6 +44,7 @@ from .errors import (
     ERR_NO_SESSION,
     ERR_SHUTTING_DOWN,
     ERR_SPAWN_FAILED,
+    ERR_TRIAGE,
     GatewayError,
 )
 from .session import SessionWorker
@@ -190,6 +191,36 @@ class SessionManager:
 
         worker.factory = factory
         return await self._launch(worker)
+
+    async def triage(self, args: Optional[dict] = None) -> dict:
+        """Batch-triage a corpus of crash artifacts server-side: the
+        `triage` gateway op.  Unlike the session ops this holds no
+        session — the batch is the unit of work — but it shares the
+        server's registry, so ``stats`` exposes the ``triage.*``
+        family next to ``serve.*``.  Batch-level failures answer with
+        ``ERR_TRIAGE``; per-artifact failures are *results* (the
+        report's typed error ledger), not errors."""
+        from ..triage import TriageEngine, TriageError
+        args = args or {}
+        path = args.get("path")
+        if not isinstance(path, str) or not path:
+            raise GatewayError(ERR_TRIAGE,
+                               "triage needs 'path' (a directory, "
+                               "manifest, or artifact)")
+        workers = args.get("workers", 4)
+        mode = args.get("mode", "thread")
+        try:
+            engine = TriageEngine(workers=workers, mode=mode,
+                                  obs=self.obs)
+        except (TriageError, TypeError) as err:
+            raise GatewayError(ERR_TRIAGE, str(err))
+        loop = asyncio.get_event_loop()
+        try:
+            report = await loop.run_in_executor(
+                None, lambda: engine.triage(path))
+        except TriageError as err:
+            raise GatewayError(ERR_TRIAGE, str(err))
+        return {"report": report.to_dict()}
 
     async def detach(self, sid: str, token: Optional[str]) -> dict:
         worker = self._authorized(sid, token)

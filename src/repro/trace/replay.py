@@ -242,6 +242,18 @@ class ReplayTransport(Transport):
                                  expected=record.digest, actual=actual)
             raise DivergenceError(icount, record.digest, actual)
 
+    def verify_here(self) -> None:
+        """Verify the *current* position against its recorded digest, if
+        the log holds one.  Re-execution verifies continuously, but a
+        freshly opened recording restores its final spill without
+        executing anything — which is exactly the window a tampered
+        event log would slip through.  Triage calls this right after
+        open to catch a log whose final stop digest contradicts the
+        spilled state, without paying for a re-execution.  Raises
+        :class:`DivergenceError`; a position with no recorded stop (or
+        ``check_divergence=False``) verifies trivially."""
+        self._verify(self.process.cpu.icount)
+
     def _apply_inputs(self, position: int) -> None:
         """Re-inject the debugger writes recorded at ``position`` — on
         departure, so inspected state at a surfaced stop is the

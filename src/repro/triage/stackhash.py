@@ -1,0 +1,79 @@
+"""Stack-hash normalization: from a backtrace to a crash identity.
+
+Two crashes are "the same bug" when they died the same way in the same
+place — not when their core files are byte-identical.  The normalizer
+folds a backtrace down to what identifies the crash and nothing more:
+
+* every frame pc becomes ``function+0xoffset`` — the procedure name
+  from the linker's proc table plus the pc's offset into it, so two
+  runs of the same program bucket together no matter what their heaps,
+  globals, or instruction counts looked like;
+* a pc outside every known procedure keeps its raw address (it still
+  distinguishes *where* an unsymbolizable crash happened);
+* the defensive unwinder's ``<corrupt frame>`` sentinel folds to a
+  single ``<corrupt>`` token — a family whose stack is smashed at the
+  same depth still buckets, and a partial walk never aborts triage;
+* only the top ``MAX_HASH_FRAMES`` frames participate, so recursion
+  depth (which varies with input) does not split one bug into many
+  groups;
+* the fault kind (signal number and code) and the architecture prefix
+  the fold — a SIGSEGV and a SIGFPE at the same pc are different bugs,
+  and so are the "same" source crash compiled for two machines.
+
+The hash itself is the first 16 hex digits of a SHA-256 over the
+normalized fold: stable across processes and Python versions (unlike
+``hash()``), short enough to read in a report, long enough that
+collisions are not a practical concern at fleet scale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Tuple
+
+#: frames beyond this depth do not participate in the hash (they still
+#: appear in exemplar backtraces) — deep recursion varies with input,
+#: the crashing prefix does not
+MAX_HASH_FRAMES = 16
+
+#: what a CorruptFrame sentinel folds to
+CORRUPT_TOKEN = "<corrupt>"
+
+
+def fold_frame(name: Optional[str], pc: int,
+               proc_addr: Optional[int]) -> str:
+    """One frame's normalized token: ``function+0xoffset``."""
+    if name is None:
+        return "0x%x" % pc
+    offset = pc - proc_addr if proc_addr is not None else 0
+    return "%s+0x%x" % (name, offset)
+
+
+def fold_api_frames(frames: List[dict]) -> List[str]:
+    """Fold the ``backtrace`` API verb's frame dicts (which carry
+    ``pc``, ``proc``, ``offset``, and ``corrupt``) into tokens."""
+    tokens: List[str] = []
+    for frame in frames[:MAX_HASH_FRAMES]:
+        if frame.get("corrupt"):
+            tokens.append(CORRUPT_TOKEN)
+            break  # the walk ended here; nothing below is trustworthy
+        offset = frame.get("offset")
+        if offset is None:
+            tokens.append("0x%x" % frame.get("pc", 0))
+        else:
+            tokens.append("%s+0x%x" % (frame["proc"], offset))
+    return tokens
+
+
+def stack_hash(arch: str, signo: int, code: int,
+               tokens: List[str]) -> str:
+    """The crash-group identity for one normalized stack."""
+    identity = "%s|%d/%d|%s" % (arch, signo, code, "|".join(tokens))
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:16]
+
+
+def hash_backtrace(arch: str, signo: int, code: int,
+                   frames: List[dict]) -> Tuple[str, List[str]]:
+    """``(stack_hash, tokens)`` for a ``backtrace`` verb result."""
+    tokens = fold_api_frames(frames)
+    return stack_hash(arch, signo, code, tokens), tokens

@@ -1,0 +1,37 @@
+"""One seeded corpus, built once, shared by the whole triage suite.
+
+Building artifacts means compiling and crashing real programs, so the
+suite shares a single session-scoped corpus: three ISAs x three crash
+families x two duplicates (cores + recordings) plus the full corrupt
+matrix — big enough to exercise dedup across architectures, small
+enough to build in seconds.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_TOOL = (pathlib.Path(__file__).resolve().parent.parent.parent
+         / "tools" / "make_crash_corpus.py")
+
+CORPUS_ARCHES = ["rmips", "rsparc", "rvax"]
+CORPUS_DUPES = 2
+
+
+def corpus_tool():
+    spec = importlib.util.spec_from_file_location("make_crash_corpus",
+                                                  _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="session")
+def corpus(tmp_path_factory):
+    """``(directory, manifest)`` for the shared seeded corpus."""
+    outdir = tmp_path_factory.mktemp("triage-corpus")
+    manifest = corpus_tool().build_corpus(
+        str(outdir), arches=CORPUS_ARCHES, dupes=CORPUS_DUPES,
+        corrupt=True)
+    return str(outdir), manifest

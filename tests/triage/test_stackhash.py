@@ -1,0 +1,62 @@
+"""Stack-hash normalization: the crash-identity rules, unit-tested."""
+
+from repro.triage import (CORRUPT_TOKEN, MAX_HASH_FRAMES, fold_api_frames,
+                          fold_frame, hash_backtrace, stack_hash)
+
+
+def frame(proc="f", pc=0x100, offset=0x10, corrupt=False, level=0):
+    return {"level": level, "proc": proc, "pc": pc, "offset": offset,
+            "corrupt": corrupt, "file": "f.c", "line": 1}
+
+
+def test_fold_frame_is_function_plus_offset():
+    assert fold_frame("tick", 0x2040, 0x2000) == "tick+0x40"
+    assert fold_frame("tick", 0x2000, 0x2000) == "tick+0x0"
+
+
+def test_fold_frame_without_symbol_keeps_raw_address():
+    assert fold_frame(None, 0xdead, None) == "0xdead"
+
+
+def test_fold_api_frames_uses_offset_and_proc():
+    tokens = fold_api_frames([frame("poke", 0x2044, 0x4),
+                              frame("main", 0x20b0, 0x30, level=1)])
+    assert tokens == ["poke+0x4", "main+0x30"]
+
+
+def test_fold_api_frames_raw_pc_when_unsymbolized():
+    tokens = fold_api_frames([frame("0x7fffffff", 0x7fffffff, None)])
+    assert tokens == ["0x7fffffff"]
+
+
+def test_corrupt_frame_folds_to_token_and_stops_the_fold():
+    tokens = fold_api_frames([frame("poke", 0x2044, 0x4),
+                              frame(corrupt=True, level=1),
+                              frame("junk", 0x666, 0x6, level=2)])
+    assert tokens == ["poke+0x4", CORRUPT_TOKEN]
+
+
+def test_hash_depth_cap_merges_recursion_tails():
+    deep = [frame("r", 0x2000 + i, i, level=i) for i in range(40)]
+    deeper = deep + [frame("r", 0x3000, 0, level=40)]
+    assert (fold_api_frames(deep) == fold_api_frames(deeper)
+            and len(fold_api_frames(deep)) == MAX_HASH_FRAMES)
+
+
+def test_hash_is_stable_and_distinguishes_identity_parts():
+    tokens = ["poke+0x4", "main+0x30"]
+    base = stack_hash("rmips", 11, 2, tokens)
+    assert base == stack_hash("rmips", 11, 2, list(tokens))
+    assert len(base) == 16 and int(base, 16) >= 0
+    # arch, signal, code, and tokens each split the identity
+    assert base != stack_hash("rsparc", 11, 2, tokens)
+    assert base != stack_hash("rmips", 8, 2, tokens)
+    assert base != stack_hash("rmips", 11, 0, tokens)
+    assert base != stack_hash("rmips", 11, 2, tokens[:1])
+
+
+def test_hash_backtrace_returns_hash_and_tokens():
+    digest, tokens = hash_backtrace("rmips", 11, 2,
+                                    [frame("poke", 0x2044, 0x4)])
+    assert tokens == ["poke+0x4"]
+    assert digest == stack_hash("rmips", 11, 2, tokens)

@@ -1,0 +1,234 @@
+"""Generate a deterministic mixed crash-artifact corpus for triage.
+
+The corpus seeds *known duplicate families*: each family is one bug —
+one crash site, one call chain — compiled per architecture, then
+crashed several times with a benign variation (a different loop bound)
+so the artifacts differ in instruction counts and data state but fold
+to the same normalized stack hash.  Families differ in call chain or
+fault kind, so triage must keep them apart.  Every variant dumps a
+core; some also save a ``.ldbrec`` recording of the same run, so the
+corpus exercises both artifact kinds against one ground truth.
+
+With ``--corrupt`` the corpus also seeds the damage matrix: a truncated
+core, a bit-flipped (bad CRC) core, a truncated recording, a recording
+whose final stop digest was tampered (diverges on open), an empty file,
+and a plain-text non-artifact.  ``manifest.json`` records the ground
+truth — each artifact's family (or its expected typed error) — for the
+dedup-quality tests and the bench.
+
+Everything is deterministic: no randomness, no timestamps; the same
+invocation writes the same corpus (module zlib aside, byte-for-byte is
+*not* promised — family membership and error kinds are).
+
+Usage::
+
+    PYTHONPATH=src python tools/make_crash_corpus.py <outdir> \\
+        [--arches rmips,rsparc] [--dupes 5] [--no-recordings] [--corrupt]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cc.driver import compile_and_link  # noqa: E402
+from repro.ldb import Ldb  # noqa: E402
+
+ALL_ARCHES = ["rmips", "rmipsel", "rsparc", "rm68k", "rvax"]
+
+#: each family is one distinct bug; ``%(spin)d`` is the benign
+#: variation that makes duplicates non-identical without moving the
+#: crash — a different amount of work before dying the same way
+FAMILIES = {
+    # SIGSEGV: a wild write, one call deep
+    "nullwrite": """int g;
+void poke(int *p) { *p = 42; }
+int main(void) {
+    int i;
+    for (i = 0; i < %(spin)d; i++)
+        g = g + i;
+    poke((int *)0x7fffffff);
+    return 0;
+}
+""",
+    # SIGFPE: a divide by zero, one call deep — same depth as
+    # nullwrite, so only the fault kind separates the two families
+    "divzero": """int g;
+int shrink(int a, int b) { return a / b; }
+int main(void) {
+    int i;
+    for (i = 0; i < %(spin)d; i++)
+        g = g + 2;
+    g = shrink(100, g - g);
+    return 0;
+}
+""",
+    # SIGSEGV again, but three calls deep: same signal as nullwrite
+    # with a different chain — the "no distinct families merge" probe
+    "deepchain": """int g;
+void poke(int *p) { *p = 42; }
+void inner(void) { poke((int *)0x7ffffff3); }
+void middle(void) { inner(); }
+void outer(void) { middle(); }
+int main(void) {
+    int i;
+    for (i = 0; i < %(spin)d; i++)
+        g = g + i;
+    outer();
+    return 0;
+}
+""",
+}
+
+#: the benign per-duplicate variation (loop bounds; index = variant)
+SPINS = [3, 5, 8, 13, 21, 34, 55, 89]
+
+
+def crash_once(arch, family, spin, core_path=None, recording_path=None):
+    """Compile one family for ``arch``, run it to its crash, and dump
+    the requested artifacts.  Returns the fatal signal number."""
+    import io
+    source = FAMILIES[family] % {"spin": spin}
+    exe = compile_and_link({"%s.c" % family: source}, arch, debug=True)
+    ldb = Ldb(stdout=io.StringIO())
+    target = ldb.load_program(exe)
+    if recording_path is not None:
+        ldb.start_recording(path=recording_path, interval=97)
+    state = ldb.run_to_stop()
+    if state != "stopped" or target.signo == 0:
+        raise RuntimeError("%s/%s did not crash (state %s, signal %d)"
+                           % (arch, family, state, target.signo))
+    if core_path is not None:
+        target.dump_core(core_path)
+    if recording_path is not None:
+        ldb.record_save()
+    return target.signo
+
+
+def seed_corrupt(outdir, donor_core, donor_recording):
+    """Write the damage matrix next to the healthy artifacts; returns
+    manifest entries ``[(filename, expected error kind), ...]``."""
+    from repro.trace.format import Recording
+
+    entries = []
+
+    with open(donor_core, "rb") as handle:
+        core_bytes = handle.read()
+    # cut mid-payload: bad container length / undecompressable body
+    with open(os.path.join(outdir, "corrupt-truncated.core"), "wb") as out:
+        out.write(core_bytes[:max(len(core_bytes) * 3 // 5, 20)])
+    entries.append(("corrupt-truncated.core", "corrupt-core"))
+    # flip one payload bit: magic intact, CRC check must catch it
+    flipped = bytearray(core_bytes)
+    flipped[len(flipped) // 2] ^= 0x40
+    with open(os.path.join(outdir, "corrupt-badcrc.core"), "wb") as out:
+        out.write(bytes(flipped))
+    entries.append(("corrupt-badcrc.core", "corrupt-core"))
+
+    with open(donor_recording, "rb") as handle:
+        rec_bytes = handle.read()
+    with open(os.path.join(outdir, "corrupt-truncated.ldbrec"),
+              "wb") as out:
+        out.write(rec_bytes[:max(len(rec_bytes) // 2, 12)])
+    entries.append(("corrupt-truncated.ldbrec", "corrupt-recording"))
+    # a structurally valid recording whose event log lies: tamper the
+    # digest of the stop the reopened session lands on
+    recording = Recording.load(donor_recording)
+    landing = recording.stop_at(recording.final_icount)
+    assert landing is not None, "donor recording has no final stop"
+    landing.digest ^= 0xDEADBEEF
+    recording.dump(os.path.join(outdir, "corrupt-diverged.ldbrec"))
+    entries.append(("corrupt-diverged.ldbrec", "diverged"))
+
+    open(os.path.join(outdir, "corrupt-empty.core"), "wb").close()
+    entries.append(("corrupt-empty.core", "not-an-artifact"))
+    with open(os.path.join(outdir, "corrupt-notes.txt"), "w") as out:
+        out.write("triage meeting notes: this is not an artifact\n")
+    entries.append(("corrupt-notes.txt", "not-an-artifact"))
+    return entries
+
+
+def build_corpus(outdir, arches=None, dupes=5, recordings=True,
+                 corrupt=True, record_every=2):
+    """Build the corpus under ``outdir``; returns the manifest dict
+    (also written to ``outdir/manifest.json``)."""
+    arches = list(arches or ALL_ARCHES)
+    if dupes > len(SPINS):
+        raise ValueError("at most %d dupes per family" % len(SPINS))
+    os.makedirs(outdir, exist_ok=True)
+    artifacts = []
+    families = {}
+    donor_core = donor_recording = None
+    for arch in arches:
+        for family in sorted(FAMILIES):
+            label = "%s:%s" % (arch, family)
+            members = []
+            for variant in range(dupes):
+                stem = "%s-%s-%d" % (arch, family, variant)
+                core_name = stem + ".core"
+                rec_name = (stem + ".ldbrec"
+                            if recordings and variant % record_every == 0
+                            else None)
+                signo = crash_once(
+                    arch, family, SPINS[variant],
+                    core_path=os.path.join(outdir, core_name),
+                    recording_path=(os.path.join(outdir, rec_name)
+                                    if rec_name else None))
+                artifacts.append({"path": core_name, "kind": "core",
+                                  "family": label, "signo": signo})
+                members.append(core_name)
+                donor_core = donor_core or core_name
+                if rec_name:
+                    artifacts.append({"path": rec_name,
+                                      "kind": "recording",
+                                      "family": label, "signo": signo})
+                    members.append(rec_name)
+                    donor_recording = donor_recording or rec_name
+            families[label] = members
+    if corrupt:
+        assert donor_core and donor_recording, \
+            "corrupt seeds need at least one healthy core and recording"
+        for name, expect in seed_corrupt(
+                outdir, os.path.join(outdir, donor_core),
+                os.path.join(outdir, donor_recording)):
+            artifacts.append({"path": name, "kind": "corrupt",
+                              "family": None, "expect_error": expect})
+    manifest = {"artifacts": artifacts, "families": families,
+                "arches": arches, "dupes": dupes}
+    with open(os.path.join(outdir, "manifest.json"), "w") as out:
+        json.dump(manifest, out, indent=2, sort_keys=True)
+        out.write("\n")
+    return manifest
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="generate a deterministic crash-artifact corpus")
+    ap.add_argument("outdir")
+    ap.add_argument("--arches", default=",".join(ALL_ARCHES),
+                    help="comma-separated ISA list (default: all five)")
+    ap.add_argument("--dupes", type=int, default=5,
+                    help="duplicates per crash family (default 5)")
+    ap.add_argument("--no-recordings", action="store_true",
+                    help="cores only, no .ldbrec artifacts")
+    ap.add_argument("--corrupt", action="store_true",
+                    help="also seed the corrupt/damaged artifact matrix")
+    args = ap.parse_args(argv)
+    manifest = build_corpus(args.outdir,
+                            arches=args.arches.split(","),
+                            dupes=args.dupes,
+                            recordings=not args.no_recordings,
+                            corrupt=args.corrupt)
+    healthy = [a for a in manifest["artifacts"] if a["family"]]
+    print("wrote %d artifacts (%d healthy across %d families, %d "
+          "corrupt) to %s"
+          % (len(manifest["artifacts"]), len(healthy),
+             len(manifest["families"]),
+             len(manifest["artifacts"]) - len(healthy), args.outdir))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
