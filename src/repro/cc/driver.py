@@ -155,11 +155,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     if args.emit_ps:
         print(loader_table_ps(exe))
-    with open(args.o, "wb") as f:
-        compiled = exe.compiled_units
-        exe.loader_ps = loader_table_ps(exe)
-        exe.compiled_units = None  # pickled images carry no front-end state
-        pickle.dump(exe, f)
+    from ..machines.atomicio import atomic_write_bytes
+    compiled = exe.compiled_units
+    exe.loader_ps = loader_table_ps(exe)
+    exe.compiled_units = None  # pickled images carry no front-end state
+    try:
+        atomic_write_bytes(args.o, pickle.dumps(exe))
+    finally:
         exe.compiled_units = compiled
     return 0
 

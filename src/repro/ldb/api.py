@@ -89,6 +89,7 @@ class DebugAPI:
             "dumpcore": self._cmd_dumpcore,
             "sim_stats": self._cmd_sim_stats,
             "record_save": self._cmd_record_save,
+            "record_stop": self._cmd_record_stop,
             "replay_open": self._cmd_replay_open,
         }
 
@@ -336,14 +337,31 @@ class DebugAPI:
         if path is not None and not isinstance(path, str):
             raise ApiError(ERR_BAD_ARGS, "path must be a string, got %r"
                            % path)
+        partial = args.get("partial", False)
+        if not isinstance(partial, bool):
+            raise ApiError(ERR_BAD_ARGS, "partial must be a boolean, got %r"
+                           % partial)
         try:
-            recording = self.ldb.record_save(path, target)
+            recording = self.ldb.record_save(path, target,
+                                             allow_partial=partial)
         except TraceError as err:
             raise ApiError(ERR_TARGET_STATE, str(err))
         return {"path": target.trace_writer.path,
                 "spills": len(recording.spills),
                 "stops": len(recording.stops),
-                "inputs": len(recording.inputs)}
+                "inputs": len(recording.inputs),
+                "partial": bool(recording.partial)}
+
+    def _cmd_record_stop(self, args, timeout) -> dict:
+        # stop recording without saving: detach the writer, discard
+        # the accumulated spills and inputs (time travel stays on)
+        target = self._target()
+        if target.trace_writer is None:
+            raise ApiError(ERR_TARGET_STATE,
+                           "no recording in progress on %s" % target.name)
+        spills, inputs = self.ldb.record_stop(target)
+        return {"stopped": True, "discarded_spills": spills,
+                "discarded_inputs": inputs}
 
     def _cmd_replay_open(self, args, timeout) -> dict:
         path = self._arg(args, "path")

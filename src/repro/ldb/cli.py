@@ -16,6 +16,7 @@ Commands::
     record [interval]
     record --save <file> [interval]
     record save [file]
+    record stop
     replay <file>
     reverse-continue / rc
     reverse-step / rs
@@ -49,6 +50,7 @@ from __future__ import annotations
 
 import pickle
 import sys
+import warnings
 from typing import List, Optional
 
 from ..cc.driver import compile_and_link
@@ -199,12 +201,25 @@ class Cli:
                      "goto print set backtrace where core dumpcore registers "
                      "stats sim trace triage targets serve sessions quit)" % verb)
 
+    def _open_salvageable(self, opener, path: str):
+        """Run ``opener(path)`` surfacing any SalvagedArtifact warning
+        as a visible CLI line (damaged artifacts open read-only on
+        their valid prefix — the user should know)."""
+        from ..machines.atomicio import SalvagedArtifact
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", SalvagedArtifact)
+            target = opener(path)
+        for entry in caught:
+            if issubclass(entry.category, SalvagedArtifact):
+                self.say("warning: %s" % entry.message)
+        return target
+
     def cmd_core(self, path: str) -> None:
         """Open a core file: a post-mortem target with no nub behind it."""
         if not path:
             self.say("usage: core <file>")
             return
-        target = self.ldb.open_core(path)
+        target = self._open_salvageable(self.ldb.open_core, path)
         self.say("post-mortem target %s (%s): signal %d, icount %d"
                  % (target.name, target.arch_name, target.signo,
                     target.core.icount))
@@ -225,6 +240,13 @@ class Cli:
 
     def cmd_record(self, rest: str) -> None:
         words = rest.split()
+        if words and words[0] == "stop":
+            # `record stop`: detach the writer without saving
+            spills, inputs = self.ldb.record_stop()
+            self.say("recording stopped without saving (%d checkpoint "
+                     "spills, %d inputs discarded; time travel stays on)"
+                     % (spills, inputs))
+            return
         if words and words[0] == "save":
             # `record save [file]`: write the accumulated recording
             path = words[1] if len(words) > 1 else None
@@ -257,7 +279,7 @@ class Cli:
         if not path:
             self.say("usage: replay <file>")
             return
-        target = self.ldb.open_recording(path)
+        target = self._open_salvageable(self.ldb.open_recording, path)
         recording = target.recording
         self.say("replay target %s (%s): %d checkpoint spills, "
                  "icounts %d..%d"
@@ -404,9 +426,9 @@ class Cli:
         elif arg == "dump":
             path = operand.strip()
             if path:
-                with open(path, "w") as f:
-                    count = len(tracer.records())
-                    f.write(tracer.dump())
+                from ..machines.atomicio import atomic_write_text
+                count = len(tracer.records())
+                atomic_write_text(path, tracer.dump())
                 self.say("%d trace records written to %s" % (count, path))
             else:
                 self.out.write(tracer.dump())

@@ -118,7 +118,7 @@ class Ldb:
         return target
 
     def open_core(self, path: str, table_ps: Optional[str] = None,
-                  cache: bool = True) -> Target:
+                  cache: bool = True, salvage: bool = True) -> Target:
         """Open a core file for post-mortem debugging: no nub, no
         process — the whole debugger stack runs against the recorded
         memory image.
@@ -128,11 +128,16 @@ class Ldb:
         Backtraces, frame walks, and variable inspection work exactly
         as on the live target at the recorded stop; mutating verbs
         (continue, step, set, break) refuse with a clear error.
+
+        A truncated or tail-corrupt core opens on its longest valid
+        prefix with a :class:`~repro.machines.atomicio.SalvagedArtifact`
+        warning (``salvage=False`` restores the strict behaviour: any
+        damage raises).
         """
         from ..machines.core import CoreError, CoreFile
         from .postmortem import CoreTransport
         try:
-            core = CoreFile.load(path)
+            core = CoreFile.load(path, salvage=salvage)
             transport = CoreTransport(core)
         except CoreError as err:
             raise TargetError("cannot open core %s: %s" % (path, err))
@@ -365,8 +370,15 @@ class Ldb:
         return target.trace_writer
 
     def record_save(self, path: Optional[str] = None,
-                    target: Optional[Target] = None):
-        """Write the accumulated recording to disk (``record save``)."""
+                    target: Optional[Target] = None,
+                    allow_partial: bool = False):
+        """Write the accumulated recording to disk (``record save``).
+
+        With ``allow_partial=True`` a target that can no longer answer
+        SPILL (dead nub, severed transport) degrades to saving the
+        checkpoints already pulled — a salvageable partial recording —
+        instead of failing outright."""
+        from ..nub.session import TransportError
         from ..trace import TraceError
         target = target or self._need_target()
         writer = target.trace_writer
@@ -376,15 +388,52 @@ class Ldb:
                 "first)" % target.name)
         if target.state == "stopped":
             # make sure the position being looked at is in the file
-            writer.spill(target.replay._ensure_checkpoint_here())
+            try:
+                writer.spill(target.replay._ensure_checkpoint_here())
+            except (TargetError, TransportError):
+                if not allow_partial:
+                    raise
         try:
             return writer.save(path)
-        except TraceError as err:
-            raise TargetError(str(err))
+        except (TraceError, TargetError, TransportError, OSError) as err:
+            if not allow_partial:
+                if isinstance(err, (TraceError, OSError)):
+                    raise TargetError(str(err))
+                raise
+            self.obs.tracer.warn("ldb.record_save_degraded",
+                                 reason=str(err))
+            try:
+                return writer.save(path, partial=True)
+            except TraceError as inner:
+                raise TargetError(str(inner))
+
+    def record_stop(self, target: Optional[Target] = None):
+        """Stop recording without saving: detach the writer and discard
+        what it accumulated (``record stop``).  Time travel itself
+        stays enabled — only the persistent-recording overlay ends.
+        Answers (spill count, input count) discarded."""
+        target = target or self._need_target()
+        writer = target.trace_writer
+        if writer is None:
+            raise TargetError(
+                "no recording in progress on %s (use 'record --save' "
+                "first)" % target.name)
+        discarded = (len(writer.spills) + len(writer._pending),
+                     len(writer.inputs))
+        writer.detach()
+        target.trace_writer = None
+        if target.replay is not None and getattr(
+                target.replay, "writer", None) is writer:
+            target.replay.writer = None
+        self.obs.metrics.inc("trace.stops")
+        self.obs.tracer.event("ldb.record_stop", spills=discarded[0],
+                              inputs=discarded[1])
+        return discarded
 
     def open_recording(self, path: str, table_ps: Optional[str] = None,
                        cache: bool = True,
-                       check_divergence: bool = True) -> Target:
+                       check_divergence: bool = True,
+                       salvage: bool = True) -> Target:
         """Reopen a saved recording: no nub, no live process — the
         whole debugger stack runs against re-executed machine states
         restored from the file's checkpoint spills.
@@ -393,13 +442,19 @@ class Ldb:
         stepping, reverse commands, and ``goto`` all work, and the
         re-execution is verified against the recorded event log —
         a mismatch raises a divergence error naming the first bad
-        icount rather than silently serving wrong state."""
+        icount rather than silently serving wrong state.
+
+        A truncated or tail-corrupt file opens on its longest valid
+        chunk prefix — the spills, stops, and inputs that survived —
+        with a :class:`~repro.machines.atomicio.SalvagedArtifact`
+        warning; replay verifies up to the salvage horizon
+        (``salvage=False`` restores the strict behaviour)."""
         from ..timetravel import ReplayController
         from ..trace import Recording, ReplayTransport, TraceError
         from ..trace.format import SPILL_AUTO
         from ..timetravel.ring import Checkpoint
         try:
-            recording = Recording.load(path)
+            recording = Recording.load(path, salvage=salvage)
             transport = ReplayTransport(recording,
                                         check_divergence=check_divergence,
                                         obs=self.obs)

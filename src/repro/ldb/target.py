@@ -523,7 +523,15 @@ class Target:
             self.signo, self.sigcode, self.context_addr = session.last_signal
             self.state = "stopped"
             self._top_frame = None
-            self.breakpoints.resync()
+            if self.trace_writer is not None:
+                # recording survives the reconnect: the resync's
+                # replanting stores are recovery mechanics, not inputs —
+                # stitch the input log over the boundary instead of
+                # polluting it
+                with self.trace_writer.stitch_reconnect():
+                    self.breakpoints.resync()
+            else:
+                self.breakpoints.resync()
         # no stop announced: the nub answered with EXITED (queued as a
         # pending event) or nothing at all — there is no stopped target
         # to replant traps into, so do NOT replay BREAKS here

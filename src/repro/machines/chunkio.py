@@ -80,8 +80,13 @@ def unpack_container(raw: bytes, magic: bytes, max_version: int,
     for bad magic, future versions, truncation, CRC mismatch, and
     undecompressable bodies — never a bare struct/zlib error.
     """
-    if len(raw) < len(magic) + 12 or raw[:len(magic)] != magic:
+    if raw[:len(magic)] != magic:
         raise error("not a %s file (bad magic)" % what)
+    if len(raw) < len(magic) + 12:
+        # right magic, no room for the header: a file cut mid-write,
+        # not an alien one — say so (triage rows depend on the nuance)
+        raise error("truncated %s: header cut short (%d bytes)"
+                    % (what, len(raw)))
     base = len(magic)
     version, _flags, length = _CONTAINER_HEAD.unpack_from(raw, base)
     if version > max_version:
@@ -99,6 +104,44 @@ def unpack_container(raw: bytes, magic: bytes, max_version: int,
         return zlib.decompress(packed)
     except zlib.error as exc:
         raise error("%s body does not decompress: %s" % (what, exc))
+
+
+def salvage_container(raw: bytes, magic: bytes, max_version: int,
+                      error: Type[Exception], what: str) -> bytes:
+    """Best-effort unwrap of a *damaged* container: the longest body
+    prefix the surviving bytes still decompress to.
+
+    Magic and version are still enforced (an alien or future-format
+    file is not salvageable, it is simply not ours); the CRC and the
+    declared length are not — truncation and tail rot are exactly what
+    salvage exists for.  Raises ``error`` when nothing decompresses at
+    all; the caller decides whether the recovered prefix parses into
+    enough of an artifact to serve."""
+    if raw[:len(magic)] != magic:
+        raise error("not a %s file (bad magic)" % what)
+    if len(raw) < len(magic) + 4:
+        raise error("truncated %s: header cut short (%d bytes)"
+                    % (what, len(raw)))
+    base = len(magic)
+    version, _flags = struct.unpack_from("<HH", raw, base)
+    if version > max_version:
+        raise error("%s format version %d is newer than this "
+                    "debugger understands (max %d)"
+                    % (what, version, max_version))
+    packed = raw[base + 12:]
+    # feed the stream in small pieces so everything decoded *before*
+    # the damage survives the zlib error the damage raises
+    decompressor = zlib.decompressobj()
+    body = bytearray()
+    try:
+        for start in range(0, len(packed), 512):
+            body += decompressor.decompress(packed[start:start + 512])
+        body += decompressor.flush()
+    except zlib.error:
+        pass  # truncation/rot: keep the prefix already decoded
+    if not body:
+        raise error("%s body yields nothing salvageable" % what)
+    return bytes(body)
 
 
 def pack_block(kind: int, body: bytes) -> bytes:

@@ -21,13 +21,16 @@ open a core standalone — no executable, no nub, no target.
 from __future__ import annotations
 
 import struct
+import warnings
 from typing import List, Optional, Tuple
 
-from .chunkio import pack_container, sparse_segments, unpack_container
+from .atomicio import SalvagedArtifact, atomic_write_bytes
+from .chunkio import (pack_container, salvage_container, sparse_segments,
+                      unpack_container)
 from .memory import TargetMemory
 
 __all__ = ["MAGIC", "CORE_VERSION", "CoreError", "CoreFile",
-           "sparse_segments", "core_from_process"]
+           "SalvagedArtifact", "sparse_segments", "core_from_process"]
 
 MAGIC = b"LDBC"
 CORE_VERSION = 1
@@ -40,6 +43,14 @@ class CoreError(Exception):
 
 class CoreFile:
     """One serialized dead (or stopped) target."""
+
+    #: True when this core was recovered from a damaged file by
+    #: :meth:`from_bytes`'s salvage mode: the fault record and every
+    #: segment that survived are served; lost tail segments read as
+    #: zero, and a lost symbol table means ``table_ps`` must be passed
+    salvaged = False
+    #: why the strict parse refused the file (salvaged only)
+    salvage_reason: Optional[str] = None
 
     def __init__(self, arch_name: str, byteorder: str, memsize: int,
                  context_addr: int, icount: int, signo: int, code: int,
@@ -85,15 +96,56 @@ class CoreFile:
         return pack_container(MAGIC, CORE_VERSION, bytes(body))
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "CoreFile":
-        body = unpack_container(raw, MAGIC, CORE_VERSION, CoreError, "core")
+    def from_bytes(cls, raw: bytes, salvage: bool = False) -> "CoreFile":
+        """Parse a serialized core.
+
+        Strict by default: any damage raises :class:`CoreError`.  With
+        ``salvage=True``, a truncated or tail-corrupt core is
+        recovered on its longest valid prefix — the header, fault
+        record, and every memory segment that fully decompressed and
+        parsed — with a :class:`SalvagedArtifact` warning naming what
+        was lost.  A core damaged before its fault record (or an alien
+        or future-format file) still raises."""
         try:
-            return cls._unpack_body(body)
-        except (struct.error, IndexError, UnicodeDecodeError) as exc:
-            raise CoreError("malformed core body: %s" % exc)
+            body = unpack_container(raw, MAGIC, CORE_VERSION, CoreError,
+                                    "core")
+            try:
+                return cls._unpack_body(body)
+            except (struct.error, IndexError, UnicodeDecodeError) as exc:
+                raise CoreError("malformed core body: %s" % exc)
+        except CoreError as err:
+            if not salvage:
+                raise
+            return cls._salvage(raw, err)
 
     @classmethod
-    def _unpack_body(cls, body: bytes) -> "CoreFile":
+    def _salvage(cls, raw: bytes, err: CoreError) -> "CoreFile":
+        body = salvage_container(raw, MAGIC, CORE_VERSION, CoreError, "core")
+        try:
+            core, _complete = cls._unpack_body(body, tolerate=True)
+        except (struct.error, IndexError, UnicodeDecodeError,
+                CoreError):
+            raise err  # not even the fault record survived
+        if not core.arch_name.isidentifier() or core.memsize > (1 << 28):
+            # salvage skips the CRC, so rot can decode to nonsense;
+            # refuse a header no real target could have produced
+            raise err
+        core.salvaged = True
+        core.salvage_reason = str(err)
+        warnings.warn(SalvagedArtifact(
+            "core salvaged on its valid prefix: %d segment(s)%s (%s)"
+            % (len(core.segments),
+               "" if core.loader_ps else ", symbol table lost", err)),
+            stacklevel=3)
+        return core
+
+    @classmethod
+    def _unpack_body(cls, body: bytes, tolerate: bool = False):
+        """Parse a core body.  With ``tolerate=True`` (the salvage
+        path) the parse commits progressively: damage after the fault
+        record keeps every planted entry and segment already parsed
+        and answers ``(core, False)``; the strict path answers the
+        core alone, raising on any shortfall."""
         offset = 0
 
         def take(fmt: str):
@@ -104,43 +156,62 @@ class CoreFile:
 
         (name_len,) = take("<B")
         arch_name = body[offset:offset + name_len].decode("ascii")
+        if len(arch_name) != name_len:
+            raise CoreError("truncated core header")
         offset += name_len
         (big,) = take("<B")
         memsize, context_addr, icount = take("<IIQ")
         signo, code, fault_pc = take("<iII")
-        (nplanted,) = take("<I")
-        planted = []
-        for _ in range(nplanted):
-            address, size = take("<IB")
-            planted.append((address, body[offset:offset + size]))
-            offset += size
-        (nsegments,) = take("<I")
-        segments = []
-        for _ in range(nsegments):
-            start, size = take("<II")
-            raw = body[offset:offset + size]
-            if len(raw) != size:
-                raise CoreError("truncated segment at 0x%x" % start)
-            segments.append((start, raw))
-            offset += size
-        (table_len,) = take("<I")
-        table = body[offset:offset + table_len].decode("utf-8")
-        return cls(arch_name, "big" if big else "little", memsize,
+        # everything below the fault record is salvageable piecemeal
+        planted: List[Tuple[int, bytes]] = []
+        segments: List[Tuple[int, bytes]] = []
+        table = ""
+        complete = False
+        try:
+            (nplanted,) = take("<I")
+            for _ in range(nplanted):
+                address, size = take("<IB")
+                original = body[offset:offset + size]
+                if len(original) != size:
+                    raise CoreError("truncated planted entry at 0x%x"
+                                    % address)
+                planted.append((address, original))
+                offset += size
+            (nsegments,) = take("<I")
+            for _ in range(nsegments):
+                start, size = take("<II")
+                raw = body[offset:offset + size]
+                if len(raw) != size:
+                    raise CoreError("truncated segment at 0x%x" % start)
+                segments.append((start, raw))
+                offset += size
+            (table_len,) = take("<I")
+            table_bytes = body[offset:offset + table_len]
+            if len(table_bytes) != table_len:
+                raise CoreError("truncated core symbol table")
+            table = table_bytes.decode("utf-8")
+            complete = True
+        except (CoreError, struct.error, IndexError, UnicodeDecodeError):
+            if not tolerate:
+                raise
+        core = cls(arch_name, "big" if big else "little", memsize,
                    context_addr, icount, signo, code, fault_pc, segments,
                    planted=planted, loader_ps=table or None)
+        return (core, complete) if tolerate else core
 
-    def dump(self, path: str) -> None:
-        with open(path, "wb") as handle:
-            handle.write(self.to_bytes())
+    def dump(self, path: str, fs=None) -> None:
+        """Write the core crash-consistently: after this returns (or
+        fails, or the process dies) ``path`` is never torn."""
+        atomic_write_bytes(path, self.to_bytes(), fs=fs)
 
     @classmethod
-    def load(cls, path: str) -> "CoreFile":
+    def load(cls, path: str, salvage: bool = False) -> "CoreFile":
         try:
             with open(path, "rb") as handle:
                 raw = handle.read()
         except OSError as exc:
             raise CoreError("cannot read core file %s: %s" % (path, exc))
-        return cls.from_bytes(raw)
+        return cls.from_bytes(raw, salvage=salvage)
 
     # -- reconstruction ---------------------------------------------------
 

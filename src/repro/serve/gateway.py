@@ -298,16 +298,35 @@ class DebugServer:
 
 
 def main(argv=None) -> int:
-    """``python -m repro.serve [port]`` — serve until interrupted."""
+    """``python -m repro.serve [port]`` — serve until interrupted.
+
+    Both SIGTERM (the supervisor's polite kill) and SIGINT run the
+    same graceful path: the manager drains live recordings to disk
+    (bounded by its drain deadline) before any transport is severed,
+    so an operator restart never costs a session its trace."""
+    import signal
     import sys
     argv = sys.argv[1:] if argv is None else argv
     port = int(argv[0]) if argv else 4711
     server = DebugServer(port=port)
     print("ldb session server listening on %s:%d" % (server.host,
                                                      server.port))
+    stop = threading.Event()
+
+    def _terminate(signum, frame):
+        stop.set()
+
     try:
-        while True:
+        signal.signal(signal.SIGTERM, _terminate)
+    except (ValueError, OSError):
+        pass  # not the main thread (embedded): SIGTERM stays default
+    try:
+        while not stop.is_set():
             server.thread.join(1.0)
+            if not server.thread.is_alive():
+                break
     except KeyboardInterrupt:
-        server.close()
+        pass
+    print("ldb session server draining and shutting down")
+    server.close()
     return 0

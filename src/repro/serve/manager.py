@@ -59,7 +59,7 @@ class SessionManager:
     def __init__(self, *, max_sessions: int = 256, queue_limit: int = 8,
                  default_deadline: float = 5.0, hang_grace: float = 2.0,
                  idle_ttl: float = 300.0, reap_interval: float = 0.25,
-                 spawn_deadline: float = 30.0,
+                 spawn_deadline: float = 30.0, drain_deadline: float = 5.0,
                  scratch_dir: Optional[str] = None,
                  token_seed: Optional[int] = None, obs=None):
         if obs is None:
@@ -73,6 +73,7 @@ class SessionManager:
         self.idle_ttl = idle_ttl
         self.reap_interval = reap_interval
         self.spawn_deadline = spawn_deadline
+        self.drain_deadline = drain_deadline
         self._own_scratch = scratch_dir is None
         self.scratch_dir = scratch_dir or tempfile.mkdtemp(prefix="ldbserve-")
         #: deterministic tokens for tests; secrets otherwise
@@ -107,12 +108,52 @@ class SessionManager:
             workers = list(self.sessions.values())
             self.sessions.clear()
             self.tokens.clear()
+        await self._drain_recordings(workers)
         loop = asyncio.get_event_loop()
         await asyncio.gather(*(loop.run_in_executor(None, w.close)
                                for w in workers))
         self._update_gauges()
         if self._own_scratch:
             shutil.rmtree(self.scratch_dir, ignore_errors=True)
+
+    async def _drain_recordings(self, workers) -> None:
+        """The graceful half of shutdown: before any transport is
+        severed, every live session with an active recording writer
+        gets one bounded chance to save — partial-tolerant, so a
+        session whose nub already died still lands its materialized
+        prefix as a salvageable file.  The drain deadline caps the
+        whole pass; a save that cannot finish in time is abandoned
+        (the atomic writer guarantees the target path is never torn
+        either way)."""
+        drains = [(w.sid, future) for w in workers
+                  for future in (w.drain_recording(self.drain_deadline),)
+                  if future is not None]
+        if not drains:
+            return
+        metrics = self.obs.metrics
+        self.obs.tracer.event("serve.drain", sessions=len(drains),
+                              deadline=self.drain_deadline)
+        wrapped = asyncio.gather(
+            *(asyncio.wrap_future(future) for _sid, future in drains),
+            return_exceptions=True)
+        try:
+            results = await asyncio.wait_for(
+                wrapped, timeout=self.drain_deadline + 1.0)
+        except asyncio.TimeoutError:
+            metrics.inc("serve.drain_failures", len(drains))
+            self.obs.tracer.warn("serve.drain_timeout",
+                                 sessions=len(drains))
+            return
+        for (sid, _future), result in zip(drains, results):
+            if isinstance(result, BaseException):
+                metrics.inc("serve.drain_failures")
+                self.obs.tracer.warn("serve.drain_failed", session=sid,
+                                     reason=str(result))
+            else:
+                metrics.inc("serve.drain_saves")
+                self.obs.tracer.event("serve.drain_saved", session=sid,
+                                      path=result.get("path"),
+                                      partial=result.get("partial"))
 
     # -- spawn/attach/detach ------------------------------------------------
 
@@ -129,6 +170,11 @@ class SessionManager:
         arch = args.get("arch", "rmips")
         filename = args.get("filename", "main.c")
         fault = args.get("fault")
+        record = args.get("record")
+        if record is not None and (not isinstance(record, str) or not record):
+            self._forget(worker.sid)
+            raise GatewayError(ERR_SPAWN_FAILED,
+                               "spawn 'record' must be a save path")
         core_path = os.path.join(self.scratch_dir, "%s.core" % worker.sid)
 
         def factory():
@@ -139,6 +185,8 @@ class SessionManager:
                         if fault is not None else None)
             target = ldb.load_program(exe, core_path=core_path,
                                       fault_schedule=schedule)
+            if record is not None:
+                ldb.start_recording(target, path=record)
             self._tune_session(target, worker)
             return ldb, target
 

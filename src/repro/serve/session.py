@@ -179,6 +179,26 @@ class SessionWorker:
                              reason=reason)
         self._sever_transport()
 
+    def drain_recording(self, deadline: float) -> Optional[Future]:
+        """Shutdown is imminent: when this session is live with an
+        active recording writer that knows its save path, submit one
+        final partial-tolerant ``record_save`` so the accumulated
+        trace outlives the server.  The save runs on the worker thread
+        (the stack is single-threaded); the returned future resolves
+        when it lands.  Answers ``None`` when there is nothing to
+        drain — no writer, no path, or the session is past saving."""
+        with self._lock:
+            if self.state != "live" or self._closing:
+                return None
+        writer = getattr(self.target, "trace_writer", None)
+        if writer is None or writer.path is None:
+            return None
+        try:
+            return self.submit("record_save", {"partial": True},
+                               deadline=deadline)
+        except GatewayError:
+            return None  # queue full or racing a close: nothing saved
+
     def close(self, reason: str = "server shutdown") -> None:
         """Tear the session down: drain the queue with typed answers,
         release the nub, join the threads."""

@@ -29,8 +29,10 @@ never a struct error.
 from __future__ import annotations
 
 import struct
+import warnings
 from typing import List, Optional
 
+from ..machines.atomicio import SalvagedArtifact, atomic_write_bytes
 from ..machines.chunkio import pack_block, unpack_block
 from ..machines.machstate import MachineState, StateError
 
@@ -187,6 +189,16 @@ class InputRecord:
 class Recording:
     """One loaded (or under-construction) recording."""
 
+    #: True when this recording was recovered from a damaged file by
+    #: :meth:`from_bytes`'s salvage mode — everything past
+    #: :attr:`final_icount` (the salvage horizon) was lost
+    salvaged = False
+    #: why the strict parse refused the file (salvaged only)
+    salvage_reason: Optional[str] = None
+    #: True when this recording was written by a partial save — the
+    #: writer could not pull every pending checkpoint state (dead nub)
+    partial = False
+
     def __init__(self, meta: TraceMeta,
                  spills: Optional[List[SpillRecord]] = None,
                  stops: Optional[List[StopRecord]] = None,
@@ -234,9 +246,30 @@ class Recording:
         return bytes(out)
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "Recording":
-        if len(raw) < 8 or raw[:4] != TRACE_MAGIC:
+    def from_bytes(cls, raw: bytes, salvage: bool = False) -> "Recording":
+        """Parse a serialized recording.
+
+        Strict by default: any damage raises :class:`TraceError`.
+        With ``salvage=True``, a truncated or tail-corrupt file is
+        recovered on its longest valid block prefix instead — the
+        spills, stops, and inputs up to the first damaged block — and
+        a :class:`SalvagedArtifact` warning names what was lost.  A
+        file damaged before its first checkpoint spill (or one that is
+        simply not a recording) still raises."""
+        try:
+            return cls._parse(raw)
+        except TraceError as err:
+            if not salvage:
+                raise
+            return cls._salvage(raw, err)
+
+    @classmethod
+    def _parse(cls, raw: bytes) -> "Recording":
+        if raw[:4] != TRACE_MAGIC:
             raise TraceError("not a trace file (bad magic)")
+        if len(raw) < 8:
+            raise TraceError("truncated trace: header cut short (%d bytes)"
+                             % len(raw))
         version, _flags = _HEAD.unpack_from(raw, 4)
         if version > TRACE_VERSION:
             raise TraceError("trace format version %d is newer than this "
@@ -283,6 +316,59 @@ class Recording:
             raise TraceError("trace has no checkpoint spills")
         return cls(meta, spills, stops, inputs)
 
+    @classmethod
+    def _salvage(cls, raw: bytes, err: TraceError) -> "Recording":
+        """Recover the longest valid block prefix of a damaged file.
+
+        The magic and version gates still apply (re-raising ``err``):
+        salvage serves *our* files that lost their tail, not alien
+        ones.  The salvage horizon is the last intact spill's icount;
+        stops and inputs past it are dropped so replay never claims a
+        timeline the file no longer proves."""
+        if raw[:4] != TRACE_MAGIC or len(raw) < 8:
+            raise err
+        version, _flags = _HEAD.unpack_from(raw, 4)
+        if version > TRACE_VERSION:
+            raise err
+        offset = 8
+        meta: Optional[TraceMeta] = None
+        spills: List[SpillRecord] = []
+        stops: List[StopRecord] = []
+        inputs: List[InputRecord] = []
+        blocks = 0
+        try:
+            while offset < len(raw):
+                kind, body, offset = unpack_block(raw, offset, TraceError,
+                                                  "trace")
+                if kind == BLOCK_END:
+                    break
+                if kind == BLOCK_META:
+                    if meta is not None:
+                        break  # a duplicate META: stop at the damage
+                    meta = TraceMeta.from_body(body)
+                elif kind == BLOCK_SPILL:
+                    spills.append(SpillRecord.from_body(body))
+                elif kind == BLOCK_LOG:
+                    stops, inputs = cls._unpack_log(body)
+                else:
+                    break  # unknown kind: the damage starts here
+                blocks += 1
+        except (TraceError, struct.error, IndexError, UnicodeDecodeError):
+            pass  # the prefix up to here is what survives
+        if meta is None or not spills:
+            raise err  # damage before the first spill: nothing to serve
+        horizon = max(spill.icount for spill in spills)
+        kept_stops = [stop for stop in stops if stop.icount <= horizon]
+        kept_inputs = [entry for entry in inputs if entry.position <= horizon]
+        recording = cls(meta, spills, kept_stops, kept_inputs)
+        recording.salvaged = True
+        recording.salvage_reason = str(err)
+        warnings.warn(SalvagedArtifact(
+            "recording salvaged on its valid prefix: %d block(s), %d "
+            "checkpoint spill(s), horizon icount %d (%s)"
+            % (blocks, len(spills), horizon, err)), stacklevel=3)
+        return recording
+
     @staticmethod
     def _unpack_log(body: bytes):
         offset = 0
@@ -312,15 +398,16 @@ class Recording:
                              % (len(body) - offset))
         return stops, inputs
 
-    def dump(self, path: str) -> None:
-        with open(path, "wb") as handle:
-            handle.write(self.to_bytes())
+    def dump(self, path: str, fs=None) -> None:
+        """Write the recording crash-consistently: after this returns
+        (or fails, or the process dies) ``path`` is never torn."""
+        atomic_write_bytes(path, self.to_bytes(), fs=fs)
 
     @classmethod
-    def load(cls, path: str) -> "Recording":
+    def load(cls, path: str, salvage: bool = False) -> "Recording":
         try:
             with open(path, "rb") as handle:
                 raw = handle.read()
         except OSError as exc:
             raise TraceError("cannot read recording %s: %s" % (path, exc))
-        return cls.from_bytes(raw)
+        return cls.from_bytes(raw, salvage=salvage)

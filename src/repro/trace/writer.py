@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..machines import get_arch
+from ..machines.atomicio import atomic_write_bytes
 from ..nub import protocol
 from .format import (OP_BLOCKSTORE, OP_STORE, Recording, SPILL_AUTO,
                      SPILL_STOP, InputRecord, SpillRecord, StopRecord,
@@ -71,6 +72,9 @@ class TraceWriter:
         #: CKPT replies (every stop is followed by an ICOUNT or
         #: CHECKPOINT exchange before any user command runs)
         self._position: int = 0
+        #: reconnect boundaries stitched over (survived nub-connection
+        #: deaths: the recording keeps accumulating across them)
+        self.stitches = 0
         self._attached = False
         self.attach()
 
@@ -119,9 +123,45 @@ class TraceWriter:
                       data: bytes) -> None:
         if self._ctx_lo <= address and address + len(data) <= self._ctx_hi:
             return  # resume mechanics, reproduced by replay itself
+        if self.inputs:
+            # a store retried across a reconnect taps twice (the
+            # session re-sends, the nub dedups); the log keeps one
+            last = self.inputs[-1]
+            if (last.position == self._position and last.op == op
+                    and last.space == space and last.address == address
+                    and last.data == data):
+                return
         self.inputs.append(InputRecord(self._position, op, space, address,
                                        data))
         self.obs.metrics.inc("trace.inputs")
+
+    # -- reconnect stitching -----------------------------------------------
+
+    def stitch_reconnect(self):
+        """A reconnect is about to resynchronize the target (replant
+        breakpoints, re-announce the stop): those exchanges are
+        recovery mechanics at an unchanged timeline position, not
+        debugger inputs.  Returns a context manager muting the tap for
+        the resync window and marking the stitch — a nub-connection
+        death no longer discards the recording."""
+        writer = self
+
+        class _Stitch:
+            def __enter__(self):
+                writer._muted = True
+                return self
+
+            def __exit__(self, exc_type, exc, tb):
+                writer._muted = False
+                writer.stitches += 1
+                writer.obs.metrics.inc("trace.reconnect_stitches")
+                writer.obs.tracer.event("trace.stitch",
+                                        position=writer._position,
+                                        spills=len(writer.spills),
+                                        pending=len(writer._pending))
+                return False
+
+        return _Stitch()
 
     # -- spills (fed by the ReplayController) ------------------------------
 
@@ -204,6 +244,25 @@ class TraceWriter:
         finally:
             self._muted = False
 
+    def _drop_pending(self) -> None:
+        """Forget pending checkpoints without pulling them (their
+        states are unreachable — the nub is dead or the drain deadline
+        has passed).  The recording shrinks to its materialized
+        prefix; stops and inputs past that horizon go with them."""
+        if not self._pending:
+            return
+        dropped = len(self._pending)
+        self._pending.clear()
+        if self.spills:
+            horizon = max(self.spills)
+            self.stops = {key: value for key, value in self.stops.items()
+                          if key <= horizon}
+            self.inputs = [entry for entry in self.inputs
+                           if entry.position <= horizon]
+        self.obs.metrics.inc("trace.partial_drops", dropped)
+        self.obs.tracer.event("trace.partial_drop", dropped=dropped,
+                              kept=len(self.spills))
+
     def drop_future(self, icount: int) -> None:
         """Resuming forward after time travel: the recorded future is
         stale (execution may diverge from it), mirror the ring."""
@@ -221,11 +280,25 @@ class TraceWriter:
 
     # -- saving ------------------------------------------------------------
 
-    def build(self) -> Recording:
-        """The accumulated recording as an in-memory container."""
+    def build(self, partial: bool = False) -> Recording:
+        """The accumulated recording as an in-memory container.
+
+        ``partial=True`` is the degraded path for a target that can no
+        longer answer SPILL (dead nub, severed transport, mid-run
+        drain deadline): pending checkpoints whose states still lived
+        nub-side are *dropped* instead of pulled, and the recording is
+        built from what was already materialized — a salvageable
+        partial rather than nothing."""
         if not self.spills and not self._pending:
             raise TraceError("nothing recorded yet (no checkpoint spills)")
-        self._materialize_pending()
+        if partial:
+            self._drop_pending()
+        else:
+            self._materialize_pending()
+        if not self.spills:
+            raise TraceError(
+                "nothing salvageable: every checkpoint state was still "
+                "nub-side when the nub died")
         spills = [self.spills[key] for key in sorted(self.spills)]
         for index, record in enumerate(spills):
             record.cid = index + 1
@@ -254,20 +327,31 @@ class TraceWriter:
             return recording.meta.loader_ps
         return getattr(self.target, "loader_ps", None)
 
-    def save(self, path: Optional[str] = None) -> Recording:
-        """Write the recording to ``path`` (or the attached default)."""
+    def save(self, path: Optional[str] = None, fs=None,
+             partial: bool = False) -> Recording:
+        """Write the recording to ``path`` (or the attached default).
+
+        The write is crash-consistent (temp + fsync + rename): ``path``
+        holds either its previous contents or the complete new
+        recording, never a torn mix.  ``partial=True`` saves whatever
+        is already materialized when the target can no longer answer
+        (see :meth:`build`)."""
         path = path or self.path
         if path is None:
             raise TraceError("no save path (record --save PATH, or "
                              "record save PATH)")
         self.path = path
-        recording = self.build()
+        recording = self.build(partial=partial)
+        if partial:
+            recording.partial = True
         raw = recording.to_bytes()
-        with open(path, "wb") as handle:
-            handle.write(raw)
+        atomic_write_bytes(path, raw, fs=fs)
         self.obs.metrics.inc("trace.saves")
+        if partial:
+            self.obs.metrics.inc("trace.partial_saves")
         self.obs.metrics.inc("trace.saved_bytes", len(raw))
         self.obs.tracer.event("trace.save", path=path, bytes=len(raw),
                               spills=len(recording.spills),
-                              inputs=len(recording.inputs))
+                              inputs=len(recording.inputs),
+                              partial=partial)
         return recording

@@ -119,21 +119,33 @@ def _symbolize(path: str, kind: str, frame_limit: int,
                started: float) -> dict:
     # deferred imports: a process-pool worker pays them once, and the
     # triage package stays importable without dragging the whole stack
+    import warnings
+
     from ..ldb import Ldb
     from ..ldb.api import ApiError, DebugAPI
     from ..ldb.target import TargetError
+    from ..machines.atomicio import SalvagedArtifact
     from ..trace import DivergenceError
 
     ldb = Ldb(stdout=io.StringIO())
+    salvaged = False
     try:
-        if kind == KIND_CORE:
-            ldb.open_core(path)
-        else:
-            target = ldb.open_recording(path)
-            # a recording restores its final spill without re-executing,
-            # which is exactly the window a tampered event log would
-            # slip through — check the landing digest before trusting it
-            target.transport.verify_here()
+        # a truncated artifact (a machine that died mid-write without
+        # the atomic path, say) still triages: it opens salvaged on
+        # its valid prefix, and the row says so
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", SalvagedArtifact)
+            if kind == KIND_CORE:
+                ldb.open_core(path)
+            else:
+                target = ldb.open_recording(path)
+                # a recording restores its final spill without
+                # re-executing, which is exactly the window a tampered
+                # event log would slip through — check the landing
+                # digest before trusting it
+                target.transport.verify_here()
+        salvaged = any(issubclass(entry.category, SalvagedArtifact)
+                       for entry in caught)
     except DivergenceError as err:
         return {"ok": False, "path": path, "kind": ERROR_DIVERGED,
                 "message": str(err)}
@@ -167,6 +179,7 @@ def _symbolize(path: str, kind: str, frame_limit: int,
         "where": where,
         "corrupt_stack": any(f.get("corrupt") for f in bt["frames"]),
         "seconds": time.perf_counter() - started,
+        "salvaged": salvaged,
     }
 
 
@@ -287,11 +300,14 @@ class TriageEngine:
                 row["path"], row["artifact"], row["arch"], row["signo"],
                 row["code"], row["fault_pc"], row["icount"],
                 row["stack_hash"], row["tokens"], row["frames"],
-                row["where"], row["corrupt_stack"], row["seconds"])
+                row["where"], row["corrupt_stack"], row["seconds"],
+                salvaged=row.get("salvaged", False))
             metrics.inc("triage.cores" if record.kind == KIND_CORE
                         else "triage.recordings")
             if record.corrupt_stack:
                 metrics.inc("triage.corrupt_stacks")
+            if record.salvaged:
+                metrics.inc("triage.salvaged")
             metrics.observe("triage.artifact_seconds", record.seconds)
             groups.setdefault(record.stack_hash,
                               CrashGroup(record.stack_hash)

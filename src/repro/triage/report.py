@@ -51,13 +51,13 @@ class ArtifactRecord:
 
     __slots__ = ("path", "kind", "arch", "signo", "code", "fault_pc",
                  "icount", "stack_hash", "tokens", "frames", "where",
-                 "corrupt_stack", "seconds")
+                 "corrupt_stack", "seconds", "salvaged")
 
     def __init__(self, path: str, kind: str, arch: str, signo: int,
                  code: int, fault_pc: Optional[int], icount: int,
                  stack_hash: str, tokens: List[str], frames: List[dict],
                  where: Optional[dict], corrupt_stack: bool,
-                 seconds: float):
+                 seconds: float, salvaged: bool = False):
         self.path = path
         #: "core" or "recording"
         self.kind = kind
@@ -75,6 +75,8 @@ class ArtifactRecord:
         #: did the defensive unwinder truncate the walk?
         self.corrupt_stack = corrupt_stack
         self.seconds = seconds
+        #: was the artifact damaged and recovered on its valid prefix?
+        self.salvaged = salvaged
 
     def to_dict(self) -> dict:
         return {"path": self.path, "kind": self.kind, "arch": self.arch,
@@ -83,7 +85,8 @@ class ArtifactRecord:
                 "stack_hash": self.stack_hash, "tokens": self.tokens,
                 "frames": self.frames, "where": self.where,
                 "corrupt_stack": self.corrupt_stack,
-                "seconds": round(self.seconds, 6)}
+                "seconds": round(self.seconds, 6),
+                "salvaged": self.salvaged}
 
 
 class CrashGroup:
@@ -154,9 +157,12 @@ class TriageReport:
         }
 
     def dump_json(self, path: str) -> None:
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        """Write the report crash-consistently (temp + fsync + rename):
+        a fleet cron job killed mid-dump leaves the previous report,
+        never a torn JSON file."""
+        from ..machines.atomicio import atomic_write_text
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        atomic_write_text(path, text)
 
     # -- the human-readable rendering ---------------------------------------
 

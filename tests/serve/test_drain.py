@@ -1,0 +1,90 @@
+"""Graceful drain: a server shutdown saves live recordings first.
+
+The contract (PROTOCOL App A / the gateway's ``main``): when the
+manager closes — operator stop, SIGTERM, or the test harness winding
+down — every live session holding an active recording writer gets one
+final partial-tolerant ``record_save`` before its transport is
+severed.  The accumulated trace survives the restart as a real file;
+sessions without a writer cost the drain nothing.
+"""
+
+import os
+
+import pytest
+
+from repro.serve import RemoteError
+from repro.trace import Recording
+
+from tests.serve.helpers import server, spawn
+
+
+def _run_to_stops(client, sid, token, stops=3):
+    client.command(sid, token, "break", args={"at": "tick"})
+    for _ in range(stops):
+        event = client.command(sid, token, "continue")
+        assert event["event"] == "breakpoint"
+
+
+def test_shutdown_saves_live_recording(tmp_path):
+    path = str(tmp_path / "drained.ldbrec")
+    with server() as srv:
+        client = srv.client()
+        sid, token = spawn(client, record=path)
+        _run_to_stops(client, sid, token)
+        assert not os.path.exists(path)  # nothing saved yet
+        srv.close()  # the graceful path: drain, then sever
+    metrics = srv.manager.obs.metrics
+    assert metrics.get("serve.drain_saves", 0) == 1
+    assert metrics.get("serve.drain_failures", 0) == 0
+    recording = Recording.load(path)  # strict parse: not a salvage
+    assert recording.spills
+    assert recording.meta.arch_name == "rmips"
+
+
+def test_drained_file_replays_clean(tmp_path):
+    path = str(tmp_path / "drained.ldbrec")
+    with server() as srv:
+        client = srv.client()
+        sid, token = spawn(client, record=path)
+        _run_to_stops(client, sid, token, stops=2)
+        srv.close()
+    # the drained artifact hosts a fresh replay session end to end
+    with server() as srv:
+        client = srv.client()
+        info = client.replay(path=path)
+        sid, token = info["session"], info["token"]
+        out = client.command(sid, token, "backtrace")
+        assert any(frame["proc"] == "tick" for frame in out["frames"])
+
+
+def test_sessions_without_writers_drain_nothing(tmp_path):
+    with server() as srv:
+        client = srv.client()
+        sid, token = spawn(client)  # no record= : no writer
+        _run_to_stops(client, sid, token, stops=1)
+        srv.close()
+    metrics = srv.manager.obs.metrics
+    assert metrics.get("serve.drain_saves", 0) == 0
+    assert metrics.get("serve.drain_failures", 0) == 0
+
+
+def test_mixed_fleet_drains_only_the_recorders(tmp_path):
+    path = str(tmp_path / "one.ldbrec")
+    with server() as srv:
+        client = srv.client()
+        rec_sid, rec_token = spawn(client, record=path)
+        plain_sid, plain_token = spawn(client)
+        _run_to_stops(client, rec_sid, rec_token, stops=2)
+        _run_to_stops(client, plain_sid, plain_token, stops=1)
+        srv.close()
+    assert srv.manager.obs.metrics.get("serve.drain_saves", 0) == 1
+    assert Recording.load(path).spills
+
+
+def test_spawn_record_arg_is_validated():
+    with server() as srv:
+        client = srv.client()
+        with pytest.raises(RemoteError) as err:
+            spawn(client, record=123)
+        assert err.value.code == "ERR_SPAWN_FAILED"
+        assert "record" in str(err.value)

@@ -104,7 +104,10 @@ class TestCorruptionMatrix:
             Recording.from_bytes(b"NOPE" + raw[4:])
 
     def test_too_short_for_header(self):
-        with pytest.raises(TraceError, match="bad magic"):
+        # right magic, cut mid-header: a torn *trace* file, not an
+        # alien one — the message says "truncated", so triage rows
+        # classify it as corrupt-recording rather than not-an-artifact
+        with pytest.raises(TraceError, match="truncated"):
             Recording.from_bytes(TRACE_MAGIC + b"\x00")
 
     def test_future_version_refused(self):
